@@ -1,0 +1,29 @@
+//! Regenerates Fig. 8: online performance of RS/TPE/HB/BOHB, noiseless vs. noisy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use feddata::Benchmark;
+use fedtune_core::experiments::methods::{paper_noise_settings, run_method_comparison};
+
+fn regenerate() {
+    let scale = fedbench::report_scale();
+    let comparison = run_method_comparison(Benchmark::Cifar10Like, &scale, &paper_noise_settings(), 0)
+        .expect("method comparison");
+    fedbench::print_report(&comparison.to_online_report().expect("online report"));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let scale = fedbench::measurement_scale();
+    let mut group = c.benchmark_group("fig08_methods");
+    group.sample_size(10);
+    group.bench_function("cifar10_like_all_methods", |b| {
+        b.iter(|| {
+            run_method_comparison(Benchmark::Cifar10Like, &scale, &paper_noise_settings(), 0)
+                .expect("method comparison")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Regenerates Fig. 10/14: hyperparameter transfer between dataset pairs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedtune_core::experiments::proxy::{run_transfer_pairs, transfer_report};
+
+fn regenerate() {
+    let scale = fedbench::report_scale();
+    let analyses = run_transfer_pairs(&scale, 0).expect("transfer analysis");
+    fedbench::print_report(&transfer_report(&analyses));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let scale = fedbench::measurement_scale();
+    let mut group = c.benchmark_group("fig10_transfer");
+    group.sample_size(10);
+    group.bench_function("all_pairs", |b| {
+        b.iter(|| {
+            run_transfer_pairs(&scale, 0).expect("transfer analysis")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

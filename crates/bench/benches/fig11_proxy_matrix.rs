@@ -1,0 +1,26 @@
+//! Regenerates Fig. 11: one-shot proxy RS for every (proxy, client) dataset pair.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedtune_core::experiments::proxy::run_proxy_matrix;
+
+fn regenerate() {
+    let scale = fedbench::report_scale();
+    let matrix = run_proxy_matrix(&scale, 0).expect("proxy matrix");
+    fedbench::print_report(&matrix.to_report());
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let scale = fedbench::measurement_scale();
+    let mut group = c.benchmark_group("fig11_proxy_matrix");
+    group.sample_size(10);
+    group.bench_function("full_matrix", |b| {
+        b.iter(|| {
+            run_proxy_matrix(&scale, 0).expect("proxy matrix")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

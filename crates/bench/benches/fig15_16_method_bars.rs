@@ -1,0 +1,34 @@
+//! Regenerates Fig. 15/16: method comparison bars at one-third and full budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use feddata::Benchmark;
+use fedtune_core::experiments::methods::{paper_noise_settings, run_method_comparison};
+
+fn regenerate() {
+    let scale = fedbench::report_scale();
+    let comparison = run_method_comparison(Benchmark::Cifar10Like, &scale, &paper_noise_settings(), 0)
+        .expect("method comparison");
+    let third = (scale.total_budget / 3).max(1);
+    fedbench::print_report(&comparison.to_bars_report("fig15", third).expect("fig15 bars"));
+    fedbench::print_report(&comparison.to_bars_report("fig16", scale.total_budget).expect("fig16 bars"));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let scale = fedbench::measurement_scale();
+    let mut group = c.benchmark_group("fig15_16_method_bars");
+    group.sample_size(10);
+    group.bench_function("cifar10_like_bars", |b| {
+        b.iter(|| {
+            {
+                let comparison = run_method_comparison(Benchmark::Cifar10Like, &scale, &paper_noise_settings(), 0)
+                    .expect("method comparison");
+                comparison.to_bars_report("fig16", scale.total_budget).expect("fig16 bars")
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Regenerates Tables 1-2 (dataset statistics) and measures dataset generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fedtune_core::experiments::table1::DatasetTable;
+
+fn regenerate() {
+    let scale = fedbench::report_scale();
+    let table = DatasetTable::generate(&scale, 42).expect("table generation");
+    println!("\n{}", table.to_text());
+    fedbench::print_report(&table.to_report());
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let scale = fedbench::measurement_scale();
+    let mut group = c.benchmark_group("table1_datasets");
+    group.sample_size(10);
+    group.bench_function("generate_all_benchmarks", |b| {
+        b.iter(|| {
+            DatasetTable::generate(&scale, 42).expect("table generation")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Support library for the benchmark harness.
+//!
+//! Every bench target in `benches/` regenerates one table or figure of the
+//! paper: it prints the regenerated rows once (so `cargo bench` output can be
+//! compared against the paper and recorded in `EXPERIMENTS.md`) and then
+//! measures the cost of the underlying experiment at a reduced scale with
+//! Criterion.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use fedtune_core::ExperimentScale;
+
+/// The scale used inside Criterion measurement loops: small enough that every
+/// benchmark iteration completes in well under a second.
+pub fn measurement_scale() -> ExperimentScale {
+    ExperimentScale::smoke()
+}
+
+/// The scale used for the one-off regeneration printout at the top of each
+/// bench target. Controlled by the `FEDTUNE_BENCH_SCALE` environment variable
+/// (`smoke`, `default`, or `paper`); defaults to `smoke` so `cargo bench`
+/// stays fast.
+pub fn report_scale() -> ExperimentScale {
+    match std::env::var("FEDTUNE_BENCH_SCALE").as_deref() {
+        Ok("paper") => ExperimentScale::paper(),
+        Ok("default") => ExperimentScale::default_scale(),
+        _ => ExperimentScale::smoke(),
+    }
+}
+
+/// Prints a regenerated report with a consistent banner.
+pub fn print_report(report: &fedtune_core::ExperimentReport) {
+    println!("\n{}", report.to_table());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_resolve() {
+        assert!(measurement_scale().validate().is_ok());
+        assert!(report_scale().validate().is_ok());
+    }
+}

@@ -1,0 +1,137 @@
+//! A benchmark dataset bundled with its search space and model architecture.
+
+use crate::scale::ExperimentScale;
+use crate::Result;
+use feddata::{Benchmark, DatasetSpec, FederatedDataset};
+use fedhpo::SearchSpace;
+use fedmodels::ModelSpec;
+use fedproxy::ConfigRunner;
+
+/// Everything an experiment needs to evaluate hyperparameters on one of the
+/// paper's four benchmarks: the generated federated dataset, the Appendix B
+/// search space, and the model architecture for the dataset's task family.
+#[derive(Debug, Clone)]
+pub struct BenchmarkContext {
+    benchmark: Benchmark,
+    dataset: FederatedDataset,
+    space: SearchSpace,
+    model_spec: ModelSpec,
+    scale: ExperimentScale,
+}
+
+impl BenchmarkContext {
+    /// Generates the dataset for `benchmark` at the scale's data size and
+    /// bundles it with the paper's search space and the default model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset-generation failures and scale validation.
+    pub fn new(benchmark: Benchmark, scale: &ExperimentScale, seed: u64) -> Result<Self> {
+        scale.validate()?;
+        let dataset = DatasetSpec::benchmark(benchmark, scale.data_scale).generate(seed)?;
+        let model_spec = ModelSpec::for_dataset(&dataset);
+        Ok(BenchmarkContext {
+            benchmark,
+            dataset,
+            space: SearchSpace::paper_default(),
+            model_spec,
+            scale: *scale,
+        })
+    }
+
+    /// Replaces the search space (used by the search-space ablation, Fig. 13).
+    pub fn with_space(mut self, space: SearchSpace) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// The benchmark identity.
+    pub fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+
+    /// The generated federated dataset.
+    pub fn dataset(&self) -> &FederatedDataset {
+        &self.dataset
+    }
+
+    /// Mutable access to the dataset (used to repartition the validation
+    /// pool for the heterogeneity experiments).
+    pub fn dataset_mut(&mut self) -> &mut FederatedDataset {
+        &mut self.dataset
+    }
+
+    /// The hyperparameter search space.
+    pub fn space(&self) -> &SearchSpace {
+        &self.space
+    }
+
+    /// The model architecture used for this benchmark.
+    pub fn model_spec(&self) -> ModelSpec {
+        self.model_spec
+    }
+
+    /// The experiment scale this context was built for.
+    pub fn scale(&self) -> &ExperimentScale {
+        &self.scale
+    }
+
+    /// A [`ConfigRunner`] that trains one configuration for the scale's
+    /// per-configuration round budget on this benchmark.
+    pub fn config_runner(&self) -> ConfigRunner {
+        ConfigRunner::new(self.space.clone(), self.model_spec, self.scale.rounds_per_config)
+            .with_clients_per_round(self.scale.clients_per_round)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn context_builds_for_every_benchmark() {
+        let scale = ExperimentScale::smoke();
+        for &b in &Benchmark::ALL {
+            let ctx = BenchmarkContext::new(b, &scale, 0).unwrap();
+            assert_eq!(ctx.benchmark(), b);
+            assert_eq!(ctx.dataset().name(), b.name());
+            assert_eq!(ctx.space().len(), 9);
+            assert_eq!(ctx.scale(), &scale);
+            assert_eq!(ctx.config_runner().rounds(), scale.rounds_per_config);
+        }
+    }
+
+    #[test]
+    fn model_spec_matches_task_family() {
+        let scale = ExperimentScale::smoke();
+        let image = BenchmarkContext::new(Benchmark::Cifar10Like, &scale, 0).unwrap();
+        assert!(matches!(image.model_spec(), ModelSpec::Mlp { .. }));
+        let text = BenchmarkContext::new(Benchmark::RedditLike, &scale, 0).unwrap();
+        assert!(matches!(text.model_spec(), ModelSpec::Bigram { .. }));
+    }
+
+    #[test]
+    fn with_space_replaces_search_space() {
+        let scale = ExperimentScale::smoke();
+        let ctx = BenchmarkContext::new(Benchmark::Cifar10Like, &scale, 0).unwrap();
+        let nested = SearchSpace::paper_nested_lr_space(1).unwrap();
+        let ctx = ctx.with_space(nested.clone());
+        assert_eq!(ctx.space(), &nested);
+    }
+
+    #[test]
+    fn invalid_scale_is_rejected() {
+        let mut scale = ExperimentScale::smoke();
+        scale.num_configs = 0;
+        assert!(BenchmarkContext::new(Benchmark::Cifar10Like, &scale, 0).is_err());
+    }
+
+    #[test]
+    fn dataset_mut_allows_repartitioning() {
+        let scale = ExperimentScale::smoke();
+        let mut ctx = BenchmarkContext::new(Benchmark::Cifar10Like, &scale, 0).unwrap();
+        let n = ctx.dataset().num_val_clients();
+        ctx.dataset_mut().clients_mut(feddata::Split::Validation).pop();
+        assert_eq!(ctx.dataset().num_val_clients(), n - 1);
+    }
+}

@@ -1,0 +1,346 @@
+//! Fig. 4 (data heterogeneity), Fig. 6 (systems heterogeneity), and
+//! Fig. 7 (global error vs. minimum client error).
+
+use crate::context::BenchmarkContext;
+use crate::experiments::{simulated_rs_trials, subsample_rate_grid};
+use crate::noise::NoiseConfig;
+use crate::pool::{validation_pool_with_iid_fraction, ConfigPool};
+use crate::report::{rate_label, ExperimentReport, SeriesGroup, SeriesPoint};
+use crate::scale::ExperimentScale;
+use crate::Result;
+use feddata::Benchmark;
+use fedmath::stats::QuartileSummary;
+use fedmath::SeedStream;
+use serde::{Deserialize, Serialize};
+
+/// Fig. 4 for one benchmark: one subsampling sweep per iid fraction `p`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataHeterogeneitySweep {
+    /// Benchmark the sweep was run on.
+    pub benchmark: String,
+    /// One series per iid fraction (`p = 0`, `0.5`, `1`).
+    pub series: Vec<SeriesGroup>,
+}
+
+/// Runs Fig. 4: the validation pool is repartitioned towards iid-ness with
+/// fraction `p ∈ {0, 0.5, 1}` (training data untouched, §3.2), the pool of
+/// trained configurations is re-evaluated on each partition, and the RS
+/// bootstrap is repeated across subsampling rates.
+///
+/// # Errors
+///
+/// Propagates pool-training, repartitioning, and evaluation failures.
+pub fn run_data_heterogeneity(
+    benchmark: Benchmark,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Result<DataHeterogeneitySweep> {
+    let ctx = BenchmarkContext::new(benchmark, scale, seed)?;
+    let mut seeds = SeedStream::new(fedmath::rng::derive_seed(seed, 3));
+    let pool = ConfigPool::train(&ctx, seeds.next_seed())?;
+    let population = ctx.dataset().num_val_clients();
+
+    let mut series = Vec::new();
+    for &p in &[0.0, 0.5, 1.0] {
+        let mut partition_rng = seeds.next_rng();
+        let val_clients = validation_pool_with_iid_fraction(&ctx, p, &mut partition_rng)?;
+        let reevaluated = pool.reevaluate_on(&val_clients)?;
+        let mut points = Vec::new();
+        for rate in subsample_rate_grid(population) {
+            let noise = NoiseConfig::subsampled(rate);
+            let errors = simulated_rs_trials(
+                &reevaluated,
+                &noise,
+                scale.num_configs,
+                scale.num_configs,
+                scale.bootstrap_trials,
+                seeds.next_seed(),
+            )?;
+            points.push(SeriesPoint::from_error_rates(
+                rate,
+                rate_label(rate, population),
+                &errors,
+            )?);
+        }
+        series.push(SeriesGroup {
+            name: format!("p={p}"),
+            points,
+        });
+    }
+    Ok(DataHeterogeneitySweep {
+        benchmark: ctx.benchmark().name().to_string(),
+        series,
+    })
+}
+
+/// Renders Fig. 4 sweeps as a report.
+pub fn data_heterogeneity_report(sweeps: &[DataHeterogeneitySweep]) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig4",
+        "Data heterogeneity: RS under subsampling on repartitioned validation pools (Fig. 4)",
+    );
+    for sweep in sweeps {
+        for group in &sweep.series {
+            report.push_group(SeriesGroup {
+                name: format!("{} {}", sweep.benchmark, group.name),
+                points: group.points.clone(),
+            });
+        }
+    }
+    report
+}
+
+/// Fig. 6 for one benchmark: one subsampling sweep per systems-bias exponent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemsHeterogeneitySweep {
+    /// Benchmark the sweep was run on.
+    pub benchmark: String,
+    /// One series per bias exponent (`b = 0, 1, 1.5, 3`).
+    pub series: Vec<SeriesGroup>,
+}
+
+/// Runs Fig. 6: evaluation-client sampling is biased towards clients on which
+/// the evaluated model performs well, with weight `(a + δ)^b`.
+///
+/// # Errors
+///
+/// Propagates pool-training and noisy-evaluation failures.
+pub fn run_systems_heterogeneity(
+    benchmark: Benchmark,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Result<SystemsHeterogeneitySweep> {
+    let ctx = BenchmarkContext::new(benchmark, scale, seed)?;
+    let mut seeds = SeedStream::new(fedmath::rng::derive_seed(seed, 4));
+    let pool = ConfigPool::train(&ctx, seeds.next_seed())?;
+    systems_heterogeneity_from_pool(&ctx, &pool, scale, seeds.next_seed())
+}
+
+/// The Fig. 6 sweep given an already-trained pool.
+///
+/// # Errors
+///
+/// Propagates noisy-evaluation failures.
+pub fn systems_heterogeneity_from_pool(
+    ctx: &BenchmarkContext,
+    pool: &ConfigPool,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Result<SystemsHeterogeneitySweep> {
+    let population = ctx.dataset().num_val_clients();
+    let mut seeds = SeedStream::new(seed);
+    let mut series = Vec::new();
+    for &bias in &[0.0, 1.0, 1.5, 3.0] {
+        let mut points = Vec::new();
+        for rate in subsample_rate_grid(population) {
+            let noise = NoiseConfig::subsampled(rate).with_systems_bias(bias);
+            let errors = simulated_rs_trials(
+                pool,
+                &noise,
+                scale.num_configs,
+                scale.num_configs,
+                scale.bootstrap_trials,
+                seeds.next_seed(),
+            )?;
+            points.push(SeriesPoint::from_error_rates(
+                rate,
+                rate_label(rate, population),
+                &errors,
+            )?);
+        }
+        series.push(SeriesGroup {
+            name: format!("b={bias}"),
+            points,
+        });
+    }
+    Ok(SystemsHeterogeneitySweep {
+        benchmark: ctx.benchmark().name().to_string(),
+        series,
+    })
+}
+
+/// Renders Fig. 6 sweeps as a report.
+pub fn systems_heterogeneity_report(sweeps: &[SystemsHeterogeneitySweep]) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig6",
+        "Systems heterogeneity: accuracy-biased client sampling (Fig. 6)",
+    );
+    for sweep in sweeps {
+        for group in &sweep.series {
+            report.push_group(SeriesGroup {
+                name: format!("{} {}", sweep.benchmark, group.name),
+                points: group.points.clone(),
+            });
+        }
+    }
+    report
+}
+
+/// One point of the Fig. 7 scatter: a configuration's global (full
+/// validation) error against its minimum per-client error.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MinClientPoint {
+    /// Full-validation error, in percent.
+    pub global_error_percent: f64,
+    /// Minimum per-client error, in percent.
+    pub min_client_error_percent: f64,
+}
+
+/// Fig. 7 for one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MinClientScatter {
+    /// Benchmark the scatter was computed on.
+    pub benchmark: String,
+    /// One point per pooled configuration.
+    pub points: Vec<MinClientPoint>,
+}
+
+impl MinClientScatter {
+    /// Fraction of configurations with poor global performance (error above
+    /// `global_threshold`) but excellent performance on at least one client
+    /// (minimum client error below `client_threshold`) — the lower-right
+    /// corner of Fig. 7 that makes biased sampling catastrophic.
+    pub fn deceptive_fraction(&self, global_threshold: f64, client_threshold: f64) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        let count = self
+            .points
+            .iter()
+            .filter(|p| {
+                p.global_error_percent > global_threshold
+                    && p.min_client_error_percent < client_threshold
+            })
+            .count();
+        count as f64 / self.points.len() as f64
+    }
+}
+
+/// Runs Fig. 7: plots every pooled configuration at
+/// (global error, minimum client error).
+///
+/// # Errors
+///
+/// Propagates pool-training failures.
+pub fn run_min_client_scatter(
+    benchmark: Benchmark,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Result<MinClientScatter> {
+    let ctx = BenchmarkContext::new(benchmark, scale, seed)?;
+    let pool = ConfigPool::train(&ctx, fedmath::rng::derive_seed(seed, 5))?;
+    Ok(min_client_scatter_from_pool(&ctx, &pool))
+}
+
+/// The Fig. 7 scatter from an already-trained pool.
+pub fn min_client_scatter_from_pool(ctx: &BenchmarkContext, pool: &ConfigPool) -> MinClientScatter {
+    let points = pool
+        .entries()
+        .iter()
+        .map(|e| MinClientPoint {
+            global_error_percent: e.full_error * 100.0,
+            min_client_error_percent: e.evaluation.min_client_error() * 100.0,
+        })
+        .collect();
+    MinClientScatter {
+        benchmark: ctx.benchmark().name().to_string(),
+        points,
+    }
+}
+
+/// Renders Fig. 7 scatters as a report (each configuration becomes one row).
+pub fn min_client_report(scatters: &[MinClientScatter]) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig7",
+        "Global error vs. minimum client error per configuration (Fig. 7)",
+    );
+    for scatter in scatters {
+        let points = scatter
+            .points
+            .iter()
+            .map(|p| SeriesPoint {
+                x: p.global_error_percent,
+                x_label: format!("{:.1}% global", p.global_error_percent),
+                summary: QuartileSummary {
+                    lower: p.min_client_error_percent,
+                    median: p.min_client_error_percent,
+                    upper: p.min_client_error_percent,
+                    count: 1,
+                },
+            })
+            .collect();
+        report.push_group(SeriesGroup {
+            name: scatter.benchmark.clone(),
+            points,
+        });
+        report.push_note(format!(
+            "{}: {:.0}% of configurations are globally poor (>60% error) yet have a client below 20% error",
+            scatter.benchmark,
+            scatter.deceptive_fraction(60.0, 20.0) * 100.0
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn data_heterogeneity_sweep_shape() {
+        let scale = ExperimentScale::smoke();
+        let sweep = run_data_heterogeneity(Benchmark::Cifar10Like, &scale, 0).unwrap();
+        assert_eq!(sweep.series.len(), 3);
+        let grid = subsample_rate_grid(10).len();
+        for s in &sweep.series {
+            assert_eq!(s.points.len(), grid);
+        }
+        // At full evaluation, heterogeneity has (almost) no effect: the
+        // medians across p values must be close to each other.
+        let full_medians: Vec<f64> = sweep
+            .series
+            .iter()
+            .map(|s| s.points.last().unwrap().summary.median)
+            .collect();
+        let spread = fedmath::stats::max(&full_medians).unwrap() - fedmath::stats::min(&full_medians).unwrap();
+        assert!(spread < 25.0, "full-evaluation medians should not diverge wildly, spread {spread}");
+        let report = data_heterogeneity_report(&[sweep]);
+        assert!(report.to_table().contains("p=0"));
+    }
+
+    #[test]
+    fn systems_heterogeneity_sweep_shape() {
+        let scale = ExperimentScale::smoke();
+        let sweep = run_systems_heterogeneity(Benchmark::Cifar10Like, &scale, 1).unwrap();
+        assert_eq!(sweep.series.len(), 4);
+        assert_eq!(sweep.series[0].name, "b=0");
+        assert_eq!(sweep.series[3].name, "b=3");
+        // At full evaluation, bias has no effect (all clients are used), so
+        // the b=0 and b=3 medians coincide there.
+        let full_b0 = sweep.series[0].points.last().unwrap().summary.median;
+        let full_b3 = sweep.series[3].points.last().unwrap().summary.median;
+        assert!((full_b0 - full_b3).abs() < 10.0);
+        let report = systems_heterogeneity_report(&[sweep]);
+        assert!(report.to_table().contains("b=1.5"));
+    }
+
+    #[test]
+    fn min_client_scatter_shape() {
+        let scale = ExperimentScale::smoke();
+        let scatter = run_min_client_scatter(Benchmark::Cifar10Like, &scale, 2).unwrap();
+        assert_eq!(scatter.points.len(), scale.pool_size);
+        for p in &scatter.points {
+            // The minimum client error can never exceed the global error by
+            // definition of a minimum over clients... it CAN be lower, and it
+            // can also be higher than the weighted mean only if weighting
+            // differs; sanity-check ranges instead.
+            assert!((0.0..=100.0).contains(&p.global_error_percent));
+            assert!((0.0..=100.0).contains(&p.min_client_error_percent));
+            assert!(p.min_client_error_percent <= p.global_error_percent + 50.0);
+        }
+        let frac = scatter.deceptive_fraction(0.0, 100.0);
+        assert!((0.0..=1.0).contains(&frac));
+        let report = min_client_report(&[scatter]);
+        assert!(report.to_table().contains("fig7"));
+    }
+}

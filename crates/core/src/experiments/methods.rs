@@ -1,0 +1,451 @@
+//! Fig. 1 (headline bars), Fig. 8 (online curves), and Fig. 15/16
+//! (method bars at one-third and full budget): RS vs. TPE vs. Hyperband vs.
+//! BOHB under noiseless and noisy evaluation.
+
+use crate::context::BenchmarkContext;
+use crate::experiments::hyperband_planned_evaluations;
+use crate::noise::NoiseConfig;
+use crate::objective::{FederatedObjective, ObjectiveLogEntry};
+use crate::report::{ExperimentReport, SeriesGroup, SeriesPoint};
+use crate::scale::ExperimentScale;
+use crate::Result;
+use feddata::Benchmark;
+use fedhpo::{Bohb, Hyperband, RandomSearch, Tpe, Tuner};
+use fedmath::SeedStream;
+use serde::{Deserialize, Serialize};
+
+/// The four HP-tuning methods compared throughout the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TuningMethod {
+    /// Random search (simple baseline).
+    RandomSearch,
+    /// Tree-structured Parzen Estimator (Bayesian optimization).
+    Tpe,
+    /// Hyperband (early stopping).
+    Hyperband,
+    /// BOHB (hybrid of TPE and Hyperband).
+    Bohb,
+}
+
+impl TuningMethod {
+    /// The four methods in the paper's plotting order.
+    pub const ALL: [TuningMethod; 4] = [
+        TuningMethod::RandomSearch,
+        TuningMethod::Tpe,
+        TuningMethod::Hyperband,
+        TuningMethod::Bohb,
+    ];
+
+    /// Short display name (`RS`, `TPE`, `HB`, `BOHB`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TuningMethod::RandomSearch => "RS",
+            TuningMethod::Tpe => "TPE",
+            TuningMethod::Hyperband => "HB",
+            TuningMethod::Bohb => "BOHB",
+        }
+    }
+
+    /// Builds the tuner with the budgets of the given scale
+    /// (`K` configurations for RS/TPE; η and bracket count for HB/BOHB).
+    pub fn build(&self, scale: &ExperimentScale) -> Box<dyn Tuner> {
+        match self {
+            TuningMethod::RandomSearch => {
+                Box::new(RandomSearch::new(scale.num_configs, scale.rounds_per_config))
+            }
+            TuningMethod::Tpe => Box::new(Tpe::new(scale.num_configs, scale.rounds_per_config)),
+            TuningMethod::Hyperband => Box::new(Hyperband::new(
+                scale.rounds_per_config,
+                scale.eta,
+                Some(scale.num_brackets),
+            )),
+            TuningMethod::Bohb => Box::new(Bohb::new(
+                scale.rounds_per_config,
+                scale.eta,
+                Some(scale.num_brackets),
+            )),
+        }
+    }
+
+    /// Number of objective evaluations the method performs — the DP
+    /// composition length `M` used to calibrate Laplace noise.
+    pub fn planned_evaluations(&self, scale: &ExperimentScale) -> usize {
+        match self {
+            TuningMethod::RandomSearch | TuningMethod::Tpe => scale.num_configs,
+            TuningMethod::Hyperband | TuningMethod::Bohb => hyperband_planned_evaluations(
+                scale.rounds_per_config,
+                scale.eta,
+                scale.num_brackets,
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for TuningMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One tuning run: a method, a noise setting, a trial index, and the full
+/// objective log (noisy score and true error of every evaluation).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodRun {
+    /// Method name.
+    pub method: String,
+    /// Noise-setting label (`"noiseless"` or `"noisy"`).
+    pub noise_label: String,
+    /// Trial index.
+    pub trial: usize,
+    /// The objective log, in evaluation order.
+    pub log: Vec<ObjectiveLogEntry>,
+}
+
+impl MethodRun {
+    /// True error of the configuration the tuner would select within the
+    /// given round budget (lowest noisy score among evaluations completed by
+    /// then). `None` if nothing was evaluated within the budget.
+    pub fn selected_true_error_within(&self, budget: usize) -> Option<f64> {
+        self.log
+            .iter()
+            .filter(|e| e.cumulative_rounds <= budget)
+            .min_by(|a, b| {
+                a.noisy_score
+                    .partial_cmp(&b.noisy_score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|e| e.true_error)
+    }
+}
+
+/// The full method-comparison campaign on one benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodComparison {
+    /// Benchmark the comparison was run on.
+    pub benchmark: String,
+    /// All runs (method × noise setting × trial).
+    pub runs: Vec<MethodRun>,
+    /// The budget grid (total training rounds) used for online curves.
+    pub budget_grid: Vec<usize>,
+}
+
+impl MethodComparison {
+    /// Distinct (method, noise) pairs present in the runs, in insertion order.
+    fn run_keys(&self) -> Vec<(String, String)> {
+        let mut keys: Vec<(String, String)> = Vec::new();
+        for run in &self.runs {
+            let key = (run.method.clone(), run.noise_label.clone());
+            if !keys.contains(&key) {
+                keys.push(key);
+            }
+        }
+        keys
+    }
+
+    /// Fig. 8 online curves: per (method, noise) series of the selected
+    /// configuration's true error over the budget grid, summarised over
+    /// trials. Budget points where no trial has evaluated anything yet are
+    /// skipped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates summary failures.
+    pub fn online_curves(&self) -> Result<Vec<SeriesGroup>> {
+        let mut groups = Vec::new();
+        for (method, noise) in self.run_keys() {
+            let runs: Vec<&MethodRun> = self
+                .runs
+                .iter()
+                .filter(|r| r.method == method && r.noise_label == noise)
+                .collect();
+            let mut points = Vec::new();
+            for &budget in &self.budget_grid {
+                let errors: Vec<f64> = runs
+                    .iter()
+                    .filter_map(|r| r.selected_true_error_within(budget))
+                    .collect();
+                if errors.is_empty() {
+                    continue;
+                }
+                points.push(SeriesPoint::from_error_rates(
+                    budget as f64,
+                    format!("{budget} rounds"),
+                    &errors,
+                )?);
+            }
+            groups.push(SeriesGroup {
+                name: format!("{method} ({noise})"),
+                points,
+            });
+        }
+        Ok(groups)
+    }
+
+    /// Fig. 15/16 bars: the selected configuration's true error at the given
+    /// round budget, per (method, noise), summarised over trials.
+    ///
+    /// # Errors
+    ///
+    /// Propagates summary failures.
+    pub fn bars_at(&self, budget: usize) -> Result<Vec<SeriesGroup>> {
+        let mut groups = Vec::new();
+        for (method, noise) in self.run_keys() {
+            let errors: Vec<f64> = self
+                .runs
+                .iter()
+                .filter(|r| r.method == method && r.noise_label == noise)
+                .filter_map(|r| r.selected_true_error_within(budget))
+                .collect();
+            if errors.is_empty() {
+                continue;
+            }
+            groups.push(SeriesGroup {
+                name: format!("{method} ({noise})"),
+                points: vec![SeriesPoint::from_error_rates(
+                    budget as f64,
+                    format!("{budget} rounds"),
+                    &errors,
+                )?],
+            });
+        }
+        Ok(groups)
+    }
+
+    /// Renders the Fig. 8 online curves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates summary failures.
+    pub fn to_online_report(&self) -> Result<ExperimentReport> {
+        let mut report = ExperimentReport::new(
+            "fig8",
+            format!("Online performance of RS/TPE/HB/BOHB on {} (Fig. 8)", self.benchmark),
+        );
+        for group in self.online_curves()? {
+            report.push_group(group);
+        }
+        Ok(report)
+    }
+
+    /// Renders the Fig. 15 (one-third budget) or Fig. 16 (full budget) bars.
+    ///
+    /// # Errors
+    ///
+    /// Propagates summary failures.
+    pub fn to_bars_report(&self, id: &str, budget: usize) -> Result<ExperimentReport> {
+        let mut report = ExperimentReport::new(
+            id,
+            format!(
+                "Method comparison at {budget} training rounds on {} (Fig. 15/16)",
+                self.benchmark
+            ),
+        );
+        for group in self.bars_at(budget)? {
+            report.push_group(group);
+        }
+        Ok(report)
+    }
+}
+
+/// The standard pair of noise settings compared in Fig. 1/8/15/16:
+/// noiseless evaluation vs. 1% client subsampling with ε = 100 DP.
+pub fn paper_noise_settings() -> Vec<(String, NoiseConfig)> {
+    vec![
+        ("noiseless".to_string(), NoiseConfig::noiseless()),
+        ("noisy".to_string(), NoiseConfig::paper_noisy()),
+    ]
+}
+
+/// Runs the method comparison on one benchmark: every method × every noise
+/// setting × `method_trials` independent trials, with live federated training
+/// through [`FederatedObjective`].
+///
+/// # Errors
+///
+/// Propagates training and evaluation failures.
+pub fn run_method_comparison(
+    benchmark: Benchmark,
+    scale: &ExperimentScale,
+    noise_settings: &[(String, NoiseConfig)],
+    seed: u64,
+) -> Result<MethodComparison> {
+    let ctx = BenchmarkContext::new(benchmark, scale, seed)?;
+    let mut seeds = SeedStream::new(fedmath::rng::derive_seed(seed, 7));
+    let mut runs = Vec::new();
+    for method in TuningMethod::ALL {
+        let tuner = method.build(scale);
+        let planned = method.planned_evaluations(scale);
+        for (noise_label, noise) in noise_settings {
+            for trial in 0..scale.method_trials {
+                let mut objective =
+                    FederatedObjective::new(&ctx, *noise, planned, seeds.next_seed())?;
+                let mut rng = seeds.next_rng();
+                tuner.tune(ctx.space(), &mut objective, &mut rng)?;
+                runs.push(MethodRun {
+                    method: method.name().to_string(),
+                    noise_label: noise_label.clone(),
+                    trial,
+                    log: objective.into_log(),
+                });
+            }
+        }
+    }
+    let grid_steps = scale.num_configs.max(4);
+    let budget_grid: Vec<usize> = (1..=grid_steps)
+        .map(|i| i * scale.total_budget / grid_steps)
+        .collect();
+    Ok(MethodComparison {
+        benchmark: benchmark.name().to_string(),
+        runs,
+        budget_grid,
+    })
+}
+
+/// The Fig. 1 headline: method bars on CIFAR10-like at one third of the
+/// budget, noiseless vs. noisy, plus the proxy-RS reference (which is
+/// unaffected by evaluation noise).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeadlineResult {
+    /// Bars for the four tuning methods.
+    pub method_bars: Vec<SeriesGroup>,
+    /// Full-validation error (percent) of one-shot proxy RS.
+    pub proxy_rs_percent: f64,
+    /// The round budget the bars are evaluated at (one third of the total).
+    pub budget: usize,
+}
+
+impl HeadlineResult {
+    /// Renders Fig. 1.
+    pub fn to_report(&self) -> ExperimentReport {
+        let mut report = ExperimentReport::new(
+            "fig1",
+            "Headline: tuning methods under noise vs. proxy RS on CIFAR10-like (Fig. 1)",
+        );
+        for group in &self.method_bars {
+            report.push_group(group.clone());
+        }
+        report.push_group(SeriesGroup {
+            name: "RS (proxy)".into(),
+            points: vec![SeriesPoint {
+                x: self.budget as f64,
+                x_label: format!("{} rounds", self.budget),
+                summary: fedmath::stats::QuartileSummary {
+                    lower: self.proxy_rs_percent,
+                    median: self.proxy_rs_percent,
+                    upper: self.proxy_rs_percent,
+                    count: 1,
+                },
+            }],
+        });
+        report.push_note("proxy RS tunes on FEMNIST-like data and is unaffected by evaluation noise");
+        report
+    }
+}
+
+/// Runs the Fig. 1 headline experiment.
+///
+/// # Errors
+///
+/// Propagates training and evaluation failures.
+pub fn run_headline(scale: &ExperimentScale, seed: u64) -> Result<HeadlineResult> {
+    let comparison = run_method_comparison(
+        Benchmark::Cifar10Like,
+        scale,
+        &paper_noise_settings(),
+        seed,
+    )?;
+    let budget = (scale.total_budget / 3).max(scale.rounds_per_config);
+    let method_bars = comparison.bars_at(budget)?;
+
+    // One-shot proxy RS with FEMNIST-like as the proxy dataset (the best
+    // proxy for CIFAR10 in Fig. 11).
+    let proxy_ctx = BenchmarkContext::new(Benchmark::FemnistLike, scale, seed)?;
+    let client_ctx = BenchmarkContext::new(Benchmark::Cifar10Like, scale, seed)?;
+    let pipeline = fedproxy::OneShotProxy::new(scale.num_configs);
+    let outcome = pipeline.run(
+        proxy_ctx.dataset(),
+        &proxy_ctx.config_runner(),
+        client_ctx.dataset(),
+        &client_ctx.config_runner(),
+        fedmath::rng::derive_seed(seed, 8),
+    )?;
+    Ok(HeadlineResult {
+        method_bars,
+        proxy_rs_percent: outcome.client_error * 100.0,
+        budget,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuning_method_metadata() {
+        assert_eq!(TuningMethod::ALL.len(), 4);
+        assert_eq!(TuningMethod::RandomSearch.name(), "RS");
+        assert_eq!(TuningMethod::Bohb.to_string(), "BOHB");
+        let scale = ExperimentScale::smoke();
+        assert_eq!(TuningMethod::RandomSearch.planned_evaluations(&scale), scale.num_configs);
+        assert!(TuningMethod::Hyperband.planned_evaluations(&scale) > 0);
+        for m in TuningMethod::ALL {
+            let _ = m.build(&scale);
+        }
+    }
+
+    #[test]
+    fn method_comparison_smoke_run() {
+        let scale = ExperimentScale::smoke();
+        let noise_settings = paper_noise_settings();
+        let comparison =
+            run_method_comparison(Benchmark::Cifar10Like, &scale, &noise_settings, 0).unwrap();
+        assert_eq!(comparison.benchmark, "cifar10-like");
+        // 4 methods x 2 noise settings x method_trials runs.
+        assert_eq!(comparison.runs.len(), 4 * 2 * scale.method_trials);
+        assert!(!comparison.budget_grid.is_empty());
+        for run in &comparison.runs {
+            assert!(!run.log.is_empty(), "{} produced no evaluations", run.method);
+        }
+
+        let curves = comparison.online_curves().unwrap();
+        assert_eq!(curves.len(), 8);
+        let bars = comparison.bars_at(scale.total_budget).unwrap();
+        assert_eq!(bars.len(), 8);
+        for bar in &bars {
+            let median = bar.points[0].summary.median;
+            assert!((0.0..=100.0).contains(&median), "{}: median {median}", bar.name);
+        }
+        let report = comparison.to_online_report().unwrap();
+        assert!(report.to_table().contains("RS (noiseless)"));
+        let report = comparison.to_bars_report("fig16", scale.total_budget).unwrap();
+        assert!(report.to_table().contains("BOHB"));
+    }
+
+    #[test]
+    fn selected_error_respects_budget() {
+        let run = MethodRun {
+            method: "RS".into(),
+            noise_label: "noiseless".into(),
+            trial: 0,
+            log: vec![
+                ObjectiveLogEntry {
+                    trial_id: 0,
+                    resource: 5,
+                    noisy_score: 0.5,
+                    true_error: 0.5,
+                    cumulative_rounds: 5,
+                },
+                ObjectiveLogEntry {
+                    trial_id: 1,
+                    resource: 5,
+                    noisy_score: 0.2,
+                    true_error: 0.3,
+                    cumulative_rounds: 10,
+                },
+            ],
+        };
+        assert_eq!(run.selected_true_error_within(5), Some(0.5));
+        assert_eq!(run.selected_true_error_within(10), Some(0.3));
+        assert_eq!(run.selected_true_error_within(1), None);
+    }
+}

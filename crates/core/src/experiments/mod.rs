@@ -1,0 +1,200 @@
+//! One experiment runner per table/figure of the paper's evaluation.
+//!
+//! | module | paper content |
+//! |---|---|
+//! | [`table1`] | Tables 1–2: dataset statistics |
+//! | [`subsampling`] | Fig. 3 (RS vs subsample rate) and Fig. 5 (error vs budget) |
+//! | [`heterogeneity`] | Fig. 4 (data heterogeneity), Fig. 6 (systems heterogeneity), Fig. 7 (min-client-error scatter) |
+//! | [`privacy`] | Fig. 9 (privacy budget sweep) |
+//! | [`methods`] | Fig. 1, Fig. 8, Fig. 15/16 (RS vs TPE vs Hyperband vs BOHB, noiseless vs noisy) |
+//! | [`proxy`] | Fig. 10/14 (HP transfer), Fig. 11 (proxy matrix), Fig. 12 (proxy vs noisy evaluation) |
+//! | [`space_ablation`] | Fig. 13 (search-space size under noise) |
+//!
+//! Every runner takes a [`crate::ExperimentScale`] and a seed, returns a
+//! serialisable result struct, and can render an [`crate::ExperimentReport`].
+
+pub mod heterogeneity;
+pub mod methods;
+pub mod privacy;
+pub mod proxy;
+pub mod space_ablation;
+pub mod subsampling;
+pub mod table1;
+
+use crate::noise::NoiseConfig;
+use crate::pool::ConfigPool;
+use crate::Result;
+use fedmath::SeedStream;
+
+/// The subsample-rate grid used on the x-axes of Figures 3, 4, 6, and 9:
+/// client counts `1, 3, 9, 27, …` (powers of the paper's η = 3) up to the
+/// full population, expressed as fractions of the population.
+pub fn subsample_rate_grid(population: usize) -> Vec<f64> {
+    let mut counts = Vec::new();
+    let mut c = 1usize;
+    while c < population {
+        counts.push(c);
+        c *= 3;
+    }
+    counts.push(population);
+    counts
+        .into_iter()
+        .map(|c| c as f64 / population as f64)
+        .collect()
+}
+
+/// Number of objective evaluations a Hyperband/BOHB run with the given
+/// schedule performs — the DP composition length `M` for those methods.
+pub fn hyperband_planned_evaluations(max_resource: usize, eta: usize, num_brackets: usize) -> usize {
+    let hb = fedhpo::Hyperband::new(max_resource, eta, Some(num_brackets));
+    let mut evaluations = 0usize;
+    for s in (0..hb.num_brackets()).rev() {
+        let (mut n, mut r) = hb.bracket_plan(s);
+        loop {
+            evaluations += n;
+            if n < hb.eta() || r >= hb.max_resource() {
+                break;
+            }
+            n = (n / hb.eta()).max(1);
+            r = (r * hb.eta()).min(hb.max_resource());
+        }
+    }
+    evaluations
+}
+
+/// Simulates one random-search trial over a pre-trained pool: draw `k`
+/// distinct configurations, observe each through the noise model, select the
+/// lowest noisy score, and return the *true* full-validation error of the
+/// selected configuration (§3, "Evaluation").
+///
+/// # Errors
+///
+/// Propagates noisy-evaluation failures; fails if `k` exceeds the pool size.
+pub fn simulated_rs_trial(
+    pool: &ConfigPool,
+    noise: &NoiseConfig,
+    k: usize,
+    total_evaluations: usize,
+    rng: &mut rand::rngs::StdRng,
+) -> Result<f64> {
+    let subset = fedmath::rng::sample_without_replacement(rng, pool.len(), k.min(pool.len()))?;
+    let mut best_noisy = f64::INFINITY;
+    let mut best_true = f64::NAN;
+    for idx in subset {
+        let entry = &pool.entries()[idx];
+        let noisy = crate::noise::noisy_error(&entry.evaluation, noise, total_evaluations, rng)?;
+        if noisy < best_noisy {
+            best_noisy = noisy;
+            best_true = entry.full_error;
+        }
+    }
+    Ok(best_true)
+}
+
+/// Runs [`simulated_rs_trial`] `trials` times with independent randomness and
+/// returns the selected true errors.
+///
+/// # Errors
+///
+/// Propagates trial failures.
+pub fn simulated_rs_trials(
+    pool: &ConfigPool,
+    noise: &NoiseConfig,
+    k: usize,
+    total_evaluations: usize,
+    trials: usize,
+    seed: u64,
+) -> Result<Vec<f64>> {
+    let mut seeds = SeedStream::new(seed);
+    (0..trials)
+        .map(|_| {
+            let mut rng = seeds.next_rng();
+            simulated_rs_trial(pool, noise, k, total_evaluations, &mut rng)
+        })
+        .collect()
+}
+
+/// Simulates the *online* trajectory of one random-search trial: the true
+/// error of the incumbent after each configuration finishes training
+/// (`rounds_per_config` budget units per configuration). Returns a vector of
+/// length `k`: entry `j` is the incumbent's true error after `j + 1`
+/// configurations.
+///
+/// # Errors
+///
+/// Propagates noisy-evaluation failures.
+pub fn simulated_rs_trajectory(
+    pool: &ConfigPool,
+    noise: &NoiseConfig,
+    k: usize,
+    total_evaluations: usize,
+    rng: &mut rand::rngs::StdRng,
+) -> Result<Vec<f64>> {
+    let subset = fedmath::rng::sample_without_replacement(rng, pool.len(), k.min(pool.len()))?;
+    let mut best_noisy = f64::INFINITY;
+    let mut best_true = f64::NAN;
+    let mut trajectory = Vec::with_capacity(subset.len());
+    for idx in subset {
+        let entry = &pool.entries()[idx];
+        let noisy = crate::noise::noisy_error(&entry.evaluation, noise, total_evaluations, rng)?;
+        if noisy < best_noisy {
+            best_noisy = noisy;
+            best_true = entry.full_error;
+        }
+        trajectory.push(best_true);
+    }
+    Ok(trajectory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::BenchmarkContext;
+    use crate::scale::ExperimentScale;
+    use feddata::Benchmark;
+    use fedmath::rng::rng_for;
+
+    #[test]
+    fn rate_grid_covers_one_client_to_everyone() {
+        let grid = subsample_rate_grid(100);
+        assert!((grid[0] - 0.01).abs() < 1e-12);
+        assert_eq!(*grid.last().unwrap(), 1.0);
+        assert!(grid.windows(2).all(|w| w[0] < w[1]));
+        // 1, 3, 9, 27, 81, 100 -> six points.
+        assert_eq!(grid.len(), 6);
+        let tiny = subsample_rate_grid(2);
+        assert_eq!(tiny, vec![0.5, 1.0]);
+    }
+
+    #[test]
+    fn hyperband_evaluation_count_matches_manual_count() {
+        // R = 9, eta = 3, 3 brackets:
+        // s=2: n=9,r=1 -> 9 + 3 + 1 evaluations
+        // s=1: n=5,r=3 -> 5 + 1
+        // s=0: n=3,r=9 -> 3
+        assert_eq!(hyperband_planned_evaluations(9, 3, 3), 9 + 3 + 1 + 5 + 1 + 3);
+    }
+
+    #[test]
+    fn simulated_rs_behaviour() {
+        let ctx = BenchmarkContext::new(Benchmark::Cifar10Like, &ExperimentScale::smoke(), 0).unwrap();
+        let pool = ConfigPool::train(&ctx, 1).unwrap();
+        // Noiseless selection over the whole pool always returns the best error.
+        let mut rng = rng_for(0, 0);
+        let chosen =
+            simulated_rs_trial(&pool, &NoiseConfig::noiseless(), pool.len(), 16, &mut rng).unwrap();
+        assert_eq!(chosen, pool.best_full_error().unwrap());
+
+        let errors =
+            simulated_rs_trials(&pool, &NoiseConfig::subsampled(0.2), 4, 16, 10, 3).unwrap();
+        assert_eq!(errors.len(), 10);
+        assert!(errors.iter().all(|e| (0.0..=1.0).contains(e)));
+
+        let mut rng = rng_for(1, 0);
+        let trajectory =
+            simulated_rs_trajectory(&pool, &NoiseConfig::noiseless(), 5, 16, &mut rng).unwrap();
+        assert_eq!(trajectory.len(), 5);
+        // The noiseless incumbent error never increases.
+        assert!(trajectory.windows(2).all(|w| w[1] <= w[0] + 1e-12));
+    }
+}

@@ -1,0 +1,143 @@
+//! Fig. 9: the effect of the differential-privacy budget ε on random search,
+//! across evaluation-client subsampling rates.
+
+use crate::context::BenchmarkContext;
+use crate::experiments::{simulated_rs_trials, subsample_rate_grid};
+use crate::noise::NoiseConfig;
+use crate::pool::ConfigPool;
+use crate::report::{rate_label, ExperimentReport, SeriesGroup, SeriesPoint};
+use crate::scale::ExperimentScale;
+use crate::Result;
+use feddata::Benchmark;
+use feddp::PrivacyBudget;
+use fedmath::SeedStream;
+use serde::{Deserialize, Serialize};
+
+/// The ε grid of Fig. 9.
+pub const PRIVACY_GRID: [PrivacyBudget; 5] = [
+    PrivacyBudget::Finite(0.1),
+    PrivacyBudget::Finite(1.0),
+    PrivacyBudget::Finite(10.0),
+    PrivacyBudget::Finite(100.0),
+    PrivacyBudget::Infinite,
+];
+
+/// Fig. 9 for one benchmark: one subsampling sweep per privacy budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrivacySweep {
+    /// Benchmark the sweep was run on.
+    pub benchmark: String,
+    /// One series per ε (labelled `"eps=<value>"` or `"eps=inf"`).
+    pub series: Vec<SeriesGroup>,
+}
+
+/// Runs Fig. 9: random search where every evaluation is an ε-DP release of
+/// the subsampled validation accuracy (uniform weighting, Laplace noise of
+/// scale `M / (ε |S|)` with `M = K` evaluations per tuning run).
+///
+/// # Errors
+///
+/// Propagates pool-training and noisy-evaluation failures.
+pub fn run_privacy_sweep(
+    benchmark: Benchmark,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Result<PrivacySweep> {
+    let ctx = BenchmarkContext::new(benchmark, scale, seed)?;
+    let mut seeds = SeedStream::new(fedmath::rng::derive_seed(seed, 6));
+    let pool = ConfigPool::train(&ctx, seeds.next_seed())?;
+    privacy_sweep_from_pool(&ctx, &pool, scale, seeds.next_seed())
+}
+
+/// The Fig. 9 sweep given an already-trained pool.
+///
+/// # Errors
+///
+/// Propagates noisy-evaluation failures.
+pub fn privacy_sweep_from_pool(
+    ctx: &BenchmarkContext,
+    pool: &ConfigPool,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Result<PrivacySweep> {
+    let population = ctx.dataset().num_val_clients();
+    let mut seeds = SeedStream::new(seed);
+    let mut series = Vec::new();
+    for budget in PRIVACY_GRID {
+        let mut points = Vec::new();
+        for rate in subsample_rate_grid(population) {
+            let noise = NoiseConfig::subsampled(rate).with_privacy(budget);
+            let errors = simulated_rs_trials(
+                pool,
+                &noise,
+                scale.num_configs,
+                scale.num_configs,
+                scale.bootstrap_trials,
+                seeds.next_seed(),
+            )?;
+            points.push(SeriesPoint::from_error_rates(
+                rate,
+                rate_label(rate, population),
+                &errors,
+            )?);
+        }
+        series.push(SeriesGroup {
+            name: format!("eps={}", budget.label()),
+            points,
+        });
+    }
+    Ok(PrivacySweep {
+        benchmark: ctx.benchmark().name().to_string(),
+        series,
+    })
+}
+
+/// Renders Fig. 9 sweeps as a report.
+pub fn privacy_report(sweeps: &[PrivacySweep]) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig9",
+        "Differential privacy: RS under Laplace-perturbed evaluation (Fig. 9)",
+    );
+    for sweep in sweeps {
+        for group in &sweep.series {
+            report.push_group(SeriesGroup {
+                name: format!("{} {}", sweep.benchmark, group.name),
+                points: group.points.clone(),
+            });
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn privacy_sweep_shape_and_ordering() {
+        let scale = ExperimentScale::smoke();
+        let sweep = run_privacy_sweep(Benchmark::Cifar10Like, &scale, 0).unwrap();
+        assert_eq!(sweep.series.len(), 5);
+        assert_eq!(sweep.series[0].name, "eps=0.1");
+        assert_eq!(sweep.series[4].name, "eps=inf");
+        let grid_len = subsample_rate_grid(10).len();
+        for s in &sweep.series {
+            assert_eq!(s.points.len(), grid_len);
+        }
+        // Strict privacy with a single client should be no better than
+        // non-private evaluation with a single client (medians compared).
+        let strict_single = sweep.series[0].points[0].summary.median;
+        let nonprivate_single = sweep.series[4].points[0].summary.median;
+        assert!(strict_single + 1e-9 >= nonprivate_single - 20.0);
+        // At ε = 0.1 with one client, selection should be close to random:
+        // its median error is far above the non-private full-evaluation one.
+        let strict = sweep.series[0].points[0].summary.median;
+        let nonprivate_full = sweep.series[4].points.last().unwrap().summary.median;
+        assert!(
+            strict >= nonprivate_full - 1e-9,
+            "strict DP ({strict}) should not beat non-private full evaluation ({nonprivate_full})"
+        );
+        let report = privacy_report(&[sweep]);
+        assert!(report.to_table().contains("eps=inf"));
+    }
+}

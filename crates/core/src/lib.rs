@@ -1,0 +1,156 @@
+//! Noise-aware federated hyperparameter tuning — the primary contribution of
+//! *"On Noisy Evaluation in Federated Hyperparameter Tuning"* (MLSys 2023) as
+//! a reusable library, plus one experiment runner per table/figure of the
+//! paper's evaluation.
+//!
+//! # Layout
+//!
+//! - [`scale`] — experiment scale presets (paper-scale, CPU default, smoke).
+//! - [`context`] — a benchmark dataset bundled with its search space and
+//!   model architecture.
+//! - [`noise`] — the [`NoiseConfig`] describing every evaluation-noise source
+//!   studied in the paper (client subsampling, systems-heterogeneity bias,
+//!   differential privacy, weighting scheme) and the noisy-evaluation kernel.
+//! - [`pool`] — the pre-trained configuration pool used by the paper's
+//!   RS-only analyses (train 128 configurations once, then simulate many
+//!   noisy tuning runs cheaply).
+//! - [`objective`] — a live [`fedhpo::Objective`] that trains configurations
+//!   on demand with noisy evaluation, used by the RS/TPE/Hyperband/BOHB
+//!   comparisons.
+//! - [`experiments`] — one runner per paper table/figure; see `DESIGN.md` for
+//!   the experiment index.
+//!
+//! # Example
+//!
+//! ```
+//! use fedtune_core::{BenchmarkContext, ExperimentScale, NoiseConfig};
+//! use feddata::Benchmark;
+//!
+//! let scale = ExperimentScale::smoke();
+//! let ctx = BenchmarkContext::new(Benchmark::Cifar10Like, &scale, 0).unwrap();
+//! assert_eq!(ctx.dataset().num_val_clients(), 10);
+//! let noise = NoiseConfig::paper_noisy();
+//! assert!(noise.validate().is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod context;
+pub mod experiments;
+pub mod noise;
+pub mod objective;
+pub mod pool;
+pub mod report;
+pub mod scale;
+
+pub use context::BenchmarkContext;
+pub use noise::{noisy_error, NoiseConfig};
+pub use objective::{FederatedObjective, ObjectiveLogEntry};
+pub use pool::{ConfigPool, PooledConfig};
+pub use report::{ExperimentReport, SeriesGroup, SeriesPoint};
+pub use scale::ExperimentScale;
+
+use std::fmt;
+
+/// Errors produced by the experiment layer.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An experiment or noise configuration was invalid.
+    InvalidConfig {
+        /// Description of the violation.
+        message: String,
+    },
+    /// An underlying dataset operation failed.
+    Data(feddata::DataError),
+    /// An underlying simulation operation failed.
+    Sim(fedsim::SimError),
+    /// An underlying model operation failed.
+    Model(fedmodels::ModelError),
+    /// An underlying HPO operation failed.
+    Hpo(fedhpo::HpoError),
+    /// An underlying privacy mechanism failed.
+    Dp(feddp::DpError),
+    /// An underlying proxy-tuning operation failed.
+    Proxy(fedproxy::ProxyError),
+    /// An underlying numerical routine failed.
+    Math(fedmath::MathError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+            CoreError::Data(e) => write!(f, "data error: {e}"),
+            CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::Hpo(e) => write!(f, "hpo error: {e}"),
+            CoreError::Dp(e) => write!(f, "privacy error: {e}"),
+            CoreError::Proxy(e) => write!(f, "proxy error: {e}"),
+            CoreError::Math(e) => write!(f, "math error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::InvalidConfig { .. } => None,
+            CoreError::Data(e) => Some(e),
+            CoreError::Sim(e) => Some(e),
+            CoreError::Model(e) => Some(e),
+            CoreError::Hpo(e) => Some(e),
+            CoreError::Dp(e) => Some(e),
+            CoreError::Proxy(e) => Some(e),
+            CoreError::Math(e) => Some(e),
+        }
+    }
+}
+
+macro_rules! impl_from_error {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for CoreError {
+            fn from(e: $ty) -> Self {
+                CoreError::$variant(e)
+            }
+        }
+    };
+}
+
+impl_from_error!(Data, feddata::DataError);
+impl_from_error!(Sim, fedsim::SimError);
+impl_from_error!(Model, fedmodels::ModelError);
+impl_from_error!(Hpo, fedhpo::HpoError);
+impl_from_error!(Dp, feddp::DpError);
+impl_from_error!(Proxy, fedproxy::ProxyError);
+impl_from_error!(Math, fedmath::MathError);
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn error_conversions_and_display() {
+        let e = CoreError::InvalidConfig { message: "bad rate".into() };
+        assert!(e.to_string().contains("bad rate"));
+        assert!(e.source().is_none());
+        let cases: Vec<CoreError> = vec![
+            feddata::DataError::InvalidSpec { message: "x".into() }.into(),
+            fedsim::SimError::InvalidConfig { message: "x".into() }.into(),
+            fedmodels::ModelError::EmptyBatch.into(),
+            fedhpo::HpoError::InvalidConfig { message: "x".into() }.into(),
+            feddp::DpError::InvalidParameter { message: "x".into() }.into(),
+            fedproxy::ProxyError::InvalidConfig { message: "x".into() }.into(),
+            fedmath::MathError::EmptyInput { what: "x" }.into(),
+        ];
+        for e in cases {
+            assert!(!e.to_string().is_empty());
+            assert!(e.source().is_some());
+        }
+    }
+}

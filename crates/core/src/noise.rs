@@ -1,0 +1,335 @@
+//! The noisy-evaluation kernel: every evaluation-noise source studied in the
+//! paper, applied to a federated evaluation.
+
+use crate::{CoreError, Result};
+use feddp::laplace::{LaplaceMechanism, PrivacyBudget};
+use fedsim::evaluation::FederatedEvaluation;
+use fedsim::sampling::clients_for_rate;
+use fedsim::WeightingScheme;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// The evaluation-noise configuration of one experiment cell.
+///
+/// - `subsample_rate`: the fraction of validation clients whose error is
+///   observed (§3.1). `1.0` is full evaluation.
+/// - `systems_bias`: the exponent `b` of the accuracy-biased client sampling
+///   `(a + δ)^b` modelling systems heterogeneity (§3.2). `0.0` is unbiased.
+/// - `privacy`: the ε budget of the Laplace mechanism protecting each
+///   evaluation (§3.3); [`PrivacyBudget::Infinite`] disables DP noise.
+/// - `weighting`: how per-client errors are aggregated. Following the paper,
+///   DP experiments must use uniform weighting so the query sensitivity does
+///   not depend on client dataset sizes.
+///
+/// Data heterogeneity (the iid fraction `p`) is a property of the validation
+/// *pool*, not of a single evaluation, and is therefore applied by
+/// repartitioning the dataset (see
+/// [`feddata::repartition_iid_fraction`]) rather than configured here.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseConfig {
+    /// Fraction of validation clients sampled per evaluation, in `(0, 1]`.
+    pub subsample_rate: f64,
+    /// Systems-heterogeneity bias exponent `b` (0 = unbiased sampling).
+    pub systems_bias: f64,
+    /// Differential-privacy budget for the whole tuning run.
+    pub privacy: PrivacyBudget,
+    /// Aggregation weighting for per-client errors.
+    pub weighting: WeightingScheme,
+}
+
+impl NoiseConfig {
+    /// Noise-free evaluation: all clients, unbiased, non-private,
+    /// example-weighted (the paper's default objective).
+    pub fn noiseless() -> Self {
+        NoiseConfig {
+            subsample_rate: 1.0,
+            systems_bias: 0.0,
+            privacy: PrivacyBudget::Infinite,
+            weighting: WeightingScheme::ByExamples,
+        }
+    }
+
+    /// Pure client subsampling at the given rate, no other noise.
+    pub fn subsampled(rate: f64) -> Self {
+        NoiseConfig {
+            subsample_rate: rate,
+            ..NoiseConfig::noiseless()
+        }
+    }
+
+    /// The paper's "noisy" headline setting (Fig. 1, 8, 15, 16):
+    /// 1% of clients per evaluation and ε = 100 differential privacy
+    /// (which forces uniform weighting).
+    pub fn paper_noisy() -> Self {
+        NoiseConfig {
+            subsample_rate: 0.01,
+            systems_bias: 0.0,
+            privacy: PrivacyBudget::Finite(100.0),
+            weighting: WeightingScheme::Uniform,
+        }
+    }
+
+    /// Adds a differential-privacy budget (and switches to uniform weighting,
+    /// as required for bounded sensitivity).
+    pub fn with_privacy(mut self, privacy: PrivacyBudget) -> Self {
+        self.privacy = privacy;
+        if !privacy.is_infinite() {
+            self.weighting = WeightingScheme::Uniform;
+        }
+        self
+    }
+
+    /// Adds systems-heterogeneity bias.
+    pub fn with_systems_bias(mut self, bias: f64) -> Self {
+        self.systems_bias = bias;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] if the subsample rate is outside
+    /// `(0, 1]`, the bias is negative, a finite ε is not positive, or a
+    /// finite ε is combined with example weighting.
+    pub fn validate(&self) -> Result<()> {
+        if !(self.subsample_rate > 0.0 && self.subsample_rate <= 1.0) {
+            return Err(CoreError::InvalidConfig {
+                message: format!("subsample rate must be in (0, 1], got {}", self.subsample_rate),
+            });
+        }
+        if self.systems_bias < 0.0 || !self.systems_bias.is_finite() {
+            return Err(CoreError::InvalidConfig {
+                message: format!("systems bias must be non-negative, got {}", self.systems_bias),
+            });
+        }
+        self.privacy.validate()?;
+        if !self.privacy.is_infinite() && self.weighting == WeightingScheme::ByExamples {
+            return Err(CoreError::InvalidConfig {
+                message: "differential privacy requires uniform evaluation weighting".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Short label for reports (e.g. `"1% clients, eps=100"`).
+    pub fn label(&self) -> String {
+        let mut parts = vec![format!("{:.4}% clients", self.subsample_rate * 100.0)];
+        if self.systems_bias > 0.0 {
+            parts.push(format!("bias b={}", self.systems_bias));
+        }
+        if let Some(eps) = self.privacy.epsilon() {
+            parts.push(format!("eps={eps}"));
+        }
+        parts.join(", ")
+    }
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        NoiseConfig::noiseless()
+    }
+}
+
+/// Applies every configured noise source to a *full* federated evaluation and
+/// returns the noisy error estimate the tuner observes.
+///
+/// The full evaluation carries one entry per validation client; this function
+/// (1) subsamples clients uniformly or with accuracy bias, (2) aggregates the
+/// sampled errors with the configured weighting, and (3) perturbs the
+/// corresponding accuracy with Laplace noise of scale
+/// `M / (ε · |S|)` where `M = total_evaluations` (§3.3). The returned value
+/// is an error rate and may leave `[0, 1]` when DP noise is large — exactly
+/// like the paper's perturbed accuracies.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidConfig`] for invalid noise settings and
+/// propagates sampling/aggregation failures.
+pub fn noisy_error(
+    full_evaluation: &FederatedEvaluation,
+    noise: &NoiseConfig,
+    total_evaluations: usize,
+    rng: &mut StdRng,
+) -> Result<f64> {
+    noise.validate()?;
+    let population = full_evaluation.num_clients();
+    let sample_size = clients_for_rate(population, noise.subsample_rate)?;
+
+    // 1. Select which clients report their error.
+    let selected: Vec<usize> = if sample_size == population {
+        (0..population).collect()
+    } else if noise.systems_bias > 0.0 {
+        let accuracies = full_evaluation.client_accuracies();
+        let sampler = fedsim::BiasedSampler::new(noise.systems_bias)?;
+        let weights = sampler.weights(&accuracies);
+        fedmath::rng::weighted_sample_without_replacement(rng, &weights, sample_size)?
+    } else {
+        fedmath::rng::sample_without_replacement(rng, population, sample_size)?
+    };
+
+    // 2. Aggregate the sampled per-client errors.
+    let per_client = full_evaluation.per_client();
+    let mut errors = Vec::with_capacity(selected.len());
+    let mut weights = Vec::with_capacity(selected.len());
+    for &idx in &selected {
+        let c = &per_client[idx];
+        errors.push(c.error_rate);
+        weights.push(noise.weighting.weight(c.num_examples));
+    }
+    let error = fedmath::stats::weighted_mean(&errors, &weights)?;
+
+    // 3. Perturb the accuracy with Laplace noise calibrated to the sample size.
+    let scale = feddp::evaluation_noise_scale(noise.privacy, total_evaluations, sample_size)?;
+    let mechanism = LaplaceMechanism::new(scale)?;
+    let noisy_accuracy = mechanism.privatize(1.0 - error, rng);
+    Ok(1.0 - noisy_accuracy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedmath::rng::rng_for;
+    use fedsim::evaluation::ClientEvaluation;
+
+    fn evaluation(errors: &[f64], sizes: &[usize]) -> FederatedEvaluation {
+        let per_client: Vec<ClientEvaluation> = errors
+            .iter()
+            .zip(sizes.iter())
+            .enumerate()
+            .map(|(i, (&e, &n))| ClientEvaluation {
+                client_index: i,
+                error_rate: e,
+                loss: e,
+                num_examples: n,
+            })
+            .collect();
+        FederatedEvaluation::new(per_client, WeightingScheme::ByExamples).unwrap()
+    }
+
+    #[test]
+    fn config_presets_and_validation() {
+        assert!(NoiseConfig::noiseless().validate().is_ok());
+        assert!(NoiseConfig::paper_noisy().validate().is_ok());
+        assert!(NoiseConfig::subsampled(0.01).validate().is_ok());
+        assert!(NoiseConfig::subsampled(0.0).validate().is_err());
+        assert!(NoiseConfig::subsampled(1.5).validate().is_err());
+        let bad_bias = NoiseConfig::noiseless().with_systems_bias(-1.0);
+        assert!(bad_bias.validate().is_err());
+        // Finite privacy with example weighting is inconsistent.
+        let inconsistent = NoiseConfig {
+            privacy: PrivacyBudget::Finite(1.0),
+            weighting: WeightingScheme::ByExamples,
+            ..NoiseConfig::noiseless()
+        };
+        assert!(inconsistent.validate().is_err());
+        // with_privacy fixes the weighting automatically.
+        let fixed = NoiseConfig::noiseless().with_privacy(PrivacyBudget::Finite(1.0));
+        assert!(fixed.validate().is_ok());
+        assert_eq!(fixed.weighting, WeightingScheme::Uniform);
+        assert!(NoiseConfig::default().validate().is_ok());
+        assert!(NoiseConfig::paper_noisy().label().contains("eps=100"));
+        assert!(NoiseConfig::noiseless().with_systems_bias(3.0).label().contains("b=3"));
+    }
+
+    #[test]
+    fn noiseless_full_evaluation_recovers_weighted_error() {
+        let eval = evaluation(&[0.2, 0.4], &[10, 30]);
+        let mut rng = rng_for(0, 0);
+        let noisy = noisy_error(&eval, &NoiseConfig::noiseless(), 16, &mut rng).unwrap();
+        assert!((noisy - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_weighting_changes_the_aggregate() {
+        let eval = evaluation(&[0.2, 0.4], &[10, 30]);
+        let mut rng = rng_for(0, 1);
+        let noise = NoiseConfig {
+            weighting: WeightingScheme::Uniform,
+            ..NoiseConfig::noiseless()
+        };
+        let noisy = noisy_error(&eval, &noise, 16, &mut rng).unwrap();
+        assert!((noisy - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subsampling_introduces_variance() {
+        let errors: Vec<f64> = (0..100).map(|i| i as f64 / 100.0).collect();
+        let sizes = vec![10usize; 100];
+        let eval = evaluation(&errors, &sizes);
+        let noise = NoiseConfig::subsampled(0.01);
+        let mut estimates = Vec::new();
+        for i in 0..200 {
+            let mut rng = rng_for(7, i);
+            estimates.push(noisy_error(&eval, &noise, 16, &mut rng).unwrap());
+        }
+        let spread = fedmath::stats::std_dev(&estimates);
+        assert!(spread > 0.1, "single-client estimates should vary a lot, got {spread}");
+        let mean = fedmath::stats::mean(&estimates);
+        assert!((mean - 0.495).abs() < 0.08, "estimates should be unbiased, mean {mean}");
+    }
+
+    #[test]
+    fn systems_bias_underestimates_error() {
+        // Biased sampling towards accurate clients makes the model look
+        // better than it is (overly optimistic evaluation, §3.2).
+        let errors: Vec<f64> = (0..50).map(|i| i as f64 / 50.0).collect();
+        let sizes = vec![10usize; 50];
+        let eval = evaluation(&errors, &sizes);
+        let unbiased = NoiseConfig::subsampled(0.1);
+        let biased = NoiseConfig::subsampled(0.1).with_systems_bias(3.0);
+        let mut unbiased_scores = Vec::new();
+        let mut biased_scores = Vec::new();
+        for i in 0..200 {
+            let mut rng = rng_for(8, i);
+            unbiased_scores.push(noisy_error(&eval, &unbiased, 16, &mut rng).unwrap());
+            let mut rng = rng_for(9, i);
+            biased_scores.push(noisy_error(&eval, &biased, 16, &mut rng).unwrap());
+        }
+        let mean_unbiased = fedmath::stats::mean(&unbiased_scores);
+        let mean_biased = fedmath::stats::mean(&biased_scores);
+        assert!(
+            mean_biased < mean_unbiased - 0.1,
+            "biased sampling should be optimistic: unbiased {mean_unbiased}, biased {mean_biased}"
+        );
+    }
+
+    #[test]
+    fn privacy_noise_scales_with_sample_size() {
+        let errors = vec![0.5; 100];
+        let sizes = vec![1usize; 100];
+        let eval = evaluation(&errors, &sizes);
+        // With all clients error is exactly 0.5; any deviation is DP noise.
+        let spread_for = |rate: f64| {
+            let noise = NoiseConfig::subsampled(rate).with_privacy(PrivacyBudget::Finite(1.0));
+            let mut deviations = Vec::new();
+            for i in 0..300 {
+                let mut rng = rng_for(10, i);
+                let e = noisy_error(&eval, &noise, 16, &mut rng).unwrap();
+                deviations.push((e - 0.5).abs());
+            }
+            fedmath::stats::mean(&deviations)
+        };
+        let few_clients = spread_for(0.01);
+        let many_clients = spread_for(1.0);
+        assert!(
+            few_clients > 10.0 * many_clients,
+            "DP noise with 1 client ({few_clients}) should dwarf noise with 100 clients ({many_clients})"
+        );
+    }
+
+    #[test]
+    fn noisy_error_can_leave_unit_interval_under_heavy_dp() {
+        let eval = evaluation(&[0.5, 0.5], &[1, 1]);
+        let noise = NoiseConfig::subsampled(0.5).with_privacy(PrivacyBudget::Finite(0.1));
+        let mut seen_outside = false;
+        for i in 0..100 {
+            let mut rng = rng_for(11, i);
+            let e = noisy_error(&eval, &noise, 16, &mut rng).unwrap();
+            if !(0.0..=1.0).contains(&e) {
+                seen_outside = true;
+            }
+        }
+        assert!(seen_outside, "heavy DP noise should push some estimates outside [0, 1]");
+    }
+}

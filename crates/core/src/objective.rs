@@ -1,0 +1,284 @@
+//! A live federated tuning objective with noisy evaluation.
+//!
+//! [`FederatedObjective`] is what connects the HPO methods of `fedhpo` to the
+//! federated simulator: every `evaluate(trial, config, resource)` call trains
+//! (or resumes) the configuration's federated training run up to `resource`
+//! rounds, evaluates the current global model on the validation pool, applies
+//! the configured evaluation noise, and returns the noisy error the tuner
+//! acts on. The true full-validation error of every evaluation is logged so
+//! experiments can report what the tuner's choices actually cost.
+
+use crate::context::BenchmarkContext;
+use crate::noise::{noisy_error, NoiseConfig};
+use crate::Result;
+use feddata::Split;
+use fedhpo::{HpConfig, HpoError, Objective};
+use fedmath::SeedStream;
+use fedproxy::hyperparams_from_config;
+use fedsim::evaluation::evaluate_full;
+use fedsim::{FederatedTrainer, TrainerConfig, TrainingRun, WeightingScheme};
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One logged evaluation of the objective.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObjectiveLogEntry {
+    /// Trial (configuration) identifier assigned by the tuner.
+    pub trial_id: usize,
+    /// Cumulative rounds this configuration had been trained for.
+    pub resource: usize,
+    /// The noisy score returned to the tuner.
+    pub noisy_score: f64,
+    /// The true full-validation error of the model at this point.
+    pub true_error: f64,
+    /// Total training rounds consumed across all trials after this call.
+    pub cumulative_rounds: usize,
+}
+
+/// A noisy federated HPO objective over one benchmark context.
+pub struct FederatedObjective<'a> {
+    ctx: &'a BenchmarkContext,
+    noise: NoiseConfig,
+    total_evaluations: usize,
+    runs: HashMap<usize, TrainingRun>,
+    log: Vec<ObjectiveLogEntry>,
+    cumulative_rounds: usize,
+    seeds: SeedStream,
+    eval_rng: StdRng,
+}
+
+impl<'a> FederatedObjective<'a> {
+    /// Creates an objective.
+    ///
+    /// `total_evaluations` is the number of evaluations the tuner is expected
+    /// to perform; it sets the DP composition length `M` in the Laplace scale
+    /// `M / (ε |S|)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the noise configuration is invalid or
+    /// `total_evaluations` is zero.
+    pub fn new(
+        ctx: &'a BenchmarkContext,
+        noise: NoiseConfig,
+        total_evaluations: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        noise.validate()?;
+        if total_evaluations == 0 {
+            return Err(crate::CoreError::InvalidConfig {
+                message: "total_evaluations must be positive".into(),
+            });
+        }
+        let mut seeds = SeedStream::new(seed);
+        let eval_rng = seeds.next_rng();
+        Ok(FederatedObjective {
+            ctx,
+            noise,
+            total_evaluations,
+            runs: HashMap::new(),
+            log: Vec::new(),
+            cumulative_rounds: 0,
+            seeds,
+            eval_rng,
+        })
+    }
+
+    /// The evaluations logged so far, in call order.
+    pub fn log(&self) -> &[ObjectiveLogEntry] {
+        &self.log
+    }
+
+    /// Total training rounds consumed so far.
+    pub fn cumulative_rounds(&self) -> usize {
+        self.cumulative_rounds
+    }
+
+    /// Consumes the objective and returns its log.
+    pub fn into_log(self) -> Vec<ObjectiveLogEntry> {
+        self.log
+    }
+
+    /// The true error of the configuration the tuner would select within the
+    /// given round budget: among logged evaluations with
+    /// `cumulative_rounds <= budget`, find the lowest noisy score and report
+    /// that evaluation's true error. Returns `None` if nothing was evaluated
+    /// within the budget.
+    pub fn selected_true_error_within(&self, budget: usize) -> Option<f64> {
+        self.log
+            .iter()
+            .filter(|e| e.cumulative_rounds <= budget)
+            .min_by(|a, b| {
+                a.noisy_score
+                    .partial_cmp(&b.noisy_score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|e| e.true_error)
+    }
+
+    fn weighting(&self) -> WeightingScheme {
+        self.noise.weighting
+    }
+}
+
+impl Objective for FederatedObjective<'_> {
+    fn evaluate(
+        &mut self,
+        trial_id: usize,
+        config: &HpConfig,
+        resource: usize,
+    ) -> fedhpo::Result<f64> {
+        let to_objective_error = |e: String| HpoError::Objective { message: e };
+
+        // Create or resume the trial's training run.
+        if !self.runs.contains_key(&trial_id) {
+            let hyperparams = hyperparams_from_config(self.ctx.space(), config)
+                .map_err(|e| to_objective_error(e.to_string()))?;
+            let trainer_config = TrainerConfig {
+                clients_per_round: self.ctx.scale().clients_per_round,
+                hyperparams,
+                weighting: self.weighting(),
+            };
+            let trainer = FederatedTrainer::new(trainer_config)
+                .map_err(|e| to_objective_error(e.to_string()))?;
+            let run = trainer
+                .start(self.ctx.dataset(), self.ctx.model_spec(), self.seeds.next_seed())
+                .map_err(|e| to_objective_error(e.to_string()))?;
+            self.runs.insert(trial_id, run);
+        }
+        let weighting = self.weighting();
+        let run = self.runs.get_mut(&trial_id).expect("inserted above");
+        let already = run.rounds_completed();
+        if resource > already {
+            run.run_rounds(self.ctx.dataset(), resource - already)
+                .map_err(|e| to_objective_error(e.to_string()))?;
+            self.cumulative_rounds += resource - already;
+        }
+
+        // Evaluate the current global model on the full validation pool, then
+        // apply the configured evaluation noise.
+        let full_eval = evaluate_full(
+            run.model(),
+            self.ctx.dataset(),
+            Split::Validation,
+            weighting,
+        )
+        .map_err(|e| to_objective_error(e.to_string()))?;
+        let true_error = full_eval
+            .weighted_error()
+            .map_err(|e| to_objective_error(e.to_string()))?;
+        let noisy_score = noisy_error(
+            &full_eval,
+            &self.noise,
+            self.total_evaluations,
+            &mut self.eval_rng,
+        )
+        .map_err(|e| to_objective_error(e.to_string()))?;
+
+        self.log.push(ObjectiveLogEntry {
+            trial_id,
+            resource: run.rounds_completed(),
+            noisy_score,
+            true_error,
+            cumulative_rounds: self.cumulative_rounds,
+        });
+        Ok(noisy_score)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::ExperimentScale;
+    use feddata::Benchmark;
+    use feddp::PrivacyBudget;
+    use fedhpo::{RandomSearch, SearchSpace, Tuner};
+    use fedmath::rng::rng_for;
+
+    fn ctx() -> BenchmarkContext {
+        BenchmarkContext::new(Benchmark::Cifar10Like, &ExperimentScale::smoke(), 0).unwrap()
+    }
+
+    #[test]
+    fn objective_validation() {
+        let ctx = ctx();
+        assert!(FederatedObjective::new(&ctx, NoiseConfig::noiseless(), 0, 0).is_err());
+        assert!(FederatedObjective::new(&ctx, NoiseConfig::subsampled(2.0), 16, 0).is_err());
+        let obj = FederatedObjective::new(&ctx, NoiseConfig::noiseless(), 16, 0).unwrap();
+        assert_eq!(obj.cumulative_rounds(), 0);
+        assert!(obj.log().is_empty());
+        assert!(obj.selected_true_error_within(100).is_none());
+    }
+
+    #[test]
+    fn evaluation_trains_and_logs() {
+        let ctx = ctx();
+        let mut objective = FederatedObjective::new(&ctx, NoiseConfig::noiseless(), 4, 1).unwrap();
+        let mut rng = rng_for(0, 0);
+        let config = ctx.space().sample(&mut rng).unwrap();
+        let score = objective.evaluate(0, &config, 3).unwrap();
+        assert!(score.is_finite());
+        assert_eq!(objective.cumulative_rounds(), 3);
+        assert_eq!(objective.log().len(), 1);
+        let entry = &objective.log()[0];
+        assert_eq!(entry.trial_id, 0);
+        assert_eq!(entry.resource, 3);
+        assert_eq!(entry.cumulative_rounds, 3);
+        // Noiseless: the noisy score equals the true error.
+        assert!((entry.noisy_score - entry.true_error).abs() < 1e-12);
+
+        // Resuming the same trial only pays the incremental rounds.
+        let _ = objective.evaluate(0, &config, 5).unwrap();
+        assert_eq!(objective.cumulative_rounds(), 5);
+        assert_eq!(objective.log()[1].resource, 5);
+        // Re-evaluating at the same resource costs nothing extra.
+        let _ = objective.evaluate(0, &config, 5).unwrap();
+        assert_eq!(objective.cumulative_rounds(), 5);
+        assert_eq!(objective.into_log().len(), 3);
+    }
+
+    #[test]
+    fn selection_within_budget_uses_noisy_scores() {
+        let ctx = ctx();
+        let mut objective = FederatedObjective::new(&ctx, NoiseConfig::noiseless(), 4, 2).unwrap();
+        let tuner = RandomSearch::new(3, 2);
+        let mut rng = rng_for(1, 0);
+        let outcome = tuner.tune(ctx.space(), &mut objective, &mut rng).unwrap();
+        assert_eq!(outcome.num_evaluations(), 3);
+        assert_eq!(objective.log().len(), 3);
+        let selected = objective.selected_true_error_within(usize::MAX).unwrap();
+        assert!((0.0..=1.0).contains(&selected));
+        // Within a budget covering only the first trial, selection must be
+        // that trial's true error.
+        let first = objective.log()[0].true_error;
+        assert_eq!(objective.selected_true_error_within(2).unwrap(), first);
+    }
+
+    #[test]
+    fn noisy_objective_reports_different_scores_than_truth() {
+        let ctx = ctx();
+        let noise = NoiseConfig::subsampled(0.1).with_privacy(PrivacyBudget::Finite(1.0));
+        let mut objective = FederatedObjective::new(&ctx, noise, 4, 3).unwrap();
+        let mut rng = rng_for(2, 0);
+        let config = ctx.space().sample(&mut rng).unwrap();
+        let _ = objective.evaluate(0, &config, 2).unwrap();
+        let entry = &objective.log()[0];
+        assert!(
+            (entry.noisy_score - entry.true_error).abs() > 1e-6,
+            "with 1 client and eps=1 the noisy score should differ from the truth"
+        );
+    }
+
+    #[test]
+    fn works_with_nested_search_space() {
+        let scale = ExperimentScale::smoke();
+        let ctx = BenchmarkContext::new(Benchmark::Cifar10Like, &scale, 0)
+            .unwrap()
+            .with_space(SearchSpace::paper_nested_lr_space(2).unwrap());
+        let mut objective = FederatedObjective::new(&ctx, NoiseConfig::noiseless(), 4, 4).unwrap();
+        let mut rng = rng_for(3, 0);
+        let config = ctx.space().sample(&mut rng).unwrap();
+        assert!(objective.evaluate(0, &config, 1).is_ok());
+    }
+}

@@ -1,0 +1,592 @@
+//! Client partitioning: Dirichlet label skew, long-tailed client sizes, and
+//! the iid-refraction repartitioning used in the heterogeneity experiments.
+
+use crate::client::ClientData;
+use crate::example::Example;
+use crate::{DataError, Result};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand_distr::{Distribution, Gamma, LogNormal};
+
+/// Samples a probability vector from a symmetric Dirichlet distribution with
+/// concentration `alpha` over `dim` categories.
+///
+/// Implemented via normalised Gamma draws so that very small `alpha`
+/// (e.g. the paper's `alpha = 0.1`) is handled robustly.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidSpec`] if `dim == 0` or `alpha <= 0`.
+pub fn sample_dirichlet(rng: &mut impl Rng, dim: usize, alpha: f64) -> Result<Vec<f64>> {
+    if dim == 0 {
+        return Err(DataError::InvalidSpec {
+            message: "dirichlet dimension must be positive".into(),
+        });
+    }
+    if alpha <= 0.0 || !alpha.is_finite() {
+        return Err(DataError::InvalidSpec {
+            message: format!("dirichlet alpha must be positive, got {alpha}"),
+        });
+    }
+    let gamma = Gamma::new(alpha, 1.0).map_err(|e| DataError::InvalidSpec {
+        message: format!("invalid gamma parameters: {e}"),
+    })?;
+    let mut draws: Vec<f64> = (0..dim).map(|_| gamma.sample(rng)).collect();
+    let mut total: f64 = draws.iter().sum();
+    if total <= 0.0 || !total.is_finite() {
+        // For extremely small alpha every draw can underflow to zero; fall
+        // back to a one-hot vector on a random coordinate, which is the
+        // correct limiting behaviour of Dirichlet(alpha -> 0).
+        let hot = rng.gen_range(0..dim);
+        draws = vec![0.0; dim];
+        draws[hot] = 1.0;
+        total = 1.0;
+    }
+    Ok(draws.into_iter().map(|d| d / total).collect())
+}
+
+/// Partitions `examples` across `num_clients` clients with Dirichlet label
+/// skew (Hsu et al. 2019), the protocol the paper uses to synthesise
+/// imbalanced client labels for CIFAR10 (`alpha = 0.1`).
+///
+/// For every class, a proportion vector over clients is drawn from
+/// `Dirichlet(alpha)` and the class's examples are dealt out according to
+/// those proportions. Smaller `alpha` means more skew (each client sees fewer
+/// classes); large `alpha` approaches an iid split.
+///
+/// Every example is assigned to exactly one client; clients that end up empty
+/// receive one example stolen from the largest client so that every client
+/// participates in evaluation.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidSpec`] if `examples` is empty, `num_clients`
+/// is zero, `num_classes` is zero, or `alpha <= 0`.
+pub fn dirichlet_label_partition(
+    rng: &mut impl Rng,
+    examples: Vec<Example>,
+    num_clients: usize,
+    num_classes: usize,
+    alpha: f64,
+) -> Result<Vec<ClientData>> {
+    if examples.is_empty() {
+        return Err(DataError::InvalidSpec {
+            message: "cannot partition zero examples".into(),
+        });
+    }
+    if num_clients == 0 {
+        return Err(DataError::InvalidSpec {
+            message: "cannot partition across zero clients".into(),
+        });
+    }
+    if num_classes == 0 {
+        return Err(DataError::InvalidSpec {
+            message: "number of classes must be positive".into(),
+        });
+    }
+    // Group example indices by label.
+    let mut by_class: Vec<Vec<Example>> = (0..num_classes).map(|_| Vec::new()).collect();
+    for e in examples {
+        let label = e.label.min(num_classes - 1);
+        by_class[label].push(e);
+    }
+    let mut buckets: Vec<Vec<Example>> = (0..num_clients).map(|_| Vec::new()).collect();
+    for mut class_examples in by_class {
+        if class_examples.is_empty() {
+            continue;
+        }
+        class_examples.shuffle(rng);
+        let proportions = sample_dirichlet(rng, num_clients, alpha)?;
+        // Convert proportions into integer counts that sum to the class size.
+        let n = class_examples.len();
+        let mut counts: Vec<usize> = proportions.iter().map(|p| (p * n as f64).floor() as usize).collect();
+        let mut assigned: usize = counts.iter().sum();
+        // Distribute the remainder to the clients with the largest fractional parts.
+        let mut fracs: Vec<(f64, usize)> = proportions
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p * n as f64 - counts[i] as f64, i))
+            .collect();
+        fracs.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite"));
+        let mut fi = 0;
+        while assigned < n {
+            counts[fracs[fi % fracs.len()].1] += 1;
+            assigned += 1;
+            fi += 1;
+        }
+        let mut iter = class_examples.into_iter();
+        for (client, &count) in counts.iter().enumerate() {
+            for _ in 0..count {
+                if let Some(e) = iter.next() {
+                    buckets[client].push(e);
+                }
+            }
+        }
+    }
+    rebalance_empty_clients(&mut buckets);
+    Ok(buckets
+        .into_iter()
+        .enumerate()
+        .map(|(id, examples)| ClientData::new(id, examples))
+        .collect())
+}
+
+/// Moves single examples from the largest buckets into empty ones so that no
+/// client ends up with zero examples.
+fn rebalance_empty_clients(buckets: &mut [Vec<Example>]) {
+    loop {
+        let Some(empty_idx) = buckets.iter().position(|b| b.is_empty()) else {
+            return;
+        };
+        let largest_idx = buckets
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, b)| b.len())
+            .map(|(i, _)| i)
+            .expect("non-empty slice");
+        if buckets[largest_idx].len() <= 1 {
+            // Not enough examples to give every client one; leave remaining empty.
+            return;
+        }
+        let moved = buckets[largest_idx].pop().expect("largest bucket is non-empty");
+        buckets[empty_idx].push(moved);
+    }
+}
+
+/// Partitions `examples` across `num_clients` clients uniformly at random
+/// (an iid split), preserving only the target per-client sizes if provided.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidSpec`] if `examples` is empty or
+/// `num_clients == 0`.
+pub fn iid_partition(
+    rng: &mut impl Rng,
+    mut examples: Vec<Example>,
+    num_clients: usize,
+) -> Result<Vec<ClientData>> {
+    if examples.is_empty() {
+        return Err(DataError::InvalidSpec {
+            message: "cannot partition zero examples".into(),
+        });
+    }
+    if num_clients == 0 {
+        return Err(DataError::InvalidSpec {
+            message: "cannot partition across zero clients".into(),
+        });
+    }
+    examples.shuffle(rng);
+    let mut buckets: Vec<Vec<Example>> = (0..num_clients).map(|_| Vec::new()).collect();
+    for (i, e) in examples.into_iter().enumerate() {
+        buckets[i % num_clients].push(e);
+    }
+    rebalance_empty_clients(&mut buckets);
+    Ok(buckets
+        .into_iter()
+        .enumerate()
+        .map(|(id, ex)| ClientData::new(id, ex))
+        .collect())
+}
+
+/// Repartitions a client pool towards iid-ness by the fraction `p ∈ [0, 1]`,
+/// reproducing the protocol of §3.2:
+///
+/// > "we pool all of the eval data and let each eval client resample the data
+/// > in an iid manner [...] We extend this method by resampling only a
+/// > fraction `p` of the validation data."
+///
+/// Each client keeps `(1 - p)` of its own examples (chosen at random) and
+/// replaces the remaining fraction with draws from the pooled data (with
+/// replacement, i.e. a shared global distribution), so `p = 0` leaves the
+/// natural non-iid partition untouched and `p = 1` yields a fully iid pool.
+/// Per-client example counts are preserved exactly.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidSpec`] if `p` is outside `[0, 1]` or the pool
+/// has no examples.
+pub fn repartition_iid_fraction(
+    rng: &mut impl Rng,
+    clients: &[ClientData],
+    p: f64,
+) -> Result<Vec<ClientData>> {
+    if !(0.0..=1.0).contains(&p) || !p.is_finite() {
+        return Err(DataError::InvalidSpec {
+            message: format!("iid fraction p must be in [0, 1], got {p}"),
+        });
+    }
+    let pooled: Vec<&Example> = clients.iter().flat_map(|c| c.examples().iter()).collect();
+    if pooled.is_empty() {
+        return Err(DataError::InvalidSpec {
+            message: "cannot repartition an empty client pool".into(),
+        });
+    }
+    let mut out = Vec::with_capacity(clients.len());
+    for client in clients {
+        let n = client.num_examples();
+        let replace = ((n as f64) * p).round() as usize;
+        let keep = n - replace;
+        // Randomly choose which local examples survive.
+        let mut local: Vec<Example> = client.examples().to_vec();
+        local.shuffle(rng);
+        local.truncate(keep);
+        for _ in 0..replace {
+            let idx = rng.gen_range(0..pooled.len());
+            local.push(pooled[idx].clone());
+        }
+        out.push(ClientData::new(client.id(), local));
+    }
+    Ok(out)
+}
+
+/// Draws `num_clients` long-tailed per-client example counts with the given
+/// mean, minimum, and maximum, mimicking the client-size distributions of the
+/// text datasets in Table 2 (min 1, max five orders of magnitude larger).
+///
+/// Counts are drawn from a log-normal distribution and clamped to
+/// `[min, max]`; the result is then rescaled (by repeated proportional
+/// adjustment) so the empirical mean is close to `mean`.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidSpec`] if the constraints are unsatisfiable
+/// (`min > max`, zero clients, non-positive mean, or mean outside `[min, max]`).
+pub fn long_tailed_client_sizes(
+    rng: &mut impl Rng,
+    num_clients: usize,
+    mean: f64,
+    min: usize,
+    max: usize,
+    sigma: f64,
+) -> Result<Vec<usize>> {
+    if num_clients == 0 {
+        return Err(DataError::InvalidSpec {
+            message: "need at least one client".into(),
+        });
+    }
+    if min > max {
+        return Err(DataError::InvalidSpec {
+            message: format!("min {min} exceeds max {max}"),
+        });
+    }
+    if mean <= 0.0 || mean < min as f64 || mean > max as f64 {
+        return Err(DataError::InvalidSpec {
+            message: format!("mean {mean} must lie within [{min}, {max}]"),
+        });
+    }
+    if sigma <= 0.0 || !sigma.is_finite() {
+        return Err(DataError::InvalidSpec {
+            message: format!("sigma must be positive, got {sigma}"),
+        });
+    }
+    // Log-normal with median exp(mu); choose mu so the mean is roughly right,
+    // then correct the empirical mean by scaling.
+    let mu = mean.ln() - sigma * sigma / 2.0;
+    let dist = LogNormal::new(mu, sigma).map_err(|e| DataError::InvalidSpec {
+        message: format!("invalid log-normal parameters: {e}"),
+    })?;
+    let mut sizes: Vec<f64> = (0..num_clients).map(|_| dist.sample(rng)).collect();
+    // Two rounds of mean correction keep the empirical mean near the target
+    // while respecting the clamp bounds.
+    for _ in 0..2 {
+        let emp_mean = sizes.iter().sum::<f64>() / num_clients as f64;
+        if emp_mean > 0.0 {
+            let scale = mean / emp_mean;
+            for s in &mut sizes {
+                *s = (*s * scale).clamp(min as f64, max as f64);
+            }
+        }
+    }
+    Ok(sizes.into_iter().map(|s| s.round().max(min as f64) as usize).collect())
+}
+
+/// Computes a simple scalar measure of label heterogeneity across clients:
+/// the mean total-variation distance between each client's label distribution
+/// and the global label distribution. 0 means perfectly iid; values near 1
+/// mean clients see nearly disjoint label sets.
+pub fn label_heterogeneity(clients: &[ClientData], num_classes: usize) -> f64 {
+    if clients.is_empty() || num_classes == 0 {
+        return 0.0;
+    }
+    let mut global = vec![0.0f64; num_classes];
+    let mut total = 0.0;
+    for c in clients {
+        for (i, count) in c.label_histogram(num_classes).into_iter().enumerate() {
+            global[i] += count as f64;
+            total += count as f64;
+        }
+    }
+    if total == 0.0 {
+        return 0.0;
+    }
+    for g in &mut global {
+        *g /= total;
+    }
+    let mut tv_sum = 0.0;
+    let mut counted = 0usize;
+    for c in clients {
+        let hist = c.label_histogram(num_classes);
+        let n: usize = hist.iter().sum();
+        if n == 0 {
+            continue;
+        }
+        let tv: f64 = hist
+            .iter()
+            .enumerate()
+            .map(|(i, &h)| (h as f64 / n as f64 - global[i]).abs())
+            .sum::<f64>()
+            / 2.0;
+        tv_sum += tv;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        tv_sum / counted as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedmath::rng::rng_for;
+
+    fn labelled_examples(per_class: usize, num_classes: usize) -> Vec<Example> {
+        let mut out = Vec::new();
+        for class in 0..num_classes {
+            for _ in 0..per_class {
+                out.push(Example::dense(vec![class as f64], class));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn dirichlet_probabilities_sum_to_one() {
+        let mut rng = rng_for(0, 0);
+        for &alpha in &[0.05, 0.1, 1.0, 10.0] {
+            let p = sample_dirichlet(&mut rng, 8, alpha).unwrap();
+            assert_eq!(p.len(), 8);
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn dirichlet_validation() {
+        let mut rng = rng_for(0, 1);
+        assert!(sample_dirichlet(&mut rng, 0, 1.0).is_err());
+        assert!(sample_dirichlet(&mut rng, 3, 0.0).is_err());
+        assert!(sample_dirichlet(&mut rng, 3, -1.0).is_err());
+    }
+
+    #[test]
+    fn dirichlet_partition_preserves_examples() {
+        let mut rng = rng_for(1, 0);
+        let examples = labelled_examples(50, 10);
+        let clients = dirichlet_label_partition(&mut rng, examples.clone(), 20, 10, 0.1).unwrap();
+        assert_eq!(clients.len(), 20);
+        let total: usize = clients.iter().map(|c| c.num_examples()).sum();
+        assert_eq!(total, examples.len());
+        // With this many examples per client-slot, rebalancing guarantees
+        // non-empty clients.
+        assert!(clients.iter().all(|c| !c.is_empty()));
+        // Ids are assigned sequentially.
+        for (i, c) in clients.iter().enumerate() {
+            assert_eq!(c.id(), i);
+        }
+    }
+
+    #[test]
+    fn small_alpha_is_more_heterogeneous_than_large_alpha() {
+        let mut rng = rng_for(2, 0);
+        let examples = labelled_examples(100, 10);
+        let skewed = dirichlet_label_partition(&mut rng, examples.clone(), 20, 10, 0.05).unwrap();
+        let uniform = dirichlet_label_partition(&mut rng, examples, 20, 10, 100.0).unwrap();
+        let h_skewed = label_heterogeneity(&skewed, 10);
+        let h_uniform = label_heterogeneity(&uniform, 10);
+        assert!(
+            h_skewed > h_uniform + 0.1,
+            "expected skewed ({h_skewed}) >> uniform ({h_uniform})"
+        );
+    }
+
+    #[test]
+    fn dirichlet_partition_validation() {
+        let mut rng = rng_for(2, 1);
+        assert!(dirichlet_label_partition(&mut rng, vec![], 5, 2, 1.0).is_err());
+        let ex = labelled_examples(2, 2);
+        assert!(dirichlet_label_partition(&mut rng, ex.clone(), 0, 2, 1.0).is_err());
+        assert!(dirichlet_label_partition(&mut rng, ex.clone(), 5, 0, 1.0).is_err());
+        assert!(dirichlet_label_partition(&mut rng, ex, 5, 2, 0.0).is_err());
+    }
+
+    #[test]
+    fn iid_partition_balances_sizes() {
+        let mut rng = rng_for(3, 0);
+        let examples = labelled_examples(30, 4);
+        let clients = iid_partition(&mut rng, examples, 12).unwrap();
+        assert_eq!(clients.len(), 12);
+        let sizes: Vec<usize> = clients.iter().map(|c| c.num_examples()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 120);
+        assert!(sizes.iter().all(|&s| s == 10));
+    }
+
+    #[test]
+    fn iid_partition_validation() {
+        let mut rng = rng_for(3, 1);
+        assert!(iid_partition(&mut rng, vec![], 2).is_err());
+        assert!(iid_partition(&mut rng, labelled_examples(1, 2), 0).is_err());
+    }
+
+    #[test]
+    fn repartition_p_zero_is_identity_up_to_order() {
+        let mut rng = rng_for(4, 0);
+        let examples = labelled_examples(20, 4);
+        let clients = dirichlet_label_partition(&mut rng, examples, 8, 4, 0.1).unwrap();
+        let repartitioned = repartition_iid_fraction(&mut rng, &clients, 0.0).unwrap();
+        for (before, after) in clients.iter().zip(repartitioned.iter()) {
+            assert_eq!(before.num_examples(), after.num_examples());
+            // p = 0 keeps exactly the client's own examples (order may differ).
+            let mut b = before.label_histogram(4);
+            let mut a = after.label_histogram(4);
+            b.sort_unstable();
+            a.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn repartition_p_one_reduces_heterogeneity() {
+        let mut rng = rng_for(4, 1);
+        let examples = labelled_examples(100, 10);
+        let clients = dirichlet_label_partition(&mut rng, examples, 20, 10, 0.05).unwrap();
+        let h_before = label_heterogeneity(&clients, 10);
+        let iid = repartition_iid_fraction(&mut rng, &clients, 1.0).unwrap();
+        let h_after = label_heterogeneity(&iid, 10);
+        assert!(
+            h_after < h_before * 0.5,
+            "expected heterogeneity to drop substantially: before={h_before}, after={h_after}"
+        );
+        // Sizes preserved.
+        for (b, a) in clients.iter().zip(iid.iter()) {
+            assert_eq!(b.num_examples(), a.num_examples());
+        }
+    }
+
+    #[test]
+    fn repartition_validation() {
+        let mut rng = rng_for(4, 2);
+        let clients = vec![ClientData::new(0, labelled_examples(2, 2))];
+        assert!(repartition_iid_fraction(&mut rng, &clients, -0.1).is_err());
+        assert!(repartition_iid_fraction(&mut rng, &clients, 1.1).is_err());
+        let empty = vec![ClientData::new(0, vec![])];
+        assert!(repartition_iid_fraction(&mut rng, &empty, 0.5).is_err());
+    }
+
+    #[test]
+    fn long_tailed_sizes_respect_bounds() {
+        let mut rng = rng_for(5, 0);
+        let sizes = long_tailed_client_sizes(&mut rng, 500, 40.0, 1, 5000, 1.5).unwrap();
+        assert_eq!(sizes.len(), 500);
+        assert!(sizes.iter().all(|&s| (1..=5000).contains(&s)));
+        let mean = sizes.iter().sum::<usize>() as f64 / 500.0;
+        assert!((mean - 40.0).abs() < 25.0, "mean {mean} too far from target 40");
+        // Long tail: max should be several times the mean.
+        let max = *sizes.iter().max().unwrap();
+        assert!(max as f64 > 2.0 * mean, "max {max} not long-tailed vs mean {mean}");
+    }
+
+    #[test]
+    fn long_tailed_sizes_validation() {
+        let mut rng = rng_for(5, 1);
+        assert!(long_tailed_client_sizes(&mut rng, 0, 10.0, 1, 100, 1.0).is_err());
+        assert!(long_tailed_client_sizes(&mut rng, 5, 10.0, 100, 1, 1.0).is_err());
+        assert!(long_tailed_client_sizes(&mut rng, 5, 0.0, 1, 100, 1.0).is_err());
+        assert!(long_tailed_client_sizes(&mut rng, 5, 1000.0, 1, 100, 1.0).is_err());
+        assert!(long_tailed_client_sizes(&mut rng, 5, 10.0, 1, 100, 0.0).is_err());
+    }
+
+    #[test]
+    fn heterogeneity_of_identical_clients_is_zero() {
+        let clients = vec![
+            ClientData::new(0, labelled_examples(5, 4)),
+            ClientData::new(1, labelled_examples(5, 4)),
+        ];
+        assert!(label_heterogeneity(&clients, 4) < 1e-12);
+        assert_eq!(label_heterogeneity(&[], 4), 0.0);
+    }
+
+    #[test]
+    fn heterogeneity_of_disjoint_clients_is_high() {
+        let c0 = ClientData::new(0, vec![Example::dense(vec![0.0], 0); 10]);
+        let c1 = ClientData::new(1, vec![Example::dense(vec![1.0], 1); 10]);
+        let h = label_heterogeneity(&[c0, c1], 2);
+        assert!(h > 0.45, "expected near-maximal heterogeneity, got {h}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use fedmath::rng::rng_for;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn prop_dirichlet_partition_preserves_count(
+            seed in any::<u64>(),
+            per_class in 5usize..30,
+            num_classes in 2usize..8,
+            num_clients in 1usize..20,
+            alpha in 0.05f64..10.0,
+        ) {
+            let mut rng = rng_for(seed, 0);
+            let mut examples = Vec::new();
+            for class in 0..num_classes {
+                for _ in 0..per_class {
+                    examples.push(Example::dense(vec![class as f64], class));
+                }
+            }
+            let n = examples.len();
+            let clients = dirichlet_label_partition(&mut rng, examples, num_clients, num_classes, alpha).unwrap();
+            prop_assert_eq!(clients.len(), num_clients);
+            let total: usize = clients.iter().map(|c| c.num_examples()).sum();
+            prop_assert_eq!(total, n);
+        }
+
+        #[test]
+        fn prop_repartition_preserves_sizes(
+            seed in any::<u64>(),
+            p in 0.0f64..1.0,
+        ) {
+            let mut rng = rng_for(seed, 1);
+            let mut examples = Vec::new();
+            for class in 0..5usize {
+                for _ in 0..40 {
+                    examples.push(Example::dense(vec![class as f64], class));
+                }
+            }
+            let clients = dirichlet_label_partition(&mut rng, examples, 10, 5, 0.2).unwrap();
+            let re = repartition_iid_fraction(&mut rng, &clients, p).unwrap();
+            prop_assert_eq!(re.len(), clients.len());
+            for (b, a) in clients.iter().zip(re.iter()) {
+                prop_assert_eq!(b.num_examples(), a.num_examples());
+                prop_assert_eq!(b.id(), a.id());
+            }
+        }
+
+        #[test]
+        fn prop_long_tailed_sizes_within_bounds(
+            seed in any::<u64>(),
+            num_clients in 1usize..100,
+        ) {
+            let mut rng = rng_for(seed, 2);
+            let sizes = long_tailed_client_sizes(&mut rng, num_clients, 30.0, 2, 400, 1.2).unwrap();
+            prop_assert_eq!(sizes.len(), num_clients);
+            prop_assert!(sizes.iter().all(|&s| (2..=400).contains(&s)));
+        }
+    }
+}

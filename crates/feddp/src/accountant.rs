@@ -1,0 +1,171 @@
+//! Basic-composition privacy accounting.
+
+use crate::laplace::PrivacyBudget;
+use crate::{DpError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Tracks how much of a pure-ε privacy budget has been consumed under basic
+/// (sequential) composition: the total cost of a sequence of mechanisms is
+/// the sum of their individual ε values (Dwork & Roth 2013).
+///
+/// The paper splits its total budget evenly over a known number of
+/// evaluations; [`PrivacyAccountant::per_query_epsilon`] computes that split
+/// and [`PrivacyAccountant::spend`] records actual consumption, refusing to
+/// exceed the budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyAccountant {
+    budget: PrivacyBudget,
+    spent: f64,
+    queries: usize,
+}
+
+impl PrivacyAccountant {
+    /// Creates an accountant for the given total budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpError::InvalidParameter`] if a finite ε is not positive.
+    pub fn new(budget: PrivacyBudget) -> Result<Self> {
+        budget.validate()?;
+        Ok(PrivacyAccountant {
+            budget,
+            spent: 0.0,
+            queries: 0,
+        })
+    }
+
+    /// The total budget.
+    pub fn budget(&self) -> PrivacyBudget {
+        self.budget
+    }
+
+    /// Total ε spent so far (always 0 for the non-private budget).
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Number of queries recorded so far.
+    pub fn queries(&self) -> usize {
+        self.queries
+    }
+
+    /// Remaining budget, or `None` for the non-private setting.
+    pub fn remaining(&self) -> Option<f64> {
+        self.budget.epsilon().map(|e| (e - self.spent).max(0.0))
+    }
+
+    /// The per-query ε when splitting the total budget evenly across
+    /// `total_queries` queries (basic composition), or `None` when
+    /// non-private.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpError::InvalidParameter`] if `total_queries == 0`.
+    pub fn per_query_epsilon(&self, total_queries: usize) -> Result<Option<f64>> {
+        if total_queries == 0 {
+            return Err(DpError::InvalidParameter {
+                message: "total_queries must be positive".into(),
+            });
+        }
+        Ok(self.budget.epsilon().map(|e| e / total_queries as f64))
+    }
+
+    /// Records spending `epsilon` on one query.
+    ///
+    /// In the non-private setting this only increments the query counter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpError::InvalidParameter`] for a non-positive `epsilon` and
+    /// [`DpError::BudgetExhausted`] if the spend would exceed the total
+    /// budget (with a small tolerance for floating-point accumulation).
+    pub fn spend(&mut self, epsilon: f64) -> Result<()> {
+        if self.budget.is_infinite() {
+            self.queries += 1;
+            return Ok(());
+        }
+        if epsilon <= 0.0 || !epsilon.is_finite() {
+            return Err(DpError::InvalidParameter {
+                message: format!("spent epsilon must be positive, got {epsilon}"),
+            });
+        }
+        let total = self.budget.epsilon().expect("finite budget");
+        if self.spent + epsilon > total * (1.0 + 1e-9) {
+            return Err(DpError::BudgetExhausted {
+                total,
+                spent: self.spent,
+                requested: epsilon,
+            });
+        }
+        self.spent += epsilon;
+        self.queries += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accountant_tracks_spending() {
+        let mut acc = PrivacyAccountant::new(PrivacyBudget::Finite(1.0)).unwrap();
+        assert_eq!(acc.budget(), PrivacyBudget::Finite(1.0));
+        assert_eq!(acc.spent(), 0.0);
+        assert_eq!(acc.remaining(), Some(1.0));
+        acc.spend(0.25).unwrap();
+        acc.spend(0.25).unwrap();
+        assert_eq!(acc.queries(), 2);
+        assert!((acc.spent() - 0.5).abs() < 1e-12);
+        assert!((acc.remaining().unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accountant_refuses_to_exceed_budget() {
+        let mut acc = PrivacyAccountant::new(PrivacyBudget::Finite(0.5)).unwrap();
+        acc.spend(0.4).unwrap();
+        let err = acc.spend(0.2).unwrap_err();
+        assert!(matches!(err, DpError::BudgetExhausted { .. }));
+        // Failed spends do not change the state.
+        assert_eq!(acc.queries(), 1);
+        assert!((acc.spent() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn even_split_over_queries() {
+        let acc = PrivacyAccountant::new(PrivacyBudget::Finite(16.0)).unwrap();
+        assert_eq!(acc.per_query_epsilon(16).unwrap(), Some(1.0));
+        assert!(acc.per_query_epsilon(0).is_err());
+        let non_private = PrivacyAccountant::new(PrivacyBudget::Infinite).unwrap();
+        assert_eq!(non_private.per_query_epsilon(10).unwrap(), None);
+    }
+
+    #[test]
+    fn exact_budget_consumption_is_allowed() {
+        let mut acc = PrivacyAccountant::new(PrivacyBudget::Finite(1.0)).unwrap();
+        for _ in 0..10 {
+            acc.spend(0.1).unwrap();
+        }
+        assert_eq!(acc.queries(), 10);
+        assert!(acc.remaining().unwrap() < 1e-9);
+    }
+
+    #[test]
+    fn non_private_accounting_never_exhausts() {
+        let mut acc = PrivacyAccountant::new(PrivacyBudget::Infinite).unwrap();
+        for _ in 0..100 {
+            acc.spend(1e9).unwrap();
+        }
+        assert_eq!(acc.queries(), 100);
+        assert_eq!(acc.spent(), 0.0);
+        assert_eq!(acc.remaining(), None);
+    }
+
+    #[test]
+    fn invalid_spends_rejected() {
+        let mut acc = PrivacyAccountant::new(PrivacyBudget::Finite(1.0)).unwrap();
+        assert!(acc.spend(0.0).is_err());
+        assert!(acc.spend(-0.5).is_err());
+        assert!(PrivacyAccountant::new(PrivacyBudget::Finite(0.0)).is_err());
+    }
+}

@@ -1,0 +1,297 @@
+//! The Laplace mechanism and the paper's evaluation-noise calibration.
+
+use crate::{DpError, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The privacy budget applied to federated evaluation.
+///
+/// `Finite(ε)` matches the paper's ε ∈ {0.1, 1, 10, 100}; `Infinite`
+/// corresponds to `ε = inf`, i.e. non-private evaluation with no added noise.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum PrivacyBudget {
+    /// Pure ε-differential privacy with the given total budget.
+    Finite(f64),
+    /// No privacy (no noise added).
+    #[default]
+    Infinite,
+}
+
+impl PrivacyBudget {
+    /// Returns the finite ε, or `None` for the non-private setting.
+    pub fn epsilon(&self) -> Option<f64> {
+        match self {
+            PrivacyBudget::Finite(e) => Some(*e),
+            PrivacyBudget::Infinite => None,
+        }
+    }
+
+    /// Returns `true` for the non-private setting.
+    pub fn is_infinite(&self) -> bool {
+        matches!(self, PrivacyBudget::Infinite)
+    }
+
+    /// Validates the budget (a finite ε must be strictly positive).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpError::InvalidParameter`] for non-positive finite ε.
+    pub fn validate(&self) -> Result<()> {
+        if let PrivacyBudget::Finite(e) = self {
+            if *e <= 0.0 || !e.is_finite() {
+                return Err(DpError::InvalidParameter {
+                    message: format!("epsilon must be positive and finite, got {e}"),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Human-readable label used in reports (`"0.1"`, `"inf"`, …).
+    pub fn label(&self) -> String {
+        match self {
+            PrivacyBudget::Finite(e) => format!("{e}"),
+            PrivacyBudget::Infinite => "inf".into(),
+        }
+    }
+}
+
+/// Samples Laplace noise with the given scale parameter `b` (mean 0).
+///
+/// Uses inverse-transform sampling: `X = -b · sign(u) · ln(1 - 2|u|)` with
+/// `u ~ Uniform(-1/2, 1/2)`.
+pub fn sample_laplace(rng: &mut impl Rng, scale: f64) -> f64 {
+    let u: f64 = rng.gen_range(-0.5..0.5);
+    -scale * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+}
+
+/// The Laplace mechanism: adds `Lap(scale)` noise to a query answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaplaceMechanism {
+    scale: f64,
+}
+
+impl LaplaceMechanism {
+    /// Creates a mechanism with the given noise scale `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpError::InvalidParameter`] if `scale` is negative or not
+    /// finite. A scale of exactly zero is allowed and adds no noise (the
+    /// non-private limit).
+    pub fn new(scale: f64) -> Result<Self> {
+        if scale < 0.0 || !scale.is_finite() {
+            return Err(DpError::InvalidParameter {
+                message: format!("laplace scale must be non-negative and finite, got {scale}"),
+            });
+        }
+        Ok(LaplaceMechanism { scale })
+    }
+
+    /// Creates the mechanism for a query of the given `sensitivity` under
+    /// per-query budget `epsilon` (scale `Δ/ε`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DpError::InvalidParameter`] if `sensitivity < 0` or
+    /// `epsilon <= 0`.
+    pub fn for_query(sensitivity: f64, epsilon: f64) -> Result<Self> {
+        if sensitivity < 0.0 || !sensitivity.is_finite() {
+            return Err(DpError::InvalidParameter {
+                message: format!("sensitivity must be non-negative, got {sensitivity}"),
+            });
+        }
+        if epsilon <= 0.0 || !epsilon.is_finite() {
+            return Err(DpError::InvalidParameter {
+                message: format!("epsilon must be positive, got {epsilon}"),
+            });
+        }
+        LaplaceMechanism::new(sensitivity / epsilon)
+    }
+
+    /// The noise scale `b`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Returns `value + Lap(scale)`.
+    pub fn privatize(&self, value: f64, rng: &mut impl Rng) -> f64 {
+        if self.scale == 0.0 {
+            value
+        } else {
+            value + sample_laplace(rng, self.scale)
+        }
+    }
+
+    /// Privatizes a slice of values with independent noise draws.
+    pub fn privatize_all(&self, values: &[f64], rng: &mut impl Rng) -> Vec<f64> {
+        values.iter().map(|&v| self.privatize(v, rng)).collect()
+    }
+}
+
+/// The paper's calibration of evaluation noise (§3.3): an evaluation averages
+/// client accuracies in `[0, 1]` over `|S| = sample_size` clients, so its
+/// sensitivity is `1/|S|`; splitting a total budget `ε` over
+/// `total_evaluations = M` queries by basic composition gives per-query
+/// budget `ε/M` and therefore noise scale `M / (ε·|S|)`.
+///
+/// Returns 0.0 (no noise) for [`PrivacyBudget::Infinite`].
+///
+/// # Errors
+///
+/// Returns [`DpError::InvalidParameter`] if `sample_size` or
+/// `total_evaluations` is zero, or if a finite ε is not positive.
+pub fn evaluation_noise_scale(
+    budget: PrivacyBudget,
+    total_evaluations: usize,
+    sample_size: usize,
+) -> Result<f64> {
+    budget.validate()?;
+    if sample_size == 0 {
+        return Err(DpError::InvalidParameter {
+            message: "sample size must be positive".into(),
+        });
+    }
+    if total_evaluations == 0 {
+        return Err(DpError::InvalidParameter {
+            message: "total number of evaluations must be positive".into(),
+        });
+    }
+    match budget {
+        PrivacyBudget::Infinite => Ok(0.0),
+        PrivacyBudget::Finite(eps) => {
+            Ok(total_evaluations as f64 / (eps * sample_size as f64))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedmath::rng::rng_for;
+
+    #[test]
+    fn budget_accessors() {
+        assert_eq!(PrivacyBudget::Finite(1.0).epsilon(), Some(1.0));
+        assert_eq!(PrivacyBudget::Infinite.epsilon(), None);
+        assert!(PrivacyBudget::Infinite.is_infinite());
+        assert!(!PrivacyBudget::Finite(1.0).is_infinite());
+        assert_eq!(PrivacyBudget::Finite(0.1).label(), "0.1");
+        assert_eq!(PrivacyBudget::Infinite.label(), "inf");
+        assert_eq!(PrivacyBudget::default(), PrivacyBudget::Infinite);
+    }
+
+    #[test]
+    fn budget_validation() {
+        assert!(PrivacyBudget::Finite(1.0).validate().is_ok());
+        assert!(PrivacyBudget::Infinite.validate().is_ok());
+        assert!(PrivacyBudget::Finite(0.0).validate().is_err());
+        assert!(PrivacyBudget::Finite(-1.0).validate().is_err());
+        assert!(PrivacyBudget::Finite(f64::INFINITY).validate().is_err());
+    }
+
+    #[test]
+    fn mechanism_validation() {
+        assert!(LaplaceMechanism::new(-1.0).is_err());
+        assert!(LaplaceMechanism::new(f64::NAN).is_err());
+        assert!(LaplaceMechanism::new(0.0).is_ok());
+        assert!(LaplaceMechanism::for_query(1.0, 0.0).is_err());
+        assert!(LaplaceMechanism::for_query(-1.0, 1.0).is_err());
+        let m = LaplaceMechanism::for_query(0.5, 2.0).unwrap();
+        assert!((m.scale() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_scale_adds_no_noise() {
+        let mut rng = rng_for(0, 0);
+        let m = LaplaceMechanism::new(0.0).unwrap();
+        assert_eq!(m.privatize(0.42, &mut rng), 0.42);
+        assert_eq!(m.privatize_all(&[1.0, 2.0], &mut rng), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn laplace_noise_has_expected_spread() {
+        let mut rng = rng_for(0, 1);
+        let scale = 2.0;
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_laplace(&mut rng, scale)).collect();
+        let mean = fedmath::stats::mean(&samples);
+        // Laplace(b) has mean 0 and variance 2b² = 8.
+        let var = fedmath::stats::variance(&samples);
+        assert!(mean.abs() < 0.1, "empirical mean {mean} too far from 0");
+        assert!((var - 8.0).abs() < 1.0, "empirical variance {var} too far from 8");
+        // Mean absolute deviation of Laplace(b) is b.
+        let mad = fedmath::stats::mean(&samples.iter().map(|s| s.abs()).collect::<Vec<_>>());
+        assert!((mad - scale).abs() < 0.15, "empirical MAD {mad} too far from {scale}");
+    }
+
+    #[test]
+    fn privatize_all_adds_independent_noise() {
+        let mut rng = rng_for(0, 2);
+        let m = LaplaceMechanism::new(1.0).unwrap();
+        let noisy = m.privatize_all(&[0.0, 0.0, 0.0, 0.0], &mut rng);
+        // With probability ~1 the four draws are all distinct.
+        let distinct: std::collections::HashSet<u64> =
+            noisy.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn evaluation_noise_scale_matches_paper_formula() {
+        // Lap(M / (ε |S|)): M = 16 evaluations, ε = 100, |S| = 1 client.
+        let scale = evaluation_noise_scale(PrivacyBudget::Finite(100.0), 16, 1).unwrap();
+        assert!((scale - 0.16).abs() < 1e-12);
+        // More clients -> less noise.
+        let scale_100 = evaluation_noise_scale(PrivacyBudget::Finite(100.0), 16, 100).unwrap();
+        assert!(scale_100 < scale);
+        assert!((scale_100 - 0.0016).abs() < 1e-12);
+        // Non-private -> zero noise.
+        assert_eq!(evaluation_noise_scale(PrivacyBudget::Infinite, 16, 1).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn evaluation_noise_scale_validation() {
+        assert!(evaluation_noise_scale(PrivacyBudget::Finite(1.0), 0, 10).is_err());
+        assert!(evaluation_noise_scale(PrivacyBudget::Finite(1.0), 10, 0).is_err());
+        assert!(evaluation_noise_scale(PrivacyBudget::Finite(-1.0), 10, 10).is_err());
+    }
+
+    #[test]
+    fn smaller_epsilon_means_more_noise() {
+        let strict = evaluation_noise_scale(PrivacyBudget::Finite(0.1), 16, 10).unwrap();
+        let generous = evaluation_noise_scale(PrivacyBudget::Finite(100.0), 16, 10).unwrap();
+        assert!(strict > generous * 100.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use fedmath::rng::rng_for;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_noise_scale_monotone_in_sample_size(
+            eps in 0.01f64..1000.0,
+            evals in 1usize..1000,
+            s1 in 1usize..500,
+            extra in 1usize..500,
+        ) {
+            let small = evaluation_noise_scale(PrivacyBudget::Finite(eps), evals, s1).unwrap();
+            let large = evaluation_noise_scale(PrivacyBudget::Finite(eps), evals, s1 + extra).unwrap();
+            prop_assert!(large < small);
+        }
+
+        #[test]
+        fn prop_privatized_value_is_finite(
+            seed in any::<u64>(),
+            value in -1.0f64..1.0,
+            scale in 0.0f64..100.0,
+        ) {
+            let mut rng = rng_for(seed, 0);
+            let m = LaplaceMechanism::new(scale).unwrap();
+            prop_assert!(m.privatize(value, &mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Differential-privacy substrate for federated evaluation.
+//!
+//! The paper privatizes hyperparameter tuning by perturbing each
+//! configuration's aggregate evaluation statistic with Laplace noise (§2.2,
+//! §3.3):
+//!
+//! - every evaluation is an average accuracy over `|S|` sampled clients, so
+//!   the sensitivity of one evaluation to any single client is `1/|S|`;
+//! - with a total budget `ε` split over `M` evaluations by basic composition,
+//!   each evaluation receives `ε/M` and is perturbed with
+//!   `Lap(M / (ε·|S|))` noise ([`laplace::evaluation_noise_scale`]);
+//! - the identities of the best configurations at each elimination round are
+//!   released with the one-shot Laplace top-k mechanism of Qiao et al. 2021
+//!   ([`topk::one_shot_top_k`]), using scale `2·T·k_t / (ε·|S|)`.
+//!
+//! [`PrivacyAccountant`] tracks how much of the budget has been consumed.
+//!
+//! # Example
+//!
+//! ```
+//! use feddp::laplace::LaplaceMechanism;
+//!
+//! let mut rng = fedmath::rng::rng_for(0, 0);
+//! let mech = LaplaceMechanism::new(1.0).unwrap();
+//! let noisy = mech.privatize(0.75, &mut rng);
+//! assert!(noisy.is_finite());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod accountant;
+pub mod laplace;
+pub mod topk;
+
+pub use accountant::PrivacyAccountant;
+pub use laplace::{evaluation_noise_scale, LaplaceMechanism, PrivacyBudget};
+pub use topk::one_shot_top_k;
+
+use std::fmt;
+
+/// Errors produced by the differential-privacy mechanisms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DpError {
+    /// A privacy parameter was invalid (non-positive ε, zero sample size, …).
+    InvalidParameter {
+        /// Description of the violation.
+        message: String,
+    },
+    /// The privacy budget has been exhausted.
+    BudgetExhausted {
+        /// Total budget ε.
+        total: f64,
+        /// Amount already spent.
+        spent: f64,
+        /// Amount requested by the rejected operation.
+        requested: f64,
+    },
+}
+
+impl fmt::Display for DpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DpError::InvalidParameter { message } => write!(f, "invalid privacy parameter: {message}"),
+            DpError::BudgetExhausted { total, spent, requested } => write!(
+                f,
+                "privacy budget exhausted: total ε = {total}, spent = {spent}, requested = {requested}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DpError {}
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, DpError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = DpError::InvalidParameter { message: "epsilon".into() };
+        assert!(e.to_string().contains("epsilon"));
+        let e = DpError::BudgetExhausted { total: 1.0, spent: 0.9, requested: 0.2 };
+        assert!(e.to_string().contains("exhausted"));
+        fn assert_error<E: std::error::Error + Send + Sync>() {}
+        assert_error::<DpError>();
+    }
+}

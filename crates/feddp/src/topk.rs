@@ -1,0 +1,200 @@
+//! One-shot Laplace top-k selection (Qiao, Su & Zhang, ICML 2021).
+//!
+//! The paper uses this mechanism to privately release the identities of the
+//! best configurations at each elimination round of an HP-tuning method: every
+//! candidate's score receives one Laplace perturbation with scale
+//! `2·T·k_t / (ε·|S|)` and the indices of the `k_t` largest noisy scores are
+//! released (§3.3).
+
+use crate::laplace::{sample_laplace, PrivacyBudget};
+use crate::{DpError, Result};
+use rand::Rng;
+
+/// Noise scale used by the one-shot top-k mechanism at one evaluation round:
+/// `2·T·k / (ε·|S|)` where `T` is the total number of evaluation rounds, `k`
+/// is the number of identities released, and `|S|` the number of clients in
+/// the evaluation sample. Returns 0.0 for the non-private budget.
+///
+/// # Errors
+///
+/// Returns [`DpError::InvalidParameter`] if any count is zero or a finite ε
+/// is not positive.
+pub fn one_shot_noise_scale(
+    budget: PrivacyBudget,
+    total_rounds: usize,
+    k: usize,
+    sample_size: usize,
+) -> Result<f64> {
+    budget.validate()?;
+    if total_rounds == 0 || k == 0 || sample_size == 0 {
+        return Err(DpError::InvalidParameter {
+            message: format!(
+                "total_rounds ({total_rounds}), k ({k}), and sample_size ({sample_size}) must all be positive"
+            ),
+        });
+    }
+    match budget {
+        PrivacyBudget::Infinite => Ok(0.0),
+        PrivacyBudget::Finite(eps) => {
+            Ok(2.0 * total_rounds as f64 * k as f64 / (eps * sample_size as f64))
+        }
+    }
+}
+
+/// Releases the indices of the `k` largest values of `scores` after adding
+/// one Laplace perturbation of the given `scale` to every score.
+///
+/// With `scale = 0` this reduces to exact (non-private) top-k selection.
+/// The returned indices are ordered from best to worst noisy score.
+///
+/// # Errors
+///
+/// Returns [`DpError::InvalidParameter`] if `scores` is empty, `k` is zero or
+/// exceeds `scores.len()`, or `scale` is negative/not finite.
+pub fn one_shot_top_k(
+    scores: &[f64],
+    k: usize,
+    scale: f64,
+    rng: &mut impl Rng,
+) -> Result<Vec<usize>> {
+    if scores.is_empty() {
+        return Err(DpError::InvalidParameter {
+            message: "cannot select from an empty score list".into(),
+        });
+    }
+    if k == 0 || k > scores.len() {
+        return Err(DpError::InvalidParameter {
+            message: format!("k = {k} must be in [1, {}]", scores.len()),
+        });
+    }
+    if scale < 0.0 || !scale.is_finite() {
+        return Err(DpError::InvalidParameter {
+            message: format!("noise scale must be non-negative and finite, got {scale}"),
+        });
+    }
+    let mut noisy: Vec<(f64, usize)> = scores
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| {
+            let perturbed = if scale == 0.0 { s } else { s + sample_laplace(rng, scale) };
+            (perturbed, i)
+        })
+        .collect();
+    noisy.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("noisy scores are finite"));
+    Ok(noisy.into_iter().take(k).map(|(_, i)| i).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedmath::rng::rng_for;
+    use std::collections::HashSet;
+
+    #[test]
+    fn noise_scale_formula() {
+        // 2 * T * k / (eps * |S|) with T = 5, k = 3, eps = 10, |S| = 6.
+        let scale = one_shot_noise_scale(PrivacyBudget::Finite(10.0), 5, 3, 6).unwrap();
+        assert!((scale - 0.5).abs() < 1e-12);
+        assert_eq!(one_shot_noise_scale(PrivacyBudget::Infinite, 5, 3, 6).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn noise_scale_validation() {
+        assert!(one_shot_noise_scale(PrivacyBudget::Finite(1.0), 0, 1, 1).is_err());
+        assert!(one_shot_noise_scale(PrivacyBudget::Finite(1.0), 1, 0, 1).is_err());
+        assert!(one_shot_noise_scale(PrivacyBudget::Finite(1.0), 1, 1, 0).is_err());
+        assert!(one_shot_noise_scale(PrivacyBudget::Finite(0.0), 1, 1, 1).is_err());
+    }
+
+    #[test]
+    fn zero_scale_selects_exact_top_k() {
+        let mut rng = rng_for(0, 0);
+        let scores = [0.1, 0.9, 0.5, 0.7];
+        let top = one_shot_top_k(&scores, 2, 0.0, &mut rng).unwrap();
+        assert_eq!(top, vec![1, 3]);
+        let top1 = one_shot_top_k(&scores, 1, 0.0, &mut rng).unwrap();
+        assert_eq!(top1, vec![1]);
+        let all = one_shot_top_k(&scores, 4, 0.0, &mut rng).unwrap();
+        assert_eq!(all.len(), 4);
+    }
+
+    #[test]
+    fn selection_validation() {
+        let mut rng = rng_for(0, 1);
+        assert!(one_shot_top_k(&[], 1, 0.0, &mut rng).is_err());
+        assert!(one_shot_top_k(&[1.0], 0, 0.0, &mut rng).is_err());
+        assert!(one_shot_top_k(&[1.0], 2, 0.0, &mut rng).is_err());
+        assert!(one_shot_top_k(&[1.0, 2.0], 1, -1.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn returned_indices_are_distinct_and_valid() {
+        let mut rng = rng_for(0, 2);
+        let scores: Vec<f64> = (0..20).map(|i| i as f64 / 20.0).collect();
+        let top = one_shot_top_k(&scores, 7, 5.0, &mut rng).unwrap();
+        assert_eq!(top.len(), 7);
+        let unique: HashSet<usize> = top.iter().copied().collect();
+        assert_eq!(unique.len(), 7);
+        assert!(top.iter().all(|&i| i < 20));
+    }
+
+    #[test]
+    fn small_noise_mostly_preserves_the_winner() {
+        let mut rng = rng_for(0, 3);
+        // Clear winner (index 4) with a wide margin vs. noise scale 0.01.
+        let scores = [0.1, 0.2, 0.15, 0.12, 0.95];
+        let mut hits = 0;
+        for _ in 0..200 {
+            let top = one_shot_top_k(&scores, 1, 0.01, &mut rng).unwrap();
+            if top[0] == 4 {
+                hits += 1;
+            }
+        }
+        assert!(hits > 190, "winner only selected {hits}/200 times under tiny noise");
+    }
+
+    #[test]
+    fn large_noise_destroys_the_ranking() {
+        let mut rng = rng_for(0, 4);
+        // Accuracy differences of ~0.1 drowned by noise of scale 100: the
+        // winner should be selected at roughly chance level (1/5).
+        let scores = [0.5, 0.6, 0.55, 0.58, 0.61];
+        let mut hits = 0;
+        let trials = 1000;
+        for _ in 0..trials {
+            let top = one_shot_top_k(&scores, 1, 100.0, &mut rng).unwrap();
+            if top[0] == 4 {
+                hits += 1;
+            }
+        }
+        let freq = hits as f64 / trials as f64;
+        assert!(
+            (freq - 0.2).abs() < 0.08,
+            "expected ~chance selection under huge noise, got {freq}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use fedmath::rng::rng_for;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn prop_top_k_valid_for_any_scale(
+            seed in any::<u64>(),
+            scores in proptest::collection::vec(0.0f64..1.0, 1..40),
+            scale in 0.0f64..50.0,
+        ) {
+            let mut rng = rng_for(seed, 0);
+            let k = 1 + (seed as usize) % scores.len();
+            let top = one_shot_top_k(&scores, k, scale, &mut rng).unwrap();
+            prop_assert_eq!(top.len(), k);
+            let unique: std::collections::HashSet<usize> = top.iter().copied().collect();
+            prop_assert_eq!(unique.len(), k);
+            prop_assert!(top.iter().all(|&i| i < scores.len()));
+        }
+    }
+}

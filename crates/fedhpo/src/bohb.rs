@@ -1,0 +1,212 @@
+//! BOHB: Hyperband with TPE-guided configuration sampling
+//! (Falkner, Klein & Hutter 2018).
+//!
+//! BOHB keeps Hyperband's bracket structure but replaces its uniform random
+//! sampling of new configurations with proposals from a TPE model fitted on
+//! the observations gathered so far. Following the original method, the model
+//! is fitted on the *highest fidelity* (largest resource) that has collected
+//! enough observations, and falls back to random sampling early on.
+
+use crate::hyperband::{BracketState, Hyperband, SuccessiveHalving};
+use crate::objective::Objective;
+use crate::space::{HpConfig, SearchSpace};
+use crate::tpe::{TpeConfig, TpeSampler};
+use crate::tuner::{Tuner, TuningOutcome};
+use crate::Result;
+use rand::rngs::StdRng;
+use std::collections::BTreeMap;
+
+/// The BOHB tuner.
+#[derive(Debug, Clone, Copy)]
+pub struct Bohb {
+    hyperband: Hyperband,
+    tpe_config: TpeConfig,
+    /// Minimum number of observations at a fidelity before the TPE model is
+    /// trusted at that fidelity.
+    min_observations: usize,
+}
+
+impl Bohb {
+    /// Creates a BOHB tuner with default TPE settings.
+    pub fn new(max_resource: usize, eta: usize, num_brackets: Option<usize>) -> Self {
+        Bohb {
+            hyperband: Hyperband::new(max_resource, eta, num_brackets),
+            tpe_config: TpeConfig::default(),
+            min_observations: 6,
+        }
+    }
+
+    /// The paper's configuration: `η = 3`, 5 brackets.
+    pub fn paper_default(max_rounds: usize) -> Self {
+        Bohb::new(max_rounds, 3, Some(5))
+    }
+
+    /// Overrides the TPE sampler settings.
+    pub fn with_tpe_config(mut self, config: TpeConfig) -> Self {
+        self.tpe_config = config;
+        self
+    }
+
+    /// The underlying Hyperband schedule.
+    pub fn hyperband(&self) -> &Hyperband {
+        &self.hyperband
+    }
+
+    /// Proposes `count` configurations using the TPE model when enough
+    /// observations are available, otherwise uniform random samples.
+    fn propose_configs(
+        &self,
+        space: &SearchSpace,
+        sampler: &TpeSampler,
+        observations_by_fidelity: &BTreeMap<usize, Vec<(HpConfig, f64)>>,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<HpConfig>> {
+        // Highest fidelity with enough observations, if any.
+        let model_obs = observations_by_fidelity
+            .iter()
+            .rev()
+            .find(|(_, obs)| obs.len() >= self.min_observations)
+            .map(|(_, obs)| obs.as_slice());
+        let mut configs = Vec::with_capacity(count);
+        for _ in 0..count {
+            let config = match model_obs {
+                Some(obs) => sampler.propose(space, obs, rng)?,
+                None => space.sample(rng)?,
+            };
+            configs.push(config);
+        }
+        Ok(configs)
+    }
+}
+
+impl Tuner for Bohb {
+    fn name(&self) -> &'static str {
+        "bohb"
+    }
+
+    fn tune(
+        &self,
+        space: &SearchSpace,
+        objective: &mut dyn Objective,
+        rng: &mut StdRng,
+    ) -> Result<TuningOutcome> {
+        let sampler = TpeSampler::new(self.tpe_config)?;
+        let mut state = BracketState::default();
+        let mut observations_by_fidelity: BTreeMap<usize, Vec<(HpConfig, f64)>> = BTreeMap::new();
+        let num_brackets = self.hyperband.num_brackets();
+        for s in (0..num_brackets).rev() {
+            let (n, r) = self.hyperband.bracket_plan(s);
+            let configs =
+                self.propose_configs(space, &sampler, &observations_by_fidelity, n, rng)?;
+            let bracket =
+                SuccessiveHalving::new(n, self.hyperband.eta(), r, self.hyperband.max_resource());
+            let before = state.outcome.num_evaluations();
+            bracket.run_bracket(configs, objective, &mut state)?;
+            // Fold the bracket's evaluations into the fidelity-indexed pool.
+            for record in &state.outcome.records()[before..] {
+                observations_by_fidelity
+                    .entry(record.resource)
+                    .or_default()
+                    .push((record.config.clone(), record.score));
+            }
+        }
+        Ok(state.outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FunctionObjective;
+    use fedmath::rng::rng_for;
+
+    fn space_1d() -> SearchSpace {
+        SearchSpace::new().with_uniform("x", 0.0, 1.0).unwrap()
+    }
+
+    fn objective() -> FunctionObjective<impl FnMut(&HpConfig, usize) -> f64> {
+        FunctionObjective::new(|config: &HpConfig, resource: usize| {
+            let x = config.values()[0];
+            (x - 0.7).abs() + 0.5 / (resource as f64 + 1.0)
+        })
+    }
+
+    #[test]
+    fn bohb_structure_matches_hyperband() {
+        assert_eq!(Bohb::paper_default(405).hyperband().num_brackets(), 5);
+        assert_eq!(Bohb::paper_default(405).hyperband().eta(), 3);
+        assert_eq!(Bohb::new(27, 3, Some(3)).name(), "bohb");
+    }
+
+    #[test]
+    fn bohb_runs_and_respects_resource_limits() {
+        let mut rng = rng_for(0, 0);
+        let mut obj = objective();
+        let bohb = Bohb::new(27, 3, Some(3));
+        let outcome = bohb.tune(&space_1d(), &mut obj, &mut rng).unwrap();
+        assert!(outcome.num_evaluations() > 0);
+        assert!(outcome.records().iter().all(|r| r.resource <= 27));
+        assert!(outcome.records().iter().any(|r| r.resource == 27));
+        // Same bracket structure as Hyperband, so the same total budget.
+        let mut rng = rng_for(0, 0);
+        let mut obj = objective();
+        let hb = Hyperband::new(27, 3, Some(3));
+        let hb_outcome = hb.tune(&space_1d(), &mut obj, &mut rng).unwrap();
+        assert_eq!(outcome.total_resource(), hb_outcome.total_resource());
+    }
+
+    #[test]
+    fn bohb_proposals_remain_valid_in_paper_space() {
+        let space = SearchSpace::paper_default();
+        let mut rng = rng_for(1, 0);
+        let mut obj = FunctionObjective::new(|config: &HpConfig, _| {
+            // Score depends on server lr distance from 1e-3 (in log space).
+            (config.values()[0].log10() + 3.0).abs()
+        });
+        let bohb = Bohb::new(9, 3, Some(2));
+        let outcome = bohb.tune(&space, &mut obj, &mut rng).unwrap();
+        for record in outcome.records() {
+            assert!(space.validate_config(&record.config).is_ok());
+        }
+    }
+
+    #[test]
+    fn bohb_eventually_concentrates_near_the_optimum() {
+        // With several brackets the later proposals should cluster near the
+        // optimum x = 0.7 more than uniform sampling would.
+        let mut rng = rng_for(2, 0);
+        let mut obj = objective();
+        let bohb = Bohb::new(27, 3, Some(3)).with_tpe_config(TpeConfig {
+            num_startup: 2,
+            ..Default::default()
+        });
+        let outcome = bohb.tune(&space_1d(), &mut obj, &mut rng).unwrap();
+        let n = outcome.num_evaluations();
+        let late: Vec<f64> = outcome.records()[n / 2..]
+            .iter()
+            .map(|r| (r.config.values()[0] - 0.7).abs())
+            .collect();
+        let mean_late = fedmath::stats::mean(&late);
+        // Uniform sampling over [0,1] has mean distance ~0.29 from 0.7.
+        assert!(
+            mean_late < 0.29,
+            "late proposals (mean distance {mean_late}) show no concentration"
+        );
+    }
+
+    #[test]
+    fn propose_configs_falls_back_to_random_without_observations() {
+        let space = space_1d();
+        let bohb = Bohb::new(9, 3, Some(2));
+        let sampler = TpeSampler::new(TpeConfig::default()).unwrap();
+        let mut rng = rng_for(3, 0);
+        let configs = bohb
+            .propose_configs(&space, &sampler, &BTreeMap::new(), 5, &mut rng)
+            .unwrap();
+        assert_eq!(configs.len(), 5);
+        for c in configs {
+            assert!(space.validate_config(&c).is_ok());
+        }
+    }
+}

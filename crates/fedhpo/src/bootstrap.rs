@@ -1,0 +1,172 @@
+//! Bootstrap analysis of random search (§3, "Evaluation").
+//!
+//! The paper's RS-only figures are produced by training a pool of 128
+//! configurations once, then simulating many RS trials by resampling `K = 16`
+//! configurations from the pool: each trial selects the configuration with
+//! the best *noisy* score and reports that configuration's *true*
+//! (full-validation) error. This module implements that resampling analysis
+//! so the expensive training work is shared across noise settings and trials.
+
+use crate::{HpoError, Result};
+use fedmath::stats::QuartileSummary;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of a bootstrap selection analysis: the true error of the
+/// configuration selected in each simulated trial.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapOutcome {
+    selected_true_scores: Vec<f64>,
+}
+
+impl BootstrapOutcome {
+    /// The true score selected by each trial.
+    pub fn selected_true_scores(&self) -> &[f64] {
+        &self.selected_true_scores
+    }
+
+    /// Number of simulated trials.
+    pub fn num_trials(&self) -> usize {
+        self.selected_true_scores.len()
+    }
+
+    /// Median / quartile summary over trials — the statistic plotted in
+    /// Figures 3, 4, 6, and 9.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if there are no trials.
+    pub fn summary(&self) -> Result<QuartileSummary> {
+        QuartileSummary::from_values(&self.selected_true_scores).map_err(HpoError::from)
+    }
+}
+
+/// Simulates `num_trials` random-search runs of size `subset_size` over a
+/// pre-evaluated pool of configurations.
+///
+/// `noisy_scores[i]` is the score the tuner *observes* for pool configuration
+/// `i` (subsampled / privatized / biased evaluation) and `true_scores[i]` is
+/// the full-validation error reported if that configuration is selected.
+/// Each trial draws `subset_size` distinct configurations from the pool,
+/// selects the one with the lowest noisy score, and records its true score.
+///
+/// # Errors
+///
+/// Returns [`HpoError::InvalidConfig`] if the score arrays are empty or have
+/// different lengths, if `subset_size` is zero or exceeds the pool, or if
+/// `num_trials` is zero.
+pub fn bootstrap_selection(
+    noisy_scores: &[f64],
+    true_scores: &[f64],
+    subset_size: usize,
+    num_trials: usize,
+    rng: &mut impl Rng,
+) -> Result<BootstrapOutcome> {
+    if noisy_scores.is_empty() || noisy_scores.len() != true_scores.len() {
+        return Err(HpoError::InvalidConfig {
+            message: format!(
+                "score arrays must be non-empty and equal length (got {} and {})",
+                noisy_scores.len(),
+                true_scores.len()
+            ),
+        });
+    }
+    if subset_size == 0 || subset_size > noisy_scores.len() {
+        return Err(HpoError::InvalidConfig {
+            message: format!(
+                "subset size {subset_size} must be in [1, {}]",
+                noisy_scores.len()
+            ),
+        });
+    }
+    if num_trials == 0 {
+        return Err(HpoError::InvalidConfig {
+            message: "num_trials must be positive".into(),
+        });
+    }
+    let mut selected = Vec::with_capacity(num_trials);
+    for _ in 0..num_trials {
+        let subset =
+            fedmath::rng::sample_without_replacement(rng, noisy_scores.len(), subset_size)?;
+        let best = subset
+            .iter()
+            .copied()
+            .min_by(|&a, &b| {
+                noisy_scores[a]
+                    .partial_cmp(&noisy_scores[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .expect("subset is non-empty");
+        selected.push(true_scores[best]);
+    }
+    Ok(BootstrapOutcome {
+        selected_true_scores: selected,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedmath::rng::rng_for;
+
+    #[test]
+    fn validation() {
+        let mut rng = rng_for(0, 0);
+        assert!(bootstrap_selection(&[], &[], 1, 1, &mut rng).is_err());
+        assert!(bootstrap_selection(&[1.0], &[1.0, 2.0], 1, 1, &mut rng).is_err());
+        assert!(bootstrap_selection(&[1.0, 2.0], &[1.0, 2.0], 0, 1, &mut rng).is_err());
+        assert!(bootstrap_selection(&[1.0, 2.0], &[1.0, 2.0], 3, 1, &mut rng).is_err());
+        assert!(bootstrap_selection(&[1.0, 2.0], &[1.0, 2.0], 1, 0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn noiseless_selection_with_full_subset_always_picks_the_best() {
+        let mut rng = rng_for(1, 0);
+        let true_scores: Vec<f64> = (0..50).map(|i| i as f64 / 50.0).collect();
+        // Noiseless: observed scores equal true scores; subset = full pool.
+        let outcome =
+            bootstrap_selection(&true_scores, &true_scores, 50, 20, &mut rng).unwrap();
+        assert_eq!(outcome.num_trials(), 20);
+        assert!(outcome.selected_true_scores().iter().all(|&s| s == 0.0));
+        assert_eq!(outcome.summary().unwrap().median, 0.0);
+    }
+
+    #[test]
+    fn noisy_selection_is_worse_than_noiseless_selection() {
+        let mut rng = rng_for(2, 0);
+        let pool = 128;
+        let true_scores: Vec<f64> = (0..pool).map(|i| 0.2 + 0.6 * i as f64 / pool as f64).collect();
+        // Heavy observation noise completely scrambles the ranking.
+        let noisy_scores: Vec<f64> = true_scores
+            .iter()
+            .map(|&s| s + 10.0 * (rng.gen::<f64>() - 0.5))
+            .collect();
+        let clean = bootstrap_selection(&true_scores, &true_scores, 16, 200, &mut rng).unwrap();
+        let noisy = bootstrap_selection(&noisy_scores, &true_scores, 16, 200, &mut rng).unwrap();
+        let clean_median = clean.summary().unwrap().median;
+        let noisy_median = noisy.summary().unwrap().median;
+        assert!(
+            noisy_median > clean_median + 0.05,
+            "noise should hurt selection: clean {clean_median}, noisy {noisy_median}"
+        );
+    }
+
+    #[test]
+    fn larger_subsets_find_better_configs() {
+        let mut rng = rng_for(3, 0);
+        let true_scores: Vec<f64> = (0..128).map(|i| i as f64 / 128.0).collect();
+        let small = bootstrap_selection(&true_scores, &true_scores, 2, 300, &mut rng).unwrap();
+        let large = bootstrap_selection(&true_scores, &true_scores, 32, 300, &mut rng).unwrap();
+        assert!(large.summary().unwrap().median < small.summary().unwrap().median);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let scores: Vec<f64> = (0..20).map(|i| (i as f64).sin()).collect();
+        let mut rng1 = rng_for(4, 0);
+        let mut rng2 = rng_for(4, 0);
+        let a = bootstrap_selection(&scores, &scores, 5, 10, &mut rng1).unwrap();
+        let b = bootstrap_selection(&scores, &scores, 5, 10, &mut rng2).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,413 @@
+//! Successive Halving and Hyperband (Li et al. 2017).
+//!
+//! Successive Halving (SHA) trains `n` configurations for a small resource,
+//! keeps the best `⌊n/η⌋`, multiplies the resource by `η`, and repeats.
+//! Hyperband hedges over the exploration/exploitation trade-off by running
+//! several SHA brackets with different initial `n` and resource. The paper
+//! runs 5 brackets with elimination factor `η = 3` and a maximum of 405
+//! rounds per configuration.
+
+use crate::objective::Objective;
+use crate::space::{HpConfig, SearchSpace};
+use crate::tuner::{EvaluationRecord, Tuner, TuningOutcome};
+use crate::{HpoError, Result};
+use rand::rngs::StdRng;
+
+/// State shared by bracket execution: the running history and budget counter.
+#[derive(Debug, Default)]
+pub(crate) struct BracketState {
+    pub(crate) outcome: TuningOutcome,
+    pub(crate) cumulative: usize,
+    pub(crate) next_trial_id: usize,
+}
+
+/// One Successive Halving bracket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuccessiveHalving {
+    num_configs: usize,
+    eta: usize,
+    min_resource: usize,
+    max_resource: usize,
+}
+
+impl SuccessiveHalving {
+    /// Creates a SHA bracket configuration.
+    pub fn new(num_configs: usize, eta: usize, min_resource: usize, max_resource: usize) -> Self {
+        SuccessiveHalving {
+            num_configs,
+            eta,
+            min_resource,
+            max_resource,
+        }
+    }
+
+    /// Number of configurations entering the bracket.
+    pub fn num_configs(&self) -> usize {
+        self.num_configs
+    }
+
+    /// Elimination factor `η`.
+    pub fn eta(&self) -> usize {
+        self.eta
+    }
+
+    /// Resource of the first rung.
+    pub fn min_resource(&self) -> usize {
+        self.min_resource
+    }
+
+    /// Maximum resource any configuration may receive.
+    pub fn max_resource(&self) -> usize {
+        self.max_resource
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.num_configs == 0 {
+            return Err(HpoError::InvalidConfig {
+                message: "successive halving needs at least one configuration".into(),
+            });
+        }
+        if self.eta < 2 {
+            return Err(HpoError::InvalidConfig {
+                message: format!("eta must be at least 2, got {}", self.eta),
+            });
+        }
+        if self.min_resource == 0 || self.min_resource > self.max_resource {
+            return Err(HpoError::InvalidConfig {
+                message: format!(
+                    "resource range [{}, {}] is invalid",
+                    self.min_resource, self.max_resource
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Runs one bracket over the given configurations, resuming each
+    /// configuration's training as its resource grows and recording every
+    /// evaluation into `state`.
+    pub(crate) fn run_bracket(
+        &self,
+        configs: Vec<HpConfig>,
+        objective: &mut dyn Objective,
+        state: &mut BracketState,
+    ) -> Result<()> {
+        self.validate()?;
+        // Assign stable trial ids.
+        let mut active: Vec<(usize, HpConfig, usize)> = configs
+            .into_iter()
+            .map(|c| {
+                let id = state.next_trial_id;
+                state.next_trial_id += 1;
+                (id, c, 0usize) // (trial_id, config, resource consumed so far)
+            })
+            .collect();
+
+        let mut resource = self.min_resource.min(self.max_resource);
+        loop {
+            // Evaluate every active configuration at the current rung.
+            let mut scores = Vec::with_capacity(active.len());
+            for (trial_id, config, consumed) in &mut active {
+                let score = objective.evaluate(*trial_id, config, resource)?;
+                state.cumulative += resource.saturating_sub(*consumed);
+                *consumed = resource;
+                state.outcome.push(EvaluationRecord {
+                    trial_id: *trial_id,
+                    config: config.clone(),
+                    resource,
+                    score,
+                    cumulative_resource: state.cumulative,
+                });
+                scores.push(score);
+            }
+            if active.len() < self.eta || resource >= self.max_resource {
+                break;
+            }
+            // Keep the best ⌊n/η⌋ configurations (at least one).
+            let keep = (active.len() / self.eta).max(1);
+            let mut order: Vec<usize> = (0..active.len()).collect();
+            order.sort_by(|&a, &b| {
+                scores[a]
+                    .partial_cmp(&scores[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let survivors: std::collections::HashSet<usize> =
+                order.into_iter().take(keep).collect();
+            active = active
+                .into_iter()
+                .enumerate()
+                .filter(|(i, _)| survivors.contains(i))
+                .map(|(_, x)| x)
+                .collect();
+            resource = (resource * self.eta).min(self.max_resource);
+        }
+        Ok(())
+    }
+}
+
+impl Tuner for SuccessiveHalving {
+    fn name(&self) -> &'static str {
+        "sha"
+    }
+
+    fn tune(
+        &self,
+        space: &SearchSpace,
+        objective: &mut dyn Objective,
+        rng: &mut StdRng,
+    ) -> Result<TuningOutcome> {
+        self.validate()?;
+        let configs = space.sample_many(self.num_configs, rng)?;
+        let mut state = BracketState::default();
+        self.run_bracket(configs, objective, &mut state)?;
+        Ok(state.outcome)
+    }
+}
+
+/// Hyperband: a collection of SHA brackets trading off the number of
+/// configurations against the resource each receives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hyperband {
+    max_resource: usize,
+    eta: usize,
+    num_brackets: usize,
+}
+
+impl Hyperband {
+    /// Creates a Hyperband tuner. `num_brackets = None` derives the standard
+    /// `⌊log_η(max_resource)⌋ + 1` bracket count.
+    pub fn new(max_resource: usize, eta: usize, num_brackets: Option<usize>) -> Self {
+        let derived = if max_resource > 0 && eta >= 2 {
+            ((max_resource as f64).ln() / (eta as f64).ln()).floor() as usize + 1
+        } else {
+            1
+        };
+        Hyperband {
+            max_resource,
+            eta,
+            num_brackets: num_brackets.unwrap_or(derived).max(1),
+        }
+    }
+
+    /// The paper's configuration: `η = 3` and 5 SHA brackets, with the given
+    /// maximum rounds per configuration.
+    pub fn paper_default(max_rounds: usize) -> Self {
+        Hyperband::new(max_rounds, 3, Some(5))
+    }
+
+    /// Maximum resource per configuration.
+    pub fn max_resource(&self) -> usize {
+        self.max_resource
+    }
+
+    /// Elimination factor `η`.
+    pub fn eta(&self) -> usize {
+        self.eta
+    }
+
+    /// Number of SHA brackets.
+    pub fn num_brackets(&self) -> usize {
+        self.num_brackets
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.max_resource == 0 {
+            return Err(HpoError::InvalidConfig {
+                message: "max_resource must be positive".into(),
+            });
+        }
+        if self.eta < 2 {
+            return Err(HpoError::InvalidConfig {
+                message: format!("eta must be at least 2, got {}", self.eta),
+            });
+        }
+        Ok(())
+    }
+
+    /// The `(num_configs, min_resource)` pair for bracket `s`
+    /// (`s = num_brackets - 1` is the most exploratory bracket).
+    pub fn bracket_plan(&self, s: usize) -> (usize, usize) {
+        let s_max = self.num_brackets - 1;
+        let eta = self.eta as f64;
+        let n = (((s_max + 1) as f64 / (s + 1) as f64) * eta.powi(s as i32)).ceil() as usize;
+        let r = ((self.max_resource as f64) / eta.powi(s as i32)).round().max(1.0) as usize;
+        (n.max(1), r.min(self.max_resource))
+    }
+}
+
+impl Tuner for Hyperband {
+    fn name(&self) -> &'static str {
+        "hb"
+    }
+
+    fn tune(
+        &self,
+        space: &SearchSpace,
+        objective: &mut dyn Objective,
+        rng: &mut StdRng,
+    ) -> Result<TuningOutcome> {
+        self.validate()?;
+        let mut state = BracketState::default();
+        for s in (0..self.num_brackets).rev() {
+            let (n, r) = self.bracket_plan(s);
+            let configs = space.sample_many(n, rng)?;
+            let bracket = SuccessiveHalving::new(n, self.eta, r, self.max_resource);
+            bracket.run_bracket(configs, objective, &mut state)?;
+        }
+        Ok(state.outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FunctionObjective;
+    use fedmath::rng::rng_for;
+    use std::collections::HashMap;
+
+    fn space_1d() -> SearchSpace {
+        SearchSpace::new().with_uniform("x", 0.0, 1.0).unwrap()
+    }
+
+    /// Objective where the score improves with resource and depends on |x - 0.3|.
+    fn resource_aware_objective() -> FunctionObjective<impl FnMut(&HpConfig, usize) -> f64> {
+        FunctionObjective::new(|config: &HpConfig, resource: usize| {
+            let x = config.values()[0];
+            let quality = (x - 0.3).abs();
+            // More resource reveals the true quality (less "bias").
+            quality + 1.0 / (resource as f64 + 1.0)
+        })
+    }
+
+    #[test]
+    fn sha_validation() {
+        let mut rng = rng_for(0, 0);
+        let mut obj = resource_aware_objective();
+        assert!(SuccessiveHalving::new(0, 3, 1, 9).tune(&space_1d(), &mut obj, &mut rng).is_err());
+        assert!(SuccessiveHalving::new(9, 1, 1, 9).tune(&space_1d(), &mut obj, &mut rng).is_err());
+        assert!(SuccessiveHalving::new(9, 3, 0, 9).tune(&space_1d(), &mut obj, &mut rng).is_err());
+        assert!(SuccessiveHalving::new(9, 3, 10, 9).tune(&space_1d(), &mut obj, &mut rng).is_err());
+        let sha = SuccessiveHalving::new(9, 3, 1, 9);
+        assert_eq!(sha.name(), "sha");
+        assert_eq!(sha.num_configs(), 9);
+        assert_eq!(sha.eta(), 3);
+        assert_eq!(sha.min_resource(), 1);
+        assert_eq!(sha.max_resource(), 9);
+    }
+
+    #[test]
+    fn sha_eliminates_configs_and_promotes_survivors() {
+        let mut rng = rng_for(1, 0);
+        let mut obj = resource_aware_objective();
+        let sha = SuccessiveHalving::new(9, 3, 1, 9);
+        let outcome = sha.tune(&space_1d(), &mut obj, &mut rng).unwrap();
+
+        // Count evaluations per rung: 9 at r=1, 3 at r=3, 1 at r=9.
+        let mut per_rung: HashMap<usize, usize> = HashMap::new();
+        for r in outcome.records() {
+            *per_rung.entry(r.resource).or_default() += 1;
+        }
+        assert_eq!(per_rung.get(&1), Some(&9));
+        assert_eq!(per_rung.get(&3), Some(&3));
+        assert_eq!(per_rung.get(&9), Some(&1));
+
+        // Total budget: 9*1 + 3*(3-1) + 1*(9-3) = 21.
+        assert_eq!(outcome.total_resource(), 21);
+
+        // Only configurations that were among the best at the previous rung
+        // are promoted.
+        let rung1_scores: HashMap<usize, f64> = outcome
+            .records()
+            .iter()
+            .filter(|r| r.resource == 1)
+            .map(|r| (r.trial_id, r.score))
+            .collect();
+        let promoted: Vec<usize> = outcome
+            .records()
+            .iter()
+            .filter(|r| r.resource == 3)
+            .map(|r| r.trial_id)
+            .collect();
+        let mut sorted: Vec<(usize, f64)> = rung1_scores.iter().map(|(&k, &v)| (k, v)).collect();
+        sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let best3: std::collections::HashSet<usize> = sorted.iter().take(3).map(|(k, _)| *k).collect();
+        for id in promoted {
+            assert!(best3.contains(&id), "promoted a non-top-3 configuration");
+        }
+    }
+
+    #[test]
+    fn hyperband_bracket_plan_matches_paper_shape() {
+        // R = 405, eta = 3, 5 brackets reproduces the paper's structure.
+        let hb = Hyperband::paper_default(405);
+        assert_eq!(hb.num_brackets(), 5);
+        assert_eq!(hb.eta(), 3);
+        assert_eq!(hb.max_resource(), 405);
+        assert_eq!(hb.bracket_plan(4), (81, 5));
+        assert_eq!(hb.bracket_plan(3), (34, 15));
+        assert_eq!(hb.bracket_plan(2), (15, 45));
+        assert_eq!(hb.bracket_plan(1), (8, 135));
+        assert_eq!(hb.bracket_plan(0), (5, 405));
+    }
+
+    #[test]
+    fn hyperband_derives_bracket_count() {
+        let hb = Hyperband::new(81, 3, None);
+        // log3(81) = 4 -> 5 brackets.
+        assert_eq!(hb.num_brackets(), 5);
+        let hb = Hyperband::new(1, 3, None);
+        assert_eq!(hb.num_brackets(), 1);
+    }
+
+    #[test]
+    fn hyperband_runs_all_brackets_and_respects_max_resource() {
+        let mut rng = rng_for(2, 0);
+        let mut obj = resource_aware_objective();
+        let hb = Hyperband::new(27, 3, Some(3));
+        let outcome = hb.tune(&space_1d(), &mut obj, &mut rng).unwrap();
+        assert!(outcome.num_evaluations() > 0);
+        assert!(outcome.records().iter().all(|r| r.resource <= 27));
+        // The most exploitative bracket evaluates at full resource.
+        assert!(outcome.records().iter().any(|r| r.resource == 27));
+        assert_eq!(hb.name(), "hb");
+        // Cumulative budget is strictly increasing.
+        let mut prev = 0;
+        for r in outcome.records() {
+            assert!(r.cumulative_resource >= prev);
+            prev = r.cumulative_resource;
+        }
+    }
+
+    #[test]
+    fn hyperband_finds_good_configs_on_resource_aware_objective() {
+        let mut rng = rng_for(3, 0);
+        let mut obj = resource_aware_objective();
+        let hb = Hyperband::new(27, 3, Some(3));
+        let outcome = hb.tune(&space_1d(), &mut obj, &mut rng).unwrap();
+        let best = outcome.best_at_max_fidelity_within_budget(usize::MAX).unwrap();
+        let x = best.config.values()[0];
+        assert!((x - 0.3).abs() < 0.2, "best x = {x} should be near 0.3");
+    }
+
+    #[test]
+    fn hyperband_validation() {
+        let mut rng = rng_for(4, 0);
+        let mut obj = resource_aware_objective();
+        assert!(Hyperband::new(0, 3, Some(2)).tune(&space_1d(), &mut obj, &mut rng).is_err());
+        assert!(Hyperband::new(9, 1, Some(2)).tune(&space_1d(), &mut obj, &mut rng).is_err());
+    }
+
+    #[test]
+    fn trial_ids_are_unique_across_brackets() {
+        let mut rng = rng_for(5, 0);
+        let mut obj = resource_aware_objective();
+        let hb = Hyperband::new(9, 3, Some(3));
+        let outcome = hb.tune(&space_1d(), &mut obj, &mut rng).unwrap();
+        // A trial id must always map to one configuration.
+        let mut seen: HashMap<usize, Vec<f64>> = HashMap::new();
+        for r in outcome.records() {
+            let entry = seen.entry(r.trial_id).or_insert_with(|| r.config.values().to_vec());
+            assert_eq!(entry, &r.config.values().to_vec());
+        }
+    }
+}

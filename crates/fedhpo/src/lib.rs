@@ -1,0 +1,132 @@
+//! Hyperparameter-optimization methods with noisy-evaluation support.
+//!
+//! This crate implements the four HP-tuning methods compared in the paper
+//! (§2.3, Appendix A), plus grid search and the bootstrap analysis used for
+//! the RS-only figures:
+//!
+//! - [`RandomSearch`] — the simple baseline (Algorithm 1/2).
+//! - [`RepeatedRandomSearch`] — RS with averaged repeated noisy evaluations
+//!   (the "sample more" mitigation discussed in §5).
+//! - [`GridSearch`] — the classical grid baseline.
+//! - [`Tpe`] — the Tree-structured Parzen Estimator (Bergstra et al. 2011),
+//!   a Bayesian-optimization method based on kernel-density estimates of the
+//!   good and bad configuration distributions.
+//! - [`SuccessiveHalving`] / [`Hyperband`] — early-stopping methods
+//!   (Li et al. 2017).
+//! - [`Bohb`] — the hybrid that replaces Hyperband's random sampling with the
+//!   TPE acquisition function (Falkner et al. 2018).
+//!
+//! The crate is deliberately **noise-agnostic**: tuners minimise whatever an
+//! [`Objective`] reports, and the experiment harness in `fedtune-core`
+//! decides how noisy that report is (client subsampling, heterogeneity,
+//! differential privacy, proxy data). This mirrors how the tuning methods in
+//! the paper operate on whatever validation signal the federated system can
+//! provide.
+//!
+//! # Example
+//!
+//! ```
+//! use fedhpo::{FunctionObjective, Objective, RandomSearch, SearchSpace, Tuner};
+//!
+//! // Minimise a quadratic over a 1-D space with RS.
+//! let space = SearchSpace::new().with_uniform("x", -5.0, 5.0).unwrap();
+//! let mut objective = FunctionObjective::new(|config, _resource| {
+//!     let x = config.values()[0];
+//!     (x - 1.0) * (x - 1.0)
+//! });
+//! let tuner = RandomSearch::new(32, 1);
+//! let mut rng = fedmath::rng::rng_for(0, 0);
+//! let outcome = tuner.tune(&space, &mut objective, &mut rng).unwrap();
+//! let best = outcome.best().unwrap();
+//! assert!(best.score < 0.5);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bohb;
+pub mod bootstrap;
+pub mod grid_search;
+pub mod hyperband;
+pub mod objective;
+pub mod random_search;
+pub mod repeated;
+pub mod space;
+pub mod tpe;
+pub mod tuner;
+
+pub use bohb::Bohb;
+pub use bootstrap::{bootstrap_selection, BootstrapOutcome};
+pub use grid_search::GridSearch;
+pub use hyperband::{Hyperband, SuccessiveHalving};
+pub use objective::{FunctionObjective, Objective};
+pub use random_search::RandomSearch;
+pub use repeated::RepeatedRandomSearch;
+pub use space::{Dimension, HpConfig, SearchSpace};
+pub use tpe::{Tpe, TpeConfig};
+pub use tuner::{EvaluationRecord, Tuner, TuningOutcome};
+
+use std::fmt;
+
+/// Errors produced by the HPO library.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HpoError {
+    /// A search-space definition or tuner configuration was invalid.
+    InvalidConfig {
+        /// Description of the violation.
+        message: String,
+    },
+    /// The objective function reported a failure.
+    Objective {
+        /// Description of the failure.
+        message: String,
+    },
+    /// An underlying numerical routine failed.
+    Math(fedmath::MathError),
+}
+
+impl fmt::Display for HpoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HpoError::InvalidConfig { message } => write!(f, "invalid configuration: {message}"),
+            HpoError::Objective { message } => write!(f, "objective error: {message}"),
+            HpoError::Math(e) => write!(f, "math error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for HpoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HpoError::Math(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fedmath::MathError> for HpoError {
+    fn from(e: fedmath::MathError) -> Self {
+        HpoError::Math(e)
+    }
+}
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, HpoError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn error_display_and_source() {
+        let e = HpoError::InvalidConfig { message: "k = 0".into() };
+        assert!(e.to_string().contains("k = 0"));
+        assert!(e.source().is_none());
+        let e = HpoError::Objective { message: "diverged".into() };
+        assert!(e.to_string().contains("diverged"));
+        let e: HpoError = fedmath::MathError::EmptyInput { what: "argmin" }.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,557 @@
+//! Hyperparameter search spaces and sampled configurations.
+//!
+//! [`SearchSpace::paper_default`] reproduces the search space of Appendix B:
+//! three tuned FedAdam server hyperparameters, two tuned client SGD
+//! hyperparameters, and the fixed values the paper does not tune.
+
+use crate::{HpoError, Result};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One dimension of a search space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Dimension {
+    /// Uniform over `[low, high]`.
+    Uniform {
+        /// Lower bound (inclusive).
+        low: f64,
+        /// Upper bound (inclusive).
+        high: f64,
+    },
+    /// Log-uniform over `[low, high]` (both strictly positive): the base-10
+    /// logarithm is sampled uniformly.
+    LogUniform {
+        /// Lower bound (inclusive, > 0).
+        low: f64,
+        /// Upper bound (inclusive, > 0).
+        high: f64,
+    },
+    /// A finite set of allowed values (e.g. batch sizes).
+    Categorical {
+        /// The allowed values.
+        choices: Vec<f64>,
+    },
+    /// A hyperparameter held fixed at the given value.
+    Fixed {
+        /// The fixed value.
+        value: f64,
+    },
+}
+
+impl Dimension {
+    /// Samples one value from this dimension.
+    pub fn sample(&self, rng: &mut impl Rng) -> f64 {
+        match self {
+            Dimension::Uniform { low, high } => {
+                if low == high {
+                    *low
+                } else {
+                    rng.gen_range(*low..*high)
+                }
+            }
+            Dimension::LogUniform { low, high } => {
+                if low == high {
+                    *low
+                } else {
+                    let (l, h) = (low.log10(), high.log10());
+                    10f64.powf(rng.gen_range(l..h))
+                }
+            }
+            Dimension::Categorical { choices } => {
+                choices[rng.gen_range(0..choices.len())]
+            }
+            Dimension::Fixed { value } => *value,
+        }
+    }
+
+    /// Returns `true` if `value` is attainable by this dimension (used to
+    /// validate externally-supplied configurations).
+    pub fn contains(&self, value: f64) -> bool {
+        match self {
+            Dimension::Uniform { low, high } => value >= *low && value <= *high,
+            Dimension::LogUniform { low, high } => value >= *low && value <= *high,
+            Dimension::Categorical { choices } => {
+                choices.iter().any(|&c| (c - value).abs() < 1e-12)
+            }
+            Dimension::Fixed { value: v } => (v - value).abs() < 1e-12,
+        }
+    }
+
+    /// Returns `true` for dimensions that are actually searched (not fixed).
+    pub fn is_searchable(&self) -> bool {
+        !matches!(self, Dimension::Fixed { .. })
+    }
+
+    fn validate(&self, name: &str) -> Result<()> {
+        match self {
+            Dimension::Uniform { low, high } => {
+                if !(low.is_finite() && high.is_finite()) || low > high {
+                    return Err(HpoError::InvalidConfig {
+                        message: format!("dimension {name}: invalid uniform range [{low}, {high}]"),
+                    });
+                }
+            }
+            Dimension::LogUniform { low, high } => {
+                if !(low.is_finite() && high.is_finite()) || *low <= 0.0 || low > high {
+                    return Err(HpoError::InvalidConfig {
+                        message: format!(
+                            "dimension {name}: log-uniform range [{low}, {high}] must be positive and ordered"
+                        ),
+                    });
+                }
+            }
+            Dimension::Categorical { choices } => {
+                if choices.is_empty() {
+                    return Err(HpoError::InvalidConfig {
+                        message: format!("dimension {name}: categorical choices must be non-empty"),
+                    });
+                }
+            }
+            Dimension::Fixed { value } => {
+                if !value.is_finite() {
+                    return Err(HpoError::InvalidConfig {
+                        message: format!("dimension {name}: fixed value must be finite"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A sampled hyperparameter configuration: one value per search-space
+/// dimension, in the space's dimension order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HpConfig {
+    values: Vec<f64>,
+}
+
+impl HpConfig {
+    /// Creates a configuration from raw values (use
+    /// [`SearchSpace::validate_config`] to check it against a space).
+    pub fn new(values: Vec<f64>) -> Self {
+        HpConfig { values }
+    }
+
+    /// The configuration's values, aligned with the space's dimensions.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Number of dimensions.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the configuration has no dimensions.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// An ordered collection of named dimensions.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SearchSpace {
+    names: Vec<String>,
+    dimensions: Vec<Dimension>,
+}
+
+impl SearchSpace {
+    /// Names of the hyperparameters in the paper's search space
+    /// (Appendix B), in the order used by [`SearchSpace::paper_default`].
+    pub const PAPER_DIMENSIONS: [&'static str; 9] = [
+        "server_lr",
+        "server_beta1",
+        "server_beta2",
+        "server_lr_decay",
+        "client_lr",
+        "client_momentum",
+        "client_weight_decay",
+        "client_batch_size",
+        "client_epochs",
+    ];
+
+    /// Creates an empty search space.
+    pub fn new() -> Self {
+        SearchSpace::default()
+    }
+
+    /// Adds a dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HpoError::InvalidConfig`] if the dimension is malformed or
+    /// the name is a duplicate.
+    pub fn with_dimension(mut self, name: impl Into<String>, dim: Dimension) -> Result<Self> {
+        let name = name.into();
+        if self.names.iter().any(|n| n == &name) {
+            return Err(HpoError::InvalidConfig {
+                message: format!("duplicate dimension name {name}"),
+            });
+        }
+        dim.validate(&name)?;
+        self.names.push(name);
+        self.dimensions.push(dim);
+        Ok(self)
+    }
+
+    /// Adds a uniform dimension.
+    ///
+    /// # Errors
+    ///
+    /// See [`with_dimension`](Self::with_dimension).
+    pub fn with_uniform(self, name: impl Into<String>, low: f64, high: f64) -> Result<Self> {
+        self.with_dimension(name, Dimension::Uniform { low, high })
+    }
+
+    /// Adds a log-uniform dimension.
+    ///
+    /// # Errors
+    ///
+    /// See [`with_dimension`](Self::with_dimension).
+    pub fn with_log_uniform(self, name: impl Into<String>, low: f64, high: f64) -> Result<Self> {
+        self.with_dimension(name, Dimension::LogUniform { low, high })
+    }
+
+    /// Adds a categorical dimension.
+    ///
+    /// # Errors
+    ///
+    /// See [`with_dimension`](Self::with_dimension).
+    pub fn with_categorical(
+        self,
+        name: impl Into<String>,
+        choices: Vec<f64>,
+    ) -> Result<Self> {
+        self.with_dimension(name, Dimension::Categorical { choices })
+    }
+
+    /// Adds a fixed dimension.
+    ///
+    /// # Errors
+    ///
+    /// See [`with_dimension`](Self::with_dimension).
+    pub fn with_fixed(self, name: impl Into<String>, value: f64) -> Result<Self> {
+        self.with_dimension(name, Dimension::Fixed { value })
+    }
+
+    /// The search space of Appendix B:
+    ///
+    /// | hyperparameter | range |
+    /// |---|---|
+    /// | server learning rate | log-uniform `[1e-6, 1e-1]` |
+    /// | server β₁ | uniform `[0, 0.9]` |
+    /// | server β₂ | uniform `[0, 0.999]` |
+    /// | server lr decay | fixed `0.9999` |
+    /// | client learning rate | log-uniform `[1e-6, 1]` |
+    /// | client momentum | uniform `[0, 0.9]` |
+    /// | client weight decay | fixed `5e-5` |
+    /// | client batch size | categorical `{32, 64, 128}` |
+    /// | client epochs | fixed `1` |
+    pub fn paper_default() -> Self {
+        Self::paper_with_server_lr_range(1e-6, 1e-1)
+    }
+
+    /// The paper's search space with a custom server-learning-rate interval,
+    /// used by the search-space ablation of Appendix C (Fig. 13) where nested
+    /// ranges centred on `1e-3` are compared.
+    pub fn paper_with_server_lr_range(low: f64, high: f64) -> Self {
+        SearchSpace::new()
+            .with_log_uniform("server_lr", low, high)
+            .and_then(|s| s.with_uniform("server_beta1", 0.0, 0.9))
+            .and_then(|s| s.with_uniform("server_beta2", 0.0, 0.999))
+            .and_then(|s| s.with_fixed("server_lr_decay", 0.9999))
+            .and_then(|s| s.with_log_uniform("client_lr", 1e-6, 1.0))
+            .and_then(|s| s.with_uniform("client_momentum", 0.0, 0.9))
+            .and_then(|s| s.with_fixed("client_weight_decay", 5e-5))
+            .and_then(|s| s.with_categorical("client_batch_size", vec![32.0, 64.0, 128.0]))
+            .and_then(|s| s.with_fixed("client_epochs", 1.0))
+            .expect("paper search space is statically valid")
+    }
+
+    /// The nested server-lr interval of width `10^width` centred (in log
+    /// space) on `1e-3`, as used by Fig. 13 (`width ∈ {1, 2, 3, 4}`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HpoError::InvalidConfig`] if `width` is not in `1..=4`.
+    pub fn paper_nested_lr_space(width: u32) -> Result<Self> {
+        if !(1..=4).contains(&width) {
+            return Err(HpoError::InvalidConfig {
+                message: format!("nested lr width must be in 1..=4, got {width}"),
+            });
+        }
+        let half = width as f64 / 2.0;
+        let low = 10f64.powf(-3.0 - half);
+        let high = 10f64.powf(-3.0 + half);
+        Ok(Self::paper_with_server_lr_range(low, high))
+    }
+
+    /// Dimension names, in order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Dimensions, in order.
+    pub fn dimensions(&self) -> &[Dimension] {
+        &self.dimensions
+    }
+
+    /// Number of dimensions.
+    pub fn len(&self) -> usize {
+        self.dimensions.len()
+    }
+
+    /// Returns `true` if the space has no dimensions.
+    pub fn is_empty(&self) -> bool {
+        self.dimensions.is_empty()
+    }
+
+    /// Index of the dimension with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Value of the named dimension within a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HpoError::InvalidConfig`] if the name is unknown or the
+    /// configuration has the wrong arity.
+    pub fn value(&self, config: &HpConfig, name: &str) -> Result<f64> {
+        let idx = self.index_of(name).ok_or_else(|| HpoError::InvalidConfig {
+            message: format!("unknown dimension {name}"),
+        })?;
+        config
+            .values()
+            .get(idx)
+            .copied()
+            .ok_or_else(|| HpoError::InvalidConfig {
+                message: format!(
+                    "configuration has {} values but dimension {name} has index {idx}",
+                    config.len()
+                ),
+            })
+    }
+
+    /// Samples one configuration uniformly from the space.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HpoError::InvalidConfig`] if the space is empty.
+    pub fn sample(&self, rng: &mut impl Rng) -> Result<HpConfig> {
+        if self.is_empty() {
+            return Err(HpoError::InvalidConfig {
+                message: "cannot sample from an empty search space".into(),
+            });
+        }
+        Ok(HpConfig::new(
+            self.dimensions.iter().map(|d| d.sample(rng)).collect(),
+        ))
+    }
+
+    /// Samples `count` configurations.
+    ///
+    /// # Errors
+    ///
+    /// See [`sample`](Self::sample).
+    pub fn sample_many(&self, count: usize, rng: &mut impl Rng) -> Result<Vec<HpConfig>> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Checks that a configuration has the right arity and that every value
+    /// lies within its dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HpoError::InvalidConfig`] describing the first violation.
+    pub fn validate_config(&self, config: &HpConfig) -> Result<()> {
+        if config.len() != self.len() {
+            return Err(HpoError::InvalidConfig {
+                message: format!(
+                    "configuration has {} values but the space has {} dimensions",
+                    config.len(),
+                    self.len()
+                ),
+            });
+        }
+        for ((name, dim), &value) in self.names.iter().zip(self.dimensions.iter()).zip(config.values()) {
+            if !dim.contains(value) {
+                return Err(HpoError::InvalidConfig {
+                    message: format!("value {value} outside dimension {name}"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedmath::rng::rng_for;
+
+    #[test]
+    fn dimension_sampling_respects_bounds() {
+        let mut rng = rng_for(0, 0);
+        let u = Dimension::Uniform { low: -1.0, high: 2.0 };
+        let l = Dimension::LogUniform { low: 1e-6, high: 1e-1 };
+        let c = Dimension::Categorical { choices: vec![32.0, 64.0, 128.0] };
+        let f = Dimension::Fixed { value: 0.5 };
+        for _ in 0..200 {
+            let uv = u.sample(&mut rng);
+            assert!((-1.0..=2.0).contains(&uv));
+            assert!(u.contains(uv));
+            let lv = l.sample(&mut rng);
+            assert!((1e-6..=1e-1).contains(&lv));
+            assert!(l.contains(lv));
+            let cv = c.sample(&mut rng);
+            assert!(c.contains(cv));
+            assert_eq!(f.sample(&mut rng), 0.5);
+        }
+        assert!(!c.contains(33.0));
+        assert!(!f.contains(0.4));
+        assert!(f.contains(0.5));
+        assert!(u.is_searchable());
+        assert!(!f.is_searchable());
+    }
+
+    #[test]
+    fn log_uniform_spreads_across_decades() {
+        let mut rng = rng_for(0, 1);
+        let l = Dimension::LogUniform { low: 1e-6, high: 1.0 };
+        let samples: Vec<f64> = (0..2000).map(|_| l.sample(&mut rng).log10()).collect();
+        // Uniform in log space over [-6, 0]: mean should be near -3.
+        let mean = fedmath::stats::mean(&samples);
+        assert!((mean + 3.0).abs() < 0.2, "log-space mean {mean} not near -3");
+    }
+
+    #[test]
+    fn space_builder_and_lookup() {
+        let space = SearchSpace::new()
+            .with_uniform("a", 0.0, 1.0)
+            .unwrap()
+            .with_fixed("b", 7.0)
+            .unwrap();
+        assert_eq!(space.len(), 2);
+        assert_eq!(space.names(), &["a".to_string(), "b".to_string()]);
+        assert_eq!(space.index_of("b"), Some(1));
+        assert_eq!(space.index_of("zzz"), None);
+        let mut rng = rng_for(1, 0);
+        let config = space.sample(&mut rng).unwrap();
+        assert_eq!(space.value(&config, "b").unwrap(), 7.0);
+        assert!(space.value(&config, "zzz").is_err());
+        assert!(space.validate_config(&config).is_ok());
+        assert!(space.validate_config(&HpConfig::new(vec![0.5])).is_err());
+        assert!(space.validate_config(&HpConfig::new(vec![0.5, 8.0])).is_err());
+    }
+
+    #[test]
+    fn builder_validation() {
+        assert!(SearchSpace::new().with_uniform("a", 1.0, 0.0).is_err());
+        assert!(SearchSpace::new().with_log_uniform("a", 0.0, 1.0).is_err());
+        assert!(SearchSpace::new().with_log_uniform("a", -1.0, 1.0).is_err());
+        assert!(SearchSpace::new().with_categorical("a", vec![]).is_err());
+        assert!(SearchSpace::new().with_fixed("a", f64::NAN).is_err());
+        assert!(SearchSpace::new()
+            .with_uniform("a", 0.0, 1.0)
+            .unwrap()
+            .with_uniform("a", 0.0, 1.0)
+            .is_err());
+        assert!(SearchSpace::new().sample(&mut rng_for(0, 0)).is_err());
+    }
+
+    #[test]
+    fn paper_space_matches_appendix_b() {
+        let space = SearchSpace::paper_default();
+        assert_eq!(space.len(), 9);
+        for name in SearchSpace::PAPER_DIMENSIONS {
+            assert!(space.index_of(name).is_some(), "missing dimension {name}");
+        }
+        let mut rng = rng_for(2, 0);
+        for _ in 0..100 {
+            let config = space.sample(&mut rng).unwrap();
+            let server_lr = space.value(&config, "server_lr").unwrap();
+            assert!((1e-6..=1e-1).contains(&server_lr));
+            let beta1 = space.value(&config, "server_beta1").unwrap();
+            assert!((0.0..=0.9).contains(&beta1));
+            let beta2 = space.value(&config, "server_beta2").unwrap();
+            assert!((0.0..=0.999).contains(&beta2));
+            assert_eq!(space.value(&config, "server_lr_decay").unwrap(), 0.9999);
+            let client_lr = space.value(&config, "client_lr").unwrap();
+            assert!((1e-6..=1.0).contains(&client_lr));
+            assert_eq!(space.value(&config, "client_weight_decay").unwrap(), 5e-5);
+            let bs = space.value(&config, "client_batch_size").unwrap();
+            assert!([32.0, 64.0, 128.0].contains(&bs));
+            assert_eq!(space.value(&config, "client_epochs").unwrap(), 1.0);
+        }
+    }
+
+    #[test]
+    fn nested_lr_spaces_are_nested() {
+        let widths: Vec<(f64, f64)> = (1..=4)
+            .map(|w| {
+                let space = SearchSpace::paper_nested_lr_space(w).unwrap();
+                match &space.dimensions()[space.index_of("server_lr").unwrap()] {
+                    Dimension::LogUniform { low, high } => (*low, *high),
+                    _ => panic!("server_lr should be log-uniform"),
+                }
+            })
+            .collect();
+        for i in 1..widths.len() {
+            assert!(widths[i].0 < widths[i - 1].0);
+            assert!(widths[i].1 > widths[i - 1].1);
+        }
+        // Width 4 recovers the full paper range.
+        assert!((widths[3].0 - 1e-5).abs() < 1e-12 || widths[3].0 < 1e-4);
+        assert!(SearchSpace::paper_nested_lr_space(0).is_err());
+        assert!(SearchSpace::paper_nested_lr_space(5).is_err());
+    }
+
+    #[test]
+    fn sample_many_returns_distinct_configs() {
+        let space = SearchSpace::paper_default();
+        let mut rng = rng_for(3, 0);
+        let configs = space.sample_many(16, &mut rng).unwrap();
+        assert_eq!(configs.len(), 16);
+        let distinct: std::collections::HashSet<String> = configs
+            .iter()
+            .map(|c| format!("{:?}", c.values()))
+            .collect();
+        assert!(distinct.len() > 1);
+        assert!(!configs[0].is_empty());
+        assert_eq!(configs[0].len(), 9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use fedmath::rng::rng_for;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn prop_paper_space_samples_are_always_valid(seed in any::<u64>()) {
+            let space = SearchSpace::paper_default();
+            let mut rng = rng_for(seed, 0);
+            let config = space.sample(&mut rng).unwrap();
+            prop_assert!(space.validate_config(&config).is_ok());
+        }
+
+        #[test]
+        fn prop_uniform_dimension_within_bounds(
+            seed in any::<u64>(),
+            low in -100.0f64..100.0,
+            width in 0.0f64..50.0,
+        ) {
+            let dim = Dimension::Uniform { low, high: low + width };
+            let mut rng = rng_for(seed, 1);
+            let v = dim.sample(&mut rng);
+            prop_assert!(v >= low && v <= low + width);
+            prop_assert!(dim.contains(v));
+        }
+    }
+}

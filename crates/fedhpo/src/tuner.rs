@@ -1,0 +1,182 @@
+//! The [`Tuner`] trait and the evaluation history it produces.
+
+use crate::objective::Objective;
+use crate::space::{HpConfig, SearchSpace};
+use crate::Result;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// One evaluation performed during a tuning run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EvaluationRecord {
+    /// Identifier of the configuration being evaluated (stable across
+    /// re-evaluations of the same configuration at higher fidelity).
+    pub trial_id: usize,
+    /// The configuration.
+    pub config: HpConfig,
+    /// Cumulative resource (training rounds) this configuration has received
+    /// at the time of the evaluation.
+    pub resource: usize,
+    /// The score reported by the objective (lower is better). This is the
+    /// possibly *noisy* signal the tuner acts on.
+    pub score: f64,
+    /// Total resource spent by the tuner across all configurations up to and
+    /// including this evaluation — the x-axis of the paper's online plots.
+    pub cumulative_resource: usize,
+}
+
+/// The full history of a tuning run.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TuningOutcome {
+    records: Vec<EvaluationRecord>,
+}
+
+impl TuningOutcome {
+    /// Creates an outcome from raw records (mainly for tests).
+    pub fn from_records(records: Vec<EvaluationRecord>) -> Self {
+        TuningOutcome { records }
+    }
+
+    /// All evaluation records in chronological order.
+    pub fn records(&self) -> &[EvaluationRecord] {
+        &self.records
+    }
+
+    /// Number of evaluations performed.
+    pub fn num_evaluations(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Total resource (training rounds) spent by the run.
+    pub fn total_resource(&self) -> usize {
+        self.records.last().map_or(0, |r| r.cumulative_resource)
+    }
+
+    /// The record with the lowest score over the entire run, i.e. the
+    /// configuration the tuner would select.
+    pub fn best(&self) -> Option<&EvaluationRecord> {
+        self.records
+            .iter()
+            .min_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// The best record among evaluations completed within the given resource
+    /// budget — used to draw "performance vs. budget" curves (Fig. 5, 8, 12).
+    pub fn best_within_budget(&self, budget: usize) -> Option<&EvaluationRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.cumulative_resource <= budget)
+            .min_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// The best record restricted to evaluations at the highest fidelity seen
+    /// so far within the budget. Early-stopping methods evaluate many
+    /// configurations at low fidelity; selecting only among the highest
+    /// fidelity mirrors how Hyperband reports its incumbent.
+    pub fn best_at_max_fidelity_within_budget(&self, budget: usize) -> Option<&EvaluationRecord> {
+        let within: Vec<&EvaluationRecord> = self
+            .records
+            .iter()
+            .filter(|r| r.cumulative_resource <= budget)
+            .collect();
+        let max_fidelity = within.iter().map(|r| r.resource).max()?;
+        within
+            .into_iter()
+            .filter(|r| r.resource == max_fidelity)
+            .min_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Appends a record (used by tuner implementations).
+    pub fn push(&mut self, record: EvaluationRecord) {
+        self.records.push(record);
+    }
+}
+
+/// A hyperparameter-tuning method.
+pub trait Tuner {
+    /// Short name used in reports (`"rs"`, `"tpe"`, `"hb"`, `"bohb"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Runs the tuning method against `objective` over `space`, using `rng`
+    /// for all stochastic choices, and returns the evaluation history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates objective failures and configuration errors.
+    fn tune(
+        &self,
+        space: &SearchSpace,
+        objective: &mut dyn Objective,
+        rng: &mut StdRng,
+    ) -> Result<TuningOutcome>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(trial: usize, resource: usize, score: f64, cumulative: usize) -> EvaluationRecord {
+        EvaluationRecord {
+            trial_id: trial,
+            config: HpConfig::new(vec![trial as f64]),
+            resource,
+            score,
+            cumulative_resource: cumulative,
+        }
+    }
+
+    #[test]
+    fn outcome_best_and_budget_queries() {
+        let outcome = TuningOutcome::from_records(vec![
+            record(0, 10, 0.8, 10),
+            record(1, 10, 0.5, 20),
+            record(2, 10, 0.9, 30),
+            record(3, 10, 0.3, 40),
+        ]);
+        assert_eq!(outcome.num_evaluations(), 4);
+        assert_eq!(outcome.total_resource(), 40);
+        assert_eq!(outcome.best().unwrap().trial_id, 3);
+        assert_eq!(outcome.best_within_budget(25).unwrap().trial_id, 1);
+        assert_eq!(outcome.best_within_budget(5), None);
+        assert_eq!(outcome.best_within_budget(1000).unwrap().trial_id, 3);
+    }
+
+    #[test]
+    fn outcome_max_fidelity_selection() {
+        // Trial 1 is best at low fidelity but trial 2 is the best among
+        // configurations trained to the highest fidelity.
+        let outcome = TuningOutcome::from_records(vec![
+            record(0, 5, 0.6, 5),
+            record(1, 5, 0.1, 10),
+            record(2, 15, 0.4, 25),
+            record(3, 15, 0.5, 40),
+        ]);
+        assert_eq!(outcome.best().unwrap().trial_id, 1);
+        assert_eq!(
+            outcome.best_at_max_fidelity_within_budget(40).unwrap().trial_id,
+            2
+        );
+        // Within a smaller budget the max fidelity seen is 5.
+        assert_eq!(
+            outcome.best_at_max_fidelity_within_budget(10).unwrap().trial_id,
+            1
+        );
+        assert!(outcome.best_at_max_fidelity_within_budget(1).is_none());
+    }
+
+    #[test]
+    fn empty_outcome() {
+        let outcome = TuningOutcome::default();
+        assert_eq!(outcome.num_evaluations(), 0);
+        assert_eq!(outcome.total_resource(), 0);
+        assert!(outcome.best().is_none());
+        assert!(outcome.best_within_budget(10).is_none());
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut outcome = TuningOutcome::default();
+        outcome.push(record(0, 1, 1.0, 1));
+        assert_eq!(outcome.num_evaluations(), 1);
+    }
+}

@@ -1,0 +1,267 @@
+//! One-hidden-layer ReLU network on dense features.
+//!
+//! Stands in for the paper's 2-layer CNN on the image-classification family
+//! (see `DESIGN.md`): a non-linear model whose trainability depends strongly
+//! on the learning-rate and momentum hyperparameters, which is the property
+//! the HP-tuning study needs.
+
+use crate::model::Model;
+use crate::{ModelError, Result};
+use feddata::{Example, Input};
+use fedmath::Matrix;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// A multilayer perceptron with one ReLU hidden layer:
+/// `logits = W2 * relu(W1 x + b1) + b2`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    w1: Matrix,
+    b1: Vec<f64>,
+    w2: Matrix,
+    b2: Vec<f64>,
+    feature_dim: usize,
+    hidden_dim: usize,
+    num_classes: usize,
+}
+
+impl Mlp {
+    /// Creates an MLP with He-style random initial weights.
+    pub fn new(feature_dim: usize, hidden_dim: usize, num_classes: usize, rng: &mut impl Rng) -> Self {
+        let s1 = (2.0 / feature_dim.max(1) as f64).sqrt();
+        let s2 = (2.0 / hidden_dim.max(1) as f64).sqrt();
+        let n1 = Normal::new(0.0, s1).expect("valid std");
+        let n2 = Normal::new(0.0, s2).expect("valid std");
+        Mlp {
+            w1: Matrix::from_fn(hidden_dim, feature_dim, |_, _| n1.sample(rng)),
+            b1: vec![0.0; hidden_dim],
+            w2: Matrix::from_fn(num_classes, hidden_dim, |_, _| n2.sample(rng)),
+            b2: vec![0.0; num_classes],
+            feature_dim,
+            hidden_dim,
+            num_classes,
+        }
+    }
+
+    /// Input feature dimensionality.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// Hidden-layer width.
+    pub fn hidden_dim(&self) -> usize {
+        self.hidden_dim
+    }
+
+    fn dense_input<'a>(&self, input: &'a Input) -> Result<&'a [f64]> {
+        match input {
+            Input::Dense(x) if x.len() == self.feature_dim => Ok(x),
+            Input::Dense(x) => Err(ModelError::IncompatibleInput {
+                message: format!("expected {} features, got {}", self.feature_dim, x.len()),
+            }),
+            Input::Token(_) => Err(ModelError::IncompatibleInput {
+                message: "mlp expects dense inputs, got a token".into(),
+            }),
+        }
+    }
+
+    /// Forward pass returning `(pre-activation, hidden activation, logits)`.
+    fn forward(&self, x: &[f64]) -> Result<(Vec<f64>, Vec<f64>, Vec<f64>)> {
+        let mut pre = self.w1.matvec(x).map_err(ModelError::from)?;
+        for (p, b) in pre.iter_mut().zip(self.b1.iter()) {
+            *p += b;
+        }
+        let hidden: Vec<f64> = pre.iter().map(|&v| fedmath::ops::relu(v)).collect();
+        let mut logits = self.w2.matvec(&hidden).map_err(ModelError::from)?;
+        for (l, b) in logits.iter_mut().zip(self.b2.iter()) {
+            *l += b;
+        }
+        Ok((pre, hidden, logits))
+    }
+}
+
+impl Model for Mlp {
+    fn num_params(&self) -> usize {
+        self.hidden_dim * self.feature_dim
+            + self.hidden_dim
+            + self.num_classes * self.hidden_dim
+            + self.num_classes
+    }
+
+    fn params(&self) -> Vec<f64> {
+        let mut out = self.w1.as_slice().to_vec();
+        out.extend_from_slice(&self.b1);
+        out.extend_from_slice(self.w2.as_slice());
+        out.extend_from_slice(&self.b2);
+        out
+    }
+
+    fn set_params(&mut self, params: &[f64]) -> Result<()> {
+        if params.len() != self.num_params() {
+            return Err(ModelError::ParamLengthMismatch {
+                expected: self.num_params(),
+                got: params.len(),
+            });
+        }
+        let mut offset = 0;
+        let w1_len = self.hidden_dim * self.feature_dim;
+        self.w1 = Matrix::from_vec(self.hidden_dim, self.feature_dim, params[offset..offset + w1_len].to_vec())
+            .map_err(ModelError::from)?;
+        offset += w1_len;
+        self.b1 = params[offset..offset + self.hidden_dim].to_vec();
+        offset += self.hidden_dim;
+        let w2_len = self.num_classes * self.hidden_dim;
+        self.w2 = Matrix::from_vec(self.num_classes, self.hidden_dim, params[offset..offset + w2_len].to_vec())
+            .map_err(ModelError::from)?;
+        offset += w2_len;
+        self.b2 = params[offset..].to_vec();
+        Ok(())
+    }
+
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn logits(&self, input: &Input) -> Result<Vec<f64>> {
+        let x = self.dense_input(input)?;
+        Ok(self.forward(x)?.2)
+    }
+
+    fn gradient(&self, examples: &[Example]) -> Result<Vec<f64>> {
+        if examples.is_empty() {
+            return Err(ModelError::EmptyBatch);
+        }
+        let mut gw1 = Matrix::zeros(self.hidden_dim, self.feature_dim);
+        let mut gb1 = vec![0.0; self.hidden_dim];
+        let mut gw2 = Matrix::zeros(self.num_classes, self.hidden_dim);
+        let mut gb2 = vec![0.0; self.num_classes];
+
+        for e in examples {
+            if e.label >= self.num_classes {
+                return Err(ModelError::LabelOutOfRange {
+                    label: e.label,
+                    num_classes: self.num_classes,
+                });
+            }
+            let x = self.dense_input(&e.input)?;
+            let (pre, hidden, logits) = self.forward(x)?;
+            let mut dlogits = logits;
+            fedmath::ops::softmax_inplace(&mut dlogits);
+            dlogits[e.label] -= 1.0;
+
+            // Output layer gradients.
+            for c in 0..self.num_classes {
+                gb2[c] += dlogits[c];
+                let row = gw2.row_mut(c);
+                for (h, &hv) in hidden.iter().enumerate() {
+                    row[h] += dlogits[c] * hv;
+                }
+            }
+            // Backprop into the hidden layer.
+            for h in 0..self.hidden_dim {
+                let mut dh = 0.0;
+                for c in 0..self.num_classes {
+                    dh += dlogits[c] * self.w2.get(c, h);
+                }
+                dh *= fedmath::ops::relu_grad(pre[h]);
+                gb1[h] += dh;
+                let row = gw1.row_mut(h);
+                for (d, &xd) in x.iter().enumerate() {
+                    row[d] += dh * xd;
+                }
+            }
+        }
+
+        let inv_n = 1.0 / examples.len() as f64;
+        let mut out = gw1.into_vec();
+        out.extend_from_slice(&gb1);
+        out.extend_from_slice(gw2.as_slice());
+        out.extend_from_slice(&gb2);
+        for g in &mut out {
+            *g *= inv_n;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::finite_difference_check;
+    use fedmath::rng::rng_for;
+
+    fn toy_examples() -> Vec<Example> {
+        vec![
+            Example::dense(vec![1.0, -0.3], 0),
+            Example::dense(vec![-0.5, 0.8], 1),
+            Example::dense(vec![0.2, 0.2], 2),
+            Example::dense(vec![-1.0, -1.0], 0),
+        ]
+    }
+
+    #[test]
+    fn param_count_and_round_trip() {
+        let mut rng = rng_for(1, 0);
+        let mut model = Mlp::new(2, 5, 3, &mut rng);
+        assert_eq!(model.num_params(), 5 * 2 + 5 + 3 * 5 + 3);
+        assert_eq!(model.feature_dim(), 2);
+        assert_eq!(model.hidden_dim(), 5);
+        assert_eq!(model.num_classes(), 3);
+        let p = model.params();
+        assert_eq!(p.len(), model.num_params());
+        model.set_params(&p).unwrap();
+        assert_eq!(model.params(), p);
+        assert!(model.set_params(&p[1..]).is_err());
+    }
+
+    #[test]
+    fn input_validation() {
+        let mut rng = rng_for(1, 1);
+        let model = Mlp::new(3, 4, 2, &mut rng);
+        assert!(model.logits(&Input::Dense(vec![0.0; 3])).is_ok());
+        assert!(model.logits(&Input::Dense(vec![0.0; 2])).is_err());
+        assert!(model.logits(&Input::Token(1)).is_err());
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let mut rng = rng_for(1, 2);
+        let model = Mlp::new(2, 4, 3, &mut rng);
+        let diff = finite_difference_check(&model, &toy_examples(), 1e-5).unwrap();
+        assert!(diff < 1e-5, "max gradient error {diff}");
+    }
+
+    #[test]
+    fn gradient_validation() {
+        let mut rng = rng_for(1, 3);
+        let model = Mlp::new(2, 3, 2, &mut rng);
+        assert!(matches!(model.gradient(&[]), Err(ModelError::EmptyBatch)));
+        assert!(model.gradient(&[Example::dense(vec![0.0, 0.0], 9)]).is_err());
+    }
+
+    #[test]
+    fn gradient_descent_fits_toy_data() {
+        let mut rng = rng_for(1, 4);
+        let mut model = Mlp::new(2, 16, 3, &mut rng);
+        let examples = toy_examples();
+        let initial = model.loss(&examples).unwrap();
+        for _ in 0..300 {
+            let grad = model.gradient(&examples).unwrap();
+            let mut params = model.params();
+            for (p, g) in params.iter_mut().zip(grad.iter()) {
+                *p -= 0.3 * g;
+            }
+            model.set_params(&params).unwrap();
+        }
+        let final_loss = model.loss(&examples).unwrap();
+        assert!(final_loss < initial, "loss did not decrease: {initial} -> {final_loss}");
+        assert!(model.error_rate(&examples).unwrap() <= 0.25);
+    }
+
+    #[test]
+    fn initialization_reproducible() {
+        let mut a = rng_for(9, 9);
+        let mut b = rng_for(9, 9);
+        assert_eq!(Mlp::new(3, 4, 2, &mut a).params(), Mlp::new(3, 4, 2, &mut b).params());
+    }
+}

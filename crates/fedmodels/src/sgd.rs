@@ -1,0 +1,286 @@
+//! Local (client-side) mini-batch SGD — `ClientOPT` in Algorithm 2.
+//!
+//! The client hyperparameters tuned by the paper (Appendix B) all live here:
+//! learning rate, momentum, weight decay, batch size, and the number of local
+//! epochs per round.
+
+use crate::model::Model;
+use crate::{ModelError, Result};
+use feddata::Example;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters of the client-side SGD optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LocalSgdConfig {
+    /// Client learning rate (`10^x` with `x ∈ [-6, 0]` in the paper's space).
+    pub learning_rate: f64,
+    /// Client momentum (`[0, 0.9]` in the paper's space).
+    pub momentum: f64,
+    /// L2 weight decay (fixed to `5e-5` in the paper).
+    pub weight_decay: f64,
+    /// Mini-batch size (`{32, 64, 128}` in the paper's space).
+    pub batch_size: usize,
+    /// Number of local epochs per round (fixed to 1 in the paper).
+    pub epochs: usize,
+}
+
+impl Default for LocalSgdConfig {
+    fn default() -> Self {
+        LocalSgdConfig {
+            learning_rate: 0.1,
+            momentum: 0.0,
+            weight_decay: 5e-5,
+            batch_size: 32,
+            epochs: 1,
+        }
+    }
+}
+
+impl LocalSgdConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidHyperparameter`] if any value is outside
+    /// its valid range (non-positive learning rate or batch size, momentum
+    /// outside `[0, 1)`, negative weight decay, or zero epochs).
+    pub fn validate(&self) -> Result<()> {
+        if self.learning_rate <= 0.0 || !self.learning_rate.is_finite() {
+            return Err(ModelError::InvalidHyperparameter {
+                message: format!("learning rate must be positive, got {}", self.learning_rate),
+            });
+        }
+        if !(0.0..1.0).contains(&self.momentum) {
+            return Err(ModelError::InvalidHyperparameter {
+                message: format!("momentum must be in [0, 1), got {}", self.momentum),
+            });
+        }
+        if self.weight_decay < 0.0 || !self.weight_decay.is_finite() {
+            return Err(ModelError::InvalidHyperparameter {
+                message: format!("weight decay must be non-negative, got {}", self.weight_decay),
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(ModelError::InvalidHyperparameter {
+                message: "batch size must be positive".into(),
+            });
+        }
+        if self.epochs == 0 {
+            return Err(ModelError::InvalidHyperparameter {
+                message: "epochs must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The client-side optimizer: runs local mini-batch SGD with momentum and
+/// weight decay on one client's examples and returns the updated parameters.
+#[derive(Debug, Clone)]
+pub struct LocalSgd {
+    config: LocalSgdConfig,
+}
+
+impl LocalSgd {
+    /// Creates a local optimizer with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidHyperparameter`] if the configuration is
+    /// invalid (see [`LocalSgdConfig::validate`]).
+    pub fn new(config: LocalSgdConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(LocalSgd { config })
+    }
+
+    /// The optimizer configuration.
+    pub fn config(&self) -> &LocalSgdConfig {
+        &self.config
+    }
+
+    /// Runs local training on `examples` starting from `model`'s current
+    /// parameters and returns the locally-updated parameter vector
+    /// (`w'_{a_i}` in Algorithm 2). The input model is not modified.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyBatch`] if `examples` is empty and
+    /// propagates gradient errors.
+    pub fn train<M: Model>(
+        &self,
+        model: &M,
+        examples: &[Example],
+        rng: &mut impl Rng,
+    ) -> Result<Vec<f64>> {
+        if examples.is_empty() {
+            return Err(ModelError::EmptyBatch);
+        }
+        let mut local = model.clone();
+        let mut params = local.params();
+        let mut velocity = vec![0.0; params.len()];
+        let cfg = &self.config;
+
+        let mut order: Vec<usize> = (0..examples.len()).collect();
+        for _ in 0..cfg.epochs {
+            order.shuffle(rng);
+            for chunk in order.chunks(cfg.batch_size) {
+                let batch: Vec<Example> = chunk.iter().map(|&i| examples[i].clone()).collect();
+                local.set_params(&params)?;
+                let grad = local.gradient(&batch)?;
+                for i in 0..params.len() {
+                    let g = grad[i] + cfg.weight_decay * params[i];
+                    velocity[i] = cfg.momentum * velocity[i] + g;
+                    params[i] -= cfg.learning_rate * velocity[i];
+                }
+            }
+        }
+        Ok(params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::SoftmaxRegression;
+    use fedmath::rng::rng_for;
+
+    fn separable_examples() -> Vec<Example> {
+        let mut out = Vec::new();
+        for i in 0..20 {
+            let x = i as f64 / 10.0;
+            out.push(Example::dense(vec![1.0 + x, 0.0], 0));
+            out.push(Example::dense(vec![0.0, 1.0 + x], 1));
+        }
+        out
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(LocalSgdConfig::default().validate().is_ok());
+        let bad = LocalSgdConfig { learning_rate: 0.0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = LocalSgdConfig { momentum: 1.0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = LocalSgdConfig { momentum: -0.1, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = LocalSgdConfig { weight_decay: -1.0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = LocalSgdConfig { batch_size: 0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = LocalSgdConfig { epochs: 0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        assert!(LocalSgd::new(bad).is_err());
+    }
+
+    #[test]
+    fn local_training_reduces_loss() {
+        let mut rng = rng_for(0, 0);
+        let model = SoftmaxRegression::new(2, 2, &mut rng);
+        let examples = separable_examples();
+        let sgd = LocalSgd::new(LocalSgdConfig {
+            learning_rate: 0.5,
+            momentum: 0.5,
+            weight_decay: 5e-5,
+            batch_size: 8,
+            epochs: 5,
+            ..Default::default()
+        })
+        .unwrap();
+        let before = model.loss(&examples).unwrap();
+        let new_params = sgd.train(&model, &examples, &mut rng).unwrap();
+        let mut trained = model.clone();
+        trained.set_params(&new_params).unwrap();
+        let after = trained.loss(&examples).unwrap();
+        assert!(after < before, "loss did not improve: {before} -> {after}");
+        assert!(trained.error_rate(&examples).unwrap() < 0.1);
+    }
+
+    #[test]
+    fn train_does_not_modify_input_model() {
+        let mut rng = rng_for(0, 1);
+        let model = SoftmaxRegression::new(2, 2, &mut rng);
+        let before = model.params();
+        let sgd = LocalSgd::new(LocalSgdConfig::default()).unwrap();
+        let _ = sgd.train(&model, &separable_examples(), &mut rng).unwrap();
+        assert_eq!(model.params(), before);
+    }
+
+    #[test]
+    fn empty_client_is_an_error() {
+        let mut rng = rng_for(0, 2);
+        let model = SoftmaxRegression::new(2, 2, &mut rng);
+        let sgd = LocalSgd::new(LocalSgdConfig::default()).unwrap();
+        assert!(matches!(
+            sgd.train(&model, &[], &mut rng),
+            Err(ModelError::EmptyBatch)
+        ));
+    }
+
+    #[test]
+    fn huge_learning_rate_diverges_on_overlapping_classes() {
+        // The HP response surface must punish absurd learning rates — this is
+        // what makes hyperparameter tuning on these models non-trivial. With
+        // overlapping classes (identical features, different labels) the
+        // optimum is the uniform predictor; an enormous learning rate instead
+        // drives the weights to huge magnitudes and the loss far above ln(2).
+        let mut rng = rng_for(0, 3);
+        let model = SoftmaxRegression::new(2, 2, &mut rng);
+        let mut examples = Vec::new();
+        for i in 0..20 {
+            let x = vec![0.5 + (i % 3) as f64 * 0.01, 0.5];
+            examples.push(Example::dense(x.clone(), 0));
+            examples.push(Example::dense(x, 1));
+        }
+        let sgd = LocalSgd::new(LocalSgdConfig {
+            learning_rate: 1e4,
+            batch_size: 4,
+            epochs: 3,
+            ..Default::default()
+        })
+        .unwrap();
+        let params = sgd.train(&model, &examples, &mut rng).unwrap();
+        let mut diverged = model.clone();
+        diverged.set_params(&params).unwrap();
+        let loss = diverged.loss(&examples).unwrap();
+        let optimal = 2.0f64.ln();
+        assert!(
+            loss > 2.0 * optimal || !loss.is_finite(),
+            "expected divergence with lr=1e4: optimal {optimal}, got {loss}"
+        );
+    }
+
+    #[test]
+    fn weight_decay_shrinks_parameters() {
+        let mut rng = rng_for(0, 4);
+        let model = SoftmaxRegression::new(2, 2, &mut rng);
+        // Pure decay: tiny gradient influence via lr, huge decay.
+        let sgd = LocalSgd::new(LocalSgdConfig {
+            learning_rate: 0.1,
+            momentum: 0.0,
+            weight_decay: 5.0,
+            batch_size: 64,
+            epochs: 10,
+        })
+        .unwrap();
+        let examples = separable_examples();
+        let params = sgd.train(&model, &examples, &mut rng).unwrap();
+        let norm_before: f64 = model.params().iter().map(|p| p * p).sum();
+        let norm_after: f64 = params.iter().map(|p| p * p).sum();
+        assert!(norm_after < norm_before);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut rng1 = rng_for(7, 0);
+        let mut rng2 = rng_for(7, 0);
+        let model = SoftmaxRegression::new(2, 2, &mut rng1);
+        let model2 = SoftmaxRegression::new(2, 2, &mut rng2);
+        let sgd = LocalSgd::new(LocalSgdConfig::default()).unwrap();
+        let examples = separable_examples();
+        let p1 = sgd.train(&model, &examples, &mut rng1).unwrap();
+        let p2 = sgd.train(&model2, &examples, &mut rng2).unwrap();
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,86 @@
+//! Translation from sampled search-space configurations to concrete
+//! simulator hyperparameters.
+
+use crate::{ProxyError, Result};
+use fedhpo::{HpConfig, SearchSpace};
+use fedmodels::LocalSgdConfig;
+use fedsim::{FedAdamConfig, FederatedHyperparams};
+
+/// Converts a configuration sampled from the paper's search space
+/// ([`SearchSpace::paper_default`] or any space using the same dimension
+/// names) into the [`FederatedHyperparams`] consumed by the simulator.
+///
+/// # Errors
+///
+/// Returns [`ProxyError::InvalidConfig`] if a required dimension is missing
+/// or the resulting hyperparameters fail validation.
+pub fn hyperparams_from_config(
+    space: &SearchSpace,
+    config: &HpConfig,
+) -> Result<FederatedHyperparams> {
+    let get = |name: &str| -> Result<f64> {
+        space.value(config, name).map_err(ProxyError::from)
+    };
+    let hyperparams = FederatedHyperparams {
+        server: FedAdamConfig {
+            learning_rate: get("server_lr")?,
+            beta1: get("server_beta1")?,
+            beta2: get("server_beta2")?,
+            lr_decay: get("server_lr_decay")?,
+            epsilon: 1e-5,
+        },
+        client: LocalSgdConfig {
+            learning_rate: get("client_lr")?,
+            momentum: get("client_momentum")?,
+            weight_decay: get("client_weight_decay")?,
+            batch_size: get("client_batch_size")?.round().max(1.0) as usize,
+            epochs: get("client_epochs")?.round().max(1.0) as usize,
+        },
+    };
+    hyperparams
+        .validate()
+        .map_err(|e| ProxyError::InvalidConfig {
+            message: format!("sampled configuration is invalid: {e}"),
+        })?;
+    Ok(hyperparams)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedmath::rng::rng_for;
+
+    #[test]
+    fn every_sample_from_the_paper_space_maps_to_valid_hyperparams() {
+        let space = SearchSpace::paper_default();
+        let mut rng = rng_for(0, 0);
+        for _ in 0..200 {
+            let config = space.sample(&mut rng).unwrap();
+            let hp = hyperparams_from_config(&space, &config).unwrap();
+            assert!(hp.server.learning_rate >= 1e-6 && hp.server.learning_rate <= 1e-1);
+            assert!(hp.client.learning_rate >= 1e-6 && hp.client.learning_rate <= 1.0);
+            assert!([32, 64, 128].contains(&hp.client.batch_size));
+            assert_eq!(hp.client.epochs, 1);
+            assert!((hp.server.lr_decay - 0.9999).abs() < 1e-12);
+            assert!((hp.client.weight_decay - 5e-5).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn nested_lr_spaces_also_map() {
+        let space = SearchSpace::paper_nested_lr_space(2).unwrap();
+        let mut rng = rng_for(1, 0);
+        let config = space.sample(&mut rng).unwrap();
+        let hp = hyperparams_from_config(&space, &config).unwrap();
+        assert!(hp.server.learning_rate >= 10f64.powf(-4.0) - 1e-12);
+        assert!(hp.server.learning_rate <= 10f64.powf(-2.0) + 1e-12);
+    }
+
+    #[test]
+    fn missing_dimension_is_an_error() {
+        let space = SearchSpace::new().with_uniform("server_lr", 0.001, 0.1).unwrap();
+        let mut rng = rng_for(2, 0);
+        let config = space.sample(&mut rng).unwrap();
+        assert!(hyperparams_from_config(&space, &config).is_err());
+    }
+}

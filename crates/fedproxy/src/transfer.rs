@@ -1,0 +1,157 @@
+//! Hyperparameter transfer between dataset pairs (Fig. 10 and Fig. 14).
+
+use crate::runner::ConfigRunner;
+use crate::Result;
+use feddata::FederatedDataset;
+use fedhpo::HpConfig;
+use fedmath::SeedStream;
+use serde::{Deserialize, Serialize};
+
+/// One configuration evaluated on two datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransferPoint {
+    /// Index of the configuration in the evaluated batch.
+    pub config_index: usize,
+    /// Full-validation error on the first dataset.
+    pub error_a: f64,
+    /// Full-validation error on the second dataset.
+    pub error_b: f64,
+}
+
+/// The scatter of Fig. 10/14 plus summary correlations: how well does a
+/// configuration's quality on one dataset predict its quality on another?
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferAnalysis {
+    /// Name of the first dataset.
+    pub dataset_a: String,
+    /// Name of the second dataset.
+    pub dataset_b: String,
+    /// Per-configuration error pairs.
+    pub points: Vec<TransferPoint>,
+    /// Pearson correlation between the two error columns (`None` if either
+    /// column is constant).
+    pub pearson: Option<f64>,
+    /// Spearman rank correlation between the two error columns.
+    pub spearman: Option<f64>,
+}
+
+impl TransferAnalysis {
+    /// Errors on the first dataset, in configuration order.
+    pub fn errors_a(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.error_a).collect()
+    }
+
+    /// Errors on the second dataset, in configuration order.
+    pub fn errors_b(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.error_b).collect()
+    }
+}
+
+/// Trains and evaluates the *same* configurations independently on two
+/// datasets, producing the transfer scatter of Fig. 10/14.
+///
+/// `runner_a` / `runner_b` carry the per-dataset model and round settings
+/// (image vs. text datasets use different models); both interpret `configs`
+/// against the same search space.
+///
+/// # Errors
+///
+/// Propagates training errors; returns an error if `configs` is empty.
+pub fn transfer_analysis(
+    dataset_a: &FederatedDataset,
+    runner_a: &ConfigRunner,
+    dataset_b: &FederatedDataset,
+    runner_b: &ConfigRunner,
+    configs: &[HpConfig],
+    seed: u64,
+) -> Result<TransferAnalysis> {
+    if configs.is_empty() {
+        return Err(crate::ProxyError::InvalidConfig {
+            message: "transfer analysis needs at least one configuration".into(),
+        });
+    }
+    let mut seeds = SeedStream::new(seed);
+    let mut points = Vec::with_capacity(configs.len());
+    for (config_index, config) in configs.iter().enumerate() {
+        let seed_a = seeds.next_seed();
+        let seed_b = seeds.next_seed();
+        let error_a = runner_a.run(dataset_a, config, seed_a)?.full_error;
+        let error_b = runner_b.run(dataset_b, config, seed_b)?.full_error;
+        points.push(TransferPoint {
+            config_index,
+            error_a,
+            error_b,
+        });
+    }
+    let a: Vec<f64> = points.iter().map(|p| p.error_a).collect();
+    let b: Vec<f64> = points.iter().map(|p| p.error_b).collect();
+    let pearson = fedmath::stats::pearson_correlation(&a, &b).ok();
+    let spearman = fedmath::stats::spearman_correlation(&a, &b).ok();
+    Ok(TransferAnalysis {
+        dataset_a: dataset_a.name().to_string(),
+        dataset_b: dataset_b.name().to_string(),
+        points,
+        pearson,
+        spearman,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use feddata::{Benchmark, DatasetSpec, Scale};
+    use fedhpo::SearchSpace;
+    use fedmodels::ModelSpec;
+    use fedmath::rng::rng_for;
+
+    #[test]
+    fn transfer_within_the_same_task_family_is_positive() {
+        // CIFAR10-like and FEMNIST-like are both dense-classification tasks;
+        // the paper finds HPs transfer well within a family. With a handful
+        // of very different configurations the rank correlation should be
+        // positive.
+        let cifar = DatasetSpec::benchmark(Benchmark::Cifar10Like, Scale::Smoke).generate(0).unwrap();
+        let femnist = DatasetSpec::benchmark(Benchmark::FemnistLike, Scale::Smoke).generate(0).unwrap();
+        let space = SearchSpace::paper_default();
+        let runner_a = ConfigRunner::new(space.clone(), ModelSpec::Mlp { hidden_dim: 8 }, 15);
+        let runner_b = ConfigRunner::new(space.clone(), ModelSpec::Mlp { hidden_dim: 8 }, 15);
+
+        // Spread configurations from terrible (tiny lrs) to sensible.
+        let configs = vec![
+            HpConfig::new(vec![1e-6, 0.0, 0.0, 0.9999, 1e-6, 0.0, 5e-5, 128.0, 1.0]),
+            HpConfig::new(vec![1e-5, 0.3, 0.5, 0.9999, 1e-4, 0.3, 5e-5, 64.0, 1.0]),
+            HpConfig::new(vec![1e-3, 0.6, 0.9, 0.9999, 1e-2, 0.5, 5e-5, 32.0, 1.0]),
+            HpConfig::new(vec![3e-2, 0.9, 0.99, 0.9999, 5e-2, 0.7, 5e-5, 32.0, 1.0]),
+        ];
+        let analysis =
+            transfer_analysis(&cifar, &runner_a, &femnist, &runner_b, &configs, 1).unwrap();
+        assert_eq!(analysis.points.len(), 4);
+        assert_eq!(analysis.dataset_a, "cifar10-like");
+        assert_eq!(analysis.dataset_b, "femnist-like");
+        assert_eq!(analysis.errors_a().len(), 4);
+        assert_eq!(analysis.errors_b().len(), 4);
+        if let Some(s) = analysis.spearman {
+            assert!(s > 0.0, "expected positive rank correlation, got {s}");
+        }
+    }
+
+    #[test]
+    fn empty_config_list_is_rejected() {
+        let cifar = DatasetSpec::benchmark(Benchmark::Cifar10Like, Scale::Smoke).generate(0).unwrap();
+        let space = SearchSpace::paper_default();
+        let runner = ConfigRunner::new(space, ModelSpec::Softmax, 2);
+        assert!(transfer_analysis(&cifar, &runner, &cifar, &runner, &[], 0).is_err());
+    }
+
+    #[test]
+    fn transfer_points_are_reproducible() {
+        let d = DatasetSpec::benchmark(Benchmark::RedditLike, Scale::Smoke).generate(2).unwrap();
+        let space = SearchSpace::paper_default();
+        let runner = ConfigRunner::new(space.clone(), ModelSpec::Bigram { embed_dim: 4 }, 3);
+        let mut rng = rng_for(0, 0);
+        let configs = space.sample_many(2, &mut rng).unwrap();
+        let a = transfer_analysis(&d, &runner, &d, &runner, &configs, 5).unwrap();
+        let b = transfer_analysis(&d, &runner, &d, &runner, &configs, 5).unwrap();
+        assert_eq!(a, b);
+    }
+}

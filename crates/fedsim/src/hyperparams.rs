@@ -1,0 +1,153 @@
+//! The hyperparameters tuned in the paper's experiments (Appendix B).
+
+use crate::{Result, SimError};
+use fedmodels::LocalSgdConfig;
+use serde::{Deserialize, Serialize};
+
+/// Server-side FedAdam hyperparameters (Reddi et al. 2020).
+///
+/// The paper tunes the server learning rate and the two moment-decay rates,
+/// and fixes the learning-rate decay to `γ = 0.9999` per round.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FedAdamConfig {
+    /// Server learning rate (`10^x`, `x ∈ [-6, -1]` in the paper's space).
+    pub learning_rate: f64,
+    /// First-moment decay rate β₁ (`[0, 0.9]` in the paper's space).
+    pub beta1: f64,
+    /// Second-moment decay rate β₂ (`[0, 0.999]` in the paper's space).
+    pub beta2: f64,
+    /// Multiplicative learning-rate decay per round (fixed to 0.9999).
+    pub lr_decay: f64,
+    /// Adaptivity constant τ added to the denominator for numerical stability.
+    pub epsilon: f64,
+}
+
+impl Default for FedAdamConfig {
+    fn default() -> Self {
+        FedAdamConfig {
+            learning_rate: 1e-2,
+            beta1: 0.9,
+            beta2: 0.99,
+            lr_decay: 0.9999,
+            epsilon: 1e-5,
+        }
+    }
+}
+
+impl FedAdamConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if any value is outside its valid
+    /// range.
+    pub fn validate(&self) -> Result<()> {
+        if self.learning_rate <= 0.0 || !self.learning_rate.is_finite() {
+            return Err(SimError::InvalidConfig {
+                message: format!("server learning rate must be positive, got {}", self.learning_rate),
+            });
+        }
+        if !(0.0..1.0).contains(&self.beta1) {
+            return Err(SimError::InvalidConfig {
+                message: format!("beta1 must be in [0, 1), got {}", self.beta1),
+            });
+        }
+        if !(0.0..1.0).contains(&self.beta2) {
+            return Err(SimError::InvalidConfig {
+                message: format!("beta2 must be in [0, 1), got {}", self.beta2),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.lr_decay) || self.lr_decay == 0.0 {
+            return Err(SimError::InvalidConfig {
+                message: format!("lr decay must be in (0, 1], got {}", self.lr_decay),
+            });
+        }
+        if self.epsilon <= 0.0 {
+            return Err(SimError::InvalidConfig {
+                message: format!("epsilon must be positive, got {}", self.epsilon),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The full hyperparameter configuration evaluated by the HP-tuning methods:
+/// three server FedAdam HPs and the client SGD HPs (Appendix B).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub struct FederatedHyperparams {
+    /// Server optimizer hyperparameters.
+    pub server: FedAdamConfig,
+    /// Client optimizer hyperparameters.
+    pub client: LocalSgdConfig,
+}
+
+
+impl FederatedHyperparams {
+    /// Validates both the server and client configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] (or a wrapped model error) if any
+    /// value is out of range.
+    pub fn validate(&self) -> Result<()> {
+        self.server.validate()?;
+        self.client.validate().map_err(SimError::from)
+    }
+
+    /// A compact single-line description, useful in logs and reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "server(lr={:.2e}, b1={:.3}, b2={:.4}) client(lr={:.2e}, mom={:.3}, bs={})",
+            self.server.learning_rate,
+            self.server.beta1,
+            self.server.beta2,
+            self.client.learning_rate,
+            self.client.momentum,
+            self.client.batch_size
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configs_are_valid() {
+        assert!(FedAdamConfig::default().validate().is_ok());
+        assert!(FederatedHyperparams::default().validate().is_ok());
+    }
+
+    #[test]
+    fn fedadam_validation() {
+        let bad = FedAdamConfig { learning_rate: 0.0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = FedAdamConfig { beta1: 1.0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = FedAdamConfig { beta2: -0.1, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = FedAdamConfig { lr_decay: 0.0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = FedAdamConfig { lr_decay: 1.5, ..Default::default() };
+        assert!(bad.validate().is_err());
+        let bad = FedAdamConfig { epsilon: 0.0, ..Default::default() };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn combined_validation_covers_client() {
+        let mut hp = FederatedHyperparams::default();
+        hp.client.batch_size = 0;
+        assert!(hp.validate().is_err());
+    }
+
+    #[test]
+    fn describe_mentions_key_values() {
+        let hp = FederatedHyperparams::default();
+        let s = hp.describe();
+        assert!(s.contains("server"));
+        assert!(s.contains("client"));
+        assert!(s.contains("bs=32"));
+    }
+}

@@ -1,0 +1,372 @@
+//! The federated training loop (`Algorithm 2`, training half).
+
+use crate::evaluation::WeightingScheme;
+use crate::hyperparams::FederatedHyperparams;
+use crate::server::{FedAdam, ServerOptimizer};
+use crate::{Result, SimError};
+use feddata::{FederatedDataset, Split};
+use fedmodels::{AnyModel, LocalSgd, Model, ModelSpec};
+use fedmath::SeedStream;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the federated training loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainerConfig {
+    /// Number of training clients sampled per round (10 in the paper).
+    pub clients_per_round: usize,
+    /// Hyperparameters of the server and client optimizers.
+    pub hyperparams: FederatedHyperparams,
+    /// Weighting of client updates during aggregation. The paper sets the
+    /// training weights to match the evaluation weighting scheme.
+    pub weighting: WeightingScheme,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig {
+            clients_per_round: 10,
+            hyperparams: FederatedHyperparams::default(),
+            weighting: WeightingScheme::ByExamples,
+        }
+    }
+}
+
+impl TrainerConfig {
+    /// Creates a configuration with the given hyperparameters and the
+    /// paper's defaults for everything else (10 clients per round,
+    /// example-weighted aggregation).
+    pub fn with_hyperparams(hyperparams: FederatedHyperparams) -> Self {
+        TrainerConfig {
+            hyperparams,
+            ..Default::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `clients_per_round == 0` or the
+    /// hyperparameters are invalid.
+    pub fn validate(&self) -> Result<()> {
+        if self.clients_per_round == 0 {
+            return Err(SimError::InvalidConfig {
+                message: "clients_per_round must be positive".into(),
+            });
+        }
+        self.hyperparams.validate()
+    }
+}
+
+/// Runs federated training: builds a model, then repeatedly samples clients,
+/// trains them locally, aggregates their updates, and applies the server
+/// optimizer.
+#[derive(Debug, Clone)]
+pub struct FederatedTrainer {
+    config: TrainerConfig,
+}
+
+impl FederatedTrainer {
+    /// Creates a trainer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the configuration is invalid.
+    pub fn new(config: TrainerConfig) -> Result<Self> {
+        config.validate()?;
+        Ok(FederatedTrainer { config })
+    }
+
+    /// The trainer configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Initialises a training run without executing any rounds, so the caller
+    /// can interleave training and evaluation (needed by early-stopping HP
+    /// tuning methods such as Hyperband, which resume partially-trained
+    /// configurations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the hyperparameters are invalid.
+    pub fn start(
+        &self,
+        dataset: &FederatedDataset,
+        model_spec: ModelSpec,
+        seed: u64,
+    ) -> Result<TrainingRun> {
+        let mut seeds = SeedStream::new(seed);
+        let mut init_rng = seeds.next_rng();
+        let round_rng = seeds.next_rng();
+        let model = model_spec.build(dataset, &mut init_rng);
+        let server = FedAdam::new(self.config.hyperparams.server)?;
+        let client_opt = LocalSgd::new(self.config.hyperparams.client)?;
+        Ok(TrainingRun {
+            model,
+            server,
+            client_opt,
+            config: self.config,
+            rng: round_rng,
+            rounds_completed: 0,
+        })
+    }
+
+    /// Trains a freshly-initialised model for `rounds` federated rounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, sampling, and model errors.
+    pub fn train(
+        &self,
+        dataset: &FederatedDataset,
+        model_spec: ModelSpec,
+        rounds: usize,
+        seed: u64,
+    ) -> Result<TrainingRun> {
+        let mut run = self.start(dataset, model_spec, seed)?;
+        run.run_rounds(dataset, rounds)?;
+        Ok(run)
+    }
+}
+
+/// The state of one federated training run: the global model, the server
+/// optimizer state, and the round counter. Supports incremental training so
+/// early-stopping tuners can resume runs.
+#[derive(Debug, Clone)]
+pub struct TrainingRun {
+    model: AnyModel,
+    server: FedAdam,
+    client_opt: LocalSgd,
+    config: TrainerConfig,
+    rng: StdRng,
+    rounds_completed: usize,
+}
+
+impl TrainingRun {
+    /// The current global model.
+    pub fn model(&self) -> &AnyModel {
+        &self.model
+    }
+
+    /// Number of federated rounds completed so far.
+    pub fn rounds_completed(&self) -> usize {
+        self.rounds_completed
+    }
+
+    /// The trainer configuration used by this run.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Executes one federated round (Algorithm 2's inner loop):
+    /// sample clients → local SGD on each → aggregate deltas → server update.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling and model errors. If the model parameters become
+    /// non-finite (divergence under an aggressive learning rate) the round
+    /// still succeeds — the diverged model simply evaluates poorly, matching
+    /// how a real tuning system would observe it.
+    pub fn run_round(&mut self, dataset: &FederatedDataset) -> Result<()> {
+        let population = dataset.num_train_clients();
+        let count = self.config.clients_per_round.min(population);
+        let indices =
+            fedmath::rng::sample_without_replacement(&mut self.rng, population, count)
+                .map_err(|e| SimError::Sampling { message: e.to_string() })?;
+
+        let base_params = self.model.params();
+        let mut aggregate = vec![0.0; base_params.len()];
+        let mut total_weight = 0.0;
+        for &idx in &indices {
+            let client = dataset.client(Split::Train, idx)?;
+            if client.is_empty() {
+                continue;
+            }
+            let new_params = self.client_opt.train(&self.model, client.examples(), &mut self.rng)?;
+            let weight = self.config.weighting.weight(client.num_examples());
+            for (i, (&new, &old)) in new_params.iter().zip(base_params.iter()).enumerate() {
+                aggregate[i] += weight * (new - old);
+            }
+            total_weight += weight;
+        }
+        if total_weight > 0.0 {
+            for a in &mut aggregate {
+                *a /= total_weight;
+                // Guard against NaN/inf propagating into the server state.
+                if !a.is_finite() {
+                    *a = 0.0;
+                }
+            }
+            let mut params = base_params;
+            self.server.apply(&mut params, &aggregate)?;
+            self.model.set_params(&params)?;
+        }
+        self.rounds_completed += 1;
+        Ok(())
+    }
+
+    /// Executes `rounds` federated rounds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the conditions of [`run_round`](Self::run_round).
+    pub fn run_rounds(&mut self, dataset: &FederatedDataset, rounds: usize) -> Result<()> {
+        for _ in 0..rounds {
+            self.run_round(dataset)?;
+        }
+        Ok(())
+    }
+
+    /// Consumes the run and returns the trained model.
+    pub fn into_model(self) -> AnyModel {
+        self.model
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::{evaluate_full, WeightingScheme};
+    use crate::hyperparams::FedAdamConfig;
+    use feddata::{Benchmark, DatasetSpec, Scale};
+    use fedmodels::LocalSgdConfig;
+
+    fn smoke_dataset(benchmark: Benchmark) -> FederatedDataset {
+        DatasetSpec::benchmark(benchmark, Scale::Smoke).generate(5).unwrap()
+    }
+
+    fn good_hyperparams() -> FederatedHyperparams {
+        FederatedHyperparams {
+            server: FedAdamConfig {
+                learning_rate: 0.05,
+                beta1: 0.9,
+                beta2: 0.99,
+                lr_decay: 0.9999,
+                epsilon: 1e-5,
+            },
+            client: LocalSgdConfig {
+                learning_rate: 0.05,
+                momentum: 0.5,
+                weight_decay: 5e-5,
+                batch_size: 32,
+                epochs: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(TrainerConfig::default().validate().is_ok());
+        let bad = TrainerConfig { clients_per_round: 0, ..Default::default() };
+        assert!(bad.validate().is_err());
+        assert!(FederatedTrainer::new(bad).is_err());
+        let mut bad = TrainerConfig::default();
+        bad.hyperparams.server.learning_rate = -1.0;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn training_reduces_full_validation_error() {
+        let dataset = smoke_dataset(Benchmark::Cifar10Like);
+        let trainer = FederatedTrainer::new(TrainerConfig::with_hyperparams(good_hyperparams())).unwrap();
+        let run0 = trainer.start(&dataset, ModelSpec::Mlp { hidden_dim: 16 }, 3).unwrap();
+        let initial = evaluate_full(run0.model(), &dataset, Split::Validation, WeightingScheme::ByExamples)
+            .unwrap()
+            .weighted_error()
+            .unwrap();
+
+        let run = trainer.train(&dataset, ModelSpec::Mlp { hidden_dim: 16 }, 30, 3).unwrap();
+        assert_eq!(run.rounds_completed(), 30);
+        let trained = evaluate_full(run.model(), &dataset, Split::Validation, WeightingScheme::ByExamples)
+            .unwrap()
+            .weighted_error()
+            .unwrap();
+        assert!(
+            trained < initial - 0.05,
+            "training did not reduce error: {initial} -> {trained}"
+        );
+    }
+
+    #[test]
+    fn training_works_on_language_datasets() {
+        let dataset = smoke_dataset(Benchmark::StackOverflowLike);
+        let trainer = FederatedTrainer::new(TrainerConfig::with_hyperparams(good_hyperparams())).unwrap();
+        let spec = ModelSpec::for_dataset(&dataset);
+        let run = trainer.train(&dataset, spec, 10, 1).unwrap();
+        let eval = evaluate_full(run.model(), &dataset, Split::Validation, WeightingScheme::ByExamples).unwrap();
+        let err = eval.weighted_error().unwrap();
+        assert!((0.0..=1.0).contains(&err));
+    }
+
+    #[test]
+    fn incremental_training_matches_one_shot() {
+        let dataset = smoke_dataset(Benchmark::FemnistLike);
+        let trainer = FederatedTrainer::new(TrainerConfig::with_hyperparams(good_hyperparams())).unwrap();
+        let spec = ModelSpec::Mlp { hidden_dim: 8 };
+
+        let one_shot = trainer.train(&dataset, spec, 6, 11).unwrap();
+
+        let mut incremental = trainer.start(&dataset, spec, 11).unwrap();
+        incremental.run_rounds(&dataset, 2).unwrap();
+        incremental.run_rounds(&dataset, 4).unwrap();
+
+        assert_eq!(incremental.rounds_completed(), 6);
+        assert_eq!(one_shot.model().params(), incremental.model().params());
+    }
+
+    #[test]
+    fn training_is_deterministic_in_the_seed() {
+        let dataset = smoke_dataset(Benchmark::Cifar10Like);
+        let trainer = FederatedTrainer::new(TrainerConfig::with_hyperparams(good_hyperparams())).unwrap();
+        let spec = ModelSpec::Softmax;
+        let a = trainer.train(&dataset, spec, 5, 42).unwrap();
+        let b = trainer.train(&dataset, spec, 5, 42).unwrap();
+        assert_eq!(a.model().params(), b.model().params());
+        let c = trainer.train(&dataset, spec, 5, 43).unwrap();
+        assert_ne!(a.model().params(), c.model().params());
+    }
+
+    #[test]
+    fn diverging_hyperparameters_do_not_crash() {
+        let dataset = smoke_dataset(Benchmark::Cifar10Like);
+        let mut hp = good_hyperparams();
+        hp.client.learning_rate = 1e3;
+        hp.server.learning_rate = 0.1;
+        let trainer = FederatedTrainer::new(TrainerConfig::with_hyperparams(hp)).unwrap();
+        let run = trainer.train(&dataset, ModelSpec::Mlp { hidden_dim: 8 }, 10, 0).unwrap();
+        // The diverged model must still be evaluable (it will just be bad).
+        let eval = evaluate_full(run.model(), &dataset, Split::Validation, WeightingScheme::ByExamples);
+        if let Ok(eval) = eval {
+            let err = eval.weighted_error().unwrap();
+            assert!((0.0..=1.0).contains(&err));
+        }
+    }
+
+    #[test]
+    fn into_model_returns_trained_model() {
+        let dataset = smoke_dataset(Benchmark::Cifar10Like);
+        let trainer = FederatedTrainer::new(TrainerConfig::with_hyperparams(good_hyperparams())).unwrap();
+        let run = trainer.train(&dataset, ModelSpec::Softmax, 2, 0).unwrap();
+        let params_before = run.model().params();
+        let model = run.into_model();
+        assert_eq!(model.params(), params_before);
+    }
+
+    #[test]
+    fn clients_per_round_is_capped_by_population() {
+        let dataset = smoke_dataset(Benchmark::Cifar10Like);
+        let config = TrainerConfig {
+            clients_per_round: 10_000,
+            hyperparams: good_hyperparams(),
+            weighting: WeightingScheme::Uniform,
+        };
+        let trainer = FederatedTrainer::new(config).unwrap();
+        // Should not error even though clients_per_round exceeds the pool.
+        let run = trainer.train(&dataset, ModelSpec::Softmax, 2, 0).unwrap();
+        assert_eq!(run.rounds_completed(), 2);
+        assert_eq!(run.config().clients_per_round, 10_000);
+        assert_eq!(trainer.config().clients_per_round, 10_000);
+    }
+}

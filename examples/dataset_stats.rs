@@ -1,0 +1,18 @@
+//! Regenerates Table 1/2 of the paper: statistics of the four synthetic
+//! federated benchmarks at the default (CPU-friendly) scale.
+//!
+//! ```text
+//! cargo run --release --example dataset_stats
+//! ```
+
+use fedtune::fedtune_core::experiments::table1::DatasetTable;
+use fedtune::fedtune_core::ExperimentScale;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = ExperimentScale::default_scale();
+    let table = DatasetTable::generate(&scale, 42)?;
+    println!("Dataset statistics (Table 1/2 of the paper, default scale):\n");
+    println!("{}", table.to_text());
+    println!("{}", table.to_report().to_table());
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! Compares RS, TPE, Hyperband, and BOHB under noiseless vs. noisy federated
+//! evaluation (the shape of Fig. 8 / Fig. 15 / Fig. 16).
+//!
+//! ```text
+//! cargo run --release --example method_comparison
+//! ```
+
+use feddata::Benchmark;
+use fedtune::fedtune_core::experiments::methods::{paper_noise_settings, run_method_comparison};
+use fedtune::fedtune_core::ExperimentScale;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Smoke scale keeps this example under a minute; use
+    // `ExperimentScale::default_scale()` to regenerate the EXPERIMENTS.md rows.
+    let scale = ExperimentScale::smoke();
+    let comparison = run_method_comparison(
+        Benchmark::Cifar10Like,
+        &scale,
+        &paper_noise_settings(),
+        5,
+    )?;
+
+    println!("{}", comparison.to_online_report()?.to_table());
+    let one_third = scale.total_budget / 3;
+    println!("{}", comparison.to_bars_report("fig15", one_third.max(1))?.to_table());
+    println!("{}", comparison.to_bars_report("fig16", scale.total_budget)?.to_table());
+    println!("Under noise, the early-stopping methods (HB, BOHB) typically lose their edge");
+    println!("over plain random search — the paper's Observation 6.");
+    Ok(())
+}

@@ -1,0 +1,29 @@
+//! Reproduces the shape of Fig. 3 and Fig. 9 on one benchmark: how client
+//! subsampling and differential privacy degrade random search.
+//!
+//! ```text
+//! cargo run --release --example noisy_evaluation_sweep
+//! ```
+
+use feddata::Benchmark;
+use fedtune::fedtune_core::experiments::privacy::{privacy_report, run_privacy_sweep};
+use fedtune::fedtune_core::experiments::subsampling::{run_subsampling_sweep, subsampling_report};
+use fedtune::fedtune_core::ExperimentScale;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The smoke scale finishes in seconds; switch to
+    // `ExperimentScale::default_scale()` for the EXPERIMENTS.md numbers.
+    let scale = ExperimentScale::smoke();
+    let benchmark = Benchmark::Cifar10Like;
+
+    println!("== Client subsampling (Fig. 3 shape) ==");
+    let sweep = run_subsampling_sweep(benchmark, &scale, 0)?;
+    println!("{}", subsampling_report(&[sweep]).to_table());
+
+    println!("== Differential privacy (Fig. 9 shape) ==");
+    let privacy = run_privacy_sweep(benchmark, &scale, 0)?;
+    println!("{}", privacy_report(&[privacy]).to_table());
+
+    println!("Reading the tables: medians rise as the subsample shrinks and as epsilon decreases.");
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! # fedtune
+//!
+//! Facade crate for the Rust reproduction of *"On Noisy Evaluation in
+//! Federated Hyperparameter Tuning"* (Kuo et al., MLSys 2023).
+//!
+//! The workspace is organised as a stack of substrates (re-exported here):
+//!
+//! - [`fedmath`] — numerical primitives (matrices, statistics, seeded RNG).
+//! - [`feddata`] — synthetic federated datasets and partitioning.
+//! - [`fedmodels`] — models with hand-written gradients and local SGD.
+//! - [`fedsim`] — the cross-device federated-learning simulator.
+//! - [`feddp`] — the differential-privacy substrate (Laplace, one-shot top-k).
+//! - [`fedhpo`] — hyperparameter-optimization methods (RS, TPE, Hyperband, BOHB).
+//! - [`fedproxy`] — proxy-data tuning and HP-transfer analysis.
+//! - [`fedtune_core`] — noise-aware evaluation pipeline and the per-figure
+//!   experiment runners (the paper's primary contribution as a library).
+//!
+//! See `examples/` for runnable entry points and `crates/bench` for the
+//! benchmark harness that regenerates every table and figure of the paper.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use feddata;
+pub use feddp;
+pub use fedhpo;
+pub use fedmath;
+pub use fedmodels;
+pub use fedproxy;
+pub use fedsim;
+pub use fedtune_core;
+
+/// Workspace version string (matches every member crate).
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

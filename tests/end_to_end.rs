@@ -1,0 +1,116 @@
+//! Cross-crate integration tests: full pipelines from dataset generation
+//! through federated training, noisy evaluation, and hyperparameter tuning.
+
+use feddata::{Benchmark, Split};
+use fedhpo::{Hyperband, RandomSearch, Tpe, Tuner};
+use fedtune::fedtune_core::experiments::methods::{paper_noise_settings, run_method_comparison};
+use fedtune::fedtune_core::experiments::subsampling::run_subsampling_sweep;
+use fedtune::fedtune_core::experiments::table1::DatasetTable;
+use fedtune::fedtune_core::{
+    BenchmarkContext, ConfigPool, ExperimentScale, FederatedObjective, NoiseConfig,
+};
+use fedtune::fedproxy::OneShotProxy;
+
+fn smoke() -> ExperimentScale {
+    ExperimentScale::smoke()
+}
+
+#[test]
+fn dataset_table_covers_every_benchmark() {
+    let table = DatasetTable::generate(&smoke(), 0).unwrap();
+    assert_eq!(table.rows.len(), 4);
+    for row in &table.rows {
+        assert!(row.examples.total > 0);
+        assert!(row.examples.min <= row.examples.max);
+    }
+}
+
+#[test]
+fn full_tuning_pipeline_with_each_tuner() {
+    let scale = smoke();
+    let ctx = BenchmarkContext::new(Benchmark::FemnistLike, &scale, 1).unwrap();
+
+    let tuners: Vec<Box<dyn Tuner>> = vec![
+        Box::new(RandomSearch::new(3, 4)),
+        Box::new(Tpe::new(3, 4)),
+        Box::new(Hyperband::new(4, 3, Some(2))),
+    ];
+    for tuner in tuners {
+        let mut objective =
+            FederatedObjective::new(&ctx, NoiseConfig::subsampled(0.3), 8, 2).unwrap();
+        let mut rng = fedmath::rng::rng_for(3, 0);
+        let outcome = tuner.tune(ctx.space(), &mut objective, &mut rng).unwrap();
+        assert!(outcome.num_evaluations() > 0, "{} produced no evaluations", tuner.name());
+        assert!(!objective.log().is_empty());
+        // Every logged evaluation must carry a valid true error.
+        for entry in objective.log() {
+            assert!((0.0..=1.0).contains(&entry.true_error));
+        }
+        // The tuner's own budget accounting must match the objective's.
+        assert_eq!(outcome.total_resource(), objective.cumulative_rounds());
+    }
+}
+
+#[test]
+fn pool_based_and_live_objectives_agree_on_the_noiseless_truth() {
+    // The pooled analysis and a live objective both report full-validation
+    // error; for the same configuration and seed they must agree exactly.
+    let scale = smoke();
+    let ctx = BenchmarkContext::new(Benchmark::Cifar10Like, &scale, 4).unwrap();
+    let pool = ConfigPool::train_sized(&ctx, 2, 99).unwrap();
+    for entry in pool.entries() {
+        let recheck = fedsim::evaluation::evaluate_full(
+            &entry.model,
+            ctx.dataset(),
+            Split::Validation,
+            fedsim::WeightingScheme::ByExamples,
+        )
+        .unwrap()
+        .weighted_error()
+        .unwrap();
+        assert!((recheck - entry.full_error).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn subsampling_sweep_runs_for_text_benchmark() {
+    let sweep = run_subsampling_sweep(Benchmark::RedditLike, &smoke(), 5).unwrap();
+    assert!(!sweep.points.is_empty());
+    // Error percentages stay in range.
+    for p in &sweep.points {
+        assert!(p.summary.median >= 0.0 && p.summary.median <= 100.0);
+    }
+}
+
+#[test]
+fn method_comparison_produces_bars_for_all_methods() {
+    let scale = smoke();
+    let comparison =
+        run_method_comparison(Benchmark::Cifar10Like, &scale, &paper_noise_settings(), 6).unwrap();
+    let bars = comparison.bars_at(scale.total_budget).unwrap();
+    let names: Vec<&str> = bars.iter().map(|b| b.name.as_str()).collect();
+    for method in ["RS", "TPE", "HB", "BOHB"] {
+        assert!(
+            names.iter().any(|n| n.starts_with(method)),
+            "missing bars for {method}: {names:?}"
+        );
+    }
+}
+
+#[test]
+fn proxy_pipeline_transfers_between_task_families() {
+    let scale = smoke();
+    let client = BenchmarkContext::new(Benchmark::StackOverflowLike, &scale, 7).unwrap();
+    let proxy = BenchmarkContext::new(Benchmark::RedditLike, &scale, 7).unwrap();
+    let outcome = OneShotProxy::new(3)
+        .run(
+            proxy.dataset(),
+            &proxy.config_runner(),
+            client.dataset(),
+            &client.config_runner(),
+            1,
+        )
+        .unwrap();
+    assert!((0.0..=1.0).contains(&outcome.client_error));
+    assert_eq!(outcome.all_proxy_errors.len(), 3);
+}
