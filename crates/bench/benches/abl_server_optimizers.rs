@@ -61,14 +61,21 @@ fn train_with(
                 *a /= total_weight;
             }
             let mut params = base;
-            server.apply(&mut params, &aggregate).expect("server update");
+            server
+                .apply(&mut params, &aggregate)
+                .expect("server update");
             model.set_params(&params).expect("param update");
         }
     }
-    evaluate_full(&model, dataset, Split::Validation, WeightingScheme::ByExamples)
-        .expect("evaluation")
-        .weighted_error()
-        .expect("aggregation")
+    evaluate_full(
+        &model,
+        dataset,
+        Split::Validation,
+        WeightingScheme::ByExamples,
+    )
+    .expect("evaluation")
+    .weighted_error()
+    .expect("aggregation")
 }
 
 fn regenerate() {
@@ -86,7 +93,10 @@ fn regenerate() {
     println!("\n== ablation: server optimizers (same client SGD, {rounds} rounds) ==");
     for (name, opt) in [
         ("fedavg", &mut fedavg as &mut dyn ServerOptimizer),
-        ("fedsgd(lr=0.5, m=0.9)", &mut fedsgd as &mut dyn ServerOptimizer),
+        (
+            "fedsgd(lr=0.5, m=0.9)",
+            &mut fedsgd as &mut dyn ServerOptimizer,
+        ),
         ("fedadam(lr=0.05)", &mut fedadam as &mut dyn ServerOptimizer),
     ] {
         let error = train_with(opt, &dataset, rounds, 7);

@@ -41,7 +41,10 @@ fn naive_hit_rate(epsilon: f64, sample_size: usize, trials: u64) -> f64 {
     let mut hits = 0;
     for t in 0..trials {
         let mut rng = fedmath::rng::rng_for(2, t);
-        let noisy: Vec<f64> = scores.iter().map(|&s| s + sample_laplace(&mut rng, scale)).collect();
+        let noisy: Vec<f64> = scores
+            .iter()
+            .map(|&s| s + sample_laplace(&mut rng, scale))
+            .collect();
         if fedmath::stats::argmax(&noisy).expect("argmax") == 7 {
             hits += 1;
         }

@@ -26,7 +26,12 @@ fn regenerate() {
         .entries()
         .iter()
         .map(|e| {
-            let errors: Vec<f64> = e.evaluation.per_client().iter().map(|c| c.error_rate).collect();
+            let errors: Vec<f64> = e
+                .evaluation
+                .per_client()
+                .iter()
+                .map(|c| c.error_rate)
+                .collect();
             fedmath::stats::mean(&errors)
         })
         .collect();
@@ -53,8 +58,12 @@ fn bench(c: &mut Criterion) {
             pool.entries()
                 .iter()
                 .map(|e| {
-                    let errors: Vec<f64> =
-                        e.evaluation.per_client().iter().map(|c| c.error_rate).collect();
+                    let errors: Vec<f64> = e
+                        .evaluation
+                        .per_client()
+                        .iter()
+                        .map(|c| c.error_rate)
+                        .collect();
                     fedmath::stats::mean(&errors)
                 })
                 .sum::<f64>()

@@ -15,9 +15,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig01_headline");
     group.sample_size(10);
     group.bench_function("headline_cifar10_like", |b| {
-        b.iter(|| {
-            run_headline(&scale, 0).expect("headline experiment")
-        })
+        b.iter(|| run_headline(&scale, 0).expect("headline experiment"))
     });
     group.finish();
 }

@@ -20,7 +20,8 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("cifar10_like_sweep", |b| {
         b.iter(|| {
-            run_data_heterogeneity(Benchmark::Cifar10Like, &scale, 0).expect("data heterogeneity sweep")
+            run_data_heterogeneity(Benchmark::Cifar10Like, &scale, 0)
+                .expect("data heterogeneity sweep")
         })
     });
     group.finish();

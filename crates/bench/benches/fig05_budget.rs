@@ -19,9 +19,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig05_budget");
     group.sample_size(10);
     group.bench_function("cifar10_like_curves", |b| {
-        b.iter(|| {
-            run_budget_curves(Benchmark::Cifar10Like, &scale, 0).expect("budget curves")
-        })
+        b.iter(|| run_budget_curves(Benchmark::Cifar10Like, &scale, 0).expect("budget curves"))
     });
     group.finish();
 }

@@ -2,7 +2,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use feddata::Benchmark;
-use fedtune_core::experiments::heterogeneity::{run_systems_heterogeneity, systems_heterogeneity_report};
+use fedtune_core::experiments::heterogeneity::{
+    run_systems_heterogeneity, systems_heterogeneity_report,
+};
 
 fn regenerate() {
     let scale = fedbench::report_scale();
@@ -20,7 +22,8 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("cifar10_like_sweep", |b| {
         b.iter(|| {
-            run_systems_heterogeneity(Benchmark::Cifar10Like, &scale, 0).expect("systems heterogeneity sweep")
+            run_systems_heterogeneity(Benchmark::Cifar10Like, &scale, 0)
+                .expect("systems heterogeneity sweep")
         })
     });
     group.finish();

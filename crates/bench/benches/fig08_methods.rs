@@ -6,8 +6,9 @@ use fedtune_core::experiments::methods::{paper_noise_settings, run_method_compar
 
 fn regenerate() {
     let scale = fedbench::report_scale();
-    let comparison = run_method_comparison(Benchmark::Cifar10Like, &scale, &paper_noise_settings(), 0)
-        .expect("method comparison");
+    let comparison =
+        run_method_comparison(Benchmark::Cifar10Like, &scale, &paper_noise_settings(), 0)
+            .expect("method comparison");
     fedbench::print_report(&comparison.to_online_report().expect("online report"));
 }
 

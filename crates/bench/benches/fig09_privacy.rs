@@ -19,9 +19,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig09_privacy");
     group.sample_size(10);
     group.bench_function("cifar10_like_sweep", |b| {
-        b.iter(|| {
-            run_privacy_sweep(Benchmark::Cifar10Like, &scale, 0).expect("privacy sweep")
-        })
+        b.iter(|| run_privacy_sweep(Benchmark::Cifar10Like, &scale, 0).expect("privacy sweep"))
     });
     group.finish();
 }

@@ -15,9 +15,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_transfer");
     group.sample_size(10);
     group.bench_function("all_pairs", |b| {
-        b.iter(|| {
-            run_transfer_pairs(&scale, 0).expect("transfer analysis")
-        })
+        b.iter(|| run_transfer_pairs(&scale, 0).expect("transfer analysis"))
     });
     group.finish();
 }

@@ -15,9 +15,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_proxy_matrix");
     group.sample_size(10);
     group.bench_function("full_matrix", |b| {
-        b.iter(|| {
-            run_proxy_matrix(&scale, 0).expect("proxy matrix")
-        })
+        b.iter(|| run_proxy_matrix(&scale, 0).expect("proxy matrix"))
     });
     group.finish();
 }

@@ -18,9 +18,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig12_proxy_vs_noisy");
     group.sample_size(10);
     group.bench_function("cifar10_like", |b| {
-        b.iter(|| {
-            run_proxy_vs_noisy(Benchmark::Cifar10Like, &scale, 0).expect("proxy vs noisy")
-        })
+        b.iter(|| run_proxy_vs_noisy(Benchmark::Cifar10Like, &scale, 0).expect("proxy vs noisy"))
     });
     group.finish();
 }

@@ -18,9 +18,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig13_space_ablation");
     group.sample_size(10);
     group.bench_function("cifar10_like", |b| {
-        b.iter(|| {
-            run_space_ablation(Benchmark::Cifar10Like, &scale, 0).expect("space ablation")
-        })
+        b.iter(|| run_space_ablation(Benchmark::Cifar10Like, &scale, 0).expect("space ablation"))
     });
     group.finish();
 }

@@ -6,11 +6,20 @@ use fedtune_core::experiments::methods::{paper_noise_settings, run_method_compar
 
 fn regenerate() {
     let scale = fedbench::report_scale();
-    let comparison = run_method_comparison(Benchmark::Cifar10Like, &scale, &paper_noise_settings(), 0)
-        .expect("method comparison");
+    let comparison =
+        run_method_comparison(Benchmark::Cifar10Like, &scale, &paper_noise_settings(), 0)
+            .expect("method comparison");
     let third = (scale.total_budget / 3).max(1);
-    fedbench::print_report(&comparison.to_bars_report("fig15", third).expect("fig15 bars"));
-    fedbench::print_report(&comparison.to_bars_report("fig16", scale.total_budget).expect("fig16 bars"));
+    fedbench::print_report(
+        &comparison
+            .to_bars_report("fig15", third)
+            .expect("fig15 bars"),
+    );
+    fedbench::print_report(
+        &comparison
+            .to_bars_report("fig16", scale.total_budget)
+            .expect("fig16 bars"),
+    );
 }
 
 fn bench(c: &mut Criterion) {
@@ -20,11 +29,12 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("cifar10_like_bars", |b| {
         b.iter(|| {
-            {
-                let comparison = run_method_comparison(Benchmark::Cifar10Like, &scale, &paper_noise_settings(), 0)
+            let comparison =
+                run_method_comparison(Benchmark::Cifar10Like, &scale, &paper_noise_settings(), 0)
                     .expect("method comparison");
-                comparison.to_bars_report("fig16", scale.total_budget).expect("fig16 bars")
-            }
+            comparison
+                .to_bars_report("fig16", scale.total_budget)
+                .expect("fig16 bars")
         })
     });
     group.finish();

@@ -13,11 +13,15 @@ fn bench(c: &mut Criterion) {
     // Matrix multiply at model-sized dimensions.
     let a = Matrix::from_fn(32, 32, |i, j| (i * 7 + j) as f64 * 0.01);
     let b = Matrix::from_fn(32, 32, |i, j| (i + j * 3) as f64 * 0.02);
-    group.bench_function("matmul_32x32", |bch| bch.iter(|| a.matmul(&b).expect("matmul")));
+    group.bench_function("matmul_32x32", |bch| {
+        bch.iter(|| a.matmul(&b).expect("matmul"))
+    });
 
     // Softmax over a vocabulary-sized logit vector.
     let logits: Vec<f64> = (0..64).map(|i| (i as f64).sin()).collect();
-    group.bench_function("softmax_64", |bch| bch.iter(|| fedmath::ops::softmax(&logits)));
+    group.bench_function("softmax_64", |bch| {
+        bch.iter(|| fedmath::ops::softmax(&logits))
+    });
 
     // Laplace sampling (the DP hot path).
     group.bench_function("laplace_sample", |bch| {
@@ -28,7 +32,9 @@ fn bench(c: &mut Criterion) {
     // Client sampling without replacement from a large population.
     group.bench_function("sample_100_of_10000", |bch| {
         let mut rng = fedmath::rng::rng_for(0, 1);
-        bch.iter(|| fedmath::rng::sample_without_replacement(&mut rng, 10_000, 100).expect("sample"))
+        bch.iter(|| {
+            fedmath::rng::sample_without_replacement(&mut rng, 10_000, 100).expect("sample")
+        })
     });
 
     // One federated training round and one full evaluation on a smoke dataset.

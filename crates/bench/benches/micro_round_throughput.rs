@@ -1,0 +1,84 @@
+//! Sequential vs. parallel `run_round` throughput at 10/50/100 clients per
+//! round — the perf trajectory of the deterministic execution engine.
+//!
+//! On multi-core hardware the parallel policy should show a measurable
+//! speedup from 50 clients per round upward (client training dominates and
+//! fans out across cores); on a single core it degrades gracefully to the
+//! sequential path. The one-off summary printed before the Criterion
+//! measurements reports the observed speedup per client count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use feddata::{Benchmark, DatasetSpec, FederatedDataset, Scale};
+use fedmodels::ModelSpec;
+use fedsim::{ExecutionPolicy, FederatedTrainer, TrainerConfig};
+use std::time::Instant;
+
+const CLIENT_COUNTS: [usize; 3] = [10, 50, 100];
+
+fn dataset() -> FederatedDataset {
+    // Default scale has 120 training clients, enough for 100 clients/round.
+    DatasetSpec::benchmark(Benchmark::Cifar10Like, Scale::Default)
+        .generate(0)
+        .expect("dataset generation")
+}
+
+fn trainer(clients_per_round: usize, execution: ExecutionPolicy) -> FederatedTrainer {
+    let config = TrainerConfig {
+        clients_per_round,
+        execution,
+        ..Default::default()
+    };
+    FederatedTrainer::new(config).expect("valid trainer config")
+}
+
+fn time_rounds(dataset: &FederatedDataset, clients: usize, execution: ExecutionPolicy) -> f64 {
+    let mut run = trainer(clients, execution)
+        .start(dataset, ModelSpec::Mlp { hidden_dim: 32 }, 7)
+        .expect("training start");
+    // One warm-up round, then time a fixed batch.
+    run.run_round(dataset).expect("warm-up round");
+    let rounds = 5;
+    let start = Instant::now();
+    run.run_rounds(dataset, rounds).expect("timed rounds");
+    start.elapsed().as_secs_f64() / rounds as f64
+}
+
+fn print_speedup_summary(dataset: &FederatedDataset) {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\nmicro_round_throughput: sequential vs parallel run_round ({cores} cores)");
+    for &clients in &CLIENT_COUNTS {
+        let sequential = time_rounds(dataset, clients, ExecutionPolicy::Sequential);
+        let parallel = time_rounds(dataset, clients, ExecutionPolicy::parallel());
+        println!(
+            "  {clients:>3} clients/round: sequential {:8.2} ms, parallel {:8.2} ms, speedup {:.2}x",
+            sequential * 1e3,
+            parallel * 1e3,
+            sequential / parallel
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let dataset = dataset();
+    print_speedup_summary(&dataset);
+    let mut group = c.benchmark_group("micro_round_throughput");
+    group.sample_size(10);
+    for &clients in &CLIENT_COUNTS {
+        for (label, execution) in [
+            ("sequential", ExecutionPolicy::Sequential),
+            ("parallel", ExecutionPolicy::parallel()),
+        ] {
+            let trainer = trainer(clients, execution);
+            group.bench_function(format!("{label}_{clients}_clients"), |b| {
+                let mut run = trainer
+                    .start(&dataset, ModelSpec::Mlp { hidden_dim: 32 }, 7)
+                    .expect("training start");
+                b.iter(|| run.run_round(&dataset).expect("benchmarked round"));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -16,9 +16,7 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1_datasets");
     group.sample_size(10);
     group.bench_function("generate_all_benchmarks", |b| {
-        b.iter(|| {
-            DatasetTable::generate(&scale, 42).expect("table generation")
-        })
+        b.iter(|| DatasetTable::generate(&scale, 42).expect("table generation"))
     });
     group.finish();
 }

@@ -79,8 +79,12 @@ impl BenchmarkContext {
     /// A [`ConfigRunner`] that trains one configuration for the scale's
     /// per-configuration round budget on this benchmark.
     pub fn config_runner(&self) -> ConfigRunner {
-        ConfigRunner::new(self.space.clone(), self.model_spec, self.scale.rounds_per_config)
-            .with_clients_per_round(self.scale.clients_per_round)
+        ConfigRunner::new(
+            self.space.clone(),
+            self.model_spec,
+            self.scale.rounds_per_config,
+        )
+        .with_clients_per_round(self.scale.clients_per_round)
     }
 }
 
@@ -131,7 +135,9 @@ mod tests {
         let scale = ExperimentScale::smoke();
         let mut ctx = BenchmarkContext::new(Benchmark::Cifar10Like, &scale, 0).unwrap();
         let n = ctx.dataset().num_val_clients();
-        ctx.dataset_mut().clients_mut(feddata::Split::Validation).pop();
+        ctx.dataset_mut()
+            .clients_mut(feddata::Split::Validation)
+            .pop();
         assert_eq!(ctx.dataset().num_val_clients(), n - 1);
     }
 }

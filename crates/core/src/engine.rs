@@ -1,0 +1,251 @@
+//! The unified trial execution engine.
+//!
+//! Every experiment in the paper boils down to the same shape of work: run
+//! `N` independent trials (train a pooled configuration, replay a bootstrap
+//! RS selection, run one tuner campaign), each needing its own reproducible
+//! randomness, and collect the results in trial order. Before this module
+//! each of those call sites hand-rolled its own loop over a sequential
+//! [`fedmath::SeedStream`], which made the result depend on iteration order
+//! and ruled out parallelism.
+//!
+//! [`TrialRunner`] centralises that pattern:
+//!
+//! - **Per-trial seed derivation.** Trial `i` receives a [`TrialContext`]
+//!   whose [`fedmath::SeedTree`] is derived from `(root_seed, i)` — a pure
+//!   function of position, so results are identical no matter how trials are
+//!   scheduled.
+//! - **Policy-driven fan-out.** Trials execute through
+//!   [`fedsim::exec::map_range`] under the runner's
+//!   [`ExecutionPolicy`], sequentially or across threads, with bit-identical
+//!   results (asserted by `tests/determinism.rs`).
+//! - **Shared progress accounting.** An optional [`ProgressTracker`] counts
+//!   completed trials across concurrently-running experiments.
+
+use crate::Result;
+use fedmath::SeedTree;
+use fedsim::exec::{self, ExecutionPolicy};
+use rand::rngs::StdRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The reproducible identity of one trial inside a fan-out.
+#[derive(Debug, Clone)]
+pub struct TrialContext {
+    index: usize,
+    seeds: SeedTree,
+}
+
+impl TrialContext {
+    /// The trial's index within its fan-out (`0..count`).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The trial's seed tree (rooted at `(root_seed, index)`).
+    pub fn seeds(&self) -> &SeedTree {
+        &self.seeds
+    }
+
+    /// The derived seed on `channel` — use distinct channels for distinct
+    /// consumers within one trial (e.g. objective vs. tuner randomness).
+    pub fn seed(&self, channel: u64) -> u64 {
+        self.seeds.child(channel).seed()
+    }
+
+    /// An RNG on `channel`; see [`seed`](Self::seed).
+    pub fn rng(&self, channel: u64) -> StdRng {
+        self.seeds.child(channel).rng()
+    }
+}
+
+/// Cross-experiment progress accounting: how many trials are planned and how
+/// many have completed. Shared between runners via `Arc`; updates are atomic
+/// so parallel fan-outs can report without coordination.
+#[derive(Debug, Default)]
+pub struct ProgressTracker {
+    planned: AtomicUsize,
+    completed: AtomicUsize,
+}
+
+impl ProgressTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        ProgressTracker::default()
+    }
+
+    /// Registers `count` upcoming trials.
+    pub fn add_planned(&self, count: usize) {
+        self.planned.fetch_add(count, Ordering::Relaxed);
+    }
+
+    /// Records one completed trial.
+    pub fn record_completed(&self) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of trials registered so far.
+    pub fn planned(&self) -> usize {
+        self.planned.load(Ordering::Relaxed)
+    }
+
+    /// Number of trials completed so far.
+    pub fn completed(&self) -> usize {
+        self.completed.load(Ordering::Relaxed)
+    }
+
+    /// Completed fraction in `[0, 1]` (1 when nothing is planned).
+    pub fn fraction(&self) -> f64 {
+        let planned = self.planned();
+        if planned == 0 {
+            1.0
+        } else {
+            self.completed() as f64 / planned as f64
+        }
+    }
+}
+
+/// Executes independent trials under an [`ExecutionPolicy`] with per-trial
+/// derived seeds and optional shared progress accounting.
+#[derive(Debug, Clone, Default)]
+pub struct TrialRunner {
+    policy: ExecutionPolicy,
+    progress: Option<Arc<ProgressTracker>>,
+}
+
+impl TrialRunner {
+    /// Creates a runner with the given policy.
+    pub fn new(policy: ExecutionPolicy) -> Self {
+        TrialRunner {
+            policy,
+            progress: None,
+        }
+    }
+
+    /// A sequential runner.
+    pub fn sequential() -> Self {
+        TrialRunner::new(ExecutionPolicy::Sequential)
+    }
+
+    /// A runner fanning trials out over all available cores.
+    pub fn parallel() -> Self {
+        TrialRunner::new(ExecutionPolicy::parallel())
+    }
+
+    /// Attaches a shared progress tracker.
+    #[must_use]
+    pub fn with_progress(mut self, progress: Arc<ProgressTracker>) -> Self {
+        self.progress = Some(progress);
+        self
+    }
+
+    /// The runner's execution policy.
+    pub fn policy(&self) -> ExecutionPolicy {
+        self.policy
+    }
+
+    /// Runs `count` trials of `trial`, returning results in trial order.
+    ///
+    /// Trial `i` receives a [`TrialContext`] seeded at `(root_seed, i)`;
+    /// results are independent of execution order, so sequential and parallel
+    /// policies agree bit-for-bit whenever `trial` derives all randomness
+    /// from its context.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (lowest-index) trial error, matching the behaviour
+    /// of a sequential short-circuiting loop.
+    pub fn run_trials<T, F>(&self, root_seed: u64, count: usize, trial: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&TrialContext) -> Result<T> + Sync,
+    {
+        if let Some(progress) = &self.progress {
+            progress.add_planned(count);
+        }
+        let root = SeedTree::new(root_seed);
+        let progress = self.progress.as_deref();
+        let results = exec::map_range(&self.policy, count, |index| {
+            let ctx = TrialContext {
+                index,
+                seeds: root.child(index as u64),
+            };
+            let result = trial(&ctx);
+            if let Some(progress) = progress {
+                progress.record_completed();
+            }
+            result
+        });
+        results.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trial_contexts_are_positional() {
+        let runner = TrialRunner::sequential();
+        let seeds_forward = runner.run_trials(7, 8, |ctx| Ok(ctx.seed(0))).unwrap();
+        let seeds_parallel = TrialRunner::parallel()
+            .run_trials(7, 8, |ctx| Ok(ctx.seed(0)))
+            .unwrap();
+        assert_eq!(seeds_forward, seeds_parallel);
+        // Distinct trials, distinct seeds; distinct channels, distinct seeds.
+        let unique: std::collections::HashSet<u64> = seeds_forward.iter().copied().collect();
+        assert_eq!(unique.len(), 8);
+        let channel1 = runner.run_trials(7, 8, |ctx| Ok(ctx.seed(1))).unwrap();
+        assert!(seeds_forward.iter().zip(&channel1).all(|(a, b)| a != b));
+    }
+
+    #[test]
+    fn results_come_back_in_trial_order() {
+        let runner = TrialRunner::parallel();
+        let indices = runner.run_trials(0, 100, |ctx| Ok(ctx.index())).unwrap();
+        assert_eq!(indices, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn first_error_wins() {
+        let runner = TrialRunner::parallel();
+        let result: Result<Vec<usize>> = runner.run_trials(0, 10, |ctx| {
+            if ctx.index() >= 4 {
+                Err(crate::CoreError::InvalidConfig {
+                    message: format!("trial {}", ctx.index()),
+                })
+            } else {
+                Ok(ctx.index())
+            }
+        });
+        let err = result.unwrap_err();
+        assert!(err.to_string().contains("trial 4"), "{err}");
+    }
+
+    #[test]
+    fn progress_is_shared_and_counted() {
+        let progress = Arc::new(ProgressTracker::new());
+        assert_eq!(progress.fraction(), 1.0);
+        let runner = TrialRunner::parallel().with_progress(Arc::clone(&progress));
+        runner.run_trials(1, 5, |_| Ok(())).unwrap();
+        let second = TrialRunner::sequential().with_progress(Arc::clone(&progress));
+        second.run_trials(2, 3, |_| Ok(())).unwrap();
+        assert_eq!(progress.planned(), 8);
+        assert_eq!(progress.completed(), 8);
+        assert_eq!(progress.fraction(), 1.0);
+        progress.add_planned(2);
+        assert!(progress.fraction() < 1.0);
+    }
+
+    #[test]
+    fn trial_rngs_are_reproducible() {
+        use rand::Rng;
+        let runner = TrialRunner::parallel();
+        let draws_a = runner
+            .run_trials(3, 4, |ctx| Ok(ctx.rng(0).gen::<u64>()))
+            .unwrap();
+        let draws_b = runner
+            .run_trials(3, 4, |ctx| Ok(ctx.rng(0).gen::<u64>()))
+            .unwrap();
+        assert_eq!(draws_a, draws_b);
+    }
+}

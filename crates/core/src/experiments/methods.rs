@@ -3,6 +3,7 @@
 //! BOHB under noiseless and noisy evaluation.
 
 use crate::context::BenchmarkContext;
+use crate::engine::TrialRunner;
 use crate::experiments::hyperband_planned_evaluations;
 use crate::noise::NoiseConfig;
 use crate::objective::{FederatedObjective, ObjectiveLogEntry};
@@ -11,7 +12,6 @@ use crate::scale::ExperimentScale;
 use crate::Result;
 use feddata::Benchmark;
 use fedhpo::{Bohb, Hyperband, RandomSearch, Tpe, Tuner};
-use fedmath::SeedStream;
 use serde::{Deserialize, Serialize};
 
 /// The four HP-tuning methods compared throughout the paper.
@@ -50,9 +50,10 @@ impl TuningMethod {
     /// (`K` configurations for RS/TPE; η and bracket count for HB/BOHB).
     pub fn build(&self, scale: &ExperimentScale) -> Box<dyn Tuner> {
         match self {
-            TuningMethod::RandomSearch => {
-                Box::new(RandomSearch::new(scale.num_configs, scale.rounds_per_config))
-            }
+            TuningMethod::RandomSearch => Box::new(RandomSearch::new(
+                scale.num_configs,
+                scale.rounds_per_config,
+            )),
             TuningMethod::Tpe => Box::new(Tpe::new(scale.num_configs, scale.rounds_per_config)),
             TuningMethod::Hyperband => Box::new(Hyperband::new(
                 scale.rounds_per_config,
@@ -219,7 +220,10 @@ impl MethodComparison {
     pub fn to_online_report(&self) -> Result<ExperimentReport> {
         let mut report = ExperimentReport::new(
             "fig8",
-            format!("Online performance of RS/TPE/HB/BOHB on {} (Fig. 8)", self.benchmark),
+            format!(
+                "Online performance of RS/TPE/HB/BOHB on {} (Fig. 8)",
+                self.benchmark
+            ),
         );
         for group in self.online_curves()? {
             report.push_group(group);
@@ -269,27 +273,56 @@ pub fn run_method_comparison(
     noise_settings: &[(String, NoiseConfig)],
     seed: u64,
 ) -> Result<MethodComparison> {
+    run_method_comparison_with(
+        &TrialRunner::parallel(),
+        benchmark,
+        scale,
+        noise_settings,
+        seed,
+    )
+}
+
+/// [`run_method_comparison`] through an explicit [`TrialRunner`]: every
+/// (method × noise setting × trial) campaign is one engine trial, seeded by
+/// its position in the campaign grid. Sequential and parallel runners
+/// produce bit-identical comparisons.
+///
+/// # Errors
+///
+/// Propagates training and evaluation failures.
+pub fn run_method_comparison_with(
+    runner: &TrialRunner,
+    benchmark: Benchmark,
+    scale: &ExperimentScale,
+    noise_settings: &[(String, NoiseConfig)],
+    seed: u64,
+) -> Result<MethodComparison> {
     let ctx = BenchmarkContext::new(benchmark, scale, seed)?;
-    let mut seeds = SeedStream::new(fedmath::rng::derive_seed(seed, 7));
-    let mut runs = Vec::new();
-    for method in TuningMethod::ALL {
+    // One work unit per (method, noise, trial), in the paper's nesting order
+    // so `runs` keeps its historical layout.
+    let units: Vec<(TuningMethod, &str, &NoiseConfig, usize)> = TuningMethod::ALL
+        .iter()
+        .flat_map(|&method| {
+            noise_settings.iter().flat_map(move |(label, noise)| {
+                (0..scale.method_trials).map(move |trial| (method, label.as_str(), noise, trial))
+            })
+        })
+        .collect();
+    let root = fedmath::rng::derive_seed(seed, 7);
+    let runs = runner.run_trials(root, units.len(), |unit| {
+        let (method, noise_label, noise, trial) = units[unit.index()];
         let tuner = method.build(scale);
         let planned = method.planned_evaluations(scale);
-        for (noise_label, noise) in noise_settings {
-            for trial in 0..scale.method_trials {
-                let mut objective =
-                    FederatedObjective::new(&ctx, *noise, planned, seeds.next_seed())?;
-                let mut rng = seeds.next_rng();
-                tuner.tune(ctx.space(), &mut objective, &mut rng)?;
-                runs.push(MethodRun {
-                    method: method.name().to_string(),
-                    noise_label: noise_label.clone(),
-                    trial,
-                    log: objective.into_log(),
-                });
-            }
-        }
-    }
+        let mut objective = FederatedObjective::new(&ctx, *noise, planned, unit.seed(0))?;
+        let mut rng = unit.rng(1);
+        tuner.tune(ctx.space(), &mut objective, &mut rng)?;
+        Ok(MethodRun {
+            method: method.name().to_string(),
+            noise_label: noise_label.to_string(),
+            trial,
+            log: objective.into_log(),
+        })
+    })?;
     let grid_steps = scale.num_configs.max(4);
     let budget_grid: Vec<usize> = (1..=grid_steps)
         .map(|i| i * scale.total_budget / grid_steps)
@@ -337,7 +370,8 @@ impl HeadlineResult {
                 },
             }],
         });
-        report.push_note("proxy RS tunes on FEMNIST-like data and is unaffected by evaluation noise");
+        report
+            .push_note("proxy RS tunes on FEMNIST-like data and is unaffected by evaluation noise");
         report
     }
 }
@@ -348,12 +382,8 @@ impl HeadlineResult {
 ///
 /// Propagates training and evaluation failures.
 pub fn run_headline(scale: &ExperimentScale, seed: u64) -> Result<HeadlineResult> {
-    let comparison = run_method_comparison(
-        Benchmark::Cifar10Like,
-        scale,
-        &paper_noise_settings(),
-        seed,
-    )?;
+    let comparison =
+        run_method_comparison(Benchmark::Cifar10Like, scale, &paper_noise_settings(), seed)?;
     let budget = (scale.total_budget / 3).max(scale.rounds_per_config);
     let method_bars = comparison.bars_at(budget)?;
 
@@ -386,7 +416,10 @@ mod tests {
         assert_eq!(TuningMethod::RandomSearch.name(), "RS");
         assert_eq!(TuningMethod::Bohb.to_string(), "BOHB");
         let scale = ExperimentScale::smoke();
-        assert_eq!(TuningMethod::RandomSearch.planned_evaluations(&scale), scale.num_configs);
+        assert_eq!(
+            TuningMethod::RandomSearch.planned_evaluations(&scale),
+            scale.num_configs
+        );
         assert!(TuningMethod::Hyperband.planned_evaluations(&scale) > 0);
         for m in TuningMethod::ALL {
             let _ = m.build(&scale);
@@ -404,7 +437,11 @@ mod tests {
         assert_eq!(comparison.runs.len(), 4 * 2 * scale.method_trials);
         assert!(!comparison.budget_grid.is_empty());
         for run in &comparison.runs {
-            assert!(!run.log.is_empty(), "{} produced no evaluations", run.method);
+            assert!(
+                !run.log.is_empty(),
+                "{} produced no evaluations",
+                run.method
+            );
         }
 
         let curves = comparison.online_curves().unwrap();
@@ -413,11 +450,17 @@ mod tests {
         assert_eq!(bars.len(), 8);
         for bar in &bars {
             let median = bar.points[0].summary.median;
-            assert!((0.0..=100.0).contains(&median), "{}: median {median}", bar.name);
+            assert!(
+                (0.0..=100.0).contains(&median),
+                "{}: median {median}",
+                bar.name
+            );
         }
         let report = comparison.to_online_report().unwrap();
         assert!(report.to_table().contains("RS (noiseless)"));
-        let report = comparison.to_bars_report("fig16", scale.total_budget).unwrap();
+        let report = comparison
+            .to_bars_report("fig16", scale.total_budget)
+            .unwrap();
         assert!(report.to_table().contains("BOHB"));
     }
 

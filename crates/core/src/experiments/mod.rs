@@ -21,10 +21,10 @@ pub mod space_ablation;
 pub mod subsampling;
 pub mod table1;
 
+use crate::engine::TrialRunner;
 use crate::noise::NoiseConfig;
 use crate::pool::ConfigPool;
 use crate::Result;
-use fedmath::SeedStream;
 
 /// The subsample-rate grid used on the x-axes of Figures 3, 4, 6, and 9:
 /// client counts `1, 3, 9, 27, …` (powers of the paper's η = 3) up to the
@@ -45,7 +45,11 @@ pub fn subsample_rate_grid(population: usize) -> Vec<f64> {
 
 /// Number of objective evaluations a Hyperband/BOHB run with the given
 /// schedule performs — the DP composition length `M` for those methods.
-pub fn hyperband_planned_evaluations(max_resource: usize, eta: usize, num_brackets: usize) -> usize {
+pub fn hyperband_planned_evaluations(
+    max_resource: usize,
+    eta: usize,
+    num_brackets: usize,
+) -> usize {
     let hb = fedhpo::Hyperband::new(max_resource, eta, Some(num_brackets));
     let mut evaluations = 0usize;
     for s in (0..hb.num_brackets()).rev() {
@@ -92,7 +96,8 @@ pub fn simulated_rs_trial(
 }
 
 /// Runs [`simulated_rs_trial`] `trials` times with independent randomness and
-/// returns the selected true errors.
+/// returns the selected true errors. Fans trials out over all cores; see
+/// [`simulated_rs_trials_with`] for an explicit execution policy.
 ///
 /// # Errors
 ///
@@ -105,13 +110,58 @@ pub fn simulated_rs_trials(
     trials: usize,
     seed: u64,
 ) -> Result<Vec<f64>> {
-    let mut seeds = SeedStream::new(seed);
-    (0..trials)
-        .map(|_| {
-            let mut rng = seeds.next_rng();
-            simulated_rs_trial(pool, noise, k, total_evaluations, &mut rng)
-        })
-        .collect()
+    simulated_rs_trials_with(
+        &TrialRunner::parallel(),
+        pool,
+        noise,
+        k,
+        total_evaluations,
+        trials,
+        seed,
+    )
+}
+
+/// [`simulated_rs_trials`] through an explicit [`TrialRunner`]. Trial `i`
+/// draws its randomness from the seed derived at `(seed, i)`, so sequential
+/// and parallel runners return bit-identical error vectors.
+///
+/// # Errors
+///
+/// Propagates trial failures.
+pub fn simulated_rs_trials_with(
+    runner: &TrialRunner,
+    pool: &ConfigPool,
+    noise: &NoiseConfig,
+    k: usize,
+    total_evaluations: usize,
+    trials: usize,
+    seed: u64,
+) -> Result<Vec<f64>> {
+    runner.run_trials(seed, trials, |trial| {
+        let mut rng = trial.rng(0);
+        simulated_rs_trial(pool, noise, k, total_evaluations, &mut rng)
+    })
+}
+
+/// Runs [`simulated_rs_trajectory`] `trials` times through a [`TrialRunner`]
+/// and returns one incumbent trajectory per trial, in trial order.
+///
+/// # Errors
+///
+/// Propagates trial failures.
+pub fn simulated_rs_trajectories_with(
+    runner: &TrialRunner,
+    pool: &ConfigPool,
+    noise: &NoiseConfig,
+    k: usize,
+    total_evaluations: usize,
+    trials: usize,
+    seed: u64,
+) -> Result<Vec<Vec<f64>>> {
+    runner.run_trials(seed, trials, |trial| {
+        let mut rng = trial.rng(0);
+        simulated_rs_trajectory(pool, noise, k, total_evaluations, &mut rng)
+    })
 }
 
 /// Simulates the *online* trajectory of one random-search trial: the true
@@ -172,12 +222,16 @@ mod tests {
         // s=2: n=9,r=1 -> 9 + 3 + 1 evaluations
         // s=1: n=5,r=3 -> 5 + 1
         // s=0: n=3,r=9 -> 3
-        assert_eq!(hyperband_planned_evaluations(9, 3, 3), 9 + 3 + 1 + 5 + 1 + 3);
+        assert_eq!(
+            hyperband_planned_evaluations(9, 3, 3),
+            9 + 3 + 1 + 5 + 1 + 3
+        );
     }
 
     #[test]
     fn simulated_rs_behaviour() {
-        let ctx = BenchmarkContext::new(Benchmark::Cifar10Like, &ExperimentScale::smoke(), 0).unwrap();
+        let ctx =
+            BenchmarkContext::new(Benchmark::Cifar10Like, &ExperimentScale::smoke(), 0).unwrap();
         let pool = ConfigPool::train(&ctx, 1).unwrap();
         // Noiseless selection over the whole pool always returns the best error.
         let mut rng = rng_for(0, 0);

@@ -40,7 +40,9 @@ pub fn run_transfer_pairs(scale: &ExperimentScale, seed: u64) -> Result<Vec<Tran
         let ctx_a = BenchmarkContext::new(a, scale, seed)?;
         let ctx_b = BenchmarkContext::new(b, scale, seed)?;
         let mut sample_rng = seeds.next_rng();
-        let configs = ctx_a.space().sample_many(scale.num_configs, &mut sample_rng)?;
+        let configs = ctx_a
+            .space()
+            .sample_many(scale.num_configs, &mut sample_rng)?;
         let analysis = transfer_analysis(
             ctx_a.dataset(),
             &ctx_a.config_runner(),
@@ -224,7 +226,9 @@ impl ProxyVsNoisy {
             report.push_group(curve.clone());
         }
         for (proxy, error) in &self.proxy_references {
-            report.push_note(format!("proxy {proxy}: {error:.2}% client error (budget-independent)"));
+            report.push_note(format!(
+                "proxy {proxy}: {error:.2}% client error (budget-independent)"
+            ));
         }
         report
     }
@@ -341,7 +345,9 @@ mod tests {
             assert_eq!(a.points.len(), 3);
         }
         let report = transfer_report(&analyses);
-        assert!(report.to_table().contains("stackoverflow-like vs reddit-like"));
+        assert!(report
+            .to_table()
+            .contains("stackoverflow-like vs reddit-like"));
     }
 
     #[test]
@@ -355,7 +361,10 @@ mod tests {
         }
         // The self-proxy (tuning on the client dataset itself without noise)
         // should be among the proxies reported.
-        assert!(result.proxy_references.iter().any(|(name, _)| name == "cifar10-like"));
+        assert!(result
+            .proxy_references
+            .iter()
+            .any(|(name, _)| name == "cifar10-like"));
         let report = result.to_report();
         assert!(report.to_table().contains("eps=inf"));
         assert!(report.to_table().contains("proxy"));

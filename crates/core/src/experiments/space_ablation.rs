@@ -33,7 +33,10 @@ impl SpaceAblation {
     pub fn to_report(&self) -> ExperimentReport {
         let mut report = ExperimentReport::new(
             "fig13",
-            format!("Search-space size under noisy evaluation on {} (Fig. 13)", self.benchmark),
+            format!(
+                "Search-space size under noisy evaluation on {} (Fig. 13)",
+                self.benchmark
+            ),
         );
         report.push_group(SeriesGroup {
             name: format!("{} noiseless", self.benchmark),
@@ -88,9 +91,16 @@ pub fn run_space_ablation(
 
         // Noisy evaluation: a single validation client and ε = 10.
         let single_client = 1.0 / ctx.dataset().num_val_clients() as f64;
-        let noise = NoiseConfig::subsampled(single_client).with_privacy(PrivacyBudget::Finite(10.0));
-        let noisy_errors =
-            simulated_rs_trials(&pool, &noise, k, k, scale.bootstrap_trials, seeds.next_seed())?;
+        let noise =
+            NoiseConfig::subsampled(single_client).with_privacy(PrivacyBudget::Finite(10.0));
+        let noisy_errors = simulated_rs_trials(
+            &pool,
+            &noise,
+            k,
+            k,
+            scale.bootstrap_trials,
+            seeds.next_seed(),
+        )?;
         noisy_points.push(SeriesPoint::from_error_rates(
             width as f64,
             format!("width {width}"),

@@ -2,7 +2,10 @@
 //! Fig. 5 (error vs. training budget at several subsampling rates).
 
 use crate::context::BenchmarkContext;
-use crate::experiments::{simulated_rs_trajectory, simulated_rs_trials, subsample_rate_grid};
+use crate::engine::TrialRunner;
+use crate::experiments::{
+    simulated_rs_trajectories_with, simulated_rs_trials_with, subsample_rate_grid,
+};
 use crate::noise::NoiseConfig;
 use crate::pool::ConfigPool;
 use crate::report::{rate_label, ExperimentReport, SeriesGroup, SeriesPoint};
@@ -37,10 +40,25 @@ pub fn run_subsampling_sweep(
     scale: &ExperimentScale,
     seed: u64,
 ) -> Result<SubsamplingSweep> {
+    run_subsampling_sweep_with(&TrialRunner::parallel(), benchmark, scale, seed)
+}
+
+/// [`run_subsampling_sweep`] through an explicit [`TrialRunner`]; sequential
+/// and parallel runners produce bit-identical sweeps.
+///
+/// # Errors
+///
+/// Propagates pool-training and noisy-evaluation failures.
+pub fn run_subsampling_sweep_with(
+    runner: &TrialRunner,
+    benchmark: Benchmark,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Result<SubsamplingSweep> {
     let ctx = BenchmarkContext::new(benchmark, scale, seed)?;
     let mut seeds = SeedStream::new(fedmath::rng::derive_seed(seed, 1));
-    let pool = ConfigPool::train(&ctx, seeds.next_seed())?;
-    subsampling_sweep_from_pool(&ctx, &pool, scale, seeds.next_seed())
+    let pool = ConfigPool::train_with(&ctx, scale.pool_size, seeds.next_seed(), runner)?;
+    subsampling_sweep_from_pool_with(runner, &ctx, &pool, scale, seeds.next_seed())
 }
 
 /// The Fig. 3 sweep given an already-trained pool (so several figures can
@@ -55,18 +73,37 @@ pub fn subsampling_sweep_from_pool(
     scale: &ExperimentScale,
     seed: u64,
 ) -> Result<SubsamplingSweep> {
+    subsampling_sweep_from_pool_with(&TrialRunner::parallel(), ctx, pool, scale, seed)
+}
+
+/// [`subsampling_sweep_from_pool`] through an explicit [`TrialRunner`].
+/// Each rate's bootstrap trials fan out through the runner, seeded by the
+/// rate's position in the grid — so the sweep is a pure function of
+/// `(pool, scale, seed)` under every execution policy.
+///
+/// # Errors
+///
+/// Propagates noisy-evaluation failures.
+pub fn subsampling_sweep_from_pool_with(
+    runner: &TrialRunner,
+    ctx: &BenchmarkContext,
+    pool: &ConfigPool,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Result<SubsamplingSweep> {
     let population = ctx.dataset().num_val_clients();
-    let mut seeds = SeedStream::new(seed);
+    let rate_seeds = fedmath::SeedTree::new(seed);
     let mut points = Vec::new();
-    for rate in subsample_rate_grid(population) {
+    for (rate_idx, rate) in subsample_rate_grid(population).into_iter().enumerate() {
         let noise = NoiseConfig::subsampled(rate);
-        let errors = simulated_rs_trials(
+        let errors = simulated_rs_trials_with(
+            runner,
             pool,
             &noise,
             scale.num_configs,
             scale.num_configs,
             scale.bootstrap_trials,
-            seeds.next_seed(),
+            rate_seeds.child(rate_idx as u64).seed(),
         )?;
         points.push(SeriesPoint::from_error_rates(
             rate,
@@ -122,10 +159,25 @@ pub fn run_budget_curves(
     scale: &ExperimentScale,
     seed: u64,
 ) -> Result<BudgetCurves> {
+    run_budget_curves_with(&TrialRunner::parallel(), benchmark, scale, seed)
+}
+
+/// [`run_budget_curves`] through an explicit [`TrialRunner`]; sequential and
+/// parallel runners produce bit-identical curves.
+///
+/// # Errors
+///
+/// Propagates pool-training and noisy-evaluation failures.
+pub fn run_budget_curves_with(
+    runner: &TrialRunner,
+    benchmark: Benchmark,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Result<BudgetCurves> {
     let ctx = BenchmarkContext::new(benchmark, scale, seed)?;
     let mut seeds = SeedStream::new(fedmath::rng::derive_seed(seed, 2));
-    let pool = ConfigPool::train(&ctx, seeds.next_seed())?;
-    budget_curves_from_pool(&ctx, &pool, scale, seeds.next_seed())
+    let pool = ConfigPool::train_with(&ctx, scale.pool_size, seeds.next_seed(), runner)?;
+    budget_curves_from_pool_with(runner, &ctx, &pool, scale, seeds.next_seed())
 }
 
 /// The Fig. 5 curves given an already-trained pool.
@@ -139,26 +191,43 @@ pub fn budget_curves_from_pool(
     scale: &ExperimentScale,
     seed: u64,
 ) -> Result<BudgetCurves> {
+    budget_curves_from_pool_with(&TrialRunner::parallel(), ctx, pool, scale, seed)
+}
+
+/// [`budget_curves_from_pool`] through an explicit [`TrialRunner`]; the
+/// bootstrap trajectories of each rate fan out through the runner.
+///
+/// # Errors
+///
+/// Propagates noisy-evaluation failures.
+pub fn budget_curves_from_pool_with(
+    runner: &TrialRunner,
+    ctx: &BenchmarkContext,
+    pool: &ConfigPool,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Result<BudgetCurves> {
     let population = ctx.dataset().num_val_clients();
     // The paper plots a single client, a small percentage, and 100%.
     let single = 1.0 / population as f64;
     let small = (3.0 / population as f64).min(1.0);
     let rates = [single, small, 1.0];
-    let mut seeds = SeedStream::new(seed);
+    let rate_seeds = fedmath::SeedTree::new(seed);
     let mut curves = Vec::new();
-    for &rate in &rates {
+    for (rate_idx, &rate) in rates.iter().enumerate() {
         let noise = NoiseConfig::subsampled(rate);
         // Collect incumbent trajectories over bootstrap trials.
+        let trajectories = simulated_rs_trajectories_with(
+            runner,
+            pool,
+            &noise,
+            scale.num_configs,
+            scale.num_configs,
+            scale.bootstrap_trials,
+            rate_seeds.child(rate_idx as u64).seed(),
+        )?;
         let mut per_step: Vec<Vec<f64>> = vec![Vec::new(); scale.num_configs];
-        for _ in 0..scale.bootstrap_trials {
-            let mut rng = seeds.next_rng();
-            let trajectory = simulated_rs_trajectory(
-                pool,
-                &noise,
-                scale.num_configs,
-                scale.num_configs,
-                &mut rng,
-            )?;
+        for trajectory in trajectories {
             for (step, err) in trajectory.into_iter().enumerate() {
                 per_step[step].push(err);
             }
@@ -216,7 +285,10 @@ mod tests {
         // median) as single-client evaluation.
         let single = sweep.points.first().unwrap().summary.median;
         let full = sweep.points.last().unwrap().summary.median;
-        assert!(full <= single + 1e-9, "full eval ({full}) should not be worse than 1 client ({single})");
+        assert!(
+            full <= single + 1e-9,
+            "full eval ({full}) should not be worse than 1 client ({single})"
+        );
         // Best HPs is a lower bound on every median.
         for p in &sweep.points {
             assert!(p.summary.median + 1e-9 >= sweep.best_hps_percent);

@@ -51,7 +51,10 @@ impl DatasetTable {
         for row in &self.rows {
             let point = SeriesPoint {
                 x: row.train_clients as f64,
-                x_label: format!("{} train / {} eval clients", row.train_clients, row.val_clients),
+                x_label: format!(
+                    "{} train / {} eval clients",
+                    row.train_clients, row.val_clients
+                ),
                 summary: QuartileSummary {
                     lower: row.examples.min as f64,
                     median: row.examples.mean,
@@ -64,7 +67,9 @@ impl DatasetTable {
                 points: vec![point],
             });
         }
-        report.push_note("summary column shows min/mean/max examples per client; count = total examples");
+        report.push_note(
+            "summary column shows min/mean/max examples per client; count = total examples",
+        );
         report
     }
 }
@@ -80,7 +85,12 @@ mod tests {
         let names: Vec<&str> = table.rows.iter().map(|r| r.name.as_str()).collect();
         assert_eq!(
             names,
-            vec!["cifar10-like", "femnist-like", "stackoverflow-like", "reddit-like"]
+            vec![
+                "cifar10-like",
+                "femnist-like",
+                "stackoverflow-like",
+                "reddit-like"
+            ]
         );
         for row in &table.rows {
             assert!(row.train_clients > 0);
@@ -102,7 +112,9 @@ mod tests {
         // training clients — the ordering of Table 1 must be preserved.
         let by_name = |name: &str| table.rows.iter().find(|r| r.name == name).unwrap();
         assert!(by_name("reddit-like").val_clients > by_name("cifar10-like").val_clients);
-        assert!(by_name("stackoverflow-like").train_clients > by_name("femnist-like").train_clients);
+        assert!(
+            by_name("stackoverflow-like").train_clients > by_name("femnist-like").train_clients
+        );
         assert!(by_name("reddit-like").examples.mean < by_name("stackoverflow-like").examples.mean);
     }
 }

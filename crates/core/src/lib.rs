@@ -5,6 +5,10 @@
 //!
 //! # Layout
 //!
+//! - [`engine`] — the unified trial execution engine: [`TrialRunner`] fans
+//!   independent trials out under an execution policy with per-trial derived
+//!   seeds, shared progress accounting, and results that are bit-identical
+//!   between sequential and parallel execution.
 //! - [`scale`] — experiment scale presets (paper-scale, CPU default, smoke).
 //! - [`context`] — a benchmark dataset bundled with its search space and
 //!   model architecture.
@@ -37,6 +41,7 @@
 #![forbid(unsafe_code)]
 
 pub mod context;
+pub mod engine;
 pub mod experiments;
 pub mod noise;
 pub mod objective;
@@ -45,6 +50,8 @@ pub mod report;
 pub mod scale;
 
 pub use context::BenchmarkContext;
+pub use engine::{ProgressTracker, TrialContext, TrialRunner};
+pub use fedsim::ExecutionPolicy;
 pub use noise::{noisy_error, NoiseConfig};
 pub use objective::{FederatedObjective, ObjectiveLogEntry};
 pub use pool::{ConfigPool, PooledConfig};
@@ -136,16 +143,33 @@ mod tests {
 
     #[test]
     fn error_conversions_and_display() {
-        let e = CoreError::InvalidConfig { message: "bad rate".into() };
+        let e = CoreError::InvalidConfig {
+            message: "bad rate".into(),
+        };
         assert!(e.to_string().contains("bad rate"));
         assert!(e.source().is_none());
         let cases: Vec<CoreError> = vec![
-            feddata::DataError::InvalidSpec { message: "x".into() }.into(),
-            fedsim::SimError::InvalidConfig { message: "x".into() }.into(),
+            feddata::DataError::InvalidSpec {
+                message: "x".into(),
+            }
+            .into(),
+            fedsim::SimError::InvalidConfig {
+                message: "x".into(),
+            }
+            .into(),
             fedmodels::ModelError::EmptyBatch.into(),
-            fedhpo::HpoError::InvalidConfig { message: "x".into() }.into(),
-            feddp::DpError::InvalidParameter { message: "x".into() }.into(),
-            fedproxy::ProxyError::InvalidConfig { message: "x".into() }.into(),
+            fedhpo::HpoError::InvalidConfig {
+                message: "x".into(),
+            }
+            .into(),
+            feddp::DpError::InvalidParameter {
+                message: "x".into(),
+            }
+            .into(),
+            fedproxy::ProxyError::InvalidConfig {
+                message: "x".into(),
+            }
+            .into(),
             fedmath::MathError::EmptyInput { what: "x" }.into(),
         ];
         for e in cases {

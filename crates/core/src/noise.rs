@@ -95,12 +95,18 @@ impl NoiseConfig {
     pub fn validate(&self) -> Result<()> {
         if !(self.subsample_rate > 0.0 && self.subsample_rate <= 1.0) {
             return Err(CoreError::InvalidConfig {
-                message: format!("subsample rate must be in (0, 1], got {}", self.subsample_rate),
+                message: format!(
+                    "subsample rate must be in (0, 1], got {}",
+                    self.subsample_rate
+                ),
             });
         }
         if self.systems_bias < 0.0 || !self.systems_bias.is_finite() {
             return Err(CoreError::InvalidConfig {
-                message: format!("systems bias must be non-negative, got {}", self.systems_bias),
+                message: format!(
+                    "systems bias must be non-negative, got {}",
+                    self.systems_bias
+                ),
             });
         }
         self.privacy.validate()?;
@@ -229,7 +235,10 @@ mod tests {
         assert_eq!(fixed.weighting, WeightingScheme::Uniform);
         assert!(NoiseConfig::default().validate().is_ok());
         assert!(NoiseConfig::paper_noisy().label().contains("eps=100"));
-        assert!(NoiseConfig::noiseless().with_systems_bias(3.0).label().contains("b=3"));
+        assert!(NoiseConfig::noiseless()
+            .with_systems_bias(3.0)
+            .label()
+            .contains("b=3"));
     }
 
     #[test]
@@ -264,9 +273,15 @@ mod tests {
             estimates.push(noisy_error(&eval, &noise, 16, &mut rng).unwrap());
         }
         let spread = fedmath::stats::std_dev(&estimates);
-        assert!(spread > 0.1, "single-client estimates should vary a lot, got {spread}");
+        assert!(
+            spread > 0.1,
+            "single-client estimates should vary a lot, got {spread}"
+        );
         let mean = fedmath::stats::mean(&estimates);
-        assert!((mean - 0.495).abs() < 0.08, "estimates should be unbiased, mean {mean}");
+        assert!(
+            (mean - 0.495).abs() < 0.08,
+            "estimates should be unbiased, mean {mean}"
+        );
     }
 
     #[test]
@@ -330,6 +345,9 @@ mod tests {
                 seen_outside = true;
             }
         }
-        assert!(seen_outside, "heavy DP noise should push some estimates outside [0, 1]");
+        assert!(
+            seen_outside,
+            "heavy DP noise should push some estimates outside [0, 1]"
+        );
     }
 }

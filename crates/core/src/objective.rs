@@ -13,10 +13,10 @@ use crate::noise::{noisy_error, NoiseConfig};
 use crate::Result;
 use feddata::Split;
 use fedhpo::{HpConfig, HpoError, Objective};
-use fedmath::SeedStream;
+use fedmath::{SeedStream, SeedTree};
 use fedproxy::hyperparams_from_config;
-use fedsim::evaluation::evaluate_full;
-use fedsim::{FederatedTrainer, TrainerConfig, TrainingRun, WeightingScheme};
+use fedsim::evaluation::evaluate_full_with;
+use fedsim::{ExecutionPolicy, FederatedTrainer, TrainerConfig, TrainingRun, WeightingScheme};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -44,8 +44,9 @@ pub struct FederatedObjective<'a> {
     runs: HashMap<usize, TrainingRun>,
     log: Vec<ObjectiveLogEntry>,
     cumulative_rounds: usize,
-    seeds: SeedStream,
+    trial_seeds: SeedTree,
     eval_rng: StdRng,
+    execution: ExecutionPolicy,
 }
 
 impl<'a> FederatedObjective<'a> {
@@ -73,6 +74,10 @@ impl<'a> FederatedObjective<'a> {
         }
         let mut seeds = SeedStream::new(seed);
         let eval_rng = seeds.next_rng();
+        // Each trial's training run is seeded by its trial id, not by the
+        // order in which the tuner first evaluates it — so tuners that visit
+        // trials in different orders still give every trial the same run.
+        let trial_seeds = SeedTree::new(seeds.next_seed());
         Ok(FederatedObjective {
             ctx,
             noise,
@@ -80,9 +85,19 @@ impl<'a> FederatedObjective<'a> {
             runs: HashMap::new(),
             log: Vec::new(),
             cumulative_rounds: 0,
-            seeds,
+            trial_seeds,
             eval_rng,
+            execution: ExecutionPolicy::Sequential,
         })
+    }
+
+    /// Sets the execution policy used for round-level client training and
+    /// validation evaluation inside this objective. Both policies return
+    /// bit-identical scores; `Parallel` only changes wall-clock time.
+    #[must_use]
+    pub fn with_execution(mut self, execution: ExecutionPolicy) -> Self {
+        self.execution = execution;
+        self
     }
 
     /// The evaluations logged so far, in call order.
@@ -139,11 +154,13 @@ impl Objective for FederatedObjective<'_> {
                 clients_per_round: self.ctx.scale().clients_per_round,
                 hyperparams,
                 weighting: self.weighting(),
+                execution: self.execution,
             };
             let trainer = FederatedTrainer::new(trainer_config)
                 .map_err(|e| to_objective_error(e.to_string()))?;
+            let run_seed = self.trial_seeds.child(trial_id as u64).seed();
             let run = trainer
-                .start(self.ctx.dataset(), self.ctx.model_spec(), self.seeds.next_seed())
+                .start(self.ctx.dataset(), self.ctx.model_spec(), run_seed)
                 .map_err(|e| to_objective_error(e.to_string()))?;
             self.runs.insert(trial_id, run);
         }
@@ -158,7 +175,8 @@ impl Objective for FederatedObjective<'_> {
 
         // Evaluate the current global model on the full validation pool, then
         // apply the configured evaluation noise.
-        let full_eval = evaluate_full(
+        let full_eval = evaluate_full_with(
+            &self.execution,
             run.model(),
             self.ctx.dataset(),
             Split::Validation,

@@ -7,16 +7,16 @@
 //! this module reproduces that machinery.
 
 use crate::context::BenchmarkContext;
+use crate::engine::TrialRunner;
 use crate::noise::{noisy_error, NoiseConfig};
 use crate::{CoreError, Result};
 use feddata::{ClientData, Split};
 use fedhpo::HpConfig;
 use fedmath::SeedStream;
 use fedmodels::AnyModel;
-use fedsim::evaluation::{evaluate_clients, FederatedEvaluation};
+use fedsim::evaluation::{evaluate_clients_with, FederatedEvaluation};
 use fedsim::WeightingScheme;
 use rand::rngs::StdRng;
-use rayon::prelude::*;
 
 /// One pre-trained configuration: the sampled hyperparameters, the trained
 /// model, and its full-validation evaluation on the context's validation pool.
@@ -59,6 +59,22 @@ impl ConfigPool {
     ///
     /// Propagates sampling, training, and evaluation failures.
     pub fn train_sized(ctx: &BenchmarkContext, pool_size: usize, seed: u64) -> Result<Self> {
+        Self::train_with(ctx, pool_size, seed, &TrialRunner::parallel())
+    }
+
+    /// Trains a pool through an explicit [`TrialRunner`], so callers control
+    /// the execution policy and progress accounting. Sequential and parallel
+    /// runners produce bit-identical pools.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling, training, and evaluation failures.
+    pub fn train_with(
+        ctx: &BenchmarkContext,
+        pool_size: usize,
+        seed: u64,
+        trials: &TrialRunner,
+    ) -> Result<Self> {
         if pool_size == 0 {
             return Err(CoreError::InvalidConfig {
                 message: "pool size must be positive".into(),
@@ -67,25 +83,20 @@ impl ConfigPool {
         let mut seeds = SeedStream::new(seed);
         let mut sample_rng = seeds.next_rng();
         let configs = ctx.space().sample_many(pool_size, &mut sample_rng)?;
-        let run_seeds: Vec<u64> = (0..pool_size).map(|_| seeds.next_seed()).collect();
+        let trial_root = seeds.next_seed();
         let runner = ctx.config_runner();
 
-        let entries: Vec<Result<PooledConfig>> = configs
-            .into_par_iter()
-            .zip(run_seeds.into_par_iter())
-            .enumerate()
-            .map(|(index, (config, run_seed))| {
-                let result = runner.run(ctx.dataset(), &config, run_seed)?;
-                Ok(PooledConfig {
-                    index,
-                    config,
-                    model: result.model,
-                    evaluation: result.evaluation,
-                    full_error: result.full_error,
-                })
+        let entries = trials.run_trials(trial_root, pool_size, |trial| {
+            let config = &configs[trial.index()];
+            let result = runner.run(ctx.dataset(), config, trial.seed(0))?;
+            Ok(PooledConfig {
+                index: trial.index(),
+                config: config.clone(),
+                model: result.model,
+                evaluation: result.evaluation,
+                full_error: result.full_error,
             })
-            .collect();
-        let entries = entries.into_iter().collect::<Result<Vec<_>>>()?;
+        })?;
         Ok(ConfigPool { entries })
     }
 
@@ -156,27 +167,43 @@ impl ConfigPool {
     ///
     /// Propagates evaluation failures.
     pub fn reevaluate_on(&self, val_clients: &[ClientData]) -> Result<ConfigPool> {
+        self.reevaluate_on_with(val_clients, &TrialRunner::parallel())
+    }
+
+    /// [`reevaluate_on`](Self::reevaluate_on) through an explicit
+    /// [`TrialRunner`]. Evaluation consumes no randomness, so every policy
+    /// produces identical pools.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures.
+    pub fn reevaluate_on_with(
+        &self,
+        val_clients: &[ClientData],
+        trials: &TrialRunner,
+    ) -> Result<ConfigPool> {
         let indices: Vec<usize> = (0..val_clients.len()).collect();
-        let entries = self
-            .entries
-            .par_iter()
-            .map(|entry| {
-                let evaluation = evaluate_clients(
-                    &entry.model,
-                    val_clients,
-                    &indices,
-                    WeightingScheme::ByExamples,
-                )?;
-                let full_error = evaluation.weighted_error()?;
-                Ok(PooledConfig {
-                    index: entry.index,
-                    config: entry.config.clone(),
-                    model: entry.model.clone(),
-                    evaluation,
-                    full_error,
-                })
+        // The outer trial fan-out already saturates the cores; keep the inner
+        // per-client evaluation sequential to avoid thread oversubscription.
+        let inner = fedsim::ExecutionPolicy::Sequential;
+        let entries = trials.run_trials(0, self.entries.len(), |trial| {
+            let entry = &self.entries[trial.index()];
+            let evaluation = evaluate_clients_with(
+                &inner,
+                &entry.model,
+                val_clients,
+                &indices,
+                WeightingScheme::ByExamples,
+            )?;
+            let full_error = evaluation.weighted_error()?;
+            Ok(PooledConfig {
+                index: entry.index,
+                config: entry.config.clone(),
+                model: entry.model.clone(),
+                evaluation,
+                full_error,
             })
-            .collect::<Result<Vec<_>>>()?;
+        })?;
         Ok(ConfigPool { entries })
     }
 
@@ -229,7 +256,10 @@ mod tests {
         assert_eq!(pool.min_client_errors().len(), pool.len());
         for (i, entry) in pool.entries().iter().enumerate() {
             assert_eq!(entry.index, i);
-            assert_eq!(entry.evaluation.num_clients(), ctx.dataset().num_val_clients());
+            assert_eq!(
+                entry.evaluation.num_clients(),
+                ctx.dataset().num_val_clients()
+            );
         }
     }
 
@@ -252,7 +282,9 @@ mod tests {
         let ctx = smoke_context();
         let pool = ConfigPool::train_sized(&ctx, 4, 2).unwrap();
         let mut rng = rng_for(0, 0);
-        let noiseless = pool.noisy_scores(&NoiseConfig::noiseless(), 16, &mut rng).unwrap();
+        let noiseless = pool
+            .noisy_scores(&NoiseConfig::noiseless(), 16, &mut rng)
+            .unwrap();
         for (noisy, truth) in noiseless.iter().zip(pool.true_errors().iter()) {
             assert!((noisy - truth).abs() < 1e-12);
         }
@@ -263,7 +295,10 @@ mod tests {
             .iter()
             .zip(pool.true_errors().iter())
             .any(|(a, b)| (a - b).abs() > 1e-9);
-        assert!(differs, "subsampled scores should deviate from the full errors");
+        assert!(
+            differs,
+            "subsampled scores should deviate from the full errors"
+        );
     }
 
     #[test]

@@ -98,7 +98,12 @@ impl ExperimentReport {
             for p in &group.points {
                 out.push_str(&format!(
                     "{:<28} {:>14} {:>10.2} {:>10.2} {:>10.2} {:>7}\n",
-                    group.name, p.x_label, p.summary.median, p.summary.lower, p.summary.upper, p.summary.count
+                    group.name,
+                    p.x_label,
+                    p.summary.median,
+                    p.summary.lower,
+                    p.summary.upper,
+                    p.summary.count
                 ));
             }
         }

@@ -239,11 +239,51 @@ mod tests {
     #[test]
     fn constructor_validation() {
         let c = ClientData::new(0, vec![Example::dense(vec![0.0], 0)]);
-        assert!(FederatedDataset::new("x", Task::DenseClassification, 2, 1, vec![], vec![c.clone()]).is_err());
-        assert!(FederatedDataset::new("x", Task::DenseClassification, 2, 1, vec![c.clone()], vec![]).is_err());
-        assert!(FederatedDataset::new("x", Task::DenseClassification, 1, 1, vec![c.clone()], vec![c.clone()]).is_err());
-        assert!(FederatedDataset::new("x", Task::DenseClassification, 2, 0, vec![c.clone()], vec![c.clone()]).is_err());
-        assert!(FederatedDataset::new("x", Task::DenseClassification, 2, 1, vec![c.clone()], vec![c]).is_ok());
+        assert!(FederatedDataset::new(
+            "x",
+            Task::DenseClassification,
+            2,
+            1,
+            vec![],
+            vec![c.clone()]
+        )
+        .is_err());
+        assert!(FederatedDataset::new(
+            "x",
+            Task::DenseClassification,
+            2,
+            1,
+            vec![c.clone()],
+            vec![]
+        )
+        .is_err());
+        assert!(FederatedDataset::new(
+            "x",
+            Task::DenseClassification,
+            1,
+            1,
+            vec![c.clone()],
+            vec![c.clone()]
+        )
+        .is_err());
+        assert!(FederatedDataset::new(
+            "x",
+            Task::DenseClassification,
+            2,
+            0,
+            vec![c.clone()],
+            vec![c.clone()]
+        )
+        .is_err());
+        assert!(FederatedDataset::new(
+            "x",
+            Task::DenseClassification,
+            2,
+            1,
+            vec![c.clone()],
+            vec![c]
+        )
+        .is_ok());
     }
 
     #[test]
@@ -273,8 +313,14 @@ mod tests {
     #[test]
     fn weights() {
         let d = tiny_dataset();
-        assert_eq!(d.client_weights_by_examples(Split::Validation), vec![2.0, 3.0, 5.0]);
-        assert_eq!(d.uniform_client_weights(Split::Validation), vec![1.0, 1.0, 1.0]);
+        assert_eq!(
+            d.client_weights_by_examples(Split::Validation),
+            vec![2.0, 3.0, 5.0]
+        );
+        assert_eq!(
+            d.uniform_client_weights(Split::Validation),
+            vec![1.0, 1.0, 1.0]
+        );
     }
 
     #[test]

@@ -125,6 +125,9 @@ mod tests {
     #[test]
     fn task_names() {
         assert_eq!(Task::DenseClassification.name(), "image-classification");
-        assert_eq!(Task::NextTokenPrediction.to_string(), "next-token-prediction");
+        assert_eq!(
+            Task::NextTokenPrediction.to_string(),
+            "next-token-prediction"
+        );
     }
 }

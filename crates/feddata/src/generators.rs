@@ -167,11 +167,7 @@ impl ClassificationWorld {
     /// # Errors
     ///
     /// Returns [`DataError::InvalidSpec`] if `sizes` is empty or contains zero.
-    pub fn generate_clients(
-        &self,
-        rng: &mut impl Rng,
-        sizes: &[usize],
-    ) -> Result<Vec<ClientData>> {
+    pub fn generate_clients(&self, rng: &mut impl Rng, sizes: &[usize]) -> Result<Vec<ClientData>> {
         if sizes.is_empty() {
             return Err(DataError::InvalidSpec {
                 message: "need at least one client size".into(),
@@ -236,7 +232,11 @@ impl LanguageWorld {
         for _ in 0..config.num_topics {
             let mut rows = Vec::with_capacity(config.vocab_size);
             for _ in 0..config.vocab_size {
-                rows.push(sample_dirichlet(rng, config.vocab_size, config.transition_alpha)?);
+                rows.push(sample_dirichlet(
+                    rng,
+                    config.vocab_size,
+                    config.transition_alpha,
+                )?);
             }
             topic_transitions.push(rows);
         }
@@ -262,11 +262,7 @@ impl LanguageWorld {
     /// # Errors
     ///
     /// Returns [`DataError::InvalidSpec`] if `sizes` is empty or contains zero.
-    pub fn generate_clients(
-        &self,
-        rng: &mut impl Rng,
-        sizes: &[usize],
-    ) -> Result<Vec<ClientData>> {
+    pub fn generate_clients(&self, rng: &mut impl Rng, sizes: &[usize]) -> Result<Vec<ClientData>> {
         if sizes.is_empty() {
             return Err(DataError::InvalidSpec {
                 message: "need at least one client size".into(),
@@ -283,13 +279,10 @@ impl LanguageWorld {
             let topic_mixture = sample_dirichlet(rng, cfg.num_topics, cfg.client_topic_alpha)?;
             let mut examples = Vec::with_capacity(n);
             for _ in 0..n {
-                let context =
-                    fedmath::rng::sample_categorical(rng, &self.context_distribution);
+                let context = fedmath::rng::sample_categorical(rng, &self.context_distribution);
                 let topic = fedmath::rng::sample_categorical(rng, &topic_mixture);
-                let next = fedmath::rng::sample_categorical(
-                    rng,
-                    &self.topic_transitions[topic][context],
-                );
+                let next =
+                    fedmath::rng::sample_categorical(rng, &self.topic_transitions[topic][context]);
                 examples.push(Example::token(context, next));
             }
             clients.push(ClientData::new(id, examples));
@@ -458,7 +451,10 @@ mod tests {
             .map(|(&a, &b)| (a as f64 / 400.0 - b as f64 / 400.0).abs())
             .sum::<f64>()
             / 2.0;
-        assert!(tv > 0.05, "expected clients to differ, TV distance was {tv}");
+        assert!(
+            tv > 0.05,
+            "expected clients to differ, TV distance was {tv}"
+        );
     }
 
     #[test]

@@ -99,7 +99,10 @@ pub fn dirichlet_label_partition(
         let proportions = sample_dirichlet(rng, num_clients, alpha)?;
         // Convert proportions into integer counts that sum to the class size.
         let n = class_examples.len();
-        let mut counts: Vec<usize> = proportions.iter().map(|p| (p * n as f64).floor() as usize).collect();
+        let mut counts: Vec<usize> = proportions
+            .iter()
+            .map(|p| (p * n as f64).floor() as usize)
+            .collect();
         let mut assigned: usize = counts.iter().sum();
         // Distribute the remainder to the clients with the largest fractional parts.
         let mut fracs: Vec<(f64, usize)> = proportions
@@ -148,7 +151,9 @@ fn rebalance_empty_clients(buckets: &mut [Vec<Example>]) {
             // Not enough examples to give every client one; leave remaining empty.
             return;
         }
-        let moved = buckets[largest_idx].pop().expect("largest bucket is non-empty");
+        let moved = buckets[largest_idx]
+            .pop()
+            .expect("largest bucket is non-empty");
         buckets[empty_idx].push(moved);
     }
 }
@@ -297,7 +302,10 @@ pub fn long_tailed_client_sizes(
             }
         }
     }
-    Ok(sizes.into_iter().map(|s| s.round().max(min as f64) as usize).collect())
+    Ok(sizes
+        .into_iter()
+        .map(|s| s.round().max(min as f64) as usize)
+        .collect())
 }
 
 /// Computes a simple scalar measure of label heterogeneity across clients:
@@ -491,10 +499,16 @@ mod tests {
         assert_eq!(sizes.len(), 500);
         assert!(sizes.iter().all(|&s| (1..=5000).contains(&s)));
         let mean = sizes.iter().sum::<usize>() as f64 / 500.0;
-        assert!((mean - 40.0).abs() < 25.0, "mean {mean} too far from target 40");
+        assert!(
+            (mean - 40.0).abs() < 25.0,
+            "mean {mean} too far from target 40"
+        );
         // Long tail: max should be several times the mean.
         let max = *sizes.iter().max().unwrap();
-        assert!(max as f64 > 2.0 * mean, "max {max} not long-tailed vs mean {mean}");
+        assert!(
+            max as f64 > 2.0 * mean,
+            "max {max} not long-tailed vs mean {mean}"
+        );
     }
 
     #[test]

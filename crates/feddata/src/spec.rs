@@ -9,9 +9,7 @@
 
 use crate::dataset::FederatedDataset;
 use crate::example::Task;
-use crate::generators::{
-    ClassificationConfig, ClassificationWorld, LanguageConfig, LanguageWorld,
-};
+use crate::generators::{ClassificationConfig, ClassificationWorld, LanguageConfig, LanguageWorld};
 use crate::partition::long_tailed_client_sizes;
 use crate::{DataError, Result};
 use fedmath::SeedStream;
@@ -123,11 +121,16 @@ impl ClientSizes {
                         message: format!("invalid uniform size range [{low}, {high}]"),
                     });
                 }
-                Ok((0..num_clients).map(|_| rng.gen_range(low..=high)).collect())
+                Ok((0..num_clients)
+                    .map(|_| rng.gen_range(low..=high))
+                    .collect())
             }
-            ClientSizes::LogNormal { mean, min, max, sigma } => {
-                long_tailed_client_sizes(rng, num_clients, mean, min.max(1), max, sigma)
-            }
+            ClientSizes::LogNormal {
+                mean,
+                min,
+                max,
+                sigma,
+            } => long_tailed_client_sizes(rng, num_clients, mean, min.max(1), max, sigma),
         }
     }
 }
@@ -196,12 +199,22 @@ impl DatasetSpec {
             Scale::Paper => (
                 3507,
                 360,
-                ClientSizes::LogNormal { mean: 203.0, min: 19, max: 393, sigma: 0.5 },
+                ClientSizes::LogNormal {
+                    mean: 203.0,
+                    min: 19,
+                    max: 393,
+                    sigma: 0.5,
+                },
             ),
             Scale::Default => (
                 300,
                 120,
-                ClientSizes::LogNormal { mean: 30.0, min: 8, max: 90, sigma: 0.5 },
+                ClientSizes::LogNormal {
+                    mean: 30.0,
+                    min: 8,
+                    max: 90,
+                    sigma: 0.5,
+                },
             ),
             Scale::Smoke => (16, 10, ClientSizes::Uniform { low: 8, high: 16 }),
         };
@@ -227,12 +240,22 @@ impl DatasetSpec {
             Scale::Paper => (
                 10_815,
                 3_678,
-                ClientSizes::LogNormal { mean: 391.0, min: 1, max: 20_000, sigma: 1.8 },
+                ClientSizes::LogNormal {
+                    mean: 391.0,
+                    min: 1,
+                    max: 20_000,
+                    sigma: 1.8,
+                },
             ),
             Scale::Default => (
                 400,
                 360,
-                ClientSizes::LogNormal { mean: 40.0, min: 1, max: 2_000, sigma: 1.5 },
+                ClientSizes::LogNormal {
+                    mean: 40.0,
+                    min: 1,
+                    max: 2_000,
+                    sigma: 1.5,
+                },
             ),
             Scale::Smoke => (16, 10, ClientSizes::Uniform { low: 10, high: 25 }),
         };
@@ -255,12 +278,22 @@ impl DatasetSpec {
             Scale::Paper => (
                 40_000,
                 9_928,
-                ClientSizes::LogNormal { mean: 19.0, min: 1, max: 14_440, sigma: 1.6 },
+                ClientSizes::LogNormal {
+                    mean: 19.0,
+                    min: 1,
+                    max: 14_440,
+                    sigma: 1.6,
+                },
             ),
             Scale::Default => (
                 600,
                 500,
-                ClientSizes::LogNormal { mean: 12.0, min: 1, max: 500, sigma: 1.4 },
+                ClientSizes::LogNormal {
+                    mean: 12.0,
+                    min: 1,
+                    max: 500,
+                    sigma: 1.4,
+                },
             ),
             Scale::Smoke => (16, 10, ClientSizes::Uniform { low: 5, high: 15 }),
         };
@@ -321,8 +354,12 @@ impl DatasetSpec {
         let mut train_rng = seeds.next_rng();
         let mut val_rng = seeds.next_rng();
 
-        let train_sizes = self.client_sizes.sample(&mut size_rng, self.num_train_clients)?;
-        let val_sizes = self.client_sizes.sample(&mut size_rng, self.num_val_clients)?;
+        let train_sizes = self
+            .client_sizes
+            .sample(&mut size_rng, self.num_train_clients)?;
+        let val_sizes = self
+            .client_sizes
+            .sample(&mut size_rng, self.num_val_clients)?;
 
         let (train_clients, val_clients) = match &self.task {
             TaskConfig::Classification(cfg) => {
@@ -362,7 +399,10 @@ mod tests {
         assert_eq!(Benchmark::Cifar10Like.name(), "cifar10-like");
         assert_eq!(Benchmark::RedditLike.to_string(), "reddit-like");
         assert_eq!(Benchmark::Cifar10Like.task(), Task::DenseClassification);
-        assert_eq!(Benchmark::StackOverflowLike.task(), Task::NextTokenPrediction);
+        assert_eq!(
+            Benchmark::StackOverflowLike.task(),
+            Task::NextTokenPrediction
+        );
         assert_eq!(Benchmark::ALL.len(), 4);
     }
 
@@ -417,20 +457,33 @@ mod tests {
     #[test]
     fn client_sizes_uniform_sampling() {
         let mut rng = fedmath::rng::rng_for(0, 0);
-        let sizes = ClientSizes::Uniform { low: 5, high: 10 }.sample(&mut rng, 50).unwrap();
+        let sizes = ClientSizes::Uniform { low: 5, high: 10 }
+            .sample(&mut rng, 50)
+            .unwrap();
         assert_eq!(sizes.len(), 50);
         assert!(sizes.iter().all(|&s| (5..=10).contains(&s)));
-        assert!(ClientSizes::Uniform { low: 0, high: 3 }.sample(&mut rng, 5).is_err());
-        assert!(ClientSizes::Uniform { low: 5, high: 3 }.sample(&mut rng, 5).is_err());
-        assert!(ClientSizes::Uniform { low: 1, high: 3 }.sample(&mut rng, 0).is_err());
+        assert!(ClientSizes::Uniform { low: 0, high: 3 }
+            .sample(&mut rng, 5)
+            .is_err());
+        assert!(ClientSizes::Uniform { low: 5, high: 3 }
+            .sample(&mut rng, 5)
+            .is_err());
+        assert!(ClientSizes::Uniform { low: 1, high: 3 }
+            .sample(&mut rng, 0)
+            .is_err());
     }
 
     #[test]
     fn client_sizes_lognormal_sampling() {
         let mut rng = fedmath::rng::rng_for(0, 1);
-        let sizes = ClientSizes::LogNormal { mean: 20.0, min: 1, max: 200, sigma: 1.0 }
-            .sample(&mut rng, 100)
-            .unwrap();
+        let sizes = ClientSizes::LogNormal {
+            mean: 20.0,
+            min: 1,
+            max: 200,
+            sigma: 1.0,
+        }
+        .sample(&mut rng, 100)
+        .unwrap();
         assert!(sizes.iter().all(|&s| (1..=200).contains(&s)));
     }
 

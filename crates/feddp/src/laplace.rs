@@ -159,9 +159,7 @@ pub fn evaluation_noise_scale(
     }
     match budget {
         PrivacyBudget::Infinite => Ok(0.0),
-        PrivacyBudget::Finite(eps) => {
-            Ok(total_evaluations as f64 / (eps * sample_size as f64))
-        }
+        PrivacyBudget::Finite(eps) => Ok(total_evaluations as f64 / (eps * sample_size as f64)),
     }
 }
 
@@ -219,10 +217,16 @@ mod tests {
         // Laplace(b) has mean 0 and variance 2b² = 8.
         let var = fedmath::stats::variance(&samples);
         assert!(mean.abs() < 0.1, "empirical mean {mean} too far from 0");
-        assert!((var - 8.0).abs() < 1.0, "empirical variance {var} too far from 8");
+        assert!(
+            (var - 8.0).abs() < 1.0,
+            "empirical variance {var} too far from 8"
+        );
         // Mean absolute deviation of Laplace(b) is b.
         let mad = fedmath::stats::mean(&samples.iter().map(|s| s.abs()).collect::<Vec<_>>());
-        assert!((mad - scale).abs() < 0.15, "empirical MAD {mad} too far from {scale}");
+        assert!(
+            (mad - scale).abs() < 0.15,
+            "empirical MAD {mad} too far from {scale}"
+        );
     }
 
     #[test]
@@ -231,8 +235,7 @@ mod tests {
         let m = LaplaceMechanism::new(1.0).unwrap();
         let noisy = m.privatize_all(&[0.0, 0.0, 0.0, 0.0], &mut rng);
         // With probability ~1 the four draws are all distinct.
-        let distinct: std::collections::HashSet<u64> =
-            noisy.iter().map(|v| v.to_bits()).collect();
+        let distinct: std::collections::HashSet<u64> = noisy.iter().map(|v| v.to_bits()).collect();
         assert_eq!(distinct.len(), 4);
     }
 
@@ -246,7 +249,10 @@ mod tests {
         assert!(scale_100 < scale);
         assert!((scale_100 - 0.0016).abs() < 1e-12);
         // Non-private -> zero noise.
-        assert_eq!(evaluation_noise_scale(PrivacyBudget::Infinite, 16, 1).unwrap(), 0.0);
+        assert_eq!(
+            evaluation_noise_scale(PrivacyBudget::Infinite, 16, 1).unwrap(),
+            0.0
+        );
     }
 
     #[test]

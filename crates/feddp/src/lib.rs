@@ -82,9 +82,15 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = DpError::InvalidParameter { message: "epsilon".into() };
+        let e = DpError::InvalidParameter {
+            message: "epsilon".into(),
+        };
         assert!(e.to_string().contains("epsilon"));
-        let e = DpError::BudgetExhausted { total: 1.0, spent: 0.9, requested: 0.2 };
+        let e = DpError::BudgetExhausted {
+            total: 1.0,
+            spent: 0.9,
+            requested: 0.2,
+        };
         assert!(e.to_string().contains("exhausted"));
         fn assert_error<E: std::error::Error + Send + Sync>() {}
         assert_error::<DpError>();

@@ -76,7 +76,11 @@ pub fn one_shot_top_k(
         .iter()
         .enumerate()
         .map(|(i, &s)| {
-            let perturbed = if scale == 0.0 { s } else { s + sample_laplace(rng, scale) };
+            let perturbed = if scale == 0.0 {
+                s
+            } else {
+                s + sample_laplace(rng, scale)
+            };
             (perturbed, i)
         })
         .collect();
@@ -95,7 +99,10 @@ mod tests {
         // 2 * T * k / (eps * |S|) with T = 5, k = 3, eps = 10, |S| = 6.
         let scale = one_shot_noise_scale(PrivacyBudget::Finite(10.0), 5, 3, 6).unwrap();
         assert!((scale - 0.5).abs() < 1e-12);
-        assert_eq!(one_shot_noise_scale(PrivacyBudget::Infinite, 5, 3, 6).unwrap(), 0.0);
+        assert_eq!(
+            one_shot_noise_scale(PrivacyBudget::Infinite, 5, 3, 6).unwrap(),
+            0.0
+        );
     }
 
     #[test]
@@ -150,7 +157,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert!(hits > 190, "winner only selected {hits}/200 times under tiny noise");
+        assert!(
+            hits > 190,
+            "winner only selected {hits}/200 times under tiny noise"
+        );
     }
 
     #[test]

@@ -124,8 +124,7 @@ mod tests {
         let mut rng = rng_for(1, 0);
         let true_scores: Vec<f64> = (0..50).map(|i| i as f64 / 50.0).collect();
         // Noiseless: observed scores equal true scores; subset = full pool.
-        let outcome =
-            bootstrap_selection(&true_scores, &true_scores, 50, 20, &mut rng).unwrap();
+        let outcome = bootstrap_selection(&true_scores, &true_scores, 50, 20, &mut rng).unwrap();
         assert_eq!(outcome.num_trials(), 20);
         assert!(outcome.selected_true_scores().iter().all(|&s| s == 0.0));
         assert_eq!(outcome.summary().unwrap().median, 0.0);
@@ -135,7 +134,9 @@ mod tests {
     fn noisy_selection_is_worse_than_noiseless_selection() {
         let mut rng = rng_for(2, 0);
         let pool = 128;
-        let true_scores: Vec<f64> = (0..pool).map(|i| 0.2 + 0.6 * i as f64 / pool as f64).collect();
+        let true_scores: Vec<f64> = (0..pool)
+            .map(|i| 0.2 + 0.6 * i as f64 / pool as f64)
+            .collect();
         // Heavy observation noise completely scrambles the ranking.
         let noisy_scores: Vec<f64> = true_scores
             .iter()

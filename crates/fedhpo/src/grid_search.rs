@@ -47,10 +47,12 @@ impl GridSearch {
     fn dimension_grid(&self, dim: &Dimension) -> Vec<f64> {
         match dim {
             Dimension::Uniform { low, high } => linspace(*low, *high, self.resolution),
-            Dimension::LogUniform { low, high } => linspace(low.log10(), high.log10(), self.resolution)
-                .into_iter()
-                .map(|x| 10f64.powf(x))
-                .collect(),
+            Dimension::LogUniform { low, high } => {
+                linspace(low.log10(), high.log10(), self.resolution)
+                    .into_iter()
+                    .map(|x| 10f64.powf(x))
+                    .collect()
+            }
             Dimension::Categorical { choices } => choices.clone(),
             Dimension::Fixed { value } => vec![*value],
         }
@@ -148,7 +150,9 @@ mod tests {
 
     #[test]
     fn log_dimension_grid_is_geometric() {
-        let space = SearchSpace::new().with_log_uniform("lr", 1e-4, 1e-2).unwrap();
+        let space = SearchSpace::new()
+            .with_log_uniform("lr", 1e-4, 1e-2)
+            .unwrap();
         let grid = GridSearch::new(3, 1).grid(&space);
         let values: Vec<f64> = grid.iter().map(|c| c.values()[0]).collect();
         assert!((values[0] - 1e-4).abs() < 1e-12);
@@ -175,8 +179,14 @@ mod tests {
         let space = SearchSpace::new().with_uniform("x", 0.0, 1.0).unwrap();
         let mut obj = FunctionObjective::new(|_: &HpConfig, _| 0.0);
         let mut rng = rng_for(0, 1);
-        assert!(GridSearch::new(0, 1).tune(&space, &mut obj, &mut rng).is_err());
-        assert!(GridSearch::new(1, 0).tune(&space, &mut obj, &mut rng).is_err());
-        assert!(GridSearch::new(2, 1).tune(&SearchSpace::new(), &mut obj, &mut rng).is_err());
+        assert!(GridSearch::new(0, 1)
+            .tune(&space, &mut obj, &mut rng)
+            .is_err());
+        assert!(GridSearch::new(1, 0)
+            .tune(&space, &mut obj, &mut rng)
+            .is_err());
+        assert!(GridSearch::new(2, 1)
+            .tune(&SearchSpace::new(), &mut obj, &mut rng)
+            .is_err());
     }
 }

@@ -230,7 +230,9 @@ impl Hyperband {
         let s_max = self.num_brackets - 1;
         let eta = self.eta as f64;
         let n = (((s_max + 1) as f64 / (s + 1) as f64) * eta.powi(s as i32)).ceil() as usize;
-        let r = ((self.max_resource as f64) / eta.powi(s as i32)).round().max(1.0) as usize;
+        let r = ((self.max_resource as f64) / eta.powi(s as i32))
+            .round()
+            .max(1.0) as usize;
         (n.max(1), r.min(self.max_resource))
     }
 }
@@ -283,10 +285,18 @@ mod tests {
     fn sha_validation() {
         let mut rng = rng_for(0, 0);
         let mut obj = resource_aware_objective();
-        assert!(SuccessiveHalving::new(0, 3, 1, 9).tune(&space_1d(), &mut obj, &mut rng).is_err());
-        assert!(SuccessiveHalving::new(9, 1, 1, 9).tune(&space_1d(), &mut obj, &mut rng).is_err());
-        assert!(SuccessiveHalving::new(9, 3, 0, 9).tune(&space_1d(), &mut obj, &mut rng).is_err());
-        assert!(SuccessiveHalving::new(9, 3, 10, 9).tune(&space_1d(), &mut obj, &mut rng).is_err());
+        assert!(SuccessiveHalving::new(0, 3, 1, 9)
+            .tune(&space_1d(), &mut obj, &mut rng)
+            .is_err());
+        assert!(SuccessiveHalving::new(9, 1, 1, 9)
+            .tune(&space_1d(), &mut obj, &mut rng)
+            .is_err());
+        assert!(SuccessiveHalving::new(9, 3, 0, 9)
+            .tune(&space_1d(), &mut obj, &mut rng)
+            .is_err());
+        assert!(SuccessiveHalving::new(9, 3, 10, 9)
+            .tune(&space_1d(), &mut obj, &mut rng)
+            .is_err());
         let sha = SuccessiveHalving::new(9, 3, 1, 9);
         assert_eq!(sha.name(), "sha");
         assert_eq!(sha.num_configs(), 9);
@@ -330,7 +340,8 @@ mod tests {
             .collect();
         let mut sorted: Vec<(usize, f64)> = rung1_scores.iter().map(|(&k, &v)| (k, v)).collect();
         sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-        let best3: std::collections::HashSet<usize> = sorted.iter().take(3).map(|(k, _)| *k).collect();
+        let best3: std::collections::HashSet<usize> =
+            sorted.iter().take(3).map(|(k, _)| *k).collect();
         for id in promoted {
             assert!(best3.contains(&id), "promoted a non-top-3 configuration");
         }
@@ -384,7 +395,9 @@ mod tests {
         let mut obj = resource_aware_objective();
         let hb = Hyperband::new(27, 3, Some(3));
         let outcome = hb.tune(&space_1d(), &mut obj, &mut rng).unwrap();
-        let best = outcome.best_at_max_fidelity_within_budget(usize::MAX).unwrap();
+        let best = outcome
+            .best_at_max_fidelity_within_budget(usize::MAX)
+            .unwrap();
         let x = best.config.values()[0];
         assert!((x - 0.3).abs() < 0.2, "best x = {x} should be near 0.3");
     }
@@ -393,8 +406,12 @@ mod tests {
     fn hyperband_validation() {
         let mut rng = rng_for(4, 0);
         let mut obj = resource_aware_objective();
-        assert!(Hyperband::new(0, 3, Some(2)).tune(&space_1d(), &mut obj, &mut rng).is_err());
-        assert!(Hyperband::new(9, 1, Some(2)).tune(&space_1d(), &mut obj, &mut rng).is_err());
+        assert!(Hyperband::new(0, 3, Some(2))
+            .tune(&space_1d(), &mut obj, &mut rng)
+            .is_err());
+        assert!(Hyperband::new(9, 1, Some(2))
+            .tune(&space_1d(), &mut obj, &mut rng)
+            .is_err());
     }
 
     #[test]
@@ -406,7 +423,9 @@ mod tests {
         // A trial id must always map to one configuration.
         let mut seen: HashMap<usize, Vec<f64>> = HashMap::new();
         for r in outcome.records() {
-            let entry = seen.entry(r.trial_id).or_insert_with(|| r.config.values().to_vec());
+            let entry = seen
+                .entry(r.trial_id)
+                .or_insert_with(|| r.config.values().to_vec());
             assert_eq!(entry, &r.config.values().to_vec());
         }
     }

@@ -121,10 +121,14 @@ mod tests {
 
     #[test]
     fn error_display_and_source() {
-        let e = HpoError::InvalidConfig { message: "k = 0".into() };
+        let e = HpoError::InvalidConfig {
+            message: "k = 0".into(),
+        };
         assert!(e.to_string().contains("k = 0"));
         assert!(e.source().is_none());
-        let e = HpoError::Objective { message: "diverged".into() };
+        let e = HpoError::Objective {
+            message: "diverged".into(),
+        };
         assert!(e.to_string().contains("diverged"));
         let e: HpoError = fedmath::MathError::EmptyInput { what: "argmin" }.into();
         assert!(e.source().is_some());

@@ -102,8 +102,12 @@ mod tests {
         let space = quadratic_space();
         let mut obj = FunctionObjective::new(|_: &crate::HpConfig, _| 0.0);
         let mut rng = rng_for(0, 0);
-        assert!(RandomSearch::new(0, 1).tune(&space, &mut obj, &mut rng).is_err());
-        assert!(RandomSearch::new(1, 0).tune(&space, &mut obj, &mut rng).is_err());
+        assert!(RandomSearch::new(0, 1)
+            .tune(&space, &mut obj, &mut rng)
+            .is_err());
+        assert!(RandomSearch::new(1, 0)
+            .tune(&space, &mut obj, &mut rng)
+            .is_err());
         assert_eq!(RandomSearch::paper_default(405).num_configs(), 16);
         assert_eq!(RandomSearch::paper_default(405).rounds_per_config(), 405);
         assert_eq!(RandomSearch::new(4, 2).name(), "rs");
@@ -123,7 +127,11 @@ mod tests {
         assert_eq!(outcome.num_evaluations(), 200);
         assert_eq!(obj.calls(), 200);
         let best = outcome.best().unwrap();
-        assert!(best.score < 2.0, "best score {} too far from optimum", best.score);
+        assert!(
+            best.score < 2.0,
+            "best score {} too far from optimum",
+            best.score
+        );
     }
 
     #[test]

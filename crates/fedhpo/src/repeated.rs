@@ -102,9 +102,7 @@ mod tests {
     use fedmath::rng::rng_for;
     use rand::Rng;
 
-    fn noisy_quadratic(
-        noise_std: f64,
-    ) -> FunctionObjective<impl FnMut(&HpConfig, usize) -> f64> {
+    fn noisy_quadratic(noise_std: f64) -> FunctionObjective<impl FnMut(&HpConfig, usize) -> f64> {
         let mut rng = rng_for(99, 0);
         FunctionObjective::new(move |config: &HpConfig, _| {
             let x = config.values()[0];
@@ -118,9 +116,15 @@ mod tests {
         let space = SearchSpace::new().with_uniform("x", -1.0, 1.0).unwrap();
         let mut obj = FunctionObjective::new(|_: &HpConfig, _| 0.0);
         let mut rng = rng_for(0, 0);
-        assert!(RepeatedRandomSearch::new(0, 1, 1).tune(&space, &mut obj, &mut rng).is_err());
-        assert!(RepeatedRandomSearch::new(1, 0, 1).tune(&space, &mut obj, &mut rng).is_err());
-        assert!(RepeatedRandomSearch::new(1, 1, 0).tune(&space, &mut obj, &mut rng).is_err());
+        assert!(RepeatedRandomSearch::new(0, 1, 1)
+            .tune(&space, &mut obj, &mut rng)
+            .is_err());
+        assert!(RepeatedRandomSearch::new(1, 0, 1)
+            .tune(&space, &mut obj, &mut rng)
+            .is_err());
+        assert!(RepeatedRandomSearch::new(1, 1, 0)
+            .tune(&space, &mut obj, &mut rng)
+            .is_err());
         let tuner = RepeatedRandomSearch::new(4, 2, 3);
         assert_eq!(tuner.name(), "rs-repeated");
         assert_eq!(tuner.num_configs(), 4);
@@ -132,7 +136,9 @@ mod tests {
         let space = SearchSpace::new().with_uniform("x", -1.0, 1.0).unwrap();
         let mut obj = FunctionObjective::new(|_: &HpConfig, _| 0.5);
         let mut rng = rng_for(1, 0);
-        let outcome = RepeatedRandomSearch::new(5, 7, 4).tune(&space, &mut obj, &mut rng).unwrap();
+        let outcome = RepeatedRandomSearch::new(5, 7, 4)
+            .tune(&space, &mut obj, &mut rng)
+            .unwrap();
         assert_eq!(outcome.num_evaluations(), 5);
         assert_eq!(outcome.total_resource(), 35);
         // The objective itself was still queried repeats times per config.
@@ -157,7 +163,9 @@ mod tests {
 
             let mut rng = rng_for(10 + seed, 0);
             let mut obj = noisy_quadratic(0.5);
-            let plain = RandomSearch::new(12, 1).tune(&space, &mut obj, &mut rng).unwrap();
+            let plain = RandomSearch::new(12, 1)
+                .tune(&space, &mut obj, &mut rng)
+                .unwrap();
             let plain_x = plain.best().unwrap().config.values()[0];
 
             if (repeated_x - 0.25).abs() <= (plain_x - 0.25).abs() {

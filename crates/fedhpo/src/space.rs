@@ -57,9 +57,7 @@ impl Dimension {
                     10f64.powf(rng.gen_range(l..h))
                 }
             }
-            Dimension::Categorical { choices } => {
-                choices[rng.gen_range(0..choices.len())]
-            }
+            Dimension::Categorical { choices } => choices[rng.gen_range(0..choices.len())],
             Dimension::Fixed { value } => *value,
         }
     }
@@ -218,11 +216,7 @@ impl SearchSpace {
     /// # Errors
     ///
     /// See [`with_dimension`](Self::with_dimension).
-    pub fn with_categorical(
-        self,
-        name: impl Into<String>,
-        choices: Vec<f64>,
-    ) -> Result<Self> {
+    pub fn with_categorical(self, name: impl Into<String>, choices: Vec<f64>) -> Result<Self> {
         self.with_dimension(name, Dimension::Categorical { choices })
     }
 
@@ -375,7 +369,12 @@ impl SearchSpace {
                 ),
             });
         }
-        for ((name, dim), &value) in self.names.iter().zip(self.dimensions.iter()).zip(config.values()) {
+        for ((name, dim), &value) in self
+            .names
+            .iter()
+            .zip(self.dimensions.iter())
+            .zip(config.values())
+        {
             if !dim.contains(value) {
                 return Err(HpoError::InvalidConfig {
                     message: format!("value {value} outside dimension {name}"),
@@ -394,9 +393,17 @@ mod tests {
     #[test]
     fn dimension_sampling_respects_bounds() {
         let mut rng = rng_for(0, 0);
-        let u = Dimension::Uniform { low: -1.0, high: 2.0 };
-        let l = Dimension::LogUniform { low: 1e-6, high: 1e-1 };
-        let c = Dimension::Categorical { choices: vec![32.0, 64.0, 128.0] };
+        let u = Dimension::Uniform {
+            low: -1.0,
+            high: 2.0,
+        };
+        let l = Dimension::LogUniform {
+            low: 1e-6,
+            high: 1e-1,
+        };
+        let c = Dimension::Categorical {
+            choices: vec![32.0, 64.0, 128.0],
+        };
         let f = Dimension::Fixed { value: 0.5 };
         for _ in 0..200 {
             let uv = u.sample(&mut rng);
@@ -419,11 +426,17 @@ mod tests {
     #[test]
     fn log_uniform_spreads_across_decades() {
         let mut rng = rng_for(0, 1);
-        let l = Dimension::LogUniform { low: 1e-6, high: 1.0 };
+        let l = Dimension::LogUniform {
+            low: 1e-6,
+            high: 1.0,
+        };
         let samples: Vec<f64> = (0..2000).map(|_| l.sample(&mut rng).log10()).collect();
         // Uniform in log space over [-6, 0]: mean should be near -3.
         let mean = fedmath::stats::mean(&samples);
-        assert!((mean + 3.0).abs() < 0.2, "log-space mean {mean} not near -3");
+        assert!(
+            (mean + 3.0).abs() < 0.2,
+            "log-space mean {mean} not near -3"
+        );
     }
 
     #[test]
@@ -443,7 +456,9 @@ mod tests {
         assert!(space.value(&config, "zzz").is_err());
         assert!(space.validate_config(&config).is_ok());
         assert!(space.validate_config(&HpConfig::new(vec![0.5])).is_err());
-        assert!(space.validate_config(&HpConfig::new(vec![0.5, 8.0])).is_err());
+        assert!(space
+            .validate_config(&HpConfig::new(vec![0.5, 8.0]))
+            .is_err());
     }
 
     #[test]

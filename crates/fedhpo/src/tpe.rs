@@ -338,16 +338,49 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(TpeConfig::default().validate().is_ok());
-        assert!(TpeConfig { gamma: 0.0, ..Default::default() }.validate().is_err());
-        assert!(TpeConfig { gamma: 1.0, ..Default::default() }.validate().is_err());
-        assert!(TpeConfig { num_candidates: 0, ..Default::default() }.validate().is_err());
-        assert!(TpeConfig { num_startup: 0, ..Default::default() }.validate().is_err());
-        assert!(TpeConfig { bandwidth: 0.0, ..Default::default() }.validate().is_err());
-        assert!(TpeSampler::new(TpeConfig { bandwidth: -1.0, ..Default::default() }).is_err());
+        assert!(TpeConfig {
+            gamma: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TpeConfig {
+            gamma: 1.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TpeConfig {
+            num_candidates: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TpeConfig {
+            num_startup: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TpeConfig {
+            bandwidth: 0.0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(TpeSampler::new(TpeConfig {
+            bandwidth: -1.0,
+            ..Default::default()
+        })
+        .is_err());
         let mut rng = rng_for(0, 0);
         let mut obj = FunctionObjective::new(|_: &HpConfig, _| 0.0);
-        assert!(Tpe::new(0, 1).tune(&space_2d(), &mut obj, &mut rng).is_err());
-        assert!(Tpe::new(1, 0).tune(&space_2d(), &mut obj, &mut rng).is_err());
+        assert!(Tpe::new(0, 1)
+            .tune(&space_2d(), &mut obj, &mut rng)
+            .is_err());
+        assert!(Tpe::new(1, 0)
+            .tune(&space_2d(), &mut obj, &mut rng)
+            .is_err());
         assert_eq!(Tpe::paper_default(405).name(), "tpe");
     }
 
@@ -395,11 +428,21 @@ mod tests {
         for seed in 0..trials {
             let mut rng = rng_for(10, seed);
             let mut obj = FunctionObjective::new(|c: &HpConfig, _| f(c));
-            let tpe_best = Tpe::new(24, 1).tune(&space, &mut obj, &mut rng).unwrap().best().unwrap().score;
+            let tpe_best = Tpe::new(24, 1)
+                .tune(&space, &mut obj, &mut rng)
+                .unwrap()
+                .best()
+                .unwrap()
+                .score;
 
             let mut rng = rng_for(20, seed);
             let mut obj = FunctionObjective::new(|c: &HpConfig, _| f(c));
-            let rs_best = RandomSearch::new(24, 1).tune(&space, &mut obj, &mut rng).unwrap().best().unwrap().score;
+            let rs_best = RandomSearch::new(24, 1)
+                .tune(&space, &mut obj, &mut rng)
+                .unwrap()
+                .best()
+                .unwrap()
+                .score;
             if tpe_best <= rs_best {
                 tpe_wins += 1;
             }
@@ -435,7 +478,10 @@ mod tests {
     fn log_density_prefers_nearby_points() {
         let space = space_2d();
         let sampler = TpeSampler::new(TpeConfig::default()).unwrap();
-        let obs_configs = [HpConfig::new(vec![0.0, 0.0]), HpConfig::new(vec![0.1, -0.1])];
+        let obs_configs = [
+            HpConfig::new(vec![0.0, 0.0]),
+            HpConfig::new(vec![0.1, -0.1]),
+        ];
         let obs: Vec<&HpConfig> = obs_configs.iter().collect();
         let near = sampler.log_density(&space, &obs, &HpConfig::new(vec![0.05, 0.0]));
         let far = sampler.log_density(&space, &obs, &HpConfig::new(vec![4.5, 4.5]));

@@ -55,9 +55,11 @@ impl TuningOutcome {
     /// The record with the lowest score over the entire run, i.e. the
     /// configuration the tuner would select.
     pub fn best(&self) -> Option<&EvaluationRecord> {
-        self.records
-            .iter()
-            .min_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal))
+        self.records.iter().min_by(|a, b| {
+            a.score
+                .partial_cmp(&b.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
     }
 
     /// The best record among evaluations completed within the given resource
@@ -66,7 +68,11 @@ impl TuningOutcome {
         self.records
             .iter()
             .filter(|r| r.cumulative_resource <= budget)
-            .min_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| {
+                a.score
+                    .partial_cmp(&b.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
     }
 
     /// The best record restricted to evaluations at the highest fidelity seen
@@ -83,7 +89,11 @@ impl TuningOutcome {
         within
             .into_iter()
             .filter(|r| r.resource == max_fidelity)
-            .min_by(|a, b| a.score.partial_cmp(&b.score).unwrap_or(std::cmp::Ordering::Equal))
+            .min_by(|a, b| {
+                a.score
+                    .partial_cmp(&b.score)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
     }
 
     /// Appends a record (used by tuner implementations).
@@ -153,12 +163,18 @@ mod tests {
         ]);
         assert_eq!(outcome.best().unwrap().trial_id, 1);
         assert_eq!(
-            outcome.best_at_max_fidelity_within_budget(40).unwrap().trial_id,
+            outcome
+                .best_at_max_fidelity_within_budget(40)
+                .unwrap()
+                .trial_id,
             2
         );
         // Within a smaller budget the max fidelity seen is 5.
         assert_eq!(
-            outcome.best_at_max_fidelity_within_budget(10).unwrap().trial_id,
+            outcome
+                .best_at_max_fidelity_within_budget(10)
+                .unwrap()
+                .trial_id,
             1
         );
         assert!(outcome.best_at_max_fidelity_within_budget(1).is_none());

@@ -35,7 +35,7 @@ pub mod rng;
 pub mod stats;
 
 pub use matrix::Matrix;
-pub use rng::SeedStream;
+pub use rng::{SeedStream, SeedTree};
 
 use std::fmt;
 

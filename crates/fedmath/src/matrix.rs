@@ -63,7 +63,9 @@ impl Matrix {
     /// [`MathError::ShapeMismatch`] if the rows have differing lengths.
     pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self> {
         if rows.is_empty() {
-            return Err(MathError::EmptyInput { what: "Matrix::from_rows" });
+            return Err(MathError::EmptyInput {
+                what: "Matrix::from_rows",
+            });
         }
         let cols = rows[0].len();
         for (i, r) in rows.iter().enumerate() {
@@ -241,9 +243,8 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for i in 0..self.rows {
-            let row = &self.data[i * self.cols..(i + 1) * self.cols];
-            out[i] = row.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
+        for (o, row) in out.iter_mut().zip(self.data.chunks(self.cols.max(1))) {
+            *o = row.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
         }
         Ok(out)
     }

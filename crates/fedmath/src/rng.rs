@@ -42,7 +42,10 @@ pub struct SeedStream {
 impl SeedStream {
     /// Creates a stream rooted at `seed`.
     pub fn new(seed: u64) -> Self {
-        SeedStream { root: seed, counter: 0 }
+        SeedStream {
+            root: seed,
+            counter: 0,
+        }
     }
 
     /// Returns the next derived seed.
@@ -65,6 +68,73 @@ impl SeedStream {
     /// The root seed this stream was created with.
     pub fn root(&self) -> u64 {
         self.root
+    }
+}
+
+/// A node in a hierarchical seed tree.
+///
+/// Where [`SeedStream`] hands out seeds in *consumption order* (seed `n`
+/// depends on how many seeds were drawn before it), a `SeedTree` derives
+/// seeds purely from *position*: the seed of `tree.child(a).child(b)` depends
+/// only on the root and the path `[a, b]`, never on what else was derived or
+/// in which order. This is the property that makes parallel execution
+/// bit-identical to sequential execution — every entity (round, client slot,
+/// trial, noise draw) gets an RNG keyed by its coordinates, so iteration
+/// order cannot leak into the randomness.
+///
+/// # Example
+///
+/// ```
+/// use fedmath::SeedTree;
+///
+/// let tree = SeedTree::new(42);
+/// // Deriving in any order yields the same seeds.
+/// let a_then_b = (tree.child(0).seed(), tree.child(1).seed());
+/// let b_then_a = (tree.child(1).seed(), tree.child(0).seed());
+/// assert_eq!(a_then_b.0, b_then_a.1);
+/// assert_eq!(a_then_b.1, b_then_a.0);
+/// // Paths address nested entities: round 3, client slot 7.
+/// assert_eq!(tree.derive(&[3, 7]).seed(), tree.child(3).child(7).seed());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeedTree {
+    seed: u64,
+}
+
+impl SeedTree {
+    /// Creates a tree rooted at `seed`.
+    pub fn new(seed: u64) -> Self {
+        SeedTree { seed }
+    }
+
+    /// The seed at this node.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The child node at `index`.
+    #[must_use]
+    pub fn child(&self, index: u64) -> SeedTree {
+        SeedTree {
+            seed: derive_seed(self.seed, index),
+        }
+    }
+
+    /// The descendant node addressed by `path` (successive child indices).
+    #[must_use]
+    pub fn derive(&self, path: &[u64]) -> SeedTree {
+        path.iter().fold(*self, |node, &index| node.child(index))
+    }
+
+    /// An RNG seeded at this node.
+    pub fn rng(&self) -> StdRng {
+        StdRng::seed_from_u64(self.seed)
+    }
+
+    /// A [`SeedStream`] rooted at this node, for call sites that still want
+    /// consumption-order seeds below a positional prefix.
+    pub fn stream(&self) -> SeedStream {
+        SeedStream::new(self.seed)
     }
 }
 
@@ -148,9 +218,7 @@ pub fn weighted_sample_without_replacement(
     let positive = weights.iter().filter(|&&w| w > 0.0).count();
     if count > positive {
         return Err(MathError::InvalidArgument {
-            message: format!(
-                "cannot sample {count} items: only {positive} have positive weight"
-            ),
+            message: format!("cannot sample {count} items: only {positive} have positive weight"),
         });
     }
     // Efraimidis-Spirakis reservoir-style keys: item i gets key u^(1/w_i); the
@@ -239,6 +307,40 @@ mod tests {
         let mut c1 = parent.child();
         let mut c2 = parent.child();
         assert_ne!(c1.next_seed(), c2.next_seed());
+    }
+
+    #[test]
+    fn seed_tree_is_positional_not_ordered() {
+        let tree = SeedTree::new(7);
+        // Same position, same seed — regardless of derivation order.
+        let forward: Vec<u64> = (0..8).map(|i| tree.child(i).seed()).collect();
+        let backward: Vec<u64> = (0..8).rev().map(|i| tree.child(i).seed()).collect();
+        assert_eq!(forward, backward.into_iter().rev().collect::<Vec<_>>());
+        // Distinct positions give distinct seeds.
+        let unique: HashSet<u64> = forward.iter().copied().collect();
+        assert_eq!(unique.len(), 8);
+    }
+
+    #[test]
+    fn seed_tree_paths_compose() {
+        let tree = SeedTree::new(123);
+        assert_eq!(tree.derive(&[4, 2]).seed(), tree.child(4).child(2).seed());
+        assert_eq!(tree.derive(&[]).seed(), tree.seed());
+        // Sibling subtrees do not collide on their children.
+        assert_ne!(tree.derive(&[0, 1]).seed(), tree.derive(&[1, 0]).seed());
+        // The tree agrees with the free-function derivation.
+        assert_eq!(tree.child(9).seed(), derive_seed(123, 9));
+    }
+
+    #[test]
+    fn seed_tree_rng_and_stream_are_deterministic() {
+        let tree = SeedTree::new(5);
+        let mut r1 = tree.child(3).rng();
+        let mut r2 = tree.child(3).rng();
+        assert_eq!(r1.gen::<u64>(), r2.gen::<u64>());
+        let mut s1 = tree.child(3).stream();
+        assert_eq!(s1.root(), tree.child(3).seed());
+        assert_ne!(s1.next_seed(), tree.child(3).seed());
     }
 
     #[test]

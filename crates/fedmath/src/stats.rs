@@ -54,7 +54,9 @@ pub fn weighted_mean(values: &[f64], weights: &[f64]) -> Result<f64> {
         });
     }
     if values.is_empty() {
-        return Err(MathError::EmptyInput { what: "weighted_mean" });
+        return Err(MathError::EmptyInput {
+            what: "weighted_mean",
+        });
     }
     if weights.iter().any(|&w| w < 0.0) {
         return Err(MathError::InvalidArgument {
@@ -339,7 +341,11 @@ pub fn spearman_correlation(x: &[f64], y: &[f64]) -> Result<f64> {
 /// Average ranks of `values` (ties receive the mean of the tied ranks).
 pub fn ranks(values: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..values.len()).collect();
-    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0; values.len()];
     let mut i = 0;
     while i < idx.len() {

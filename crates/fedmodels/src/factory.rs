@@ -51,11 +51,9 @@ impl ModelSpec {
                 dataset.num_classes(),
                 rng,
             )),
-            ModelSpec::Bigram { embed_dim } => AnyModel::Bigram(BigramLm::new(
-                dataset.num_classes(),
-                embed_dim,
-                rng,
-            )),
+            ModelSpec::Bigram { embed_dim } => {
+                AnyModel::Bigram(BigramLm::new(dataset.num_classes(), embed_dim, rng))
+            }
         }
     }
 }
@@ -115,15 +113,23 @@ mod tests {
     use fedmath::rng::rng_for;
 
     fn dataset(benchmark: Benchmark) -> FederatedDataset {
-        DatasetSpec::benchmark(benchmark, Scale::Smoke).generate(0).unwrap()
+        DatasetSpec::benchmark(benchmark, Scale::Smoke)
+            .generate(0)
+            .unwrap()
     }
 
     #[test]
     fn default_spec_matches_task_family() {
         let image = dataset(Benchmark::Cifar10Like);
-        assert_eq!(ModelSpec::for_dataset(&image), ModelSpec::Mlp { hidden_dim: 32 });
+        assert_eq!(
+            ModelSpec::for_dataset(&image),
+            ModelSpec::Mlp { hidden_dim: 32 }
+        );
         let text = dataset(Benchmark::RedditLike);
-        assert_eq!(ModelSpec::for_dataset(&text), ModelSpec::Bigram { embed_dim: 16 });
+        assert_eq!(
+            ModelSpec::for_dataset(&text),
+            ModelSpec::Bigram { embed_dim: 16 }
+        );
     }
 
     #[test]
@@ -148,7 +154,10 @@ mod tests {
         let d = dataset(Benchmark::Cifar10Like);
         let model = ModelSpec::Softmax.build(&d, &mut rng);
         assert!(matches!(model, AnyModel::Softmax(_)));
-        assert_eq!(model.num_params(), d.input_dim() * d.num_classes() + d.num_classes());
+        assert_eq!(
+            model.num_params(),
+            d.input_dim() * d.num_classes() + d.num_classes()
+        );
     }
 
     #[test]

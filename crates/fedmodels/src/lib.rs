@@ -98,7 +98,10 @@ impl fmt::Display for ModelError {
             }
             ModelError::EmptyBatch => write!(f, "empty batch"),
             ModelError::ParamLengthMismatch { expected, got } => {
-                write!(f, "parameter vector length {got} does not match expected {expected}")
+                write!(
+                    f,
+                    "parameter vector length {got} does not match expected {expected}"
+                )
             }
             ModelError::InvalidHyperparameter { message } => {
                 write!(f, "invalid hyperparameter: {message}")
@@ -133,17 +136,27 @@ mod tests {
     #[test]
     fn error_display_and_source() {
         use std::error::Error;
-        let e = ModelError::LabelOutOfRange { label: 9, num_classes: 5 };
+        let e = ModelError::LabelOutOfRange {
+            label: 9,
+            num_classes: 5,
+        };
         assert!(e.to_string().contains('9'));
         assert!(e.source().is_none());
         let e: ModelError = fedmath::MathError::EmptyInput { what: "softmax" }.into();
         assert!(e.source().is_some());
         assert!(ModelError::EmptyBatch.to_string().contains("empty"));
-        let e = ModelError::ParamLengthMismatch { expected: 10, got: 4 };
+        let e = ModelError::ParamLengthMismatch {
+            expected: 10,
+            got: 4,
+        };
         assert!(e.to_string().contains("10"));
-        let e = ModelError::InvalidHyperparameter { message: "lr".into() };
+        let e = ModelError::InvalidHyperparameter {
+            message: "lr".into(),
+        };
         assert!(e.to_string().contains("lr"));
-        let e = ModelError::IncompatibleInput { message: "dense".into() };
+        let e = ModelError::IncompatibleInput {
+            message: "dense".into(),
+        };
         assert!(e.to_string().contains("dense"));
     }
 }

@@ -52,11 +52,7 @@ impl SoftmaxRegression {
         match input {
             Input::Dense(x) if x.len() == self.feature_dim => Ok(x),
             Input::Dense(x) => Err(ModelError::IncompatibleInput {
-                message: format!(
-                    "expected {} features, got {}",
-                    self.feature_dim,
-                    x.len()
-                ),
+                message: format!("expected {} features, got {}", self.feature_dim, x.len()),
             }),
             Input::Token(_) => Err(ModelError::IncompatibleInput {
                 message: "softmax regression expects dense inputs, got a token".into(),
@@ -84,8 +80,9 @@ impl Model for SoftmaxRegression {
             });
         }
         let w_len = self.num_classes * self.feature_dim;
-        self.weights = Matrix::from_vec(self.num_classes, self.feature_dim, params[..w_len].to_vec())
-            .map_err(ModelError::from)?;
+        self.weights =
+            Matrix::from_vec(self.num_classes, self.feature_dim, params[..w_len].to_vec())
+                .map_err(ModelError::from)?;
         self.bias = params[w_len..].to_vec();
         Ok(())
     }

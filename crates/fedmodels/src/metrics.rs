@@ -54,15 +54,27 @@ mod tests {
 
     #[test]
     fn accuracy_and_percent() {
-        let m = EvalMetrics { loss: 1.0, error_rate: 0.25, num_examples: 4 };
+        let m = EvalMetrics {
+            loss: 1.0,
+            error_rate: 0.25,
+            num_examples: 4,
+        };
         assert_eq!(m.accuracy(), 0.75);
         assert_eq!(m.error_percent(), 25.0);
     }
 
     #[test]
     fn weighted_aggregate_weights_by_examples() {
-        let a = EvalMetrics { loss: 1.0, error_rate: 0.0, num_examples: 1 };
-        let b = EvalMetrics { loss: 2.0, error_rate: 1.0, num_examples: 3 };
+        let a = EvalMetrics {
+            loss: 1.0,
+            error_rate: 0.0,
+            num_examples: 1,
+        };
+        let b = EvalMetrics {
+            loss: 2.0,
+            error_rate: 1.0,
+            num_examples: 3,
+        };
         let agg = EvalMetrics::weighted_aggregate(&[a, b]).unwrap();
         assert_eq!(agg.num_examples, 4);
         assert!((agg.error_rate - 0.75).abs() < 1e-12);
@@ -72,7 +84,11 @@ mod tests {
     #[test]
     fn weighted_aggregate_empty_is_none() {
         assert!(EvalMetrics::weighted_aggregate(&[]).is_none());
-        let zero = EvalMetrics { loss: 0.0, error_rate: 0.0, num_examples: 0 };
+        let zero = EvalMetrics {
+            loss: 0.0,
+            error_rate: 0.0,
+            num_examples: 0,
+        };
         assert!(EvalMetrics::weighted_aggregate(&[zero]).is_none());
     }
 }

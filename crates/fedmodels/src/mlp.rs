@@ -27,7 +27,12 @@ pub struct Mlp {
 
 impl Mlp {
     /// Creates an MLP with He-style random initial weights.
-    pub fn new(feature_dim: usize, hidden_dim: usize, num_classes: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(
+        feature_dim: usize,
+        hidden_dim: usize,
+        num_classes: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         let s1 = (2.0 / feature_dim.max(1) as f64).sqrt();
         let s2 = (2.0 / hidden_dim.max(1) as f64).sqrt();
         let n1 = Normal::new(0.0, s1).expect("valid std");
@@ -105,14 +110,22 @@ impl Model for Mlp {
         }
         let mut offset = 0;
         let w1_len = self.hidden_dim * self.feature_dim;
-        self.w1 = Matrix::from_vec(self.hidden_dim, self.feature_dim, params[offset..offset + w1_len].to_vec())
-            .map_err(ModelError::from)?;
+        self.w1 = Matrix::from_vec(
+            self.hidden_dim,
+            self.feature_dim,
+            params[offset..offset + w1_len].to_vec(),
+        )
+        .map_err(ModelError::from)?;
         offset += w1_len;
         self.b1 = params[offset..offset + self.hidden_dim].to_vec();
         offset += self.hidden_dim;
         let w2_len = self.num_classes * self.hidden_dim;
-        self.w2 = Matrix::from_vec(self.num_classes, self.hidden_dim, params[offset..offset + w2_len].to_vec())
-            .map_err(ModelError::from)?;
+        self.w2 = Matrix::from_vec(
+            self.num_classes,
+            self.hidden_dim,
+            params[offset..offset + w2_len].to_vec(),
+        )
+        .map_err(ModelError::from)?;
         offset += w2_len;
         self.b2 = params[offset..].to_vec();
         Ok(())
@@ -159,10 +172,11 @@ impl Model for Mlp {
             }
             // Backprop into the hidden layer.
             for h in 0..self.hidden_dim {
-                let mut dh = 0.0;
-                for c in 0..self.num_classes {
-                    dh += dlogits[c] * self.w2.get(c, h);
-                }
+                let mut dh: f64 = dlogits
+                    .iter()
+                    .enumerate()
+                    .map(|(c, &dl)| dl * self.w2.get(c, h))
+                    .sum();
                 dh *= fedmath::ops::relu_grad(pre[h]);
                 gb1[h] += dh;
                 let row = gw1.row_mut(h);
@@ -236,7 +250,9 @@ mod tests {
         let mut rng = rng_for(1, 3);
         let model = Mlp::new(2, 3, 2, &mut rng);
         assert!(matches!(model.gradient(&[]), Err(ModelError::EmptyBatch)));
-        assert!(model.gradient(&[Example::dense(vec![0.0, 0.0], 9)]).is_err());
+        assert!(model
+            .gradient(&[Example::dense(vec![0.0, 0.0], 9)])
+            .is_err());
     }
 
     #[test]
@@ -254,7 +270,10 @@ mod tests {
             model.set_params(&params).unwrap();
         }
         let final_loss = model.loss(&examples).unwrap();
-        assert!(final_loss < initial, "loss did not decrease: {initial} -> {final_loss}");
+        assert!(
+            final_loss < initial,
+            "loss did not decrease: {initial} -> {final_loss}"
+        );
         assert!(model.error_rate(&examples).unwrap() <= 0.25);
     }
 
@@ -262,6 +281,9 @@ mod tests {
     fn initialization_reproducible() {
         let mut a = rng_for(9, 9);
         let mut b = rng_for(9, 9);
-        assert_eq!(Mlp::new(3, 4, 2, &mut a).params(), Mlp::new(3, 4, 2, &mut b).params());
+        assert_eq!(
+            Mlp::new(3, 4, 2, &mut a).params(),
+            Mlp::new(3, 4, 2, &mut b).params()
+        );
     }
 }

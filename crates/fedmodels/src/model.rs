@@ -210,7 +210,9 @@ mod tests {
 
     #[test]
     fn evaluate_computes_loss_and_error() {
-        let model = BiasOnly { biases: vec![0.0, 1.0, -1.0] };
+        let model = BiasOnly {
+            biases: vec![0.0, 1.0, -1.0],
+        };
         let m = model.evaluate(&examples()).unwrap();
         assert_eq!(m.num_examples, 3);
         // Predicted class is always 1 (largest bias), so one of three is wrong.
@@ -220,18 +222,25 @@ mod tests {
 
     #[test]
     fn evaluate_rejects_empty_and_bad_labels() {
-        let model = BiasOnly { biases: vec![0.0, 0.0] };
+        let model = BiasOnly {
+            biases: vec![0.0, 0.0],
+        };
         assert!(matches!(model.evaluate(&[]), Err(ModelError::EmptyBatch)));
         let bad = vec![Example::dense(vec![0.0], 5)];
         assert!(matches!(
             model.evaluate(&bad),
-            Err(ModelError::LabelOutOfRange { label: 5, num_classes: 2 })
+            Err(ModelError::LabelOutOfRange {
+                label: 5,
+                num_classes: 2
+            })
         ));
     }
 
     #[test]
     fn default_loss_and_error_delegate_to_evaluate() {
-        let model = BiasOnly { biases: vec![0.0, 0.0] };
+        let model = BiasOnly {
+            biases: vec![0.0, 0.0],
+        };
         let ex = vec![Example::dense(vec![0.0], 0)];
         assert!((model.loss(&ex).unwrap() - 2.0f64.ln()).abs() < 1e-12);
         assert!(model.error_rate(&ex).unwrap() <= 1.0);
@@ -239,13 +248,17 @@ mod tests {
 
     #[test]
     fn predict_returns_argmax() {
-        let model = BiasOnly { biases: vec![0.0, 3.0, -1.0] };
+        let model = BiasOnly {
+            biases: vec![0.0, 3.0, -1.0],
+        };
         assert_eq!(model.predict(&Input::Dense(vec![0.0])).unwrap(), 1);
     }
 
     #[test]
     fn finite_difference_agrees_for_bias_model() {
-        let model = BiasOnly { biases: vec![0.3, -0.2, 0.1] };
+        let model = BiasOnly {
+            biases: vec![0.3, -0.2, 0.1],
+        };
         let diff = finite_difference_check(&model, &examples(), 1e-5).unwrap();
         assert!(diff < 1e-6, "gradient check failed with max diff {diff}");
     }

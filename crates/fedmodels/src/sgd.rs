@@ -59,7 +59,10 @@ impl LocalSgdConfig {
         }
         if self.weight_decay < 0.0 || !self.weight_decay.is_finite() {
             return Err(ModelError::InvalidHyperparameter {
-                message: format!("weight decay must be non-negative, got {}", self.weight_decay),
+                message: format!(
+                    "weight decay must be non-negative, got {}",
+                    self.weight_decay
+                ),
             });
         }
         if self.batch_size == 0 {
@@ -159,17 +162,35 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(LocalSgdConfig::default().validate().is_ok());
-        let bad = LocalSgdConfig { learning_rate: 0.0, ..Default::default() };
+        let bad = LocalSgdConfig {
+            learning_rate: 0.0,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = LocalSgdConfig { momentum: 1.0, ..Default::default() };
+        let bad = LocalSgdConfig {
+            momentum: 1.0,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = LocalSgdConfig { momentum: -0.1, ..Default::default() };
+        let bad = LocalSgdConfig {
+            momentum: -0.1,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = LocalSgdConfig { weight_decay: -1.0, ..Default::default() };
+        let bad = LocalSgdConfig {
+            weight_decay: -1.0,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = LocalSgdConfig { batch_size: 0, ..Default::default() };
+        let bad = LocalSgdConfig {
+            batch_size: 0,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = LocalSgdConfig { epochs: 0, ..Default::default() };
+        let bad = LocalSgdConfig {
+            epochs: 0,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
         assert!(LocalSgd::new(bad).is_err());
     }
@@ -185,7 +206,6 @@ mod tests {
             weight_decay: 5e-5,
             batch_size: 8,
             epochs: 5,
-            ..Default::default()
         })
         .unwrap();
         let before = model.loss(&examples).unwrap();

@@ -89,12 +89,20 @@ mod tests {
 
     #[test]
     fn error_display_and_source() {
-        let e = ProxyError::InvalidConfig { message: "k".into() };
+        let e = ProxyError::InvalidConfig {
+            message: "k".into(),
+        };
         assert!(e.to_string().contains('k'));
         assert!(e.source().is_none());
-        let e: ProxyError = fedhpo::HpoError::InvalidConfig { message: "x".into() }.into();
+        let e: ProxyError = fedhpo::HpoError::InvalidConfig {
+            message: "x".into(),
+        }
+        .into();
         assert!(e.source().is_some());
-        let e: ProxyError = fedsim::SimError::InvalidConfig { message: "y".into() }.into();
+        let e: ProxyError = fedsim::SimError::InvalidConfig {
+            message: "y".into(),
+        }
+        .into();
         assert!(e.source().is_some());
     }
 }

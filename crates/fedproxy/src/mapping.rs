@@ -18,9 +18,7 @@ pub fn hyperparams_from_config(
     space: &SearchSpace,
     config: &HpConfig,
 ) -> Result<FederatedHyperparams> {
-    let get = |name: &str| -> Result<f64> {
-        space.value(config, name).map_err(ProxyError::from)
-    };
+    let get = |name: &str| -> Result<f64> { space.value(config, name).map_err(ProxyError::from) };
     let hyperparams = FederatedHyperparams {
         server: FedAdamConfig {
             learning_rate: get("server_lr")?,
@@ -78,7 +76,9 @@ mod tests {
 
     #[test]
     fn missing_dimension_is_an_error() {
-        let space = SearchSpace::new().with_uniform("server_lr", 0.001, 0.1).unwrap();
+        let space = SearchSpace::new()
+            .with_uniform("server_lr", 0.001, 0.1)
+            .unwrap();
         let mut rng = rng_for(2, 0);
         let config = space.sample(&mut rng).unwrap();
         assert!(hyperparams_from_config(&space, &config).is_err());

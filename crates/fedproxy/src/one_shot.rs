@@ -126,7 +126,9 @@ mod tests {
     use fedmodels::ModelSpec;
 
     fn smoke(benchmark: Benchmark, seed: u64) -> FederatedDataset {
-        DatasetSpec::benchmark(benchmark, Scale::Smoke).generate(seed).unwrap()
+        DatasetSpec::benchmark(benchmark, Scale::Smoke)
+            .generate(seed)
+            .unwrap()
     }
 
     #[test]
@@ -172,7 +174,9 @@ mod tests {
         let other_space = SearchSpace::paper_nested_lr_space(1).unwrap();
         let other_runner = ConfigRunner::new(other_space, ModelSpec::Softmax, 2);
         let pipeline = OneShotProxy::new(2);
-        assert!(pipeline.run(&proxy, &runner, &proxy, &other_runner, 0).is_err());
+        assert!(pipeline
+            .run(&proxy, &runner, &proxy, &other_runner, 0)
+            .is_err());
     }
 
     #[test]
@@ -183,10 +187,16 @@ mod tests {
         let proxy_runner = ConfigRunner::new(space.clone(), ModelSpec::Bigram { embed_dim: 4 }, 3);
         let client_runner = ConfigRunner::new(space.clone(), ModelSpec::Bigram { embed_dim: 4 }, 3);
         let pipeline = OneShotProxy::new(3);
-        let a = pipeline.run(&proxy, &proxy_runner, &client, &client_runner, 11).unwrap();
-        let b = pipeline.run(&proxy, &proxy_runner, &client, &client_runner, 11).unwrap();
+        let a = pipeline
+            .run(&proxy, &proxy_runner, &client, &client_runner, 11)
+            .unwrap();
+        let b = pipeline
+            .run(&proxy, &proxy_runner, &client, &client_runner, 11)
+            .unwrap();
         assert_eq!(a, b);
-        let c = pipeline.run(&proxy, &proxy_runner, &client, &client_runner, 12).unwrap();
+        let c = pipeline
+            .run(&proxy, &proxy_runner, &client, &client_runner, 12)
+            .unwrap();
         assert_ne!(a.selected_config, c.selected_config);
     }
 }

@@ -5,8 +5,8 @@ use crate::Result;
 use feddata::{FederatedDataset, Split};
 use fedhpo::{HpConfig, SearchSpace};
 use fedmodels::{AnyModel, ModelSpec};
-use fedsim::evaluation::{evaluate_full, FederatedEvaluation};
-use fedsim::{FederatedTrainer, TrainerConfig, WeightingScheme};
+use fedsim::evaluation::{evaluate_full_with, FederatedEvaluation};
+use fedsim::{ExecutionPolicy, FederatedTrainer, TrainerConfig, WeightingScheme};
 
 /// Trains individual hyperparameter configurations on a dataset and reports
 /// their full-validation error — the basic unit of work behind every
@@ -19,6 +19,7 @@ pub struct ConfigRunner {
     clients_per_round: usize,
     weighting: WeightingScheme,
     rounds: usize,
+    execution: ExecutionPolicy,
 }
 
 /// The result of training one configuration.
@@ -41,7 +42,16 @@ impl ConfigRunner {
             clients_per_round: 10,
             weighting: WeightingScheme::ByExamples,
             rounds,
+            execution: ExecutionPolicy::Sequential,
         }
+    }
+
+    /// Overrides the execution policy used for round-level client training
+    /// and evaluation. Both policies produce bit-identical results.
+    #[must_use]
+    pub fn with_execution(mut self, execution: ExecutionPolicy) -> Self {
+        self.execution = execution;
+        self
     }
 
     /// Overrides the number of clients sampled per training round
@@ -84,10 +94,17 @@ impl ConfigRunner {
             clients_per_round: self.clients_per_round,
             hyperparams,
             weighting: self.weighting,
+            execution: self.execution,
         };
         let trainer = FederatedTrainer::new(trainer_config)?;
         let run = trainer.train(dataset, self.model_spec, self.rounds, seed)?;
-        let evaluation = evaluate_full(run.model(), dataset, Split::Validation, self.weighting)?;
+        let evaluation = evaluate_full_with(
+            &self.execution,
+            run.model(),
+            dataset,
+            Split::Validation,
+            self.weighting,
+        )?;
         let full_error = evaluation.weighted_error()?;
         Ok(ConfigRunResult {
             model: run.into_model(),
@@ -102,6 +119,7 @@ mod tests {
     use super::*;
     use feddata::{Benchmark, DatasetSpec, Scale};
     use fedmath::rng::rng_for;
+    use fedsim::evaluation::evaluate_full;
 
     #[test]
     fn runner_trains_and_evaluates_a_config() {
@@ -120,10 +138,15 @@ mod tests {
         assert!((0.0..=1.0).contains(&result.full_error));
         assert_eq!(result.evaluation.num_clients(), dataset.num_val_clients());
         // The returned model matches the evaluation.
-        let recheck = evaluate_full(&result.model, &dataset, Split::Validation, WeightingScheme::Uniform)
-            .unwrap()
-            .weighted_error()
-            .unwrap();
+        let recheck = evaluate_full(
+            &result.model,
+            &dataset,
+            Split::Validation,
+            WeightingScheme::Uniform,
+        )
+        .unwrap()
+        .weighted_error()
+        .unwrap();
         assert!((recheck - result.full_error).abs() < 1e-12);
     }
 

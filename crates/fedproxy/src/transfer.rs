@@ -101,8 +101,8 @@ mod tests {
     use super::*;
     use feddata::{Benchmark, DatasetSpec, Scale};
     use fedhpo::SearchSpace;
-    use fedmodels::ModelSpec;
     use fedmath::rng::rng_for;
+    use fedmodels::ModelSpec;
 
     #[test]
     fn transfer_within_the_same_task_family_is_positive() {
@@ -110,8 +110,12 @@ mod tests {
         // the paper finds HPs transfer well within a family. With a handful
         // of very different configurations the rank correlation should be
         // positive.
-        let cifar = DatasetSpec::benchmark(Benchmark::Cifar10Like, Scale::Smoke).generate(0).unwrap();
-        let femnist = DatasetSpec::benchmark(Benchmark::FemnistLike, Scale::Smoke).generate(0).unwrap();
+        let cifar = DatasetSpec::benchmark(Benchmark::Cifar10Like, Scale::Smoke)
+            .generate(0)
+            .unwrap();
+        let femnist = DatasetSpec::benchmark(Benchmark::FemnistLike, Scale::Smoke)
+            .generate(0)
+            .unwrap();
         let space = SearchSpace::paper_default();
         let runner_a = ConfigRunner::new(space.clone(), ModelSpec::Mlp { hidden_dim: 8 }, 15);
         let runner_b = ConfigRunner::new(space.clone(), ModelSpec::Mlp { hidden_dim: 8 }, 15);
@@ -137,7 +141,9 @@ mod tests {
 
     #[test]
     fn empty_config_list_is_rejected() {
-        let cifar = DatasetSpec::benchmark(Benchmark::Cifar10Like, Scale::Smoke).generate(0).unwrap();
+        let cifar = DatasetSpec::benchmark(Benchmark::Cifar10Like, Scale::Smoke)
+            .generate(0)
+            .unwrap();
         let space = SearchSpace::paper_default();
         let runner = ConfigRunner::new(space, ModelSpec::Softmax, 2);
         assert!(transfer_analysis(&cifar, &runner, &cifar, &runner, &[], 0).is_err());
@@ -145,7 +151,9 @@ mod tests {
 
     #[test]
     fn transfer_points_are_reproducible() {
-        let d = DatasetSpec::benchmark(Benchmark::RedditLike, Scale::Smoke).generate(2).unwrap();
+        let d = DatasetSpec::benchmark(Benchmark::RedditLike, Scale::Smoke)
+            .generate(2)
+            .unwrap();
         let space = SearchSpace::paper_default();
         let runner = ConfigRunner::new(space.clone(), ModelSpec::Bigram { embed_dim: 4 }, 3);
         let mut rng = rng_for(0, 0);

@@ -2,6 +2,7 @@
 //! uniform or example-weighted average, over the full validation pool or a
 //! subsample of it.
 
+use crate::exec::{self, ExecutionPolicy};
 use crate::sampling::ClientSampler;
 use crate::{Result, SimError};
 use feddata::{ClientData, FederatedDataset, Split};
@@ -73,7 +74,10 @@ impl FederatedEvaluation {
                 message: "federated evaluation needs at least one client".into(),
             });
         }
-        Ok(FederatedEvaluation { per_client, weighting })
+        Ok(FederatedEvaluation {
+            per_client,
+            weighting,
+        })
     }
 
     /// Per-client evaluation results.
@@ -166,21 +170,54 @@ pub fn evaluate_clients<M: Model>(
     indices: &[usize],
     weighting: WeightingScheme,
 ) -> Result<FederatedEvaluation> {
-    let mut per_client = Vec::with_capacity(indices.len());
-    for &idx in indices {
-        let client = clients.get(idx).ok_or_else(|| SimError::Sampling {
-            message: format!("client index {idx} out of range for pool of {}", clients.len()),
-        })?;
-        if client.is_empty() {
-            continue;
-        }
-        let metrics = model.evaluate(client.examples())?;
-        per_client.push(ClientEvaluation {
-            client_index: idx,
-            error_rate: metrics.error_rate,
-            loss: metrics.loss,
-            num_examples: metrics.num_examples,
+    evaluate_clients_with(
+        &ExecutionPolicy::Sequential,
+        model,
+        clients,
+        indices,
+        weighting,
+    )
+}
+
+/// [`evaluate_clients`] with an explicit execution policy: per-client
+/// evaluation fans out over threads under [`ExecutionPolicy::Parallel`].
+/// Evaluation consumes no randomness, and results are collected in selection
+/// order, so the output is identical under every policy.
+///
+/// # Errors
+///
+/// Same conditions as [`evaluate_clients`].
+pub fn evaluate_clients_with<M: Model>(
+    policy: &ExecutionPolicy,
+    model: &M,
+    clients: &[ClientData],
+    indices: &[usize],
+    weighting: WeightingScheme,
+) -> Result<FederatedEvaluation> {
+    let evaluated: Vec<Result<Option<ClientEvaluation>>> =
+        exec::map_indexed(policy, indices, |_, &idx| {
+            let client = clients.get(idx).ok_or_else(|| SimError::Sampling {
+                message: format!(
+                    "client index {idx} out of range for pool of {}",
+                    clients.len()
+                ),
+            })?;
+            if client.is_empty() {
+                return Ok(None);
+            }
+            let metrics = model.evaluate(client.examples())?;
+            Ok(Some(ClientEvaluation {
+                client_index: idx,
+                error_rate: metrics.error_rate,
+                loss: metrics.loss,
+                num_examples: metrics.num_examples,
+            }))
         });
+    let mut per_client = Vec::with_capacity(indices.len());
+    for evaluation in evaluated {
+        if let Some(evaluation) = evaluation? {
+            per_client.push(evaluation);
+        }
     }
     FederatedEvaluation::new(per_client, weighting)
 }
@@ -197,8 +234,30 @@ pub fn evaluate_full<M: Model>(
     split: Split,
     weighting: WeightingScheme,
 ) -> Result<FederatedEvaluation> {
+    evaluate_full_with(
+        &ExecutionPolicy::Sequential,
+        model,
+        dataset,
+        split,
+        weighting,
+    )
+}
+
+/// [`evaluate_full`] with an explicit execution policy; see
+/// [`evaluate_clients_with`] for the execution contract.
+///
+/// # Errors
+///
+/// Propagates the conditions of [`evaluate_clients`].
+pub fn evaluate_full_with<M: Model>(
+    policy: &ExecutionPolicy,
+    model: &M,
+    dataset: &FederatedDataset,
+    split: Split,
+    weighting: WeightingScheme,
+) -> Result<FederatedEvaluation> {
     let indices: Vec<usize> = (0..dataset.num_clients(split)).collect();
-    evaluate_clients(model, dataset.clients(split), &indices, weighting)
+    evaluate_clients_with(policy, model, dataset.clients(split), &indices, weighting)
 }
 
 /// Evaluates `model` on a subsample of `count` clients selected by `sampler`.
@@ -209,6 +268,7 @@ pub fn evaluate_full<M: Model>(
 /// # Errors
 ///
 /// Propagates sampler errors and the conditions of [`evaluate_clients`].
+#[allow(clippy::too_many_arguments)] // mirrors the paper's evaluation signature
 pub fn evaluate_subsample<M: Model>(
     model: &M,
     dataset: &FederatedDataset,
@@ -229,11 +289,13 @@ mod tests {
     use super::*;
     use crate::sampling::UniformSampler;
     use feddata::{Benchmark, DatasetSpec, Example, Scale};
-    use fedmodels::{ModelSpec, SoftmaxRegression};
     use fedmath::rng::rng_for;
+    use fedmodels::{ModelSpec, SoftmaxRegression};
 
     fn smoke_dataset() -> FederatedDataset {
-        DatasetSpec::benchmark(Benchmark::Cifar10Like, Scale::Smoke).generate(1).unwrap()
+        DatasetSpec::benchmark(Benchmark::Cifar10Like, Scale::Smoke)
+            .generate(1)
+            .unwrap()
     }
 
     #[test]
@@ -246,10 +308,21 @@ mod tests {
     #[test]
     fn federated_evaluation_aggregates() {
         let per_client = vec![
-            ClientEvaluation { client_index: 0, error_rate: 0.0, loss: 0.5, num_examples: 1 },
-            ClientEvaluation { client_index: 1, error_rate: 1.0, loss: 1.5, num_examples: 3 },
+            ClientEvaluation {
+                client_index: 0,
+                error_rate: 0.0,
+                loss: 0.5,
+                num_examples: 1,
+            },
+            ClientEvaluation {
+                client_index: 1,
+                error_rate: 1.0,
+                loss: 1.5,
+                num_examples: 3,
+            },
         ];
-        let eval = FederatedEvaluation::new(per_client.clone(), WeightingScheme::ByExamples).unwrap();
+        let eval =
+            FederatedEvaluation::new(per_client.clone(), WeightingScheme::ByExamples).unwrap();
         assert_eq!(eval.num_clients(), 2);
         assert!((eval.weighted_error().unwrap() - 0.75).abs() < 1e-12);
         assert!((eval.weighted_loss().unwrap() - 1.25).abs() < 1e-12);
@@ -286,7 +359,13 @@ mod tests {
         let dataset = smoke_dataset();
         let mut rng = rng_for(0, 0);
         let model = ModelSpec::Softmax.build(&dataset, &mut rng);
-        let eval = evaluate_full(&model, &dataset, Split::Validation, WeightingScheme::ByExamples).unwrap();
+        let eval = evaluate_full(
+            &model,
+            &dataset,
+            Split::Validation,
+            WeightingScheme::ByExamples,
+        )
+        .unwrap();
         assert_eq!(eval.num_clients(), dataset.num_val_clients());
         let err = eval.weighted_error().unwrap();
         assert!((0.0..=1.0).contains(&err));
@@ -318,10 +397,15 @@ mod tests {
         let dataset = smoke_dataset();
         let mut rng = rng_for(0, 2);
         let model = ModelSpec::Softmax.build(&dataset, &mut rng);
-        let full = evaluate_full(&model, &dataset, Split::Validation, WeightingScheme::Uniform)
-            .unwrap()
-            .weighted_error()
-            .unwrap();
+        let full = evaluate_full(
+            &model,
+            &dataset,
+            Split::Validation,
+            WeightingScheme::Uniform,
+        )
+        .unwrap()
+        .weighted_error()
+        .unwrap();
         let mut estimates = Vec::new();
         for i in 0..50 {
             let mut trial_rng = rng_for(100, i);
@@ -343,6 +427,9 @@ mod tests {
         let spread = fedmath::stats::std_dev(&estimates);
         assert!(spread > 0.0, "single-client estimates should vary");
         let mean_est = fedmath::stats::mean(&estimates);
-        assert!((mean_est - full).abs() < 0.3, "estimates should roughly track the full error");
+        assert!(
+            (mean_est - full).abs() < 0.3,
+            "estimates should roughly track the full error"
+        );
     }
 }

@@ -1,0 +1,237 @@
+//! The deterministic execution engine: a policy knob selecting sequential or
+//! multi-threaded execution, plus order-preserving parallel primitives whose
+//! results are bit-identical across policies and thread counts.
+//!
+//! Two properties make this safe for the simulator's numerics:
+//!
+//! 1. **Order-preserving fan-out.** [`map_range`]/[`map_indexed`] always
+//!    return results in index order, and every work item must derive its
+//!    randomness from its *index* (see `fedmath::SeedTree`), never from a
+//!    shared sequential RNG — so scheduling cannot leak into the output.
+//! 2. **Fixed-shape reduction.** [`map_chunks`] partitions work over fixed
+//!    chunk boundaries ([`REDUCE_CHUNK`]) that depend only on the problem
+//!    size; folding within chunks and combining the partials left-to-right
+//!    performs the same sequence of float operations — and therefore yields
+//!    the same bits — no matter how many threads computed the chunk partials.
+//!
+//! Parallelism is implemented with `std::thread::scope` rather than `rayon`:
+//! the build environment vendors all dependencies offline, and scoped threads
+//! with contiguous chunking are sufficient for the simulator's uniform
+//! workloads while keeping the reduction shape trivially deterministic.
+
+use serde::{Deserialize, Serialize};
+
+/// Default chunk width for deterministic [`map_chunks`] reductions.
+///
+/// Chosen so that chunk partials parallelize usefully at ≥ 50 clients per
+/// round while keeping the combine step cheap and aggregation memory bounded
+/// by the number of chunks rather than the number of clients.
+pub const REDUCE_CHUNK: usize = 8;
+
+/// How a fan-out (client training, trial execution, evaluation) is executed.
+///
+/// Both policies produce **bit-identical** results; `Parallel` only changes
+/// wall-clock time. This is asserted by the cross-policy determinism tests in
+/// `tests/determinism.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ExecutionPolicy {
+    /// Execute work items one after another on the calling thread.
+    #[default]
+    Sequential,
+    /// Fan work items out over OS threads.
+    Parallel {
+        /// Worker-thread count; `0` means "use all available cores".
+        threads: usize,
+    },
+}
+
+impl ExecutionPolicy {
+    /// The sequential policy.
+    pub fn sequential() -> Self {
+        ExecutionPolicy::Sequential
+    }
+
+    /// A parallel policy using all available cores.
+    pub fn parallel() -> Self {
+        ExecutionPolicy::Parallel { threads: 0 }
+    }
+
+    /// A parallel policy with an explicit worker count.
+    pub fn parallel_with(threads: usize) -> Self {
+        ExecutionPolicy::Parallel { threads }
+    }
+
+    /// Returns `true` if this policy fans out over threads.
+    pub fn is_parallel(&self) -> bool {
+        matches!(self, ExecutionPolicy::Parallel { .. })
+    }
+
+    /// The number of worker threads this policy would use for `items` work
+    /// items (never more threads than items, never zero).
+    pub fn effective_threads(&self, items: usize) -> usize {
+        match self {
+            ExecutionPolicy::Sequential => 1,
+            ExecutionPolicy::Parallel { threads } => {
+                let requested = if *threads == 0 {
+                    std::thread::available_parallelism().map_or(1, |n| n.get())
+                } else {
+                    *threads
+                };
+                requested.clamp(1, items.max(1))
+            }
+        }
+    }
+}
+
+/// Applies `f` to every index in `0..len`, returning results in index order.
+///
+/// Under [`ExecutionPolicy::Parallel`] the index range is split into
+/// contiguous chunks, one scoped thread per chunk; results are stitched back
+/// together in chunk order, so the output is identical to the sequential
+/// policy whenever `f` is a pure function of its index.
+pub fn map_range<O, F>(policy: &ExecutionPolicy, len: usize, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(usize) -> O + Sync,
+{
+    let threads = policy.effective_threads(len);
+    if threads <= 1 || len <= 1 {
+        return (0..len).map(f).collect();
+    }
+    let chunk = len.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..len)
+            .step_by(chunk)
+            .map(|start| {
+                let end = (start + chunk).min(len);
+                scope.spawn(move || (start..end).map(f).collect::<Vec<O>>())
+            })
+            .collect();
+        let mut out = Vec::with_capacity(len);
+        for handle in handles {
+            out.extend(handle.join().expect("execution-engine worker panicked"));
+        }
+        out
+    })
+}
+
+/// Applies `f` to every element of `items` (with its index), returning
+/// results in input order. See [`map_range`] for the execution contract.
+pub fn map_indexed<T, O, F>(policy: &ExecutionPolicy, items: &[T], f: F) -> Vec<O>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(usize, &T) -> O + Sync,
+{
+    map_range(policy, items.len(), |i| f(i, &items[i]))
+}
+
+/// Applies `f` to fixed contiguous `chunk_size`-sized index chunks of
+/// `0..len`, returning one result per chunk in chunk order.
+///
+/// This is the deterministic map-reduce primitive: chunk boundaries depend
+/// only on `len` and `chunk_size` — never on the policy or thread count — so
+/// a caller that folds within each chunk and then combines the returned
+/// partials left-to-right performs the exact same sequence of floating-point
+/// operations under every policy. The chunk computations are what
+/// parallelize.
+pub fn map_chunks<O, F>(policy: &ExecutionPolicy, len: usize, chunk_size: usize, f: F) -> Vec<O>
+where
+    O: Send,
+    F: Fn(std::ops::Range<usize>) -> O + Sync,
+{
+    let chunk_size = chunk_size.max(1);
+    let chunks = len.div_ceil(chunk_size);
+    map_range(policy, chunks, |c| {
+        let start = c * chunk_size;
+        f(start..(start + chunk_size).min(len))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_constructors_and_threads() {
+        assert_eq!(ExecutionPolicy::default(), ExecutionPolicy::Sequential);
+        assert!(!ExecutionPolicy::sequential().is_parallel());
+        assert!(ExecutionPolicy::parallel().is_parallel());
+        assert_eq!(
+            ExecutionPolicy::parallel_with(3),
+            ExecutionPolicy::Parallel { threads: 3 }
+        );
+        assert_eq!(ExecutionPolicy::Sequential.effective_threads(100), 1);
+        assert_eq!(ExecutionPolicy::parallel_with(4).effective_threads(2), 2);
+        assert_eq!(ExecutionPolicy::parallel_with(4).effective_threads(0), 1);
+        assert!(ExecutionPolicy::parallel().effective_threads(64) >= 1);
+    }
+
+    #[test]
+    fn map_range_preserves_order_across_policies() {
+        let sequential = map_range(&ExecutionPolicy::Sequential, 100, |i| i * i);
+        for threads in [1, 2, 3, 7, 16] {
+            let parallel = map_range(&ExecutionPolicy::parallel_with(threads), 100, |i| i * i);
+            assert_eq!(sequential, parallel, "threads = {threads}");
+        }
+        let empty: Vec<usize> = map_range(&ExecutionPolicy::parallel(), 0, |i| i);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn map_indexed_passes_elements() {
+        let items = vec![10, 20, 30];
+        let out = map_indexed(&ExecutionPolicy::parallel_with(2), &items, |i, &v| v + i);
+        assert_eq!(out, vec![10, 21, 32]);
+    }
+
+    /// A chunk-fold + ordered combine, as `run_round`'s aggregation does it.
+    fn chunked_sum(policy: &ExecutionPolicy, terms: &[f64]) -> f64 {
+        let partials = map_chunks(policy, terms.len(), REDUCE_CHUNK, |slots| {
+            slots.fold(0.0, |acc, i| acc + terms[i])
+        });
+        partials.into_iter().fold(0.0, |acc, p| acc + p)
+    }
+
+    #[test]
+    fn chunked_fold_is_bit_identical_across_policies() {
+        // Pathological magnitudes so naive reassociation would change bits.
+        let terms: Vec<f64> = (0..37)
+            .map(|i| {
+                10f64.powi((i % 13) - 6)
+                    * if i % 2 == 0 {
+                        1.000000001
+                    } else {
+                        -0.999999999
+                    }
+            })
+            .collect();
+        let sequential = chunked_sum(&ExecutionPolicy::Sequential, &terms);
+        for threads in [1, 2, 5, 8] {
+            let parallel = chunked_sum(&ExecutionPolicy::parallel_with(threads), &terms);
+            assert_eq!(
+                sequential.to_bits(),
+                parallel.to_bits(),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn map_chunks_covers_the_range_exactly_once() {
+        let covered: Vec<usize> = map_chunks(&ExecutionPolicy::parallel_with(3), 23, 8, |slots| {
+            slots.collect::<Vec<usize>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+        assert_eq!(covered, (0..23).collect::<Vec<_>>());
+        let empty: Vec<Vec<usize>> =
+            map_chunks(&ExecutionPolicy::parallel(), 0, 8, |slots| slots.collect());
+        assert!(empty.is_empty());
+        // A zero chunk size is clamped rather than dividing by zero.
+        let clamped = map_chunks(&ExecutionPolicy::Sequential, 2, 0, |slots| slots.len());
+        assert_eq!(clamped, vec![1, 1]);
+    }
+}

@@ -44,7 +44,10 @@ impl FedAdamConfig {
     pub fn validate(&self) -> Result<()> {
         if self.learning_rate <= 0.0 || !self.learning_rate.is_finite() {
             return Err(SimError::InvalidConfig {
-                message: format!("server learning rate must be positive, got {}", self.learning_rate),
+                message: format!(
+                    "server learning rate must be positive, got {}",
+                    self.learning_rate
+                ),
             });
         }
         if !(0.0..1.0).contains(&self.beta1) {
@@ -73,15 +76,13 @@ impl FedAdamConfig {
 
 /// The full hyperparameter configuration evaluated by the HP-tuning methods:
 /// three server FedAdam HPs and the client SGD HPs (Appendix B).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct FederatedHyperparams {
     /// Server optimizer hyperparameters.
     pub server: FedAdamConfig,
     /// Client optimizer hyperparameters.
     pub client: LocalSgdConfig,
 }
-
 
 impl FederatedHyperparams {
     /// Validates both the server and client configurations.
@@ -121,17 +122,35 @@ mod tests {
 
     #[test]
     fn fedadam_validation() {
-        let bad = FedAdamConfig { learning_rate: 0.0, ..Default::default() };
+        let bad = FedAdamConfig {
+            learning_rate: 0.0,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = FedAdamConfig { beta1: 1.0, ..Default::default() };
+        let bad = FedAdamConfig {
+            beta1: 1.0,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = FedAdamConfig { beta2: -0.1, ..Default::default() };
+        let bad = FedAdamConfig {
+            beta2: -0.1,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = FedAdamConfig { lr_decay: 0.0, ..Default::default() };
+        let bad = FedAdamConfig {
+            lr_decay: 0.0,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = FedAdamConfig { lr_decay: 1.5, ..Default::default() };
+        let bad = FedAdamConfig {
+            lr_decay: 1.5,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
-        let bad = FedAdamConfig { epsilon: 0.0, ..Default::default() };
+        let bad = FedAdamConfig {
+            epsilon: 0.0,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
     }
 

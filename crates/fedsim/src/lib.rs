@@ -15,6 +15,10 @@
 //!   sampling without replacement (the default protocol) and the
 //!   accuracy-biased sampling `(a + δ)^b` used to model systems heterogeneity
 //!   in §3.2.
+//! - [`exec`] is the deterministic execution engine: an
+//!   [`exec::ExecutionPolicy`] knob (`Sequential` or `Parallel`) governs how
+//!   client training and evaluation fan out over threads, with bit-identical
+//!   results under every policy.
 //!
 //! # Example
 //!
@@ -35,12 +39,14 @@
 #![forbid(unsafe_code)]
 
 pub mod evaluation;
+pub mod exec;
 pub mod hyperparams;
 pub mod sampling;
 pub mod server;
 pub mod training;
 
 pub use evaluation::{ClientEvaluation, FederatedEvaluation, WeightingScheme};
+pub use exec::ExecutionPolicy;
 pub use hyperparams::{FedAdamConfig, FederatedHyperparams};
 pub use sampling::{BiasedSampler, ClientSampler, UniformSampler};
 pub use server::{FedAdam, FedAvg, FedSgd, ServerOptimizer};
@@ -122,16 +128,23 @@ mod tests {
 
     #[test]
     fn error_display_and_sources() {
-        let e = SimError::InvalidConfig { message: "zero rounds".into() };
+        let e = SimError::InvalidConfig {
+            message: "zero rounds".into(),
+        };
         assert!(e.to_string().contains("zero rounds"));
         assert!(e.source().is_none());
 
-        let e = SimError::Sampling { message: "too many".into() };
+        let e = SimError::Sampling {
+            message: "too many".into(),
+        };
         assert!(e.to_string().contains("too many"));
 
         let e: SimError = fedmodels::ModelError::EmptyBatch.into();
         assert!(e.source().is_some());
-        let e: SimError = feddata::DataError::InvalidSpec { message: "x".into() }.into();
+        let e: SimError = feddata::DataError::InvalidSpec {
+            message: "x".into(),
+        }
+        .into();
         assert!(e.source().is_some());
         let e: SimError = fedmath::MathError::EmptyInput { what: "mean" }.into();
         assert!(e.source().is_some());

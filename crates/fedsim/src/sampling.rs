@@ -53,8 +53,11 @@ impl ClientSampler for UniformSampler {
         _scores: Option<&[f64]>,
     ) -> Result<Vec<usize>> {
         let mut rng = rng;
-        fedmath::rng::sample_without_replacement(&mut rng, population, count)
-            .map_err(|e| SimError::Sampling { message: e.to_string() })
+        fedmath::rng::sample_without_replacement(&mut rng, population, count).map_err(|e| {
+            SimError::Sampling {
+                message: e.to_string(),
+            }
+        })
     }
 
     fn name(&self) -> String {
@@ -145,8 +148,11 @@ impl ClientSampler for BiasedSampler {
         }
         let weights = self.weights(scores);
         let mut rng = rng;
-        fedmath::rng::weighted_sample_without_replacement(&mut rng, &weights, count)
-            .map_err(|e| SimError::Sampling { message: e.to_string() })
+        fedmath::rng::weighted_sample_without_replacement(&mut rng, &weights, count).map_err(|e| {
+            SimError::Sampling {
+                message: e.to_string(),
+            }
+        })
     }
 
     fn name(&self) -> String {
@@ -235,7 +241,10 @@ mod tests {
             }
         }
         let freq = hits as f64 / trials as f64;
-        assert!((freq - 0.1).abs() < 0.05, "expected uniform frequency, got {freq}");
+        assert!(
+            (freq - 0.1).abs() < 0.05,
+            "expected uniform frequency, got {freq}"
+        );
     }
 
     #[test]

@@ -260,7 +260,11 @@ mod tests {
 
     #[test]
     fn fedadam_rejects_invalid_config() {
-        assert!(FedAdam::new(FedAdamConfig { beta1: 2.0, ..Default::default() }).is_err());
+        assert!(FedAdam::new(FedAdamConfig {
+            beta1: 2.0,
+            ..Default::default()
+        })
+        .is_err());
     }
 
     #[test]
@@ -274,7 +278,11 @@ mod tests {
     fn fedadam_larger_lr_moves_further() {
         let delta = vec![0.3, -0.7, 0.1];
         let run = |lr: f64| {
-            let mut opt = FedAdam::new(FedAdamConfig { learning_rate: lr, ..Default::default() }).unwrap();
+            let mut opt = FedAdam::new(FedAdamConfig {
+                learning_rate: lr,
+                ..Default::default()
+            })
+            .unwrap();
             let mut params = vec![0.0; 3];
             for _ in 0..5 {
                 opt.apply(&mut params, &delta).unwrap();

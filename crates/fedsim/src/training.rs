@@ -1,14 +1,19 @@
 //! The federated training loop (`Algorithm 2`, training half).
 
 use crate::evaluation::WeightingScheme;
+use crate::exec::{self, ExecutionPolicy};
 use crate::hyperparams::FederatedHyperparams;
 use crate::server::{FedAdam, ServerOptimizer};
 use crate::{Result, SimError};
 use feddata::{FederatedDataset, Split};
+use fedmath::{SeedStream, SeedTree};
 use fedmodels::{AnyModel, LocalSgd, Model, ModelSpec};
-use fedmath::SeedStream;
-use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
+
+/// Seed-tree channel of a round's client-sampling RNG.
+const SAMPLE_CHANNEL: u64 = 0;
+/// Seed-tree channel under which per-client-slot RNGs are derived.
+const CLIENT_CHANNEL: u64 = 1;
 
 /// Configuration of the federated training loop.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -20,6 +25,9 @@ pub struct TrainerConfig {
     /// Weighting of client updates during aggregation. The paper sets the
     /// training weights to match the evaluation weighting scheme.
     pub weighting: WeightingScheme,
+    /// How client training within a round is executed. Both policies produce
+    /// bit-identical models; `Parallel` only changes wall-clock time.
+    pub execution: ExecutionPolicy,
 }
 
 impl Default for TrainerConfig {
@@ -28,6 +36,7 @@ impl Default for TrainerConfig {
             clients_per_round: 10,
             hyperparams: FederatedHyperparams::default(),
             weighting: WeightingScheme::ByExamples,
+            execution: ExecutionPolicy::Sequential,
         }
     }
 }
@@ -41,6 +50,13 @@ impl TrainerConfig {
             hyperparams,
             ..Default::default()
         }
+    }
+
+    /// Replaces the execution policy.
+    #[must_use]
+    pub fn with_execution(mut self, execution: ExecutionPolicy) -> Self {
+        self.execution = execution;
+        self
     }
 
     /// Validates the configuration.
@@ -99,7 +115,7 @@ impl FederatedTrainer {
     ) -> Result<TrainingRun> {
         let mut seeds = SeedStream::new(seed);
         let mut init_rng = seeds.next_rng();
-        let round_rng = seeds.next_rng();
+        let round_seeds = SeedTree::new(seeds.next_seed());
         let model = model_spec.build(dataset, &mut init_rng);
         let server = FedAdam::new(self.config.hyperparams.server)?;
         let client_opt = LocalSgd::new(self.config.hyperparams.client)?;
@@ -108,7 +124,7 @@ impl FederatedTrainer {
             server,
             client_opt,
             config: self.config,
-            rng: round_rng,
+            round_seeds,
             rounds_completed: 0,
         })
     }
@@ -134,14 +150,27 @@ impl FederatedTrainer {
 /// The state of one federated training run: the global model, the server
 /// optimizer state, and the round counter. Supports incremental training so
 /// early-stopping tuners can resume runs.
+///
+/// All randomness is derived positionally from a per-run [`SeedTree`]: round
+/// `r` samples clients with the RNG at path `[r, SAMPLE_CHANNEL]` and trains
+/// the client in slot `s` with the RNG at path `[r, CLIENT_CHANNEL, s]`.
+/// Because no RNG state is shared across clients or rounds, client training
+/// can fan out over threads without changing a single bit of the result.
 #[derive(Debug, Clone)]
 pub struct TrainingRun {
     model: AnyModel,
     server: FedAdam,
     client_opt: LocalSgd,
     config: TrainerConfig,
-    rng: StdRng,
+    round_seeds: SeedTree,
     rounds_completed: usize,
+}
+
+/// Accumulated weighted contribution of a block of client slots to a round:
+/// `Σ wᵢ` and `Σ wᵢ · (w'ᵢ - w)` over the block's non-empty clients.
+struct ClientUpdate {
+    weight: f64,
+    weighted_delta: Vec<f64>,
 }
 
 impl TrainingRun {
@@ -172,24 +201,67 @@ impl TrainingRun {
     pub fn run_round(&mut self, dataset: &FederatedDataset) -> Result<()> {
         let population = dataset.num_train_clients();
         let count = self.config.clients_per_round.min(population);
-        let indices =
-            fedmath::rng::sample_without_replacement(&mut self.rng, population, count)
-                .map_err(|e| SimError::Sampling { message: e.to_string() })?;
+        let round = self.round_seeds.child(self.rounds_completed as u64);
+        let mut sample_rng = round.child(SAMPLE_CHANNEL).rng();
+        let indices = fedmath::rng::sample_without_replacement(&mut sample_rng, population, count)
+            .map_err(|e| SimError::Sampling {
+                message: e.to_string(),
+            })?;
 
         let base_params = self.model.params();
-        let mut aggregate = vec![0.0; base_params.len()];
+        let dim = base_params.len();
+        // Fan client training out according to the execution policy, fused
+        // with the first stage of the reduce: each fixed REDUCE_CHUNK-sized
+        // block of client slots trains its clients in slot order and folds
+        // their weighted deltas into one partial accumulator. Slot RNGs are
+        // derived from position and chunk boundaries depend only on the slot
+        // count, so the result is bit-identical under every policy and
+        // aggregation memory stays O(chunks × params), not
+        // O(clients × params).
+        let model = &self.model;
+        let client_opt = &self.client_opt;
+        let weighting = self.config.weighting;
+        let base = &base_params;
+        let chunk_partials: Vec<Result<ClientUpdate>> = exec::map_chunks(
+            &self.config.execution,
+            indices.len(),
+            exec::REDUCE_CHUNK,
+            |slots| {
+                let mut partial = ClientUpdate {
+                    weight: 0.0,
+                    weighted_delta: vec![0.0; dim],
+                };
+                for slot in slots {
+                    let client = dataset.client(Split::Train, indices[slot])?;
+                    if client.is_empty() {
+                        continue;
+                    }
+                    let mut rng = round.derive(&[CLIENT_CHANNEL, slot as u64]).rng();
+                    let new_params = client_opt.train(model, client.examples(), &mut rng)?;
+                    let weight = weighting.weight(client.num_examples());
+                    for ((acc, &new), &old) in partial
+                        .weighted_delta
+                        .iter_mut()
+                        .zip(new_params.iter())
+                        .zip(base.iter())
+                    {
+                        *acc += weight * (new - old);
+                    }
+                    partial.weight += weight;
+                }
+                Ok(partial)
+            },
+        );
+        // Combine chunk partials left-to-right: the same float-op sequence as
+        // the sequential policy, so the bits never depend on scheduling.
+        let mut aggregate = vec![0.0; dim];
         let mut total_weight = 0.0;
-        for &idx in &indices {
-            let client = dataset.client(Split::Train, idx)?;
-            if client.is_empty() {
-                continue;
+        for partial in chunk_partials {
+            let partial = partial?;
+            for (acc, v) in aggregate.iter_mut().zip(partial.weighted_delta) {
+                *acc += v;
             }
-            let new_params = self.client_opt.train(&self.model, client.examples(), &mut self.rng)?;
-            let weight = self.config.weighting.weight(client.num_examples());
-            for (i, (&new, &old)) in new_params.iter().zip(base_params.iter()).enumerate() {
-                aggregate[i] += weight * (new - old);
-            }
-            total_weight += weight;
+            total_weight += partial.weight;
         }
         if total_weight > 0.0 {
             for a in &mut aggregate {
@@ -234,7 +306,9 @@ mod tests {
     use fedmodels::LocalSgdConfig;
 
     fn smoke_dataset(benchmark: Benchmark) -> FederatedDataset {
-        DatasetSpec::benchmark(benchmark, Scale::Smoke).generate(5).unwrap()
+        DatasetSpec::benchmark(benchmark, Scale::Smoke)
+            .generate(5)
+            .unwrap()
     }
 
     fn good_hyperparams() -> FederatedHyperparams {
@@ -259,7 +333,10 @@ mod tests {
     #[test]
     fn config_validation() {
         assert!(TrainerConfig::default().validate().is_ok());
-        let bad = TrainerConfig { clients_per_round: 0, ..Default::default() };
+        let bad = TrainerConfig {
+            clients_per_round: 0,
+            ..Default::default()
+        };
         assert!(bad.validate().is_err());
         assert!(FederatedTrainer::new(bad).is_err());
         let mut bad = TrainerConfig::default();
@@ -270,19 +347,34 @@ mod tests {
     #[test]
     fn training_reduces_full_validation_error() {
         let dataset = smoke_dataset(Benchmark::Cifar10Like);
-        let trainer = FederatedTrainer::new(TrainerConfig::with_hyperparams(good_hyperparams())).unwrap();
-        let run0 = trainer.start(&dataset, ModelSpec::Mlp { hidden_dim: 16 }, 3).unwrap();
-        let initial = evaluate_full(run0.model(), &dataset, Split::Validation, WeightingScheme::ByExamples)
-            .unwrap()
-            .weighted_error()
+        let trainer =
+            FederatedTrainer::new(TrainerConfig::with_hyperparams(good_hyperparams())).unwrap();
+        let run0 = trainer
+            .start(&dataset, ModelSpec::Mlp { hidden_dim: 16 }, 3)
             .unwrap();
+        let initial = evaluate_full(
+            run0.model(),
+            &dataset,
+            Split::Validation,
+            WeightingScheme::ByExamples,
+        )
+        .unwrap()
+        .weighted_error()
+        .unwrap();
 
-        let run = trainer.train(&dataset, ModelSpec::Mlp { hidden_dim: 16 }, 30, 3).unwrap();
-        assert_eq!(run.rounds_completed(), 30);
-        let trained = evaluate_full(run.model(), &dataset, Split::Validation, WeightingScheme::ByExamples)
-            .unwrap()
-            .weighted_error()
+        let run = trainer
+            .train(&dataset, ModelSpec::Mlp { hidden_dim: 16 }, 30, 3)
             .unwrap();
+        assert_eq!(run.rounds_completed(), 30);
+        let trained = evaluate_full(
+            run.model(),
+            &dataset,
+            Split::Validation,
+            WeightingScheme::ByExamples,
+        )
+        .unwrap()
+        .weighted_error()
+        .unwrap();
         assert!(
             trained < initial - 0.05,
             "training did not reduce error: {initial} -> {trained}"
@@ -292,10 +384,17 @@ mod tests {
     #[test]
     fn training_works_on_language_datasets() {
         let dataset = smoke_dataset(Benchmark::StackOverflowLike);
-        let trainer = FederatedTrainer::new(TrainerConfig::with_hyperparams(good_hyperparams())).unwrap();
+        let trainer =
+            FederatedTrainer::new(TrainerConfig::with_hyperparams(good_hyperparams())).unwrap();
         let spec = ModelSpec::for_dataset(&dataset);
         let run = trainer.train(&dataset, spec, 10, 1).unwrap();
-        let eval = evaluate_full(run.model(), &dataset, Split::Validation, WeightingScheme::ByExamples).unwrap();
+        let eval = evaluate_full(
+            run.model(),
+            &dataset,
+            Split::Validation,
+            WeightingScheme::ByExamples,
+        )
+        .unwrap();
         let err = eval.weighted_error().unwrap();
         assert!((0.0..=1.0).contains(&err));
     }
@@ -303,7 +402,8 @@ mod tests {
     #[test]
     fn incremental_training_matches_one_shot() {
         let dataset = smoke_dataset(Benchmark::FemnistLike);
-        let trainer = FederatedTrainer::new(TrainerConfig::with_hyperparams(good_hyperparams())).unwrap();
+        let trainer =
+            FederatedTrainer::new(TrainerConfig::with_hyperparams(good_hyperparams())).unwrap();
         let spec = ModelSpec::Mlp { hidden_dim: 8 };
 
         let one_shot = trainer.train(&dataset, spec, 6, 11).unwrap();
@@ -319,7 +419,8 @@ mod tests {
     #[test]
     fn training_is_deterministic_in_the_seed() {
         let dataset = smoke_dataset(Benchmark::Cifar10Like);
-        let trainer = FederatedTrainer::new(TrainerConfig::with_hyperparams(good_hyperparams())).unwrap();
+        let trainer =
+            FederatedTrainer::new(TrainerConfig::with_hyperparams(good_hyperparams())).unwrap();
         let spec = ModelSpec::Softmax;
         let a = trainer.train(&dataset, spec, 5, 42).unwrap();
         let b = trainer.train(&dataset, spec, 5, 42).unwrap();
@@ -335,9 +436,16 @@ mod tests {
         hp.client.learning_rate = 1e3;
         hp.server.learning_rate = 0.1;
         let trainer = FederatedTrainer::new(TrainerConfig::with_hyperparams(hp)).unwrap();
-        let run = trainer.train(&dataset, ModelSpec::Mlp { hidden_dim: 8 }, 10, 0).unwrap();
+        let run = trainer
+            .train(&dataset, ModelSpec::Mlp { hidden_dim: 8 }, 10, 0)
+            .unwrap();
         // The diverged model must still be evaluable (it will just be bad).
-        let eval = evaluate_full(run.model(), &dataset, Split::Validation, WeightingScheme::ByExamples);
+        let eval = evaluate_full(
+            run.model(),
+            &dataset,
+            Split::Validation,
+            WeightingScheme::ByExamples,
+        );
         if let Ok(eval) = eval {
             let err = eval.weighted_error().unwrap();
             assert!((0.0..=1.0).contains(&err));
@@ -347,7 +455,8 @@ mod tests {
     #[test]
     fn into_model_returns_trained_model() {
         let dataset = smoke_dataset(Benchmark::Cifar10Like);
-        let trainer = FederatedTrainer::new(TrainerConfig::with_hyperparams(good_hyperparams())).unwrap();
+        let trainer =
+            FederatedTrainer::new(TrainerConfig::with_hyperparams(good_hyperparams())).unwrap();
         let run = trainer.train(&dataset, ModelSpec::Softmax, 2, 0).unwrap();
         let params_before = run.model().params();
         let model = run.into_model();
@@ -361,6 +470,7 @@ mod tests {
             clients_per_round: 10_000,
             hyperparams: good_hyperparams(),
             weighting: WeightingScheme::Uniform,
+            ..Default::default()
         };
         let trainer = FederatedTrainer::new(config).unwrap();
         // Should not error even though clients_per_round exceeds the pool.

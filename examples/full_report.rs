@@ -101,12 +101,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("---- Fig. 8 / 15 / 16: method comparison (cifar10-like) ----");
     eprintln!("[fig8] cifar10-like");
-    let comparison =
-        run_method_comparison(Benchmark::Cifar10Like, &scale, &paper_noise_settings(), seed)?;
+    let comparison = run_method_comparison(
+        Benchmark::Cifar10Like,
+        &scale,
+        &paper_noise_settings(),
+        seed,
+    )?;
     println!("{}", comparison.to_online_report()?.to_table());
     let third = (scale.total_budget / 3).max(1);
     println!("{}", comparison.to_bars_report("fig15", third)?.to_table());
-    println!("{}", comparison.to_bars_report("fig16", scale.total_budget)?.to_table());
+    println!(
+        "{}",
+        comparison
+            .to_bars_report("fig16", scale.total_budget)?
+            .to_table()
+    );
 
     println!("---- Fig. 1: headline ----");
     eprintln!("[fig1]");

@@ -13,17 +13,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Smoke scale keeps this example under a minute; use
     // `ExperimentScale::default_scale()` to regenerate the EXPERIMENTS.md rows.
     let scale = ExperimentScale::smoke();
-    let comparison = run_method_comparison(
-        Benchmark::Cifar10Like,
-        &scale,
-        &paper_noise_settings(),
-        5,
-    )?;
+    let comparison =
+        run_method_comparison(Benchmark::Cifar10Like, &scale, &paper_noise_settings(), 5)?;
 
     println!("{}", comparison.to_online_report()?.to_table());
     let one_third = scale.total_budget / 3;
-    println!("{}", comparison.to_bars_report("fig15", one_third.max(1))?.to_table());
-    println!("{}", comparison.to_bars_report("fig16", scale.total_budget)?.to_table());
+    println!(
+        "{}",
+        comparison
+            .to_bars_report("fig15", one_third.max(1))?
+            .to_table()
+    );
+    println!(
+        "{}",
+        comparison
+            .to_bars_report("fig16", scale.total_budget)?
+            .to_table()
+    );
     println!("Under noise, the early-stopping methods (HB, BOHB) typically lose their edge");
     println!("over plain random search — the paper's Observation 6.");
     Ok(())

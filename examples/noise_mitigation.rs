@@ -73,6 +73,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fedmath::stats::mean(&repeated_errors) * 100.0
     );
     println!("Averaging repeated noisy evaluations usually recovers part of the loss caused by");
-    println!("client subsampling, at the cost of extra evaluation traffic (and, under DP, budget).");
+    println!(
+        "client subsampling, at the cost of extra evaluation traffic (and, under DP, budget)."
+    );
     Ok(())
 }

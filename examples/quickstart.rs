@@ -27,7 +27,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tuner = RandomSearch::new(scale.num_configs, scale.rounds_per_config);
 
     // 1. Tune with clean (full-population) evaluation.
-    let mut clean_objective = FederatedObjective::new(&ctx, NoiseConfig::noiseless(), scale.num_configs, 1)?;
+    let mut clean_objective =
+        FederatedObjective::new(&ctx, NoiseConfig::noiseless(), scale.num_configs, 1)?;
     let mut rng = fedmath::rng::rng_for(7, 0);
     tuner.tune(ctx.space(), &mut clean_objective, &mut rng)?;
     let clean_error = clean_objective
@@ -44,8 +45,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .selected_true_error_within(usize::MAX)
         .expect("at least one evaluation");
 
-    println!("random search, clean evaluation : {:.1}% full validation error", clean_error * 100.0);
-    println!("random search, noisy evaluation : {:.1}% full validation error", noisy_error * 100.0);
-    println!("(noisy evaluation typically selects a worse configuration — the paper's core finding)");
+    println!(
+        "random search, clean evaluation : {:.1}% full validation error",
+        clean_error * 100.0
+    );
+    println!(
+        "random search, noisy evaluation : {:.1}% full validation error",
+        noisy_error * 100.0
+    );
+    println!(
+        "(noisy evaluation typically selects a worse configuration — the paper's core finding)"
+    );
     Ok(())
 }

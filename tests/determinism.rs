@@ -1,0 +1,193 @@
+//! Cross-policy determinism: the parallel execution engine must produce
+//! **bit-identical** results to sequential execution, at every layer of the
+//! stack, across seeds and thread counts.
+//!
+//! This is the contract that makes the `ExecutionPolicy` knob safe to flip in
+//! production: parallelism may only change wall-clock time, never a single
+//! bit of a model parameter or an experiment statistic.
+
+use feddata::{Benchmark, DatasetSpec, Scale};
+use fedmodels::{Model, ModelSpec};
+use fedsim::{ExecutionPolicy, FederatedTrainer, TrainerConfig};
+use fedtune_core::experiments::methods::{paper_noise_settings, run_method_comparison_with};
+use fedtune_core::experiments::subsampling::run_subsampling_sweep_with;
+use fedtune_core::{BenchmarkContext, ConfigPool, ExperimentScale, TrialRunner};
+
+const SEEDS: [u64; 3] = [0, 7, 42];
+const THREAD_COUNTS: [usize; 3] = [2, 3, 8];
+
+fn assert_bits_equal(label: &str, a: &[f64], b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "{label}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{label}: parameter {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+#[test]
+fn training_run_is_bit_identical_across_policies() {
+    let dataset = DatasetSpec::benchmark(Benchmark::Cifar10Like, Scale::Smoke)
+        .generate(1)
+        .unwrap();
+    for &seed in &SEEDS {
+        let sequential_config = TrainerConfig {
+            clients_per_round: 7,
+            ..Default::default()
+        };
+        let sequential = FederatedTrainer::new(sequential_config)
+            .unwrap()
+            .train(&dataset, ModelSpec::Mlp { hidden_dim: 8 }, 8, seed)
+            .unwrap();
+        for &threads in &THREAD_COUNTS {
+            let parallel_config =
+                sequential_config.with_execution(ExecutionPolicy::parallel_with(threads));
+            let parallel = FederatedTrainer::new(parallel_config)
+                .unwrap()
+                .train(&dataset, ModelSpec::Mlp { hidden_dim: 8 }, 8, seed)
+                .unwrap();
+            assert_bits_equal(
+                &format!("seed {seed}, {threads} threads"),
+                &sequential.model().params(),
+                &parallel.model().params(),
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_parallel_training_matches_one_shot_sequential() {
+    // Resuming a run under one policy must land on the same model as a fresh
+    // run under the other: round seeds are positional, not consumed.
+    let dataset = DatasetSpec::benchmark(Benchmark::FemnistLike, Scale::Smoke)
+        .generate(2)
+        .unwrap();
+    for &seed in &SEEDS {
+        let one_shot = FederatedTrainer::new(TrainerConfig::default())
+            .unwrap()
+            .train(&dataset, ModelSpec::Softmax, 6, seed)
+            .unwrap();
+        let config = TrainerConfig::default().with_execution(ExecutionPolicy::parallel_with(4));
+        let mut resumed = FederatedTrainer::new(config)
+            .unwrap()
+            .start(&dataset, ModelSpec::Softmax, seed)
+            .unwrap();
+        resumed.run_rounds(&dataset, 2).unwrap();
+        resumed.run_rounds(&dataset, 4).unwrap();
+        assert_bits_equal(
+            &format!("seed {seed}"),
+            &one_shot.model().params(),
+            &resumed.model().params(),
+        );
+    }
+}
+
+#[test]
+fn config_pool_training_is_bit_identical_across_policies() {
+    let scale = ExperimentScale::smoke();
+    for &seed in &SEEDS {
+        let ctx = BenchmarkContext::new(Benchmark::Cifar10Like, &scale, seed).unwrap();
+        let sequential =
+            ConfigPool::train_with(&ctx, scale.pool_size, seed, &TrialRunner::sequential())
+                .unwrap();
+        for &threads in &THREAD_COUNTS {
+            let runner = TrialRunner::new(ExecutionPolicy::parallel_with(threads));
+            let parallel = ConfigPool::train_with(&ctx, scale.pool_size, seed, &runner).unwrap();
+            assert_eq!(sequential.len(), parallel.len());
+            assert_bits_equal(
+                &format!("pool errors, seed {seed}, {threads} threads"),
+                &sequential.true_errors(),
+                &parallel.true_errors(),
+            );
+            for (a, b) in sequential.entries().iter().zip(parallel.entries()) {
+                assert_eq!(a.config, b.config, "seed {seed}, {threads} threads");
+                assert_bits_equal(
+                    &format!("pooled model {}, seed {seed}", a.index),
+                    &a.model.params(),
+                    &b.model.params(),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn subsampling_experiment_is_bit_identical_across_policies() {
+    // A full experiment runner end to end: pool training plus the Fig. 3
+    // bootstrap sweep.
+    let scale = ExperimentScale::smoke();
+    for &seed in &SEEDS {
+        let sequential = run_subsampling_sweep_with(
+            &TrialRunner::sequential(),
+            Benchmark::Cifar10Like,
+            &scale,
+            seed,
+        )
+        .unwrap();
+        let parallel = run_subsampling_sweep_with(
+            &TrialRunner::new(ExecutionPolicy::parallel_with(4)),
+            Benchmark::Cifar10Like,
+            &scale,
+            seed,
+        )
+        .unwrap();
+        assert_eq!(sequential, parallel, "seed {seed}");
+    }
+}
+
+#[test]
+fn method_comparison_is_bit_identical_across_policies() {
+    // The live-training campaign (RS/TPE/HB/BOHB × noise settings × trials)
+    // through the engine: heavier, so one seed and one thread count.
+    let scale = ExperimentScale::smoke();
+    let noise_settings = paper_noise_settings();
+    let sequential = run_method_comparison_with(
+        &TrialRunner::sequential(),
+        Benchmark::Cifar10Like,
+        &scale,
+        &noise_settings,
+        3,
+    )
+    .unwrap();
+    let parallel = run_method_comparison_with(
+        &TrialRunner::new(ExecutionPolicy::parallel_with(4)),
+        Benchmark::Cifar10Like,
+        &scale,
+        &noise_settings,
+        3,
+    )
+    .unwrap();
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn evaluation_is_identical_across_policies() {
+    let dataset = DatasetSpec::benchmark(Benchmark::Cifar10Like, Scale::Smoke)
+        .generate(3)
+        .unwrap();
+    let run = FederatedTrainer::new(TrainerConfig::default())
+        .unwrap()
+        .train(&dataset, ModelSpec::Softmax, 3, 5)
+        .unwrap();
+    let sequential = fedsim::evaluation::evaluate_full_with(
+        &ExecutionPolicy::Sequential,
+        run.model(),
+        &dataset,
+        feddata::Split::Validation,
+        fedsim::WeightingScheme::ByExamples,
+    )
+    .unwrap();
+    for &threads in &THREAD_COUNTS {
+        let parallel = fedsim::evaluation::evaluate_full_with(
+            &ExecutionPolicy::parallel_with(threads),
+            run.model(),
+            &dataset,
+            feddata::Split::Validation,
+            fedsim::WeightingScheme::ByExamples,
+        )
+        .unwrap();
+        assert_eq!(sequential, parallel, "{threads} threads");
+    }
+}

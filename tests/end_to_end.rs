@@ -3,13 +3,13 @@
 
 use feddata::{Benchmark, Split};
 use fedhpo::{Hyperband, RandomSearch, Tpe, Tuner};
+use fedtune::fedproxy::OneShotProxy;
 use fedtune::fedtune_core::experiments::methods::{paper_noise_settings, run_method_comparison};
 use fedtune::fedtune_core::experiments::subsampling::run_subsampling_sweep;
 use fedtune::fedtune_core::experiments::table1::DatasetTable;
 use fedtune::fedtune_core::{
     BenchmarkContext, ConfigPool, ExperimentScale, FederatedObjective, NoiseConfig,
 };
-use fedtune::fedproxy::OneShotProxy;
 
 fn smoke() -> ExperimentScale {
     ExperimentScale::smoke()
@@ -40,7 +40,11 @@ fn full_tuning_pipeline_with_each_tuner() {
             FederatedObjective::new(&ctx, NoiseConfig::subsampled(0.3), 8, 2).unwrap();
         let mut rng = fedmath::rng::rng_for(3, 0);
         let outcome = tuner.tune(ctx.space(), &mut objective, &mut rng).unwrap();
-        assert!(outcome.num_evaluations() > 0, "{} produced no evaluations", tuner.name());
+        assert!(
+            outcome.num_evaluations() > 0,
+            "{} produced no evaluations",
+            tuner.name()
+        );
         assert!(!objective.log().is_empty());
         // Every logged evaluation must carry a valid true error.
         for entry in objective.log() {

@@ -23,7 +23,8 @@ fn pool_and_ctx() -> (BenchmarkContext, ConfigPool) {
 fn observation1_subsampling_hurts_selection() {
     let (_ctx, pool) = pool_and_ctx();
     let trials = 200;
-    let single = simulated_rs_trials(&pool, &NoiseConfig::subsampled(0.1), 8, 8, trials, 3).unwrap();
+    let single =
+        simulated_rs_trials(&pool, &NoiseConfig::subsampled(0.1), 8, 8, trials, 3).unwrap();
     let full = simulated_rs_trials(&pool, &NoiseConfig::noiseless(), 8, 8, trials, 3).unwrap();
     let mean_single = fedmath::stats::mean(&single);
     let mean_full = fedmath::stats::mean(&full);

@@ -4,7 +4,9 @@
 
 use feddata::{Benchmark, DatasetSpec, Scale};
 use fedhpo::{RandomSearch, Tuner};
-use fedtune::fedtune_core::{BenchmarkContext, ConfigPool, ExperimentScale, FederatedObjective, NoiseConfig};
+use fedtune::fedtune_core::{
+    BenchmarkContext, ConfigPool, ExperimentScale, FederatedObjective, NoiseConfig,
+};
 
 #[test]
 fn dataset_generation_is_deterministic() {

@@ -1,0 +1,204 @@
+//! Offline vendor shim for the `criterion` API surface used by this
+//! workspace: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is a simple wall-clock protocol — one warm-up iteration, then
+//! `sample_size` timed iterations — reporting min/mean/max per benchmark.
+//! That is deliberately cruder than upstream criterion (no outlier analysis,
+//! no HTML reports) but sufficient to track relative throughput, which is
+//! what the workspace's perf trajectory needs. Passing `--test` (as
+//! `cargo test --benches` does) runs each benchmark exactly once.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+            test_mode: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration (`--test` → run each benchmark
+    /// once; a positional filter argument is accepted but ignored).
+    #[must_use]
+    pub fn configure_from_args(mut self) -> Self {
+        self.test_mode = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        let test_mode = self.test_mode;
+        run_benchmark(&id.to_string(), sample_size, test_mode, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the target measurement time. Accepted for API compatibility; the
+    /// shim's measurement count is controlled by [`sample_size`](Self::sample_size).
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.sample_size, self.criterion.test_mode, f);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Times closures handed to it by a benchmark function.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iterations: usize,
+}
+
+impl Bencher {
+    /// Measures `f`, running it once per configured sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up draw, not recorded.
+        black_box(f());
+        for _ in 0..self.iterations {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, test_mode: bool, mut f: F) {
+    let iterations = if test_mode { 1 } else { sample_size };
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iterations,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("bench {id}: no samples recorded");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().expect("non-empty");
+    let max = bencher.samples.iter().max().expect("non-empty");
+    println!(
+        "bench {id}: [{} {} {}] ({} samples)",
+        format_duration(*min),
+        format_duration(mean),
+        format_duration(*max),
+        bencher.samples.len()
+    );
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run_closures() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        {
+            let mut group = c.benchmark_group("shim");
+            group.sample_size(3).bench_function("counted", |b| {
+                b.iter(|| {
+                    runs += 1;
+                });
+            });
+            group.finish();
+        }
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+        let mut direct = 0usize;
+        c.bench_function("direct", |b| b.iter(|| direct += 1));
+        assert_eq!(direct, 11);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(format_duration(Duration::from_nanos(10)).contains("ns"));
+        assert!(format_duration(Duration::from_micros(10)).contains("µs"));
+        assert!(format_duration(Duration::from_millis(10)).contains("ms"));
+        assert!(format_duration(Duration::from_secs(10)).contains("s"));
+    }
+}

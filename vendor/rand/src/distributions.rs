@@ -1,0 +1,194 @@
+//! Distributions and uniform range sampling.
+
+use crate::RngCore;
+use std::ops::{Range, RangeInclusive};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The standard distribution: uniform over the full integer range, `[0, 1)`
+/// for floats, and fair for booleans.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+/// A uniform `f64` in `[0, 1)` with 53 bits of precision.
+#[inline]
+pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A uniform `f32` in `[0, 1)` with 24 bits of precision.
+#[inline]
+pub(crate) fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+    (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+}
+
+macro_rules! impl_standard_uint {
+    ($($ty:ty),*) => {$(
+        impl Distribution<$ty> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+impl_standard_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_f64(rng)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        unit_f32(rng)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types that support uniform sampling from a low/high pair.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)` (`high` inclusive when `inclusive`).
+    fn sample_between<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = if inclusive {
+                    (high as i128 - low as i128 + 1) as u128
+                } else {
+                    (high as i128 - low as i128) as u128
+                };
+                assert!(span > 0, "cannot sample from empty range");
+                // Modulo reduction: the bias is at most span / 2^64, which is
+                // negligible for the range sizes used in this workspace.
+                let draw = (rng.next_u64() as u128) % span;
+                (low as i128 + draw as i128) as $ty
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_uniform_float {
+    ($ty:ty, $unit:path) => {
+        impl SampleUniform for $ty {
+            fn sample_between<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                if inclusive {
+                    // `low..=high`: both endpoints are valid results.
+                    assert!(low <= high, "cannot sample from empty range");
+                    if low == high {
+                        return low;
+                    }
+                    let v = low + $unit(rng) * (high - low);
+                    return if v > high { high } else { v };
+                }
+                assert!(low < high, "cannot sample from empty range");
+                // Rejection keeps the draw strictly below `high` even when
+                // rounding in `low + u * (high - low)` would land on it.
+                loop {
+                    let u = $unit(rng);
+                    let v = low + u * (high - low);
+                    if v < high {
+                        return v;
+                    }
+                }
+            }
+        }
+    };
+}
+impl_sample_uniform_float!(f64, unit_f64);
+impl_sample_uniform_float!(f32, unit_f32);
+
+/// Ranges usable with [`crate::Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + Clone> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_between(rng, low, high, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn inclusive_range_hits_both_endpoints() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut saw_low = false;
+        let mut saw_high = false;
+        for _ in 0..200 {
+            match rng.gen_range(0usize..=1) {
+                0 => saw_low = true,
+                1 => saw_high = true,
+                _ => unreachable!(),
+            }
+        }
+        assert!(saw_low && saw_high);
+    }
+
+    #[test]
+    fn inclusive_float_range_matches_rand_api() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // Degenerate inclusive range is valid in rand 0.8 and returns the endpoint.
+        assert_eq!(rng.gen_range(1.0f64..=1.0), 1.0);
+        for _ in 0..1000 {
+            let v: f64 = rng.gen_range(0.25..=0.75);
+            assert!((0.25..=0.75).contains(&v));
+        }
+    }
+
+    #[test]
+    fn tiny_positive_float_range_is_positive() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(u > 0.0 && u < 1.0);
+            assert!(u.ln().is_finite());
+        }
+    }
+}

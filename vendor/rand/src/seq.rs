@@ -1,0 +1,95 @@
+//! Sequence-related helpers: shuffling and random selection from slices.
+
+use crate::distributions::SampleUniform;
+use crate::RngCore;
+
+/// Random operations on slices.
+pub trait SliceRandom {
+    /// The element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher-Yates).
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+    /// Shuffles the first `amount` elements of the slice into random order,
+    /// drawing them uniformly without replacement from the whole slice.
+    /// Returns `(shuffled_prefix, rest)`.
+    fn partial_shuffle<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [Self::Item], &mut [Self::Item]);
+
+    /// Returns one uniformly-chosen element, or `None` if the slice is empty.
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = usize::sample_between(rng, 0, i, true);
+            self.swap(i, j);
+        }
+    }
+
+    fn partial_shuffle<R: RngCore + ?Sized>(
+        &mut self,
+        rng: &mut R,
+        amount: usize,
+    ) -> (&mut [T], &mut [T]) {
+        let amount = amount.min(self.len());
+        for i in 0..amount {
+            let j = usize::sample_between(rng, i, self.len(), false);
+            self.swap(i, j);
+        }
+        self.split_at_mut(amount)
+    }
+
+    fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(usize::sample_between(rng, 0, self.len(), false))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let set: HashSet<usize> = v.iter().copied().collect();
+        assert_eq!(set.len(), 50);
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn partial_shuffle_returns_distinct_prefix() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut v: Vec<usize> = (0..100).collect();
+        let (prefix, rest) = v.partial_shuffle(&mut rng, 10);
+        assert_eq!(prefix.len(), 10);
+        assert_eq!(rest.len(), 90);
+        let set: HashSet<usize> = prefix.iter().copied().collect();
+        assert_eq!(set.len(), 10);
+    }
+
+    #[test]
+    fn choose_handles_empty_and_full() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let empty: [u8; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let v = [7u8];
+        assert_eq!(v.choose(&mut rng), Some(&7));
+    }
+}

@@ -1,0 +1,232 @@
+//! Offline vendor shim for the `rand_distr` 0.4 API surface used by this
+//! workspace: [`Normal`], [`LogNormal`], and [`Gamma`], all over `f64`.
+//!
+//! Sampling algorithms: Box-Muller for the normal (no cached second draw, so
+//! cloned distributions stay independent of sampling history) and
+//! Marsaglia-Tsang for the gamma (with the Ahrens-Dieter boost for shape < 1).
+
+pub use rand::distributions::Distribution;
+use rand::RngCore;
+use std::fmt;
+
+/// Error returned by distribution constructors with invalid parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistributionError {
+    what: &'static str,
+}
+
+impl fmt::Display for DistributionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.what)
+    }
+}
+
+impl std::error::Error for DistributionError {}
+
+/// Alias matching `rand_distr::NormalError`.
+pub type NormalError = DistributionError;
+/// Alias matching `rand_distr::GammaError`.
+pub type GammaError = DistributionError;
+
+#[inline]
+fn unit_open<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Uniform on (0, 1): reject 0 so logarithms stay finite.
+    loop {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if u > 0.0 {
+            return u;
+        }
+    }
+}
+
+#[inline]
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Box-Muller; only the cosine branch is used so each sample consumes a
+    // fixed two uniforms regardless of history.
+    let u1 = unit_open(rng);
+    let u2 = unit_open(rng);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev^2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `std_dev` is negative or not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < 0.0 || !mean.is_finite() {
+            return Err(DistributionError {
+                what: "normal std_dev/mean",
+            });
+        }
+        Ok(Normal { mean, std_dev })
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// The log-normal distribution: `exp(N(mu, sigma^2))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    norm: Normal,
+}
+
+impl LogNormal {
+    /// Creates a log-normal distribution from the underlying normal's
+    /// parameters.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `sigma` is negative or not finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, DistributionError> {
+        Ok(LogNormal {
+            norm: Normal::new(mu, sigma)?,
+        })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.norm.sample(rng).exp()
+    }
+}
+
+/// The gamma distribution with shape `alpha` and scale `theta`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Creates a gamma distribution.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `shape` or `scale` is non-positive or not finite.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, GammaError> {
+        if !shape.is_finite() || shape <= 0.0 {
+            return Err(DistributionError {
+                what: "gamma shape",
+            });
+        }
+        if !scale.is_finite() || scale <= 0.0 {
+            return Err(DistributionError {
+                what: "gamma scale",
+            });
+        }
+        Ok(Gamma { shape, scale })
+    }
+
+    fn sample_shape_ge_one<R: RngCore + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+        // Marsaglia & Tsang (2000).
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = standard_normal(rng);
+            let v = (1.0 + c * x).powi(3);
+            if v <= 0.0 {
+                continue;
+            }
+            let u = unit_open(rng);
+            if u < 1.0 - 0.0331 * x.powi(4) {
+                return d * v;
+            }
+            if u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+                return d * v;
+            }
+        }
+    }
+}
+
+impl Distribution<f64> for Gamma {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let value = if self.shape >= 1.0 {
+            Self::sample_shape_ge_one(self.shape, rng)
+        } else {
+            // Ahrens-Dieter boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+            let g = Self::sample_shape_ge_one(self.shape + 1.0, rng);
+            g * unit_open(rng).powf(1.0 / self.shape)
+        };
+        value * self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = Normal::new(2.0, 3.0).unwrap();
+        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 9.0).abs() < 0.5, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_is_positive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = LogNormal::new(0.0, 1.0).unwrap();
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn gamma_moments_match() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = Gamma::new(2.5, 2.0).unwrap();
+        let samples: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = moments(&samples);
+        // Gamma(k, theta): mean = k*theta = 5, var = k*theta^2 = 10.
+        assert!((mean - 5.0).abs() < 0.15, "mean {mean}");
+        assert!((var - 10.0).abs() < 0.8, "var {var}");
+    }
+
+    #[test]
+    fn gamma_small_shape_is_positive() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = Gamma::new(0.3, 1.0).unwrap();
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!(v > 0.0 && v.is_finite());
+        }
+    }
+
+    #[test]
+    fn constructors_reject_bad_parameters() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, 0.0).is_err());
+        assert!(LogNormal::new(0.0, f64::INFINITY).is_err());
+        assert!(Normal::new(0.0, -1.0)
+            .unwrap_err()
+            .to_string()
+            .contains("std_dev"));
+    }
+}

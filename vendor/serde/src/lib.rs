@@ -1,0 +1,334 @@
+//! Offline vendor shim for the `serde` API surface used by this workspace.
+//!
+//! Because the build environment cannot reach crates.io, this crate provides
+//! a minimal value-tree serialization framework compatible at the *source*
+//! level with how the workspace uses serde: `#[derive(Serialize,
+//! Deserialize)]` on non-generic structs and enums, plus
+//! `serde_json::to_string_pretty` over the result.
+//!
+//! [`Serialize`] produces a [`Value`] tree that the `serde_json` shim renders
+//! as real JSON (externally-tagged enums, like upstream serde's default).
+//! [`Deserialize`] exists so `#[derive(Deserialize)]` compiles; the workspace
+//! never deserializes, and the derived impl returns [`DeError`] if called.
+
+use std::fmt;
+
+// Let the derive-generated `::serde::...` paths resolve inside this crate's
+// own tests (the same trick upstream serde uses).
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Deserialization helpers, mirroring `serde::de`.
+pub mod de {
+    /// In upstream serde, `DeserializeOwned` is the lifetime-free form of
+    /// `Deserialize`; the shim's `Deserialize` has no lifetime to begin with,
+    /// so the two coincide.
+    pub use crate::Deserialize as DeserializeOwned;
+}
+
+/// A serialized value tree (the shim's equivalent of `serde_json::Value`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Seq(Vec<Value>),
+    /// An object with insertion-ordered keys.
+    Map(Vec<(String, Value)>),
+}
+
+/// Types that can be serialized into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into a value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can notionally be deserialized from a [`Value`] tree.
+///
+/// The derive emits a stub; the workspace only ever serializes.
+pub trait Deserialize: Sized {
+    /// Attempts to reconstruct `Self` from a value tree.
+    ///
+    /// # Errors
+    ///
+    /// Derived impls always return [`DeError`].
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+macro_rules! impl_serialize_uint {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::U64(v) => Ok(*v as $ty),
+                    _ => Err(DeError::new("expected unsigned integer")),
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::I64(v) => Ok(*v as $ty),
+                    Value::U64(v) => Ok(*v as $ty),
+                    _ => Err(DeError::new("expected integer")),
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serialize_float {
+    ($($ty:ty),*) => {$(
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::F64(*self as f64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::F64(v) => Ok(*v as $ty),
+                    Value::U64(v) => Ok(*v as $ty),
+                    Value::I64(v) => Ok(*v as $ty),
+                    _ => Err(DeError::new("expected number")),
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::new("expected bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::new("expected string")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::new("expected sequence")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Seq(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Serialize, Deserialize)]
+    struct Point {
+        x: f64,
+        label: String,
+        tags: Vec<u64>,
+    }
+
+    #[derive(Serialize, Deserialize)]
+    enum Kind {
+        Unit,
+        Newtype(u64),
+        Pair(u64, bool),
+        Named { a: f64, b: String },
+    }
+
+    #[test]
+    fn derived_struct_serializes_fields_in_order() {
+        let p = Point {
+            x: 0.5,
+            label: "hi".into(),
+            tags: vec![1, 2],
+        };
+        let v = p.to_value();
+        match v {
+            Value::Map(entries) => {
+                assert_eq!(entries[0].0, "x");
+                assert_eq!(entries[0].1, Value::F64(0.5));
+                assert_eq!(entries[1].0, "label");
+                assert_eq!(entries[2].1, Value::Seq(vec![Value::U64(1), Value::U64(2)]));
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derived_enum_uses_external_tagging() {
+        assert_eq!(Kind::Unit.to_value(), Value::Str("Unit".into()));
+        assert_eq!(
+            Kind::Newtype(7).to_value(),
+            Value::Map(vec![("Newtype".into(), Value::U64(7))])
+        );
+        match Kind::Pair(1, true).to_value() {
+            Value::Map(entries) => {
+                assert_eq!(entries[0].0, "Pair");
+                assert_eq!(
+                    entries[0].1,
+                    Value::Seq(vec![Value::U64(1), Value::Bool(true)])
+                );
+            }
+            other => panic!("expected map, got {other:?}"),
+        }
+        match (Kind::Named {
+            a: 1.0,
+            b: "x".into(),
+        })
+        .to_value()
+        {
+            Value::Map(entries) => match &entries[0].1 {
+                Value::Map(inner) => {
+                    assert_eq!(inner[0].0, "a");
+                    assert_eq!(inner[1].0, "b");
+                }
+                other => panic!("expected inner map, got {other:?}"),
+            },
+            other => panic!("expected map, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn derived_deserialize_is_a_stub() {
+        let err = Point::from_value(&Value::Null).unwrap_err();
+        assert!(err.to_string().contains("offline serde shim"));
+    }
+
+    #[test]
+    fn option_round_trips_null() {
+        let none: Option<u64> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<u64>::from_value(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u64>::from_value(&Value::U64(3)).unwrap(), Some(3));
+    }
+}

@@ -1,0 +1,274 @@
+//! Offline vendor shim for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against the
+//! workspace's minimal `serde` (value-tree based, see `vendor/serde`). The
+//! parser is hand-written over `proc_macro::TokenStream` — no `syn`/`quote`,
+//! because the build environment has no network access — and supports exactly
+//! the shapes this workspace uses: non-generic braced structs and non-generic
+//! enums with unit, tuple, and struct variants.
+//!
+//! `Serialize` produces a real value tree (rendered to JSON by the
+//! `serde_json` shim). `Deserialize` is a typecheck-level stub: the workspace
+//! never deserializes, so the generated impl returns an error at runtime.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+enum Shape {
+    Struct(Vec<String>),
+    Enum(Vec<(String, VariantShape)>),
+}
+
+fn is_punct(tt: &TokenTree, ch: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Splits the comma-separated segments of a group body, tracking angle-bracket
+/// depth so commas inside generic arguments (`HashMap<usize, Run>`) do not
+/// split a segment.
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut segments = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    segments.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt.clone());
+    }
+    if !current.is_empty() {
+        segments.push(current);
+    }
+    segments
+}
+
+/// Strips leading attributes (`#[...]`) and visibility (`pub`, `pub(...)`)
+/// from one segment, returning the remaining tokens.
+fn strip_attrs_and_vis(segment: &[TokenTree]) -> Vec<TokenTree> {
+    let mut rest = Vec::new();
+    let mut i = 0;
+    while i < segment.len() {
+        if is_punct(&segment[i], '#') {
+            i += 2; // '#' and the bracket group
+            continue;
+        }
+        if let TokenTree::Ident(id) = &segment[i] {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = segment.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+        }
+        rest.push(segment[i].clone());
+        i += 1;
+    }
+    rest
+}
+
+/// Parses `name: Type` field segments into field names.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    split_top_level(&tokens)
+        .into_iter()
+        .filter_map(|segment| {
+            let seg = strip_attrs_and_vis(&segment);
+            match seg.first() {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_variants(body: TokenStream) -> Vec<(String, VariantShape)> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    split_top_level(&tokens)
+        .into_iter()
+        .filter_map(|segment| {
+            let seg = strip_attrs_and_vis(&segment);
+            let name = match seg.first() {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => return None,
+            };
+            let shape = match seg.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                    VariantShape::Tuple(split_top_level(&inner).len())
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    VariantShape::Struct(parse_named_fields(g.stream()))
+                }
+                _ => VariantShape::Unit,
+            };
+            Some((name, shape))
+        })
+        .collect()
+}
+
+/// Parses the derive input into the type name and its shape.
+fn parse_input(input: TokenStream) -> Result<(String, Shape), String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_punct(&tokens[i], '#') {
+            i += 2;
+            continue;
+        }
+        if let TokenTree::Ident(id) = &tokens[i] {
+            match id.to_string().as_str() {
+                "pub" => {
+                    i += 1;
+                    if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            i += 1;
+                        }
+                    }
+                    continue;
+                }
+                kind @ ("struct" | "enum") => {
+                    let name = match tokens.get(i + 1) {
+                        Some(TokenTree::Ident(n)) => n.to_string(),
+                        _ => return Err("expected a type name".into()),
+                    };
+                    if tokens.get(i + 2).is_some_and(|t| is_punct(t, '<')) {
+                        return Err(format!(
+                            "the offline serde shim cannot derive for generic type `{name}`"
+                        ));
+                    }
+                    let body = tokens[i + 2..].iter().find_map(|t| match t {
+                        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                            Some(g.stream())
+                        }
+                        _ => None,
+                    });
+                    let body = match body {
+                        Some(b) => b,
+                        None => {
+                            return Err(format!(
+                                "the offline serde shim cannot derive for `{name}`: only braced structs and enums are supported"
+                            ))
+                        }
+                    };
+                    let shape = if kind == "struct" {
+                        Shape::Struct(parse_named_fields(body))
+                    } else {
+                        Shape::Enum(parse_variants(body))
+                    };
+                    return Ok((name, shape));
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    Err("expected `struct` or `enum`".into())
+}
+
+fn compile_error(message: &str) -> TokenStream {
+    format!("compile_error!({message:?});").parse().unwrap()
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, shape) = match parse_input(input) {
+        Ok(parsed) => parsed,
+        Err(e) => return compile_error(&e),
+    };
+    let body = match &shape {
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, vs)| match vs {
+                    VariantShape::Unit => format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"
+                    ),
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let value = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Map(::std::vec![(::std::string::String::from({v:?}), {value})])",
+                            binders.join(", ")
+                        )
+                    }
+                    VariantShape::Struct(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from({f:?}), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{name}::{v} {{ {} }} => ::serde::Value::Map(::std::vec![(::std::string::String::from({v:?}), ::serde::Value::Map(::std::vec![{}]))])",
+                            fields.join(", "),
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, _shape) = match parse_input(input) {
+        Ok(parsed) => parsed,
+        Err(e) => return compile_error(&e),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 let _ = __value;\n\
+                 Err(::serde::DeError::new(\"Deserialize is not implemented by the offline serde shim (type {name})\"))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}

@@ -1,0 +1,195 @@
+//! Offline vendor shim for the `serde_json` API surface used by this
+//! workspace: [`to_string`] and [`to_string_pretty`] over the minimal serde's
+//! [`serde::Value`] tree. Output matches `serde_json`'s formatting
+//! conventions (2-space indent, `"key": value`, externally-tagged enums).
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Serialization error (non-finite floats, like upstream `serde_json`).
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn format_f64(value: f64) -> Result<String> {
+    if !value.is_finite() {
+        return Err(Error {
+            message: "cannot serialize non-finite float".into(),
+        });
+    }
+    if value == value.trunc() && value.abs() < 1e15 {
+        Ok(format!("{value:.1}"))
+    } else {
+        Ok(format!("{value}"))
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>) -> Result<()> {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(v) => out.push_str(&v.to_string()),
+        Value::I64(v) => out.push_str(&v.to_string()),
+        Value::F64(v) => out.push_str(&format_f64(*v)?),
+        Value::Str(s) => escape_into(out, s),
+        Value::Seq(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return Ok(());
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                match indent {
+                    Some(level) => {
+                        out.push('\n');
+                        out.push_str(&"  ".repeat(level + 1));
+                        write_value(out, item, Some(level + 1))?;
+                    }
+                    None => write_value(out, item, None)?,
+                }
+            }
+            if let Some(level) = indent {
+                out.push('\n');
+                out.push_str(&"  ".repeat(level));
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return Ok(());
+            }
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                match indent {
+                    Some(level) => {
+                        out.push('\n');
+                        out.push_str(&"  ".repeat(level + 1));
+                        escape_into(out, key);
+                        out.push_str(": ");
+                        write_value(out, item, Some(level + 1))?;
+                    }
+                    None => {
+                        escape_into(out, key);
+                        out.push(':');
+                        write_value(out, item, None)?;
+                    }
+                }
+            }
+            if let Some(level) = indent {
+                out.push('\n');
+                out.push_str(&"  ".repeat(level));
+            }
+            out.push('}');
+        }
+    }
+    Ok(())
+}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Fails on non-finite floats.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None)?;
+    Ok(out)
+}
+
+/// Serializes `value` as pretty-printed JSON with a 2-space indent.
+///
+/// # Errors
+///
+/// Fails on non-finite floats.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(0))?;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Report;
+
+    impl Serialize for Report {
+        fn to_value(&self) -> Value {
+            Value::Map(vec![
+                ("id".into(), Value::Str("fig3".into())),
+                (
+                    "points".into(),
+                    Value::Seq(vec![Value::F64(0.5), Value::U64(2)]),
+                ),
+                ("empty".into(), Value::Seq(vec![])),
+                ("note".into(), Value::Null),
+            ])
+        }
+    }
+
+    #[test]
+    fn pretty_output_matches_serde_json_conventions() {
+        let json = to_string_pretty(&Report).unwrap();
+        assert!(json.contains("\"id\": \"fig3\""));
+        assert!(json.starts_with("{\n  \"id\""));
+        assert!(json.contains("\"empty\": []"));
+        assert!(json.ends_with('}'));
+    }
+
+    #[test]
+    fn compact_output_has_no_whitespace() {
+        let json = to_string(&Report).unwrap();
+        assert!(json.contains("\"id\":\"fig3\""));
+        assert!(!json.contains('\n'));
+    }
+
+    #[test]
+    fn floats_render_like_serde_json() {
+        assert_eq!(to_string(&1.0f64).unwrap(), "1.0");
+        assert_eq!(to_string(&0.5f64).unwrap(), "0.5");
+        assert_eq!(to_string(&3usize).unwrap(), "3");
+        assert!(to_string(&f64::NAN).is_err());
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(to_string(&"a\"b\n".to_string()).unwrap(), "\"a\\\"b\\n\"");
+    }
+}
