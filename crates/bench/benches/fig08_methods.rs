@@ -1,14 +1,43 @@
-//! Regenerates Fig. 8: online performance of RS/TPE/HB/BOHB, noiseless vs. noisy.
+//! Regenerates Fig. 8: online performance of the tuning methods, noiseless
+//! vs. noisy — now through the batched ask/tell scheduler, including the
+//! ASHA and re-evaluation extensions.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use feddata::Benchmark;
-use fedtune_core::experiments::methods::{paper_noise_settings, run_method_comparison};
+use fedtune_core::experiments::methods::{
+    paper_noise_settings, run_method_comparison, run_method_comparison_scheduled, TuningMethod,
+};
+use fedtune_core::ExecutionPolicy;
 
 fn regenerate() {
     let scale = fedbench::report_scale();
-    let comparison =
-        run_method_comparison(Benchmark::Cifar10Like, &scale, &paper_noise_settings(), 0)
-            .expect("method comparison");
+    let mut summary = fedbench::BenchSummary::new("fig08_methods");
+    let campaigns = (TuningMethod::EXTENDED.len() * 2 * scale.method_trials) as u64;
+    // The scheduled path is the production one: batches fan out across
+    // threads. Time the sequential policy too so the JSON tracks the speedup.
+    let comparison = summary.time("scheduled_extended_parallel", campaigns, || {
+        run_method_comparison_scheduled(
+            ExecutionPolicy::parallel(),
+            Benchmark::Cifar10Like,
+            &scale,
+            &TuningMethod::EXTENDED,
+            &paper_noise_settings(),
+            0,
+        )
+        .expect("scheduled method comparison")
+    });
+    summary.time("scheduled_extended_sequential", campaigns, || {
+        run_method_comparison_scheduled(
+            ExecutionPolicy::Sequential,
+            Benchmark::Cifar10Like,
+            &scale,
+            &TuningMethod::EXTENDED,
+            &paper_noise_settings(),
+            0,
+        )
+        .expect("scheduled method comparison")
+    });
+    summary.write_if_enabled();
     fedbench::print_report(&comparison.to_online_report().expect("online report"));
 }
 
@@ -21,6 +50,19 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             run_method_comparison(Benchmark::Cifar10Like, &scale, &paper_noise_settings(), 0)
                 .expect("method comparison")
+        })
+    });
+    group.bench_function("cifar10_like_scheduled_extended", |b| {
+        b.iter(|| {
+            run_method_comparison_scheduled(
+                ExecutionPolicy::parallel(),
+                Benchmark::Cifar10Like,
+                &scale,
+                &TuningMethod::EXTENDED,
+                &paper_noise_settings(),
+                0,
+            )
+            .expect("scheduled method comparison")
         })
     });
     group.finish();

@@ -46,9 +46,12 @@ fn time_rounds(dataset: &FederatedDataset, clients: usize, execution: ExecutionP
 fn print_speedup_summary(dataset: &FederatedDataset) {
     let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("\nmicro_round_throughput: sequential vs parallel run_round ({cores} cores)");
+    let mut summary = fedbench::BenchSummary::new("micro_round_throughput");
     for &clients in &CLIENT_COUNTS {
         let sequential = time_rounds(dataset, clients, ExecutionPolicy::Sequential);
         let parallel = time_rounds(dataset, clients, ExecutionPolicy::parallel());
+        summary.push(&format!("sequential_{clients}_clients"), sequential, 1);
+        summary.push(&format!("parallel_{clients}_clients"), parallel, 1);
         println!(
             "  {clients:>3} clients/round: sequential {:8.2} ms, parallel {:8.2} ms, speedup {:.2}x",
             sequential * 1e3,
@@ -56,6 +59,7 @@ fn print_speedup_summary(dataset: &FederatedDataset) {
             sequential / parallel
         );
     }
+    summary.write_if_enabled();
 }
 
 fn bench(c: &mut Criterion) {

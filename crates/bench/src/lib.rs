@@ -34,6 +34,89 @@ pub fn print_report(report: &fedtune_core::ExperimentReport) {
     println!("\n{}", report.to_table());
 }
 
+/// One timed measurement inside a [`BenchSummary`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BenchEntry {
+    /// What was measured (e.g. `"scheduled_extended_parallel"`).
+    pub label: String,
+    /// Wall-clock seconds of the measured run.
+    pub wall_seconds: f64,
+    /// Work items completed (trials, evaluations, rounds — per the label).
+    pub items: u64,
+    /// `items / wall_seconds` (0 when nothing was measured).
+    pub throughput_per_second: f64,
+}
+
+/// Machine-readable summary of one bench target, written to
+/// `BENCH_<name>.json` so the perf trajectory can be tracked across PRs.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BenchSummary {
+    /// The bench target (e.g. `"fig08_methods"`).
+    pub name: String,
+    /// The `FEDTUNE_BENCH_SCALE` the summary was produced at.
+    pub scale: String,
+    /// The measurements.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchSummary {
+    /// Creates an empty summary for the named bench target, stamped with the
+    /// active report scale.
+    pub fn new(name: &str) -> Self {
+        BenchSummary {
+            name: name.to_string(),
+            scale: std::env::var("FEDTUNE_BENCH_SCALE").unwrap_or_else(|_| "smoke".into()),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Records one measurement.
+    pub fn push(&mut self, label: &str, wall_seconds: f64, items: u64) {
+        let throughput_per_second = if wall_seconds > 0.0 {
+            items as f64 / wall_seconds
+        } else {
+            0.0
+        };
+        self.entries.push(BenchEntry {
+            label: label.to_string(),
+            wall_seconds,
+            items,
+            throughput_per_second,
+        });
+    }
+
+    /// Runs `work`, records its wall-clock under `label` (with `items` work
+    /// units), and returns its output.
+    pub fn time<T>(&mut self, label: &str, items: u64, work: impl FnOnce() -> T) -> T {
+        let start = std::time::Instant::now();
+        let out = work();
+        self.push(label, start.elapsed().as_secs_f64(), items);
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` when `FEDTUNE_BENCH_JSON=1`; a silent
+    /// no-op otherwise. The file lands in `FEDTUNE_BENCH_JSON_DIR` if set,
+    /// else the process working directory. Failures to write are reported on
+    /// stderr but never fail the bench.
+    pub fn write_if_enabled(&self) {
+        if std::env::var("FEDTUNE_BENCH_JSON").as_deref() != Ok("1") {
+            return;
+        }
+        let dir = std::env::var("FEDTUNE_BENCH_JSON_DIR").unwrap_or_else(|_| ".".into());
+        let path = format!("{dir}/BENCH_{}.json", self.name);
+        match serde_json::to_string_pretty(self) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("failed to write {path}: {e}");
+                } else {
+                    println!("wrote {path}");
+                }
+            }
+            Err(e) => eprintln!("failed to serialize bench summary {}: {e}", self.name),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -42,5 +125,26 @@ mod tests {
     fn scales_resolve() {
         assert!(measurement_scale().validate().is_ok());
         assert!(report_scale().validate().is_ok());
+    }
+
+    #[test]
+    fn bench_summary_records_and_serializes() {
+        let mut summary = BenchSummary::new("unit_test");
+        let value = summary.time("timed_block", 10, || 42);
+        assert_eq!(value, 42);
+        summary.push("manual", 2.0, 8);
+        assert_eq!(summary.entries.len(), 2);
+        assert_eq!(summary.entries[1].throughput_per_second, 4.0);
+        // Zero wall-clock never divides by zero.
+        summary.push("instant", 0.0, 5);
+        assert_eq!(summary.entries[2].throughput_per_second, 0.0);
+        let json = serde_json::to_string_pretty(&summary).unwrap();
+        assert!(json.contains("timed_block"));
+        assert!(json.contains("unit_test"));
+        // Disabled by default: no file side effects.
+        if std::env::var("FEDTUNE_BENCH_JSON").as_deref() != Ok("1") {
+            summary.write_if_enabled();
+            assert!(!std::path::Path::new("BENCH_unit_test.json").exists());
+        }
     }
 }

@@ -1,20 +1,30 @@
 //! Fig. 1 (headline bars), Fig. 8 (online curves), and Fig. 15/16
 //! (method bars at one-third and full budget): RS vs. TPE vs. Hyperband vs.
-//! BOHB under noiseless and noisy evaluation.
+//! BOHB under noiseless and noisy evaluation — plus the scheduler-era
+//! extensions: ASHA (asynchronous successive halving) and the noise-aware
+//! re-evaluation mitigation, both driven through the batched ask/tell
+//! scheduler.
 
 use crate::context::BenchmarkContext;
 use crate::engine::TrialRunner;
 use crate::experiments::hyperband_planned_evaluations;
 use crate::noise::NoiseConfig;
-use crate::objective::{FederatedObjective, ObjectiveLogEntry};
+use crate::objective::{
+    selected_true_error, BatchFederatedObjective, FederatedObjective, ObjectiveLogEntry,
+};
 use crate::report::{ExperimentReport, SeriesGroup, SeriesPoint};
 use crate::scale::ExperimentScale;
-use crate::Result;
+use crate::scheduler::run_scheduled;
+use crate::{ExecutionPolicy, Result};
 use feddata::Benchmark;
-use fedhpo::{Bohb, Hyperband, RandomSearch, Tpe, Tuner};
+use fedhpo::{
+    Asha, Bohb, Hyperband, IntoScheduler, RandomSearch, ReEvaluation, Scheduler, Tpe, Tuner,
+};
 use serde::{Deserialize, Serialize};
 
-/// The four HP-tuning methods compared throughout the paper.
+/// The HP-tuning methods compared throughout the paper (RS, TPE, HB, BOHB)
+/// plus the scheduler-era extensions (ASHA and ASHA with the re-evaluation
+/// mitigation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TuningMethod {
     /// Random search (simple baseline).
@@ -25,6 +35,12 @@ pub enum TuningMethod {
     Hyperband,
     /// BOHB (hybrid of TPE and Hyperband).
     Bohb,
+    /// ASHA: asynchronous successive halving, promotions computed per rung
+    /// from whatever results have arrived.
+    Asha,
+    /// ASHA wrapped in the noise-aware re-evaluation policy: top-k survivors
+    /// are re-evaluated with fresh noise draws before selection (§5).
+    AshaReEval,
 }
 
 impl TuningMethod {
@@ -36,36 +52,104 @@ impl TuningMethod {
         TuningMethod::Bohb,
     ];
 
-    /// Short display name (`RS`, `TPE`, `HB`, `BOHB`).
+    /// The paper's four methods plus the scheduler-era extensions.
+    pub const EXTENDED: [TuningMethod; 6] = [
+        TuningMethod::RandomSearch,
+        TuningMethod::Tpe,
+        TuningMethod::Hyperband,
+        TuningMethod::Bohb,
+        TuningMethod::Asha,
+        TuningMethod::AshaReEval,
+    ];
+
+    /// Short display name (`RS`, `TPE`, `HB`, `BOHB`, `ASHA`, `ASHA+RE`).
     pub fn name(&self) -> &'static str {
         match self {
             TuningMethod::RandomSearch => "RS",
             TuningMethod::Tpe => "TPE",
             TuningMethod::Hyperband => "HB",
             TuningMethod::Bohb => "BOHB",
+            TuningMethod::Asha => "ASHA",
+            TuningMethod::AshaReEval => "ASHA+RE",
         }
     }
 
-    /// Builds the tuner with the budgets of the given scale
-    /// (`K` configurations for RS/TPE; η and bracket count for HB/BOHB).
+    /// The ASHA ladder at the given scale: as many starting configurations
+    /// as Hyperband's most exploratory bracket would sample, the same rung
+    /// spacing (`min = R / η^(brackets-1)`), and the full per-config budget
+    /// at the top rung.
+    fn asha(scale: &ExperimentScale) -> Asha {
+        let eta = scale.eta.max(2) as f64;
+        let min_resource = ((scale.rounds_per_config as f64)
+            / eta.powi(scale.num_brackets.saturating_sub(1) as i32))
+        .round()
+        .max(1.0) as usize;
+        Asha::new(
+            scale.num_configs * scale.eta,
+            scale.eta,
+            min_resource.min(scale.rounds_per_config),
+            scale.rounds_per_config,
+        )
+    }
+
+    /// The re-evaluation mitigation at the given scale: the top quarter of
+    /// the searched configurations (at least 2), three fresh draws each,
+    /// around the ASHA ladder.
+    fn asha_reeval(scale: &ExperimentScale) -> ReEvaluation<Asha> {
+        ReEvaluation::new(Self::asha(scale), (scale.num_configs / 4).max(2), 3)
+    }
+
+    /// RS at the scale's budgets: `K` configurations at full fidelity.
+    fn rs(scale: &ExperimentScale) -> RandomSearch {
+        RandomSearch::new(scale.num_configs, scale.rounds_per_config)
+    }
+
+    /// TPE at the scale's budgets: `K` sequential proposals at full fidelity.
+    fn tpe(scale: &ExperimentScale) -> Tpe {
+        Tpe::new(scale.num_configs, scale.rounds_per_config)
+    }
+
+    /// Hyperband at the scale's budgets: η and bracket count from the scale.
+    fn hyperband(scale: &ExperimentScale) -> Hyperband {
+        Hyperband::new(scale.rounds_per_config, scale.eta, Some(scale.num_brackets))
+    }
+
+    /// BOHB on the same bracket ladder as [`hyperband`](Self::hyperband).
+    fn bohb(scale: &ExperimentScale) -> Bohb {
+        Bohb::new(scale.rounds_per_config, scale.eta, Some(scale.num_brackets))
+    }
+
+    /// Builds the tuner with the budgets of the given scale.
+    /// [`scheduler`](Self::scheduler) builds the same configurations, so the
+    /// pull-style and scheduled paths always compare identically-budgeted
+    /// methods.
     pub fn build(&self, scale: &ExperimentScale) -> Box<dyn Tuner> {
         match self {
-            TuningMethod::RandomSearch => Box::new(RandomSearch::new(
-                scale.num_configs,
-                scale.rounds_per_config,
-            )),
-            TuningMethod::Tpe => Box::new(Tpe::new(scale.num_configs, scale.rounds_per_config)),
-            TuningMethod::Hyperband => Box::new(Hyperband::new(
-                scale.rounds_per_config,
-                scale.eta,
-                Some(scale.num_brackets),
-            )),
-            TuningMethod::Bohb => Box::new(Bohb::new(
-                scale.rounds_per_config,
-                scale.eta,
-                Some(scale.num_brackets),
-            )),
+            TuningMethod::RandomSearch => Box::new(Self::rs(scale)),
+            TuningMethod::Tpe => Box::new(Self::tpe(scale)),
+            TuningMethod::Hyperband => Box::new(Self::hyperband(scale)),
+            TuningMethod::Bohb => Box::new(Self::bohb(scale)),
+            TuningMethod::Asha => Box::new(Self::asha(scale)),
+            TuningMethod::AshaReEval => Box::new(Self::asha_reeval(scale)),
         }
+    }
+
+    /// Builds the ask/tell scheduler for this method at the given scale —
+    /// the state machine driven by [`run_method_comparison_scheduled`],
+    /// configured identically to [`build`](Self::build).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration errors.
+    pub fn scheduler(&self, scale: &ExperimentScale) -> fedhpo::Result<Box<dyn Scheduler>> {
+        Ok(match self {
+            TuningMethod::RandomSearch => Box::new(Self::rs(scale).scheduler()?),
+            TuningMethod::Tpe => Box::new(Self::tpe(scale).scheduler()?),
+            TuningMethod::Hyperband => Box::new(Self::hyperband(scale).scheduler()?),
+            TuningMethod::Bohb => Box::new(Self::bohb(scale).scheduler()?),
+            TuningMethod::Asha => Box::new(Self::asha(scale).scheduler()?),
+            TuningMethod::AshaReEval => Box::new(Self::asha_reeval(scale).scheduler()?),
+        })
     }
 
     /// Number of objective evaluations the method performs — the DP
@@ -78,6 +162,11 @@ impl TuningMethod {
                 scale.eta,
                 scale.num_brackets,
             ),
+            TuningMethod::Asha => Self::asha(scale).planned_evaluations(),
+            TuningMethod::AshaReEval => {
+                let policy = Self::asha_reeval(scale);
+                policy.inner().planned_evaluations() + policy.top_k() * policy.reps()
+            }
         }
     }
 }
@@ -104,18 +193,13 @@ pub struct MethodRun {
 
 impl MethodRun {
     /// True error of the configuration the tuner would select within the
-    /// given round budget (lowest noisy score among evaluations completed by
-    /// then). `None` if nothing was evaluated within the budget.
+    /// given round budget: the lowest noisy score among evaluations completed
+    /// by then — or, when the run carries fresh-noise re-evaluations
+    /// (`noise_rep >= 1`), the survivor with the best *mean* re-evaluation
+    /// score (the §5 mitigation). `None` if nothing was evaluated within the
+    /// budget.
     pub fn selected_true_error_within(&self, budget: usize) -> Option<f64> {
-        self.log
-            .iter()
-            .filter(|e| e.cumulative_rounds <= budget)
-            .min_by(|a, b| {
-                a.noisy_score
-                    .partial_cmp(&b.noisy_score)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .map(|e| e.true_error)
+        selected_true_error(&self.log, budget)
     }
 }
 
@@ -334,6 +418,71 @@ pub fn run_method_comparison_with(
     })
 }
 
+/// The method comparison through the batched **ask/tell scheduler**: every
+/// (method × noise setting × trial) campaign is driven by
+/// [`run_scheduled`], with each suggested batch fanned out across threads by
+/// a [`BatchFederatedObjective`] under `batch_policy`. Campaign seeds are
+/// positional (derived from the unit's grid position), and all evaluation
+/// randomness is keyed by request coordinates, so `Sequential` and
+/// `Parallel` batch policies produce **bit-identical** comparisons
+/// (`tests/determinism.rs`).
+///
+/// Unlike [`run_method_comparison`] (which parallelises across campaigns but
+/// runs each tuner pull-style and therefore sequentially), this is the
+/// scalable path for live tuning: a single campaign saturates the machine —
+/// RS suggests its whole schedule as one batch, HB/BOHB/ASHA suggest whole
+/// rungs.
+///
+/// # Errors
+///
+/// Propagates training and evaluation failures.
+pub fn run_method_comparison_scheduled(
+    batch_policy: ExecutionPolicy,
+    benchmark: Benchmark,
+    scale: &ExperimentScale,
+    methods: &[TuningMethod],
+    noise_settings: &[(String, NoiseConfig)],
+    seed: u64,
+) -> Result<MethodComparison> {
+    let ctx = BenchmarkContext::new(benchmark, scale, seed)?;
+    let units: Vec<(TuningMethod, &str, &NoiseConfig, usize)> = methods
+        .iter()
+        .flat_map(|&method| {
+            noise_settings.iter().flat_map(move |(label, noise)| {
+                (0..scale.method_trials).map(move |trial| (method, label.as_str(), noise, trial))
+            })
+        })
+        .collect();
+    // Campaigns run one after another — the parallelism lives *inside* each
+    // campaign's batches — but unit seeds are derived exactly as the engine
+    // would, keyed by grid position.
+    let root = fedmath::rng::derive_seed(seed, 7);
+    let runs = TrialRunner::sequential().run_trials(root, units.len(), |unit| {
+        let (method, noise_label, noise, trial) = units[unit.index()];
+        let mut scheduler = method.scheduler(scale)?;
+        let planned = method.planned_evaluations(scale);
+        let mut objective = BatchFederatedObjective::new(&ctx, *noise, planned, unit.seed(0))?
+            .with_batch_runner(TrialRunner::new(batch_policy));
+        let mut rng = unit.rng(1);
+        run_scheduled(scheduler.as_mut(), ctx.space(), &mut objective, &mut rng)?;
+        Ok(MethodRun {
+            method: method.name().to_string(),
+            noise_label: noise_label.to_string(),
+            trial,
+            log: objective.into_log(),
+        })
+    })?;
+    let grid_steps = scale.num_configs.max(4);
+    let budget_grid: Vec<usize> = (1..=grid_steps)
+        .map(|i| i * scale.total_budget / grid_steps)
+        .collect();
+    Ok(MethodComparison {
+        benchmark: benchmark.name().to_string(),
+        runs,
+        budget_grid,
+    })
+}
+
 /// The Fig. 1 headline: method bars on CIFAR10-like at one third of the
 /// budget, noiseless vs. noisy, plus the proxy-RS reference (which is
 /// unaffected by evaluation noise).
@@ -413,17 +562,63 @@ mod tests {
     #[test]
     fn tuning_method_metadata() {
         assert_eq!(TuningMethod::ALL.len(), 4);
+        assert_eq!(TuningMethod::EXTENDED.len(), 6);
         assert_eq!(TuningMethod::RandomSearch.name(), "RS");
         assert_eq!(TuningMethod::Bohb.to_string(), "BOHB");
+        assert_eq!(TuningMethod::Asha.name(), "ASHA");
+        assert_eq!(TuningMethod::AshaReEval.to_string(), "ASHA+RE");
         let scale = ExperimentScale::smoke();
         assert_eq!(
             TuningMethod::RandomSearch.planned_evaluations(&scale),
             scale.num_configs
         );
         assert!(TuningMethod::Hyperband.planned_evaluations(&scale) > 0);
-        for m in TuningMethod::ALL {
+        assert!(TuningMethod::Asha.planned_evaluations(&scale) > 0);
+        // The re-evaluation wrapper adds exactly top_k × reps evaluations.
+        assert!(
+            TuningMethod::AshaReEval.planned_evaluations(&scale)
+                > TuningMethod::Asha.planned_evaluations(&scale)
+        );
+        for m in TuningMethod::EXTENDED {
             let _ = m.build(&scale);
+            assert!(m.scheduler(&scale).is_ok());
         }
+    }
+
+    #[test]
+    fn scheduled_comparison_covers_extended_methods() {
+        let scale = ExperimentScale::smoke();
+        let noise_settings = paper_noise_settings();
+        let comparison = run_method_comparison_scheduled(
+            ExecutionPolicy::parallel(),
+            Benchmark::Cifar10Like,
+            &scale,
+            &TuningMethod::EXTENDED,
+            &noise_settings,
+            1,
+        )
+        .unwrap();
+        assert_eq!(comparison.runs.len(), 6 * 2 * scale.method_trials);
+        for run in &comparison.runs {
+            assert!(
+                !run.log.is_empty(),
+                "{} produced no evaluations",
+                run.method
+            );
+            assert!(run
+                .selected_true_error_within(usize::MAX)
+                .is_some_and(|e| (0.0..=1.5).contains(&e)));
+        }
+        // The re-evaluation runs carry fresh-noise replicates; others do not.
+        for run in &comparison.runs {
+            let has_reps = run.log.iter().any(|e| e.noise_rep >= 1);
+            assert_eq!(has_reps, run.method == "ASHA+RE", "{}", run.method);
+        }
+        let bars = comparison.bars_at(scale.total_budget).unwrap();
+        assert_eq!(bars.len(), 12);
+        let report = comparison.to_online_report().unwrap();
+        assert!(report.to_table().contains("ASHA (noisy)"));
+        assert!(report.to_table().contains("ASHA+RE (noisy)"));
     }
 
     #[test]
@@ -477,6 +672,7 @@ mod tests {
                     noisy_score: 0.5,
                     true_error: 0.5,
                     cumulative_rounds: 5,
+                    noise_rep: 0,
                 },
                 ObjectiveLogEntry {
                     trial_id: 1,
@@ -484,6 +680,7 @@ mod tests {
                     noisy_score: 0.2,
                     true_error: 0.3,
                     cumulative_rounds: 10,
+                    noise_rep: 0,
                 },
             ],
         };

@@ -20,7 +20,11 @@
 //!   noisy tuning runs cheaply).
 //! - [`objective`] — a live [`fedhpo::Objective`] that trains configurations
 //!   on demand with noisy evaluation, used by the RS/TPE/Hyperband/BOHB
-//!   comparisons.
+//!   comparisons, plus [`BatchFederatedObjective`] — the batched,
+//!   order-independent variant behind the scheduler driver.
+//! - [`scheduler`] — the parallel batch driver for `fedhpo`'s ask/tell
+//!   [`fedhpo::Scheduler`] methods: suggested batches fan out across threads
+//!   through the engine with bit-identical results.
 //! - [`experiments`] — one runner per paper table/figure; see `DESIGN.md` for
 //!   the experiment index.
 //!
@@ -48,15 +52,17 @@ pub mod objective;
 pub mod pool;
 pub mod report;
 pub mod scale;
+pub mod scheduler;
 
 pub use context::BenchmarkContext;
 pub use engine::{ProgressTracker, TrialContext, TrialRunner};
 pub use fedsim::ExecutionPolicy;
 pub use noise::{noisy_error, NoiseConfig};
-pub use objective::{FederatedObjective, ObjectiveLogEntry};
+pub use objective::{BatchFederatedObjective, FederatedObjective, ObjectiveLogEntry};
 pub use pool::{ConfigPool, PooledConfig};
 pub use report::{ExperimentReport, SeriesGroup, SeriesPoint};
 pub use scale::ExperimentScale;
+pub use scheduler::{run_scheduled, BatchObjective};
 
 use std::fmt;
 

@@ -12,7 +12,7 @@ use crate::context::BenchmarkContext;
 use crate::noise::{noisy_error, NoiseConfig};
 use crate::Result;
 use feddata::Split;
-use fedhpo::{HpConfig, HpoError, Objective};
+use fedhpo::{HpConfig, HpoError, Objective, TrialRequest, TrialResult};
 use fedmath::{SeedStream, SeedTree};
 use fedproxy::hyperparams_from_config;
 use fedsim::evaluation::evaluate_full_with;
@@ -34,6 +34,49 @@ pub struct ObjectiveLogEntry {
     pub true_error: f64,
     /// Total training rounds consumed across all trials after this call.
     pub cumulative_rounds: usize,
+    /// Noise replicate index: `0` for ordinary evaluations, `>= 1` for
+    /// fresh-noise re-evaluations issued by the re-evaluation mitigation.
+    pub noise_rep: u64,
+}
+
+/// Noise-aware selection over an objective log: the true error of the
+/// configuration a tuner would pick within `budget` training rounds.
+///
+/// If the log contains fresh-noise re-evaluations (`noise_rep >= 1`) within
+/// the budget, the winner is the re-evaluated trial with the lowest *mean*
+/// re-evaluation score and its mean true error is reported — the paper's §5
+/// mitigation. Otherwise the winner is the entry with the lowest noisy score
+/// (the selection rule the paper shows noise corrupts). Non-finite noisy
+/// scores never win.
+pub(crate) fn selected_true_error(log: &[ObjectiveLogEntry], budget: usize) -> Option<f64> {
+    let within = || {
+        log.iter()
+            .filter(move |e| e.cumulative_rounds <= budget && e.noisy_score.is_finite())
+    };
+    // (trial_id, noisy sum, true sum, count) per re-evaluated trial.
+    let mut means: Vec<(usize, f64, f64, usize)> = Vec::new();
+    for e in within().filter(|e| e.noise_rep >= 1) {
+        match means.iter_mut().find(|(id, _, _, _)| *id == e.trial_id) {
+            Some((_, noisy, true_error, count)) => {
+                *noisy += e.noisy_score;
+                *true_error += e.true_error;
+                *count += 1;
+            }
+            None => means.push((e.trial_id, e.noisy_score, e.true_error, 1)),
+        }
+    }
+    means
+        .iter()
+        .map(|&(id, noisy, true_error, count)| {
+            (id, noisy / count as f64, true_error / count as f64)
+        })
+        .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+        .map(|(_, _, true_error)| true_error)
+        .or_else(|| {
+            within()
+                .min_by(|a, b| a.noisy_score.total_cmp(&b.noisy_score))
+                .map(|e| e.true_error)
+        })
 }
 
 /// A noisy federated HPO objective over one benchmark context.
@@ -121,15 +164,7 @@ impl<'a> FederatedObjective<'a> {
     /// that evaluation's true error. Returns `None` if nothing was evaluated
     /// within the budget.
     pub fn selected_true_error_within(&self, budget: usize) -> Option<f64> {
-        self.log
-            .iter()
-            .filter(|e| e.cumulative_rounds <= budget)
-            .min_by(|a, b| {
-                a.noisy_score
-                    .partial_cmp(&b.noisy_score)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
-            .map(|e| e.true_error)
+        selected_true_error(&self.log, budget)
     }
 
     fn weighting(&self) -> WeightingScheme {
@@ -200,8 +235,262 @@ impl Objective for FederatedObjective<'_> {
             noisy_score,
             true_error,
             cumulative_rounds: self.cumulative_rounds,
+            noise_rep: 0,
         });
         Ok(noisy_score)
+    }
+}
+
+/// Per-request output of one batched evaluation, before budget accounting.
+#[derive(Debug, Clone)]
+struct BatchEvalOutput {
+    noisy_score: f64,
+    true_error: f64,
+    rounds_delta: usize,
+    resource_completed: usize,
+}
+
+/// The batched, order-independent federated objective behind the ask/tell
+/// scheduler driver (`fedtune_core::scheduler`).
+///
+/// Where [`FederatedObjective`] draws evaluation noise from one shared
+/// sequential RNG (so results depend on global call order), this objective
+/// derives every noise draw *positionally* from
+/// `(trial_id, resource, noise_rep)` on a per-objective [`SeedTree`]. Every
+/// request in a batch is therefore a pure function of its own coordinates,
+/// and a whole batch can fan out across threads — one worker per distinct
+/// trial — with results bit-identical to sequential execution (asserted by
+/// `tests/determinism.rs`). Positional noise also gives the re-evaluation
+/// mitigation its contract: rep `r` of a trial at a fidelity yields the same
+/// draw no matter when it is scheduled, and distinct reps yield independent
+/// draws.
+pub struct BatchFederatedObjective<'a> {
+    ctx: &'a BenchmarkContext,
+    noise: NoiseConfig,
+    total_evaluations: usize,
+    runs: HashMap<usize, TrainingRun>,
+    log: Vec<ObjectiveLogEntry>,
+    cumulative_rounds: usize,
+    trial_seeds: SeedTree,
+    noise_seeds: SeedTree,
+    execution: ExecutionPolicy,
+    batch_runner: crate::engine::TrialRunner,
+}
+
+impl<'a> BatchFederatedObjective<'a> {
+    /// Creates a batched objective; parameters mirror
+    /// [`FederatedObjective::new`]. Batches run sequentially until a runner
+    /// is attached with
+    /// [`with_batch_runner`](Self::with_batch_runner).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the noise configuration is invalid or
+    /// `total_evaluations` is zero.
+    pub fn new(
+        ctx: &'a BenchmarkContext,
+        noise: NoiseConfig,
+        total_evaluations: usize,
+        seed: u64,
+    ) -> Result<Self> {
+        noise.validate()?;
+        if total_evaluations == 0 {
+            return Err(crate::CoreError::InvalidConfig {
+                message: "total_evaluations must be positive".into(),
+            });
+        }
+        let mut seeds = SeedStream::new(seed);
+        let noise_seeds = SeedTree::new(seeds.next_seed());
+        let trial_seeds = SeedTree::new(seeds.next_seed());
+        Ok(BatchFederatedObjective {
+            ctx,
+            noise,
+            total_evaluations,
+            runs: HashMap::new(),
+            log: Vec::new(),
+            cumulative_rounds: 0,
+            trial_seeds,
+            noise_seeds,
+            execution: ExecutionPolicy::Sequential,
+            batch_runner: crate::engine::TrialRunner::sequential(),
+        })
+    }
+
+    /// Sets the runner fanning the distinct trials of each batch out across
+    /// threads. Any policy produces bit-identical results; `Parallel` only
+    /// changes wall-clock time.
+    #[must_use]
+    pub fn with_batch_runner(mut self, runner: crate::engine::TrialRunner) -> Self {
+        self.batch_runner = runner;
+        self
+    }
+
+    /// Sets the execution policy for the *inner* per-trial work (federated
+    /// rounds, validation evaluation). Defaults to sequential, which is the
+    /// right choice when trials already fan out across all cores.
+    #[must_use]
+    pub fn with_execution(mut self, execution: ExecutionPolicy) -> Self {
+        self.execution = execution;
+        self
+    }
+
+    /// The evaluations logged so far, in request order.
+    pub fn log(&self) -> &[ObjectiveLogEntry] {
+        &self.log
+    }
+
+    /// Total training rounds consumed so far.
+    pub fn cumulative_rounds(&self) -> usize {
+        self.cumulative_rounds
+    }
+
+    /// Consumes the objective and returns its log.
+    pub fn into_log(self) -> Vec<ObjectiveLogEntry> {
+        self.log
+    }
+
+    /// Noise-aware selection within the budget; see
+    /// [`FederatedObjective::selected_true_error_within`].
+    pub fn selected_true_error_within(&self, budget: usize) -> Option<f64> {
+        selected_true_error(&self.log, budget)
+    }
+
+    /// Trains (or resumes) and evaluates one request against the slot owning
+    /// its training run. Pure in `(request, run state)`: all randomness is
+    /// derived positionally, so the caller may execute requests for distinct
+    /// trials in any order or in parallel.
+    ///
+    /// `eval_cache` memoises the full validation evaluation at the run's
+    /// current fidelity: fresh-noise replicates (`noise_rep >= 1`) evaluate
+    /// an unchanged model, so only the noise draw differs and the validation
+    /// pass is paid once per `(trial, fidelity)` rather than once per rep.
+    fn evaluate_request(
+        &self,
+        run_slot: &mut Option<TrainingRun>,
+        eval_cache: &mut Option<(usize, fedsim::evaluation::FederatedEvaluation)>,
+        request: &TrialRequest,
+    ) -> Result<BatchEvalOutput> {
+        if run_slot.is_none() {
+            let hyperparams = hyperparams_from_config(self.ctx.space(), &request.config)?;
+            let trainer_config = TrainerConfig {
+                clients_per_round: self.ctx.scale().clients_per_round,
+                hyperparams,
+                weighting: self.noise.weighting,
+                execution: self.execution,
+            };
+            let trainer = FederatedTrainer::new(trainer_config)?;
+            let run_seed = self.trial_seeds.child(request.trial_id as u64).seed();
+            *run_slot = Some(trainer.start(self.ctx.dataset(), self.ctx.model_spec(), run_seed)?);
+        }
+        let run = run_slot.as_mut().expect("run created above");
+        let already = run.rounds_completed();
+        let rounds_delta = request.resource.saturating_sub(already);
+        if rounds_delta > 0 {
+            run.run_rounds(self.ctx.dataset(), rounds_delta)?;
+        }
+        let fidelity = run.rounds_completed();
+        if eval_cache.as_ref().is_none_or(|(at, _)| *at != fidelity) {
+            let evaluation = evaluate_full_with(
+                &self.execution,
+                run.model(),
+                self.ctx.dataset(),
+                Split::Validation,
+                self.noise.weighting,
+            )?;
+            *eval_cache = Some((fidelity, evaluation));
+        }
+        let full_eval = &eval_cache.as_ref().expect("cached above").1;
+        let true_error = full_eval.weighted_error()?;
+        let mut noise_rng = self
+            .noise_seeds
+            .derive(&[
+                request.trial_id as u64,
+                request.resource as u64,
+                request.noise_rep,
+            ])
+            .rng();
+        let noisy_score = noisy_error(
+            full_eval,
+            &self.noise,
+            self.total_evaluations,
+            &mut noise_rng,
+        )?;
+        Ok(BatchEvalOutput {
+            noisy_score,
+            true_error,
+            rounds_delta,
+            resource_completed: run.rounds_completed(),
+        })
+    }
+
+    /// Evaluates a whole batch of requests: distinct trials fan out under the
+    /// batch runner's policy (each worker owns its trial's training run),
+    /// requests of the same trial execute in request order, and the log and
+    /// returned results are stitched back in request order — bit-identical
+    /// under every policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (lowest-trial-group) evaluation error.
+    pub fn evaluate_batch(&mut self, requests: &[TrialRequest]) -> Result<Vec<TrialResult>> {
+        use std::sync::Mutex;
+
+        // Group request indices by trial, in first-occurrence order.
+        let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (i, request) in requests.iter().enumerate() {
+            match groups.iter_mut().find(|(id, _)| *id == request.trial_id) {
+                Some((_, indices)) => indices.push(i),
+                None => groups.push((request.trial_id, vec![i])),
+            }
+        }
+        // Each group takes ownership of its trial's training run for the
+        // duration of the batch; the Mutex is uncontended (one worker per
+        // group) and only transfers ownership in and out.
+        let slots: Vec<Mutex<Option<TrainingRun>>> = groups
+            .iter()
+            .map(|(trial_id, _)| Mutex::new(self.runs.remove(trial_id)))
+            .collect();
+        let outputs = self.batch_runner.run_trials(0, groups.len(), |trial_ctx| {
+            let (_, indices) = &groups[trial_ctx.index()];
+            let mut slot = slots[trial_ctx.index()]
+                .lock()
+                .expect("batch slot lock poisoned");
+            let mut eval_cache = None;
+            let mut outputs = Vec::with_capacity(indices.len());
+            for &i in indices {
+                outputs.push(self.evaluate_request(&mut slot, &mut eval_cache, &requests[i])?);
+            }
+            Ok(outputs)
+        });
+        // Reinstall the runs before propagating any error.
+        for (slot, (trial_id, _)) in slots.into_iter().zip(&groups) {
+            if let Some(run) = slot.into_inner().expect("batch slot lock poisoned") {
+                self.runs.insert(*trial_id, run);
+            }
+        }
+        let outputs = outputs?;
+        // Scatter group outputs back to request order, then account and log.
+        let mut by_request: Vec<Option<BatchEvalOutput>> = vec![None; requests.len()];
+        for ((_, indices), group_outputs) in groups.iter().zip(outputs) {
+            for (&i, output) in indices.iter().zip(group_outputs) {
+                by_request[i] = Some(output);
+            }
+        }
+        let mut results = Vec::with_capacity(requests.len());
+        for (request, output) in requests.iter().zip(by_request) {
+            let output = output.expect("every request belongs to one group");
+            self.cumulative_rounds += output.rounds_delta;
+            self.log.push(ObjectiveLogEntry {
+                trial_id: request.trial_id,
+                resource: output.resource_completed,
+                noisy_score: output.noisy_score,
+                true_error: output.true_error,
+                cumulative_rounds: self.cumulative_rounds,
+                noise_rep: request.noise_rep,
+            });
+            results.push(TrialResult::of(request, output.noisy_score));
+        }
+        Ok(results)
     }
 }
 
@@ -286,6 +575,141 @@ mod tests {
             (entry.noisy_score - entry.true_error).abs() > 1e-6,
             "with 1 client and eps=1 the noisy score should differ from the truth"
         );
+    }
+
+    fn request(
+        trial_id: usize,
+        config: &HpConfig,
+        resource: usize,
+        noise_rep: u64,
+    ) -> TrialRequest {
+        TrialRequest {
+            trial_id,
+            config: config.clone(),
+            resource,
+            noise_rep,
+        }
+    }
+
+    #[test]
+    fn batch_objective_trains_logs_and_resumes() {
+        let ctx = ctx();
+        let mut objective =
+            BatchFederatedObjective::new(&ctx, NoiseConfig::noiseless(), 4, 1).unwrap();
+        let mut rng = rng_for(0, 0);
+        let a = ctx.space().sample(&mut rng).unwrap();
+        let b = ctx.space().sample(&mut rng).unwrap();
+        let results = objective
+            .evaluate_batch(&[request(0, &a, 3, 0), request(1, &b, 3, 0)])
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(objective.cumulative_rounds(), 6);
+        assert_eq!(objective.log().len(), 2);
+        // Noiseless: noisy score equals the true error.
+        for entry in objective.log() {
+            assert!((entry.noisy_score - entry.true_error).abs() < 1e-12);
+            assert_eq!(entry.noise_rep, 0);
+        }
+        // Resuming trial 0 pays only the incremental rounds; a re-evaluation
+        // at the reached fidelity pays nothing.
+        objective
+            .evaluate_batch(&[request(0, &a, 5, 0), request(0, &a, 5, 1)])
+            .unwrap();
+        assert_eq!(objective.cumulative_rounds(), 8);
+        assert_eq!(objective.log()[3].noise_rep, 1);
+        assert!(objective.selected_true_error_within(usize::MAX).is_some());
+        assert_eq!(objective.into_log().len(), 4);
+    }
+
+    #[test]
+    fn batch_objective_noise_is_positional_and_rep_indexed() {
+        let ctx = ctx();
+        let noise = NoiseConfig::subsampled(0.1).with_privacy(PrivacyBudget::Finite(1.0));
+        let config = {
+            let mut rng = rng_for(1, 0);
+            ctx.space().sample(&mut rng).unwrap()
+        };
+        let run = |requests: &[TrialRequest]| {
+            let mut objective = BatchFederatedObjective::new(&ctx, noise, 4, 7).unwrap();
+            objective.evaluate_batch(requests).unwrap()
+        };
+        // The same (trial, resource, rep) coordinate always draws the same
+        // noise, regardless of what else is in the batch.
+        let alone = run(&[request(0, &config, 2, 0)]);
+        let with_rep = run(&[request(0, &config, 2, 0), request(0, &config, 2, 1)]);
+        assert_eq!(alone[0].score.to_bits(), with_rep[0].score.to_bits());
+        // Distinct reps draw independent noise.
+        assert!((with_rep[0].score - with_rep[1].score).abs() > 1e-9);
+    }
+
+    #[test]
+    fn batch_objective_parallel_matches_sequential_bitwise() {
+        let ctx = ctx();
+        let noise = NoiseConfig::paper_noisy();
+        let requests: Vec<TrialRequest> = {
+            let mut rng = rng_for(2, 0);
+            (0..6)
+                .map(|t| request(t, &ctx.space().sample(&mut rng).unwrap(), 3, 0))
+                .collect()
+        };
+        let run = |runner: crate::engine::TrialRunner| {
+            let mut objective = BatchFederatedObjective::new(&ctx, noise, 6, 9)
+                .unwrap()
+                .with_batch_runner(runner);
+            objective.evaluate_batch(&requests).unwrap()
+        };
+        let sequential = run(crate::engine::TrialRunner::sequential());
+        for threads in [2, 3, 8] {
+            let parallel = run(crate::engine::TrialRunner::new(
+                ExecutionPolicy::parallel_with(threads),
+            ));
+            assert_eq!(sequential.len(), parallel.len());
+            for (s, p) in sequential.iter().zip(&parallel) {
+                assert_eq!(s.score.to_bits(), p.score.to_bits(), "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_objective_validation() {
+        let ctx = ctx();
+        assert!(BatchFederatedObjective::new(&ctx, NoiseConfig::noiseless(), 0, 0).is_err());
+        assert!(BatchFederatedObjective::new(&ctx, NoiseConfig::subsampled(2.0), 4, 0).is_err());
+        let objective = BatchFederatedObjective::new(&ctx, NoiseConfig::noiseless(), 4, 0)
+            .unwrap()
+            .with_execution(ExecutionPolicy::Sequential);
+        assert_eq!(objective.cumulative_rounds(), 0);
+        assert!(objective.log().is_empty());
+        assert!(objective.selected_true_error_within(10).is_none());
+    }
+
+    #[test]
+    fn selected_true_error_prefers_reevaluation_means() {
+        let entry = |trial_id, noisy, true_error, noise_rep, cumulative| ObjectiveLogEntry {
+            trial_id,
+            resource: 5,
+            noisy_score: noisy,
+            true_error,
+            cumulative_rounds: cumulative,
+            noise_rep,
+        };
+        let log = vec![
+            entry(0, 0.05, 0.5, 0, 5), // lucky noisy minimum
+            entry(1, 0.30, 0.3, 0, 10),
+            entry(0, 0.45, 0.5, 1, 10), // fresh draws expose trial 0 ...
+            entry(0, 0.55, 0.5, 2, 10),
+            entry(1, 0.28, 0.3, 1, 10), // ... and confirm trial 1
+            entry(1, 0.32, 0.3, 2, 10),
+        ];
+        // Plain min-selection would be fooled by trial 0's lucky draw.
+        assert_eq!(selected_true_error(&log[..2], 10), Some(0.5));
+        // Re-evaluation means select trial 1 and report its true error.
+        let selected = selected_true_error(&log, 10).unwrap();
+        assert!((selected - 0.3).abs() < 1e-12);
+        // NaN noisy scores never win.
+        let poisoned = vec![entry(2, f64::NAN, 0.9, 0, 5), entry(3, 0.4, 0.4, 0, 10)];
+        assert_eq!(selected_true_error(&poisoned, 10), Some(0.4));
+        assert_eq!(selected_true_error(&[], 10), None);
     }
 
     #[test]

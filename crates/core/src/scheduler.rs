@@ -1,0 +1,172 @@
+//! The parallel **batch driver** for ask/tell tuning schedulers.
+//!
+//! `fedhpo`'s [`Scheduler`] trait inverts tuner control flow — the method
+//! *suggests* batches of [`TrialRequest`]s instead of calling the objective
+//! itself — and this module supplies the driver that makes the inversion pay:
+//! each suggested batch is executed through a [`BatchObjective`] (in
+//! practice [`BatchFederatedObjective`], which fans the batch's distinct
+//! trials out over the engine's [`TrialRunner`](crate::engine::TrialRunner)),
+//! results are reported back in the deterministic batch order, and resource
+//! accounting flows through the shared [`BudgetLedger`].
+//!
+//! Because every scheduler suggests deterministically and every
+//! [`BatchFederatedObjective`] evaluation derives its randomness from the
+//! request's coordinates, the produced [`TuningOutcome`] is **bit-identical**
+//! under every execution policy and thread count (`tests/determinism.rs`) —
+//! tuner-driven campaigns finally scale across cores without giving up
+//! reproducibility.
+
+use crate::objective::BatchFederatedObjective;
+use crate::Result;
+use fedhpo::{BudgetLedger, Scheduler, SearchSpace, TrialRequest, TrialResult, TuningOutcome};
+use rand::rngs::StdRng;
+
+/// An objective that evaluates a whole batch of trial requests at once.
+///
+/// Implementations decide how the batch executes (sequentially, across
+/// threads, on remote workers); the returned results must be in request
+/// order and independent of that choice.
+pub trait BatchObjective {
+    /// Evaluates every request, returning one result per request in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures.
+    fn evaluate_batch(&mut self, requests: &[TrialRequest]) -> Result<Vec<TrialResult>>;
+}
+
+impl BatchObjective for BatchFederatedObjective<'_> {
+    fn evaluate_batch(&mut self, requests: &[TrialRequest]) -> Result<Vec<TrialResult>> {
+        BatchFederatedObjective::evaluate_batch(self, requests)
+    }
+}
+
+/// Drives `scheduler` to completion against `objective`: suggest a batch,
+/// evaluate it (parallel inside the objective), report every result in batch
+/// order, repeat. The counterpart of `fedhpo::run_scheduler` with batch
+/// fan-out instead of one-at-a-time evaluation.
+///
+/// # Errors
+///
+/// Propagates scheduler and objective errors, and fails if the scheduler
+/// stalls (returns an empty batch while unfinished).
+pub fn run_scheduled(
+    scheduler: &mut dyn Scheduler,
+    space: &SearchSpace,
+    objective: &mut dyn BatchObjective,
+    rng: &mut StdRng,
+) -> Result<TuningOutcome> {
+    let mut outcome = TuningOutcome::default();
+    let mut ledger = BudgetLedger::new();
+    while !scheduler.is_finished() {
+        let batch = scheduler.suggest(space, rng)?;
+        if batch.is_empty() {
+            if scheduler.is_finished() {
+                break;
+            }
+            return Err(crate::CoreError::InvalidConfig {
+                message: format!(
+                    "scheduler {} stalled: empty batch while unfinished",
+                    scheduler.name()
+                ),
+            });
+        }
+        let results = objective.evaluate_batch(&batch)?;
+        for result in &results {
+            outcome.push(ledger.record(result));
+            scheduler.report(result)?;
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::BenchmarkContext;
+    use crate::noise::NoiseConfig;
+    use crate::scale::ExperimentScale;
+    use feddata::Benchmark;
+    use fedhpo::{Asha, HpConfig, IntoScheduler, RandomSearch, Tuner};
+    use fedmath::rng::rng_for;
+
+    /// A batch objective scoring configurations analytically, recording the
+    /// batch sizes it saw.
+    struct AnalyticBatchObjective {
+        batch_sizes: Vec<usize>,
+    }
+
+    impl BatchObjective for AnalyticBatchObjective {
+        fn evaluate_batch(&mut self, requests: &[TrialRequest]) -> Result<Vec<TrialResult>> {
+            self.batch_sizes.push(requests.len());
+            Ok(requests
+                .iter()
+                .map(|r| {
+                    let x = r.config.values()[0];
+                    TrialResult::of(r, (x - 0.3).abs() + 1.0 / (r.resource as f64 + 1.0))
+                })
+                .collect())
+        }
+    }
+
+    fn space_1d() -> fedhpo::SearchSpace {
+        fedhpo::SearchSpace::new()
+            .with_uniform("x", 0.0, 1.0)
+            .unwrap()
+    }
+
+    #[test]
+    fn random_search_arrives_as_one_batch() {
+        let mut scheduler = RandomSearch::new(8, 2).scheduler().unwrap();
+        let mut objective = AnalyticBatchObjective {
+            batch_sizes: Vec::new(),
+        };
+        let mut rng = rng_for(0, 0);
+        let outcome = run_scheduled(&mut scheduler, &space_1d(), &mut objective, &mut rng).unwrap();
+        assert_eq!(objective.batch_sizes, vec![8]);
+        assert_eq!(outcome.num_evaluations(), 8);
+        assert_eq!(outcome.total_resource(), 16);
+    }
+
+    #[test]
+    fn batched_asha_matches_sequential_tuner_outcome() {
+        // The batch driver over an analytic objective must agree exactly with
+        // fedhpo's sequential reference driver on the same scheduler.
+        let asha = Asha::new(9, 3, 1, 9);
+        let mut scheduler = asha.scheduler().unwrap();
+        let mut batch_objective = AnalyticBatchObjective {
+            batch_sizes: Vec::new(),
+        };
+        let mut rng = rng_for(1, 0);
+        let batched =
+            run_scheduled(&mut scheduler, &space_1d(), &mut batch_objective, &mut rng).unwrap();
+        assert!(batch_objective.batch_sizes[0] >= 9);
+
+        let mut sequential_objective =
+            fedhpo::FunctionObjective::new(|config: &HpConfig, resource: usize| {
+                let x = config.values()[0];
+                (x - 0.3).abs() + 1.0 / (resource as f64 + 1.0)
+            });
+        let mut rng = rng_for(1, 0);
+        let sequential = asha
+            .tune(&space_1d(), &mut sequential_objective, &mut rng)
+            .unwrap();
+        assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn drives_the_federated_batch_objective() {
+        let ctx =
+            BenchmarkContext::new(Benchmark::Cifar10Like, &ExperimentScale::smoke(), 0).unwrap();
+        let tuner = RandomSearch::new(3, 2);
+        let mut scheduler = tuner.scheduler().unwrap();
+        let mut objective =
+            BatchFederatedObjective::new(&ctx, NoiseConfig::noiseless(), 3, 5).unwrap();
+        let mut rng = rng_for(2, 0);
+        let outcome = run_scheduled(&mut scheduler, ctx.space(), &mut objective, &mut rng).unwrap();
+        assert_eq!(outcome.num_evaluations(), 3);
+        assert_eq!(objective.log().len(), 3);
+        assert_eq!(objective.cumulative_rounds(), 6);
+        assert!(outcome.best().unwrap().score.is_finite());
+    }
+}

@@ -1,0 +1,472 @@
+//! ASHA — Asynchronous Successive Halving (Li et al. 2020).
+//!
+//! Synchronous SHA waits for an entire rung before promoting anyone, so one
+//! slow trial stalls the whole bracket. ASHA instead promotes *whenever a
+//! trial is in the top `1/η` of whatever results its rung has collected so
+//! far*, which keeps every worker busy — the natural fit for the batched
+//! ask/tell driver and the paper's pointer toward population-style federated
+//! tuning at scale.
+//!
+//! Determinism: promotions are a pure function of the *set* of reported
+//! results. Within a rung, candidates are ranked by `(score, trial_id)` with
+//! `f64::total_cmp`, so the promotion decision is invariant to the order in
+//! which results arrive (asserted by a property test below). Each
+//! [`suggest`](Scheduler::suggest) call first emits every promotion the
+//! current results justify (highest rung first), then tops the batch up with
+//! fresh uniformly-sampled configurations.
+
+use crate::objective::Objective;
+use crate::scheduler::{run_scheduler, IntoScheduler, Scheduler, TrialRequest, TrialResult};
+use crate::space::{HpConfig, SearchSpace};
+use crate::tuner::{Tuner, TuningOutcome};
+use crate::{HpoError, Result};
+use rand::rngs::StdRng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Configuration of the ASHA tuner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Asha {
+    num_configs: usize,
+    eta: usize,
+    min_resource: usize,
+    max_resource: usize,
+    max_concurrency: usize,
+}
+
+impl Asha {
+    /// Creates an ASHA tuner: up to `num_configs` configurations, rung
+    /// resources `min_resource · η^k` capped at `max_resource`, promoting the
+    /// top `1/η` of each rung.
+    pub fn new(num_configs: usize, eta: usize, min_resource: usize, max_resource: usize) -> Self {
+        Asha {
+            num_configs,
+            eta,
+            min_resource,
+            max_resource,
+            max_concurrency: num_configs.max(1),
+        }
+    }
+
+    /// Caps the number of requests suggested per batch (the "worker pool"
+    /// width). Defaults to `num_configs` — the whole first rung in one batch.
+    #[must_use]
+    pub fn with_concurrency(mut self, max_concurrency: usize) -> Self {
+        self.max_concurrency = max_concurrency;
+        self
+    }
+
+    /// Number of fresh configurations the schedule samples.
+    pub fn num_configs(&self) -> usize {
+        self.num_configs
+    }
+
+    /// Elimination factor `η`.
+    pub fn eta(&self) -> usize {
+        self.eta
+    }
+
+    /// Resource of the first rung.
+    pub fn min_resource(&self) -> usize {
+        self.min_resource
+    }
+
+    /// Maximum resource any configuration may receive.
+    pub fn max_resource(&self) -> usize {
+        self.max_resource
+    }
+
+    /// The resource of rung `k`: `min_resource · η^k`, capped at
+    /// `max_resource`.
+    pub fn rung_resource(&self, rung: usize) -> usize {
+        let mut resource = self.min_resource.min(self.max_resource);
+        for _ in 0..rung {
+            resource = (resource * self.eta).min(self.max_resource);
+        }
+        resource
+    }
+
+    /// Number of rungs in the ladder (the last rung sits at `max_resource`).
+    pub fn num_rungs(&self) -> usize {
+        let mut rungs = 1;
+        let mut resource = self.min_resource.min(self.max_resource);
+        while resource < self.max_resource {
+            resource = (resource * self.eta).min(self.max_resource);
+            rungs += 1;
+        }
+        rungs
+    }
+
+    /// Worst-case number of evaluations the schedule performs (every rung
+    /// full, every promotion taken) — the DP composition length `M`.
+    pub fn planned_evaluations(&self) -> usize {
+        let mut total = 0;
+        let mut n = self.num_configs;
+        for _ in 0..self.num_rungs() {
+            if n == 0 {
+                break;
+            }
+            total += n;
+            n /= self.eta;
+        }
+        total.max(1)
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.num_configs == 0 {
+            return Err(HpoError::InvalidConfig {
+                message: "asha needs at least one configuration".into(),
+            });
+        }
+        if self.eta < 2 {
+            return Err(HpoError::InvalidConfig {
+                message: format!("eta must be at least 2, got {}", self.eta),
+            });
+        }
+        if self.min_resource == 0 || self.min_resource > self.max_resource {
+            return Err(HpoError::InvalidConfig {
+                message: format!(
+                    "resource range [{}, {}] is invalid",
+                    self.min_resource, self.max_resource
+                ),
+            });
+        }
+        if self.max_concurrency == 0 {
+            return Err(HpoError::InvalidConfig {
+                message: "max_concurrency must be positive".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Tuner for Asha {
+    fn name(&self) -> &'static str {
+        "asha"
+    }
+
+    fn tune(
+        &self,
+        space: &SearchSpace,
+        objective: &mut dyn Objective,
+        rng: &mut StdRng,
+    ) -> Result<TuningOutcome> {
+        run_scheduler(&mut self.scheduler()?, space, objective, rng)
+    }
+}
+
+impl IntoScheduler for Asha {
+    type Scheduler = AshaScheduler;
+
+    fn scheduler(&self) -> Result<AshaScheduler> {
+        self.validate()?;
+        Ok(AshaScheduler {
+            params: *self,
+            configs: BTreeMap::new(),
+            rungs: vec![BTreeMap::new(); self.num_rungs()],
+            promoted: vec![BTreeSet::new(); self.num_rungs()],
+            pending: BTreeSet::new(),
+            sampled: 0,
+        })
+    }
+}
+
+/// Ask/tell state of an ASHA campaign. All bookkeeping lives in ordered maps
+/// keyed by trial id, so every decision is a function of *which* results have
+/// arrived, never of when.
+#[derive(Debug, Clone)]
+pub struct AshaScheduler {
+    params: Asha,
+    /// Configuration of every trial seen so far.
+    configs: BTreeMap<usize, HpConfig>,
+    /// Reported scores per rung, keyed by trial id.
+    rungs: Vec<BTreeMap<usize, f64>>,
+    /// Trials already promoted out of each rung.
+    promoted: Vec<BTreeSet<usize>>,
+    /// Trials with an outstanding request.
+    pending: BTreeSet<usize>,
+    /// Fresh configurations sampled so far.
+    sampled: usize,
+}
+
+impl AshaScheduler {
+    /// The rung index whose resource is exactly `resource`, if any.
+    fn rung_for_resource(&self, resource: usize) -> Option<usize> {
+        (0..self.params.num_rungs()).find(|&k| self.params.rung_resource(k) == resource)
+    }
+
+    /// All promotions the current results justify: for each non-terminal rung
+    /// `k`, the unpromoted trials ranked (by score, then trial id) within the
+    /// top `⌊|results at k| / η⌋`. Ordered highest rung first, best score
+    /// first — a deterministic function of the reported result set.
+    fn promotable(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let num_rungs = self.params.num_rungs();
+        for k in (0..num_rungs.saturating_sub(1)).rev() {
+            let results = &self.rungs[k];
+            let top = results.len() / self.params.eta;
+            if top == 0 {
+                continue;
+            }
+            let mut ranked: Vec<(usize, f64)> =
+                results.iter().map(|(&id, &score)| (id, score)).collect();
+            ranked.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            for (trial_id, _) in ranked.into_iter().take(top) {
+                if !self.promoted[k].contains(&trial_id) {
+                    out.push((trial_id, k));
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Scheduler for AshaScheduler {
+    fn name(&self) -> &'static str {
+        "asha"
+    }
+
+    fn suggest(&mut self, space: &SearchSpace, rng: &mut StdRng) -> Result<Vec<TrialRequest>> {
+        let mut batch = Vec::new();
+        for (trial_id, rung) in self.promotable() {
+            if batch.len() >= self.params.max_concurrency {
+                break;
+            }
+            let config = self.configs[&trial_id].clone();
+            self.promoted[rung].insert(trial_id);
+            self.pending.insert(trial_id);
+            batch.push(TrialRequest {
+                trial_id,
+                config,
+                resource: self.params.rung_resource(rung + 1),
+                noise_rep: 0,
+            });
+        }
+        while self.sampled < self.params.num_configs && batch.len() < self.params.max_concurrency {
+            let trial_id = self.sampled;
+            let config = space.sample(rng)?;
+            self.configs.insert(trial_id, config.clone());
+            self.pending.insert(trial_id);
+            self.sampled += 1;
+            batch.push(TrialRequest {
+                trial_id,
+                config,
+                resource: self.params.rung_resource(0),
+                noise_rep: 0,
+            });
+        }
+        Ok(batch)
+    }
+
+    fn report(&mut self, result: &TrialResult) -> Result<()> {
+        let rung =
+            self.rung_for_resource(result.resource)
+                .ok_or_else(|| HpoError::InvalidConfig {
+                    message: format!(
+                        "asha received a result at resource {} which is not a rung",
+                        result.resource
+                    ),
+                })?;
+        // Accept out-of-band results (e.g. replayed histories in tests): the
+        // promotion rule only depends on the resulting score sets.
+        self.configs
+            .entry(result.trial_id)
+            .or_insert_with(|| result.config.clone());
+        self.sampled = self.sampled.max(result.trial_id + 1);
+        self.rungs[rung].insert(result.trial_id, result.score);
+        self.pending.remove(&result.trial_id);
+        Ok(())
+    }
+
+    fn is_finished(&self) -> bool {
+        self.sampled >= self.params.num_configs
+            && self.pending.is_empty()
+            && self.promotable().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::FunctionObjective;
+    use fedmath::rng::rng_for;
+    use std::collections::HashMap;
+
+    fn space_1d() -> SearchSpace {
+        SearchSpace::new().with_uniform("x", 0.0, 1.0).unwrap()
+    }
+
+    fn resource_aware_objective() -> FunctionObjective<impl FnMut(&HpConfig, usize) -> f64> {
+        FunctionObjective::new(|config: &HpConfig, resource: usize| {
+            let x = config.values()[0];
+            (x - 0.3).abs() + 1.0 / (resource as f64 + 1.0)
+        })
+    }
+
+    #[test]
+    fn validation_and_accessors() {
+        assert!(Asha::new(0, 3, 1, 9).scheduler().is_err());
+        assert!(Asha::new(9, 1, 1, 9).scheduler().is_err());
+        assert!(Asha::new(9, 3, 0, 9).scheduler().is_err());
+        assert!(Asha::new(9, 3, 10, 9).scheduler().is_err());
+        assert!(Asha::new(9, 3, 1, 9)
+            .with_concurrency(0)
+            .scheduler()
+            .is_err());
+        let asha = Asha::new(9, 3, 1, 9);
+        assert_eq!(asha.name(), "asha");
+        assert_eq!(asha.num_configs(), 9);
+        assert_eq!(asha.eta(), 3);
+        assert_eq!(asha.min_resource(), 1);
+        assert_eq!(asha.max_resource(), 9);
+        assert_eq!(asha.num_rungs(), 3);
+        assert_eq!(asha.rung_resource(0), 1);
+        assert_eq!(asha.rung_resource(1), 3);
+        assert_eq!(asha.rung_resource(2), 9);
+        // 9 + 3 + 1 evaluations if every promotion is taken.
+        assert_eq!(asha.planned_evaluations(), 13);
+        // Non-power ladders cap at max_resource.
+        let uneven = Asha::new(4, 3, 2, 10);
+        assert_eq!(uneven.num_rungs(), 3);
+        assert_eq!(uneven.rung_resource(2), 10);
+    }
+
+    #[test]
+    fn full_campaign_matches_sha_shape() {
+        let mut rng = rng_for(0, 0);
+        let mut objective = resource_aware_objective();
+        let asha = Asha::new(9, 3, 1, 9);
+        let outcome = asha.tune(&space_1d(), &mut objective, &mut rng).unwrap();
+        // With the whole first rung in one batch, ASHA degenerates to SHA's
+        // rung counts: 9 at r=1, 3 at r=3, 1 at r=9.
+        let mut per_rung: HashMap<usize, usize> = HashMap::new();
+        for r in outcome.records() {
+            *per_rung.entry(r.resource).or_default() += 1;
+        }
+        assert_eq!(per_rung.get(&1), Some(&9));
+        assert_eq!(per_rung.get(&3), Some(&3));
+        assert_eq!(per_rung.get(&9), Some(&1));
+        assert_eq!(outcome.total_resource(), 21);
+    }
+
+    #[test]
+    fn bounded_concurrency_keeps_promoting() {
+        let mut rng = rng_for(1, 0);
+        let mut objective = resource_aware_objective();
+        let asha = Asha::new(9, 3, 1, 9).with_concurrency(2);
+        let outcome = asha.tune(&space_1d(), &mut objective, &mut rng).unwrap();
+        // Same ladder, narrower batches: every rung still fills eventually.
+        let mut per_rung: HashMap<usize, usize> = HashMap::new();
+        for r in outcome.records() {
+            *per_rung.entry(r.resource).or_default() += 1;
+        }
+        assert_eq!(per_rung.get(&1), Some(&9));
+        assert!(per_rung.get(&3).copied().unwrap_or(0) >= 1);
+    }
+
+    #[test]
+    fn promotions_prefer_low_scores_and_low_trial_ids() {
+        let asha = Asha::new(6, 3, 1, 9);
+        let mut scheduler = asha.scheduler().unwrap();
+        let config = HpConfig::new(vec![0.5]);
+        let result = |trial_id, score| TrialResult {
+            trial_id,
+            config: config.clone(),
+            resource: 1,
+            noise_rep: 0,
+            score,
+        };
+        // Six rung-0 results; top third = 2 promotions; a score tie between
+        // trials 4 and 5 resolves to the lower id.
+        for (id, score) in [(0, 0.9), (1, 0.8), (2, 0.7), (3, 0.6), (4, 0.5), (5, 0.5)] {
+            scheduler.report(&result(id, score)).unwrap();
+        }
+        let promotable = scheduler.promotable();
+        assert_eq!(promotable, vec![(4, 0), (5, 0)]);
+    }
+
+    #[test]
+    fn rejects_results_off_the_ladder() {
+        let asha = Asha::new(3, 3, 1, 9);
+        let mut scheduler = asha.scheduler().unwrap();
+        let result = TrialResult {
+            trial_id: 0,
+            config: HpConfig::new(vec![0.5]),
+            resource: 4,
+            noise_rep: 0,
+            score: 0.5,
+        };
+        assert!(scheduler.report(&result).is_err());
+    }
+
+    #[test]
+    fn finds_good_configs() {
+        let mut rng = rng_for(2, 0);
+        let mut objective = resource_aware_objective();
+        let asha = Asha::new(27, 3, 1, 27);
+        let outcome = asha.tune(&space_1d(), &mut objective, &mut rng).unwrap();
+        let best = outcome
+            .best_at_max_fidelity_within_budget(usize::MAX)
+            .unwrap();
+        let x = best.config.values()[0];
+        assert!((x - 0.3).abs() < 0.25, "best x = {x} should be near 0.3");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use fedmath::rng::rng_for;
+    use proptest::prelude::*;
+    use rand::Rng;
+
+    /// Replays the same rung-0 result set in a permuted arrival order and
+    /// asserts the next suggested batch — i.e. the promotion decision — is
+    /// identical: ASHA promotions are invariant to result arrival order.
+    fn promotions_for(order: &[usize], scores: &[f64], asha: Asha) -> Vec<(usize, usize)> {
+        let space = SearchSpace::new().with_uniform("x", 0.0, 1.0).unwrap();
+        let mut scheduler = asha.scheduler().unwrap();
+        let mut rng = rng_for(11, 0);
+        let batch = scheduler.suggest(&space, &mut rng).unwrap();
+        assert_eq!(batch.len(), scores.len());
+        for &position in order {
+            let request = &batch[position];
+            scheduler
+                .report(&crate::scheduler::TrialResult::of(
+                    request,
+                    scores[request.trial_id],
+                ))
+                .unwrap();
+        }
+        // All fresh configs are sampled, so the next batch is promotions only.
+        scheduler
+            .suggest(&space, &mut rng)
+            .unwrap()
+            .into_iter()
+            .map(|r| (r.trial_id, r.resource))
+            .collect()
+    }
+
+    proptest! {
+        #[test]
+        fn prop_promotions_invariant_to_arrival_order(
+            seed in any::<u64>(),
+            num_configs in 3usize..20,
+        ) {
+            let asha = Asha::new(num_configs, 3, 1, 9);
+            let mut score_rng = rng_for(seed, 0);
+            let scores: Vec<f64> = (0..num_configs)
+                .map(|_| score_rng.gen_range(0.0..1.0))
+                .collect();
+            let forward: Vec<usize> = (0..num_configs).collect();
+            let mut shuffle_rng = rng_for(seed, 1);
+            let shuffled =
+                fedmath::rng::sample_without_replacement(&mut shuffle_rng, num_configs, num_configs)
+                    .unwrap();
+            let a = promotions_for(&forward, &scores, asha);
+            let b = promotions_for(&shuffled, &scores, asha);
+            prop_assert_eq!(&a, &b);
+            // The promoted set is the top third by score.
+            prop_assert_eq!(a.len(), num_configs / 3);
+        }
+    }
+}

@@ -7,9 +7,10 @@
 //! is fitted on the *highest fidelity* (largest resource) that has collected
 //! enough observations, and falls back to random sampling early on.
 
-use crate::hyperband::{BracketState, Hyperband, SuccessiveHalving};
+use crate::hyperband::{BracketScheduler, Hyperband, Proposer};
 use crate::objective::Objective;
-use crate::space::{HpConfig, SearchSpace};
+use crate::scheduler::{run_scheduler, IntoScheduler};
+use crate::space::SearchSpace;
 use crate::tpe::{TpeConfig, TpeSampler};
 use crate::tuner::{Tuner, TuningOutcome};
 use crate::Result;
@@ -51,33 +52,6 @@ impl Bohb {
     pub fn hyperband(&self) -> &Hyperband {
         &self.hyperband
     }
-
-    /// Proposes `count` configurations using the TPE model when enough
-    /// observations are available, otherwise uniform random samples.
-    fn propose_configs(
-        &self,
-        space: &SearchSpace,
-        sampler: &TpeSampler,
-        observations_by_fidelity: &BTreeMap<usize, Vec<(HpConfig, f64)>>,
-        count: usize,
-        rng: &mut StdRng,
-    ) -> Result<Vec<HpConfig>> {
-        // Highest fidelity with enough observations, if any.
-        let model_obs = observations_by_fidelity
-            .iter()
-            .rev()
-            .find(|(_, obs)| obs.len() >= self.min_observations)
-            .map(|(_, obs)| obs.as_slice());
-        let mut configs = Vec::with_capacity(count);
-        for _ in 0..count {
-            let config = match model_obs {
-                Some(obs) => sampler.propose(space, obs, rng)?,
-                None => space.sample(rng)?,
-            };
-            configs.push(config);
-        }
-        Ok(configs)
-    }
 }
 
 impl Tuner for Bohb {
@@ -91,27 +65,26 @@ impl Tuner for Bohb {
         objective: &mut dyn Objective,
         rng: &mut StdRng,
     ) -> Result<TuningOutcome> {
-        let sampler = TpeSampler::new(self.tpe_config)?;
-        let mut state = BracketState::default();
-        let mut observations_by_fidelity: BTreeMap<usize, Vec<(HpConfig, f64)>> = BTreeMap::new();
-        let num_brackets = self.hyperband.num_brackets();
-        for s in (0..num_brackets).rev() {
-            let (n, r) = self.hyperband.bracket_plan(s);
-            let configs =
-                self.propose_configs(space, &sampler, &observations_by_fidelity, n, rng)?;
-            let bracket =
-                SuccessiveHalving::new(n, self.hyperband.eta(), r, self.hyperband.max_resource());
-            let before = state.outcome.num_evaluations();
-            bracket.run_bracket(configs, objective, &mut state)?;
-            // Fold the bracket's evaluations into the fidelity-indexed pool.
-            for record in &state.outcome.records()[before..] {
-                observations_by_fidelity
-                    .entry(record.resource)
-                    .or_default()
-                    .push((record.config.clone(), record.score));
-            }
-        }
-        Ok(state.outcome)
+        run_scheduler(&mut self.scheduler()?, space, objective, rng)
+    }
+}
+
+impl IntoScheduler for Bohb {
+    type Scheduler = BracketScheduler;
+
+    fn scheduler(&self) -> Result<BracketScheduler> {
+        self.hyperband.validate()?;
+        Ok(BracketScheduler::new(
+            "bohb",
+            self.hyperband.eta(),
+            self.hyperband.max_resource(),
+            self.hyperband.bracket_ladder(),
+            Proposer::Tpe {
+                sampler: TpeSampler::new(self.tpe_config)?,
+                min_observations: self.min_observations,
+                observations: BTreeMap::new(),
+            },
+        ))
     }
 }
 
@@ -119,6 +92,7 @@ impl Tuner for Bohb {
 mod tests {
     use super::*;
     use crate::objective::FunctionObjective;
+    use crate::space::HpConfig;
     use fedmath::rng::rng_for;
 
     fn space_1d() -> SearchSpace {
@@ -196,17 +170,19 @@ mod tests {
     }
 
     #[test]
-    fn propose_configs_falls_back_to_random_without_observations() {
+    fn scheduler_proposes_valid_configs_without_observations() {
+        use crate::scheduler::{IntoScheduler, Scheduler};
         let space = space_1d();
         let bohb = Bohb::new(9, 3, Some(2));
-        let sampler = TpeSampler::new(TpeConfig::default()).unwrap();
+        let mut scheduler = bohb.scheduler().unwrap();
         let mut rng = rng_for(3, 0);
-        let configs = bohb
-            .propose_configs(&space, &sampler, &BTreeMap::new(), 5, &mut rng)
-            .unwrap();
-        assert_eq!(configs.len(), 5);
-        for c in configs {
-            assert!(space.validate_config(&c).is_ok());
+        // Without observations the first bracket falls back to uniform
+        // sampling and must still produce valid configurations.
+        let batch = scheduler.suggest(&space, &mut rng).unwrap();
+        assert!(!batch.is_empty());
+        for request in &batch {
+            assert!(space.validate_config(&request.config).is_ok());
         }
+        assert!(Bohb::new(9, 1, Some(2)).scheduler().is_err());
     }
 }

@@ -113,6 +113,7 @@ impl Tuner for GridSearch {
                 resource: self.rounds_per_config,
                 score,
                 cumulative_resource: cumulative,
+                noise_rep: 0,
             });
         }
         Ok(outcome)

@@ -8,17 +8,234 @@
 //! rounds per configuration.
 
 use crate::objective::Objective;
+use crate::scheduler::{run_scheduler, IntoScheduler, Scheduler, TrialRequest, TrialResult};
 use crate::space::{HpConfig, SearchSpace};
-use crate::tuner::{EvaluationRecord, Tuner, TuningOutcome};
+use crate::tpe::TpeSampler;
+use crate::tuner::{Tuner, TuningOutcome};
 use crate::{HpoError, Result};
 use rand::rngs::StdRng;
+use std::collections::BTreeMap;
 
-/// State shared by bracket execution: the running history and budget counter.
-#[derive(Debug, Default)]
-pub(crate) struct BracketState {
-    pub(crate) outcome: TuningOutcome,
-    pub(crate) cumulative: usize,
-    pub(crate) next_trial_id: usize,
+/// How a [`BracketScheduler`] draws the configurations entering a bracket.
+#[derive(Debug, Clone)]
+pub(crate) enum Proposer {
+    /// Uniform random sampling (Successive Halving, Hyperband).
+    Uniform,
+    /// TPE-model proposals fitted on the highest fidelity with enough
+    /// observations (BOHB).
+    Tpe {
+        /// The shared TPE proposal engine.
+        sampler: TpeSampler,
+        /// Observations needed at a fidelity before its model is trusted.
+        min_observations: usize,
+        /// All reported `(config, score)` pairs, keyed by fidelity.
+        observations: BTreeMap<usize, Vec<(HpConfig, f64)>>,
+    },
+}
+
+impl Proposer {
+    fn propose(
+        &self,
+        space: &SearchSpace,
+        count: usize,
+        rng: &mut StdRng,
+    ) -> Result<Vec<HpConfig>> {
+        match self {
+            Proposer::Uniform => space.sample_many(count, rng),
+            Proposer::Tpe {
+                sampler,
+                min_observations,
+                observations,
+            } => {
+                // Highest fidelity with enough observations, if any.
+                let model_obs = observations
+                    .iter()
+                    .rev()
+                    .find(|(_, obs)| obs.len() >= *min_observations)
+                    .map(|(_, obs)| obs.as_slice());
+                let mut configs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let config = match model_obs {
+                        Some(obs) => sampler.propose(space, obs, rng)?,
+                        None => space.sample(rng)?,
+                    };
+                    configs.push(config);
+                }
+                Ok(configs)
+            }
+        }
+    }
+
+    fn observe(&mut self, result: &TrialResult) {
+        if let Proposer::Tpe { observations, .. } = self {
+            observations
+                .entry(result.resource)
+                .or_default()
+                .push((result.config.clone(), result.score));
+        }
+    }
+}
+
+/// Ask/tell state machine executing a sequence of Successive Halving
+/// brackets: every *rung* (all active configurations at one fidelity) is
+/// suggested as a single batch, so a parallel batch driver trains an entire
+/// rung concurrently. Survivor selection is deterministic — scores are
+/// ordered with `f64::total_cmp` and ties (and equal scores) resolve to the
+/// earlier trial id, so non-finite scores are eliminated first.
+///
+/// Shared by [`SuccessiveHalving`] (one bracket), [`Hyperband`] (the bracket
+/// ladder), and [`crate::Bohb`] (the ladder with TPE proposals).
+#[derive(Debug, Clone)]
+pub struct BracketScheduler {
+    name: &'static str,
+    eta: usize,
+    max_resource: usize,
+    /// `(num_configs, min_resource)` per bracket, in execution order.
+    brackets: Vec<(usize, usize)>,
+    bracket_idx: usize,
+    started: bool,
+    /// Active configurations of the current bracket: `(trial_id, config)`.
+    active: Vec<(usize, HpConfig)>,
+    /// Fidelity of the current rung.
+    resource: usize,
+    /// Scores of the current rung, by `active` position.
+    scores: Vec<Option<f64>>,
+    awaiting: usize,
+    next_trial_id: usize,
+    proposer: Proposer,
+}
+
+impl BracketScheduler {
+    pub(crate) fn new(
+        name: &'static str,
+        eta: usize,
+        max_resource: usize,
+        brackets: Vec<(usize, usize)>,
+        proposer: Proposer,
+    ) -> Self {
+        BracketScheduler {
+            name,
+            eta,
+            max_resource,
+            brackets,
+            bracket_idx: 0,
+            started: false,
+            active: Vec::new(),
+            resource: 0,
+            scores: Vec::new(),
+            awaiting: 0,
+            next_trial_id: 0,
+            proposer,
+        }
+    }
+
+    /// Completes the current rung: eliminate, promote, or close the bracket.
+    fn advance_rung(&mut self) {
+        if self.active.len() < self.eta || self.resource >= self.max_resource {
+            self.bracket_idx += 1;
+            self.started = false;
+            self.active.clear();
+            self.scores.clear();
+            return;
+        }
+        // Keep the best ⌊n/η⌋ configurations (at least one).
+        let keep = (self.active.len() / self.eta).max(1);
+        let mut order: Vec<usize> = (0..self.active.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (sa, sb) = (
+                self.scores[a].unwrap_or(f64::NAN),
+                self.scores[b].unwrap_or(f64::NAN),
+            );
+            sa.total_cmp(&sb)
+        });
+        let survivors: std::collections::HashSet<usize> = order.into_iter().take(keep).collect();
+        self.active = self
+            .active
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| survivors.contains(i))
+            .map(|(_, x)| x.clone())
+            .collect();
+        self.resource = (self.resource * self.eta).min(self.max_resource);
+    }
+}
+
+impl Scheduler for BracketScheduler {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn suggest(&mut self, space: &SearchSpace, rng: &mut StdRng) -> Result<Vec<TrialRequest>> {
+        if self.is_finished() {
+            return Ok(Vec::new());
+        }
+        if self.awaiting > 0 {
+            return Err(HpoError::InvalidConfig {
+                message: format!(
+                    "{} scheduler asked for a batch with {} rung results outstanding",
+                    self.name, self.awaiting
+                ),
+            });
+        }
+        if !self.started {
+            let (n, min_resource) = self.brackets[self.bracket_idx];
+            let configs = self.proposer.propose(space, n, rng)?;
+            self.active = configs
+                .into_iter()
+                .map(|config| {
+                    let id = self.next_trial_id;
+                    self.next_trial_id += 1;
+                    (id, config)
+                })
+                .collect();
+            self.resource = min_resource.min(self.max_resource);
+            self.started = true;
+        }
+        self.scores = vec![None; self.active.len()];
+        self.awaiting = self.active.len();
+        Ok(self
+            .active
+            .iter()
+            .map(|(trial_id, config)| TrialRequest {
+                trial_id: *trial_id,
+                config: config.clone(),
+                resource: self.resource,
+                noise_rep: 0,
+            })
+            .collect())
+    }
+
+    fn report(&mut self, result: &TrialResult) -> Result<()> {
+        let position = self
+            .active
+            .iter()
+            .position(|(id, _)| *id == result.trial_id)
+            .ok_or_else(|| HpoError::InvalidConfig {
+                message: format!(
+                    "{} scheduler received a result for unknown trial {}",
+                    self.name, result.trial_id
+                ),
+            })?;
+        if self.scores[position].is_some() {
+            return Err(HpoError::InvalidConfig {
+                message: format!(
+                    "{} scheduler received a duplicate result for trial {}",
+                    self.name, result.trial_id
+                ),
+            });
+        }
+        self.proposer.observe(result);
+        self.scores[position] = Some(result.score);
+        self.awaiting -= 1;
+        if self.awaiting == 0 {
+            self.advance_rung();
+        }
+        Ok(())
+    }
+
+    fn is_finished(&self) -> bool {
+        self.bracket_idx >= self.brackets.len() && self.awaiting == 0
+    }
 }
 
 /// One Successive Halving bracket.
@@ -82,67 +299,6 @@ impl SuccessiveHalving {
         }
         Ok(())
     }
-
-    /// Runs one bracket over the given configurations, resuming each
-    /// configuration's training as its resource grows and recording every
-    /// evaluation into `state`.
-    pub(crate) fn run_bracket(
-        &self,
-        configs: Vec<HpConfig>,
-        objective: &mut dyn Objective,
-        state: &mut BracketState,
-    ) -> Result<()> {
-        self.validate()?;
-        // Assign stable trial ids.
-        let mut active: Vec<(usize, HpConfig, usize)> = configs
-            .into_iter()
-            .map(|c| {
-                let id = state.next_trial_id;
-                state.next_trial_id += 1;
-                (id, c, 0usize) // (trial_id, config, resource consumed so far)
-            })
-            .collect();
-
-        let mut resource = self.min_resource.min(self.max_resource);
-        loop {
-            // Evaluate every active configuration at the current rung.
-            let mut scores = Vec::with_capacity(active.len());
-            for (trial_id, config, consumed) in &mut active {
-                let score = objective.evaluate(*trial_id, config, resource)?;
-                state.cumulative += resource.saturating_sub(*consumed);
-                *consumed = resource;
-                state.outcome.push(EvaluationRecord {
-                    trial_id: *trial_id,
-                    config: config.clone(),
-                    resource,
-                    score,
-                    cumulative_resource: state.cumulative,
-                });
-                scores.push(score);
-            }
-            if active.len() < self.eta || resource >= self.max_resource {
-                break;
-            }
-            // Keep the best ⌊n/η⌋ configurations (at least one).
-            let keep = (active.len() / self.eta).max(1);
-            let mut order: Vec<usize> = (0..active.len()).collect();
-            order.sort_by(|&a, &b| {
-                scores[a]
-                    .partial_cmp(&scores[b])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
-            let survivors: std::collections::HashSet<usize> =
-                order.into_iter().take(keep).collect();
-            active = active
-                .into_iter()
-                .enumerate()
-                .filter(|(i, _)| survivors.contains(i))
-                .map(|(_, x)| x)
-                .collect();
-            resource = (resource * self.eta).min(self.max_resource);
-        }
-        Ok(())
-    }
 }
 
 impl Tuner for SuccessiveHalving {
@@ -156,11 +312,22 @@ impl Tuner for SuccessiveHalving {
         objective: &mut dyn Objective,
         rng: &mut StdRng,
     ) -> Result<TuningOutcome> {
+        run_scheduler(&mut self.scheduler()?, space, objective, rng)
+    }
+}
+
+impl IntoScheduler for SuccessiveHalving {
+    type Scheduler = BracketScheduler;
+
+    fn scheduler(&self) -> Result<BracketScheduler> {
         self.validate()?;
-        let configs = space.sample_many(self.num_configs, rng)?;
-        let mut state = BracketState::default();
-        self.run_bracket(configs, objective, &mut state)?;
-        Ok(state.outcome)
+        Ok(BracketScheduler::new(
+            "sha",
+            self.eta,
+            self.max_resource,
+            vec![(self.num_configs, self.min_resource)],
+            Proposer::Uniform,
+        ))
     }
 }
 
@@ -210,7 +377,7 @@ impl Hyperband {
         self.num_brackets
     }
 
-    fn validate(&self) -> Result<()> {
+    pub(crate) fn validate(&self) -> Result<()> {
         if self.max_resource == 0 {
             return Err(HpoError::InvalidConfig {
                 message: "max_resource must be positive".into(),
@@ -248,15 +415,32 @@ impl Tuner for Hyperband {
         objective: &mut dyn Objective,
         rng: &mut StdRng,
     ) -> Result<TuningOutcome> {
+        run_scheduler(&mut self.scheduler()?, space, objective, rng)
+    }
+}
+
+impl Hyperband {
+    /// The bracket ladder in execution order (most exploratory first).
+    pub(crate) fn bracket_ladder(&self) -> Vec<(usize, usize)> {
+        (0..self.num_brackets)
+            .rev()
+            .map(|s| self.bracket_plan(s))
+            .collect()
+    }
+}
+
+impl IntoScheduler for Hyperband {
+    type Scheduler = BracketScheduler;
+
+    fn scheduler(&self) -> Result<BracketScheduler> {
         self.validate()?;
-        let mut state = BracketState::default();
-        for s in (0..self.num_brackets).rev() {
-            let (n, r) = self.bracket_plan(s);
-            let configs = space.sample_many(n, rng)?;
-            let bracket = SuccessiveHalving::new(n, self.eta, r, self.max_resource);
-            bracket.run_bracket(configs, objective, &mut state)?;
-        }
-        Ok(state.outcome)
+        Ok(BracketScheduler::new(
+            "hb",
+            self.eta,
+            self.max_resource,
+            self.bracket_ladder(),
+            Proposer::Uniform,
+        ))
     }
 }
 
@@ -412,6 +596,64 @@ mod tests {
         assert!(Hyperband::new(9, 1, Some(2))
             .tune(&space_1d(), &mut obj, &mut rng)
             .is_err());
+    }
+
+    #[test]
+    fn scheduler_suggests_whole_rungs_as_batches() {
+        use crate::scheduler::{IntoScheduler, Scheduler, TrialResult};
+        let space = space_1d();
+        let sha = SuccessiveHalving::new(9, 3, 1, 9);
+        let mut scheduler = sha.scheduler().unwrap();
+        let mut rng = rng_for(6, 0);
+        // Rung 0: 9 configurations at resource 1, one batch.
+        let rung0 = scheduler.suggest(&space, &mut rng).unwrap();
+        assert_eq!(rung0.len(), 9);
+        assert!(rung0.iter().all(|r| r.resource == 1));
+        // Suggesting again with results outstanding is a contract violation.
+        assert!(scheduler.suggest(&space, &mut rng).is_err());
+        // Report in an arbitrary (here: reversed) order; promotions only
+        // depend on the scores, not the arrival order.
+        for request in rung0.iter().rev() {
+            let score = request.trial_id as f64; // trials 0,1,2 are best
+            scheduler.report(&TrialResult::of(request, score)).unwrap();
+        }
+        let rung1 = scheduler.suggest(&space, &mut rng).unwrap();
+        assert_eq!(rung1.len(), 3);
+        assert!(rung1.iter().all(|r| r.resource == 3));
+        let promoted: Vec<usize> = rung1.iter().map(|r| r.trial_id).collect();
+        assert_eq!(promoted, vec![0, 1, 2]);
+        // Duplicate and unknown results are rejected.
+        scheduler.report(&TrialResult::of(&rung1[0], 0.0)).unwrap();
+        assert!(scheduler.report(&TrialResult::of(&rung1[0], 0.0)).is_err());
+        let mut bogus = rung1[1].clone();
+        bogus.trial_id = 999;
+        assert!(scheduler.report(&TrialResult::of(&bogus, 0.0)).is_err());
+        scheduler.report(&TrialResult::of(&rung1[1], 1.0)).unwrap();
+        scheduler.report(&TrialResult::of(&rung1[2], 2.0)).unwrap();
+        // Rung 2: the single survivor at max resource, then finished.
+        let rung2 = scheduler.suggest(&space, &mut rng).unwrap();
+        assert_eq!(rung2.len(), 1);
+        assert_eq!(rung2[0].resource, 9);
+        scheduler.report(&TrialResult::of(&rung2[0], 0.5)).unwrap();
+        assert!(scheduler.is_finished());
+        assert!(scheduler.suggest(&space, &mut rng).unwrap().is_empty());
+    }
+
+    #[test]
+    fn nan_scores_are_eliminated_first() {
+        use crate::scheduler::{IntoScheduler, Scheduler, TrialResult};
+        let space = space_1d();
+        let mut scheduler = SuccessiveHalving::new(3, 3, 1, 9).scheduler().unwrap();
+        let mut rng = rng_for(7, 0);
+        let rung0 = scheduler.suggest(&space, &mut rng).unwrap();
+        scheduler
+            .report(&TrialResult::of(&rung0[0], f64::NAN))
+            .unwrap();
+        scheduler.report(&TrialResult::of(&rung0[1], 0.9)).unwrap();
+        scheduler.report(&TrialResult::of(&rung0[2], 0.1)).unwrap();
+        let rung1 = scheduler.suggest(&space, &mut rng).unwrap();
+        assert_eq!(rung1.len(), 1);
+        assert_eq!(rung1[0].trial_id, rung0[2].trial_id);
     }
 
     #[test]

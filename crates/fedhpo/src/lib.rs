@@ -15,6 +15,18 @@
 //!   (Li et al. 2017).
 //! - [`Bohb`] — the hybrid that replaces Hyperband's random sampling with the
 //!   TPE acquisition function (Falkner et al. 2018).
+//! - [`Asha`] — asynchronous successive halving (Li et al. 2020): per-rung
+//!   promotions computed from whatever results have arrived.
+//! - [`ReEvaluation`] — the paper's §5 mitigation as a wrapper policy:
+//!   top-k survivors are re-evaluated with fresh noise draws before
+//!   selection.
+//!
+//! Every method is implemented as a batched ask/tell [`Scheduler`]
+//! (`suggest` a batch of [`TrialRequest`]s, `report` each [`TrialResult`]);
+//! the classic pull-style [`Tuner`] interface remains as a thin wrapper over
+//! the sequential reference driver [`run_scheduler`]. A parallel batch
+//! driver that fans suggestions out across threads lives in
+//! `fedtune_core::scheduler`.
 //!
 //! The crate is deliberately **noise-agnostic**: tuners minimise whatever an
 //! [`Objective`] reports, and the experiment harness in `fedtune-core`
@@ -44,26 +56,34 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod asha;
 pub mod bohb;
 pub mod bootstrap;
 pub mod grid_search;
 pub mod hyperband;
 pub mod objective;
 pub mod random_search;
+pub mod reeval;
 pub mod repeated;
+pub mod scheduler;
 pub mod space;
 pub mod tpe;
 pub mod tuner;
 
+pub use asha::{Asha, AshaScheduler};
 pub use bohb::Bohb;
 pub use bootstrap::{bootstrap_selection, BootstrapOutcome};
 pub use grid_search::GridSearch;
-pub use hyperband::{Hyperband, SuccessiveHalving};
+pub use hyperband::{BracketScheduler, Hyperband, SuccessiveHalving};
 pub use objective::{FunctionObjective, Objective};
-pub use random_search::RandomSearch;
+pub use random_search::{RandomSearch, RandomSearchScheduler};
+pub use reeval::{ReEvalScheduler, ReEvaluation};
 pub use repeated::RepeatedRandomSearch;
+pub use scheduler::{
+    run_scheduler, BudgetLedger, IntoScheduler, Scheduler, TrialRequest, TrialResult,
+};
 pub use space::{Dimension, HpConfig, SearchSpace};
-pub use tpe::{Tpe, TpeConfig};
+pub use tpe::{Tpe, TpeConfig, TpeScheduler};
 pub use tuner::{EvaluationRecord, Tuner, TuningOutcome};
 
 use std::fmt;

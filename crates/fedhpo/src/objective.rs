@@ -21,6 +21,30 @@ pub trait Objective {
     ///
     /// Returns [`crate::HpoError::Objective`] if the evaluation fails.
     fn evaluate(&mut self, trial_id: usize, config: &HpConfig, resource: usize) -> Result<f64>;
+
+    /// Evaluates with an explicit noise replicate index (`0` = the ordinary
+    /// evaluation; `>= 1` = a fresh-noise re-evaluation at the same
+    /// fidelity, as issued by the re-evaluation mitigation).
+    ///
+    /// The default forwards to [`evaluate`](Self::evaluate), which is correct
+    /// for objectives whose noise is *stateful* (every call draws fresh).
+    /// Objectives that derive their noise positionally must override this so
+    /// distinct replicates yield independent draws — otherwise re-evaluation
+    /// would silently average `reps` copies of the same draw.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::HpoError::Objective`] if the evaluation fails.
+    fn evaluate_rep(
+        &mut self,
+        trial_id: usize,
+        config: &HpConfig,
+        resource: usize,
+        noise_rep: u64,
+    ) -> Result<f64> {
+        let _ = noise_rep;
+        self.evaluate(trial_id, config, resource)
+    }
 }
 
 /// Wraps a plain function or closure as an [`Objective`], for tests and for

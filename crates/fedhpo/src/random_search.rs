@@ -1,8 +1,9 @@
 //! Random search (Algorithm 1/2 of the paper).
 
 use crate::objective::Objective;
+use crate::scheduler::{run_scheduler, IntoScheduler, Scheduler, TrialRequest, TrialResult};
 use crate::space::SearchSpace;
-use crate::tuner::{EvaluationRecord, Tuner, TuningOutcome};
+use crate::tuner::{Tuner, TuningOutcome};
 use crate::{HpoError, Result};
 use rand::rngs::StdRng;
 
@@ -64,22 +65,62 @@ impl Tuner for RandomSearch {
         objective: &mut dyn Objective,
         rng: &mut StdRng,
     ) -> Result<TuningOutcome> {
+        run_scheduler(&mut self.scheduler()?, space, objective, rng)
+    }
+}
+
+impl IntoScheduler for RandomSearch {
+    type Scheduler = RandomSearchScheduler;
+
+    fn scheduler(&self) -> Result<RandomSearchScheduler> {
         self.validate()?;
-        let mut outcome = TuningOutcome::default();
-        let mut cumulative = 0usize;
-        for trial_id in 0..self.num_configs {
-            let config = space.sample(rng)?;
-            let score = objective.evaluate(trial_id, &config, self.rounds_per_config)?;
-            cumulative += self.rounds_per_config;
-            outcome.push(EvaluationRecord {
-                trial_id,
-                config,
-                resource: self.rounds_per_config,
-                score,
-                cumulative_resource: cumulative,
-            });
+        Ok(RandomSearchScheduler {
+            params: *self,
+            suggested: false,
+            reported: 0,
+        })
+    }
+}
+
+/// Ask/tell state of a random-search campaign. All configurations are
+/// independent, so the entire schedule is a *single batch* — under a parallel
+/// batch driver every trial trains concurrently.
+#[derive(Debug, Clone)]
+pub struct RandomSearchScheduler {
+    params: RandomSearch,
+    suggested: bool,
+    reported: usize,
+}
+
+impl Scheduler for RandomSearchScheduler {
+    fn name(&self) -> &'static str {
+        "rs"
+    }
+
+    fn suggest(&mut self, space: &SearchSpace, rng: &mut StdRng) -> Result<Vec<TrialRequest>> {
+        if self.suggested {
+            return Ok(Vec::new());
         }
-        Ok(outcome)
+        self.suggested = true;
+        (0..self.params.num_configs)
+            .map(|trial_id| {
+                Ok(TrialRequest {
+                    trial_id,
+                    config: space.sample(rng)?,
+                    resource: self.params.rounds_per_config,
+                    noise_rep: 0,
+                })
+            })
+            .collect()
+    }
+
+    fn report(&mut self, _result: &TrialResult) -> Result<()> {
+        self.reported += 1;
+        Ok(())
+    }
+
+    fn is_finished(&self) -> bool {
+        self.suggested && self.reported >= self.params.num_configs
     }
 }
 
@@ -147,6 +188,30 @@ mod tests {
             assert_eq!(record.resource, 5);
             assert_eq!(record.cumulative_resource, (i + 1) * 5);
         }
+    }
+
+    #[test]
+    fn scheduler_suggests_one_full_batch() {
+        use crate::scheduler::{IntoScheduler, Scheduler, TrialResult};
+        let space = quadratic_space();
+        let mut scheduler = RandomSearch::new(6, 3).scheduler().unwrap();
+        let mut rng = rng_for(4, 0);
+        assert!(!scheduler.is_finished());
+        let batch = scheduler.suggest(&space, &mut rng).unwrap();
+        assert_eq!(batch.len(), 6);
+        for (i, request) in batch.iter().enumerate() {
+            assert_eq!(request.trial_id, i);
+            assert_eq!(request.resource, 3);
+            assert_eq!(request.noise_rep, 0);
+        }
+        // Nothing more to suggest; finishes once everything is reported.
+        assert!(scheduler.suggest(&space, &mut rng).unwrap().is_empty());
+        for request in &batch {
+            assert!(!scheduler.is_finished());
+            scheduler.report(&TrialResult::of(request, 1.0)).unwrap();
+        }
+        assert!(scheduler.is_finished());
+        assert!(RandomSearch::new(0, 1).scheduler().is_err());
     }
 
     #[test]

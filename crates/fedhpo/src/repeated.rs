@@ -87,6 +87,7 @@ impl Tuner for RepeatedRandomSearch {
                 resource: self.rounds_per_config,
                 score: mean_score,
                 cumulative_resource: cumulative,
+                noise_rep: 0,
             });
         }
         Ok(outcome)

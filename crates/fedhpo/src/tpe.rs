@@ -12,8 +12,9 @@
 //! model evaluation noise, which is exactly the behaviour the paper studies.
 
 use crate::objective::Objective;
+use crate::scheduler::{run_scheduler, IntoScheduler, Scheduler, TrialRequest, TrialResult};
 use crate::space::{Dimension, HpConfig, SearchSpace};
-use crate::tuner::{EvaluationRecord, Tuner, TuningOutcome};
+use crate::tuner::{Tuner, TuningOutcome};
 use crate::{HpoError, Result};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -298,25 +299,99 @@ impl Tuner for Tpe {
         objective: &mut dyn Objective,
         rng: &mut StdRng,
     ) -> Result<TuningOutcome> {
+        run_scheduler(&mut self.scheduler()?, space, objective, rng)
+    }
+}
+
+impl IntoScheduler for Tpe {
+    type Scheduler = TpeScheduler;
+
+    fn scheduler(&self) -> Result<TpeScheduler> {
         self.validate()?;
-        let sampler = TpeSampler::new(self.sampler_config)?;
-        let mut outcome = TuningOutcome::default();
-        let mut observations: Vec<(HpConfig, f64)> = Vec::new();
-        let mut cumulative = 0usize;
-        for trial_id in 0..self.num_configs {
-            let config = sampler.propose(space, &observations, rng)?;
-            let score = objective.evaluate(trial_id, &config, self.rounds_per_config)?;
-            cumulative += self.rounds_per_config;
-            observations.push((config.clone(), score));
-            outcome.push(EvaluationRecord {
-                trial_id,
-                config,
-                resource: self.rounds_per_config,
-                score,
-                cumulative_resource: cumulative,
+        Ok(TpeScheduler {
+            num_configs: self.num_configs,
+            rounds_per_config: self.rounds_per_config,
+            sampler: TpeSampler::new(self.sampler_config)?,
+            observations: Vec::new(),
+            suggested: 0,
+        })
+    }
+}
+
+/// Ask/tell state of a TPE campaign. The startup proposals are independent
+/// uniform samples, so they form one parallel batch; once the density model
+/// takes over, every proposal depends on all previous scores and the
+/// schedule degrades to batches of one — exactly the sequential structure of
+/// the original method.
+#[derive(Debug, Clone)]
+pub struct TpeScheduler {
+    num_configs: usize,
+    rounds_per_config: usize,
+    sampler: TpeSampler,
+    observations: Vec<(HpConfig, f64)>,
+    suggested: usize,
+}
+
+impl TpeScheduler {
+    /// Number of leading proposals that fall back to uniform sampling (and
+    /// can therefore be suggested as one batch).
+    fn startup(&self) -> usize {
+        self.sampler
+            .config()
+            .num_startup
+            .max(2)
+            .min(self.num_configs)
+    }
+
+    fn request_for(
+        &self,
+        trial_id: usize,
+        space: &SearchSpace,
+        rng: &mut StdRng,
+    ) -> Result<TrialRequest> {
+        Ok(TrialRequest {
+            trial_id,
+            config: self.sampler.propose(space, &self.observations, rng)?,
+            resource: self.rounds_per_config,
+            noise_rep: 0,
+        })
+    }
+}
+
+impl Scheduler for TpeScheduler {
+    fn name(&self) -> &'static str {
+        "tpe"
+    }
+
+    fn suggest(&mut self, space: &SearchSpace, rng: &mut StdRng) -> Result<Vec<TrialRequest>> {
+        if self.suggested >= self.num_configs {
+            return Ok(Vec::new());
+        }
+        if self.observations.len() < self.suggested {
+            return Err(HpoError::InvalidConfig {
+                message: "tpe scheduler asked for a batch with results outstanding".into(),
             });
         }
-        Ok(outcome)
+        let batch_end = if self.suggested == 0 {
+            self.startup()
+        } else {
+            self.suggested + 1
+        };
+        let batch: Result<Vec<TrialRequest>> = (self.suggested..batch_end)
+            .map(|trial_id| self.request_for(trial_id, space, rng))
+            .collect();
+        self.suggested = batch_end;
+        batch
+    }
+
+    fn report(&mut self, result: &TrialResult) -> Result<()> {
+        self.observations
+            .push((result.config.clone(), result.score));
+        Ok(())
+    }
+
+    fn is_finished(&self) -> bool {
+        self.suggested >= self.num_configs && self.observations.len() >= self.num_configs
     }
 }
 
@@ -451,6 +526,31 @@ mod tests {
             tpe_wins >= 6,
             "TPE should usually beat RS on a smooth function, won {tpe_wins}/{trials}"
         );
+    }
+
+    #[test]
+    fn scheduler_batches_startup_then_goes_sequential() {
+        use crate::scheduler::{IntoScheduler, Scheduler, TrialResult};
+        let space = space_2d();
+        let mut scheduler = Tpe::new(8, 2).scheduler().unwrap();
+        let mut rng = rng_for(5, 0);
+        // Default num_startup = 4: the first batch holds all uniform startup
+        // proposals, every later batch exactly one model-guided proposal.
+        let startup = scheduler.suggest(&space, &mut rng).unwrap();
+        assert_eq!(startup.len(), 4);
+        for request in &startup {
+            scheduler.report(&TrialResult::of(request, 1.0)).unwrap();
+        }
+        let mut next_id = 4;
+        while !scheduler.is_finished() {
+            let batch = scheduler.suggest(&space, &mut rng).unwrap();
+            assert_eq!(batch.len(), 1);
+            assert_eq!(batch[0].trial_id, next_id);
+            next_id += 1;
+            scheduler.report(&TrialResult::of(&batch[0], 1.0)).unwrap();
+        }
+        assert_eq!(next_id, 8);
+        assert!(scheduler.suggest(&space, &mut rng).unwrap().is_empty());
     }
 
     #[test]

@@ -23,6 +23,10 @@ pub struct EvaluationRecord {
     /// Total resource spent by the tuner across all configurations up to and
     /// including this evaluation — the x-axis of the paper's online plots.
     pub cumulative_resource: usize,
+    /// Noise replicate index: `0` for the schedule's ordinary evaluations,
+    /// `>= 1` for fresh-noise re-evaluations issued by the noise-aware
+    /// re-evaluation policy (see [`crate::ReEvaluation`]).
+    pub noise_rep: u64,
 }
 
 /// The full history of a tuning run.
@@ -53,32 +57,31 @@ impl TuningOutcome {
     }
 
     /// The record with the lowest score over the entire run, i.e. the
-    /// configuration the tuner would select.
+    /// configuration the tuner would select. Records with non-finite scores
+    /// (NaN, ±∞ — e.g. from a diverged training run) are never selected.
     pub fn best(&self) -> Option<&EvaluationRecord> {
-        self.records.iter().min_by(|a, b| {
-            a.score
-                .partial_cmp(&b.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-        })
+        self.records
+            .iter()
+            .filter(|r| r.score.is_finite())
+            .min_by(|a, b| a.score.total_cmp(&b.score))
     }
 
-    /// The best record among evaluations completed within the given resource
-    /// budget — used to draw "performance vs. budget" curves (Fig. 5, 8, 12).
+    /// The best finite-score record among evaluations completed within the
+    /// given resource budget — used to draw "performance vs. budget" curves
+    /// (Fig. 5, 8, 12).
     pub fn best_within_budget(&self, budget: usize) -> Option<&EvaluationRecord> {
         self.records
             .iter()
-            .filter(|r| r.cumulative_resource <= budget)
-            .min_by(|a, b| {
-                a.score
-                    .partial_cmp(&b.score)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .filter(|r| r.cumulative_resource <= budget && r.score.is_finite())
+            .min_by(|a, b| a.score.total_cmp(&b.score))
     }
 
     /// The best record restricted to evaluations at the highest fidelity seen
     /// so far within the budget. Early-stopping methods evaluate many
     /// configurations at low fidelity; selecting only among the highest
-    /// fidelity mirrors how Hyperband reports its incumbent.
+    /// fidelity mirrors how Hyperband reports its incumbent. Non-finite
+    /// scores are skipped for selection (but still count towards the maximum
+    /// fidelity seen).
     pub fn best_at_max_fidelity_within_budget(&self, budget: usize) -> Option<&EvaluationRecord> {
         let within: Vec<&EvaluationRecord> = self
             .records
@@ -88,12 +91,46 @@ impl TuningOutcome {
         let max_fidelity = within.iter().map(|r| r.resource).max()?;
         within
             .into_iter()
-            .filter(|r| r.resource == max_fidelity)
-            .min_by(|a, b| {
-                a.score
-                    .partial_cmp(&b.score)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            })
+            .filter(|r| r.resource == max_fidelity && r.score.is_finite())
+            .min_by(|a, b| a.score.total_cmp(&b.score))
+    }
+
+    /// Noise-aware selection within the budget: if the run contains
+    /// fresh-noise re-evaluations (`noise_rep >= 1`, issued by the
+    /// re-evaluation mitigation), the winner is the re-evaluated
+    /// configuration with the lowest *mean* re-evaluation score — averaging
+    /// fresh draws cancels evaluation noise instead of rewarding it the way a
+    /// plain minimum does. Without re-evaluations this falls back to
+    /// [`best_within_budget`](Self::best_within_budget). The returned record
+    /// is the winner's last re-evaluation within the budget.
+    pub fn selected_within_budget(&self, budget: usize) -> Option<&EvaluationRecord> {
+        // (trial_id, score sum, count) per re-evaluated trial, insertion order.
+        let mut means: Vec<(usize, f64, usize)> = Vec::new();
+        for r in self
+            .records
+            .iter()
+            .filter(|r| r.cumulative_resource <= budget && r.noise_rep >= 1 && r.score.is_finite())
+        {
+            match means.iter_mut().find(|(id, _, _)| *id == r.trial_id) {
+                Some((_, sum, count)) => {
+                    *sum += r.score;
+                    *count += 1;
+                }
+                None => means.push((r.trial_id, r.score, 1)),
+            }
+        }
+        let winner = match means
+            .iter()
+            .map(|&(id, sum, count)| (id, sum / count as f64))
+            .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+        {
+            Some((id, _)) => id,
+            None => return self.best_within_budget(budget),
+        };
+        self.records
+            .iter()
+            .rev()
+            .find(|r| r.trial_id == winner && r.noise_rep >= 1 && r.cumulative_resource <= budget)
     }
 
     /// Appends a record (used by tuner implementations).
@@ -132,6 +169,14 @@ mod tests {
             resource,
             score,
             cumulative_resource: cumulative,
+            noise_rep: 0,
+        }
+    }
+
+    fn reeval(trial: usize, resource: usize, score: f64, cumulative: usize) -> EvaluationRecord {
+        EvaluationRecord {
+            noise_rep: 1,
+            ..record(trial, resource, score, cumulative)
         }
     }
 
@@ -194,5 +239,60 @@ mod tests {
         let mut outcome = TuningOutcome::default();
         outcome.push(record(0, 1, 1.0, 1));
         assert_eq!(outcome.num_evaluations(), 1);
+    }
+
+    #[test]
+    fn nan_scores_never_win_selection() {
+        // Regression: `partial_cmp(..).unwrap_or(Equal)` used to let a NaN
+        // score (a diverged training run) win `min_by` and poison selection.
+        let outcome = TuningOutcome::from_records(vec![
+            record(0, 10, f64::NAN, 10),
+            record(1, 10, 0.5, 20),
+            record(2, 10, f64::NEG_INFINITY, 30),
+            record(3, 10, 0.3, 40),
+        ]);
+        assert_eq!(outcome.best().unwrap().trial_id, 3);
+        assert_eq!(outcome.best_within_budget(20).unwrap().trial_id, 1);
+        assert_eq!(
+            outcome
+                .best_at_max_fidelity_within_budget(40)
+                .unwrap()
+                .trial_id,
+            3
+        );
+        // An all-NaN history selects nothing rather than garbage.
+        let poisoned = TuningOutcome::from_records(vec![record(0, 5, f64::NAN, 5)]);
+        assert!(poisoned.best().is_none());
+        assert!(poisoned.best_within_budget(10).is_none());
+        assert!(poisoned.best_at_max_fidelity_within_budget(10).is_none());
+    }
+
+    #[test]
+    fn reevaluated_selection_averages_fresh_draws() {
+        // Trial 1 got a lucky noisy minimum at rep 0, but its fresh-noise
+        // re-evaluations average worse than trial 2's.
+        let mut records = vec![
+            record(1, 10, 0.10, 10),
+            record(2, 10, 0.35, 20),
+            reeval(1, 10, 0.50, 20),
+            reeval(1, 10, 0.60, 20),
+            reeval(2, 10, 0.30, 20),
+        ];
+        records.push(EvaluationRecord {
+            noise_rep: 2,
+            ..record(2, 10, 0.40, 20)
+        });
+        let outcome = TuningOutcome::from_records(records);
+        // Plain min-selection is fooled by the lucky draw ...
+        assert_eq!(outcome.best_within_budget(20).unwrap().trial_id, 1);
+        // ... mean-of-re-evaluations selection is not (0.55 vs 0.35).
+        let selected = outcome.selected_within_budget(20).unwrap();
+        assert_eq!(selected.trial_id, 2);
+        assert!(selected.noise_rep >= 1);
+        // Without re-evaluations in range, fall back to the plain rule.
+        assert_eq!(outcome.selected_within_budget(10).unwrap().trial_id, 1);
+        assert!(TuningOutcome::default()
+            .selected_within_budget(10)
+            .is_none());
     }
 }

@@ -3,7 +3,7 @@
 //! [`Matrix`] is deliberately small: it implements exactly the operations
 //! needed by the hand-written gradients in `fedmodels` (matrix products,
 //! transposes, elementwise maps, scaled in-place updates) and nothing more.
-//! All fallible operations return [`MathError`](crate::MathError) rather than
+//! All fallible operations return [`MathError`] rather than
 //! panicking so that the simulation layers can surface shape bugs as errors.
 
 use crate::{MathError, Result};

@@ -10,7 +10,9 @@
 //! - [`fedmodels`] — models with hand-written gradients and local SGD.
 //! - [`fedsim`] — the cross-device federated-learning simulator.
 //! - [`feddp`] — the differential-privacy substrate (Laplace, one-shot top-k).
-//! - [`fedhpo`] — hyperparameter-optimization methods (RS, TPE, Hyperband, BOHB).
+//! - [`fedhpo`] — hyperparameter-optimization methods (RS, TPE, Hyperband,
+//!   BOHB, ASHA, the re-evaluation mitigation) behind the batched ask/tell
+//!   scheduler interface.
 //! - [`fedproxy`] — proxy-data tuning and HP-transfer analysis.
 //! - [`fedtune_core`] — noise-aware evaluation pipeline and the per-figure
 //!   experiment runners (the paper's primary contribution as a library).

@@ -9,7 +9,9 @@
 use feddata::{Benchmark, DatasetSpec, Scale};
 use fedmodels::{Model, ModelSpec};
 use fedsim::{ExecutionPolicy, FederatedTrainer, TrainerConfig};
-use fedtune_core::experiments::methods::{paper_noise_settings, run_method_comparison_with};
+use fedtune_core::experiments::methods::{
+    paper_noise_settings, run_method_comparison_scheduled, run_method_comparison_with, TuningMethod,
+};
 use fedtune_core::experiments::subsampling::run_subsampling_sweep_with;
 use fedtune_core::{BenchmarkContext, ConfigPool, ExperimentScale, TrialRunner};
 
@@ -157,6 +159,67 @@ fn method_comparison_is_bit_identical_across_policies() {
         &scale,
         &noise_settings,
         3,
+    )
+    .unwrap();
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn scheduled_campaigns_are_bit_identical_across_policies() {
+    // The ask/tell scheduler driver: ASHA and the re-evaluation policy fan
+    // whole batches out across threads, with per-request positional noise.
+    // Parallel batch execution must reproduce sequential execution bit for
+    // bit across seeds and forced thread counts.
+    let scale = ExperimentScale::smoke();
+    let noise_settings = paper_noise_settings();
+    let methods = [TuningMethod::Asha, TuningMethod::AshaReEval];
+    for &seed in &SEEDS {
+        let sequential = run_method_comparison_scheduled(
+            ExecutionPolicy::Sequential,
+            Benchmark::Cifar10Like,
+            &scale,
+            &methods,
+            &noise_settings,
+            seed,
+        )
+        .unwrap();
+        for &threads in &THREAD_COUNTS {
+            let parallel = run_method_comparison_scheduled(
+                ExecutionPolicy::parallel_with(threads),
+                Benchmark::Cifar10Like,
+                &scale,
+                &methods,
+                &noise_settings,
+                seed,
+            )
+            .unwrap();
+            assert_eq!(sequential, parallel, "seed {seed}, {threads} threads");
+        }
+    }
+}
+
+#[test]
+fn scheduled_extended_comparison_is_bit_identical_across_policies() {
+    // The full Fig. 8-style comparison (all six methods) through the batch
+    // driver: heavier, so one seed and one thread count.
+    let scale = ExperimentScale::smoke();
+    let noise_settings = paper_noise_settings();
+    let sequential = run_method_comparison_scheduled(
+        ExecutionPolicy::Sequential,
+        Benchmark::Cifar10Like,
+        &scale,
+        &TuningMethod::EXTENDED,
+        &noise_settings,
+        11,
+    )
+    .unwrap();
+    let parallel = run_method_comparison_scheduled(
+        ExecutionPolicy::parallel_with(4),
+        Benchmark::Cifar10Like,
+        &scale,
+        &TuningMethod::EXTENDED,
+        &noise_settings,
+        11,
     )
     .unwrap();
     assert_eq!(sequential, parallel);
