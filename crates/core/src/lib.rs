@@ -58,11 +58,14 @@ pub use context::BenchmarkContext;
 pub use engine::{ProgressTracker, TrialContext, TrialRunner};
 pub use fedsim::ExecutionPolicy;
 pub use noise::{noisy_error, NoiseConfig};
-pub use objective::{BatchFederatedObjective, FederatedObjective, ObjectiveLogEntry};
+pub use objective::{
+    selected_true_error, BatchFederatedObjective, CampaignLog, FederatedObjective,
+    ObjectiveLogEntry,
+};
 pub use pool::{ConfigPool, PooledConfig};
 pub use report::{ExperimentReport, SeriesGroup, SeriesPoint};
 pub use scale::ExperimentScale;
-pub use scheduler::{run_scheduled, BatchObjective};
+pub use scheduler::{run_scheduled, run_scheduled_for, BatchObjective};
 
 use std::fmt;
 

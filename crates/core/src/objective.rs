@@ -48,7 +48,10 @@ pub struct ObjectiveLogEntry {
 /// mitigation. Otherwise the winner is the entry with the lowest noisy score
 /// (the selection rule the paper shows noise corrupts). Non-finite noisy
 /// scores never win.
-pub(crate) fn selected_true_error(log: &[ObjectiveLogEntry], budget: usize) -> Option<f64> {
+///
+/// Public so store-backed objectives (`fedstore`'s recording and tabular
+/// replay objectives) apply the exact same selection rule to their logs.
+pub fn selected_true_error(log: &[ObjectiveLogEntry], budget: usize) -> Option<f64> {
     let within = || {
         log.iter()
             .filter(move |e| e.cumulative_rounds <= budget && e.noisy_score.is_finite())
@@ -77,6 +80,87 @@ pub(crate) fn selected_true_error(log: &[ObjectiveLogEntry], budget: usize) -> O
                 .min_by(|a, b| a.noisy_score.total_cmp(&b.noisy_score))
                 .map(|e| e.true_error)
         })
+}
+
+/// Request-ordered campaign bookkeeping for objectives that answer requests
+/// without training (the `fedstore` recording and tabular-replay
+/// objectives): every observation is logged with the same incremental
+/// resource accounting the live [`BatchFederatedObjective`] performs — a
+/// configuration is charged only for fidelity above what it has already
+/// reached, and an evaluation's logged `resource` is the fidelity actually
+/// reached — so store-backed logs are comparable (and, for replayed
+/// campaigns, bit-identical) to live ones.
+#[derive(Debug, Clone, Default)]
+pub struct CampaignLog {
+    log: Vec<ObjectiveLogEntry>,
+    consumed: HashMap<usize, usize>,
+    cumulative_rounds: usize,
+    last_batch_start: usize,
+}
+
+impl CampaignLog {
+    /// Creates an empty campaign log.
+    pub fn new() -> Self {
+        CampaignLog::default()
+    }
+
+    /// Marks the start of a batch (for [`last_batch_true_errors`]).
+    ///
+    /// [`last_batch_true_errors`]: Self::last_batch_true_errors
+    pub fn begin_batch(&mut self) {
+        self.last_batch_start = self.log.len();
+    }
+
+    /// Logs one observation for `request` with incremental resource
+    /// accounting, and returns the logged entry.
+    pub fn observe(
+        &mut self,
+        request: &fedhpo::TrialRequest,
+        noisy_score: f64,
+        true_error: f64,
+    ) -> &ObjectiveLogEntry {
+        let consumed = self.consumed.entry(request.trial_id).or_insert(0);
+        let reached = (*consumed).max(request.resource);
+        self.cumulative_rounds += reached - *consumed;
+        *consumed = reached;
+        self.log.push(ObjectiveLogEntry {
+            trial_id: request.trial_id,
+            resource: reached,
+            noisy_score,
+            true_error,
+            cumulative_rounds: self.cumulative_rounds,
+            noise_rep: request.noise_rep,
+        });
+        self.log.last().expect("entry pushed above")
+    }
+
+    /// The campaign log so far, in request order.
+    pub fn log(&self) -> &[ObjectiveLogEntry] {
+        &self.log
+    }
+
+    /// Consumes the bookkeeping and returns the log.
+    pub fn into_log(self) -> Vec<ObjectiveLogEntry> {
+        self.log
+    }
+
+    /// Total campaign rounds charged so far.
+    pub fn cumulative_rounds(&self) -> usize {
+        self.cumulative_rounds
+    }
+
+    /// True errors logged since the last [`begin_batch`](Self::begin_batch).
+    pub fn last_batch_true_errors(&self) -> Vec<f64> {
+        self.log[self.last_batch_start..]
+            .iter()
+            .map(|e| e.true_error)
+            .collect()
+    }
+
+    /// Noise-aware selection over the log; see [`selected_true_error`].
+    pub fn selected_true_error_within(&self, budget: usize) -> Option<f64> {
+        selected_true_error(&self.log, budget)
+    }
 }
 
 /// A noisy federated HPO objective over one benchmark context.
@@ -255,15 +339,20 @@ struct BatchEvalOutput {
 ///
 /// Where [`FederatedObjective`] draws evaluation noise from one shared
 /// sequential RNG (so results depend on global call order), this objective
-/// derives every noise draw *positionally* from
-/// `(trial_id, resource, noise_rep)` on a per-objective [`SeedTree`]. Every
-/// request in a batch is therefore a pure function of its own coordinates,
-/// and a whole batch can fan out across threads — one worker per distinct
-/// trial — with results bit-identical to sequential execution (asserted by
-/// `tests/determinism.rs`). Positional noise also gives the re-evaluation
-/// mitigation its contract: rep `r` of a trial at a fidelity yields the same
-/// draw no matter when it is scheduled, and distinct reps yield independent
-/// draws.
+/// derives all randomness *positionally* from the evaluated **point**: the
+/// training run is seeded by the configuration's canonical fingerprint
+/// (`SearchSpace::canonical_fingerprint`) and every noise draw by
+/// `(fingerprint, resource, noise_rep)` on a per-objective [`SeedTree`].
+/// Every request in a batch is therefore a pure function of its own
+/// coordinates, and a whole batch can fan out across threads — one worker
+/// per distinct trial — with results bit-identical to sequential execution
+/// (asserted by `tests/determinism.rs`). Point-keyed randomness also makes
+/// the score a function of `(config, resource, noise_rep)` alone — two
+/// trials that happen to sample the same configuration observe identical
+/// draws — which is exactly the identity `fedstore`'s content-addressed
+/// trial ledger keys records by. And it gives the re-evaluation mitigation
+/// its contract: rep `r` of a point yields the same draw no matter when it
+/// is scheduled, and distinct reps yield independent draws.
 pub struct BatchFederatedObjective<'a> {
     ctx: &'a BenchmarkContext,
     noise: NoiseConfig,
@@ -275,6 +364,7 @@ pub struct BatchFederatedObjective<'a> {
     noise_seeds: SeedTree,
     execution: ExecutionPolicy,
     batch_runner: crate::engine::TrialRunner,
+    last_batch_start: usize,
 }
 
 impl<'a> BatchFederatedObjective<'a> {
@@ -313,7 +403,24 @@ impl<'a> BatchFederatedObjective<'a> {
             noise_seeds,
             execution: ExecutionPolicy::Sequential,
             batch_runner: crate::engine::TrialRunner::sequential(),
+            last_batch_start: 0,
         })
+    }
+
+    /// The search space of the objective's benchmark context — the space a
+    /// recording wrapper must canonicalize configurations against.
+    pub fn space(&self) -> &fedhpo::SearchSpace {
+        self.ctx.space()
+    }
+
+    /// True full-validation errors of the most recent
+    /// [`evaluate_batch`](Self::evaluate_batch) call, aligned with its
+    /// returned results. Empty before the first batch.
+    pub fn last_batch_true_errors(&self) -> Vec<f64> {
+        self.log[self.last_batch_start..]
+            .iter()
+            .map(|e| e.true_error)
+            .collect()
     }
 
     /// Sets the runner fanning the distinct trials of each batch out across
@@ -370,6 +477,12 @@ impl<'a> BatchFederatedObjective<'a> {
         eval_cache: &mut Option<(usize, fedsim::evaluation::FederatedEvaluation)>,
         request: &TrialRequest,
     ) -> Result<BatchEvalOutput> {
+        // The point identity: all randomness of this evaluation is keyed by
+        // the canonical configuration fingerprint, never by trial numbering,
+        // so the score is a pure function of `(config, resource, noise_rep)`
+        // — the same identity the `fedstore` trial ledger addresses records
+        // by.
+        let fingerprint = self.ctx.space().canonical_fingerprint(&request.config)?;
         if run_slot.is_none() {
             let hyperparams = hyperparams_from_config(self.ctx.space(), &request.config)?;
             let trainer_config = TrainerConfig {
@@ -379,7 +492,7 @@ impl<'a> BatchFederatedObjective<'a> {
                 execution: self.execution,
             };
             let trainer = FederatedTrainer::new(trainer_config)?;
-            let run_seed = self.trial_seeds.child(request.trial_id as u64).seed();
+            let run_seed = self.trial_seeds.child(fingerprint).seed();
             *run_slot = Some(trainer.start(self.ctx.dataset(), self.ctx.model_spec(), run_seed)?);
         }
         let run = run_slot.as_mut().expect("run created above");
@@ -403,11 +516,7 @@ impl<'a> BatchFederatedObjective<'a> {
         let true_error = full_eval.weighted_error()?;
         let mut noise_rng = self
             .noise_seeds
-            .derive(&[
-                request.trial_id as u64,
-                request.resource as u64,
-                request.noise_rep,
-            ])
+            .derive(&[fingerprint, request.resource as u64, request.noise_rep])
             .rng();
         let noisy_score = noisy_error(
             full_eval,
@@ -476,6 +585,7 @@ impl<'a> BatchFederatedObjective<'a> {
                 by_request[i] = Some(output);
             }
         }
+        self.last_batch_start = self.log.len();
         let mut results = Vec::with_capacity(requests.len());
         for (request, output) in requests.iter().zip(by_request) {
             let output = output.expect("every request belongs to one group");
@@ -640,6 +750,49 @@ mod tests {
         assert_eq!(alone[0].score.to_bits(), with_rep[0].score.to_bits());
         // Distinct reps draw independent noise.
         assert!((with_rep[0].score - with_rep[1].score).abs() > 1e-9);
+    }
+
+    #[test]
+    fn batch_objective_scores_are_a_function_of_the_point_not_the_trial() {
+        // Regression: randomness used to be keyed by trial_id, so two trials
+        // that sampled the same configuration (possible in fully discrete
+        // spaces) produced different scores for one content-addressed ledger
+        // key. Point-keyed seeding makes them bit-identical.
+        let scale = ExperimentScale::smoke();
+        let discrete = SearchSpace::new()
+            .with_fixed("server_lr", 1e-3)
+            .and_then(|s| s.with_fixed("server_beta1", 0.9))
+            .and_then(|s| s.with_fixed("server_beta2", 0.99))
+            .and_then(|s| s.with_fixed("server_lr_decay", 0.9999))
+            .and_then(|s| s.with_fixed("client_lr", 1e-2))
+            .and_then(|s| s.with_fixed("client_momentum", 0.0))
+            .and_then(|s| s.with_fixed("client_weight_decay", 5e-5))
+            .and_then(|s| s.with_categorical("client_batch_size", vec![32.0, 64.0]))
+            .and_then(|s| s.with_fixed("client_epochs", 1.0))
+            .unwrap();
+        let ctx = BenchmarkContext::new(Benchmark::Cifar10Like, &scale, 0)
+            .unwrap()
+            .with_space(discrete);
+        let noise = NoiseConfig::subsampled(0.2).with_privacy(PrivacyBudget::Finite(10.0));
+        let fixed = [1e-3, 0.9, 0.99, 0.9999, 1e-2, 0.0, 5e-5];
+        let mut values = fixed.to_vec();
+        values.extend([64.0, 1.0]);
+        let config = HpConfig::new(values);
+        let mut objective = BatchFederatedObjective::new(&ctx, noise, 4, 3).unwrap();
+        let results = objective
+            .evaluate_batch(&[request(3, &config, 2, 0), request(7, &config, 2, 0)])
+            .unwrap();
+        assert_eq!(results[0].score.to_bits(), results[1].score.to_bits());
+        let log = objective.log();
+        assert_eq!(log[0].true_error.to_bits(), log[1].true_error.to_bits());
+        // Distinct points still draw independently.
+        let mut other_values = fixed.to_vec();
+        other_values.extend([32.0, 1.0]);
+        let other = HpConfig::new(other_values);
+        let more = objective
+            .evaluate_batch(&[request(8, &other, 2, 0)])
+            .unwrap();
+        assert_ne!(more[0].score.to_bits(), results[0].score.to_bits());
     }
 
     #[test]

@@ -33,11 +33,25 @@ pub trait BatchObjective {
     ///
     /// Propagates evaluation failures.
     fn evaluate_batch(&mut self, requests: &[TrialRequest]) -> Result<Vec<TrialResult>>;
+
+    /// True (noise-free) objective values of the most recent
+    /// [`evaluate_batch`](Self::evaluate_batch) call, aligned with its
+    /// returned results — or `None` when the objective cannot separate truth
+    /// from its reported scores. Recording wrappers (the `fedstore` trial
+    /// ledger) use this to persist ground truth next to each noisy
+    /// observation.
+    fn last_true_errors(&self) -> Option<Vec<f64>> {
+        None
+    }
 }
 
 impl BatchObjective for BatchFederatedObjective<'_> {
     fn evaluate_batch(&mut self, requests: &[TrialRequest]) -> Result<Vec<TrialResult>> {
         BatchFederatedObjective::evaluate_batch(self, requests)
+    }
+
+    fn last_true_errors(&self) -> Option<Vec<f64>> {
+        Some(self.last_batch_true_errors())
     }
 }
 
@@ -56,9 +70,40 @@ pub fn run_scheduled(
     objective: &mut dyn BatchObjective,
     rng: &mut StdRng,
 ) -> Result<TuningOutcome> {
+    let (outcome, finished) = run_scheduled_for(scheduler, space, objective, rng, None)?;
+    debug_assert!(finished, "an unbounded run always finishes");
+    Ok(outcome)
+}
+
+/// [`run_scheduled`] with an optional interruption point: drives at most
+/// `max_batches` suggest → evaluate → report cycles and returns the outcome
+/// so far plus whether the schedule completed.
+///
+/// Interrupting at a batch boundary leaves every suggested request evaluated
+/// and reported, which is the invariant store-backed resumption relies on: a
+/// fresh scheduler re-driven with the same seed re-suggests the interrupted
+/// campaign's prefix verbatim, a recording objective (`fedstore`) serves
+/// those requests from the trial ledger without recomputation, and the
+/// campaign continues bit-identically to an uninterrupted run.
+///
+/// # Errors
+///
+/// Propagates scheduler and objective errors, and fails if the scheduler
+/// stalls (returns an empty batch while unfinished).
+pub fn run_scheduled_for(
+    scheduler: &mut dyn Scheduler,
+    space: &SearchSpace,
+    objective: &mut dyn BatchObjective,
+    rng: &mut StdRng,
+    max_batches: Option<usize>,
+) -> Result<(TuningOutcome, bool)> {
     let mut outcome = TuningOutcome::default();
     let mut ledger = BudgetLedger::new();
+    let mut batches = 0usize;
     while !scheduler.is_finished() {
+        if max_batches.is_some_and(|max| batches >= max) {
+            return Ok((outcome, false));
+        }
         let batch = scheduler.suggest(space, rng)?;
         if batch.is_empty() {
             if scheduler.is_finished() {
@@ -76,8 +121,9 @@ pub fn run_scheduled(
             outcome.push(ledger.record(result));
             scheduler.report(result)?;
         }
+        batches += 1;
     }
-    Ok(outcome)
+    Ok((outcome, true))
 }
 
 #[cfg(test)]
@@ -152,6 +198,74 @@ mod tests {
             .tune(&space_1d(), &mut sequential_objective, &mut rng)
             .unwrap();
         assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn bounded_driver_interrupts_at_batch_boundaries() {
+        // ASHA suggests rung by rung; capping at one batch stops after the
+        // first rung with the outcome so far, and an uncapped re-drive with
+        // the same seed reproduces the full run exactly.
+        let asha = Asha::new(9, 3, 1, 9);
+        let run_until = |max_batches: Option<usize>| {
+            let mut scheduler = asha.scheduler().unwrap();
+            let mut objective = AnalyticBatchObjective {
+                batch_sizes: Vec::new(),
+            };
+            let mut rng = rng_for(3, 0);
+            run_scheduled_for(
+                &mut scheduler,
+                &space_1d(),
+                &mut objective,
+                &mut rng,
+                max_batches,
+            )
+            .unwrap()
+        };
+        let (full, finished) = run_until(None);
+        assert!(finished);
+        let (first_rung, finished) = run_until(Some(1));
+        assert!(!finished);
+        assert!(first_rung.num_evaluations() < full.num_evaluations());
+        // The interrupted prefix is exactly the head of the full run.
+        assert_eq!(
+            full.records()[..first_rung.num_evaluations()],
+            *first_rung.records()
+        );
+        let (rerun, finished) = run_until(Some(usize::MAX));
+        assert!(finished);
+        assert_eq!(full, rerun);
+    }
+
+    #[test]
+    fn batch_objective_exposes_true_errors_of_the_last_batch() {
+        let ctx =
+            BenchmarkContext::new(Benchmark::Cifar10Like, &ExperimentScale::smoke(), 0).unwrap();
+        let mut objective =
+            BatchFederatedObjective::new(&ctx, NoiseConfig::paper_noisy(), 2, 5).unwrap();
+        let dyn_objective: &mut dyn BatchObjective = &mut objective;
+        assert_eq!(dyn_objective.last_true_errors(), Some(Vec::new()));
+        let mut rng = rng_for(4, 0);
+        let requests: Vec<TrialRequest> = (0..2)
+            .map(|t| TrialRequest {
+                trial_id: t,
+                config: ctx.space().sample(&mut rng).unwrap(),
+                resource: 2,
+                noise_rep: 0,
+            })
+            .collect();
+        let results = dyn_objective.evaluate_batch(&requests).unwrap();
+        let trues = dyn_objective.last_true_errors().unwrap();
+        assert_eq!(trues.len(), results.len());
+        // Under noise, truth and reported score differ; the log agrees.
+        for (entry, true_error) in objective.log().iter().zip(&trues) {
+            assert_eq!(entry.true_error, *true_error);
+        }
+        // An objective without truth introspection reports None.
+        let mut analytic = AnalyticBatchObjective {
+            batch_sizes: Vec::new(),
+        };
+        let dyn_analytic: &mut dyn BatchObjective = &mut analytic;
+        assert!(dyn_analytic.last_true_errors().is_none());
     }
 
     #[test]

@@ -44,8 +44,8 @@ pub struct TrialRequest {
     /// Noise replicate index. `0` is the schedule's ordinary evaluation;
     /// values `>= 1` ask the objective for an independent *fresh* noise draw
     /// at the same fidelity (the paper's re-evaluation mitigation). Objectives
-    /// that key their noise positionally derive it from
-    /// `(trial_id, resource, noise_rep)`.
+    /// that key their noise positionally derive it from the evaluated point's
+    /// coordinates `(config, resource, noise_rep)`.
     pub noise_rep: u64,
 }
 

@@ -80,6 +80,39 @@ impl Dimension {
         !matches!(self, Dimension::Fixed { .. })
     }
 
+    /// The canonical bit-level representative of `value` within this
+    /// dimension, or `None` if the value is non-finite or outside the
+    /// dimension.
+    ///
+    /// Canonicalization makes the representative a pure function of the
+    /// *point* the value denotes, so `f64::to_bits` of the result is a stable
+    /// identity (the foundation of `fedstore`'s trial-ledger keys):
+    ///
+    /// - `-0.0` normalises to `+0.0` (distinct bits, same point);
+    /// - discrete dimensions (categorical choices, fixed values) snap to the
+    ///   exact bits of the matching declared value, absorbing the `1e-12`
+    ///   tolerance [`contains`](Self::contains) allows;
+    /// - continuous in-range values are already canonical.
+    pub fn canonical_value(&self, value: f64) -> Option<f64> {
+        if !value.is_finite() {
+            return None;
+        }
+        match self {
+            Dimension::Uniform { .. } | Dimension::LogUniform { .. } => {
+                // `+ 0.0` maps -0.0 to +0.0 and is the identity elsewhere.
+                self.contains(value).then_some(value + 0.0)
+            }
+            Dimension::Categorical { choices } => choices
+                .iter()
+                .copied()
+                .find(|&c| (c - value).abs() < 1e-12)
+                .map(|c| c + 0.0),
+            Dimension::Fixed { value: declared } => {
+                ((declared - value).abs() < 1e-12).then_some(*declared + 0.0)
+            }
+        }
+    }
+
     fn validate(&self, name: &str) -> Result<()> {
         match self {
             Dimension::Uniform { low, high } => {
@@ -99,10 +132,33 @@ impl Dimension {
                 }
             }
             Dimension::Categorical { choices } => {
+                // An empty choice set panics at sample time (`gen_range` over
+                // `0..0`) and a non-finite choice poisons every downstream
+                // consumer (training, selection, trial-ledger keys), so both
+                // are rejected here at construction.
                 if choices.is_empty() {
                     return Err(HpoError::InvalidConfig {
                         message: format!("dimension {name}: categorical choices must be non-empty"),
                     });
+                }
+                if let Some(bad) = choices.iter().find(|c| !c.is_finite()) {
+                    return Err(HpoError::InvalidConfig {
+                        message: format!(
+                            "dimension {name}: categorical choice {bad} is not finite"
+                        ),
+                    });
+                }
+                // Choices closer together than the 1e-12 equality tolerance
+                // of `contains`/`canonical_value` would be indistinguishable
+                // (and would collide under canonical snapping).
+                for (i, &a) in choices.iter().enumerate() {
+                    if choices[i + 1..].iter().any(|&b| (a - b).abs() < 1e-12) {
+                        return Err(HpoError::InvalidConfig {
+                            message: format!(
+                                "dimension {name}: categorical choices within 1e-12 of {a} are indistinguishable"
+                            ),
+                        });
+                    }
                 }
             }
             Dimension::Fixed { value } => {
@@ -115,6 +171,18 @@ impl Dimension {
         }
         Ok(())
     }
+}
+
+/// Folds canonical configuration bits into a stable 64-bit digest (the
+/// shared definition behind [`SearchSpace::canonical_fingerprint`] and the
+/// trial-ledger's config keys): a SplitMix64 chain over the length and every
+/// bit pattern, so distinct points get independent digests and the value
+/// never depends on process, platform, or trial numbering.
+pub fn fingerprint_bits(bits: &[u64]) -> u64 {
+    bits.iter().fold(
+        fedmath::rng::derive_seed(0x5EED_F00D, bits.len() as u64),
+        |acc, &b| fedmath::rng::derive_seed(acc, b),
+    )
 }
 
 /// A sampled hyperparameter configuration: one value per search-space
@@ -353,6 +421,72 @@ impl SearchSpace {
         (0..count).map(|_| self.sample(rng)).collect()
     }
 
+    /// The canonical representative of `config`: every value replaced by its
+    /// dimension's [`Dimension::canonical_value`]. Two configurations that
+    /// denote the same point in the space (e.g. `-0.0` vs `0.0`, or a
+    /// categorical value within the equality tolerance of a choice)
+    /// canonicalize to bit-identical values, so
+    /// [`canonical_bits`](Self::canonical_bits) is a stable identity for
+    /// content-addressed storage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HpoError::InvalidConfig`] if the configuration has the wrong
+    /// arity or any value is non-finite or outside its dimension.
+    pub fn canonicalize(&self, config: &HpConfig) -> Result<HpConfig> {
+        if config.len() != self.len() {
+            return Err(HpoError::InvalidConfig {
+                message: format!(
+                    "configuration has {} values but the space has {} dimensions",
+                    config.len(),
+                    self.len()
+                ),
+            });
+        }
+        let values = self
+            .names
+            .iter()
+            .zip(self.dimensions.iter())
+            .zip(config.values())
+            .map(|((name, dim), &value)| {
+                dim.canonical_value(value)
+                    .ok_or_else(|| HpoError::InvalidConfig {
+                        message: format!(
+                            "value {value} cannot be canonicalized within dimension {name}"
+                        ),
+                    })
+            })
+            .collect::<Result<Vec<f64>>>()?;
+        Ok(HpConfig::new(values))
+    }
+
+    /// The bit patterns of the canonicalized configuration — the
+    /// content-addressed identity used to key recorded trials.
+    ///
+    /// # Errors
+    ///
+    /// See [`canonicalize`](Self::canonicalize).
+    pub fn canonical_bits(&self, config: &HpConfig) -> Result<Vec<u64>> {
+        Ok(self
+            .canonicalize(config)?
+            .values()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect())
+    }
+
+    /// A stable 64-bit digest of the canonicalized configuration — the
+    /// *point* identity used to key positional randomness and
+    /// content-addressed storage. Pure function of the canonical bits,
+    /// independent of process, platform, or trial numbering.
+    ///
+    /// # Errors
+    ///
+    /// See [`canonicalize`](Self::canonicalize).
+    pub fn canonical_fingerprint(&self, config: &HpConfig) -> Result<u64> {
+        Ok(fingerprint_bits(&self.canonical_bits(config)?))
+    }
+
     /// Checks that a configuration has the right arity and that every value
     /// lies within its dimension.
     ///
@@ -474,6 +608,134 @@ mod tests {
             .with_uniform("a", 0.0, 1.0)
             .is_err());
         assert!(SearchSpace::new().sample(&mut rng_for(0, 0)).is_err());
+    }
+
+    #[test]
+    fn degenerate_discrete_dimensions_are_rejected_at_construction() {
+        // Regression: empty or non-finite discrete dimensions used to slip
+        // through the builder and only blow up at sample time (`gen_range`
+        // over an empty range panics; NaN/inf choices sample as poison).
+        assert!(SearchSpace::new().with_categorical("bs", vec![]).is_err());
+        assert!(SearchSpace::new()
+            .with_categorical("bs", vec![f64::NAN])
+            .is_err());
+        assert!(SearchSpace::new()
+            .with_categorical("bs", vec![32.0, f64::INFINITY])
+            .is_err());
+        assert!(SearchSpace::new()
+            .with_categorical("bs", vec![32.0, f64::NEG_INFINITY, 64.0])
+            .is_err());
+        assert!(SearchSpace::new().with_fixed("wd", f64::INFINITY).is_err());
+        // Choices inside the canonical-snap tolerance are indistinguishable.
+        assert!(SearchSpace::new()
+            .with_categorical("bs", vec![1.0, 1.0 + 5e-13])
+            .is_err());
+        assert!(SearchSpace::new()
+            .with_categorical("bs", vec![1.0, 1.0])
+            .is_err());
+        // The same rejections apply through the raw dimension entry point.
+        assert!(SearchSpace::new()
+            .with_dimension("bs", Dimension::Categorical { choices: vec![] })
+            .is_err());
+        assert!(SearchSpace::new()
+            .with_dimension(
+                "bs",
+                Dimension::Categorical {
+                    choices: vec![f64::NAN, 1.0],
+                },
+            )
+            .is_err());
+        // Well-formed discrete dimensions still pass.
+        assert!(SearchSpace::new()
+            .with_categorical("bs", vec![32.0, 64.0])
+            .is_ok());
+    }
+
+    #[test]
+    fn canonicalization_is_bit_stable() {
+        let space = SearchSpace::new()
+            .with_uniform("u", -1.0, 1.0)
+            .unwrap()
+            .with_log_uniform("l", 1e-6, 1.0)
+            .unwrap()
+            .with_categorical("c", vec![32.0, 64.0])
+            .unwrap()
+            .with_fixed("f", 5e-5)
+            .unwrap();
+        // -0.0 normalises to +0.0; near-choice values snap to the exact
+        // choice bits; near-fixed values snap to the declared value.
+        let canon = space
+            .canonicalize(&HpConfig::new(vec![-0.0, 1e-3, 64.0 - 1e-13, 5e-5 + 1e-20]))
+            .unwrap();
+        assert_eq!(canon.values()[0].to_bits(), 0.0f64.to_bits());
+        assert_eq!(canon.values()[1].to_bits(), 1e-3f64.to_bits());
+        assert_eq!(canon.values()[2].to_bits(), 64.0f64.to_bits());
+        assert_eq!(canon.values()[3].to_bits(), 5e-5f64.to_bits());
+        // Idempotent, and equal points give equal bit keys.
+        assert_eq!(space.canonicalize(&canon).unwrap(), canon);
+        assert_eq!(
+            space.canonical_bits(&HpConfig::new(vec![0.0, 1e-3, 64.0, 5e-5])),
+            space.canonical_bits(&HpConfig::new(vec![-0.0, 1e-3, 64.0 - 1e-13, 5e-5]))
+        );
+        // Non-finite, out-of-range, and wrong-arity configurations fail.
+        assert!(space
+            .canonicalize(&HpConfig::new(vec![f64::NAN, 1e-3, 64.0, 5e-5]))
+            .is_err());
+        assert!(space
+            .canonicalize(&HpConfig::new(vec![2.0, 1e-3, 64.0, 5e-5]))
+            .is_err());
+        assert!(space
+            .canonicalize(&HpConfig::new(vec![0.0, 1e-3, 48.0, 5e-5]))
+            .is_err());
+        assert!(space.canonicalize(&HpConfig::new(vec![0.0])).is_err());
+        // Fingerprints: equal points agree, distinct points differ, and the
+        // free function over the canonical bits is the same definition.
+        let a = space
+            .canonical_fingerprint(&HpConfig::new(vec![-0.0, 1e-3, 64.0 - 1e-13, 5e-5]))
+            .unwrap();
+        let b = space
+            .canonical_fingerprint(&HpConfig::new(vec![0.0, 1e-3, 64.0, 5e-5]))
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(
+            a,
+            fingerprint_bits(
+                &space
+                    .canonical_bits(&HpConfig::new(vec![0.0, 1e-3, 64.0, 5e-5]))
+                    .unwrap()
+            )
+        );
+        assert_ne!(
+            a,
+            space
+                .canonical_fingerprint(&HpConfig::new(vec![0.5, 1e-3, 64.0, 5e-5]))
+                .unwrap()
+        );
+        assert!(Dimension::Fixed { value: 1.0 }
+            .canonical_value(0.9)
+            .is_none());
+        assert_eq!(
+            Dimension::Uniform {
+                low: -1.0,
+                high: 1.0
+            }
+            .canonical_value(-0.0)
+            .map(f64::to_bits),
+            Some(0.0f64.to_bits())
+        );
+    }
+
+    #[test]
+    fn paper_space_samples_canonicalize_to_themselves() {
+        let space = SearchSpace::paper_default();
+        let mut rng = rng_for(4, 0);
+        for _ in 0..100 {
+            let config = space.sample(&mut rng).unwrap();
+            let canon = space.canonicalize(&config).unwrap();
+            let bits: Vec<u64> = config.values().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(space.canonical_bits(&config).unwrap(), bits);
+            assert_eq!(canon, config);
+        }
     }
 
     #[test]

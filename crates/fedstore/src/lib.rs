@@ -1,0 +1,203 @@
+//! A persistent, content-addressed **trial ledger** plus the tabular
+//! surrogate objectives built on top of it.
+//!
+//! Every live federated tuning campaign pays full simulation cost for every
+//! `(configuration, resource, replicate)` evaluation, so large
+//! method-comparison sweeps are bounded by training cost rather than tuner
+//! cost. This crate removes that bound with a *record → replay → resume*
+//! lifecycle:
+//!
+//! - [`key`] — [`ConfigKey`]/[`TrialKey`]: bit-level canonical identities for
+//!   evaluated points, built on `fedhpo::SearchSpace::canonical_bits`
+//!   (`-0.0` normalisation, non-finite rejection, discrete snapping).
+//! - [`record`] — [`TrialRecord`]: one evaluation (noisy observation *and*
+//!   ground-truth error) with [`Provenance`] (benchmark, scale, seed, noise
+//!   source), serialized as one JSON line with a non-finite score guard.
+//! - [`store`] — [`TrialStore`]: an in-memory index over an append-only
+//!   JSON-lines file backend. Opening an existing ledger re-indexes it;
+//!   inserts are durable immediately.
+//! - [`recorder`] — [`RecordingObjective`]: wraps any
+//!   [`fedtune_core::BatchObjective`] (in practice the live
+//!   `BatchFederatedObjective`), captures every evaluation into the store,
+//!   and serves already-recorded requests *from* the store — which is
+//!   exactly resume: re-driving an interrupted campaign skips its recorded
+//!   prefix and continues bit-identically.
+//! - [`tabular`] — [`TabularObjective`]: the scheduler-facing surrogate.
+//!   Campaigns replay against the table with exact-hit semantics and
+//!   deterministic noise resampling from recorded replicates — orders of
+//!   magnitude faster than live simulation.
+//! - [`replay`] — drop-in record/replay counterparts of
+//!   `fedtune_core::experiments::methods::run_method_comparison_scheduled`.
+//!
+//! # Example
+//!
+//! ```
+//! use feddata::Benchmark;
+//! use fedstore::{record_method_comparison, replay_method_comparison, TrialStore};
+//! use fedtune_core::experiments::methods::{paper_noise_settings, TuningMethod};
+//! use fedtune_core::{ExecutionPolicy, ExperimentScale};
+//!
+//! let scale = ExperimentScale::smoke();
+//! let methods = [TuningMethod::RandomSearch];
+//! let settings = paper_noise_settings();
+//! let mut store = TrialStore::in_memory();
+//! // Record once (live federated training) ...
+//! let live = record_method_comparison(
+//!     ExecutionPolicy::Sequential,
+//!     Benchmark::Cifar10Like,
+//!     &scale,
+//!     &methods,
+//!     &settings,
+//!     0,
+//!     &mut store,
+//! )
+//! .unwrap();
+//! // ... then sweep methods against the table, bit-identically.
+//! let replayed =
+//!     replay_method_comparison(&store, Benchmark::Cifar10Like, &scale, &methods, &settings, 0)
+//!         .unwrap();
+//! assert_eq!(live, replayed);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod key;
+pub mod record;
+pub mod recorder;
+pub mod replay;
+pub mod store;
+pub mod tabular;
+
+pub use key::{ConfigKey, TrialKey};
+pub use record::{Provenance, TrialRecord};
+pub use recorder::RecordingObjective;
+pub use replay::{campaign_provenance, record_method_comparison, replay_method_comparison};
+pub use store::TrialStore;
+pub use tabular::TabularObjective;
+
+use std::fmt;
+
+/// Errors produced by the trial-ledger subsystem.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StoreError {
+    /// A filesystem operation on the ledger backend failed.
+    Io {
+        /// The ledger path.
+        path: String,
+        /// The underlying failure.
+        message: String,
+    },
+    /// A ledger line could not be parsed back into a record.
+    Parse {
+        /// 1-based line number within the ledger.
+        line: usize,
+        /// The underlying failure.
+        message: String,
+    },
+    /// An insert collided with an existing record under the same key but a
+    /// different payload.
+    Conflict {
+        /// Description of the colliding key.
+        message: String,
+    },
+    /// A replay lookup found nothing usable for a request.
+    Miss {
+        /// Description of the missing point.
+        message: String,
+    },
+    /// A record failed validation (non-finite configuration values, …).
+    InvalidRecord {
+        /// Description of the violation.
+        message: String,
+    },
+    /// An underlying search-space operation failed.
+    Hpo(fedhpo::HpoError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, message } => write!(f, "ledger io error ({path}): {message}"),
+            StoreError::Parse { line, message } => {
+                write!(f, "ledger parse error at line {line}: {message}")
+            }
+            StoreError::Conflict { message } => write!(f, "ledger conflict: {message}"),
+            StoreError::Miss { message } => write!(f, "table miss: {message}"),
+            StoreError::InvalidRecord { message } => write!(f, "invalid record: {message}"),
+            StoreError::Hpo(e) => write!(f, "hpo error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Hpo(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fedhpo::HpoError> for StoreError {
+    fn from(e: fedhpo::HpoError) -> Self {
+        StoreError::Hpo(e)
+    }
+}
+
+impl From<StoreError> for fedtune_core::CoreError {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Hpo(inner) => fedtune_core::CoreError::Hpo(inner),
+            other => fedtune_core::CoreError::Hpo(fedhpo::HpoError::Objective {
+                message: other.to_string(),
+            }),
+        }
+    }
+}
+
+/// Convenience alias for results returned by this crate.
+pub type Result<T> = std::result::Result<T, StoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn error_display_and_conversions() {
+        let e = StoreError::Miss {
+            message: "no record".into(),
+        };
+        assert!(e.to_string().contains("no record"));
+        assert!(e.source().is_none());
+        let e: StoreError = fedhpo::HpoError::InvalidConfig {
+            message: "bad".into(),
+        }
+        .into();
+        assert!(e.source().is_some());
+        let core: fedtune_core::CoreError = e.into();
+        assert!(core.to_string().contains("bad"));
+        let core: fedtune_core::CoreError = StoreError::Conflict {
+            message: "key".into(),
+        }
+        .into();
+        assert!(core.to_string().contains("conflict"));
+        for e in [
+            StoreError::Io {
+                path: "p".into(),
+                message: "m".into(),
+            },
+            StoreError::Parse {
+                line: 3,
+                message: "m".into(),
+            },
+            StoreError::InvalidRecord {
+                message: "m".into(),
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

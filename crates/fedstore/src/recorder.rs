@@ -1,0 +1,272 @@
+//! The recording wrapper that captures a live campaign into the ledger —
+//! and, symmetrically, serves already-recorded requests *from* the ledger.
+//!
+//! [`RecordingObjective`] sits between a scheduler driver
+//! (`fedtune_core::run_scheduled`) and a live batch objective. Each suggested
+//! batch is partitioned against the store:
+//!
+//! - **misses** are forwarded to the inner objective as one sub-batch,
+//!   evaluated live, and persisted (noisy score plus ground truth via
+//!   [`fedtune_core::BatchObjective::last_true_errors`]);
+//! - **hits** are answered directly from the store, skipping simulation.
+//!
+//! The hit path is what makes *resume* fall out for free: re-driving an
+//! interrupted campaign with the same seeds re-suggests its prefix verbatim,
+//! every prefix request hits the ledger, and the campaign continues exactly
+//! where it stopped — bit-identically to an uninterrupted run, because every
+//! served score is the recorded bit pattern and all live randomness is
+//! positional.
+
+use crate::key::TrialKey;
+use crate::record::Provenance;
+use crate::store::TrialStore;
+use crate::TrialRecord;
+use fedhpo::{SearchSpace, TrialRequest, TrialResult};
+use fedtune_core::{BatchObjective, CampaignLog, ObjectiveLogEntry};
+
+/// A [`BatchObjective`] that records misses into a [`TrialStore`] and serves
+/// hits from it.
+pub struct RecordingObjective<'o, 's> {
+    inner: &'o mut dyn BatchObjective,
+    store: &'s mut TrialStore,
+    space: SearchSpace,
+    provenance: Provenance,
+    campaign: CampaignLog,
+    hits: usize,
+    misses: usize,
+}
+
+impl<'o, 's> RecordingObjective<'o, 's> {
+    /// Wraps `inner`, keying records against `space` and stamping them with
+    /// `provenance`.
+    pub fn new(
+        inner: &'o mut dyn BatchObjective,
+        space: &SearchSpace,
+        provenance: Provenance,
+        store: &'s mut TrialStore,
+    ) -> Self {
+        RecordingObjective {
+            inner,
+            store,
+            space: space.clone(),
+            provenance,
+            campaign: CampaignLog::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The campaign log so far, in request order. Hits and misses are logged
+    /// identically, with the resource accounting the *campaign* incurs (a
+    /// served prefix costs what the live run paid, not what the resumed
+    /// process recomputes), so an interrupted-and-resumed campaign's log
+    /// matches the uninterrupted one.
+    pub fn log(&self) -> &[ObjectiveLogEntry] {
+        self.campaign.log()
+    }
+
+    /// Consumes the wrapper and returns its log.
+    pub fn into_log(self) -> Vec<ObjectiveLogEntry> {
+        self.campaign.into_log()
+    }
+
+    /// Requests served from the store without touching the inner objective.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Requests evaluated live (and recorded).
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Noise-aware selection over the campaign log; see
+    /// [`fedtune_core::selected_true_error`].
+    pub fn selected_true_error_within(&self, budget: usize) -> Option<f64> {
+        self.campaign.selected_true_error_within(budget)
+    }
+}
+
+impl BatchObjective for RecordingObjective<'_, '_> {
+    fn evaluate_batch(
+        &mut self,
+        requests: &[TrialRequest],
+    ) -> fedtune_core::Result<Vec<TrialResult>> {
+        // Partition against the store: hits answer immediately, misses go to
+        // the inner objective as one sub-batch (preserving relative order,
+        // which the inner objective's positional seeding requires nothing of
+        // but its per-trial resume logic does).
+        let mut scored: Vec<Option<(f64, f64)>> = vec![None; requests.len()];
+        let mut miss_indices = Vec::new();
+        let mut keys = Vec::with_capacity(requests.len());
+        for (i, request) in requests.iter().enumerate() {
+            let key = TrialKey::for_request(&self.space, request)
+                .map_err(fedtune_core::CoreError::from)?;
+            if let Some(record) = self.store.get(&key) {
+                scored[i] = Some((record.noisy_score, record.true_error));
+                self.hits += 1;
+            } else {
+                miss_indices.push(i);
+            }
+            keys.push(key);
+        }
+        if !miss_indices.is_empty() {
+            let miss_requests: Vec<TrialRequest> =
+                miss_indices.iter().map(|&i| requests[i].clone()).collect();
+            let miss_results = self.inner.evaluate_batch(&miss_requests)?;
+            // Ground truth when the objective can separate it; the noisy
+            // score otherwise (exact for noiseless analytic objectives).
+            let truths = self.inner.last_true_errors();
+            for (j, &i) in miss_indices.iter().enumerate() {
+                let noisy_score = miss_results[j].score;
+                let true_error = truths.as_ref().map_or(noisy_score, |t| t[j]);
+                let key = keys[i].clone();
+                self.store
+                    .insert(TrialRecord {
+                        config: key.config,
+                        resource: key.resource,
+                        rep: key.rep,
+                        noisy_score,
+                        true_error,
+                        provenance: self.provenance.clone(),
+                    })
+                    .map_err(fedtune_core::CoreError::from)?;
+                scored[i] = Some((noisy_score, true_error));
+                self.misses += 1;
+            }
+        }
+        // Stitch results back in request order and log every evaluation.
+        self.campaign.begin_batch();
+        let mut results = Vec::with_capacity(requests.len());
+        for (request, entry) in requests.iter().zip(scored) {
+            let (noisy_score, true_error) = entry.expect("every request was hit or evaluated");
+            self.campaign.observe(request, noisy_score, true_error);
+            results.push(TrialResult::of(request, noisy_score));
+        }
+        Ok(results)
+    }
+
+    fn last_true_errors(&self) -> Option<Vec<f64>> {
+        Some(self.campaign.last_batch_true_errors())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fedhpo::HpConfig;
+
+    /// A deterministic analytic objective that counts its evaluations.
+    struct CountingObjective {
+        calls: usize,
+    }
+
+    impl BatchObjective for CountingObjective {
+        fn evaluate_batch(
+            &mut self,
+            requests: &[TrialRequest],
+        ) -> fedtune_core::Result<Vec<TrialResult>> {
+            Ok(requests
+                .iter()
+                .map(|r| {
+                    self.calls += 1;
+                    TrialResult::of(r, r.config.values()[0] + r.resource as f64)
+                })
+                .collect())
+        }
+    }
+
+    fn space() -> SearchSpace {
+        SearchSpace::new().with_uniform("x", 0.0, 10.0).unwrap()
+    }
+
+    fn provenance() -> Provenance {
+        Provenance {
+            benchmark: "analytic".into(),
+            scale: "unit".into(),
+            seed: 0,
+            noise: "noiseless".into(),
+        }
+    }
+
+    fn request(trial_id: usize, x: f64, resource: usize) -> TrialRequest {
+        TrialRequest {
+            trial_id,
+            config: HpConfig::new(vec![x]),
+            resource,
+            noise_rep: 0,
+        }
+    }
+
+    #[test]
+    fn misses_are_recorded_and_hits_skip_the_inner_objective() {
+        let space = space();
+        let mut store = TrialStore::in_memory();
+        let mut inner = CountingObjective { calls: 0 };
+        let mut recording = RecordingObjective::new(&mut inner, &space, provenance(), &mut store);
+        let batch = [request(0, 1.0, 2), request(1, 3.0, 2)];
+        let first = recording.evaluate_batch(&batch).unwrap();
+        assert_eq!(recording.misses(), 2);
+        assert_eq!(recording.hits(), 0);
+        assert_eq!(recording.last_true_errors().unwrap().len(), 2);
+        // The same points again: all hits, inner untouched, same bits.
+        let second = recording.evaluate_batch(&batch).unwrap();
+        assert_eq!(recording.hits(), 2);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+        }
+        assert_eq!(recording.log().len(), 4);
+        drop(recording);
+        assert_eq!(inner.calls, 2);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn log_accounts_campaign_resource_incrementally() {
+        let space = space();
+        let mut store = TrialStore::in_memory();
+        let mut inner = CountingObjective { calls: 0 };
+        let mut recording = RecordingObjective::new(&mut inner, &space, provenance(), &mut store);
+        recording
+            .evaluate_batch(&[request(0, 1.0, 2), request(0, 1.0, 5)])
+            .unwrap();
+        recording.evaluate_batch(&[request(1, 2.0, 3)]).unwrap();
+        let log = recording.log();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log[0].cumulative_rounds, 2);
+        assert_eq!(log[1].cumulative_rounds, 5);
+        assert_eq!(log[2].cumulative_rounds, 8);
+        assert!(recording.selected_true_error_within(usize::MAX).is_some());
+        assert_eq!(recording.into_log().len(), 3);
+    }
+
+    #[test]
+    fn resume_serves_the_recorded_prefix() {
+        let space = space();
+        let mut store = TrialStore::in_memory();
+        // First process: evaluates two points, then "crashes".
+        {
+            let mut inner = CountingObjective { calls: 0 };
+            let mut recording =
+                RecordingObjective::new(&mut inner, &space, provenance(), &mut store);
+            recording
+                .evaluate_batch(&[request(0, 1.0, 2), request(1, 3.0, 2)])
+                .unwrap();
+        }
+        // Second process re-drives the same schedule plus new work: the
+        // prefix hits, only the new point is evaluated.
+        let mut inner = CountingObjective { calls: 0 };
+        let mut recording = RecordingObjective::new(&mut inner, &space, provenance(), &mut store);
+        recording
+            .evaluate_batch(&[request(0, 1.0, 2), request(1, 3.0, 2)])
+            .unwrap();
+        recording.evaluate_batch(&[request(2, 5.0, 2)]).unwrap();
+        assert_eq!(recording.hits(), 2);
+        assert_eq!(recording.misses(), 1);
+        // The campaign log still accounts the prefix as paid-for work.
+        assert_eq!(recording.log().last().unwrap().cumulative_rounds, 6);
+        drop(recording);
+        assert_eq!(inner.calls, 1);
+        assert_eq!(store.len(), 3);
+    }
+}

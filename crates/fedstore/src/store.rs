@@ -1,0 +1,491 @@
+//! The persistent trial store: an in-memory index over an append-only
+//! JSON-lines ledger.
+//!
+//! The store is **content-addressed**: records are keyed by
+//! `(canonical configuration bits, resource, replicate)` — never by trial id
+//! or arrival order — so any campaign that re-derives the same points (a
+//! resumed run, a replayed method sweep, a differently-ordered parallel
+//! schedule) finds them. The file backend is append-only: every accepted
+//! insert is written and flushed as one JSON line before the insert returns,
+//! so an interrupted process loses at most the evaluation in flight, and
+//! re-opening the ledger re-indexes exactly what was recorded.
+
+use crate::key::{ConfigKey, TrialKey};
+use crate::record::TrialRecord;
+use crate::{Result, StoreError};
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// The append handle of a file-backed store.
+#[derive(Debug)]
+struct Backend {
+    path: PathBuf,
+    file: std::fs::File,
+}
+
+/// A persistent, content-addressed collection of [`TrialRecord`]s.
+#[derive(Debug, Default)]
+pub struct TrialStore {
+    records: Vec<TrialRecord>,
+    index: HashMap<TrialKey, usize>,
+    /// Replicate indices recorded per `(configuration, resource)` point,
+    /// kept sorted for deterministic resampling.
+    replicates: HashMap<(ConfigKey, usize), Vec<u64>>,
+    backend: Option<Backend>,
+}
+
+impl TrialStore {
+    /// Creates an empty store with no file backend.
+    pub fn in_memory() -> Self {
+        TrialStore::default()
+    }
+
+    /// Opens (or creates) a JSON-lines ledger at `path`: existing lines are
+    /// parsed and indexed, and subsequent inserts append to the file.
+    ///
+    /// A **torn final line** — the signature of a crash mid-append (the file
+    /// does not end in a newline and its last line does not parse) — is
+    /// recovered by truncating the ledger to its last complete record: the
+    /// evaluation in flight is lost, everything before it is kept. Any other
+    /// corruption still fails loudly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failures and
+    /// [`StoreError::Parse`]/[`StoreError::Conflict`] on a corrupt ledger.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let io_error = |e: std::io::Error| StoreError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        };
+        let mut store = match std::fs::read_to_string(&path) {
+            Ok(text) => match Self::from_jsonl(&text) {
+                Ok(store) => store,
+                Err(StoreError::Parse { line, .. })
+                    if !text.ends_with('\n') && line == text.lines().count() =>
+                {
+                    let keep = text.rfind('\n').map_or(0, |i| i + 1);
+                    let store = Self::from_jsonl(&text[..keep])?;
+                    let file = std::fs::OpenOptions::new()
+                        .write(true)
+                        .open(&path)
+                        .map_err(io_error)?;
+                    file.set_len(keep as u64).map_err(io_error)?;
+                    file.sync_data().map_err(io_error)?;
+                    store
+                }
+                Err(e) => return Err(e),
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => TrialStore::in_memory(),
+            Err(e) => return Err(io_error(e)),
+        };
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .map_err(io_error)?;
+        store.backend = Some(Backend { path, file });
+        Ok(store)
+    }
+
+    /// Rebuilds an in-memory store from ledger text (one JSON record per
+    /// line; blank lines are ignored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Parse`] on a malformed line and
+    /// [`StoreError::Conflict`] on contradictory duplicate keys.
+    pub fn from_jsonl(text: &str) -> Result<Self> {
+        let mut store = TrialStore::in_memory();
+        for (number, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let record = TrialRecord::from_line(line, number + 1)?;
+            store.insert(record)?;
+        }
+        Ok(store)
+    }
+
+    /// Serializes every record as ledger text (one JSON line per record).
+    ///
+    /// # Errors
+    ///
+    /// Propagates record serialization failures.
+    pub fn to_jsonl(&self) -> Result<String> {
+        let mut out = String::new();
+        for record in &self.records {
+            out.push_str(&record.to_line()?);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// The ledger path, when file-backed.
+    pub fn path(&self) -> Option<&Path> {
+        self.backend.as_ref().map(|b| b.path.as_path())
+    }
+
+    /// Number of records in the store.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` when the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// All records, in insertion (ledger) order.
+    pub fn records(&self) -> &[TrialRecord] {
+        &self.records
+    }
+
+    /// The record stored under `key`, if any.
+    pub fn get(&self, key: &TrialKey) -> Option<&TrialRecord> {
+        self.index.get(key).map(|&i| &self.records[i])
+    }
+
+    /// Returns `true` when a record exists under `key`.
+    pub fn contains(&self, key: &TrialKey) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// The recorded replicates of `(config, resource)`, in ascending
+    /// replicate order — the pool [`crate::TabularObjective`] resamples
+    /// noise from.
+    pub fn replicates(&self, config: &ConfigKey, resource: usize) -> Vec<&TrialRecord> {
+        let Some(reps) = self.replicates.get(&(config.clone(), resource)) else {
+            return Vec::new();
+        };
+        reps.iter()
+            .map(|&rep| {
+                let key = TrialKey {
+                    config: config.clone(),
+                    resource,
+                    rep,
+                };
+                self.get(&key).expect("replicate list mirrors the index")
+            })
+            .collect()
+    }
+
+    /// Inserts a record, appending it to the ledger file when file-backed.
+    /// NaN scores are collapsed to the canonical bit pattern first (see
+    /// [`TrialRecord::with_canonical_scores`]), keeping round trips
+    /// bit-lossless.
+    ///
+    /// Returns `true` when the record was new. Re-inserting a bit-identical
+    /// record is an idempotent no-op returning `false`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Conflict`] when the key exists with a different
+    /// payload, and [`StoreError::Io`] when the ledger append fails.
+    pub fn insert(&mut self, record: TrialRecord) -> Result<bool> {
+        let record = record.with_canonical_scores();
+        let key = record.key();
+        if let Some(existing) = self.get(&key) {
+            let identical = existing.noisy_score.to_bits() == record.noisy_score.to_bits()
+                && existing.true_error.to_bits() == record.true_error.to_bits()
+                && existing.provenance == record.provenance;
+            return if identical {
+                Ok(false)
+            } else {
+                Err(StoreError::Conflict {
+                    message: format!(
+                        "(resource {}, rep {}) of config {:?} already recorded with a different payload",
+                        key.resource,
+                        key.rep,
+                        key.config.values(),
+                    ),
+                })
+            };
+        }
+        if let Some(backend) = &mut self.backend {
+            let line = record.to_line()?;
+            let path = backend.path.display().to_string();
+            let io_error = |e: std::io::Error| StoreError::Io {
+                path: path.clone(),
+                message: e.to_string(),
+            };
+            backend
+                .file
+                .write_all(format!("{line}\n").as_bytes())
+                .map_err(io_error)?;
+            // `sync_data` (not `flush`, which is a userspace no-op for
+            // `File`) is what makes the durability claim real: once `insert`
+            // returns, the record survives a crash or power loss.
+            backend.file.sync_data().map_err(io_error)?;
+        }
+        let point = (key.config.clone(), key.resource);
+        let reps = self.replicates.entry(point).or_default();
+        let position = reps.partition_point(|&r| r < key.rep);
+        reps.insert(position, key.rep);
+        self.index.insert(key, self.records.len());
+        self.records.push(record);
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Provenance;
+
+    fn provenance(noise: &str) -> Provenance {
+        Provenance {
+            benchmark: "cifar10-like".into(),
+            scale: "smoke".into(),
+            seed: 0,
+            noise: noise.into(),
+        }
+    }
+
+    fn record(values: &[f64], resource: usize, rep: u64, noisy: f64) -> TrialRecord {
+        TrialRecord {
+            config: ConfigKey::from_canonical_values(values).unwrap(),
+            resource,
+            rep,
+            noisy_score: noisy,
+            true_error: noisy * 0.5,
+            provenance: provenance("noisy"),
+        }
+    }
+
+    #[test]
+    fn insert_index_and_lookup() {
+        let mut store = TrialStore::in_memory();
+        assert!(store.is_empty());
+        assert!(store.insert(record(&[0.5], 3, 0, 0.4)).unwrap());
+        assert!(store.insert(record(&[0.5], 3, 1, 0.6)).unwrap());
+        assert!(store.insert(record(&[0.5], 6, 0, 0.3)).unwrap());
+        assert!(store.insert(record(&[0.7], 3, 0, 0.9)).unwrap());
+        assert_eq!(store.len(), 4);
+        let key = record(&[0.5], 3, 1, 0.0).key();
+        assert!(store.contains(&key));
+        assert_eq!(store.get(&key).unwrap().noisy_score, 0.6);
+        // Replicates come back rep-sorted regardless of insertion order.
+        let config = ConfigKey::from_canonical_values(&[0.5]).unwrap();
+        let reps = store.replicates(&config, 3);
+        assert_eq!(reps.iter().map(|r| r.rep).collect::<Vec<u64>>(), vec![0, 1]);
+        assert!(store
+            .replicates(&ConfigKey::from_canonical_values(&[0.9]).unwrap(), 3)
+            .is_empty());
+        // -0.0 looks up the +0.0 record.
+        assert!(store.insert(record(&[0.0], 1, 0, 0.1)).unwrap());
+        let negzero = record(&[-0.0], 1, 0, 0.1).key();
+        assert!(store.contains(&negzero));
+    }
+
+    #[test]
+    fn duplicate_inserts_are_idempotent_but_conflicts_fail() {
+        let mut store = TrialStore::in_memory();
+        assert!(store.insert(record(&[0.5], 3, 0, 0.4)).unwrap());
+        // Bit-identical: no-op.
+        assert!(!store.insert(record(&[0.5], 3, 0, 0.4)).unwrap());
+        assert_eq!(store.len(), 1);
+        // Same key, different score: conflict.
+        let err = store.insert(record(&[0.5], 3, 0, 0.5)).unwrap_err();
+        assert!(matches!(err, StoreError::Conflict { .. }), "{err}");
+        // Same key, different provenance: conflict too.
+        let mut other = record(&[0.5], 3, 0, 0.4);
+        other.provenance = provenance("noiseless");
+        assert!(store.insert(other).is_err());
+    }
+
+    #[test]
+    fn jsonl_round_trip_preserves_everything() {
+        let mut store = TrialStore::in_memory();
+        store.insert(record(&[1e-3, 64.0], 6, 0, 0.37)).unwrap();
+        store.insert(record(&[1e-3, 64.0], 6, 1, f64::NAN)).unwrap();
+        store
+            .insert(record(&[-0.0, 32.0], 2, 0, f64::INFINITY))
+            .unwrap();
+        let text = store.to_jsonl();
+        let text = text.unwrap();
+        assert_eq!(text.lines().count(), 3);
+        let reloaded = TrialStore::from_jsonl(&text).unwrap();
+        assert_eq!(reloaded.len(), store.len());
+        for (a, b) in store.records().iter().zip(reloaded.records()) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.noisy_score.to_bits(), b.noisy_score.to_bits());
+            assert_eq!(a.true_error.to_bits(), b.true_error.to_bits());
+            assert_eq!(a.provenance, b.provenance);
+        }
+        // Blank lines are tolerated; corrupt lines are located.
+        assert!(TrialStore::from_jsonl("\n\n").unwrap().is_empty());
+        let err = TrialStore::from_jsonl("{oops}\n").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn torn_final_line_is_recovered_on_open() {
+        let path = std::env::temp_dir().join(format!(
+            "fedstore_torn_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = TrialStore::open(&path).unwrap();
+            store.insert(record(&[0.5], 3, 0, 0.4)).unwrap();
+            store.insert(record(&[0.7], 3, 0, 0.8)).unwrap();
+        }
+        // A crash mid-append leaves a partial record with no newline.
+        {
+            use std::io::Write;
+            let mut file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            file.write_all(b"{\"values\":[0.9],\"reso").unwrap();
+        }
+        // Re-opening drops exactly the torn record and keeps appending.
+        let mut store = TrialStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        store.insert(record(&[0.9], 3, 0, 0.1)).unwrap();
+        let reopened = TrialStore::open(&path).unwrap();
+        assert_eq!(reopened.len(), 3);
+        // Corruption that is NOT a torn tail still fails loudly.
+        std::fs::write(&path, "{broken}\nmore\n").unwrap();
+        assert!(matches!(
+            TrialStore::open(&path),
+            Err(StoreError::Parse { line: 1, .. })
+        ));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn non_finite_scores_survive_the_file_backend() {
+        let path = std::env::temp_dir().join(format!(
+            "fedstore_nonfinite_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = TrialStore::open(&path).unwrap();
+            store.insert(record(&[0.5], 3, 0, f64::NAN)).unwrap();
+            store
+                .insert(record(&[0.5], 3, 1, f64::NEG_INFINITY))
+                .unwrap();
+        }
+        let reopened = TrialStore::open(&path).unwrap();
+        assert!(reopened.records()[0].noisy_score.is_nan());
+        assert_eq!(reopened.records()[1].noisy_score, f64::NEG_INFINITY);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn file_backend_appends_and_reopens() {
+        let path = std::env::temp_dir().join(format!(
+            "fedstore_test_{}_{:?}.jsonl",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut store = TrialStore::open(&path).unwrap();
+            assert!(store.is_empty());
+            assert_eq!(store.path(), Some(path.as_path()));
+            store.insert(record(&[0.5], 3, 0, 0.4)).unwrap();
+            store.insert(record(&[0.5], 6, 0, 0.3)).unwrap();
+        }
+        {
+            // Re-open: records are re-indexed, appends continue.
+            let mut store = TrialStore::open(&path).unwrap();
+            assert_eq!(store.len(), 2);
+            assert!(store.contains(&record(&[0.5], 3, 0, 0.0).key()));
+            assert!(!store.insert(record(&[0.5], 3, 0, 0.4)).unwrap());
+            store.insert(record(&[0.7], 3, 0, 0.8)).unwrap();
+        }
+        let reopened = TrialStore::open(&path).unwrap();
+        assert_eq!(reopened.len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::record::Provenance;
+    use proptest::prelude::*;
+    use rand::Rng;
+
+    /// Builds a pseudo-random but reproducible store: `n` records whose
+    /// values, fidelities, replicates, and scores (including occasional
+    /// non-finite scores, exercising the guard encoding) are derived from
+    /// `seed`.
+    fn arbitrary_store(seed: u64, n: usize) -> TrialStore {
+        let mut rng = fedmath::rng::rng_for(seed, 0);
+        let mut store = TrialStore::in_memory();
+        for i in 0..n {
+            let arity = 1 + (i % 3);
+            let values: Vec<f64> = (0..arity)
+                .map(|_| {
+                    let v: f64 = rng.gen_range(-1e6..1e6);
+                    // Mix in exact zeros so -0.0 normalisation is exercised.
+                    if rng.gen_range(0..8) == 0 {
+                        -0.0
+                    } else {
+                        v
+                    }
+                })
+                .collect();
+            let score = |rng: &mut rand::rngs::StdRng| match rng.gen_range(0..10) {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                _ => rng.gen_range(0.0..1.5),
+            };
+            let record = TrialRecord {
+                config: ConfigKey::from_canonical_values(&values).expect("finite values"),
+                resource: rng.gen_range(1..100),
+                rep: rng.gen_range(0..4),
+                noisy_score: score(&mut rng),
+                true_error: score(&mut rng),
+                provenance: Provenance {
+                    benchmark: "prop".into(),
+                    scale: "smoke".into(),
+                    seed,
+                    noise: if i % 2 == 0 { "noisy" } else { "noiseless" }.into(),
+                },
+            };
+            // Colliding keys can occur; idempotent duplicates are fine and
+            // conflicts simply skip the record (we only need *a* store).
+            let _ = store.insert(record);
+        }
+        store
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Serialize → deserialize → re-index is lossless: every record
+        /// round-trips bit-exactly (non-finite scores included) and the
+        /// rebuilt index answers exactly the same lookups.
+        #[test]
+        fn prop_jsonl_round_trip_is_lossless(seed in any::<u64>(), n in 1usize..24) {
+            let store = arbitrary_store(seed, n);
+            let text = store.to_jsonl().expect("serializable");
+            let reloaded = TrialStore::from_jsonl(&text).expect("parseable");
+            prop_assert_eq!(reloaded.len(), store.len());
+            for (a, b) in store.records().iter().zip(reloaded.records()) {
+                prop_assert_eq!(&a.config, &b.config);
+                prop_assert_eq!(a.resource, b.resource);
+                prop_assert_eq!(a.rep, b.rep);
+                prop_assert_eq!(a.noisy_score.to_bits(), b.noisy_score.to_bits());
+                prop_assert_eq!(a.true_error.to_bits(), b.true_error.to_bits());
+                prop_assert_eq!(&a.provenance, &b.provenance);
+                // The rebuilt index resolves the record's own key.
+                let found = reloaded.get(&a.key()).expect("key indexed");
+                prop_assert_eq!(found.noisy_score.to_bits(), a.noisy_score.to_bits());
+            }
+            // A second round trip is a fixed point.
+            prop_assert_eq!(reloaded.to_jsonl().expect("serializable"), text);
+        }
+    }
+}

@@ -1,0 +1,336 @@
+//! The tabular surrogate objective: tuning campaigns replayed against a
+//! recorded [`TrialStore`] instead of the live federated simulator.
+//!
+//! Lookup semantics per request `(config, resource, rep)`:
+//!
+//! 1. **Exact hit** — the key is recorded: the stored noisy score and true
+//!    error are returned bit-for-bit. A replayed campaign whose scheduler
+//!    re-derives the recorded schedule (same method, same seeds) is therefore
+//!    bit-identical to the live run.
+//! 2. **Replicate resample** — the point `(config, resource)` is recorded but
+//!    not this replicate index: one recorded replicate is chosen by a seed
+//!    derived from `(resample seed, config fingerprint, resource, rep)`.
+//!    This is deterministic (the same request always draws the same recorded
+//!    observation, independent of call order) and lets noise-mitigation
+//!    studies run *more* replicates than were recorded by treating the
+//!    recorded draws as an empirical noise distribution.
+//! 3. **Miss** — nothing is recorded at the point: the evaluation fails with
+//!    a [`StoreError::Miss`], because silently inventing objective values
+//!    would corrupt every conclusion drawn from the sweep.
+
+use crate::key::TrialKey;
+use crate::store::TrialStore;
+use crate::{Result, StoreError};
+use fedhpo::{HpConfig, SearchSpace, TrialRequest, TrialResult};
+use fedmath::rng::derive_seed;
+use fedtune_core::{BatchObjective, CampaignLog, ObjectiveLogEntry};
+
+/// A scheduler-facing objective answering every evaluation from a recorded
+/// table.
+pub struct TabularObjective<'s> {
+    store: &'s TrialStore,
+    space: SearchSpace,
+    resample_seed: u64,
+    campaign: CampaignLog,
+    exact_hits: usize,
+    resampled: usize,
+}
+
+impl<'s> TabularObjective<'s> {
+    /// Creates a surrogate over `store`, canonicalizing requests against
+    /// `space`.
+    pub fn new(store: &'s TrialStore, space: &SearchSpace) -> Self {
+        TabularObjective {
+            store,
+            space: space.clone(),
+            resample_seed: 0,
+            campaign: CampaignLog::new(),
+            exact_hits: 0,
+            resampled: 0,
+        }
+    }
+
+    /// Sets the seed of the deterministic replicate-resampling channel
+    /// (distinct seeds draw independent resample assignments).
+    #[must_use]
+    pub fn with_resample_seed(mut self, seed: u64) -> Self {
+        self.resample_seed = seed;
+        self
+    }
+
+    /// The replay log so far, in request order — same shape and accounting
+    /// as the live objective's log, with true errors from the table.
+    pub fn log(&self) -> &[ObjectiveLogEntry] {
+        self.campaign.log()
+    }
+
+    /// Consumes the objective and returns its log.
+    pub fn into_log(self) -> Vec<ObjectiveLogEntry> {
+        self.campaign.into_log()
+    }
+
+    /// Requests answered by their exactly-recorded key.
+    pub fn exact_hits(&self) -> usize {
+        self.exact_hits
+    }
+
+    /// Requests answered by deterministic replicate resampling.
+    pub fn resampled(&self) -> usize {
+        self.resampled
+    }
+
+    /// Campaign rounds the replayed schedule *would* have consumed live.
+    pub fn cumulative_rounds(&self) -> usize {
+        self.campaign.cumulative_rounds()
+    }
+
+    /// Noise-aware selection over the replay log; see
+    /// [`fedtune_core::selected_true_error`].
+    pub fn selected_true_error_within(&self, budget: usize) -> Option<f64> {
+        self.campaign.selected_true_error_within(budget)
+    }
+
+    /// Answers one request from the table, returning
+    /// `(noisy score, true error)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Miss`] when the point is not recorded at all.
+    fn lookup(&mut self, request: &TrialRequest) -> Result<(f64, f64)> {
+        let key = TrialKey::for_request(&self.space, request)?;
+        if let Some(record) = self.store.get(&key) {
+            self.exact_hits += 1;
+            return Ok((record.noisy_score, record.true_error));
+        }
+        let replicates = self.store.replicates(&key.config, key.resource);
+        if replicates.is_empty() {
+            return Err(StoreError::Miss {
+                message: format!(
+                    "no recorded evaluation of config {:?} at resource {}",
+                    key.config.values(),
+                    key.resource,
+                ),
+            });
+        }
+        // Deterministic resample: pure function of the request coordinates
+        // and the resample seed, independent of call order.
+        let channel = derive_seed(
+            derive_seed(
+                derive_seed(self.resample_seed, key.config.fingerprint()),
+                key.resource as u64,
+            ),
+            key.rep,
+        );
+        let pick = &replicates[(channel % replicates.len() as u64) as usize];
+        self.resampled += 1;
+        Ok((pick.noisy_score, pick.true_error))
+    }
+
+    /// Answers one request and logs it with campaign resource accounting.
+    fn evaluate_one(&mut self, request: &TrialRequest) -> Result<f64> {
+        let (noisy_score, true_error) = self.lookup(request)?;
+        self.campaign.observe(request, noisy_score, true_error);
+        Ok(noisy_score)
+    }
+}
+
+impl BatchObjective for TabularObjective<'_> {
+    fn evaluate_batch(
+        &mut self,
+        requests: &[TrialRequest],
+    ) -> fedtune_core::Result<Vec<TrialResult>> {
+        self.campaign.begin_batch();
+        requests
+            .iter()
+            .map(|request| {
+                let score = self
+                    .evaluate_one(request)
+                    .map_err(fedtune_core::CoreError::from)?;
+                Ok(TrialResult::of(request, score))
+            })
+            .collect()
+    }
+
+    fn last_true_errors(&self) -> Option<Vec<f64>> {
+        Some(self.campaign.last_batch_true_errors())
+    }
+}
+
+/// Pull-style access for the classic [`fedhpo::Tuner`] interface: the same
+/// table semantics, one request at a time.
+impl fedhpo::Objective for TabularObjective<'_> {
+    fn evaluate(
+        &mut self,
+        trial_id: usize,
+        config: &HpConfig,
+        resource: usize,
+    ) -> fedhpo::Result<f64> {
+        self.evaluate_rep(trial_id, config, resource, 0)
+    }
+
+    fn evaluate_rep(
+        &mut self,
+        trial_id: usize,
+        config: &HpConfig,
+        resource: usize,
+        noise_rep: u64,
+    ) -> fedhpo::Result<f64> {
+        self.evaluate_one(&TrialRequest {
+            trial_id,
+            config: config.clone(),
+            resource,
+            noise_rep,
+        })
+        .map_err(|e| fedhpo::HpoError::Objective {
+            message: e.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::key::ConfigKey;
+    use crate::record::Provenance;
+    use crate::TrialRecord;
+    use fedhpo::Objective;
+
+    fn provenance() -> Provenance {
+        Provenance {
+            benchmark: "analytic".into(),
+            scale: "unit".into(),
+            seed: 0,
+            noise: "noisy".into(),
+        }
+    }
+
+    fn space() -> SearchSpace {
+        SearchSpace::new().with_uniform("x", 0.0, 10.0).unwrap()
+    }
+
+    fn table() -> TrialStore {
+        let mut store = TrialStore::in_memory();
+        for (x, resource, rep, noisy, true_error) in [
+            (1.0, 2, 0u64, 0.40, 0.45),
+            (1.0, 2, 1, 0.50, 0.45),
+            (1.0, 2, 2, 0.44, 0.45),
+            (1.0, 4, 0, 0.30, 0.33),
+            (3.0, 2, 0, 0.60, 0.58),
+        ] {
+            store
+                .insert(TrialRecord {
+                    config: ConfigKey::from_canonical_values(&[x]).unwrap(),
+                    resource,
+                    rep,
+                    noisy_score: noisy,
+                    true_error,
+                    provenance: provenance(),
+                })
+                .unwrap();
+        }
+        store
+    }
+
+    fn request(trial_id: usize, x: f64, resource: usize, noise_rep: u64) -> TrialRequest {
+        TrialRequest {
+            trial_id,
+            config: HpConfig::new(vec![x]),
+            resource,
+            noise_rep,
+        }
+    }
+
+    #[test]
+    fn exact_hits_return_recorded_bits() {
+        let store = table();
+        let mut tabular = TabularObjective::new(&store, &space());
+        let results = tabular
+            .evaluate_batch(&[request(0, 1.0, 2, 0), request(1, 3.0, 2, 0)])
+            .unwrap();
+        assert_eq!(results[0].score.to_bits(), 0.40f64.to_bits());
+        assert_eq!(results[1].score.to_bits(), 0.60f64.to_bits());
+        assert_eq!(tabular.exact_hits(), 2);
+        assert_eq!(tabular.resampled(), 0);
+        assert_eq!(tabular.last_true_errors().unwrap(), vec![0.45, 0.58]);
+        assert_eq!(tabular.cumulative_rounds(), 4);
+        assert_eq!(tabular.log().len(), 2);
+        assert!(tabular.selected_true_error_within(usize::MAX).is_some());
+    }
+
+    #[test]
+    fn unrecorded_replicates_resample_deterministically() {
+        let store = table();
+        let run = |seed: u64, rep: u64| {
+            let mut tabular = TabularObjective::new(&store, &space()).with_resample_seed(seed);
+            let score = tabular.evaluate_batch(&[request(0, 1.0, 2, rep)]).unwrap()[0].score;
+            (score, tabular.resampled())
+        };
+        // Replicate 7 was never recorded: it resamples one of the recorded
+        // draws, the same one every time.
+        let (a, resampled) = run(0, 7);
+        assert_eq!(resampled, 1);
+        assert!([0.40f64, 0.50, 0.44]
+            .iter()
+            .any(|v| v.to_bits() == a.to_bits()));
+        let (b, _) = run(0, 7);
+        assert_eq!(a.to_bits(), b.to_bits());
+        // Different replicate indices spread across the recorded pool.
+        let distinct: std::collections::HashSet<u64> =
+            (0..32).map(|rep| run(0, rep).0.to_bits()).collect();
+        assert!(distinct.len() > 1);
+        // Recorded replicates still hit exactly.
+        let (exact, resampled) = run(0, 1);
+        let _ = resampled;
+        assert_eq!(exact.to_bits(), 0.50f64.to_bits());
+    }
+
+    #[test]
+    fn complete_misses_fail_loudly() {
+        let store = table();
+        let mut tabular = TabularObjective::new(&store, &space());
+        let err = tabular
+            .evaluate_batch(&[request(0, 9.0, 2, 0)])
+            .unwrap_err();
+        assert!(err.to_string().contains("no recorded evaluation"), "{err}");
+        // An unrecorded fidelity of a recorded config also misses.
+        assert!(tabular.evaluate_batch(&[request(0, 3.0, 4, 0)]).is_err());
+        // Nothing was logged for the failed evaluations' batches beyond the
+        // successful prefix.
+        assert!(tabular.log().is_empty());
+    }
+
+    #[test]
+    fn pull_style_objective_replays_too() {
+        let store = table();
+        let mut tabular = TabularObjective::new(&store, &space());
+        let config = HpConfig::new(vec![1.0]);
+        let score = tabular.evaluate(0, &config, 2).unwrap();
+        assert_eq!(score.to_bits(), 0.40f64.to_bits());
+        let rep1 = tabular.evaluate_rep(0, &config, 2, 1).unwrap();
+        assert_eq!(rep1.to_bits(), 0.50f64.to_bits());
+        assert!(tabular.evaluate(0, &HpConfig::new(vec![9.0]), 2).is_err());
+        assert_eq!(tabular.into_log().len(), 2);
+    }
+
+    #[test]
+    fn campaign_accounting_matches_live_semantics() {
+        let store = table();
+        let mut tabular = TabularObjective::new(&store, &space());
+        // Promote trial 0 from fidelity 2 to 4: only the delta is charged;
+        // a replicate at the reached fidelity is free.
+        tabular
+            .evaluate_batch(&[
+                request(0, 1.0, 2, 0),
+                request(0, 1.0, 4, 0),
+                request(0, 1.0, 2, 1),
+            ])
+            .unwrap();
+        assert_eq!(tabular.cumulative_rounds(), 4);
+        let log = tabular.log();
+        assert_eq!(log[0].cumulative_rounds, 2);
+        assert_eq!(log[1].cumulative_rounds, 4);
+        assert_eq!(log[2].cumulative_rounds, 4);
+        // The replicate's logged fidelity is the reached one, like live.
+        assert_eq!(log[2].resource, 4);
+    }
+}

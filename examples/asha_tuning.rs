@@ -5,6 +5,9 @@
 //! ```text
 //! cargo run --release --example asha_tuning
 //! ```
+//!
+//! With `FEDTUNE_BENCH_JSON=1` the run writes `BENCH_asha_tuning.json` so
+//! both campaigns' wall-clock is tracked alongside the bench harness.
 
 use feddata::Benchmark;
 use fedhpo::{Asha, IntoScheduler, ReEvaluation};
@@ -18,6 +21,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = ExperimentScale::smoke();
     let ctx = BenchmarkContext::new(Benchmark::Cifar10Like, &scale, 0)?;
     let noise = NoiseConfig::paper_noisy();
+    let mut summary = fedbench::BenchSummary::new("asha_tuning");
 
     // An ASHA ladder: 12 configurations, eta = 3, rungs at 2 and 6 rounds.
     let asha = Asha::new(12, 3, 2, scale.rounds_per_config);
@@ -34,7 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut objective = BatchFederatedObjective::new(&ctx, noise, asha.planned_evaluations(), 1)?
         .with_batch_runner(TrialRunner::new(ExecutionPolicy::parallel()));
     let mut rng = fedmath::rng::rng_for(1, 0);
-    let outcome = run_scheduled(&mut scheduler, ctx.space(), &mut objective, &mut rng)?;
+    let outcome = summary.time("asha_parallel", asha.planned_evaluations() as u64, || {
+        run_scheduled(&mut scheduler, ctx.space(), &mut objective, &mut rng)
+    })?;
     let selected = objective
         .selected_true_error_within(usize::MAX)
         .expect("asha evaluated something");
@@ -53,7 +59,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut objective = BatchFederatedObjective::new(&ctx, noise, planned, 1)?
         .with_batch_runner(TrialRunner::new(ExecutionPolicy::parallel()));
     let mut rng = fedmath::rng::rng_for(1, 0);
-    let outcome = run_scheduled(&mut scheduler, ctx.space(), &mut objective, &mut rng)?;
+    let outcome = summary.time("asha_reeval_parallel", planned as u64, || {
+        run_scheduled(&mut scheduler, ctx.space(), &mut objective, &mut rng)
+    })?;
     let selected = objective
         .selected_true_error_within(usize::MAX)
         .expect("asha+re evaluated something");
@@ -71,5 +79,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("Re-evaluation costs no extra training rounds: the survivors' runs already");
     println!("sit at the top-rung fidelity; only fresh noisy evaluations are drawn.");
+    summary.write_if_enabled();
     Ok(())
 }

@@ -4,6 +4,9 @@
 //! ```text
 //! cargo run --release --example method_comparison
 //! ```
+//!
+//! With `FEDTUNE_BENCH_JSON=1` the run writes `BENCH_method_comparison.json`
+//! so the campaign's wall-clock is tracked alongside the bench harness.
 
 use feddata::Benchmark;
 use fedtune::fedtune_core::experiments::methods::{paper_noise_settings, run_method_comparison};
@@ -13,8 +16,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Smoke scale keeps this example under a minute; use
     // `ExperimentScale::default_scale()` to regenerate the EXPERIMENTS.md rows.
     let scale = ExperimentScale::smoke();
-    let comparison =
-        run_method_comparison(Benchmark::Cifar10Like, &scale, &paper_noise_settings(), 5)?;
+    let mut summary = fedbench::BenchSummary::new("method_comparison");
+    let campaigns = (4 * 2 * scale.method_trials) as u64;
+    let comparison = summary.time("live_method_comparison", campaigns, || {
+        run_method_comparison(Benchmark::Cifar10Like, &scale, &paper_noise_settings(), 5)
+    })?;
 
     println!("{}", comparison.to_online_report()?.to_table());
     let one_third = scale.total_budget / 3;
@@ -32,5 +38,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!("Under noise, the early-stopping methods (HB, BOHB) typically lose their edge");
     println!("over plain random search — the paper's Observation 6.");
+    summary.write_if_enabled();
     Ok(())
 }

@@ -4,6 +4,10 @@
 //! ```text
 //! cargo run --release --example noisy_evaluation_sweep
 //! ```
+//!
+//! With `FEDTUNE_BENCH_JSON=1` the run writes
+//! `BENCH_noisy_evaluation_sweep.json` so the perf trajectory of the two
+//! sweeps is tracked alongside the bench harness.
 
 use feddata::Benchmark;
 use fedtune::fedtune_core::experiments::privacy::{privacy_report, run_privacy_sweep};
@@ -15,15 +19,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // `ExperimentScale::default_scale()` for the EXPERIMENTS.md numbers.
     let scale = ExperimentScale::smoke();
     let benchmark = Benchmark::Cifar10Like;
+    let mut summary = fedbench::BenchSummary::new("noisy_evaluation_sweep");
 
     println!("== Client subsampling (Fig. 3 shape) ==");
-    let sweep = run_subsampling_sweep(benchmark, &scale, 0)?;
+    let sweep = summary.time("subsampling_sweep", scale.bootstrap_trials as u64, || {
+        run_subsampling_sweep(benchmark, &scale, 0)
+    })?;
     println!("{}", subsampling_report(&[sweep]).to_table());
 
     println!("== Differential privacy (Fig. 9 shape) ==");
-    let privacy = run_privacy_sweep(benchmark, &scale, 0)?;
+    let privacy = summary.time("privacy_sweep", scale.bootstrap_trials as u64, || {
+        run_privacy_sweep(benchmark, &scale, 0)
+    })?;
     println!("{}", privacy_report(&[privacy]).to_table());
 
     println!("Reading the tables: medians rise as the subsample shrinks and as epsilon decreases.");
+    summary.write_if_enabled();
     Ok(())
 }

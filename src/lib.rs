@@ -16,6 +16,9 @@
 //! - [`fedproxy`] — proxy-data tuning and HP-transfer analysis.
 //! - [`fedtune_core`] — noise-aware evaluation pipeline and the per-figure
 //!   experiment runners (the paper's primary contribution as a library).
+//! - [`fedstore`] — the persistent trial ledger and tabular surrogate
+//!   objectives: record live campaigns once, then replay method sweeps
+//!   against the table and resume interrupted campaigns bit-identically.
 //!
 //! See `examples/` for runnable entry points and `crates/bench` for the
 //! benchmark harness that regenerates every table and figure of the paper.
@@ -30,6 +33,7 @@ pub use fedmath;
 pub use fedmodels;
 pub use fedproxy;
 pub use fedsim;
+pub use fedstore;
 pub use fedtune_core;
 
 /// Workspace version string (matches every member crate).

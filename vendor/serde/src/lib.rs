@@ -8,8 +8,11 @@
 //!
 //! [`Serialize`] produces a [`Value`] tree that the `serde_json` shim renders
 //! as real JSON (externally-tagged enums, like upstream serde's default).
-//! [`Deserialize`] exists so `#[derive(Deserialize)]` compiles; the workspace
-//! never deserializes, and the derived impl returns [`DeError`] if called.
+//! [`Deserialize`] reverses the mapping: derived impls reconstruct structs by
+//! field-name lookup (missing fields deserialize from [`Value::Null`], so
+//! `Option` fields tolerate omission) and enums from the externally-tagged
+//! encoding, which together with the `serde_json` parser gives full JSON
+//! round-tripping.
 
 use std::fmt;
 
@@ -54,16 +57,37 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
-/// Types that can notionally be deserialized from a [`Value`] tree.
-///
-/// The derive emits a stub; the workspace only ever serializes.
+/// Types that can be deserialized from a [`Value`] tree.
 pub trait Deserialize: Sized {
     /// Attempts to reconstruct `Self` from a value tree.
     ///
     /// # Errors
     ///
-    /// Derived impls always return [`DeError`].
+    /// Returns [`DeError`] when the tree does not encode a `Self`.
     fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Support routine for derived [`Deserialize`] impls: looks `name` up in a
+/// struct's entry list and deserializes it, reporting `context.name` in
+/// errors. Missing fields deserialize from [`Value::Null`] so that `Option`
+/// fields tolerate omission while required fields produce a clear error.
+///
+/// # Errors
+///
+/// Propagates the field's deserialization error.
+#[doc(hidden)]
+pub fn __field<T: Deserialize>(
+    entries: &[(String, Value)],
+    name: &str,
+    context: &str,
+) -> Result<T, DeError> {
+    match entries.iter().find(|(key, _)| key == name) {
+        Some((_, value)) => {
+            T::from_value(value).map_err(|e| DeError::new(format!("{context}.{name}: {e}")))
+        }
+        None => T::from_value(&Value::Null)
+            .map_err(|_| DeError::new(format!("{context}: missing field {name}"))),
+    }
 }
 
 /// Deserialization error.
@@ -99,7 +123,12 @@ macro_rules! impl_serialize_uint {
         impl Deserialize for $ty {
             fn from_value(value: &Value) -> Result<Self, DeError> {
                 match value {
-                    Value::U64(v) => Ok(*v as $ty),
+                    Value::U64(v) => (*v).try_into().map_err(|_| {
+                        DeError::new(format!(
+                            "integer {v} out of range for {}",
+                            stringify!($ty)
+                        ))
+                    }),
                     _ => Err(DeError::new("expected unsigned integer")),
                 }
             }
@@ -117,9 +146,12 @@ macro_rules! impl_serialize_int {
         }
         impl Deserialize for $ty {
             fn from_value(value: &Value) -> Result<Self, DeError> {
+                let out_of_range = |v: &dyn std::fmt::Display| {
+                    DeError::new(format!("integer {v} out of range for {}", stringify!($ty)))
+                };
                 match value {
-                    Value::I64(v) => Ok(*v as $ty),
-                    Value::U64(v) => Ok(*v as $ty),
+                    Value::I64(v) => (*v).try_into().map_err(|_| out_of_range(v)),
+                    Value::U64(v) => (*v).try_into().map_err(|_| out_of_range(v)),
                     _ => Err(DeError::new("expected integer")),
                 }
             }
@@ -148,6 +180,18 @@ macro_rules! impl_serialize_float {
     )*};
 }
 impl_serialize_float!(f32, f64);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
 
 impl Serialize for bool {
     fn to_value(&self) -> Value {
@@ -236,6 +280,30 @@ impl<A: Serialize, B: Serialize> Serialize for (A, B) {
     }
 }
 
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) if items.len() == 2 => {
+                Ok((A::from_value(&items[0])?, B::from_value(&items[1])?))
+            }
+            _ => Err(DeError::new("expected a 2-element sequence")),
+        }
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Seq(items) if items.len() == 3 => Ok((
+                A::from_value(&items[0])?,
+                B::from_value(&items[1])?,
+                C::from_value(&items[2])?,
+            )),
+            _ => Err(DeError::new("expected a 3-element sequence")),
+        }
+    }
+}
+
 impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     fn to_value(&self) -> Value {
         Value::Seq(vec![
@@ -319,9 +387,91 @@ mod tests {
     }
 
     #[test]
-    fn derived_deserialize_is_a_stub() {
-        let err = Point::from_value(&Value::Null).unwrap_err();
-        assert!(err.to_string().contains("offline serde shim"));
+    fn derived_struct_round_trips() {
+        let p = Point {
+            x: 0.5,
+            label: "hi".into(),
+            tags: vec![1, 2],
+        };
+        let back = Point::from_value(&p.to_value()).unwrap();
+        assert_eq!(back.x, 0.5);
+        assert_eq!(back.label, "hi");
+        assert_eq!(back.tags, vec![1, 2]);
+        // Missing required fields are a clear error; wrong shapes too.
+        let err = Point::from_value(&Value::Map(vec![])).unwrap_err();
+        assert!(err.to_string().contains("missing field"), "{err}");
+        assert!(Point::from_value(&Value::Null).is_err());
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Sparse {
+        required: u64,
+        optional: Option<f64>,
+    }
+
+    #[test]
+    fn optional_fields_tolerate_omission() {
+        let sparse =
+            Sparse::from_value(&Value::Map(vec![("required".into(), Value::U64(3))])).unwrap();
+        assert_eq!(
+            sparse,
+            Sparse {
+                required: 3,
+                optional: None
+            }
+        );
+    }
+
+    #[test]
+    fn derived_enum_round_trips() {
+        for kind in [
+            Kind::Unit,
+            Kind::Newtype(7),
+            Kind::Pair(1, true),
+            Kind::Named {
+                a: 2.5,
+                b: "x".into(),
+            },
+        ] {
+            let back = Kind::from_value(&kind.to_value()).unwrap();
+            assert!(
+                matches!(
+                    (&kind, &back),
+                    (Kind::Unit, Kind::Unit)
+                        | (Kind::Newtype(_), Kind::Newtype(_))
+                        | (Kind::Pair(..), Kind::Pair(..))
+                        | (Kind::Named { .. }, Kind::Named { .. })
+                ),
+                "variant changed across the round trip"
+            );
+        }
+        assert!(Kind::from_value(&Value::Str("Nope".into())).is_err());
+        assert!(Kind::from_value(&Value::U64(1)).is_err());
+    }
+
+    #[test]
+    fn narrowing_integer_conversions_are_range_checked() {
+        assert_eq!(u8::from_value(&Value::U64(255)).unwrap(), 255);
+        assert!(u8::from_value(&Value::U64(300)).is_err());
+        assert!(i64::from_value(&Value::U64(u64::MAX)).is_err());
+        assert_eq!(
+            i64::from_value(&Value::U64(i64::MAX as u64)).unwrap(),
+            i64::MAX
+        );
+        assert!(i8::from_value(&Value::I64(-200)).is_err());
+        assert!(u64::from_value(&Value::U64(u64::MAX)).is_ok());
+    }
+
+    #[test]
+    fn tuples_round_trip() {
+        let pair = (1u64, "a".to_string());
+        assert_eq!(<(u64, String)>::from_value(&pair.to_value()).unwrap(), pair);
+        let triple = (1u64, 2i64, 0.5f64);
+        assert_eq!(
+            <(u64, i64, f64)>::from_value(&triple.to_value()).unwrap(),
+            triple
+        );
+        assert!(<(u64, u64)>::from_value(&Value::Seq(vec![Value::U64(1)])).is_err());
     }
 
     #[test]

@@ -8,8 +8,12 @@
 //! enums with unit, tuple, and struct variants.
 //!
 //! `Serialize` produces a real value tree (rendered to JSON by the
-//! `serde_json` shim). `Deserialize` is a typecheck-level stub: the workspace
-//! never deserializes, so the generated impl returns an error at runtime.
+//! `serde_json` shim). `Deserialize` reconstructs the type from the same
+//! value tree: struct fields are looked up by name (absent fields
+//! deserialize from `Value::Null`, so `Option` fields tolerate omission) and
+//! enums follow serde's externally-tagged encoding. Together with the
+//! `serde_json` parser this gives the workspace full JSON round-tripping —
+//! the `fedstore` trial ledger depends on it.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -255,17 +259,106 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .unwrap()
 }
 
+/// Generates the struct-body initialiser `field: ::serde::__field(...)` list
+/// for named fields, looking each up by name in a `Value::Map`.
+fn named_field_inits(fields: &[String], context: &str) -> String {
+    fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::__field(__entries, {f:?}, {context:?})?"))
+        .collect::<Vec<String>>()
+        .join(", ")
+}
+
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
-    let (name, _shape) = match parse_input(input) {
+    let (name, shape) = match parse_input(input) {
         Ok(parsed) => parsed,
         Err(e) => return compile_error(&e),
+    };
+    let body = match &shape {
+        Shape::Struct(fields) => format!(
+            "match __value {{\n\
+                 ::serde::Value::Map(__entries) => Ok({name} {{ {inits} }}),\n\
+                 _ => Err(::serde::DeError::new(\"expected a map for struct {name}\")),\n\
+             }}",
+            inits = named_field_inits(fields, &name),
+        ),
+        Shape::Enum(variants) => {
+            // Externally tagged: unit variants are strings, the rest are
+            // single-entry maps from the variant name to its payload.
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, vs)| matches!(vs, VariantShape::Unit))
+                .map(|(v, _)| format!("{v:?} => Ok({name}::{v})"))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|(v, vs)| match vs {
+                    VariantShape::Unit => None,
+                    VariantShape::Tuple(1) => Some(format!(
+                        "{v:?} => Ok({name}::{v}(::serde::Deserialize::from_value(__inner)?))"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| {
+                                format!("::serde::Deserialize::from_value(&__items[{k}])?")
+                            })
+                            .collect();
+                        Some(format!(
+                            "{v:?} => match __inner {{\n\
+                                 ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                                     Ok({name}::{v}({items})),\n\
+                                 _ => Err(::serde::DeError::new(\
+                                     \"expected a {n}-element sequence for variant {name}::{v}\")),\n\
+                             }}",
+                            items = items.join(", "),
+                        ))
+                    }
+                    VariantShape::Struct(fields) => Some(format!(
+                        "{v:?} => match __inner {{\n\
+                             ::serde::Value::Map(__entries) => Ok({name}::{v} {{ {inits} }}),\n\
+                             _ => Err(::serde::DeError::new(\
+                                 \"expected a map for variant {name}::{v}\")),\n\
+                         }}",
+                        inits = named_field_inits(fields, &format!("{name}::{v}")),
+                    )),
+                })
+                .collect();
+            format!(
+                "match __value {{\n\
+                     ::serde::Value::Str(__tag) => match __tag.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => Err(::serde::DeError::new(::std::format!(\n\
+                             \"unknown unit variant {{__other}} for enum {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                         let (__tag, __inner) = &__entries[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             __other => Err(::serde::DeError::new(::std::format!(\n\
+                                 \"unknown variant {{__other}} for enum {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => Err(::serde::DeError::new(\
+                         \"expected a string or single-entry map for enum {name}\")),\n\
+                 }}",
+                unit_arms = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", unit_arms.join(", "))
+                },
+                tagged_arms = if tagged_arms.is_empty() {
+                    String::new()
+                } else {
+                    format!("{},", tagged_arms.join(", "))
+                },
+            )
+        }
     };
     format!(
         "impl ::serde::Deserialize for {name} {{\n\
              fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
-                 let _ = __value;\n\
-                 Err(::serde::DeError::new(\"Deserialize is not implemented by the offline serde shim (type {name})\"))\n\
+                 {body}\n\
              }}\n\
          }}"
     )

@@ -1,9 +1,13 @@
 //! Offline vendor shim for the `serde_json` API surface used by this
-//! workspace: [`to_string`] and [`to_string_pretty`] over the minimal serde's
-//! [`serde::Value`] tree. Output matches `serde_json`'s formatting
-//! conventions (2-space indent, `"key": value`, externally-tagged enums).
+//! workspace: [`to_string`] / [`to_string_pretty`] over the minimal serde's
+//! [`serde::Value`] tree, and the reverse direction — [`from_str`] parses
+//! JSON text back into a value tree and reconstructs any
+//! [`serde::Deserialize`] type from it. Output matches `serde_json`'s
+//! formatting conventions (2-space indent, `"key": value`, externally-tagged
+//! enums), and finite floats round-trip bit-exactly because Rust's shortest
+//! float formatting is re-parsed to the identical `f64`.
 
-use serde::{Serialize, Value};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
 /// Serialization error (non-finite floats, like upstream `serde_json`).
@@ -144,6 +148,288 @@ pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
     Ok(out)
 }
 
+/// Serializes `value` into a [`Value`] tree (upstream's `serde_json::to_value`
+/// modulo the shim's unified value type).
+pub fn to_value<T: Serialize>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Reconstructs a `T` from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Fails when the tree does not encode a `T`.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T> {
+    T::from_value(value).map_err(|e| Error {
+        message: e.to_string(),
+    })
+}
+
+/// Parses JSON text and reconstructs a `T` from it.
+///
+/// # Errors
+///
+/// Fails on malformed JSON, trailing content, or a tree that does not encode
+/// a `T`.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T> {
+    from_value(&parse_str(input)?)
+}
+
+/// Parses JSON text into a [`Value`] tree.
+///
+/// Numbers without a fraction or exponent parse as `U64` (or `I64` when
+/// negative), everything else as `F64` — mirroring how [`to_string`] renders
+/// the three numeric variants, so value trees round-trip through text.
+///
+/// # Errors
+///
+/// Fails on malformed JSON or trailing content.
+pub fn parse_str(input: &str) -> Result<Value> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+        depth: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing content after the JSON value"));
+    }
+    Ok(value)
+}
+
+/// Maximum container nesting the parser accepts (upstream `serde_json`
+/// bounds recursion the same way so malformed input returns an error instead
+/// of overflowing the stack).
+const MAX_PARSE_DEPTH: usize = 128;
+
+/// A hand-rolled recursive-descent JSON parser over the input bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: &str) -> Error {
+        Error {
+            message: format!("{message} at byte {}", self.pos),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<()> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    /// Consumes a literal keyword (`null`, `true`, `false`).
+    fn expect_keyword(&mut self, keyword: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{keyword}`")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => self.expect_keyword("null").map(|()| Value::Null),
+            Some(b't') => self.expect_keyword("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.expect_keyword("false").map(|()| Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            _ => Err(self.error("expected a JSON value")),
+        }
+    }
+
+    fn enter(&mut self) -> Result<()> {
+        self.depth += 1;
+        if self.depth > MAX_PARSE_DEPTH {
+            return Err(self.error("nesting exceeds the maximum parse depth"));
+        }
+        Ok(())
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.enter()?;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.enter()?;
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u16> {
+        let end = self.pos + 4;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .and_then(|s| std::str::from_utf8(s).ok())
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        let code = u16::from_str_radix(digits, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\' && c >= 0x20) {
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let high = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&high) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let low = self.parse_hex4()?;
+                                let combined = 0x10000
+                                    + ((u32::from(high) - 0xD800) << 10)
+                                    + (u32::from(low).wrapping_sub(0xDC00));
+                                char::from_u32(combined)
+                                    .ok_or_else(|| self.error("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(u32::from(high))
+                                    .ok_or_else(|| self.error("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                            continue;
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                _ => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut fractional = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ASCII");
+        if !fractional {
+            // Integer: keep the exact variant `to_string` would have written.
+            if let Some(rest) = text.strip_prefix('-') {
+                if rest.parse::<u64>().is_ok() {
+                    if let Ok(v) = text.parse::<i64>() {
+                        return Ok(Value::I64(v));
+                    }
+                }
+            } else if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::U64(v));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::F64)
+            .map_err(|_| self.error("invalid number"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +477,88 @@ mod tests {
     #[test]
     fn strings_are_escaped() {
         assert_eq!(to_string(&"a\"b\n".to_string()).unwrap(), "\"a\\\"b\\n\"");
+    }
+
+    #[test]
+    fn parser_round_trips_value_trees() {
+        let value = Report.to_value();
+        let json = to_string(&value).unwrap();
+        assert_eq!(parse_str(&json).unwrap(), value);
+        let pretty = to_string_pretty(&value).unwrap();
+        assert_eq!(parse_str(&pretty).unwrap(), value);
+    }
+
+    #[test]
+    fn parser_classifies_numbers_like_the_writer() {
+        assert_eq!(parse_str("3").unwrap(), Value::U64(3));
+        assert_eq!(parse_str("-3").unwrap(), Value::I64(-3));
+        assert_eq!(parse_str("3.5").unwrap(), Value::F64(3.5));
+        assert_eq!(parse_str("1.0").unwrap(), Value::F64(1.0));
+        assert_eq!(parse_str("1e3").unwrap(), Value::F64(1000.0));
+        assert_eq!(
+            parse_str("18446744073709551615").unwrap(),
+            Value::U64(u64::MAX)
+        );
+        // i64 underflow falls back to the float it actually is.
+        assert!(matches!(
+            parse_str("-18446744073709551615").unwrap(),
+            Value::F64(_)
+        ));
+    }
+
+    #[test]
+    fn finite_floats_round_trip_bit_exactly() {
+        for v in [0.1, 1.0 / 3.0, 1e-300, -0.0f64, 5e15, f64::MAX] {
+            let json = to_string(&v).unwrap();
+            let back: f64 = from_str(&json).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "{json}");
+        }
+    }
+
+    #[test]
+    fn parser_handles_strings_and_escapes() {
+        assert_eq!(
+            parse_str("\"a\\\"b\\n\\u0041\\u00e9\"").unwrap(),
+            Value::Str("a\"b\nAé".into())
+        );
+        // Surrogate pair for 𝄞 (U+1D11E).
+        assert_eq!(
+            parse_str("\"\\ud834\\udd1e\"").unwrap(),
+            Value::Str("𝄞".into())
+        );
+        let unicode = "héllo — ≤ ümlaut".to_string();
+        let back: String = from_str(&to_string(&unicode).unwrap()).unwrap();
+        assert_eq!(back, unicode);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "", "{", "[1,", "{\"a\":}", "truth", "\"open", "1 2", "{'a':1}", "nul", "\"\\q\"",
+            "[1 2]",
+        ] {
+            assert!(parse_str(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_bounds_nesting_depth() {
+        // Pathological nesting must error, not overflow the stack.
+        let deep = "[".repeat(100_000);
+        let err = parse_str(&deep).unwrap_err();
+        assert!(err.to_string().contains("parse depth"), "{err}");
+        // Nesting at the limit still parses.
+        let ok = format!("{}1{}", "[".repeat(128), "]".repeat(128));
+        assert!(parse_str(&ok).is_ok());
+        assert!(parse_str(&format!("{}1{}", "[".repeat(129), "]".repeat(129))).is_err());
+    }
+
+    #[test]
+    fn from_str_reconstructs_types() {
+        let v: Vec<f64> = from_str("[1.5, 2.5]").unwrap();
+        assert_eq!(v, vec![1.5, 2.5]);
+        let opt: Option<u64> = from_str("null").unwrap();
+        assert_eq!(opt, None);
+        assert!(from_str::<Vec<u64>>("{\"a\":1}").is_err());
     }
 }
