@@ -17,7 +17,7 @@ fn regenerate() {
     // threads. Time the sequential policy too so the JSON tracks the speedup.
     let comparison = summary.time("scheduled_extended_parallel", campaigns, || {
         run_method_comparison_scheduled(
-            ExecutionPolicy::parallel(),
+            ExecutionPolicy::from_env(),
             Benchmark::Cifar10Like,
             &scale,
             &TuningMethod::EXTENDED,
@@ -55,7 +55,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("cifar10_like_scheduled_extended", |b| {
         b.iter(|| {
             run_method_comparison_scheduled(
-                ExecutionPolicy::parallel(),
+                ExecutionPolicy::from_env(),
                 Benchmark::Cifar10Like,
                 &scale,
                 &TuningMethod::EXTENDED,

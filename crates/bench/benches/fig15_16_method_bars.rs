@@ -15,7 +15,7 @@ fn regenerate() {
     let campaigns = (TuningMethod::EXTENDED.len() * 2 * scale.method_trials) as u64;
     let comparison = summary.time("scheduled_extended_parallel", campaigns, || {
         run_method_comparison_scheduled(
-            ExecutionPolicy::parallel(),
+            ExecutionPolicy::from_env(),
             Benchmark::Cifar10Like,
             &scale,
             &TuningMethod::EXTENDED,
@@ -46,7 +46,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("cifar10_like_bars", |b| {
         b.iter(|| {
             let comparison = run_method_comparison_scheduled(
-                ExecutionPolicy::parallel(),
+                ExecutionPolicy::from_env(),
                 Benchmark::Cifar10Like,
                 &scale,
                 &TuningMethod::EXTENDED,

@@ -49,7 +49,7 @@ fn print_speedup_summary(dataset: &FederatedDataset) {
     let mut summary = fedbench::BenchSummary::new("micro_round_throughput");
     for &clients in &CLIENT_COUNTS {
         let sequential = time_rounds(dataset, clients, ExecutionPolicy::Sequential);
-        let parallel = time_rounds(dataset, clients, ExecutionPolicy::parallel());
+        let parallel = time_rounds(dataset, clients, ExecutionPolicy::from_env());
         summary.push(&format!("sequential_{clients}_clients"), sequential, 1);
         summary.push(&format!("parallel_{clients}_clients"), parallel, 1);
         println!(
@@ -70,7 +70,7 @@ fn bench(c: &mut Criterion) {
     for &clients in &CLIENT_COUNTS {
         for (label, execution) in [
             ("sequential", ExecutionPolicy::Sequential),
-            ("parallel", ExecutionPolicy::parallel()),
+            ("parallel", ExecutionPolicy::from_env()),
         ] {
             let trainer = trainer(clients, execution);
             group.bench_function(format!("{label}_{clients}_clients"), |b| {

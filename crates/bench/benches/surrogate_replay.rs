@@ -17,7 +17,7 @@ fn regenerate() {
     let mut store = TrialStore::in_memory();
     let live = summary.time("record_live", campaigns, || {
         record_method_comparison(
-            ExecutionPolicy::parallel(),
+            ExecutionPolicy::from_env(),
             Benchmark::Cifar10Like,
             &scale,
             &TuningMethod::EXTENDED,
@@ -66,7 +66,7 @@ fn bench(c: &mut Criterion) {
     let settings = paper_noise_settings();
     let mut store = TrialStore::in_memory();
     record_method_comparison(
-        ExecutionPolicy::parallel(),
+        ExecutionPolicy::from_env(),
         Benchmark::Cifar10Like,
         &scale,
         &TuningMethod::EXTENDED,

@@ -55,6 +55,12 @@ pub struct BenchSummary {
     pub name: String,
     /// The `FEDTUNE_BENCH_SCALE` the summary was produced at.
     pub scale: String,
+    /// Simulated wall-clock of the bench's virtual-time campaigns, in
+    /// virtual seconds (`0.0` for benches that only measure real time).
+    pub sim_elapsed: f64,
+    /// Simulated throughput: trials completed per simulated hour (`0.0`
+    /// when no virtual-time campaign ran).
+    pub trials_per_sim_hour: f64,
     /// The measurements.
     pub entries: Vec<BenchEntry>,
 }
@@ -66,8 +72,22 @@ impl BenchSummary {
         BenchSummary {
             name: name.to_string(),
             scale: std::env::var("FEDTUNE_BENCH_SCALE").unwrap_or_else(|_| "smoke".into()),
+            sim_elapsed: 0.0,
+            trials_per_sim_hour: 0.0,
             entries: Vec::new(),
         }
+    }
+
+    /// Records the virtual-time outcome of the bench: total simulated
+    /// seconds and the trials completed in them (converted to trials per
+    /// simulated hour).
+    pub fn record_sim(&mut self, sim_elapsed: f64, trials: u64) {
+        self.sim_elapsed = sim_elapsed;
+        self.trials_per_sim_hour = if sim_elapsed > 0.0 {
+            trials as f64 / (sim_elapsed / 3600.0)
+        } else {
+            0.0
+        };
     }
 
     /// Records one measurement.
@@ -138,9 +158,19 @@ mod tests {
         // Zero wall-clock never divides by zero.
         summary.push("instant", 0.0, 5);
         assert_eq!(summary.entries[2].throughput_per_second, 0.0);
+        // Virtual-time accounting: 30 trials in half a simulated hour.
+        assert_eq!(summary.sim_elapsed, 0.0);
+        summary.record_sim(1800.0, 30);
+        assert_eq!(summary.sim_elapsed, 1800.0);
+        assert_eq!(summary.trials_per_sim_hour, 60.0);
+        // A zero-length virtual campaign never divides by zero.
+        let mut idle = BenchSummary::new("idle");
+        idle.record_sim(0.0, 5);
+        assert_eq!(idle.trials_per_sim_hour, 0.0);
         let json = serde_json::to_string_pretty(&summary).unwrap();
         assert!(json.contains("timed_block"));
         assert!(json.contains("unit_test"));
+        assert!(json.contains("trials_per_sim_hour"));
         // Disabled by default: no file side effects.
         if std::env::var("FEDTUNE_BENCH_JSON").as_deref() != Ok("1") {
             summary.write_if_enabled();

@@ -131,6 +131,15 @@ impl TrialRunner {
         TrialRunner::new(ExecutionPolicy::parallel())
     }
 
+    /// A runner honoring the `FEDTUNE_THREADS` environment override
+    /// ([`ExecutionPolicy::from_env`]): all cores unless the variable pins a
+    /// thread count. The default of every plain experiment entry point, so
+    /// one environment variable governs the whole fan-out of an example or
+    /// bench run — with bit-identical results at any setting.
+    pub fn from_env() -> Self {
+        TrialRunner::new(ExecutionPolicy::from_env())
+    }
+
     /// Attaches a shared progress tracker.
     #[must_use]
     pub fn with_progress(mut self, progress: Arc<ProgressTracker>) -> Self {

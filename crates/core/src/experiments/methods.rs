@@ -18,7 +18,8 @@ use crate::scheduler::run_scheduled;
 use crate::{ExecutionPolicy, Result};
 use feddata::Benchmark;
 use fedhpo::{
-    Asha, Bohb, Hyperband, IntoScheduler, RandomSearch, ReEvaluation, Scheduler, Tpe, Tuner,
+    Asha, AsyncAsha, Bohb, Hyperband, IntoScheduler, RandomSearch, ReEvaluation, Scheduler, Tpe,
+    Tuner,
 };
 use serde::{Deserialize, Serialize};
 
@@ -41,6 +42,13 @@ pub enum TuningMethod {
     /// ASHA wrapped in the noise-aware re-evaluation policy: top-k survivors
     /// are re-evaluated with fresh noise draws before selection (§5).
     AshaReEval,
+    /// The ASHA ladder run genuinely asynchronously: under the event-driven
+    /// driver the scheduler is re-polled on every completion, so promotions
+    /// fire without rung barriers. Deliberately *not* part of
+    /// [`EXTENDED`](Self::EXTENDED): asynchronous promotion acts on partial
+    /// rungs, so its selections legitimately differ from the barrier
+    /// drivers'.
+    AsyncAsha,
 }
 
 impl TuningMethod {
@@ -62,7 +70,8 @@ impl TuningMethod {
         TuningMethod::AshaReEval,
     ];
 
-    /// Short display name (`RS`, `TPE`, `HB`, `BOHB`, `ASHA`, `ASHA+RE`).
+    /// Short display name (`RS`, `TPE`, `HB`, `BOHB`, `ASHA`, `ASHA+RE`,
+    /// `ASHA-ASYNC`).
     pub fn name(&self) -> &'static str {
         match self {
             TuningMethod::RandomSearch => "RS",
@@ -71,6 +80,7 @@ impl TuningMethod {
             TuningMethod::Bohb => "BOHB",
             TuningMethod::Asha => "ASHA",
             TuningMethod::AshaReEval => "ASHA+RE",
+            TuningMethod::AsyncAsha => "ASHA-ASYNC",
         }
     }
 
@@ -97,6 +107,12 @@ impl TuningMethod {
     /// around the ASHA ladder.
     fn asha_reeval(scale: &ExperimentScale) -> ReEvaluation<Asha> {
         ReEvaluation::new(Self::asha(scale), (scale.num_configs / 4).max(2), 3)
+    }
+
+    /// The [`asha`](Self::asha) ladder run asynchronously (see
+    /// [`fedhpo::AsyncAsha`]).
+    fn async_asha(scale: &ExperimentScale) -> AsyncAsha {
+        AsyncAsha::from_ladder(Self::asha(scale))
     }
 
     /// RS at the scale's budgets: `K` configurations at full fidelity.
@@ -131,6 +147,7 @@ impl TuningMethod {
             TuningMethod::Bohb => Box::new(Self::bohb(scale)),
             TuningMethod::Asha => Box::new(Self::asha(scale)),
             TuningMethod::AshaReEval => Box::new(Self::asha_reeval(scale)),
+            TuningMethod::AsyncAsha => Box::new(Self::async_asha(scale)),
         }
     }
 
@@ -149,11 +166,17 @@ impl TuningMethod {
             TuningMethod::Bohb => Box::new(Self::bohb(scale).scheduler()?),
             TuningMethod::Asha => Box::new(Self::asha(scale).scheduler()?),
             TuningMethod::AshaReEval => Box::new(Self::asha_reeval(scale).scheduler()?),
+            TuningMethod::AsyncAsha => Box::new(Self::async_asha(scale).scheduler()?),
         })
     }
 
-    /// Number of objective evaluations the method performs — the DP
-    /// composition length `M` used to calibrate Laplace noise.
+    /// Number of objective evaluations the method plans to perform — the DP
+    /// composition length `M` used to calibrate Laplace noise. For
+    /// [`AsyncAsha`](Self::AsyncAsha) this is the *nominal* rung-synchronous
+    /// plan (shared with [`Asha`](Self::Asha) so the sync and async variants
+    /// face comparable noise); an event-driven async campaign may exceed it
+    /// by promoting on partial rungs (see
+    /// [`fedhpo::AsyncAsha::planned_evaluations`]).
     pub fn planned_evaluations(&self, scale: &ExperimentScale) -> usize {
         match self {
             TuningMethod::RandomSearch | TuningMethod::Tpe => scale.num_configs,
@@ -162,7 +185,7 @@ impl TuningMethod {
                 scale.eta,
                 scale.num_brackets,
             ),
-            TuningMethod::Asha => Self::asha(scale).planned_evaluations(),
+            TuningMethod::Asha | TuningMethod::AsyncAsha => Self::asha(scale).planned_evaluations(),
             TuningMethod::AshaReEval => {
                 let policy = Self::asha_reeval(scale);
                 policy.inner().planned_evaluations() + policy.top_k() * policy.reps()
@@ -358,7 +381,7 @@ pub fn run_method_comparison(
     seed: u64,
 ) -> Result<MethodComparison> {
     run_method_comparison_with(
-        &TrialRunner::parallel(),
+        &TrialRunner::from_env(),
         benchmark,
         scale,
         noise_settings,
@@ -673,6 +696,7 @@ mod tests {
                     true_error: 0.5,
                     cumulative_rounds: 5,
                     noise_rep: 0,
+                    sim_time: 0.0,
                 },
                 ObjectiveLogEntry {
                     trial_id: 1,
@@ -681,6 +705,7 @@ mod tests {
                     true_error: 0.3,
                     cumulative_rounds: 10,
                     noise_rep: 0,
+                    sim_time: 0.0,
                 },
             ],
         };

@@ -9,6 +9,7 @@
 //! | [`methods`] | Fig. 1, Fig. 8, Fig. 15/16 (RS vs TPE vs Hyperband vs BOHB, noiseless vs noisy) |
 //! | [`proxy`] | Fig. 10/14 (HP transfer), Fig. 11 (proxy matrix), Fig. 12 (proxy vs noisy evaluation) |
 //! | [`space_ablation`] | Fig. 13 (search-space size under noise) |
+//! | [`stragglers`] | Straggler scenario: sync SHA vs async ASHA in simulated wall-clock under heavy-tailed client runtimes |
 //!
 //! Every runner takes a [`crate::ExperimentScale`] and a seed, returns a
 //! serialisable result struct, and can render an [`crate::ExperimentReport`].
@@ -18,6 +19,7 @@ pub mod methods;
 pub mod privacy;
 pub mod proxy;
 pub mod space_ablation;
+pub mod stragglers;
 pub mod subsampling;
 pub mod table1;
 
@@ -96,7 +98,8 @@ pub fn simulated_rs_trial(
 }
 
 /// Runs [`simulated_rs_trial`] `trials` times with independent randomness and
-/// returns the selected true errors. Fans trials out over all cores; see
+/// returns the selected true errors. Fans trials out under the
+/// `FEDTUNE_THREADS`-overridable default ([`TrialRunner::from_env`]); see
 /// [`simulated_rs_trials_with`] for an explicit execution policy.
 ///
 /// # Errors
@@ -111,7 +114,7 @@ pub fn simulated_rs_trials(
     seed: u64,
 ) -> Result<Vec<f64>> {
     simulated_rs_trials_with(
-        &TrialRunner::parallel(),
+        &TrialRunner::from_env(),
         pool,
         noise,
         k,

@@ -40,7 +40,7 @@ pub fn run_subsampling_sweep(
     scale: &ExperimentScale,
     seed: u64,
 ) -> Result<SubsamplingSweep> {
-    run_subsampling_sweep_with(&TrialRunner::parallel(), benchmark, scale, seed)
+    run_subsampling_sweep_with(&TrialRunner::from_env(), benchmark, scale, seed)
 }
 
 /// [`run_subsampling_sweep`] through an explicit [`TrialRunner`]; sequential
@@ -73,7 +73,7 @@ pub fn subsampling_sweep_from_pool(
     scale: &ExperimentScale,
     seed: u64,
 ) -> Result<SubsamplingSweep> {
-    subsampling_sweep_from_pool_with(&TrialRunner::parallel(), ctx, pool, scale, seed)
+    subsampling_sweep_from_pool_with(&TrialRunner::from_env(), ctx, pool, scale, seed)
 }
 
 /// [`subsampling_sweep_from_pool`] through an explicit [`TrialRunner`].
@@ -159,7 +159,7 @@ pub fn run_budget_curves(
     scale: &ExperimentScale,
     seed: u64,
 ) -> Result<BudgetCurves> {
-    run_budget_curves_with(&TrialRunner::parallel(), benchmark, scale, seed)
+    run_budget_curves_with(&TrialRunner::from_env(), benchmark, scale, seed)
 }
 
 /// [`run_budget_curves`] through an explicit [`TrialRunner`]; sequential and
@@ -191,7 +191,7 @@ pub fn budget_curves_from_pool(
     scale: &ExperimentScale,
     seed: u64,
 ) -> Result<BudgetCurves> {
-    budget_curves_from_pool_with(&TrialRunner::parallel(), ctx, pool, scale, seed)
+    budget_curves_from_pool_with(&TrialRunner::from_env(), ctx, pool, scale, seed)
 }
 
 /// [`budget_curves_from_pool`] through an explicit [`TrialRunner`]; the

@@ -56,16 +56,20 @@ pub mod scheduler;
 
 pub use context::BenchmarkContext;
 pub use engine::{ProgressTracker, TrialContext, TrialRunner};
+pub use fedsim::clock::{ClientRuntimeModel, CostModel};
 pub use fedsim::ExecutionPolicy;
 pub use noise::{noisy_error, NoiseConfig};
 pub use objective::{
-    selected_true_error, BatchFederatedObjective, CampaignLog, FederatedObjective,
-    ObjectiveLogEntry,
+    selected_true_error, selected_true_error_within_sim, BatchFederatedObjective, CampaignLog,
+    FederatedObjective, ObjectiveLogEntry,
 };
 pub use pool::{ConfigPool, PooledConfig};
 pub use report::{ExperimentReport, SeriesGroup, SeriesPoint};
 pub use scale::ExperimentScale;
-pub use scheduler::{run_scheduled, run_scheduled_for, BatchObjective};
+pub use scheduler::{
+    run_event_driven, run_scheduled, run_scheduled_for, BatchObjective, EventDrivenOutcome,
+    VirtualExecution,
+};
 
 use std::fmt;
 

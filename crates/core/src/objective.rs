@@ -37,6 +37,10 @@ pub struct ObjectiveLogEntry {
     /// Noise replicate index: `0` for ordinary evaluations, `>= 1` for
     /// fresh-noise re-evaluations issued by the re-evaluation mitigation.
     pub noise_rep: u64,
+    /// Simulated completion time of the evaluation in virtual seconds, when
+    /// the campaign ran under the event-driven driver; `0.0` for synchronous
+    /// campaigns, which have no virtual clock.
+    pub sim_time: f64,
 }
 
 /// Noise-aware selection over an objective log: the true error of the
@@ -82,6 +86,21 @@ pub fn selected_true_error(log: &[ObjectiveLogEntry], budget: usize) -> Option<f
         })
 }
 
+/// Noise-aware selection under a **simulated wall-clock** budget: the same
+/// rule as [`selected_true_error`], but restricted to evaluations whose
+/// virtual completion time is within `sim_budget` seconds — what a tuning
+/// service that stops at a deadline would actually have seen. Only
+/// meaningful for logs produced under the event-driven driver (synchronous
+/// logs stamp every entry at `0.0`, so any positive budget covers them all).
+pub fn selected_true_error_within_sim(log: &[ObjectiveLogEntry], sim_budget: f64) -> Option<f64> {
+    let within: Vec<ObjectiveLogEntry> = log
+        .iter()
+        .filter(|e| e.sim_time <= sim_budget)
+        .cloned()
+        .collect();
+    selected_true_error(&within, usize::MAX)
+}
+
 /// Request-ordered campaign bookkeeping for objectives that answer requests
 /// without training (the `fedstore` recording and tabular-replay
 /// objectives): every observation is logged with the same incremental
@@ -119,6 +138,18 @@ impl CampaignLog {
         noisy_score: f64,
         true_error: f64,
     ) -> &ObjectiveLogEntry {
+        self.observe_at(request, noisy_score, true_error, 0.0)
+    }
+
+    /// [`observe`](Self::observe) with an explicit simulated completion
+    /// time, for campaigns driven under a virtual clock.
+    pub fn observe_at(
+        &mut self,
+        request: &fedhpo::TrialRequest,
+        noisy_score: f64,
+        true_error: f64,
+        sim_time: f64,
+    ) -> &ObjectiveLogEntry {
         let consumed = self.consumed.entry(request.trial_id).or_insert(0);
         let reached = (*consumed).max(request.resource);
         self.cumulative_rounds += reached - *consumed;
@@ -130,6 +161,7 @@ impl CampaignLog {
             true_error,
             cumulative_rounds: self.cumulative_rounds,
             noise_rep: request.noise_rep,
+            sim_time,
         });
         self.log.last().expect("entry pushed above")
     }
@@ -320,6 +352,7 @@ impl Objective for FederatedObjective<'_> {
             true_error,
             cumulative_rounds: self.cumulative_rounds,
             noise_rep: 0,
+            sim_time: 0.0,
         });
         Ok(noisy_score)
     }
@@ -542,6 +575,26 @@ impl<'a> BatchFederatedObjective<'a> {
     ///
     /// Returns the first (lowest-trial-group) evaluation error.
     pub fn evaluate_batch(&mut self, requests: &[TrialRequest]) -> Result<Vec<TrialResult>> {
+        self.evaluate_batch_with_times(requests, None)
+    }
+
+    /// [`evaluate_batch`](Self::evaluate_batch) with per-request simulated
+    /// completion times stamped into the log — the entry point the
+    /// event-driven driver uses (it knows each request's virtual completion
+    /// instant at dispatch).
+    pub fn evaluate_batch_at(
+        &mut self,
+        requests: &[TrialRequest],
+        sim_times: &[f64],
+    ) -> Result<Vec<TrialResult>> {
+        self.evaluate_batch_with_times(requests, Some(sim_times))
+    }
+
+    fn evaluate_batch_with_times(
+        &mut self,
+        requests: &[TrialRequest],
+        sim_times: Option<&[f64]>,
+    ) -> Result<Vec<TrialResult>> {
         use std::sync::Mutex;
 
         // Group request indices by trial, in first-occurrence order.
@@ -587,7 +640,7 @@ impl<'a> BatchFederatedObjective<'a> {
         }
         self.last_batch_start = self.log.len();
         let mut results = Vec::with_capacity(requests.len());
-        for (request, output) in requests.iter().zip(by_request) {
+        for (i, (request, output)) in requests.iter().zip(by_request).enumerate() {
             let output = output.expect("every request belongs to one group");
             self.cumulative_rounds += output.rounds_delta;
             self.log.push(ObjectiveLogEntry {
@@ -597,6 +650,7 @@ impl<'a> BatchFederatedObjective<'a> {
                 true_error: output.true_error,
                 cumulative_rounds: self.cumulative_rounds,
                 noise_rep: request.noise_rep,
+                sim_time: sim_times.map_or(0.0, |t| t[i]),
             });
             results.push(TrialResult::of(request, output.noisy_score));
         }
@@ -845,6 +899,7 @@ mod tests {
             true_error,
             cumulative_rounds: cumulative,
             noise_rep,
+            sim_time: 0.0,
         };
         let log = vec![
             entry(0, 0.05, 0.5, 0, 5), // lucky noisy minimum

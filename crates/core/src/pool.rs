@@ -59,7 +59,7 @@ impl ConfigPool {
     ///
     /// Propagates sampling, training, and evaluation failures.
     pub fn train_sized(ctx: &BenchmarkContext, pool_size: usize, seed: u64) -> Result<Self> {
-        Self::train_with(ctx, pool_size, seed, &TrialRunner::parallel())
+        Self::train_with(ctx, pool_size, seed, &TrialRunner::from_env())
     }
 
     /// Trains a pool through an explicit [`TrialRunner`], so callers control
@@ -167,7 +167,7 @@ impl ConfigPool {
     ///
     /// Propagates evaluation failures.
     pub fn reevaluate_on(&self, val_clients: &[ClientData]) -> Result<ConfigPool> {
-        self.reevaluate_on_with(val_clients, &TrialRunner::parallel())
+        self.reevaluate_on_with(val_clients, &TrialRunner::from_env())
     }
 
     /// [`reevaluate_on`](Self::reevaluate_on) through an explicit

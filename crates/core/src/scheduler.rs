@@ -1,25 +1,41 @@
-//! The parallel **batch driver** for ask/tell tuning schedulers.
+//! The drivers for ask/tell tuning schedulers: the barrier-synchronous
+//! **batch driver** and the **event-driven virtual-time executor**.
 //!
 //! `fedhpo`'s [`Scheduler`] trait inverts tuner control flow — the method
 //! *suggests* batches of [`TrialRequest`]s instead of calling the objective
-//! itself — and this module supplies the driver that makes the inversion pay:
-//! each suggested batch is executed through a [`BatchObjective`] (in
-//! practice [`BatchFederatedObjective`], which fans the batch's distinct
-//! trials out over the engine's [`TrialRunner`](crate::engine::TrialRunner)),
-//! results are reported back in the deterministic batch order, and resource
-//! accounting flows through the shared [`BudgetLedger`].
+//! itself — and this module supplies the drivers that make the inversion pay.
 //!
-//! Because every scheduler suggests deterministically and every
+//! [`run_scheduled`] is the barrier driver: each suggested batch is executed
+//! through a [`BatchObjective`] (in practice [`BatchFederatedObjective`],
+//! which fans the batch's distinct trials out over the engine's
+//! [`TrialRunner`](crate::engine::TrialRunner)), results are reported back in
+//! the deterministic batch order, and resource accounting flows through the
+//! shared [`BudgetLedger`].
+//!
+//! [`run_event_driven`] replaces the barrier with a **deterministic
+//! discrete-event simulation** over `fedsim`'s virtual clock: a pool of
+//! *virtual* workers pulls trials as they free up, every evaluation's
+//! simulated runtime comes from a [`CostModel`] keyed by the point's
+//! canonical fingerprint, completions are delivered to
+//! [`Scheduler::report`] in total `(sim_time, key)` order, and
+//! [`Scheduler::async_capable`] schedulers (async ASHA) are re-polled on
+//! every completion — promote-on-completion with no rung barrier, the
+//! paper's actual adaptive-allocation algorithm. Campaign budgets can be
+//! expressed in **simulated wall-clock** seconds on top of training rounds.
+//!
+//! Because every scheduler suggests deterministically, every
 //! [`BatchFederatedObjective`] evaluation derives its randomness from the
-//! request's coordinates, the produced [`TuningOutcome`] is **bit-identical**
-//! under every execution policy and thread count (`tests/determinism.rs`) —
-//! tuner-driven campaigns finally scale across cores without giving up
-//! reproducibility.
+//! request's coordinates, and the virtual timeline is a pure function of the
+//! schedule and cost model, the produced [`TuningOutcome`] — including its
+//! virtual timeline — is **bit-identical** under every execution policy and
+//! real thread count (`tests/determinism.rs`).
 
 use crate::objective::BatchFederatedObjective;
 use crate::Result;
 use fedhpo::{BudgetLedger, Scheduler, SearchSpace, TrialRequest, TrialResult, TuningOutcome};
+use fedsim::clock::{CostModel, EventKey, EventQueue, VirtualClock, WorkerPool};
 use rand::rngs::StdRng;
+use std::collections::{HashMap, VecDeque};
 
 /// An objective that evaluates a whole batch of trial requests at once.
 ///
@@ -43,6 +59,25 @@ pub trait BatchObjective {
     fn last_true_errors(&self) -> Option<Vec<f64>> {
         None
     }
+
+    /// [`evaluate_batch`](Self::evaluate_batch) with each request's
+    /// **simulated completion time** supplied by the event-driven driver
+    /// (`sim_times[i]` belongs to `requests[i]`). Objectives that keep a
+    /// campaign log should stamp the entries with these times; the default
+    /// simply ignores them, which is always correct for scoring because
+    /// evaluations are pure functions of their request coordinates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates evaluation failures.
+    fn evaluate_batch_at(
+        &mut self,
+        requests: &[TrialRequest],
+        sim_times: &[f64],
+    ) -> Result<Vec<TrialResult>> {
+        debug_assert_eq!(requests.len(), sim_times.len());
+        self.evaluate_batch(requests)
+    }
 }
 
 impl BatchObjective for BatchFederatedObjective<'_> {
@@ -52,6 +87,14 @@ impl BatchObjective for BatchFederatedObjective<'_> {
 
     fn last_true_errors(&self) -> Option<Vec<f64>> {
         Some(self.last_batch_true_errors())
+    }
+
+    fn evaluate_batch_at(
+        &mut self,
+        requests: &[TrialRequest],
+        sim_times: &[f64],
+    ) -> Result<Vec<TrialResult>> {
+        BatchFederatedObjective::evaluate_batch_at(self, requests, sim_times)
     }
 }
 
@@ -124,6 +167,220 @@ pub fn run_scheduled_for(
         batches += 1;
     }
     Ok((outcome, true))
+}
+
+/// Configuration of the event-driven virtual-time executor: how many
+/// *virtual* workers the simulated tuning service runs, what each evaluation
+/// costs in simulated seconds, and an optional simulated wall-clock budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VirtualExecution {
+    /// Number of virtual workers trials are scheduled onto. Independent of
+    /// the real thread count — real parallelism lives inside the batch
+    /// objective and never changes the virtual timeline.
+    pub workers: usize,
+    /// Simulated runtime of each evaluation.
+    pub cost: CostModel,
+    /// Optional simulated wall-clock budget in virtual seconds: no
+    /// evaluation *starts* at or after this deadline (in-flight evaluations
+    /// still complete and report), and no further work is suggested once the
+    /// clock reaches it.
+    pub sim_budget: Option<f64>,
+}
+
+impl VirtualExecution {
+    /// A virtual service with `workers` workers and the given cost model,
+    /// with no wall-clock budget.
+    pub fn new(workers: usize, cost: CostModel) -> Self {
+        VirtualExecution {
+            workers,
+            cost,
+            sim_budget: None,
+        }
+    }
+
+    /// Sets a simulated wall-clock budget in virtual seconds.
+    #[must_use]
+    pub fn with_sim_budget(mut self, sim_budget: f64) -> Self {
+        self.sim_budget = Some(sim_budget);
+        self
+    }
+
+    fn validate(&self) -> Result<()> {
+        self.cost.validate()?;
+        let budget_ok = self.sim_budget.is_none_or(|b| b.is_finite() && b > 0.0);
+        if self.workers == 0 || !budget_ok {
+            return Err(crate::CoreError::InvalidConfig {
+                message: format!("invalid virtual execution: {self:?}"),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The result of one event-driven campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventDrivenOutcome {
+    /// The evaluation history in **virtual completion order**, every record
+    /// stamped with its simulated completion time.
+    pub outcome: TuningOutcome,
+    /// The simulated wall-clock the campaign took (the virtual clock at the
+    /// last delivered completion).
+    pub sim_elapsed: f64,
+    /// Whether the schedule ran to completion (`false` when a simulated
+    /// wall-clock budget cut it off).
+    pub finished: bool,
+}
+
+/// Drives `scheduler` through a **deterministic discrete-event simulation**:
+/// a virtual [`WorkerPool`] of `sim.workers` workers executes suggested
+/// requests, each costing [`CostModel::evaluation_seconds`] simulated
+/// seconds (keyed by the configuration's canonical fingerprint and its
+/// incremental training span), and completions are delivered to
+/// [`Scheduler::report`] in total `(sim_time, trial key)` order through an
+/// [`EventQueue`].
+///
+/// Polling discipline — the heart of the sync/async distinction:
+///
+/// - **Barrier schedulers** (`async_capable() == false`, every classic
+///   method) are only polled when no results are outstanding, and each
+///   suggested batch is committed to the virtual workers in batch order.
+///   With the homogeneous [`CostModel::Unit`] this performs *exactly* the
+///   evaluations [`run_scheduled`] performs, so selections reproduce the
+///   barrier driver bit for bit (asserted in the tests below); heterogeneous
+///   costs only change *when* results land, never *what* is evaluated.
+/// - **Async schedulers** ([`fedhpo::AsyncAsha`]) are re-polled on **every**
+///   completion, and newly suggested work (promotions) jumps ahead of
+///   queued fresh configurations, while only idle virtual workers accept
+///   work — one slow trial no longer stalls a rung, which is the paper's
+///   actual asynchronous successive halving.
+///
+/// Real-compute parallelism is orthogonal: all requests dispatched at one
+/// virtual instant are evaluated as one real batch (fanned out by the
+/// objective), and since scores and costs are pure functions of request
+/// coordinates, the entire outcome **including its virtual timeline** is
+/// bit-identical across real thread counts.
+///
+/// # Errors
+///
+/// Propagates scheduler, objective, and cost-model errors, and fails if the
+/// scheduler stalls (no outstanding work, no queued work, and an empty
+/// suggestion while unfinished).
+pub fn run_event_driven(
+    scheduler: &mut dyn Scheduler,
+    space: &SearchSpace,
+    objective: &mut dyn BatchObjective,
+    rng: &mut StdRng,
+    sim: &VirtualExecution,
+) -> Result<EventDrivenOutcome> {
+    sim.validate()?;
+    let async_mode = scheduler.async_capable();
+    let mut clock = VirtualClock::new();
+    let mut pool = WorkerPool::new(sim.workers)?;
+    let mut events: EventQueue<TrialResult> = EventQueue::new();
+    let mut queue: VecDeque<TrialRequest> = VecDeque::new();
+    // Rounds each trial's training run has been simulated to, mirroring the
+    // objective's resume logic so costs charge only incremental rounds.
+    let mut trained: HashMap<usize, usize> = HashMap::new();
+    let mut outstanding = 0usize;
+    let mut ledger = BudgetLedger::new();
+    let mut outcome = TuningOutcome::default();
+
+    loop {
+        let within_budget = sim.sim_budget.is_none_or(|b| clock.now() < b);
+
+        // 1. Poll the scheduler whenever its contract allows: between batches
+        //    for barrier schedulers, at any time for async ones. Fresh
+        //    suggestions go to the *front* of the dispatch queue so async
+        //    promotions overtake queued fresh configurations.
+        if within_budget && !scheduler.is_finished() && (outstanding == 0 || async_mode) {
+            let batch = scheduler.suggest(space, rng)?;
+            if batch.is_empty() && outstanding == 0 && queue.is_empty() && !scheduler.is_finished()
+            {
+                return Err(crate::CoreError::InvalidConfig {
+                    message: format!(
+                        "scheduler {} stalled: empty batch while unfinished",
+                        scheduler.name()
+                    ),
+                });
+            }
+            for request in batch.into_iter().rev() {
+                queue.push_front(request);
+            }
+        }
+
+        // 2. Dispatch queued requests to virtual workers. Barrier schedulers
+        //    commit the whole batch (workers serialize it); async schedulers
+        //    only fill workers that are idle *now*, so the next completion
+        //    can re-poll before the remaining queue is committed.
+        let mut dispatched: Vec<(TrialRequest, f64)> = Vec::new();
+        while !queue.is_empty() {
+            let (worker, free_at) = pool.next_free();
+            if async_mode && free_at > clock.now() {
+                break;
+            }
+            // The service stops handing out work at the deadline: a request
+            // whose start would land on or past the budget is never
+            // dispatched (and since `next_free` is the earliest worker, no
+            // later request could start sooner — stop here).
+            let start = free_at.max(clock.now());
+            if sim.sim_budget.is_some_and(|b| start >= b) {
+                break;
+            }
+            let request = queue.pop_front().expect("queue checked non-empty");
+            let fingerprint = space.canonical_fingerprint(&request.config)?;
+            let already = trained.get(&request.trial_id).copied().unwrap_or(0);
+            let reached = already.max(request.resource);
+            let seconds = sim.cost.evaluation_seconds(fingerprint, already, reached);
+            trained.insert(request.trial_id, reached);
+            let completion = pool.assign(worker, start, seconds)?;
+            dispatched.push((request, completion));
+        }
+        if !dispatched.is_empty() {
+            let requests: Vec<TrialRequest> = dispatched.iter().map(|(r, _)| r.clone()).collect();
+            let times: Vec<f64> = dispatched.iter().map(|(_, t)| *t).collect();
+            let results = objective.evaluate_batch_at(&requests, &times)?;
+            if results.len() != requests.len() {
+                return Err(crate::CoreError::InvalidConfig {
+                    message: format!(
+                        "objective returned {} results for {} requests",
+                        results.len(),
+                        requests.len()
+                    ),
+                });
+            }
+            for ((request, completion), result) in dispatched.iter().zip(results) {
+                let key = EventKey::new(
+                    request.trial_id as u64,
+                    request.resource as u64,
+                    request.noise_rep,
+                );
+                events.push(*completion, key, result).map_err(|e| {
+                    crate::CoreError::InvalidConfig {
+                        message: format!("virtual event queue rejected a completion: {e}"),
+                    }
+                })?;
+            }
+            outstanding += dispatched.len();
+        }
+
+        // 3. Deliver the earliest completion: advance the virtual clock,
+        //    record the result at its completion instant, and report it.
+        match events.pop() {
+            Some((time, _key, result)) => {
+                clock.advance_to(time)?;
+                outcome.push(ledger.record_at(&result, time));
+                scheduler.report(&result)?;
+                outstanding -= 1;
+            }
+            None => break,
+        }
+    }
+
+    Ok(EventDrivenOutcome {
+        sim_elapsed: clock.now(),
+        finished: scheduler.is_finished(),
+        outcome,
+    })
 }
 
 #[cfg(test)]
@@ -266,6 +523,238 @@ mod tests {
         };
         let dyn_analytic: &mut dyn BatchObjective = &mut analytic;
         assert!(dyn_analytic.last_true_errors().is_none());
+    }
+
+    #[test]
+    fn virtual_execution_validates() {
+        assert!(VirtualExecution::new(0, CostModel::Unit)
+            .validate()
+            .is_err());
+        assert!(VirtualExecution::new(4, CostModel::Unit).validate().is_ok());
+        assert!(VirtualExecution::new(
+            4,
+            CostModel::PerRound {
+                round_seconds: -1.0,
+                eval_seconds: 0.0
+            }
+        )
+        .validate()
+        .is_err());
+        assert!(VirtualExecution::new(4, CostModel::Unit)
+            .with_sim_budget(0.0)
+            .validate()
+            .is_err());
+        assert!(VirtualExecution::new(4, CostModel::Unit)
+            .with_sim_budget(f64::NAN)
+            .validate()
+            .is_err());
+        assert!(VirtualExecution::new(4, CostModel::Unit)
+            .with_sim_budget(10.0)
+            .validate()
+            .is_ok());
+    }
+
+    /// The regression satellite: with the homogeneous unit-cost model the
+    /// event-driven executor performs exactly the evaluations the barrier
+    /// driver performs, so every `TuningMethod::EXTENDED` entry reproduces
+    /// `run_scheduled`'s selections bit for bit, at any worker count.
+    #[test]
+    fn event_driven_unit_cost_reproduces_run_scheduled_selections() {
+        use crate::experiments::methods::TuningMethod;
+        let scale = crate::scale::ExperimentScale::smoke();
+        let space = space_1d();
+        for method in TuningMethod::EXTENDED {
+            let mut scheduler = method.scheduler(&scale).unwrap();
+            let mut objective = AnalyticBatchObjective {
+                batch_sizes: Vec::new(),
+            };
+            let mut rng = rng_for(13, 0);
+            let scheduled =
+                run_scheduled(scheduler.as_mut(), &space, &mut objective, &mut rng).unwrap();
+            for workers in [1usize, 3, 16] {
+                let mut scheduler = method.scheduler(&scale).unwrap();
+                let mut objective = AnalyticBatchObjective {
+                    batch_sizes: Vec::new(),
+                };
+                let mut rng = rng_for(13, 0);
+                let sim = VirtualExecution::new(workers, CostModel::Unit);
+                let event =
+                    run_event_driven(scheduler.as_mut(), &space, &mut objective, &mut rng, &sim)
+                        .unwrap();
+                let label = format!("{method}, {workers} workers");
+                assert!(event.finished, "{label}");
+                assert_eq!(
+                    event.outcome.num_evaluations(),
+                    scheduled.num_evaluations(),
+                    "{label}"
+                );
+                assert_eq!(
+                    event.outcome.total_resource(),
+                    scheduled.total_resource(),
+                    "{label}"
+                );
+                // Identical evaluation multiset with identical score bits.
+                let identity = |r: &fedhpo::EvaluationRecord| {
+                    (r.trial_id, r.resource, r.noise_rep, r.score.to_bits())
+                };
+                let mut a: Vec<_> = scheduled.records().iter().map(identity).collect();
+                let mut b: Vec<_> = event.outcome.records().iter().map(identity).collect();
+                a.sort_unstable();
+                b.sort_unstable();
+                assert_eq!(a, b, "{label}");
+                // Selections reproduce bit for bit.
+                let scheduled_best = scheduled.best().unwrap();
+                let event_best = event.outcome.best().unwrap();
+                assert_eq!(scheduled_best.trial_id, event_best.trial_id, "{label}");
+                assert_eq!(
+                    scheduled_best.score.to_bits(),
+                    event_best.score.to_bits(),
+                    "{label}"
+                );
+                let scheduled_pick = scheduled.selected_within_budget(usize::MAX).unwrap();
+                let event_pick = event.outcome.selected_within_budget(usize::MAX).unwrap();
+                assert_eq!(scheduled_pick.trial_id, event_pick.trial_id, "{label}");
+                assert_eq!(
+                    scheduled_pick.score.to_bits(),
+                    event_pick.score.to_bits(),
+                    "{label}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn event_driven_timeline_is_monotone_and_respects_worker_count() {
+        // 8 unit-cost trials on 2 virtual workers take 4 simulated waves.
+        let mut scheduler = RandomSearch::new(8, 2).scheduler().unwrap();
+        let mut objective = AnalyticBatchObjective {
+            batch_sizes: Vec::new(),
+        };
+        let mut rng = rng_for(0, 0);
+        let sim = VirtualExecution::new(2, CostModel::Unit);
+        let event =
+            run_event_driven(&mut scheduler, &space_1d(), &mut objective, &mut rng, &sim).unwrap();
+        assert!(event.finished);
+        assert_eq!(event.outcome.num_evaluations(), 8);
+        assert_eq!(event.sim_elapsed, 4.0);
+        assert_eq!(event.outcome.sim_elapsed(), 4.0);
+        let times: Vec<f64> = event.outcome.records().iter().map(|r| r.sim_time).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "{times:?}");
+        // Two completions per wave at times 1, 2, 3, 4.
+        assert_eq!(times, vec![1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 4.0, 4.0]);
+        // Virtual-time selection sees only what had completed by then.
+        assert!(event.outcome.best_within_sim_time(0.5).is_none());
+        assert!(event.outcome.best_within_sim_time(1.0).is_some());
+    }
+
+    #[test]
+    fn sim_budget_cuts_the_campaign_off_cleanly() {
+        // The same 8-trial schedule on 1 worker with a 3-second budget: three
+        // evaluations complete, the rest are never dispatched.
+        let mut scheduler = RandomSearch::new(8, 2).scheduler().unwrap();
+        let mut objective = AnalyticBatchObjective {
+            batch_sizes: Vec::new(),
+        };
+        let mut rng = rng_for(0, 0);
+        let sim = VirtualExecution::new(1, CostModel::Unit).with_sim_budget(3.0);
+        let event =
+            run_event_driven(&mut scheduler, &space_1d(), &mut objective, &mut rng, &sim).unwrap();
+        assert!(!event.finished);
+        assert_eq!(event.outcome.num_evaluations(), 3);
+        assert_eq!(event.sim_elapsed, 3.0);
+        // A budget larger than the whole campaign changes nothing.
+        let mut scheduler = RandomSearch::new(8, 2).scheduler().unwrap();
+        let mut objective = AnalyticBatchObjective {
+            batch_sizes: Vec::new(),
+        };
+        let mut rng = rng_for(0, 0);
+        let sim = VirtualExecution::new(1, CostModel::Unit).with_sim_budget(1e6);
+        let event =
+            run_event_driven(&mut scheduler, &space_1d(), &mut objective, &mut rng, &sim).unwrap();
+        assert!(event.finished);
+        assert_eq!(event.outcome.num_evaluations(), 8);
+    }
+
+    #[test]
+    fn async_asha_beats_sync_sha_under_stragglers() {
+        use fedhpo::AsyncAsha;
+        // Heavy-tailed client runtimes with a narrow worker pool: the sync
+        // ladder waits for every rung's slowest trial, the async ladder keeps
+        // all workers busy and promotes on completion.
+        let ladder = fedhpo::Asha::new(12, 3, 1, 9);
+        let cost = CostModel::HeterogeneousClients(
+            fedsim::clock::ClientRuntimeModel::heavy_tailed(60, 5, 17),
+        );
+        let sim = VirtualExecution::new(4, cost);
+        let run = |scheduler: &mut dyn Scheduler| {
+            let mut objective = AnalyticBatchObjective {
+                batch_sizes: Vec::new(),
+            };
+            let mut rng = rng_for(3, 0);
+            run_event_driven(scheduler, &space_1d(), &mut objective, &mut rng, &sim).unwrap()
+        };
+        let sync = run(&mut ladder.scheduler().unwrap());
+        let asynchronous = run(&mut AsyncAsha::from_ladder(ladder).scheduler().unwrap());
+        assert!(sync.finished && asynchronous.finished);
+        assert!(sync.sim_elapsed > 0.0);
+        // Same fresh configurations, so the first rung is identical work.
+        assert_eq!(
+            sync.outcome
+                .records()
+                .iter()
+                .filter(|r| r.resource == 1)
+                .count(),
+            12
+        );
+        let throughput =
+            |e: &EventDrivenOutcome| e.outcome.num_evaluations() as f64 / e.sim_elapsed;
+        assert!(
+            throughput(&asynchronous) >= throughput(&sync),
+            "async {:.4} evals/s should be at least sync {:.4} evals/s",
+            throughput(&asynchronous),
+            throughput(&sync)
+        );
+        // The async campaign finishes no later than the barrier one on the
+        // same virtual hardware whenever it does the same or more work.
+        if asynchronous.outcome.num_evaluations() >= sync.outcome.num_evaluations() {
+            assert!(asynchronous.sim_elapsed <= sync.sim_elapsed);
+        }
+    }
+
+    #[test]
+    fn event_driven_stalled_scheduler_is_rejected() {
+        struct Staller;
+        impl Scheduler for Staller {
+            fn name(&self) -> &'static str {
+                "staller"
+            }
+            fn suggest(
+                &mut self,
+                _space: &SearchSpace,
+                _rng: &mut StdRng,
+            ) -> fedhpo::Result<Vec<TrialRequest>> {
+                Ok(Vec::new())
+            }
+            fn report(&mut self, _result: &TrialResult) -> fedhpo::Result<()> {
+                Ok(())
+            }
+            fn is_finished(&self) -> bool {
+                false
+            }
+        }
+        let mut objective = AnalyticBatchObjective {
+            batch_sizes: Vec::new(),
+        };
+        let mut rng = rng_for(0, 2);
+        let err = run_event_driven(
+            &mut Staller,
+            &space_1d(),
+            &mut objective,
+            &mut rng,
+            &VirtualExecution::new(2, CostModel::Unit),
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("stalled"), "{err}");
     }
 
     #[test]

@@ -166,7 +166,94 @@ impl IntoScheduler for Asha {
             promoted: vec![BTreeSet::new(); self.num_rungs()],
             pending: BTreeSet::new(),
             sampled: 0,
+            asynchronous: false,
         })
+    }
+}
+
+/// ASHA run **asynchronously**: the same ladder and promotion rule as
+/// [`Asha`], but the scheduler declares itself
+/// [`async_capable`](Scheduler::async_capable), so an event-driven driver
+/// (`fedtune_core::run_event_driven`) re-polls it on *every* completion
+/// instead of at rung barriers. Promotions then happen the moment a trial
+/// enters the top `1/η` of whatever results its rung has — the paper's
+/// actual algorithm (Li et al. 2020), where no worker ever idles waiting for
+/// a straggler to finish a rung.
+///
+/// Driven by a barrier-synchronous driver ([`run_scheduler`] or the batch
+/// driver), `AsyncAsha` degenerates to [`Asha`] exactly — asynchrony is a
+/// property of the driver/scheduler handshake, not of the promotion rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsyncAsha {
+    ladder: Asha,
+}
+
+impl AsyncAsha {
+    /// Creates an asynchronous ASHA tuner; parameters as [`Asha::new`].
+    pub fn new(num_configs: usize, eta: usize, min_resource: usize, max_resource: usize) -> Self {
+        AsyncAsha {
+            ladder: Asha::new(num_configs, eta, min_resource, max_resource),
+        }
+    }
+
+    /// Runs an existing ladder configuration asynchronously.
+    pub fn from_ladder(ladder: Asha) -> Self {
+        AsyncAsha { ladder }
+    }
+
+    /// Caps the number of requests suggested per poll; see
+    /// [`Asha::with_concurrency`].
+    #[must_use]
+    pub fn with_concurrency(mut self, max_concurrency: usize) -> Self {
+        self.ladder = self.ladder.with_concurrency(max_concurrency);
+        self
+    }
+
+    /// The underlying ladder configuration.
+    pub fn ladder(&self) -> &Asha {
+        &self.ladder
+    }
+
+    /// The rung-synchronous plan length ([`Asha::planned_evaluations`]) —
+    /// the *nominal* schedule size used to calibrate DP noise, shared with
+    /// the sync ladder so both variants face comparable noise. It is **not**
+    /// a worst-case bound for an asynchronous campaign: promoting on partial
+    /// rungs can promote trials that fall out of the final top `1/η`, so an
+    /// event-driven run may perform more evaluations (hard cap: one
+    /// evaluation per trial per rung, `num_configs × num_rungs`).
+    pub fn planned_evaluations(&self) -> usize {
+        self.ladder.planned_evaluations()
+    }
+
+    /// Hard upper bound on an asynchronous campaign's evaluations: every
+    /// trial evaluated once at every rung.
+    pub fn max_evaluations(&self) -> usize {
+        self.ladder.num_configs() * self.ladder.num_rungs()
+    }
+}
+
+impl IntoScheduler for AsyncAsha {
+    type Scheduler = AshaScheduler;
+
+    fn scheduler(&self) -> Result<AshaScheduler> {
+        let mut scheduler = self.ladder.scheduler()?;
+        scheduler.asynchronous = true;
+        Ok(scheduler)
+    }
+}
+
+impl Tuner for AsyncAsha {
+    fn name(&self) -> &'static str {
+        "async-asha"
+    }
+
+    fn tune(
+        &self,
+        space: &SearchSpace,
+        objective: &mut dyn Objective,
+        rng: &mut StdRng,
+    ) -> Result<TuningOutcome> {
+        run_scheduler(&mut self.scheduler()?, space, objective, rng)
     }
 }
 
@@ -186,6 +273,8 @@ pub struct AshaScheduler {
     pending: BTreeSet<usize>,
     /// Fresh configurations sampled so far.
     sampled: usize,
+    /// Whether the scheduler advertises per-completion re-polling.
+    asynchronous: bool,
 }
 
 impl AshaScheduler {
@@ -222,7 +311,15 @@ impl AshaScheduler {
 
 impl Scheduler for AshaScheduler {
     fn name(&self) -> &'static str {
-        "asha"
+        if self.asynchronous {
+            "async-asha"
+        } else {
+            "asha"
+        }
+    }
+
+    fn async_capable(&self) -> bool {
+        self.asynchronous
     }
 
     fn suggest(&mut self, space: &SearchSpace, rng: &mut StdRng) -> Result<Vec<TrialRequest>> {
@@ -396,6 +493,40 @@ mod tests {
             score: 0.5,
         };
         assert!(scheduler.report(&result).is_err());
+    }
+
+    #[test]
+    fn async_asha_declares_async_and_degenerates_under_a_barrier_driver() {
+        let asha = Asha::new(9, 3, 1, 9);
+        let async_asha = AsyncAsha::from_ladder(asha).with_concurrency(9);
+        assert_eq!(async_asha.name(), "async-asha");
+        assert_eq!(
+            async_asha.ladder(),
+            &Asha::new(9, 3, 1, 9).with_concurrency(9)
+        );
+        assert_eq!(async_asha.planned_evaluations(), asha.planned_evaluations());
+        // The async hard cap dominates the nominal synchronous plan.
+        assert_eq!(async_asha.max_evaluations(), 9 * 3);
+        assert!(async_asha.max_evaluations() >= async_asha.planned_evaluations());
+        let sync_scheduler = asha.scheduler().unwrap();
+        let async_scheduler = async_asha.scheduler().unwrap();
+        assert!(!sync_scheduler.async_capable());
+        assert!(async_scheduler.async_capable());
+        assert_eq!(sync_scheduler.name(), "asha");
+        assert_eq!(async_scheduler.name(), "async-asha");
+        // Invalid ladders are rejected through the same validation.
+        assert!(AsyncAsha::new(0, 3, 1, 9).scheduler().is_err());
+        // Under the sequential barrier driver the campaigns are identical:
+        // asynchrony only changes how a driver may poll, never the rule.
+        let mut rng = rng_for(5, 0);
+        let mut objective = resource_aware_objective();
+        let sync_outcome = asha.tune(&space_1d(), &mut objective, &mut rng).unwrap();
+        let mut rng = rng_for(5, 0);
+        let mut objective = resource_aware_objective();
+        let async_outcome = AsyncAsha::from_ladder(asha)
+            .tune(&space_1d(), &mut objective, &mut rng)
+            .unwrap();
+        assert_eq!(sync_outcome, async_outcome);
     }
 
     #[test]

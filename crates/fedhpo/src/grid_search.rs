@@ -114,6 +114,7 @@ impl Tuner for GridSearch {
                 score,
                 cumulative_resource: cumulative,
                 noise_rep: 0,
+                sim_time: 0.0,
             });
         }
         Ok(outcome)

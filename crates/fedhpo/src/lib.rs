@@ -17,6 +17,10 @@
 //!   TPE acquisition function (Falkner et al. 2018).
 //! - [`Asha`] — asynchronous successive halving (Li et al. 2020): per-rung
 //!   promotions computed from whatever results have arrived.
+//! - [`AsyncAsha`] — the same ladder run genuinely asynchronously: the
+//!   scheduler is [`Scheduler::async_capable`], so event-driven drivers
+//!   re-poll it on every completion and promotions fire without rung
+//!   barriers.
 //! - [`ReEvaluation`] — the paper's §5 mitigation as a wrapper policy:
 //!   top-k survivors are re-evaluated with fresh noise draws before
 //!   selection.
@@ -70,7 +74,7 @@ pub mod space;
 pub mod tpe;
 pub mod tuner;
 
-pub use asha::{Asha, AshaScheduler};
+pub use asha::{Asha, AshaScheduler, AsyncAsha};
 pub use bohb::Bohb;
 pub use bootstrap::{bootstrap_selection, BootstrapOutcome};
 pub use grid_search::GridSearch;

@@ -88,6 +88,7 @@ impl Tuner for RepeatedRandomSearch {
                 score: mean_score,
                 cumulative_resource: cumulative,
                 noise_rep: 0,
+                sim_time: 0.0,
             });
         }
         Ok(outcome)

@@ -113,6 +113,17 @@ pub trait Scheduler {
     /// `true` once the schedule is exhausted: no further suggestions will be
     /// made and no results are outstanding.
     fn is_finished(&self) -> bool;
+
+    /// `true` if [`suggest`](Self::suggest) may be called while results are
+    /// still outstanding. Barrier-style schedulers (the default) are only
+    /// polled between batches; asynchronous schedulers (e.g.
+    /// [`AsyncAsha`](crate::AsyncAsha)) are re-polled by event-driven
+    /// drivers on **every** completion, which is what turns rung-synchronous
+    /// successive halving into the paper's actual promote-on-completion
+    /// algorithm.
+    fn async_capable(&self) -> bool {
+        false
+    }
 }
 
 /// Resource accounting shared by every scheduler driver: converts a stream of
@@ -137,8 +148,17 @@ impl BudgetLedger {
         self.cumulative
     }
 
-    /// Charges `result`'s incremental resource and produces its record.
+    /// Charges `result`'s incremental resource and produces its record,
+    /// stamped at simulated time zero (synchronous drivers have no virtual
+    /// clock).
     pub fn record(&mut self, result: &TrialResult) -> EvaluationRecord {
+        self.record_at(result, 0.0)
+    }
+
+    /// [`record`](Self::record) with an explicit simulated completion time —
+    /// the entry point for event-driven drivers, which deliver results in
+    /// virtual-time order and stamp each record with its completion instant.
+    pub fn record_at(&mut self, result: &TrialResult, sim_time: f64) -> EvaluationRecord {
         let consumed = self.consumed.entry(result.trial_id).or_insert(0);
         self.cumulative += result.resource.saturating_sub(*consumed);
         *consumed = (*consumed).max(result.resource);
@@ -149,6 +169,7 @@ impl BudgetLedger {
             score: result.score,
             cumulative_resource: self.cumulative,
             noise_rep: result.noise_rep,
+            sim_time,
         }
     }
 }

@@ -27,6 +27,10 @@ pub struct EvaluationRecord {
     /// `>= 1` for fresh-noise re-evaluations issued by the noise-aware
     /// re-evaluation policy (see [`crate::ReEvaluation`]).
     pub noise_rep: u64,
+    /// Simulated completion time of this evaluation in virtual seconds —
+    /// the x-axis of wall-clock-budget curves. `0.0` for records produced by
+    /// synchronous drivers, which have no virtual clock.
+    pub sim_time: f64,
 }
 
 /// The full history of a tuning run.
@@ -137,6 +141,23 @@ impl TuningOutcome {
     pub fn push(&mut self, record: EvaluationRecord) {
         self.records.push(record);
     }
+
+    /// Simulated seconds the run took: the latest completion time on record.
+    /// `0.0` for synchronous campaigns, which carry no virtual timestamps.
+    pub fn sim_elapsed(&self) -> f64 {
+        self.records.iter().map(|r| r.sim_time).fold(0.0, f64::max)
+    }
+
+    /// The best finite-score record among evaluations completed within the
+    /// given simulated wall-clock budget — the virtual-time counterpart of
+    /// [`best_within_budget`](Self::best_within_budget), used to draw
+    /// time-to-accuracy curves for event-driven campaigns.
+    pub fn best_within_sim_time(&self, sim_budget: f64) -> Option<&EvaluationRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.sim_time <= sim_budget && r.score.is_finite())
+            .min_by(|a, b| a.score.total_cmp(&b.score))
+    }
 }
 
 /// A hyperparameter-tuning method.
@@ -170,6 +191,7 @@ mod tests {
             score,
             cumulative_resource: cumulative,
             noise_rep: 0,
+            sim_time: 0.0,
         }
     }
 

@@ -61,6 +61,26 @@ impl ExecutionPolicy {
         ExecutionPolicy::Parallel { threads }
     }
 
+    /// The policy selected by the `FEDTUNE_THREADS` environment variable:
+    /// `1` means sequential, any other number is a parallel worker count
+    /// (`0` = all cores). Unset, empty, or unparsable values fall back to
+    /// [`parallel`](Self::parallel) — the default every example and bench
+    /// used before the override existed.
+    pub fn from_env() -> Self {
+        Self::from_threads_override(std::env::var("FEDTUNE_THREADS").ok().as_deref())
+    }
+
+    /// [`from_env`](Self::from_env) with the raw variable value injected
+    /// (separated out so the parsing is testable without mutating the
+    /// process environment).
+    pub fn from_threads_override(value: Option<&str>) -> Self {
+        match value.map(str::trim).and_then(|v| v.parse::<usize>().ok()) {
+            Some(1) => ExecutionPolicy::Sequential,
+            Some(threads) => ExecutionPolicy::Parallel { threads },
+            None => ExecutionPolicy::parallel(),
+        }
+    }
+
     /// Returns `true` if this policy fans out over threads.
     pub fn is_parallel(&self) -> bool {
         matches!(self, ExecutionPolicy::Parallel { .. })
@@ -163,6 +183,28 @@ mod tests {
             ExecutionPolicy::Parallel { threads: 3 }
         );
         assert_eq!(ExecutionPolicy::Sequential.effective_threads(100), 1);
+        // The FEDTUNE_THREADS override: 1 = sequential, n = parallel with n
+        // workers, 0 = all cores, anything else = the parallel default.
+        assert_eq!(
+            ExecutionPolicy::from_threads_override(Some("1")),
+            ExecutionPolicy::Sequential
+        );
+        assert_eq!(
+            ExecutionPolicy::from_threads_override(Some(" 4 ")),
+            ExecutionPolicy::Parallel { threads: 4 }
+        );
+        assert_eq!(
+            ExecutionPolicy::from_threads_override(Some("0")),
+            ExecutionPolicy::parallel()
+        );
+        assert_eq!(
+            ExecutionPolicy::from_threads_override(Some("lots")),
+            ExecutionPolicy::parallel()
+        );
+        assert_eq!(
+            ExecutionPolicy::from_threads_override(None),
+            ExecutionPolicy::parallel()
+        );
         assert_eq!(ExecutionPolicy::parallel_with(4).effective_threads(2), 2);
         assert_eq!(ExecutionPolicy::parallel_with(4).effective_threads(0), 1);
         assert!(ExecutionPolicy::parallel().effective_threads(64) >= 1);

@@ -19,6 +19,12 @@
 //!   [`exec::ExecutionPolicy`] knob (`Sequential` or `Parallel`) governs how
 //!   client training and evaluation fan out over threads, with bit-identical
 //!   results under every policy.
+//! - [`clock`] is the virtual-time layer for discrete-event campaign
+//!   simulation: a monotone [`clock::VirtualClock`], a completion queue with
+//!   total deterministic `(sim_time, key)` ordering, a virtual
+//!   [`clock::WorkerPool`], and the [`clock::CostModel`] deriving simulated
+//!   per-trial runtimes (including heavy-tailed client stragglers) as a pure
+//!   function of the evaluated point.
 //!
 //! # Example
 //!
@@ -38,6 +44,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod clock;
 pub mod evaluation;
 pub mod exec;
 pub mod hyperparams;
@@ -45,6 +52,7 @@ pub mod sampling;
 pub mod server;
 pub mod training;
 
+pub use clock::{ClientRuntimeModel, CostModel, EventKey, EventQueue, VirtualClock, WorkerPool};
 pub use evaluation::{ClientEvaluation, FederatedEvaluation, WeightingScheme};
 pub use exec::ExecutionPolicy;
 pub use hyperparams::{FedAdamConfig, FederatedHyperparams};

@@ -42,6 +42,11 @@ pub struct TrialRecord {
     pub noisy_score: f64,
     /// The true full-validation error at the same point.
     pub true_error: f64,
+    /// Simulated completion time of the recording campaign's evaluation in
+    /// virtual seconds (`0.0` when recorded by a synchronous driver). Rides
+    /// along for audit: replays re-derive the virtual timeline from the cost
+    /// model, and the stored stamp lets tests assert the timelines agree.
+    pub sim_time: f64,
     /// Recording provenance.
     pub provenance: Provenance,
 }
@@ -70,13 +75,34 @@ impl TrialRecord {
         self
     }
 
+    /// Validates that the virtual timestamp is storable: the deserializer
+    /// rejects negative or non-finite stamps, so the write side must too —
+    /// otherwise one bad insert would make a file-backed ledger unreadable
+    /// on the next open.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::InvalidRecord`] for negative or non-finite
+    /// `sim_time`.
+    pub fn validate_sim_time(&self) -> Result<()> {
+        if !self.sim_time.is_finite() || self.sim_time < 0.0 {
+            return Err(StoreError::InvalidRecord {
+                message: format!("sim time {} must be finite and non-negative", self.sim_time),
+            });
+        }
+        Ok(())
+    }
+
     /// Serializes the record as one compact JSON line (no trailing newline).
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::InvalidRecord`] if serialization fails (the
-    /// guards make this unreachable for records built through [`ConfigKey`]).
+    /// Returns [`StoreError::InvalidRecord`] on a negative or non-finite
+    /// `sim_time` (which the deserializer would reject) or if serialization
+    /// fails (the score guards make that unreachable for records built
+    /// through [`ConfigKey`]).
     pub fn to_line(&self) -> Result<String> {
+        self.validate_sim_time()?;
         serde_json::to_string(self).map_err(|e| StoreError::InvalidRecord {
             message: e.to_string(),
         })
@@ -133,6 +159,7 @@ impl Serialize for TrialRecord {
             ("rep".into(), self.rep.to_value()),
             ("noisy".into(), score_to_value(self.noisy_score)),
             ("true".into(), score_to_value(self.true_error)),
+            ("sim".into(), Value::F64(self.sim_time)),
             ("provenance".into(), self.provenance.to_value()),
         ])
     }
@@ -154,12 +181,24 @@ impl Deserialize for TrialRecord {
         let values = Vec::<f64>::from_value(field("values")?)?;
         let config =
             ConfigKey::from_canonical_values(&values).map_err(|e| DeError::new(e.to_string()))?;
+        // Ledgers written before virtual time existed have no "sim" field;
+        // they load as synchronously-recorded (time zero).
+        let sim_time = match field("sim") {
+            Ok(value) => f64::from_value(value)?,
+            Err(_) => 0.0,
+        };
+        if !sim_time.is_finite() || sim_time < 0.0 {
+            return Err(DeError::new(format!(
+                "sim time {sim_time} must be finite and non-negative"
+            )));
+        }
         Ok(TrialRecord {
             config,
             resource: usize::from_value(field("resource")?)?,
             rep: u64::from_value(field("rep")?)?,
             noisy_score: score_from_value(field("noisy")?)?,
             true_error: score_from_value(field("true")?)?,
+            sim_time,
             provenance: Provenance::from_value(field("provenance")?)?,
         })
     }
@@ -185,6 +224,7 @@ mod tests {
             rep: 1,
             noisy_score: noisy,
             true_error,
+            sim_time: 0.0,
             provenance: provenance(),
         }
     }
@@ -213,6 +253,32 @@ mod tests {
             let back = TrialRecord::from_line(&line, 1).unwrap();
             assert_eq!(back.noisy_score.to_bits(), original.noisy_score.to_bits());
             assert_eq!(back.true_error, 0.9);
+        }
+    }
+
+    #[test]
+    fn sim_time_round_trips_and_old_ledgers_load_at_time_zero() {
+        // A virtual-time stamp round-trips bit-exactly.
+        let mut stamped = record(0.5, 0.5);
+        stamped.sim_time = 829.0625;
+        let back = TrialRecord::from_line(&stamped.to_line().unwrap(), 1).unwrap();
+        assert_eq!(back.sim_time.to_bits(), stamped.sim_time.to_bits());
+        // A pre-virtual-time ledger line (no "sim" field) loads as recorded
+        // synchronously.
+        let legacy = "{\"values\":[1.0],\"resource\":1,\"rep\":0,\"noisy\":0.5,\"true\":0.5,\
+             \"provenance\":{\"benchmark\":\"b\",\"scale\":\"s\",\"seed\":0,\"noise\":\"n\"}}";
+        let back = TrialRecord::from_line(legacy, 1).unwrap();
+        assert_eq!(back.sim_time, 0.0);
+        // Negative or non-finite stamps are rejected — symmetrically on
+        // both sides of the round trip, so a bad insert can never produce a
+        // ledger line the next open would refuse.
+        let bad = legacy.replace("\"rep\":0", "\"rep\":0,\"sim\":-1.0");
+        assert!(TrialRecord::from_line(&bad, 1).is_err());
+        for bad_stamp in [-5.0, f64::NAN, f64::INFINITY] {
+            let mut poisoned = record(0.5, 0.5);
+            poisoned.sim_time = bad_stamp;
+            assert!(poisoned.validate_sim_time().is_err(), "{bad_stamp}");
+            assert!(poisoned.to_line().is_err(), "{bad_stamp}");
         }
     }
 

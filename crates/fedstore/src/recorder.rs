@@ -87,11 +87,13 @@ impl<'o, 's> RecordingObjective<'o, 's> {
     }
 }
 
-impl BatchObjective for RecordingObjective<'_, '_> {
-    fn evaluate_batch(
+impl RecordingObjective<'_, '_> {
+    fn evaluate_batch_with_times(
         &mut self,
         requests: &[TrialRequest],
+        sim_times: Option<&[f64]>,
     ) -> fedtune_core::Result<Vec<TrialResult>> {
+        let time_of = |i: usize| sim_times.map_or(0.0, |t| t[i]);
         // Partition against the store: hits answer immediately, misses go to
         // the inner objective as one sub-batch (preserving relative order,
         // which the inner objective's positional seeding requires nothing of
@@ -113,7 +115,13 @@ impl BatchObjective for RecordingObjective<'_, '_> {
         if !miss_indices.is_empty() {
             let miss_requests: Vec<TrialRequest> =
                 miss_indices.iter().map(|&i| requests[i].clone()).collect();
-            let miss_results = self.inner.evaluate_batch(&miss_requests)?;
+            let miss_results = match sim_times {
+                Some(_) => {
+                    let miss_times: Vec<f64> = miss_indices.iter().map(|&i| time_of(i)).collect();
+                    self.inner.evaluate_batch_at(&miss_requests, &miss_times)?
+                }
+                None => self.inner.evaluate_batch(&miss_requests)?,
+            };
             // Ground truth when the objective can separate it; the noisy
             // score otherwise (exact for noiseless analytic objectives).
             let truths = self.inner.last_true_errors();
@@ -128,6 +136,7 @@ impl BatchObjective for RecordingObjective<'_, '_> {
                         rep: key.rep,
                         noisy_score,
                         true_error,
+                        sim_time: time_of(i),
                         provenance: self.provenance.clone(),
                     })
                     .map_err(fedtune_core::CoreError::from)?;
@@ -138,12 +147,30 @@ impl BatchObjective for RecordingObjective<'_, '_> {
         // Stitch results back in request order and log every evaluation.
         self.campaign.begin_batch();
         let mut results = Vec::with_capacity(requests.len());
-        for (request, entry) in requests.iter().zip(scored) {
+        for (i, (request, entry)) in requests.iter().zip(scored).enumerate() {
             let (noisy_score, true_error) = entry.expect("every request was hit or evaluated");
-            self.campaign.observe(request, noisy_score, true_error);
+            self.campaign
+                .observe_at(request, noisy_score, true_error, time_of(i));
             results.push(TrialResult::of(request, noisy_score));
         }
         Ok(results)
+    }
+}
+
+impl BatchObjective for RecordingObjective<'_, '_> {
+    fn evaluate_batch(
+        &mut self,
+        requests: &[TrialRequest],
+    ) -> fedtune_core::Result<Vec<TrialResult>> {
+        self.evaluate_batch_with_times(requests, None)
+    }
+
+    fn evaluate_batch_at(
+        &mut self,
+        requests: &[TrialRequest],
+        sim_times: &[f64],
+    ) -> fedtune_core::Result<Vec<TrialResult>> {
+        self.evaluate_batch_with_times(requests, Some(sim_times))
     }
 
     fn last_true_errors(&self) -> Option<Vec<f64>> {

@@ -182,10 +182,16 @@ impl TrialStore {
     ///
     /// # Errors
     ///
-    /// Returns [`StoreError::Conflict`] when the key exists with a different
-    /// payload, and [`StoreError::Io`] when the ledger append fails.
+    /// Returns [`StoreError::InvalidRecord`] for a negative or non-finite
+    /// `sim_time`, [`StoreError::Conflict`] when the key exists with a
+    /// different payload, and [`StoreError::Io`] when the ledger append
+    /// fails.
     pub fn insert(&mut self, record: TrialRecord) -> Result<bool> {
         let record = record.with_canonical_scores();
+        // Reject timestamps the ledger deserializer would refuse, even for
+        // in-memory stores — a record must never be accepted on one side of
+        // the round trip and rejected on the other.
+        record.validate_sim_time()?;
         let key = record.key();
         if let Some(existing) = self.get(&key) {
             let identical = existing.noisy_score.to_bits() == record.noisy_score.to_bits()
@@ -251,8 +257,20 @@ mod tests {
             rep,
             noisy_score: noisy,
             true_error: noisy * 0.5,
+            sim_time: 0.0,
             provenance: provenance("noisy"),
         }
+    }
+
+    #[test]
+    fn insert_rejects_unstorable_sim_times() {
+        // A record the ledger deserializer would refuse must be rejected at
+        // insert time, never silently persisted into an unreadable file.
+        let mut store = TrialStore::in_memory();
+        let mut poisoned = record(&[1.0], 2, 0, 0.5);
+        poisoned.sim_time = -5.0;
+        assert!(store.insert(poisoned).is_err());
+        assert!(store.is_empty());
     }
 
     #[test]
@@ -447,6 +465,7 @@ mod proptests {
                 rep: rng.gen_range(0..4),
                 noisy_score: score(&mut rng),
                 true_error: score(&mut rng),
+                sim_time: rng.gen_range(0.0..1e4),
                 provenance: Provenance {
                     benchmark: "prop".into(),
                     scale: "smoke".into(),

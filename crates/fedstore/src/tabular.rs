@@ -126,11 +126,18 @@ impl<'s> TabularObjective<'s> {
         Ok((pick.noisy_score, pick.true_error))
     }
 
+    /// Answers one request and logs it with campaign resource accounting,
+    /// stamped at `sim_time` virtual seconds.
+    fn evaluate_one_at(&mut self, request: &TrialRequest, sim_time: f64) -> Result<f64> {
+        let (noisy_score, true_error) = self.lookup(request)?;
+        self.campaign
+            .observe_at(request, noisy_score, true_error, sim_time);
+        Ok(noisy_score)
+    }
+
     /// Answers one request and logs it with campaign resource accounting.
     fn evaluate_one(&mut self, request: &TrialRequest) -> Result<f64> {
-        let (noisy_score, true_error) = self.lookup(request)?;
-        self.campaign.observe(request, noisy_score, true_error);
-        Ok(noisy_score)
+        self.evaluate_one_at(request, 0.0)
     }
 }
 
@@ -145,6 +152,24 @@ impl BatchObjective for TabularObjective<'_> {
             .map(|request| {
                 let score = self
                     .evaluate_one(request)
+                    .map_err(fedtune_core::CoreError::from)?;
+                Ok(TrialResult::of(request, score))
+            })
+            .collect()
+    }
+
+    fn evaluate_batch_at(
+        &mut self,
+        requests: &[TrialRequest],
+        sim_times: &[f64],
+    ) -> fedtune_core::Result<Vec<TrialResult>> {
+        self.campaign.begin_batch();
+        requests
+            .iter()
+            .zip(sim_times)
+            .map(|(request, &sim_time)| {
+                let score = self
+                    .evaluate_one_at(request, sim_time)
                     .map_err(fedtune_core::CoreError::from)?;
                 Ok(TrialResult::of(request, score))
             })
@@ -224,6 +249,7 @@ mod tests {
                     rep,
                     noisy_score: noisy,
                     true_error,
+                    sim_time: 0.0,
                     provenance: provenance(),
                 })
                 .unwrap();

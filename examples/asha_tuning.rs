@@ -8,6 +8,8 @@
 //!
 //! With `FEDTUNE_BENCH_JSON=1` the run writes `BENCH_asha_tuning.json` so
 //! both campaigns' wall-clock is tracked alongside the bench harness.
+//! `FEDTUNE_THREADS` overrides the batch fan-out (1 = sequential, N = N
+//! threads, 0/unset = all cores).
 
 use feddata::Benchmark;
 use fedhpo::{Asha, IntoScheduler, ReEvaluation};
@@ -36,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // rung) trains in parallel; results are bit-identical to sequential.
     let mut scheduler = asha.scheduler()?;
     let mut objective = BatchFederatedObjective::new(&ctx, noise, asha.planned_evaluations(), 1)?
-        .with_batch_runner(TrialRunner::new(ExecutionPolicy::parallel()));
+        .with_batch_runner(TrialRunner::new(ExecutionPolicy::from_env()));
     let mut rng = fedmath::rng::rng_for(1, 0);
     let outcome = summary.time("asha_parallel", asha.planned_evaluations() as u64, || {
         run_scheduled(&mut scheduler, ctx.space(), &mut objective, &mut rng)
@@ -57,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut scheduler = policy.scheduler()?;
     let planned = asha.planned_evaluations() + 9;
     let mut objective = BatchFederatedObjective::new(&ctx, noise, planned, 1)?
-        .with_batch_runner(TrialRunner::new(ExecutionPolicy::parallel()));
+        .with_batch_runner(TrialRunner::new(ExecutionPolicy::from_env()));
     let mut rng = fedmath::rng::rng_for(1, 0);
     let outcome = summary.time("asha_reeval_parallel", planned as u64, || {
         run_scheduled(&mut scheduler, ctx.space(), &mut objective, &mut rng)

@@ -15,7 +15,7 @@ use fedtune::fedtune_core::experiments::heterogeneity::{
     run_systems_heterogeneity, systems_heterogeneity_report,
 };
 use fedtune::fedtune_core::experiments::methods::{
-    paper_noise_settings, run_headline, run_method_comparison,
+    paper_noise_settings, run_headline, run_method_comparison_with,
 };
 use fedtune::fedtune_core::experiments::privacy::{privacy_report, run_privacy_sweep};
 use fedtune::fedtune_core::experiments::proxy::{
@@ -23,10 +23,10 @@ use fedtune::fedtune_core::experiments::proxy::{
 };
 use fedtune::fedtune_core::experiments::space_ablation::run_space_ablation;
 use fedtune::fedtune_core::experiments::subsampling::{
-    budget_report, run_budget_curves, run_subsampling_sweep, subsampling_report,
+    budget_report, run_budget_curves, run_subsampling_sweep_with, subsampling_report,
 };
 use fedtune::fedtune_core::experiments::table1::DatasetTable;
-use fedtune::fedtune_core::ExperimentScale;
+use fedtune::fedtune_core::{ExecutionPolicy, ExperimentScale, TrialRunner};
 
 fn scale_from_env() -> ExperimentScale {
     match std::env::var("FEDTUNE_SCALE").as_deref() {
@@ -38,6 +38,9 @@ fn scale_from_env() -> ExperimentScale {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = scale_from_env();
+    // FEDTUNE_THREADS overrides the trial fan-out (1 = sequential, N = N
+    // threads, 0/unset = all cores); results are bit-identical either way.
+    let runner = TrialRunner::new(ExecutionPolicy::from_env());
     let seed = 2026;
     println!("fedtune full report — scale: {scale:?}\n");
 
@@ -49,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sweeps = Vec::new();
     for &b in &Benchmark::ALL {
         eprintln!("[fig3] {b}");
-        sweeps.push(run_subsampling_sweep(b, &scale, seed)?);
+        sweeps.push(run_subsampling_sweep_with(&runner, b, &scale, seed)?);
     }
     println!("{}", subsampling_report(&sweeps).to_table());
 
@@ -101,7 +104,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("---- Fig. 8 / 15 / 16: method comparison (cifar10-like) ----");
     eprintln!("[fig8] cifar10-like");
-    let comparison = run_method_comparison(
+    let comparison = run_method_comparison_with(
+        &runner,
         Benchmark::Cifar10Like,
         &scale,
         &paper_noise_settings(),

@@ -11,8 +11,10 @@
 
 use feddata::Benchmark;
 use fedtune::fedtune_core::experiments::privacy::{privacy_report, run_privacy_sweep};
-use fedtune::fedtune_core::experiments::subsampling::{run_subsampling_sweep, subsampling_report};
-use fedtune::fedtune_core::ExperimentScale;
+use fedtune::fedtune_core::experiments::subsampling::{
+    run_subsampling_sweep_with, subsampling_report,
+};
+use fedtune::fedtune_core::{ExecutionPolicy, ExperimentScale, TrialRunner};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The smoke scale finishes in seconds; switch to
@@ -21,9 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let benchmark = Benchmark::Cifar10Like;
     let mut summary = fedbench::BenchSummary::new("noisy_evaluation_sweep");
 
+    // FEDTUNE_THREADS overrides the trial fan-out; results are identical.
+    let runner = TrialRunner::new(ExecutionPolicy::from_env());
     println!("== Client subsampling (Fig. 3 shape) ==");
     let sweep = summary.time("subsampling_sweep", scale.bootstrap_trials as u64, || {
-        run_subsampling_sweep(benchmark, &scale, 0)
+        run_subsampling_sweep_with(&runner, benchmark, &scale, 0)
     })?;
     println!("{}", subsampling_report(&[sweep]).to_table());
 

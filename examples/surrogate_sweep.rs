@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut store = TrialStore::in_memory();
     let live = summary.time("record_live_campaigns", campaigns, || {
         record_method_comparison(
-            ExecutionPolicy::parallel(),
+            ExecutionPolicy::from_env(),
             Benchmark::Cifar10Like,
             &scale,
             &methods,

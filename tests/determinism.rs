@@ -12,8 +12,12 @@ use fedsim::{ExecutionPolicy, FederatedTrainer, TrainerConfig};
 use fedtune_core::experiments::methods::{
     paper_noise_settings, run_method_comparison_scheduled, run_method_comparison_with, TuningMethod,
 };
+use fedtune_core::experiments::stragglers::straggler_cost_model;
 use fedtune_core::experiments::subsampling::run_subsampling_sweep_with;
-use fedtune_core::{BenchmarkContext, ConfigPool, ExperimentScale, TrialRunner};
+use fedtune_core::{
+    run_event_driven, BatchFederatedObjective, BenchmarkContext, ConfigPool, EventDrivenOutcome,
+    ExperimentScale, NoiseConfig, ObjectiveLogEntry, TrialRunner, VirtualExecution,
+};
 
 const SEEDS: [u64; 3] = [0, 7, 42];
 const THREAD_COUNTS: [usize; 3] = [2, 3, 8];
@@ -223,6 +227,157 @@ fn scheduled_extended_comparison_is_bit_identical_across_policies() {
     )
     .unwrap();
     assert_eq!(sequential, parallel);
+}
+
+/// One async-ASHA campaign through the event-driven executor with
+/// heavy-tailed simulated client runtimes, batches fanned out under
+/// `policy`. Returns the outcome (records in virtual completion order,
+/// stamped with sim times) and the objective log.
+fn event_driven_campaign(
+    ctx: &BenchmarkContext,
+    scale: &ExperimentScale,
+    policy: ExecutionPolicy,
+    seed: u64,
+) -> (EventDrivenOutcome, Vec<ObjectiveLogEntry>) {
+    let method = TuningMethod::AsyncAsha;
+    let mut scheduler = method.scheduler(scale).unwrap();
+    let planned = method.planned_evaluations(scale);
+    let mut objective = BatchFederatedObjective::new(
+        ctx,
+        NoiseConfig::paper_noisy(),
+        planned,
+        fedmath::rng::derive_seed(seed, 0),
+    )
+    .unwrap()
+    .with_batch_runner(TrialRunner::new(policy));
+    let mut rng = fedmath::rng::rng_for(seed, 1);
+    let sim = VirtualExecution::new(3, straggler_cost_model(scale, seed));
+    let outcome = run_event_driven(
+        scheduler.as_mut(),
+        ctx.space(),
+        &mut objective,
+        &mut rng,
+        &sim,
+    )
+    .unwrap();
+    (outcome, objective.into_log())
+}
+
+#[test]
+fn event_driven_campaigns_are_bit_identical_across_policies() {
+    // The tentpole contract: the event-driven executor's entire result —
+    // scores, completion order, and every virtual timestamp — is a pure
+    // function of the schedule and cost model, so real thread counts change
+    // nothing. Three seeds × three forced thread counts against the
+    // sequential reference.
+    let scale = ExperimentScale::smoke();
+    for &seed in &SEEDS {
+        let ctx = BenchmarkContext::new(Benchmark::Cifar10Like, &scale, seed).unwrap();
+        let (sequential, sequential_log) =
+            event_driven_campaign(&ctx, &scale, ExecutionPolicy::Sequential, seed);
+        assert!(sequential.finished);
+        assert!(sequential.sim_elapsed > 0.0);
+        for &threads in &THREAD_COUNTS {
+            let (parallel, parallel_log) =
+                event_driven_campaign(&ctx, &scale, ExecutionPolicy::parallel_with(threads), seed);
+            assert_eq!(
+                sequential, parallel,
+                "seed {seed}, {threads} threads: event-driven outcome diverged"
+            );
+            assert_eq!(
+                sequential_log, parallel_log,
+                "seed {seed}, {threads} threads"
+            );
+            for (a, b) in sequential
+                .outcome
+                .records()
+                .iter()
+                .zip(parallel.outcome.records())
+            {
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+                assert_eq!(a.sim_time.to_bits(), b.sim_time.to_bits());
+            }
+            assert_eq!(
+                sequential.sim_elapsed.to_bits(),
+                parallel.sim_elapsed.to_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn recorded_async_campaign_replays_with_identical_virtual_timeline() {
+    // Record an async event-driven campaign into the fedstore ledger, then
+    // replay it from the table alone: same completion order, same virtual
+    // timestamps, same sim_elapsed — bit for bit.
+    let scale = ExperimentScale::smoke();
+    let seed = 4;
+    let ctx = BenchmarkContext::new(Benchmark::Cifar10Like, &scale, seed).unwrap();
+    let method = TuningMethod::AsyncAsha;
+    let planned = method.planned_evaluations(&scale);
+    let sim = VirtualExecution::new(3, straggler_cost_model(&scale, seed));
+    let mut store = fedstore::TrialStore::in_memory();
+
+    // Live, recorded.
+    let mut scheduler = method.scheduler(&scale).unwrap();
+    let mut inner = BatchFederatedObjective::new(
+        &ctx,
+        NoiseConfig::paper_noisy(),
+        planned,
+        fedmath::rng::derive_seed(seed, 0),
+    )
+    .unwrap()
+    .with_batch_runner(TrialRunner::parallel());
+    let mut recording = fedstore::RecordingObjective::new(
+        &mut inner,
+        ctx.space(),
+        fedstore::campaign_provenance(Benchmark::Cifar10Like, &scale, seed, "noisy"),
+        &mut store,
+    );
+    let mut rng = fedmath::rng::rng_for(seed, 1);
+    let live = run_event_driven(
+        scheduler.as_mut(),
+        ctx.space(),
+        &mut recording,
+        &mut rng,
+        &sim,
+    )
+    .unwrap();
+    let live_log = recording.into_log();
+    assert!(live.finished);
+    assert!(!store.is_empty());
+    // The ledger carries the virtual stamps of the recording campaign.
+    assert!(store.records().iter().all(|r| r.sim_time > 0.0));
+
+    // Replayed from the ledger alone: no dataset, no training.
+    let mut scheduler = method.scheduler(&scale).unwrap();
+    let mut tabular = fedstore::TabularObjective::new(&store, ctx.space());
+    let mut rng = fedmath::rng::rng_for(seed, 1);
+    let replayed = run_event_driven(
+        scheduler.as_mut(),
+        ctx.space(),
+        &mut tabular,
+        &mut rng,
+        &sim,
+    )
+    .unwrap();
+    assert_eq!(tabular.exact_hits(), live.outcome.num_evaluations());
+    assert_eq!(tabular.resampled(), 0);
+    let replay_log = tabular.into_log();
+    assert_eq!(live, replayed, "replayed virtual timeline diverged");
+    assert_eq!(live.sim_elapsed.to_bits(), replayed.sim_elapsed.to_bits());
+    for (a, b) in live
+        .outcome
+        .records()
+        .iter()
+        .zip(replayed.outcome.records())
+    {
+        assert_eq!(a.trial_id, b.trial_id);
+        assert_eq!(a.resource, b.resource);
+        assert_eq!(a.score.to_bits(), b.score.to_bits());
+        assert_eq!(a.sim_time.to_bits(), b.sim_time.to_bits());
+    }
+    assert_eq!(live_log, replay_log);
 }
 
 #[test]
