@@ -61,6 +61,13 @@ pub struct BenchSummary {
     /// Simulated throughput: trials completed per simulated hour (`0.0`
     /// when no virtual-time campaign ran).
     pub trials_per_sim_hour: f64,
+    /// Peak clients resident at once during a population-backed run:
+    /// in-flight cohort plus cache residents (`0` for benches that do not
+    /// touch a lazy population).
+    pub peak_resident_clients: u64,
+    /// Client-cache hit rate over the run, in `[0, 1]` (`0.0` when no cache
+    /// was involved).
+    pub cache_hit_rate: f64,
     /// The measurements.
     pub entries: Vec<BenchEntry>,
 }
@@ -74,8 +81,17 @@ impl BenchSummary {
             scale: std::env::var("FEDTUNE_BENCH_SCALE").unwrap_or_else(|_| "smoke".into()),
             sim_elapsed: 0.0,
             trials_per_sim_hour: 0.0,
+            peak_resident_clients: 0,
+            cache_hit_rate: 0.0,
             entries: Vec::new(),
         }
+    }
+
+    /// Records the memory/cache outcome of a population-backed run: the peak
+    /// number of simultaneously-resident clients and the cache hit rate.
+    pub fn record_population(&mut self, peak_resident_clients: u64, cache_hit_rate: f64) {
+        self.peak_resident_clients = peak_resident_clients;
+        self.cache_hit_rate = cache_hit_rate;
     }
 
     /// Records the virtual-time outcome of the bench: total simulated
@@ -167,10 +183,16 @@ mod tests {
         let mut idle = BenchSummary::new("idle");
         idle.record_sim(0.0, 5);
         assert_eq!(idle.trials_per_sim_hour, 0.0);
+        // Population accounting fields round-trip into the JSON.
+        summary.record_population(72, 0.85);
+        assert_eq!(summary.peak_resident_clients, 72);
+        assert_eq!(summary.cache_hit_rate, 0.85);
         let json = serde_json::to_string_pretty(&summary).unwrap();
         assert!(json.contains("timed_block"));
         assert!(json.contains("unit_test"));
         assert!(json.contains("trials_per_sim_hour"));
+        assert!(json.contains("peak_resident_clients"));
+        assert!(json.contains("cache_hit_rate"));
         // Disabled by default: no file side effects.
         if std::env::var("FEDTUNE_BENCH_JSON").as_deref() != Ok("1") {
             summary.write_if_enabled();

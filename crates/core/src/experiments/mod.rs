@@ -10,12 +10,14 @@
 //! | [`proxy`] | Fig. 10/14 (HP transfer), Fig. 11 (proxy matrix), Fig. 12 (proxy vs noisy evaluation) |
 //! | [`space_ablation`] | Fig. 13 (search-space size under noise) |
 //! | [`stragglers`] | Straggler scenario: sync SHA vs async ASHA in simulated wall-clock under heavy-tailed client runtimes |
+//! | [`population`] | Population-scale subsampling noise: variance and rank fidelity vs cohort size at N up to 1e6 lazy clients |
 //!
 //! Every runner takes a [`crate::ExperimentScale`] and a seed, returns a
 //! serialisable result struct, and can render an [`crate::ExperimentReport`].
 
 pub mod heterogeneity;
 pub mod methods;
+pub mod population;
 pub mod privacy;
 pub mod proxy;
 pub mod space_ablation;

@@ -94,6 +94,8 @@ pub enum CoreError {
     Dp(feddp::DpError),
     /// An underlying proxy-tuning operation failed.
     Proxy(fedproxy::ProxyError),
+    /// An underlying population operation failed.
+    Pop(fedpop::PopError),
     /// An underlying numerical routine failed.
     Math(fedmath::MathError),
 }
@@ -108,6 +110,7 @@ impl fmt::Display for CoreError {
             CoreError::Hpo(e) => write!(f, "hpo error: {e}"),
             CoreError::Dp(e) => write!(f, "privacy error: {e}"),
             CoreError::Proxy(e) => write!(f, "proxy error: {e}"),
+            CoreError::Pop(e) => write!(f, "population error: {e}"),
             CoreError::Math(e) => write!(f, "math error: {e}"),
         }
     }
@@ -123,6 +126,7 @@ impl std::error::Error for CoreError {
             CoreError::Hpo(e) => Some(e),
             CoreError::Dp(e) => Some(e),
             CoreError::Proxy(e) => Some(e),
+            CoreError::Pop(e) => Some(e),
             CoreError::Math(e) => Some(e),
         }
     }
@@ -144,6 +148,7 @@ impl_from_error!(Model, fedmodels::ModelError);
 impl_from_error!(Hpo, fedhpo::HpoError);
 impl_from_error!(Dp, feddp::DpError);
 impl_from_error!(Proxy, fedproxy::ProxyError);
+impl_from_error!(Pop, fedpop::PopError);
 impl_from_error!(Math, fedmath::MathError);
 
 /// Convenience alias for results returned by this crate.

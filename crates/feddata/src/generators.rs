@@ -158,11 +158,60 @@ impl ClassificationWorld {
         &self.prototypes
     }
 
+    /// Materializes the shard of a single client **positionally**: the
+    /// result is a pure function of `(tree seed, id, size)` — it never
+    /// depends on which other clients were generated, or in what order. This
+    /// is the primitive behind lazy million-client populations: any one
+    /// client of a virtual pool can be synthesized on demand in O(size).
+    ///
+    /// The client draws its own label distribution (Dirichlet
+    /// `label_alpha`) and private feature shift from the RNG at
+    /// `tree.child(id)`, then samples `size` examples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidSpec`] if `size == 0`.
+    pub fn client_at(&self, tree: &fedmath::SeedTree, id: u64, size: usize) -> Result<ClientData> {
+        if size == 0 {
+            return Err(DataError::InvalidSpec {
+                message: "every client must have at least one example".into(),
+            });
+        }
+        let cfg = &self.config;
+        let normal = Normal::new(0.0, 1.0).expect("valid std");
+        let mut rng = tree.child(id).rng();
+        let label_dist = sample_dirichlet(&mut rng, cfg.num_classes, cfg.label_alpha)?;
+        let shift: Vec<f64> = (0..cfg.feature_dim)
+            .map(|_| normal.sample(&mut rng) * cfg.client_shift_std)
+            .collect();
+        let mut examples = Vec::with_capacity(size);
+        for _ in 0..size {
+            let true_class = fedmath::rng::sample_categorical(&mut rng, &label_dist);
+            let features: Vec<f64> = (0..cfg.feature_dim)
+                .map(|d| {
+                    self.prototypes[true_class][d]
+                        + shift[d]
+                        + normal.sample(&mut rng) * cfg.feature_noise
+                })
+                .collect();
+            let label = if rng.gen::<f64>() < cfg.label_noise {
+                rng.gen_range(0..cfg.num_classes)
+            } else {
+                true_class
+            };
+            examples.push(Example::dense(features, label));
+        }
+        Ok(ClientData::new(id as usize, examples))
+    }
+
     /// Generates one client pool with the given per-client example counts.
     ///
     /// Each client draws its own label distribution and feature shift, so the
     /// resulting pool is naturally non-iid; the degree of label skew is
-    /// controlled by `label_alpha` in the configuration.
+    /// controlled by `label_alpha` in the configuration. Clients are
+    /// materialized positionally via [`client_at`](Self::client_at) below a
+    /// root derived from `rng`, so an eagerly generated pool is exactly what
+    /// a lazy population would materialize client by client.
     ///
     /// # Errors
     ///
@@ -173,39 +222,12 @@ impl ClassificationWorld {
                 message: "need at least one client size".into(),
             });
         }
-        if sizes.contains(&0) {
-            return Err(DataError::InvalidSpec {
-                message: "every client must have at least one example".into(),
-            });
-        }
-        let cfg = &self.config;
-        let normal = Normal::new(0.0, 1.0).expect("valid std");
-        let mut clients = Vec::with_capacity(sizes.len());
-        for (id, &n) in sizes.iter().enumerate() {
-            let label_dist = sample_dirichlet(rng, cfg.num_classes, cfg.label_alpha)?;
-            let shift: Vec<f64> = (0..cfg.feature_dim)
-                .map(|_| normal.sample(rng) * cfg.client_shift_std)
-                .collect();
-            let mut examples = Vec::with_capacity(n);
-            for _ in 0..n {
-                let true_class = fedmath::rng::sample_categorical(rng, &label_dist);
-                let features: Vec<f64> = (0..cfg.feature_dim)
-                    .map(|d| {
-                        self.prototypes[true_class][d]
-                            + shift[d]
-                            + normal.sample(rng) * cfg.feature_noise
-                    })
-                    .collect();
-                let label = if rng.gen::<f64>() < cfg.label_noise {
-                    rng.gen_range(0..cfg.num_classes)
-                } else {
-                    true_class
-                };
-                examples.push(Example::dense(features, label));
-            }
-            clients.push(ClientData::new(id, examples));
-        }
-        Ok(clients)
+        let tree = fedmath::SeedTree::new(rng.gen());
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(id, &n)| self.client_at(&tree, id as u64, n))
+            .collect()
     }
 }
 
@@ -257,7 +279,40 @@ impl LanguageWorld {
         &self.config
     }
 
-    /// Generates one client pool with the given per-client example counts.
+    /// Materializes the shard of a single client **positionally** — a pure
+    /// function of `(tree seed, id, size)`, independent of every other
+    /// client. See [`ClassificationWorld::client_at`] for the contract.
+    ///
+    /// The client draws its private topic mixture from the RNG at
+    /// `tree.child(id)`, then samples `size` `(context, next)` pairs from
+    /// its mixed bigram table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidSpec`] if `size == 0`.
+    pub fn client_at(&self, tree: &fedmath::SeedTree, id: u64, size: usize) -> Result<ClientData> {
+        if size == 0 {
+            return Err(DataError::InvalidSpec {
+                message: "every client must have at least one example".into(),
+            });
+        }
+        let cfg = &self.config;
+        let mut rng = tree.child(id).rng();
+        let topic_mixture = sample_dirichlet(&mut rng, cfg.num_topics, cfg.client_topic_alpha)?;
+        let mut examples = Vec::with_capacity(size);
+        for _ in 0..size {
+            let context = fedmath::rng::sample_categorical(&mut rng, &self.context_distribution);
+            let topic = fedmath::rng::sample_categorical(&mut rng, &topic_mixture);
+            let next =
+                fedmath::rng::sample_categorical(&mut rng, &self.topic_transitions[topic][context]);
+            examples.push(Example::token(context, next));
+        }
+        Ok(ClientData::new(id as usize, examples))
+    }
+
+    /// Generates one client pool with the given per-client example counts,
+    /// materialized positionally via [`client_at`](Self::client_at) below a
+    /// root derived from `rng` (see [`ClassificationWorld::generate_clients`]).
     ///
     /// # Errors
     ///
@@ -268,26 +323,12 @@ impl LanguageWorld {
                 message: "need at least one client size".into(),
             });
         }
-        if sizes.contains(&0) {
-            return Err(DataError::InvalidSpec {
-                message: "every client must have at least one example".into(),
-            });
-        }
-        let cfg = &self.config;
-        let mut clients = Vec::with_capacity(sizes.len());
-        for (id, &n) in sizes.iter().enumerate() {
-            let topic_mixture = sample_dirichlet(rng, cfg.num_topics, cfg.client_topic_alpha)?;
-            let mut examples = Vec::with_capacity(n);
-            for _ in 0..n {
-                let context = fedmath::rng::sample_categorical(rng, &self.context_distribution);
-                let topic = fedmath::rng::sample_categorical(rng, &topic_mixture);
-                let next =
-                    fedmath::rng::sample_categorical(rng, &self.topic_transitions[topic][context]);
-                examples.push(Example::token(context, next));
-            }
-            clients.push(ClientData::new(id, examples));
-        }
-        Ok(clients)
+        let tree = fedmath::SeedTree::new(rng.gen());
+        sizes
+            .iter()
+            .enumerate()
+            .map(|(id, &n)| self.client_at(&tree, id as u64, n))
+            .collect()
     }
 }
 
@@ -455,6 +496,49 @@ mod tests {
             tv > 0.05,
             "expected clients to differ, TV distance was {tv}"
         );
+    }
+
+    #[test]
+    fn client_at_is_positional_and_order_invariant() {
+        let mut rng = rng_for(12, 0);
+        let world = ClassificationWorld::generate(&mut rng, classification_config()).unwrap();
+        let tree = fedmath::SeedTree::new(999);
+        // Materializing id 7 directly, after its neighbours, or twice gives
+        // bit-identical shards.
+        let direct = world.client_at(&tree, 7, 15).unwrap();
+        let _ = world.client_at(&tree, 0, 5).unwrap();
+        let _ = world.client_at(&tree, 31, 9).unwrap();
+        let again = world.client_at(&tree, 7, 15).unwrap();
+        assert_eq!(direct, again);
+        assert_eq!(direct.id(), 7);
+        assert_eq!(direct.num_examples(), 15);
+        assert!(world.client_at(&tree, 3, 0).is_err());
+
+        let mut rng = rng_for(12, 1);
+        let lang = LanguageWorld::generate(&mut rng, language_config()).unwrap();
+        let direct = lang.client_at(&tree, 11, 8).unwrap();
+        let _ = lang.client_at(&tree, 2, 3).unwrap();
+        let again = lang.client_at(&tree, 11, 8).unwrap();
+        assert_eq!(direct, again);
+        assert!(lang.client_at(&tree, 11, 0).is_err());
+    }
+
+    #[test]
+    fn eager_pool_matches_lazy_per_client_materialization() {
+        // generate_clients must produce exactly what client-by-client
+        // materialization below the same root would: the eager path is the
+        // lazy path, fused.
+        let mut rng = rng_for(13, 0);
+        let world = ClassificationWorld::generate(&mut rng, classification_config()).unwrap();
+        let sizes = vec![4, 9, 2, 7];
+        let mut pool_rng = rng_for(13, 1);
+        let pool = world.generate_clients(&mut pool_rng, &sizes).unwrap();
+        let mut root_rng = rng_for(13, 1);
+        let tree = fedmath::SeedTree::new(rand::Rng::gen::<u64>(&mut root_rng));
+        for (id, &n) in sizes.iter().enumerate() {
+            let lazy = world.client_at(&tree, id as u64, n).unwrap();
+            assert_eq!(pool[id], lazy, "client {id} diverged between paths");
+        }
     }
 
     #[test]

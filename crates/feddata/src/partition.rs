@@ -244,31 +244,14 @@ pub fn repartition_iid_fraction(
     Ok(out)
 }
 
-/// Draws `num_clients` long-tailed per-client example counts with the given
-/// mean, minimum, and maximum, mimicking the client-size distributions of the
-/// text datasets in Table 2 (min 1, max five orders of magnitude larger).
-///
-/// Counts are drawn from a log-normal distribution and clamped to
-/// `[min, max]`; the result is then rescaled (by repeated proportional
-/// adjustment) so the empirical mean is close to `mean`.
+/// Validates the parameters of a long-tailed size distribution.
 ///
 /// # Errors
 ///
 /// Returns [`DataError::InvalidSpec`] if the constraints are unsatisfiable
-/// (`min > max`, zero clients, non-positive mean, or mean outside `[min, max]`).
-pub fn long_tailed_client_sizes(
-    rng: &mut impl Rng,
-    num_clients: usize,
-    mean: f64,
-    min: usize,
-    max: usize,
-    sigma: f64,
-) -> Result<Vec<usize>> {
-    if num_clients == 0 {
-        return Err(DataError::InvalidSpec {
-            message: "need at least one client".into(),
-        });
-    }
+/// (`min > max`, non-positive mean, mean outside `[min, max]`, or a
+/// non-positive `sigma`).
+pub fn validate_long_tailed_sizes(mean: f64, min: usize, max: usize, sigma: f64) -> Result<()> {
     if min > max {
         return Err(DataError::InvalidSpec {
             message: format!("min {min} exceeds max {max}"),
@@ -284,27 +267,116 @@ pub fn long_tailed_client_sizes(
             message: format!("sigma must be positive, got {sigma}"),
         });
     }
-    // Log-normal with median exp(mu); choose mu so the mean is roughly right,
-    // then correct the empirical mean by scaling.
-    let mu = mean.ln() - sigma * sigma / 2.0;
-    let dist = LogNormal::new(mu, sigma).map_err(|e| DataError::InvalidSpec {
-        message: format!("invalid log-normal parameters: {e}"),
-    })?;
-    let mut sizes: Vec<f64> = (0..num_clients).map(|_| dist.sample(rng)).collect();
-    // Two rounds of mean correction keep the empirical mean near the target
-    // while respecting the clamp bounds.
-    for _ in 0..2 {
-        let emp_mean = sizes.iter().sum::<f64>() / num_clients as f64;
-        if emp_mean > 0.0 {
-            let scale = mean / emp_mean;
-            for s in &mut sizes {
-                *s = (*s * scale).clamp(min as f64, max as f64);
-            }
-        }
+    Ok(())
+}
+
+/// The long-tailed example count of client `id`, drawn **positionally** from
+/// `tree`: a pure function of `(tree seed, id)` that never looks at any other
+/// client. This is what lets a virtual population of millions of clients
+/// materialize one shard at a time — sizes come from a clamped log-normal
+/// with `mu = ln(mean) - sigma²/2` (so the analytic pre-clamp mean is
+/// `mean`), rounded to an integer in `[max(min, 1), max]`.
+///
+/// Every client is guaranteed **at least one example** regardless of how the
+/// float draw rounds: the lower clamp bound is `max(min, 1)`, never 0.
+///
+/// # Errors
+///
+/// See [`validate_long_tailed_sizes`].
+pub fn long_tailed_size_at(
+    tree: &fedmath::SeedTree,
+    id: u64,
+    mean: f64,
+    min: usize,
+    max: usize,
+    sigma: f64,
+) -> Result<usize> {
+    Ok(LongTailedSizes::new(mean, min, max, sigma)?.size_at(tree, id))
+}
+
+/// A validated, precompiled long-tailed size distribution: the form of
+/// [`long_tailed_size_at`] for hot loops (e.g. size-weighted rejection
+/// sampling over a lazy population), where validating the parameters and
+/// rebuilding the log-normal on every per-client query would dominate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LongTailedSizes {
+    dist: LogNormal,
+    lo: f64,
+    hi: f64,
+}
+
+impl LongTailedSizes {
+    /// Validates the parameters once and precomputes the distribution.
+    ///
+    /// # Errors
+    ///
+    /// See [`validate_long_tailed_sizes`].
+    pub fn new(mean: f64, min: usize, max: usize, sigma: f64) -> Result<Self> {
+        validate_long_tailed_sizes(mean, min, max, sigma)?;
+        let mu = mean.ln() - sigma * sigma / 2.0;
+        let dist = LogNormal::new(mu, sigma).map_err(|e| DataError::InvalidSpec {
+            message: format!("invalid log-normal parameters: {e}"),
+        })?;
+        Ok(LongTailedSizes {
+            dist,
+            // The lower bound saturates at 1: a client with zero examples
+            // cannot participate in training or evaluation, so degenerate
+            // tiny-shard draws round *up*.
+            lo: min.max(1) as f64,
+            hi: max.max(1) as f64,
+        })
     }
-    Ok(sizes
-        .into_iter()
-        .map(|s| s.round().max(min as f64) as usize)
+
+    /// The size of client `id` below `tree` — identical to
+    /// [`long_tailed_size_at`] with this distribution's parameters.
+    pub fn size_at(&self, tree: &fedmath::SeedTree, id: u64) -> usize {
+        let draw = self.dist.sample(&mut tree.child(id).rng());
+        // Clamp in float space first (both bounds are integers, so rounding
+        // a clamped value cannot escape the bounds), then round.
+        draw.clamp(self.lo, self.hi).round() as usize
+    }
+}
+
+/// Draws `num_clients` long-tailed per-client example counts targeting the
+/// given mean, minimum, and maximum, mimicking the client-size distributions
+/// of the text datasets in Table 2 (min 1, max five orders of magnitude
+/// larger).
+///
+/// Counts are drawn positionally via [`long_tailed_size_at`] below a root
+/// derived from `rng`: client `i`'s size depends only on that root and `i`,
+/// never on a sequential pass over the whole population. This keeps eager
+/// generation ([`crate::DatasetSpec::generate`]) consistent with lazy
+/// per-client materialization at population scale, and guarantees every
+/// client at least one example.
+///
+/// `mean` is the **analytic pre-clamp mean** of the log-normal
+/// (`mu = ln(mean) - sigma²/2`). Clamping to `[max(min, 1), max]` truncates
+/// the heavy upper tail, so the realized empirical mean undershoots `mean`
+/// for aggressive `(mean, sigma, max)` combinations — a deliberate trade:
+/// an exact empirical correction would need a global pass over all clients,
+/// which positional per-client materialization rules out.
+///
+/// # Errors
+///
+/// Returns [`DataError::InvalidSpec`] if `num_clients == 0` or the
+/// distribution parameters are invalid (see [`validate_long_tailed_sizes`]).
+pub fn long_tailed_client_sizes(
+    rng: &mut impl Rng,
+    num_clients: usize,
+    mean: f64,
+    min: usize,
+    max: usize,
+    sigma: f64,
+) -> Result<Vec<usize>> {
+    if num_clients == 0 {
+        return Err(DataError::InvalidSpec {
+            message: "need at least one client".into(),
+        });
+    }
+    let dist = LongTailedSizes::new(mean, min, max, sigma)?;
+    let tree = fedmath::SeedTree::new(rng.gen());
+    Ok((0..num_clients)
+        .map(|i| dist.size_at(&tree, i as u64))
         .collect())
 }
 
@@ -509,6 +581,42 @@ mod tests {
             max as f64 > 2.0 * mean,
             "max {max} not long-tailed vs mean {mean}"
         );
+    }
+
+    #[test]
+    fn long_tailed_sizes_guarantee_at_least_one_example() {
+        // Regression: with min = 0 and a heavy tail centred below one
+        // example, float rounding used to be the only thing standing between
+        // a client and an empty shard. The lower clamp bound now saturates
+        // at 1 for every client at any population size.
+        let tree = fedmath::SeedTree::new(123);
+        for id in 0..5_000u64 {
+            let s = long_tailed_size_at(&tree, id, 2.0, 0, 10_000, 2.5).unwrap();
+            assert!(s >= 1, "client {id} drew a zero-sized shard");
+        }
+        let mut rng = rng_for(5, 7);
+        let sizes = long_tailed_client_sizes(&mut rng, 2_000, 2.0, 0, 50, 2.0).unwrap();
+        assert!(sizes.iter().all(|&s| (1..=50).contains(&s)));
+    }
+
+    #[test]
+    fn long_tailed_size_is_positional() {
+        // Client id's size is a pure function of (tree, id): deriving other
+        // ids first, or none at all, changes nothing.
+        let tree = fedmath::SeedTree::new(77);
+        let direct = long_tailed_size_at(&tree, 9_999_999, 40.0, 1, 5_000, 1.5).unwrap();
+        let mut scattered = Vec::new();
+        for id in [123u64, 9_999_999, 0, 42] {
+            scattered.push((
+                id,
+                long_tailed_size_at(&tree, id, 40.0, 1, 5_000, 1.5).unwrap(),
+            ));
+        }
+        assert_eq!(scattered[1], (9_999_999, direct));
+        // And the whole-population draw agrees with itself across calls.
+        let a = long_tailed_client_sizes(&mut rng_for(6, 0), 100, 40.0, 1, 5_000, 1.5).unwrap();
+        let b = long_tailed_client_sizes(&mut rng_for(6, 0), 100, 40.0, 1, 5_000, 1.5).unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

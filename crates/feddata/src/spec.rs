@@ -10,7 +10,6 @@
 use crate::dataset::FederatedDataset;
 use crate::example::Task;
 use crate::generators::{ClassificationConfig, ClassificationWorld, LanguageConfig, LanguageWorld};
-use crate::partition::long_tailed_client_sizes;
 use crate::{DataError, Result};
 use fedmath::SeedStream;
 use rand::Rng;
@@ -102,18 +101,13 @@ pub enum ClientSizes {
 }
 
 impl ClientSizes {
-    /// Draws `num_clients` sizes.
+    /// Validates the distribution parameters.
     ///
     /// # Errors
     ///
-    /// Returns [`DataError::InvalidSpec`] if the parameters are inconsistent
-    /// (see [`long_tailed_client_sizes`]).
-    pub fn sample(&self, rng: &mut impl Rng, num_clients: usize) -> Result<Vec<usize>> {
-        if num_clients == 0 {
-            return Err(DataError::InvalidSpec {
-                message: "need at least one client".into(),
-            });
-        }
+    /// Returns [`DataError::InvalidSpec`] for an empty/zero uniform range or
+    /// unsatisfiable log-normal constraints.
+    pub fn validate(&self) -> Result<()> {
         match *self {
             ClientSizes::Uniform { low, high } => {
                 if low == 0 || low > high {
@@ -121,16 +115,110 @@ impl ClientSizes {
                         message: format!("invalid uniform size range [{low}, {high}]"),
                     });
                 }
-                Ok((0..num_clients)
-                    .map(|_| rng.gen_range(low..=high))
-                    .collect())
+                Ok(())
             }
             ClientSizes::LogNormal {
                 mean,
                 min,
                 max,
                 sigma,
-            } => long_tailed_client_sizes(rng, num_clients, mean, min.max(1), max, sigma),
+            } => crate::partition::validate_long_tailed_sizes(mean, min.max(1), max, sigma),
+        }
+    }
+
+    /// The largest size this distribution can ever produce — an O(1) bound
+    /// used by size-weighted cohort sampling over lazy populations.
+    pub fn max_size(&self) -> usize {
+        match *self {
+            ClientSizes::Uniform { high, .. } => high,
+            ClientSizes::LogNormal { max, .. } => max.max(1),
+        }
+    }
+
+    /// Validates once and precompiles the distribution into a [`SizeSampler`]
+    /// whose per-client queries are validation-free — the form hot loops
+    /// (size-weighted rejection sampling over a lazy population) should hold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidSpec`] if the parameters are inconsistent
+    /// (see [`validate`](Self::validate)).
+    pub fn compile(&self) -> Result<SizeSampler> {
+        self.validate()?;
+        Ok(match *self {
+            ClientSizes::Uniform { low, high } => SizeSampler::Uniform { low, high },
+            ClientSizes::LogNormal {
+                mean,
+                min,
+                max,
+                sigma,
+            } => SizeSampler::LogNormal(crate::partition::LongTailedSizes::new(
+                mean,
+                min.max(1),
+                max,
+                sigma,
+            )?),
+        })
+    }
+
+    /// The example count of client `id`, drawn **positionally** from `tree`:
+    /// a pure function of `(tree seed, id)`. Every returned size is at least
+    /// one — a lazy population can query any client's size in O(1) without
+    /// touching its neighbours. Repeated callers should
+    /// [`compile`](Self::compile) once instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidSpec`] if the parameters are inconsistent
+    /// (see [`validate`](Self::validate)).
+    pub fn size_at(&self, tree: &fedmath::SeedTree, id: u64) -> Result<usize> {
+        Ok(self.compile()?.size_at(tree, id))
+    }
+
+    /// Draws `num_clients` sizes, positionally below a root derived from
+    /// `rng` (size `i` comes from [`size_at`](Self::size_at) at id `i`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::InvalidSpec`] if the parameters are inconsistent
+    /// (see [`crate::partition::long_tailed_client_sizes`]).
+    pub fn sample(&self, rng: &mut impl Rng, num_clients: usize) -> Result<Vec<usize>> {
+        if num_clients == 0 {
+            return Err(DataError::InvalidSpec {
+                message: "need at least one client".into(),
+            });
+        }
+        let sampler = self.compile()?;
+        let tree = fedmath::SeedTree::new(rng.gen());
+        Ok((0..num_clients)
+            .map(|i| sampler.size_at(&tree, i as u64))
+            .collect())
+    }
+}
+
+/// A validated, precompiled [`ClientSizes`] distribution: per-client size
+/// queries skip re-validation and distribution construction, which matters
+/// in rejection-sampling loops that query thousands of sizes per cohort.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SizeSampler {
+    /// Sizes uniform in `[low, high]`.
+    Uniform {
+        /// Smallest client size.
+        low: usize,
+        /// Largest client size.
+        high: usize,
+    },
+    /// Precompiled clamped log-normal sizes.
+    LogNormal(crate::partition::LongTailedSizes),
+}
+
+impl SizeSampler {
+    /// The example count of client `id`, drawn positionally from `tree` —
+    /// identical to [`ClientSizes::size_at`] on the source distribution.
+    pub fn size_at(&self, tree: &fedmath::SeedTree, id: u64) -> usize {
+        match *self {
+            SizeSampler::Uniform { low, high } => tree.child(id).rng().gen_range(low..=high),
+            SizeSampler::LogNormal(dist) => dist.size_at(tree, id),
         }
     }
 }

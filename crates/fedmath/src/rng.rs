@@ -189,6 +189,54 @@ pub fn sample_without_replacement(
     Ok(sampled.to_vec())
 }
 
+/// Samples `count` distinct ids uniformly at random from `0..population`
+/// without replacement in **O(count)** time and memory, independent of the
+/// population size.
+///
+/// Where [`sample_without_replacement`] shuffles an index vector (O(population),
+/// fine for a few thousand clients), this uses Robert Floyd's algorithm so a
+/// cohort can be drawn from a population of millions of virtual clients
+/// without ever allocating population-sized state. The returned ids are in
+/// the order Floyd's algorithm emits them — deterministic in the RNG, but not
+/// uniform over permutations; callers that need a random *order* should
+/// shuffle the result.
+///
+/// # Errors
+///
+/// Returns [`MathError::InvalidArgument`] if `count == 0` or
+/// `count > population`.
+pub fn sample_ids_without_replacement(
+    rng: &mut impl Rng,
+    population: u64,
+    count: usize,
+) -> Result<Vec<u64>> {
+    if count == 0 {
+        return Err(MathError::InvalidArgument {
+            message: "cannot sample 0 elements".into(),
+        });
+    }
+    if count as u64 > population {
+        return Err(MathError::InvalidArgument {
+            message: format!("cannot sample {count} from population of {population}"),
+        });
+    }
+    // Floyd's algorithm: for j = population - count .. population, draw
+    // t ∈ [0, j]; insert t unless already chosen, else insert j. Every
+    // count-subset is equally likely and exactly `count` draws are consumed.
+    let mut chosen: std::collections::HashSet<u64> =
+        std::collections::HashSet::with_capacity(count);
+    let mut out = Vec::with_capacity(count);
+    for j in (population - count as u64)..population {
+        let t = rng.gen_range(0..=j);
+        let id = if chosen.insert(t) { t } else { j };
+        if id != t {
+            chosen.insert(id);
+        }
+        out.push(id);
+    }
+    Ok(out)
+}
+
 /// Samples `count` distinct indices without replacement with probability
 /// proportional to `weights` (successive draws renormalise over the remaining
 /// items). This models systems heterogeneity: clients with larger weights
@@ -380,6 +428,53 @@ mod tests {
         let mut rng = rng_for(0, 2);
         assert!(sample_without_replacement(&mut rng, 5, 6).is_err());
         assert!(sample_without_replacement(&mut rng, 5, 0).is_err());
+    }
+
+    #[test]
+    fn floyd_sampling_distinct_in_range_and_o_count() {
+        let mut rng = rng_for(8, 0);
+        // A population far too large to enumerate: memory stays O(count).
+        let s = sample_ids_without_replacement(&mut rng, 1_000_000_000_000, 64).unwrap();
+        assert_eq!(s.len(), 64);
+        let unique: HashSet<u64> = s.iter().copied().collect();
+        assert_eq!(unique.len(), 64);
+        assert!(s.iter().all(|&i| i < 1_000_000_000_000));
+        // Full-population sample covers everything.
+        let all = sample_ids_without_replacement(&mut rng, 12, 12).unwrap();
+        let unique: HashSet<u64> = all.iter().copied().collect();
+        assert_eq!(unique.len(), 12);
+        assert!(all.iter().all(|&i| i < 12));
+    }
+
+    #[test]
+    fn floyd_sampling_is_deterministic_and_validated() {
+        let a = sample_ids_without_replacement(&mut rng_for(9, 0), 1000, 10).unwrap();
+        let b = sample_ids_without_replacement(&mut rng_for(9, 0), 1000, 10).unwrap();
+        assert_eq!(a, b);
+        let mut rng = rng_for(9, 1);
+        assert!(sample_ids_without_replacement(&mut rng, 5, 6).is_err());
+        assert!(sample_ids_without_replacement(&mut rng, 5, 0).is_err());
+    }
+
+    #[test]
+    fn floyd_sampling_is_roughly_uniform() {
+        // Each of 10 ids should appear in a 2-of-10 sample with frequency
+        // 0.2; allow a generous tolerance over 3000 draws.
+        let mut rng = rng_for(9, 2);
+        let mut counts = [0usize; 10];
+        let trials = 3000;
+        for _ in 0..trials {
+            for id in sample_ids_without_replacement(&mut rng, 10, 2).unwrap() {
+                counts[id as usize] += 1;
+            }
+        }
+        for (id, &c) in counts.iter().enumerate() {
+            let freq = c as f64 / trials as f64;
+            assert!(
+                (freq - 0.2).abs() < 0.06,
+                "id {id} frequency was {freq}, expected ~0.2"
+            );
+        }
     }
 
     #[test]

@@ -31,7 +31,14 @@ impl ModelSpec {
     /// a small non-linear classifier for the image family (their 2-layer CNN)
     /// and an embedding next-token model for the text family (their LSTM).
     pub fn for_dataset(dataset: &FederatedDataset) -> Self {
-        match dataset.task() {
+        Self::for_task(dataset.task())
+    }
+
+    /// Default architecture for a task family (see
+    /// [`for_dataset`](Self::for_dataset)) without needing a materialized
+    /// dataset — lazy client populations only carry the task, not the data.
+    pub fn for_task(task: Task) -> Self {
+        match task {
             Task::DenseClassification => ModelSpec::Mlp { hidden_dim: 32 },
             Task::NextTokenPrediction => ModelSpec::Bigram { embed_dim: 16 },
         }
@@ -39,20 +46,29 @@ impl ModelSpec {
 
     /// Instantiates a freshly-initialised model for `dataset`.
     pub fn build(&self, dataset: &FederatedDataset, rng: &mut impl Rng) -> AnyModel {
+        self.build_with_dims(dataset.input_dim(), dataset.num_classes(), rng)
+    }
+
+    /// Instantiates a freshly-initialised model from raw dimensions:
+    /// `input_dim` is the dense feature dimension (vocabulary size for token
+    /// inputs) and `num_classes` the number of outputs. This is the
+    /// dataset-free path used when training against a lazy client population
+    /// whose clients are materialized on demand.
+    pub fn build_with_dims(
+        &self,
+        input_dim: usize,
+        num_classes: usize,
+        rng: &mut impl Rng,
+    ) -> AnyModel {
         match *self {
-            ModelSpec::Softmax => AnyModel::Softmax(SoftmaxRegression::new(
-                dataset.input_dim(),
-                dataset.num_classes(),
-                rng,
-            )),
-            ModelSpec::Mlp { hidden_dim } => AnyModel::Mlp(Mlp::new(
-                dataset.input_dim(),
-                hidden_dim,
-                dataset.num_classes(),
-                rng,
-            )),
+            ModelSpec::Softmax => {
+                AnyModel::Softmax(SoftmaxRegression::new(input_dim, num_classes, rng))
+            }
+            ModelSpec::Mlp { hidden_dim } => {
+                AnyModel::Mlp(Mlp::new(input_dim, hidden_dim, num_classes, rng))
+            }
             ModelSpec::Bigram { embed_dim } => {
-                AnyModel::Bigram(BigramLm::new(dataset.num_classes(), embed_dim, rng))
+                AnyModel::Bigram(BigramLm::new(num_classes, embed_dim, rng))
             }
         }
     }

@@ -58,7 +58,7 @@ pub use exec::ExecutionPolicy;
 pub use hyperparams::{FedAdamConfig, FederatedHyperparams};
 pub use sampling::{BiasedSampler, ClientSampler, UniformSampler};
 pub use server::{FedAdam, FedAvg, FedSgd, ServerOptimizer};
-pub use training::{FederatedTrainer, TrainerConfig, TrainingRun};
+pub use training::{CohortSource, FederatedTrainer, TrainerConfig, TrainingRun};
 
 use std::fmt;
 

@@ -5,10 +5,34 @@ use crate::exec::{self, ExecutionPolicy};
 use crate::hyperparams::FederatedHyperparams;
 use crate::server::{FedAdam, ServerOptimizer};
 use crate::{Result, SimError};
-use feddata::{FederatedDataset, Split};
+use feddata::{ClientData, FederatedDataset, Split};
 use fedmath::{SeedStream, SeedTree};
 use fedmodels::{AnyModel, LocalSgd, Model, ModelSpec};
+use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
+use std::borrow::Borrow;
+use std::sync::Arc;
+
+/// A source of clients addressed by population id, materialized on demand.
+///
+/// This is the seam between the simulator and lazy client populations
+/// (`fedpop`): a training round samples a cohort of ids, asks the source to
+/// materialize exactly those clients, trains them, and drops them — memory
+/// stays O(cohort) no matter how large the population is. Implementations
+/// must be pure in the id (`materialize(i)` always returns the same client
+/// bits), which is what keeps parallel fan-out bit-identical to sequential
+/// execution: any thread materializing client `i` gets the same shard.
+pub trait CohortSource: Sync {
+    /// Number of clients in the population.
+    fn population(&self) -> u64;
+
+    /// Materializes (or fetches from a cache) the client with the given id.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `id` is out of range or generation fails.
+    fn materialize(&self, id: u64) -> Result<Arc<ClientData>>;
+}
 
 /// Seed-tree channel of a round's client-sampling RNG.
 const SAMPLE_CHANNEL: u64 = 0;
@@ -113,10 +137,29 @@ impl FederatedTrainer {
         model_spec: ModelSpec,
         seed: u64,
     ) -> Result<TrainingRun> {
+        self.start_with_dims(dataset.input_dim(), dataset.num_classes(), model_spec, seed)
+    }
+
+    /// [`start`](Self::start) without a materialized dataset: only the model
+    /// dimensions are needed to initialise a run, so population-backed
+    /// training (whose clients are synthesized on demand) starts here. The
+    /// seed schedule is identical to `start` — a run started either way and
+    /// fed the same clients produces the same bits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the hyperparameters are invalid.
+    pub fn start_with_dims(
+        &self,
+        input_dim: usize,
+        num_classes: usize,
+        model_spec: ModelSpec,
+        seed: u64,
+    ) -> Result<TrainingRun> {
         let mut seeds = SeedStream::new(seed);
         let mut init_rng = seeds.next_rng();
         let round_seeds = SeedTree::new(seeds.next_seed());
-        let model = model_spec.build(dataset, &mut init_rng);
+        let model = model_spec.build_with_dims(input_dim, num_classes, &mut init_rng);
         let server = FedAdam::new(self.config.hyperparams.server)?;
         let client_opt = LocalSgd::new(self.config.hyperparams.client)?;
         Ok(TrainingRun {
@@ -201,12 +244,60 @@ impl TrainingRun {
     pub fn run_round(&mut self, dataset: &FederatedDataset) -> Result<()> {
         let population = dataset.num_train_clients();
         let count = self.config.clients_per_round.min(population);
+        self.round_core(
+            |rng| {
+                let picked = fedmath::rng::sample_without_replacement(rng, population, count)
+                    .map_err(|e| SimError::Sampling {
+                        message: e.to_string(),
+                    })?;
+                Ok(picked.into_iter().map(|i| i as u64).collect())
+            },
+            |id| {
+                dataset
+                    .client(Split::Train, id as usize)
+                    .map_err(SimError::from)
+            },
+        )
+    }
+
+    /// Executes one federated round against a lazy client population: derive
+    /// this round's sampling RNG, let `sample` pick the cohort of population
+    /// ids (uniform, size-weighted, availability-gated — the caller's
+    /// choice), materialize exactly those clients through `source`, train
+    /// and aggregate them, and drop them. Peak client residency is bounded
+    /// by the cohort (plus whatever cache the source keeps), never by the
+    /// population size.
+    ///
+    /// The cohort's slot order is part of the round's identity: slot `s`
+    /// trains with the RNG at path `[round, CLIENT_CHANNEL, s]` exactly like
+    /// [`run_round`](Self::run_round), and aggregation folds fixed chunks in
+    /// slot order, so parallel execution is bit-identical to sequential.
+    /// An empty cohort (e.g. no client inside its availability window) is a
+    /// no-op round: the model is unchanged but the round counter advances.
+    ///
+    /// # Errors
+    ///
+    /// Propagates sampling, materialization, and model errors.
+    pub fn run_cohort_round<S, F>(&mut self, source: &S, sample: F) -> Result<()>
+    where
+        S: CohortSource + ?Sized,
+        F: FnOnce(&mut StdRng) -> Result<Vec<u64>>,
+    {
+        self.round_core(sample, |id| source.materialize(id))
+    }
+
+    /// The round body shared by the eager-dataset and lazy-population paths:
+    /// both run the exact same float-op sequence, differing only in how a
+    /// client id becomes a [`ClientData`].
+    fn round_core<C, Fs, Ff>(&mut self, sample: Fs, fetch: Ff) -> Result<()>
+    where
+        C: Borrow<ClientData> + Send,
+        Fs: FnOnce(&mut StdRng) -> Result<Vec<u64>>,
+        Ff: Fn(u64) -> Result<C> + Sync,
+    {
         let round = self.round_seeds.child(self.rounds_completed as u64);
         let mut sample_rng = round.child(SAMPLE_CHANNEL).rng();
-        let indices = fedmath::rng::sample_without_replacement(&mut sample_rng, population, count)
-            .map_err(|e| SimError::Sampling {
-                message: e.to_string(),
-            })?;
+        let indices = sample(&mut sample_rng)?;
 
         let base_params = self.model.params();
         let dim = base_params.len();
@@ -232,7 +323,8 @@ impl TrainingRun {
                     weighted_delta: vec![0.0; dim],
                 };
                 for slot in slots {
-                    let client = dataset.client(Split::Train, indices[slot])?;
+                    let client = fetch(indices[slot])?;
+                    let client = client.borrow();
                     if client.is_empty() {
                         continue;
                     }

@@ -1,10 +1,18 @@
 //! Regenerates Table 1/2 of the paper: statistics of the four synthetic
-//! federated benchmarks at the default (CPU-friendly) scale.
+//! federated benchmarks at the default (CPU-friendly) scale — plus the
+//! population-level view: the same four benchmark families scaled out to a
+//! million lazy clients each, summarised (size quantiles, tail skew,
+//! availability coverage) **without materializing a single example**.
 //!
 //! ```text
 //! cargo run --release --example dataset_stats
 //! ```
+//!
+//! `FEDPOP_CLIENTS` overrides the population size of the second section
+//! (default 1,000,000).
 
+use fedtune::feddata::Benchmark;
+use fedtune::fedpop::{AvailabilityModel, PopulationSpec, PopulationSummary, SyntheticPopulation};
 use fedtune::fedtune_core::experiments::table1::DatasetTable;
 use fedtune::fedtune_core::ExperimentScale;
 
@@ -14,5 +22,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Dataset statistics (Table 1/2 of the paper, default scale):\n");
     println!("{}", table.to_text());
     println!("{}", table.to_report().to_table());
+
+    let n: u64 = std::env::var("FEDPOP_CLIENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    println!("\nPopulation-level statistics ({n} lazy clients per family, 4096-client probe):\n");
+    for &benchmark in &Benchmark::ALL {
+        // A 40%-of-day availability window, so the coverage row is visible.
+        let spec = PopulationSpec::benchmark(benchmark, n)
+            .with_availability(AvailabilityModel::diurnal(0.4));
+        let population = SyntheticPopulation::new(spec, 42)?;
+        let summary = PopulationSummary::probe(&population, 4_096)?;
+        println!("-- {benchmark} --\n{}\n", summary.to_text());
+    }
     Ok(())
 }

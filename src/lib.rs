@@ -14,6 +14,9 @@
 //!   BOHB, ASHA, the re-evaluation mitigation) behind the batched ask/tell
 //!   scheduler interface.
 //! - [`fedproxy`] — proxy-data tuning and HP-transfer analysis.
+//! - [`fedpop`] — lazy virtual client populations: O(cohort)
+//!   materialization of million-client federations, cohort sampling, and
+//!   availability windows.
 //! - [`fedtune_core`] — noise-aware evaluation pipeline and the per-figure
 //!   experiment runners (the paper's primary contribution as a library).
 //! - [`fedstore`] — the persistent trial ledger and tabular surrogate
@@ -31,6 +34,7 @@ pub use feddp;
 pub use fedhpo;
 pub use fedmath;
 pub use fedmodels;
+pub use fedpop;
 pub use fedproxy;
 pub use fedsim;
 pub use fedstore;

@@ -8,6 +8,11 @@
 
 use feddata::{Benchmark, DatasetSpec, Scale};
 use fedmodels::{Model, ModelSpec};
+use fedpop::{
+    train_on_population, CachedPopulation, ClientCache, CohortSampler, Population, PopulationSpec,
+    SyntheticPopulation,
+};
+use fedsim::clock::VirtualClock;
 use fedsim::{ExecutionPolicy, FederatedTrainer, TrainerConfig};
 use fedtune_core::experiments::methods::{
     paper_noise_settings, run_method_comparison_scheduled, run_method_comparison_with, TuningMethod,
@@ -378,6 +383,122 @@ fn recorded_async_campaign_replays_with_identical_virtual_timeline() {
         assert_eq!(a.sim_time.to_bits(), b.sim_time.to_bits());
     }
     assert_eq!(live_log, replay_log);
+}
+
+/// One population-backed campaign: train against a lazy 20k-client
+/// population with the given execution policy and cache capacity, returning
+/// the final model parameters.
+fn population_campaign(policy: ExecutionPolicy, cache_capacity: usize, seed: u64) -> Vec<f64> {
+    let population =
+        SyntheticPopulation::new(PopulationSpec::benchmark(Benchmark::FemnistLike, 20_000), 9)
+            .unwrap();
+    let cache = ClientCache::new(cache_capacity);
+    let source = CachedPopulation::new(&population, &cache);
+    let config = TrainerConfig {
+        clients_per_round: 11,
+        ..Default::default()
+    }
+    .with_execution(policy);
+    let mut run = FederatedTrainer::new(config)
+        .unwrap()
+        .start_with_dims(
+            population.input_dim(),
+            population.num_classes(),
+            ModelSpec::Mlp { hidden_dim: 8 },
+            seed,
+        )
+        .unwrap();
+    let mut clock = VirtualClock::new();
+    let report = train_on_population(
+        &mut run,
+        &source,
+        CohortSampler::SizeWeighted,
+        11,
+        6,
+        60.0,
+        &mut clock,
+    )
+    .unwrap();
+    assert_eq!(report.rounds, 6);
+    assert!(cache.stats().peak_resident <= cache_capacity);
+    run.model().params()
+}
+
+#[test]
+fn population_training_is_bit_identical_across_policies() {
+    // The fedpop contract: cohort training over a lazy population — ids
+    // sampled per round, shards materialized on demand through a shared
+    // cache — is a pure function of the seed. Real thread counts and cache
+    // capacities change nothing.
+    for &seed in &SEEDS {
+        let sequential = population_campaign(ExecutionPolicy::Sequential, 32, seed);
+        for &threads in &THREAD_COUNTS {
+            let parallel = population_campaign(ExecutionPolicy::parallel_with(threads), 32, seed);
+            assert_bits_equal(
+                &format!("population campaign, seed {seed}, {threads} threads"),
+                &sequential,
+                &parallel,
+            );
+        }
+        // Cache policy is accounting, never semantics.
+        let uncached = population_campaign(ExecutionPolicy::parallel_with(4), 0, seed);
+        assert_bits_equal(
+            &format!("population campaign, seed {seed}, uncached"),
+            &sequential,
+            &uncached,
+        );
+    }
+}
+
+#[test]
+fn population_noise_experiment_is_bit_identical_across_policies() {
+    // The acceptance contract of experiments::population: the whole sweep —
+    // trained models, true-probe scores, noisy cohort scores, Spearman
+    // curves — reproduces bit-for-bit across execution policies.
+    use fedtune_core::experiments::population::{
+        run_population_noise_with, PopulationExperimentScale,
+    };
+    let scale = PopulationExperimentScale::smoke();
+    for &seed in &SEEDS {
+        let sequential = run_population_noise_with(
+            &TrialRunner::sequential(),
+            Benchmark::Cifar10Like,
+            &scale,
+            seed,
+        )
+        .unwrap();
+        for &threads in &THREAD_COUNTS {
+            let parallel = run_population_noise_with(
+                &TrialRunner::new(ExecutionPolicy::parallel_with(threads)),
+                Benchmark::Cifar10Like,
+                &scale,
+                seed,
+            )
+            .unwrap();
+            assert_eq!(
+                sequential.sweeps.len(),
+                parallel.sweeps.len(),
+                "seed {seed}, {threads} threads"
+            );
+            for (a, b) in sequential.sweeps.iter().zip(parallel.sweeps.iter()) {
+                assert_bits_equal(
+                    &format!("true errors, seed {seed}, {threads} threads"),
+                    &a.true_errors,
+                    &b.true_errors,
+                );
+                for (pa, pb) in a.points.iter().zip(b.points.iter()) {
+                    assert_eq!(pa.cohort_size, pb.cohort_size);
+                    assert_eq!(pa.noise_variance.to_bits(), pb.noise_variance.to_bits());
+                    assert_eq!(pa.spearman.to_bits(), pb.spearman.to_bits());
+                    assert_bits_equal(
+                        &format!("spearman per repeat, seed {seed}"),
+                        &pa.spearman_per_repeat,
+                        &pb.spearman_per_repeat,
+                    );
+                }
+            }
+        }
+    }
 }
 
 #[test]

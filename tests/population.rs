@@ -1,0 +1,143 @@
+//! Acceptance tests of the `fedpop` population substrate: O(cohort) memory
+//! at million-client scale, availability windows that move with simulated
+//! time, and the monotone subsampling-noise story end to end.
+
+use feddata::Benchmark;
+use fedmodels::ModelSpec;
+use fedpop::{
+    train_on_population, AvailabilityModel, CachedPopulation, ClientCache, CohortSampler,
+    Population, PopulationSpec, PopulationSummary, SyntheticPopulation,
+};
+use fedsim::clock::VirtualClock;
+use fedsim::{ExecutionPolicy, FederatedTrainer, TrainerConfig};
+use fedtune_core::experiments::population::{run_population_noise_with, PopulationExperimentScale};
+use fedtune_core::TrialRunner;
+
+#[test]
+fn million_client_campaign_stays_cohort_bounded() {
+    // The headline acceptance: a campaign over a 1,000,000-client population
+    // with peak resident clients bounded by cohort size + cache capacity.
+    let population = SyntheticPopulation::new(
+        PopulationSpec::benchmark(Benchmark::RedditLike, 1_000_000),
+        13,
+    )
+    .unwrap();
+    assert_eq!(population.num_clients(), 1_000_000);
+    let cohort = 16;
+    let cache_capacity = 48;
+    let cache = ClientCache::new(cache_capacity);
+    let source = CachedPopulation::new(&population, &cache);
+    let config = TrainerConfig {
+        clients_per_round: cohort,
+        ..Default::default()
+    }
+    .with_execution(ExecutionPolicy::parallel_with(4));
+    let mut run = FederatedTrainer::new(config)
+        .unwrap()
+        .start_with_dims(
+            population.input_dim(),
+            population.num_classes(),
+            ModelSpec::for_task(population.task()),
+            2,
+        )
+        .unwrap();
+    let mut clock = VirtualClock::new();
+    let report = train_on_population(
+        &mut run,
+        &source,
+        CohortSampler::Uniform,
+        cohort,
+        10,
+        60.0,
+        &mut clock,
+    )
+    .unwrap();
+    assert_eq!(report.rounds, 10);
+    assert_eq!(run.rounds_completed(), 10);
+    // The `cohort + cache capacity` residency bound follows from its two
+    // measured components, each asserted against its configured cap: the
+    // sampler never returns more ids than requested, and the cache's
+    // eviction loop never lets the map outgrow its capacity.
+    assert!(report.max_cohort <= cohort);
+    let stats = cache.stats();
+    assert!(stats.peak_resident <= cache_capacity);
+    assert!(report.peak_resident_clients(stats.peak_resident) <= cohort + cache_capacity);
+    // The campaign only ever touched a vanishing fraction of the population.
+    assert!(stats.misses <= (report.total_participants as u64) + stats.evictions);
+    assert!(stats.misses < 1_000);
+}
+
+#[test]
+fn sparse_ids_materialize_without_neighbours() {
+    let population = SyntheticPopulation::new(
+        PopulationSpec::benchmark(Benchmark::StackOverflowLike, 1_000_000),
+        4,
+    )
+    .unwrap();
+    // Touch a handful of far-apart clients: ids at the extremes of the id
+    // space materialize directly, each with at least one example.
+    for id in [0u64, 1, 499_999, 999_998, 999_999] {
+        let client = population.materialize(id).unwrap();
+        assert_eq!(client.id() as u64, id);
+        assert!(client.num_examples() >= 1);
+        assert_eq!(
+            client.num_examples(),
+            population.client_size(id).unwrap(),
+            "metadata and shard disagree for client {id}"
+        );
+    }
+    assert!(population.materialize(1_000_000).is_err());
+}
+
+#[test]
+fn diurnal_windows_shift_cohorts_with_simulated_time() {
+    let spec = PopulationSpec::benchmark(Benchmark::Cifar10Like, 50_000)
+        .with_availability(AvailabilityModel::diurnal(0.35));
+    let population = SyntheticPopulation::new(spec, 21).unwrap();
+    // The same RNG state at two times half a day apart selects different
+    // (but valid) cohorts: the window moved across the population.
+    let morning = CohortSampler::Available
+        .sample(&population, &mut fedmath::rng::rng_for(0, 0), 48, 0.0)
+        .unwrap();
+    let evening = CohortSampler::Available
+        .sample(&population, &mut fedmath::rng::rng_for(0, 0), 48, 43_200.0)
+        .unwrap();
+    assert!(!morning.is_empty());
+    assert!(!evening.is_empty());
+    assert!(morning.iter().all(|&id| population.available(id, 0.0)));
+    assert!(evening.iter().all(|&id| population.available(id, 43_200.0)));
+    assert_ne!(morning, evening, "the availability window never moved");
+    // The probe summary sees partial coverage at every time of day.
+    let summary = PopulationSummary::probe(&population, 2_000).unwrap();
+    for &(_, fraction) in &summary.availability_coverage {
+        assert!(
+            fraction > 0.2 && fraction < 0.5,
+            "coverage {fraction} inconsistent with a 35% window"
+        );
+    }
+}
+
+#[test]
+fn noise_story_holds_under_the_parallel_runner() {
+    // The CI gate at test scale: variance shrinks and rank fidelity grows
+    // monotonically with the cohort size, through the parallel engine.
+    let mut scale = PopulationExperimentScale::smoke();
+    scale.populations = vec![10_000];
+    let result = run_population_noise_with(
+        &TrialRunner::new(ExecutionPolicy::parallel_with(4)),
+        Benchmark::Cifar10Like,
+        &scale,
+        3,
+    )
+    .unwrap();
+    assert!(
+        result.is_monotone(1e-9),
+        "noise curves not monotone: {:#?}",
+        result.sweeps[0].points
+    );
+    let sweep = &result.sweeps[0];
+    let first = sweep.points.first().unwrap();
+    let last = sweep.points.last().unwrap();
+    assert!(last.noise_variance < first.noise_variance / 2.0);
+    assert!(last.spearman > first.spearman);
+}
