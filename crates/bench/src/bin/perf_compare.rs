@@ -1,0 +1,76 @@
+//! CI perf gate: compares a freshly-measured `BENCH_<name>.json` against a
+//! committed baseline and exits non-zero when any measurement regressed past
+//! the threshold (or silently disappeared).
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_compare <baseline.json> <candidate.json> [threshold]
+//! ```
+//!
+//! `threshold` is the fractional throughput drop that fails the gate
+//! (default `0.3`, i.e. a >30% slowdown fails).
+
+use fedbench::{regression, BenchSummary};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<BenchSummary, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("failed to read {path}: {e}"))?;
+    serde_json::from_str(&text).map_err(|e| format!("failed to parse {path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let (baseline_path, candidate_path) = match args {
+        [b, c] | [b, c, _] => (b, c),
+        _ => {
+            return Err("usage: perf_compare <baseline.json> <candidate.json> [threshold]".into());
+        }
+    };
+    let threshold = match args.get(2) {
+        None => 0.3,
+        Some(raw) => {
+            let t: f64 = raw
+                .parse()
+                .map_err(|e| format!("invalid threshold {raw:?}: {e}"))?;
+            if !(0.0..1.0).contains(&t) {
+                return Err(format!("threshold {t} must be in [0, 1)"));
+            }
+            t
+        }
+    };
+    let baseline = load(baseline_path)?;
+    let candidate = load(candidate_path)?;
+    if baseline.name != candidate.name {
+        return Err(format!(
+            "bench name mismatch: baseline {:?} vs candidate {:?}",
+            baseline.name, candidate.name
+        ));
+    }
+    let report = regression::compare(&baseline, &candidate, threshold);
+    print!("{}", report.to_table());
+    if report.passed() {
+        println!(
+            "PASS: no measurement dropped more than {:.0}%",
+            threshold * 100.0
+        );
+    } else {
+        println!(
+            "FAIL: {} regression(s), {} missing measurement(s)",
+            report.regressions().len(),
+            report.missing.len()
+        );
+    }
+    Ok(report.passed())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}

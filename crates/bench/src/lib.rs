@@ -68,6 +68,12 @@ pub struct BenchSummary {
     /// Client-cache hit rate over the run, in `[0, 1]` (`0.0` when no cache
     /// was involved).
     pub cache_hit_rate: f64,
+    /// Full federated training rounds completed per wall-clock second
+    /// (`0.0` for benches that do not time training rounds).
+    pub rounds_per_sec: f64,
+    /// Headline kernel throughput in GFLOP/s (`0.0` for benches that do not
+    /// measure math kernels).
+    pub gflops: f64,
     /// The measurements.
     pub entries: Vec<BenchEntry>,
 }
@@ -83,8 +89,20 @@ impl BenchSummary {
             trials_per_sim_hour: 0.0,
             peak_resident_clients: 0,
             cache_hit_rate: 0.0,
+            rounds_per_sec: 0.0,
+            gflops: 0.0,
             entries: Vec::new(),
         }
+    }
+
+    /// Records the headline training-round throughput (rounds per second).
+    pub fn record_rounds_per_sec(&mut self, rounds_per_sec: f64) {
+        self.rounds_per_sec = rounds_per_sec;
+    }
+
+    /// Records the headline kernel throughput in GFLOP/s.
+    pub fn record_gflops(&mut self, gflops: f64) {
+        self.gflops = gflops;
     }
 
     /// Records the memory/cache outcome of a population-backed run: the peak
@@ -153,6 +171,113 @@ impl BenchSummary {
     }
 }
 
+/// Throughput-regression gating: compares a freshly-measured [`BenchSummary`]
+/// against a committed baseline and flags entries whose throughput fell by
+/// more than a threshold. Used by the CI perf-smoke job via the
+/// `perf_compare` binary.
+pub mod regression {
+    use super::BenchSummary;
+
+    /// The comparison of one measurement label across baseline and candidate.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct EntryComparison {
+        /// The measurement label.
+        pub label: String,
+        /// Baseline throughput (items per second).
+        pub baseline: f64,
+        /// Candidate throughput (items per second).
+        pub candidate: f64,
+        /// `candidate / baseline` (`inf` when the baseline was zero).
+        pub ratio: f64,
+        /// Whether the candidate regressed past the threshold.
+        pub regressed: bool,
+    }
+
+    /// Outcome of comparing a candidate summary against a baseline.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct ComparisonReport {
+        /// The bench name under comparison.
+        pub bench: String,
+        /// Per-label comparisons, in baseline order.
+        pub entries: Vec<EntryComparison>,
+        /// Baseline labels with no matching candidate measurement — treated
+        /// as failures (a silently dropped measurement must not pass CI).
+        pub missing: Vec<String>,
+    }
+
+    impl ComparisonReport {
+        /// Entries that regressed past the threshold.
+        pub fn regressions(&self) -> Vec<&EntryComparison> {
+            self.entries.iter().filter(|e| e.regressed).collect()
+        }
+
+        /// `true` when no entry regressed and no baseline label is missing.
+        pub fn passed(&self) -> bool {
+            self.missing.is_empty() && self.entries.iter().all(|e| !e.regressed)
+        }
+
+        /// Human-readable multi-line report.
+        pub fn to_table(&self) -> String {
+            let mut out = format!("perf comparison for {}\n", self.bench);
+            for e in &self.entries {
+                out.push_str(&format!(
+                    "  {:<40} baseline {:>12.2}/s candidate {:>12.2}/s ratio {:.2} {}\n",
+                    e.label,
+                    e.baseline,
+                    e.candidate,
+                    e.ratio,
+                    if e.regressed { "REGRESSED" } else { "ok" }
+                ));
+            }
+            for label in &self.missing {
+                out.push_str(&format!("  {label:<40} MISSING from candidate\n"));
+            }
+            out
+        }
+    }
+
+    /// Compares `candidate` against `baseline`: an entry regresses when its
+    /// throughput drops below `baseline * (1 - threshold)` (e.g.
+    /// `threshold = 0.3` fails on a >30% drop). Labels present only in the
+    /// candidate are new measurements and are ignored; labels present only
+    /// in the baseline are reported as missing. Zero-throughput baseline
+    /// entries (nothing was measured) never gate.
+    pub fn compare(
+        baseline: &BenchSummary,
+        candidate: &BenchSummary,
+        threshold: f64,
+    ) -> ComparisonReport {
+        let mut entries = Vec::new();
+        let mut missing = Vec::new();
+        for b in &baseline.entries {
+            match candidate.entries.iter().find(|c| c.label == b.label) {
+                None => missing.push(b.label.clone()),
+                Some(c) => {
+                    let ratio = if b.throughput_per_second > 0.0 {
+                        c.throughput_per_second / b.throughput_per_second
+                    } else {
+                        f64::INFINITY
+                    };
+                    entries.push(EntryComparison {
+                        label: b.label.clone(),
+                        baseline: b.throughput_per_second,
+                        candidate: c.throughput_per_second,
+                        ratio,
+                        regressed: b.throughput_per_second > 0.0
+                            && c.throughput_per_second
+                                < b.throughput_per_second * (1.0 - threshold),
+                    });
+                }
+            }
+        }
+        ComparisonReport {
+            bench: baseline.name.clone(),
+            entries,
+            missing,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -198,5 +323,69 @@ mod tests {
             summary.write_if_enabled();
             assert!(!std::path::Path::new("BENCH_unit_test.json").exists());
         }
+    }
+
+    #[test]
+    fn summary_records_headline_throughput_fields() {
+        let mut summary = BenchSummary::new("headline");
+        assert_eq!(summary.rounds_per_sec, 0.0);
+        assert_eq!(summary.gflops, 0.0);
+        summary.record_rounds_per_sec(12.5);
+        summary.record_gflops(3.75);
+        let json = serde_json::to_string(&summary).unwrap();
+        assert!(json.contains("rounds_per_sec"));
+        assert!(json.contains("gflops"));
+        let back: BenchSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.rounds_per_sec, 12.5);
+        assert_eq!(back.gflops, 3.75);
+    }
+
+    fn summary_with(name: &str, entries: &[(&str, f64)]) -> BenchSummary {
+        let mut s = BenchSummary::new(name);
+        for (label, throughput) in entries {
+            // push computes throughput = items / wall_seconds; feed it 1s.
+            s.push(label, 1.0, *throughput as u64);
+        }
+        s
+    }
+
+    #[test]
+    fn regression_compare_flags_slowdowns_and_missing_labels() {
+        let baseline = summary_with("k", &[("gemm", 1000.0), ("dot", 500.0), ("xent", 100.0)]);
+        let candidate = summary_with("k", &[("gemm", 900.0), ("dot", 200.0)]);
+        let report = regression::compare(&baseline, &candidate, 0.3);
+        assert!(!report.passed());
+        // gemm dropped 10% — inside the 30% threshold.
+        assert!(!report.entries[0].regressed);
+        // dot dropped 60% — regression.
+        assert!(report.entries[1].regressed);
+        assert_eq!(report.regressions().len(), 1);
+        // xent disappeared — missing.
+        assert_eq!(report.missing, vec!["xent".to_string()]);
+        let table = report.to_table();
+        assert!(table.contains("REGRESSED"));
+        assert!(table.contains("MISSING"));
+    }
+
+    #[test]
+    fn regression_compare_passes_on_equal_or_faster() {
+        let baseline = summary_with("k", &[("gemm", 1000.0), ("idle", 0.0)]);
+        let candidate = summary_with("k", &[("gemm", 1500.0), ("idle", 0.0), ("extra", 5.0)]);
+        let report = regression::compare(&baseline, &candidate, 0.3);
+        assert!(report.passed(), "{}", report.to_table());
+        // Zero-throughput baselines never gate; extra candidate labels are
+        // new measurements, not failures.
+        assert_eq!(report.entries.len(), 2);
+        assert!(report.missing.is_empty());
+    }
+
+    #[test]
+    fn regression_threshold_brackets() {
+        // Just inside the 30% threshold passes; just past it fails.
+        let baseline = summary_with("k", &[("op", 1000.0)]);
+        let inside = summary_with("k", &[("op", 710.0)]);
+        assert!(regression::compare(&baseline, &inside, 0.3).passed());
+        let outside = summary_with("k", &[("op", 690.0)]);
+        assert!(!regression::compare(&baseline, &outside, 0.3).passed());
     }
 }

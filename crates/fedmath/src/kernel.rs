@@ -1,0 +1,844 @@
+//! Batched, cache-blocked math kernels for the training hot path.
+//!
+//! Every experiment in this reproduction bottoms out in the same few dense
+//! operations: matrix products against the model weights, bias adds, the
+//! softmax/cross-entropy backward pass, and scaled accumulations. This module
+//! provides those operations as explicit kernels over flat row-major slices,
+//! written so that the auto-vectorizer can do its job (contiguous inner
+//! loops, no data-dependent branches, register-resident accumulator tiles
+//! that expose independent addition chains) while keeping a **documented,
+//! deterministic accumulation order** per kernel.
+//!
+//! # Determinism contract
+//!
+//! Floating-point addition is not associative, so "the" result of a reduction
+//! depends on the order of its additions. Each kernel in this module commits
+//! to exactly one summation order, stated in its doc comment, and never
+//! changes it based on block sizes, thread counts, or input values.
+//!
+//! Every product term is folded in with [`f64::mul_add`] — one IEEE 754
+//! correctly-rounded fused multiply-add per term, a *defined operation* that
+//! produces the same bits on every platform (hardware FMA where available, a
+//! correctly-rounded software sequence otherwise). Compared to separate
+//! multiply-then-add this removes one rounding per term, halves the
+//! instruction count on FMA hardware, and stays fully deterministic; the
+//! per-example model code mirrors the same `mul_add` calls so batched and
+//! per-example paths still agree bitwise. The committed orders:
+//!
+//! - [`gemm`] and [`gemm_tn`] accumulate every output element strictly in
+//!   ascending `k` order (a single addition chain per element). Cache
+//!   blocking only reorders *which elements* are touched when, never the
+//!   per-element chain, so the result is bit-identical to the naive triple
+//!   loop.
+//! - [`dot`] (and everything built on it: [`matvec_into`], [`gemm_nt`]) uses
+//!   a fixed 4-lane split: element `i` joins lane `i mod 4`, lanes combine as
+//!   `(l0 + l1) + (l2 + l3)`, and the length-dependent tail is added in
+//!   ascending order afterwards. This reorders sums relative to a naive
+//!   sequential fold (that is what buys instruction-level parallelism), but
+//!   the order is a pure function of the slice length — the same inputs give
+//!   the same bits on every call, policy, and thread count.
+//! - [`softmax_xent_backward`] performs, per row, the exact operation
+//!   sequence of [`crate::ops::softmax_inplace`] followed by the label
+//!   subtraction, so fusing is bit-identical to the unfused per-example path.
+//!
+//! Kernels validate shapes with assertions (they sit below the error-typed
+//! [`crate::Matrix`] API, which has already checked shapes) and are wired
+//! into [`crate::Matrix::matmul`] / [`crate::Matrix::matvec`] so the whole
+//! stack shares one accumulation order per operation.
+//!
+//! # Buffer pool
+//!
+//! [`BufferPool`] recycles `Vec<f64>` scratch buffers so steady-state
+//! training performs no per-example or per-round heap allocations: the first
+//! round warms the pool, subsequent rounds reuse its buffers. Pooling is
+//! accounting, never semantics — buffers are zeroed on [`BufferPool::take`].
+
+/// Columns of `b`/`c` processed per cache tile in [`gemm`] and [`gemm_tn`].
+///
+/// 128 columns × 8 bytes = 1 KiB per row tile: small enough that a `b` row
+/// tile and a `c` row tile stay resident in L1 across the unrolled `k` loop.
+/// Tiling never changes results (see the module-level determinism contract).
+const BLOCK_J: usize = 128;
+
+/// Output columns held in a register accumulator tile by [`gemm`] and
+/// [`gemm_tn`]: each element's full ascending-`k` addition chain runs in a
+/// register, with one `c` load before the chain and one store after, instead
+/// of a load/store round trip per `k` step. 16 `f64` accumulators give the
+/// out-of-order core enough independent chains to hide FP-add latency while
+/// still fitting the vector register file.
+const REG_J: usize = 16;
+
+/// `B` rows (output columns) processed together by [`gemm_nt`]: each keeps
+/// its own 4-lane [`dot`] accumulator in registers, giving independent
+/// addition chains across columns without touching the per-element lane
+/// order.
+const REG_NT: usize = 4;
+
+/// Dot product of two equal-length slices.
+///
+/// # Accumulation order
+///
+/// Element `i` is accumulated into lane `i mod 4` via one fused multiply-add
+/// (4 independent chains, which is what lets the CPU overlap the FMAs); the
+/// final value is `(l0 + l1) + (l2 + l3)` plus the `len % 4` tail elements
+/// folded in ascending order. The order depends only on `len`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    let split = a.len() - a.len() % 4;
+    let (a4, a_tail) = a.split_at(split);
+    let (b4, b_tail) = b.split_at(split);
+    let mut l0 = 0.0;
+    let mut l1 = 0.0;
+    let mut l2 = 0.0;
+    let mut l3 = 0.0;
+    for (ca, cb) in a4.chunks_exact(4).zip(b4.chunks_exact(4)) {
+        l0 = ca[0].mul_add(cb[0], l0);
+        l1 = ca[1].mul_add(cb[1], l1);
+        l2 = ca[2].mul_add(cb[2], l2);
+        l3 = ca[3].mul_add(cb[3], l3);
+    }
+    let mut acc = (l0 + l1) + (l2 + l3);
+    for (&x, &y) in a_tail.iter().zip(b_tail.iter()) {
+        acc = x.mul_add(y, acc);
+    }
+    acc
+}
+
+/// In-place scaled addition `y[i] = fma(alpha, x[i], y[i])` (BLAS `axpy`,
+/// one fused multiply-add per element).
+///
+/// Elementwise — no reduction, so there is no order to document.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi = alpha.mul_add(xi, *yi);
+    }
+}
+
+/// In-place scaling `y[i] *= alpha`.
+pub fn scale(alpha: f64, y: &mut [f64]) {
+    for yi in y.iter_mut() {
+        *yi *= alpha;
+    }
+}
+
+/// Matrix product accumulation `C += A · B` over flat row-major storage:
+/// `A` is `m×k`, `B` is `k×n`, `C` is `m×n`.
+///
+/// # Accumulation order
+///
+/// `C[i][j]` accumulates products strictly in ascending `k` order, one fused
+/// multiply-add per product term, one chain per element — the same order as
+/// a naive `i/k/j` triple loop over `mul_add`, so blocking
+/// (`BLOCK_J`-column cache tiles, `REG_J`-column register tiles) is
+/// bit-transparent. Each register tile loads its `c` values once, runs the
+/// full `k` chain in registers (the auto-vectorizer turns the independent
+/// per-column chains into SIMD FMAs), and stores once.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its `m`/`k`/`n` shape.
+pub fn gemm(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "gemm: A shape mismatch");
+    assert_eq!(b.len(), k * n, "gemm: B shape mismatch");
+    assert_eq!(c.len(), m * n, "gemm: C shape mismatch");
+    for jb in (0..n).step_by(BLOCK_J) {
+        let je = (jb + BLOCK_J).min(n);
+        for i in 0..m {
+            let a_row = &a[i * k..(i + 1) * k];
+            let c_row = &mut c[i * n..(i + 1) * n];
+            let mut j = jb;
+            while j + REG_J <= je {
+                let mut acc = [0.0f64; REG_J];
+                acc.copy_from_slice(&c_row[j..j + REG_J]);
+                for (kk, &av) in a_row.iter().enumerate() {
+                    let b_tile = &b[kk * n + j..kk * n + j + REG_J];
+                    for r in 0..REG_J {
+                        acc[r] = av.mul_add(b_tile[r], acc[r]);
+                    }
+                }
+                c_row[j..j + REG_J].copy_from_slice(&acc);
+                j += REG_J;
+            }
+            // Remainder columns: the same ascending-k chain per element.
+            while j < je {
+                let mut v = c_row[j];
+                for (kk, &av) in a_row.iter().enumerate() {
+                    v = av.mul_add(b[kk * n + j], v);
+                }
+                c_row[j] = v;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Transposed-B matrix product accumulation `C += A · Bᵀ`:
+/// `A` is `m×k`, `B` is `n×k` (row-major, so `Bᵀ` is `k×n`), `C` is `m×n`.
+///
+/// This is the natural layout for the model forward passes: weights are
+/// stored `[outputs × inputs]`, activations `[batch × inputs]`, and every
+/// output element is a dot product of two contiguous rows.
+///
+/// # Accumulation order
+///
+/// `C[i][j] += dot(A.row(i), B.row(j))` using [`dot`]'s 4-lane order.
+/// `REG_NT` `B` rows are processed together so their lane accumulators
+/// form independent addition chains, but each element's lane assignment and
+/// combine order are exactly [`dot`]'s — the bits match a per-row `dot` loop.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its `m`/`k`/`n` shape.
+pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    assert_eq!(a.len(), m * k, "gemm_nt: A shape mismatch");
+    assert_eq!(b.len(), n * k, "gemm_nt: B shape mismatch");
+    assert_eq!(c.len(), m * n, "gemm_nt: C shape mismatch");
+    let split = k - k % 4;
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        let mut j = 0;
+        while j + REG_NT <= n {
+            let b0 = &b[j * k..(j + 1) * k];
+            let b1 = &b[(j + 1) * k..(j + 2) * k];
+            let b2 = &b[(j + 2) * k..(j + 3) * k];
+            let b3 = &b[(j + 3) * k..(j + 4) * k];
+            let mut lanes = [[0.0f64; 4]; REG_NT];
+            let mut t = 0;
+            while t + 4 <= split {
+                let ac = &a_row[t..t + 4];
+                for (lane, b_row) in lanes.iter_mut().zip([b0, b1, b2, b3]) {
+                    let bc = &b_row[t..t + 4];
+                    lane[0] = ac[0].mul_add(bc[0], lane[0]);
+                    lane[1] = ac[1].mul_add(bc[1], lane[1]);
+                    lane[2] = ac[2].mul_add(bc[2], lane[2]);
+                    lane[3] = ac[3].mul_add(bc[3], lane[3]);
+                }
+                t += 4;
+            }
+            for (r, (lane, b_row)) in lanes.iter().zip([b0, b1, b2, b3]).enumerate() {
+                let mut acc = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+                for tt in split..k {
+                    acc = a_row[tt].mul_add(b_row[tt], acc);
+                }
+                c_row[j + r] += acc;
+            }
+            j += REG_NT;
+        }
+        while j < n {
+            c_row[j] += dot(a_row, &b[j * k..(j + 1) * k]);
+            j += 1;
+        }
+    }
+}
+
+/// Transposed-A matrix product accumulation `C += Aᵀ · B`:
+/// `A` is `k×m`, `B` is `k×n`, `C` is `m×n`.
+///
+/// This is the gradient-accumulation shape: `A` and `B` are both
+/// `[batch × features]` activations and `k` is the batch dimension, so the
+/// per-element order below is exactly "fold examples in batch order" — the
+/// same order as a per-example gradient loop.
+///
+/// # Accumulation order
+///
+/// `C[i][j]` accumulates strictly in ascending `k` order, one fused
+/// multiply-add per product term, one chain per element, run to completion
+/// inside a `REG_J`-column register tile (`BLOCK_J`-column cache tiles
+/// over `j`). Tiling reorders only which elements are computed when — every
+/// element's chain is the `k → i → j` fold order, so the bits match the
+/// untiled loop.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match its `m`/`k`/`n` shape.
+pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+    assert_eq!(a.len(), k * m, "gemm_tn: A shape mismatch");
+    assert_eq!(b.len(), k * n, "gemm_tn: B shape mismatch");
+    assert_eq!(c.len(), m * n, "gemm_tn: C shape mismatch");
+    for jb in (0..n).step_by(BLOCK_J) {
+        let je = (jb + BLOCK_J).min(n);
+        for i in 0..m {
+            let c_row = &mut c[i * n..(i + 1) * n];
+            let mut j = jb;
+            while j + REG_J <= je {
+                let mut acc = [0.0f64; REG_J];
+                acc.copy_from_slice(&c_row[j..j + REG_J]);
+                for kk in 0..k {
+                    let av = a[kk * m + i];
+                    let b_tile = &b[kk * n + j..kk * n + j + REG_J];
+                    for r in 0..REG_J {
+                        acc[r] = av.mul_add(b_tile[r], acc[r]);
+                    }
+                }
+                c_row[j..j + REG_J].copy_from_slice(&acc);
+                j += REG_J;
+            }
+            while j < je {
+                let mut v = c_row[j];
+                for kk in 0..k {
+                    v = a[kk * m + i].mul_add(b[kk * n + j], v);
+                }
+                c_row[j] = v;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Matrix-vector product `out[i] = dot(A.row(i), x)` for a row-major
+/// `rows×cols` matrix (assignment, not accumulation).
+///
+/// # Accumulation order
+///
+/// Each output element uses [`dot`]'s 4-lane order.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match the `rows`/`cols` shape.
+pub fn matvec_into(rows: usize, cols: usize, a: &[f64], x: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), rows * cols, "matvec_into: A shape mismatch");
+    assert_eq!(x.len(), cols, "matvec_into: x length mismatch");
+    assert_eq!(out.len(), rows, "matvec_into: out length mismatch");
+    for (o, row) in out.iter_mut().zip(a.chunks_exact(cols.max(1))) {
+        *o = dot(row, x);
+    }
+}
+
+/// Adds `bias` to every row of the row-major `rows×cols` matrix `c`.
+///
+/// Elementwise — no reduction order to document.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match the `rows`/`cols` shape.
+pub fn bias_add_rows(c: &mut [f64], rows: usize, cols: usize, bias: &[f64]) {
+    assert_eq!(c.len(), rows * cols, "bias_add_rows: shape mismatch");
+    assert_eq!(bias.len(), cols, "bias_add_rows: bias length mismatch");
+    for row in c.chunks_exact_mut(cols.max(1)) {
+        for (v, &b) in row.iter_mut().zip(bias.iter()) {
+            *v += b;
+        }
+    }
+}
+
+/// Applies ReLU elementwise in place, exactly as [`crate::ops::relu`] does.
+pub fn relu_rows(c: &mut [f64]) {
+    for v in c.iter_mut() {
+        *v = crate::ops::relu(*v);
+    }
+}
+
+/// Backward ReLU mask: `dh[i] *= relu'(pre[i])`, i.e. multiplication by
+/// `1.0` or `0.0` exactly as the per-example path multiplies by
+/// [`crate::ops::relu_grad`].
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn relu_backward_rows(dh: &mut [f64], pre: &[f64]) {
+    assert_eq!(dh.len(), pre.len(), "relu_backward_rows: length mismatch");
+    for (d, &p) in dh.iter_mut().zip(pre.iter()) {
+        *d *= crate::ops::relu_grad(p);
+    }
+}
+
+/// Adds the column sums of the row-major `rows×cols` matrix `a` into `out`:
+/// `out[j] += Σ_r a[r][j]`.
+///
+/// # Accumulation order
+///
+/// Rows are folded in ascending order (one addition chain per column) — the
+/// per-example bias-gradient order.
+///
+/// # Panics
+///
+/// Panics if a slice length does not match the `rows`/`cols` shape.
+pub fn col_sum_add(rows: usize, cols: usize, a: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), rows * cols, "col_sum_add: shape mismatch");
+    assert_eq!(out.len(), cols, "col_sum_add: out length mismatch");
+    for row in a.chunks_exact(cols.max(1)) {
+        for (o, &v) in out.iter_mut().zip(row.iter()) {
+            *o += v;
+        }
+    }
+}
+
+/// Fused softmax + cross-entropy backward over a batch of logit rows.
+///
+/// Transforms each row of the row-major `rows×cols` matrix `logits` in
+/// place from logits to `softmax(row) - onehot(label)` — the cross-entropy
+/// gradient with respect to the logits — and returns the **total** (not
+/// mean) cross-entropy loss `Σ_r (logsumexp(row_r) - row_r[label_r])`.
+///
+/// `label_of(r)` supplies the target class of row `r`; it is called once
+/// per row in ascending order.
+///
+/// # Accumulation order
+///
+/// Per row, the operation sequence is exactly
+/// [`crate::ops::softmax_inplace`] (max by sequential fold, exponentiate and
+/// sum in ascending order, divide) followed by `row[label] -= 1.0`, so the
+/// fused kernel is bit-identical to the unfused per-example path. The loss
+/// terms are summed over rows in ascending order.
+///
+/// # Panics
+///
+/// Panics if `logits.len() != rows * cols` or a label is `>= cols`.
+pub fn softmax_xent_backward(
+    logits: &mut [f64],
+    rows: usize,
+    cols: usize,
+    label_of: impl Fn(usize) -> usize,
+) -> f64 {
+    assert_eq!(
+        logits.len(),
+        rows * cols,
+        "softmax_xent_backward: shape mismatch"
+    );
+    let mut total_loss = 0.0;
+    for (r, row) in logits.chunks_exact_mut(cols.max(1)).enumerate() {
+        let label = label_of(r);
+        assert!(label < cols, "softmax_xent_backward: label out of range");
+        let label_logit = row[label];
+        // The exact softmax_inplace sequence: shared max, exp, running sum,
+        // then one divide per element.
+        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut total = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            total += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= total;
+        }
+        row[label] -= 1.0;
+        // Stable cross-entropy from the quantities already on hand:
+        // logsumexp = max + ln(Σ exp(v - max)).
+        total_loss += max + total.ln() - label_logit;
+    }
+    total_loss
+}
+
+/// Upper bound on buffers retained by a [`BufferPool`]; beyond it, released
+/// buffers are dropped instead of pooled (a safety valve, not a tuning knob —
+/// the training loop holds at most a handful of live buffers).
+const POOL_CAP: usize = 32;
+
+/// A recycling pool of `Vec<f64>` scratch buffers.
+///
+/// The training hot path acquires all of its temporaries — minibatch
+/// matrices, activations, logit/gradient buffers — from a pool instead of
+/// the global allocator. After a warm-up pass the pool's buffers cover every
+/// request and steady-state training performs **zero** per-example and
+/// per-round heap allocations (asserted by [`BufferPool::fresh_allocations`]
+/// in tests and tracked by the `kernel_throughput` bench).
+///
+/// Buffers handed out by [`take`](Self::take) are zero-filled, so pooling is
+/// invisible to the numerics.
+#[derive(Debug, Default)]
+pub struct BufferPool {
+    free: Vec<Vec<f64>>,
+    fresh_allocations: usize,
+}
+
+impl BufferPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// Returns a zero-filled buffer of exactly `len` elements, reusing the
+    /// best-fitting (smallest sufficient capacity) free buffer if one exists.
+    pub fn take(&mut self, len: usize) -> Vec<f64> {
+        let mut best: Option<usize> = None;
+        for (i, b) in self.free.iter().enumerate() {
+            if b.capacity() >= len && best.is_none_or(|j| self.free[j].capacity() > b.capacity()) {
+                best = Some(i);
+            }
+        }
+        let mut buf = match best {
+            Some(i) => self.free.swap_remove(i),
+            None => {
+                self.fresh_allocations += 1;
+                Vec::with_capacity(len)
+            }
+        };
+        buf.clear();
+        buf.resize(len, 0.0);
+        buf
+    }
+
+    /// Returns a buffer to the pool for reuse. Buffers beyond `POOL_CAP`
+    /// (or with zero capacity) are dropped.
+    pub fn put(&mut self, buf: Vec<f64>) {
+        if buf.capacity() > 0 && self.free.len() < POOL_CAP {
+            self.free.push(buf);
+        }
+    }
+
+    /// Number of times [`take`](Self::take) had to allocate a fresh buffer
+    /// instead of recycling one. Stops growing once the pool is warm — the
+    /// zero-steady-state-allocation contract.
+    pub fn fresh_allocations(&self) -> usize {
+        self.fresh_allocations
+    }
+
+    /// Number of buffers currently available for reuse.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Naive reference: sequential-fold dot product.
+    fn naive_dot(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+    }
+
+    /// Naive reference: unblocked i/k/j matmul (ascending-k accumulation,
+    /// one fused multiply-add per term, matching the kernel contract).
+    fn naive_gemm(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a[i * k + kk];
+                for j in 0..n {
+                    c[i * n + j] = av.mul_add(b[kk * n + j], c[i * n + j]);
+                }
+            }
+        }
+    }
+
+    fn seq(len: usize, scale: f64) -> Vec<f64> {
+        (0..len)
+            .map(|i| ((i as f64) * 0.37 - 1.1) * scale)
+            .collect()
+    }
+
+    #[test]
+    fn dot_matches_naive_within_epsilon() {
+        for len in [0, 1, 3, 4, 7, 8, 64, 129] {
+            let a = seq(len, 0.5);
+            let b = seq(len, -0.25);
+            let got = dot(&a, &b);
+            let want = naive_dot(&a, &b);
+            let tol = 1e-12 * want.abs().max(1.0);
+            assert!((got - want).abs() <= tol, "len {len}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn dot_order_is_a_pure_function_of_length() {
+        let a = seq(37, 1.0);
+        let b = seq(37, 2.0);
+        assert_eq!(dot(&a, &b).to_bits(), dot(&a, &b).to_bits());
+        // Commutativity holds bitwise: products are commutative per element
+        // and the lane structure depends only on the length.
+        assert_eq!(dot(&a, &b).to_bits(), dot(&b, &a).to_bits());
+    }
+
+    #[test]
+    fn gemm_is_bit_identical_to_naive_triple_loop() {
+        // Shapes straddling the block and unroll boundaries.
+        for (m, k, n) in [(1, 1, 1), (3, 5, 2), (8, 4, 8), (5, 9, 131), (2, 130, 140)] {
+            let a = seq(m * k, 0.3);
+            let b = seq(k * n, -0.2);
+            let mut c = seq(m * n, 0.01);
+            let mut c_ref = c.clone();
+            gemm(m, k, n, &a, &b, &mut c);
+            naive_gemm(m, k, n, &a, &b, &mut c_ref);
+            for (i, (x, y)) in c.iter().zip(c_ref.iter()).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "element {i} ({m}x{k}x{n})");
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nt_matches_explicit_transpose() {
+        let (m, k, n) = (4, 7, 5);
+        let a = seq(m * k, 0.4);
+        let b = seq(n * k, -0.6);
+        // Transpose b into k×n and multiply with plain gemm.
+        let mut bt = vec![0.0; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                bt[kk * n + j] = b[j * k + kk];
+            }
+        }
+        let mut c_nt = vec![0.0; m * n];
+        let mut c_ref = vec![0.0; m * n];
+        gemm_nt(m, k, n, &a, &b, &mut c_nt);
+        gemm(m, k, n, &a, &bt, &mut c_ref);
+        for (x, y) in c_nt.iter().zip(c_ref.iter()) {
+            let tol = 1e-12 * y.abs().max(1.0);
+            assert!((x - y).abs() <= tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gemm_tn_is_bit_identical_to_per_example_fold() {
+        // gemm_tn's contract: ascending-k accumulation == folding examples
+        // in batch order, the per-example gradient order.
+        let (m, k, n) = (3, 6, 4);
+        let a = seq(k * m, 0.7);
+        let b = seq(k * n, -0.3);
+        let mut c = vec![0.0; m * n];
+        gemm_tn(m, k, n, &a, &b, &mut c);
+        let mut c_ref = vec![0.0; m * n];
+        for kk in 0..k {
+            for i in 0..m {
+                for j in 0..n {
+                    c_ref[i * n + j] = a[kk * m + i].mul_add(b[kk * n + j], c_ref[i * n + j]);
+                }
+            }
+        }
+        for (x, y) in c.iter().zip(c_ref.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn matvec_into_matches_dot_per_row() {
+        let (rows, cols) = (5, 11);
+        let a = seq(rows * cols, 0.9);
+        let x = seq(cols, -1.3);
+        let mut out = vec![f64::NAN; rows];
+        matvec_into(rows, cols, &a, &x, &mut out);
+        for (r, o) in out.iter().enumerate() {
+            assert_eq!(o.to_bits(), dot(&a[r * cols..(r + 1) * cols], &x).to_bits());
+        }
+    }
+
+    #[test]
+    fn axpy_scale_bias_colsum() {
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![10.0, 20.0, 30.0];
+        axpy(0.5, &x, &mut y);
+        assert_eq!(y, vec![10.5, 21.0, 31.5]);
+        scale(2.0, &mut y);
+        assert_eq!(y, vec![21.0, 42.0, 63.0]);
+
+        let mut c = vec![0.0, 1.0, 2.0, 3.0];
+        bias_add_rows(&mut c, 2, 2, &[10.0, 20.0]);
+        assert_eq!(c, vec![10.0, 21.0, 12.0, 23.0]);
+
+        let mut sums = vec![0.0, 100.0];
+        col_sum_add(2, 2, &c, &mut sums);
+        assert_eq!(sums, vec![22.0, 144.0]);
+    }
+
+    #[test]
+    fn relu_kernels_match_scalar_ops() {
+        let mut h = vec![-1.0, 0.0, 2.5];
+        relu_rows(&mut h);
+        assert_eq!(h, vec![0.0, 0.0, 2.5]);
+        let mut dh = vec![3.0, -4.0, 5.0];
+        relu_backward_rows(&mut dh, &[-1.0, 2.0, 0.0]);
+        assert_eq!(dh, vec![0.0, -4.0, 0.0]);
+    }
+
+    #[test]
+    fn fused_xent_backward_matches_unfused_sequence() {
+        let rows = 3;
+        let cols = 4;
+        let logits = seq(rows * cols, 1.7);
+        let labels = [2usize, 0, 3];
+        let mut fused = logits.clone();
+        let loss = softmax_xent_backward(&mut fused, rows, cols, |r| labels[r]);
+
+        let mut expected_loss = 0.0;
+        for r in 0..rows {
+            let mut row = logits[r * cols..(r + 1) * cols].to_vec();
+            expected_loss += crate::ops::cross_entropy_from_logits(&row, labels[r]).unwrap();
+            crate::ops::softmax_inplace(&mut row);
+            row[labels[r]] -= 1.0;
+            for (j, v) in row.iter().enumerate() {
+                assert_eq!(
+                    v.to_bits(),
+                    fused[r * cols + j].to_bits(),
+                    "row {r} col {j}"
+                );
+            }
+        }
+        assert!((loss - expected_loss).abs() <= 1e-12 * expected_loss.abs().max(1.0));
+    }
+
+    #[test]
+    fn fused_xent_backward_rows_sum_to_zero_gradient() {
+        let mut logits = seq(8, 0.8);
+        let total = softmax_xent_backward(&mut logits, 2, 4, |_| 1);
+        assert!(total > 0.0);
+        for row in logits.chunks(4) {
+            let s: f64 = row.iter().sum();
+            assert!(s.abs() < 1e-12, "gradient rows sum to ~0, got {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn fused_xent_backward_rejects_bad_label() {
+        let mut logits = vec![0.0; 4];
+        softmax_xent_backward(&mut logits, 1, 4, |_| 4);
+    }
+
+    #[test]
+    fn buffer_pool_reuses_capacity() {
+        let mut pool = BufferPool::new();
+        let a = pool.take(64);
+        assert_eq!(a.len(), 64);
+        assert_eq!(pool.fresh_allocations(), 1);
+        pool.put(a);
+        assert_eq!(pool.pooled(), 1);
+        // Steady state: repeated take/put cycles of mixed sizes allocate
+        // nothing new once the pool is warm.
+        let b = pool.take(32);
+        assert_eq!(b.len(), 32);
+        assert!(b.iter().all(|&v| v == 0.0));
+        pool.put(b);
+        for _ in 0..100 {
+            let x = pool.take(64);
+            let y = pool.take(32);
+            pool.put(x);
+            pool.put(y);
+        }
+        assert_eq!(pool.fresh_allocations(), 2);
+    }
+
+    #[test]
+    fn buffer_pool_prefers_best_fit() {
+        let mut pool = BufferPool::new();
+        let small = pool.take(8);
+        let large = pool.take(1024);
+        pool.put(large);
+        pool.put(small);
+        // A request for 8 must take the 8-capacity buffer, leaving the large
+        // one free for a large request (no churn).
+        let got = pool.take(8);
+        assert!(got.capacity() < 1024);
+        let big = pool.take(1024);
+        assert!(big.capacity() >= 1024);
+        assert_eq!(pool.fresh_allocations(), 2);
+    }
+
+    #[test]
+    fn buffer_pool_zero_len_and_cap() {
+        let mut pool = BufferPool::new();
+        let empty = pool.take(0);
+        assert!(empty.is_empty());
+        pool.put(empty);
+        // Zero-capacity buffers are not pooled.
+        assert_eq!(pool.pooled(), 0);
+        for _ in 0..(POOL_CAP + 10) {
+            pool.put(vec![0.0; 4]);
+        }
+        assert!(pool.pooled() <= POOL_CAP);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn vec_of(len: usize) -> impl Strategy<Value = Vec<f64>> {
+        proptest::collection::vec(-10.0f64..10.0, len..len + 1)
+    }
+
+    proptest! {
+        #[test]
+        fn prop_gemm_bitwise_matches_naive(
+            m in 1usize..6, k in 1usize..12, n in 1usize..9,
+            seed in 0u64..1000,
+        ) {
+            let gen = |off: u64, len: usize| -> Vec<f64> {
+                (0..len)
+                    .map(|i| (((seed + off) as f64 + i as f64) * 0.61).sin())
+                    .collect()
+            };
+            let a = gen(1, m * k);
+            let b = gen(2, k * n);
+            let mut c = gen(3, m * n);
+            let mut c_ref = c.clone();
+            gemm(m, k, n, &a, &b, &mut c);
+            for i in 0..m {
+                for kk in 0..k {
+                    let av = a[i * k + kk];
+                    for j in 0..n {
+                        c_ref[i * n + j] = av.mul_add(b[kk * n + j], c_ref[i * n + j]);
+                    }
+                }
+            }
+            for (x, y) in c.iter().zip(c_ref.iter()) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+
+        #[test]
+        fn prop_dot_within_relative_epsilon_of_naive(
+            len in 0usize..64, seed in 0u64..1000,
+        ) {
+            let a: Vec<f64> = (0..len).map(|i| ((seed as f64 + i as f64) * 0.3).cos()).collect();
+            let b: Vec<f64> = (0..len).map(|i| ((seed as f64 - i as f64) * 0.7).sin()).collect();
+            let got = dot(&a, &b);
+            let want: f64 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+            let tol = 1e-12 * want.abs().max(1.0);
+            prop_assert!((got - want).abs() <= tol, "{} vs {}", got, want);
+        }
+
+        #[test]
+        fn prop_matvec_within_epsilon_of_naive(
+            rows in 1usize..8, cols in 1usize..24, seed in 0u64..500,
+        ) {
+            let a: Vec<f64> = (0..rows * cols)
+                .map(|i| ((seed as f64 + i as f64) * 0.17).sin())
+                .collect();
+            let x: Vec<f64> = (0..cols).map(|i| ((seed as f64 + i as f64) * 0.5).cos()).collect();
+            let mut out = vec![0.0; rows];
+            matvec_into(rows, cols, &a, &x, &mut out);
+            for (r, o) in out.iter().enumerate() {
+                let want: f64 = a[r * cols..(r + 1) * cols]
+                    .iter()
+                    .zip(x.iter())
+                    .map(|(p, q)| p * q)
+                    .sum();
+                let tol = 1e-12 * want.abs().max(1.0);
+                prop_assert!((o - want).abs() <= tol);
+            }
+        }
+
+        #[test]
+        fn prop_fused_xent_bitwise_matches_unfused(
+            logits in vec_of(12), label_raw in any::<usize>(),
+        ) {
+            let (rows, cols) = (3, 4);
+            let labels: Vec<usize> = (0..rows).map(|r| (label_raw + r) % cols).collect();
+            let mut fused = logits.clone();
+            let loss = softmax_xent_backward(&mut fused, rows, cols, |r| labels[r]);
+            let mut expected_loss = 0.0;
+            for r in 0..rows {
+                let mut row = logits[r * cols..(r + 1) * cols].to_vec();
+                expected_loss +=
+                    crate::ops::cross_entropy_from_logits(&row, labels[r]).unwrap();
+                crate::ops::softmax_inplace(&mut row);
+                row[labels[r]] -= 1.0;
+                for (j, v) in row.iter().enumerate() {
+                    prop_assert_eq!(v.to_bits(), fused[r * cols + j].to_bits());
+                }
+            }
+            let tol = 1e-12 * expected_loss.abs().max(1.0);
+            prop_assert!((loss - expected_loss).abs() <= tol);
+        }
+    }
+}

@@ -13,6 +13,10 @@
 //!   sampling-without-replacement routines used for client subsampling.
 //! - [`ops`]: numerically stable softmax / log-sum-exp / cross-entropy
 //!   kernels shared by the models.
+//! - [`kernel`]: cache-blocked, batched math kernels (GEMM variants, fused
+//!   softmax/cross-entropy backward) and the [`kernel::BufferPool`] scratch
+//!   arena used by the training hot path; each kernel documents one fixed
+//!   accumulation order.
 //!
 //! # Example
 //!
@@ -29,6 +33,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod kernel;
 pub mod matrix;
 pub mod ops;
 pub mod rng;

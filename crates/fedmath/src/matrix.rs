@@ -201,6 +201,11 @@ impl Matrix {
 
     /// Matrix product `self * other`.
     ///
+    /// Delegates to [`crate::kernel::gemm`], whose documented ascending-`k`
+    /// accumulation order matches the naive triple loop bit-for-bit. There is
+    /// no sparsity shortcut: `0.0 * NaN` and `0.0 * inf` propagate as IEEE
+    /// 754 requires.
+    ///
     /// # Errors
     ///
     /// Returns [`MathError::ShapeMismatch`] if `self.cols() != other.rows()`.
@@ -213,23 +218,22 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                let other_row = &other.data[k * other.cols..(k + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(other_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::kernel::gemm(
+            self.rows,
+            self.cols,
+            other.cols,
+            &self.data,
+            &other.data,
+            &mut out.data,
+        );
         Ok(out)
     }
 
     /// Matrix-vector product `self * v`.
+    ///
+    /// Uses [`crate::kernel::dot`] per row, so the per-example forward pass
+    /// and the batched [`crate::kernel::gemm_nt`] forward pass share one
+    /// accumulation order and produce bit-identical activations.
     ///
     /// # Errors
     ///
@@ -243,10 +247,45 @@ impl Matrix {
             });
         }
         let mut out = vec![0.0; self.rows];
-        for (o, row) in out.iter_mut().zip(self.data.chunks(self.cols.max(1))) {
-            *o = row.iter().zip(v.iter()).map(|(a, b)| a * b).sum();
-        }
+        crate::kernel::matvec_into(self.rows, self.cols, &self.data, v, &mut out);
         Ok(out)
+    }
+
+    /// Matrix-vector product written into an existing buffer (no allocation).
+    ///
+    /// Same accumulation order as [`Matrix::matvec`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::ShapeMismatch`] if `v.len() != self.cols()` or
+    /// `out.len() != self.rows()`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut [f64]) -> Result<()> {
+        if v.len() != self.cols || out.len() != self.rows {
+            return Err(MathError::ShapeMismatch {
+                left: self.shape(),
+                right: (v.len(), 1),
+                op: "matvec_into",
+            });
+        }
+        crate::kernel::matvec_into(self.rows, self.cols, &self.data, v, out);
+        Ok(())
+    }
+
+    /// Copies `params` into the matrix storage in place (no reallocation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MathError::ShapeMismatch`] if `params.len() != self.len()`.
+    pub fn copy_from_slice(&mut self, params: &[f64]) -> Result<()> {
+        if params.len() != self.data.len() {
+            return Err(MathError::ShapeMismatch {
+                left: self.shape(),
+                right: (params.len(), 1),
+                op: "copy_from_slice",
+            });
+        }
+        self.data.copy_from_slice(params);
+        Ok(())
     }
 
     /// Returns the transpose of the matrix.
@@ -447,6 +486,43 @@ mod tests {
         let c = a.matmul(&b).unwrap();
         assert_eq!(c.row(0), &[19.0, 22.0]);
         assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_propagates_nan_through_zero_coefficients() {
+        // Regression: the seed implementation skipped k-terms where
+        // A[i][k] == 0.0, so 0.0 * NaN (which is NaN per IEEE 754) was
+        // silently dropped. The kernel-backed matmul must propagate it.
+        let a = Matrix::from_rows(&[vec![0.0, 1.0]]).unwrap();
+        let b = Matrix::from_rows(&[vec![f64::NAN], vec![2.0]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert!(c.get(0, 0).is_nan(), "0.0 * NaN must propagate NaN");
+
+        let b_inf = Matrix::from_rows(&[vec![f64::INFINITY], vec![2.0]]).unwrap();
+        let c_inf = a.matmul(&b_inf).unwrap();
+        assert!(
+            c_inf.get(0, 0).is_nan(),
+            "0.0 * inf is NaN and must propagate"
+        );
+    }
+
+    #[test]
+    fn matvec_into_matches_matvec() {
+        let a = Matrix::from_rows(&[vec![1.0, -1.0], vec![2.0, 0.5]]).unwrap();
+        let v = vec![3.0, 4.0];
+        let mut out = vec![f64::NAN; 2];
+        a.matvec_into(&v, &mut out).unwrap();
+        assert_eq!(out, a.matvec(&v).unwrap());
+        assert!(a.matvec_into(&v, &mut [0.0]).is_err());
+        assert!(a.matvec_into(&[1.0], &mut out).is_err());
+    }
+
+    #[test]
+    fn copy_from_slice_updates_in_place() {
+        let mut m = Matrix::zeros(2, 2);
+        m.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert!(m.copy_from_slice(&[1.0]).is_err());
     }
 
     #[test]

@@ -120,6 +120,20 @@ impl Model for AnyModel {
     fn gradient(&self, examples: &[feddata::Example]) -> Result<Vec<f64>> {
         delegate!(self, m => m.gradient(examples))
     }
+
+    fn params_into(&self, out: &mut Vec<f64>) {
+        delegate!(self, m => m.params_into(out))
+    }
+
+    fn gradient_batch_into(
+        &self,
+        examples: &[feddata::Example],
+        order: &[usize],
+        pool: &mut fedmath::kernel::BufferPool,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        delegate!(self, m => m.gradient_batch_into(examples, order, pool, out))
+    }
 }
 
 #[cfg(test)]

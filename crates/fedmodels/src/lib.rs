@@ -48,7 +48,7 @@ pub use linear::SoftmaxRegression;
 pub use metrics::EvalMetrics;
 pub use mlp::Mlp;
 pub use model::Model;
-pub use sgd::{LocalSgd, LocalSgdConfig};
+pub use sgd::{LocalSgd, LocalSgdConfig, SgdScratch};
 
 use std::fmt;
 

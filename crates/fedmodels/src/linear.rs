@@ -3,6 +3,7 @@
 use crate::model::Model;
 use crate::{ModelError, Result};
 use feddata::{Example, Input};
+use fedmath::kernel::{self, BufferPool};
 use fedmath::Matrix;
 use rand::Rng;
 use rand_distr::{Distribution, Normal};
@@ -67,9 +68,16 @@ impl Model for SoftmaxRegression {
     }
 
     fn params(&self) -> Vec<f64> {
-        let mut out = self.weights.as_slice().to_vec();
-        out.extend_from_slice(&self.bias);
+        let mut out = Vec::with_capacity(self.num_params());
+        self.params_into(&mut out);
         out
+    }
+
+    fn params_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.num_params());
+        out.extend_from_slice(self.weights.as_slice());
+        out.extend_from_slice(&self.bias);
     }
 
     fn set_params(&mut self, params: &[f64]) -> Result<()> {
@@ -80,10 +88,10 @@ impl Model for SoftmaxRegression {
             });
         }
         let w_len = self.num_classes * self.feature_dim;
-        self.weights =
-            Matrix::from_vec(self.num_classes, self.feature_dim, params[..w_len].to_vec())
-                .map_err(ModelError::from)?;
-        self.bias = params[w_len..].to_vec();
+        self.weights
+            .copy_from_slice(&params[..w_len])
+            .map_err(ModelError::from)?;
+        self.bias.copy_from_slice(&params[w_len..]);
         Ok(())
     }
 
@@ -116,12 +124,15 @@ impl Model for SoftmaxRegression {
             let x = self.dense_input(&e.input)?;
             let mut probs = self.logits(&e.input)?;
             fedmath::ops::softmax_inplace(&mut probs);
+            // Product terms fold in with `mul_add`, mirroring the fused
+            // multiply-add chains of the batched `gemm_tn` so both paths
+            // stay bit-identical.
             for c in 0..self.num_classes {
                 let dlogit = probs[c] - if c == e.label { 1.0 } else { 0.0 };
                 grad_b[c] += dlogit;
                 let row = grad_w.row_mut(c);
                 for (d, &xd) in x.iter().enumerate() {
-                    row[d] += dlogit * xd;
+                    row[d] = dlogit.mul_add(xd, row[d]);
                 }
             }
         }
@@ -132,6 +143,55 @@ impl Model for SoftmaxRegression {
             *g *= inv_n;
         }
         Ok(out)
+    }
+
+    fn gradient_batch_into(
+        &self,
+        examples: &[Example],
+        order: &[usize],
+        pool: &mut BufferPool,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        let batch = order.len();
+        if batch == 0 {
+            return Err(ModelError::EmptyBatch);
+        }
+        let f = self.feature_dim;
+        let c = self.num_classes;
+        // Validate up front so the hot loops below cannot fail.
+        for &idx in order {
+            let e = &examples[idx];
+            if e.label >= c {
+                return Err(ModelError::LabelOutOfRange {
+                    label: e.label,
+                    num_classes: c,
+                });
+            }
+            self.dense_input(&e.input)?;
+        }
+        let mut x = pool.take(batch * f);
+        for (r, &idx) in order.iter().enumerate() {
+            let xe = self.dense_input(&examples[idx].input)?;
+            x[r * f..(r + 1) * f].copy_from_slice(xe);
+        }
+        // Forward: logits = X · Wᵀ + b, sharing `dot`'s accumulation order
+        // with the per-example matvec, then the fused softmax/label backward.
+        let mut dlogits = pool.take(batch * c);
+        kernel::gemm_nt(batch, f, c, &x, self.weights.as_slice(), &mut dlogits);
+        kernel::bias_add_rows(&mut dlogits, batch, c, &self.bias);
+        kernel::softmax_xent_backward(&mut dlogits, batch, c, |r| examples[order[r]].label);
+        out.clear();
+        out.resize(self.num_params(), 0.0);
+        let w_len = c * f;
+        let (gw, gb) = out.split_at_mut(w_len);
+        // grad_w = dLogitsᵀ · X folds examples in batch order, exactly like
+        // the per-example accumulation loop.
+        kernel::gemm_tn(c, batch, f, &dlogits, &x, gw);
+        kernel::col_sum_add(batch, c, &dlogits, gb);
+        kernel::scale(1.0 / batch as f64, out);
+        pool.put(x);
+        pool.put(dlogits);
+        Ok(())
     }
 }
 
@@ -219,6 +279,46 @@ mod tests {
             "training failed to reduce loss: {initial} -> {final_loss}"
         );
         assert_eq!(model.error_rate(&examples).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn batched_gradient_is_bitwise_identical_to_per_example() {
+        let mut rng = rng_for(0, 3);
+        let model = SoftmaxRegression::new(3, 4, &mut rng);
+        let examples = toy_examples();
+        // Include a non-trivial order (subset, permuted).
+        for order in [vec![0, 1, 2, 3], vec![2, 0], vec![3, 1, 0]] {
+            let gathered: Vec<Example> = order.iter().map(|&i| examples[i].clone()).collect();
+            let reference = model.gradient(&gathered).unwrap();
+            let mut pool = fedmath::kernel::BufferPool::new();
+            let mut batched = Vec::new();
+            model
+                .gradient_batch_into(&examples, &order, &mut pool, &mut batched)
+                .unwrap();
+            assert_eq!(batched.len(), reference.len());
+            for (i, (a, b)) in batched.iter().zip(reference.iter()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "param {i}, order {order:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_gradient_validation() {
+        let model = SoftmaxRegression::zeros(2, 2);
+        let mut pool = fedmath::kernel::BufferPool::new();
+        let mut out = Vec::new();
+        let examples = vec![Example::dense(vec![0.0, 0.0], 7)];
+        assert!(matches!(
+            model.gradient_batch_into(&examples, &[], &mut pool, &mut out),
+            Err(ModelError::EmptyBatch)
+        ));
+        assert!(model
+            .gradient_batch_into(&examples, &[0], &mut pool, &mut out)
+            .is_err());
+        let bad_dim = vec![Example::dense(vec![0.0], 1)];
+        assert!(model
+            .gradient_batch_into(&bad_dim, &[0], &mut pool, &mut out)
+            .is_err());
     }
 
     #[test]

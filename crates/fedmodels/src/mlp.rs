@@ -8,6 +8,7 @@
 use crate::model::Model;
 use crate::{ModelError, Result};
 use feddata::{Example, Input};
+use fedmath::kernel::{self, BufferPool};
 use fedmath::Matrix;
 use rand::Rng;
 use rand_distr::{Distribution, Normal};
@@ -94,11 +95,18 @@ impl Model for Mlp {
     }
 
     fn params(&self) -> Vec<f64> {
-        let mut out = self.w1.as_slice().to_vec();
+        let mut out = Vec::with_capacity(self.num_params());
+        self.params_into(&mut out);
+        out
+    }
+
+    fn params_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.reserve(self.num_params());
+        out.extend_from_slice(self.w1.as_slice());
         out.extend_from_slice(&self.b1);
         out.extend_from_slice(self.w2.as_slice());
         out.extend_from_slice(&self.b2);
-        out
     }
 
     fn set_params(&mut self, params: &[f64]) -> Result<()> {
@@ -110,24 +118,19 @@ impl Model for Mlp {
         }
         let mut offset = 0;
         let w1_len = self.hidden_dim * self.feature_dim;
-        self.w1 = Matrix::from_vec(
-            self.hidden_dim,
-            self.feature_dim,
-            params[offset..offset + w1_len].to_vec(),
-        )
-        .map_err(ModelError::from)?;
+        self.w1
+            .copy_from_slice(&params[offset..offset + w1_len])
+            .map_err(ModelError::from)?;
         offset += w1_len;
-        self.b1 = params[offset..offset + self.hidden_dim].to_vec();
+        self.b1
+            .copy_from_slice(&params[offset..offset + self.hidden_dim]);
         offset += self.hidden_dim;
         let w2_len = self.num_classes * self.hidden_dim;
-        self.w2 = Matrix::from_vec(
-            self.num_classes,
-            self.hidden_dim,
-            params[offset..offset + w2_len].to_vec(),
-        )
-        .map_err(ModelError::from)?;
+        self.w2
+            .copy_from_slice(&params[offset..offset + w2_len])
+            .map_err(ModelError::from)?;
         offset += w2_len;
-        self.b2 = params[offset..].to_vec();
+        self.b2.copy_from_slice(&params[offset..]);
         Ok(())
     }
 
@@ -162,26 +165,28 @@ impl Model for Mlp {
             fedmath::ops::softmax_inplace(&mut dlogits);
             dlogits[e.label] -= 1.0;
 
-            // Output layer gradients.
+            // Output layer gradients. Product terms fold in with `mul_add`,
+            // mirroring the fused-multiply-add chains of the batched kernels
+            // (`gemm_tn` here) so both paths stay bit-identical.
             for c in 0..self.num_classes {
                 gb2[c] += dlogits[c];
                 let row = gw2.row_mut(c);
                 for (h, &hv) in hidden.iter().enumerate() {
-                    row[h] += dlogits[c] * hv;
+                    row[h] = dlogits[c].mul_add(hv, row[h]);
                 }
             }
-            // Backprop into the hidden layer.
+            // Backprop into the hidden layer: ascending-class `mul_add`
+            // chain, the exact per-element order of the batched `gemm`.
             for h in 0..self.hidden_dim {
-                let mut dh: f64 = dlogits
-                    .iter()
-                    .enumerate()
-                    .map(|(c, &dl)| dl * self.w2.get(c, h))
-                    .sum();
+                let mut dh = 0.0f64;
+                for (c, &dl) in dlogits.iter().enumerate() {
+                    dh = dl.mul_add(self.w2.get(c, h), dh);
+                }
                 dh *= fedmath::ops::relu_grad(pre[h]);
                 gb1[h] += dh;
                 let row = gw1.row_mut(h);
                 for (d, &xd) in x.iter().enumerate() {
-                    row[d] += dh * xd;
+                    row[d] = dh.mul_add(xd, row[d]);
                 }
             }
         }
@@ -195,6 +200,77 @@ impl Model for Mlp {
             *g *= inv_n;
         }
         Ok(out)
+    }
+
+    fn gradient_batch_into(
+        &self,
+        examples: &[Example],
+        order: &[usize],
+        pool: &mut BufferPool,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        let batch = order.len();
+        if batch == 0 {
+            return Err(ModelError::EmptyBatch);
+        }
+        let f = self.feature_dim;
+        let h = self.hidden_dim;
+        let c = self.num_classes;
+        // Validate up front so the hot loops below cannot fail.
+        for &idx in order {
+            let e = &examples[idx];
+            if e.label >= c {
+                return Err(ModelError::LabelOutOfRange {
+                    label: e.label,
+                    num_classes: c,
+                });
+            }
+            self.dense_input(&e.input)?;
+        }
+        let mut x = pool.take(batch * f);
+        for (r, &idx) in order.iter().enumerate() {
+            let xe = self.dense_input(&examples[idx].input)?;
+            x[r * f..(r + 1) * f].copy_from_slice(xe);
+        }
+        // Forward: two GEMMs against Wᵀ, each output element a `dot` of two
+        // contiguous rows — the same accumulation order as the per-example
+        // matvec forward, so the activations are bit-identical.
+        let mut pre = pool.take(batch * h);
+        kernel::gemm_nt(batch, f, h, &x, self.w1.as_slice(), &mut pre);
+        kernel::bias_add_rows(&mut pre, batch, h, &self.b1);
+        let mut hidden = pool.take(batch * h);
+        hidden.copy_from_slice(&pre);
+        kernel::relu_rows(&mut hidden);
+        let mut dlogits = pool.take(batch * c);
+        kernel::gemm_nt(batch, h, c, &hidden, self.w2.as_slice(), &mut dlogits);
+        kernel::bias_add_rows(&mut dlogits, batch, c, &self.b2);
+        // Fused softmax + label subtraction, mirroring softmax_inplace per row.
+        kernel::softmax_xent_backward(&mut dlogits, batch, c, |r| examples[order[r]].label);
+        out.clear();
+        out.resize(self.num_params(), 0.0);
+        let w1_len = h * f;
+        let w2_len = c * h;
+        let (gw1, rest) = out.split_at_mut(w1_len);
+        let (gb1, rest) = rest.split_at_mut(h);
+        let (gw2, gb2) = rest.split_at_mut(w2_len);
+        // Output layer: Aᵀ·B folds examples in batch order, exactly like the
+        // per-example accumulation loops.
+        kernel::gemm_tn(c, batch, h, &dlogits, &hidden, gw2);
+        kernel::col_sum_add(batch, c, &dlogits, gb2);
+        // Hidden backprop: dH = dLogits · W2 sums classes in ascending order,
+        // matching the per-example sequential fold over classes.
+        let mut dh = pool.take(batch * h);
+        kernel::gemm(batch, c, h, &dlogits, self.w2.as_slice(), &mut dh);
+        kernel::relu_backward_rows(&mut dh, &pre);
+        kernel::gemm_tn(h, batch, f, &dh, &x, gw1);
+        kernel::col_sum_add(batch, h, &dh, gb1);
+        kernel::scale(1.0 / batch as f64, out);
+        pool.put(x);
+        pool.put(pre);
+        pool.put(hidden);
+        pool.put(dlogits);
+        pool.put(dh);
+        Ok(())
     }
 }
 
@@ -275,6 +351,85 @@ mod tests {
             "loss did not decrease: {initial} -> {final_loss}"
         );
         assert!(model.error_rate(&examples).unwrap() <= 0.25);
+    }
+
+    #[test]
+    fn batched_gradient_is_bitwise_identical_to_per_example() {
+        let mut rng = rng_for(1, 5);
+        let model = Mlp::new(2, 7, 3, &mut rng);
+        let examples = toy_examples();
+        for order in [vec![0, 1, 2, 3], vec![3, 0], vec![1, 1, 2]] {
+            let gathered: Vec<Example> = order.iter().map(|&i| examples[i].clone()).collect();
+            let reference = model.gradient(&gathered).unwrap();
+            let mut pool = fedmath::kernel::BufferPool::new();
+            let mut batched = Vec::new();
+            model
+                .gradient_batch_into(&examples, &order, &mut pool, &mut batched)
+                .unwrap();
+            assert_eq!(batched.len(), reference.len());
+            for (i, (a, b)) in batched.iter().zip(reference.iter()).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "param {i}, order {order:?}");
+            }
+        }
+    }
+
+    /// Adapter that routes `gradient` through the batched path so the shared
+    /// finite-difference checker exercises `gradient_batch_into`.
+    #[derive(Clone)]
+    struct BatchedMlp(Mlp);
+
+    impl Model for BatchedMlp {
+        fn num_params(&self) -> usize {
+            self.0.num_params()
+        }
+        fn params(&self) -> Vec<f64> {
+            self.0.params()
+        }
+        fn set_params(&mut self, params: &[f64]) -> Result<()> {
+            self.0.set_params(params)
+        }
+        fn num_classes(&self) -> usize {
+            self.0.num_classes()
+        }
+        fn logits(&self, input: &Input) -> Result<Vec<f64>> {
+            self.0.logits(input)
+        }
+        fn gradient(&self, examples: &[Example]) -> Result<Vec<f64>> {
+            let order: Vec<usize> = (0..examples.len()).collect();
+            let mut pool = fedmath::kernel::BufferPool::new();
+            let mut out = Vec::new();
+            self.0
+                .gradient_batch_into(examples, &order, &mut pool, &mut out)?;
+            Ok(out)
+        }
+    }
+
+    #[test]
+    fn batched_gradient_matches_finite_differences() {
+        let mut rng = rng_for(1, 6);
+        let model = BatchedMlp(Mlp::new(2, 4, 3, &mut rng));
+        let diff = finite_difference_check(&model, &toy_examples(), 1e-5).unwrap();
+        assert!(diff < 1e-5, "max batched gradient error {diff}");
+    }
+
+    #[test]
+    fn batched_gradient_validation() {
+        let mut rng = rng_for(1, 7);
+        let model = Mlp::new(2, 3, 2, &mut rng);
+        let mut pool = fedmath::kernel::BufferPool::new();
+        let mut out = Vec::new();
+        assert!(matches!(
+            model.gradient_batch_into(&[], &[], &mut pool, &mut out),
+            Err(ModelError::EmptyBatch)
+        ));
+        let bad_label = vec![Example::dense(vec![0.0, 0.0], 9)];
+        assert!(model
+            .gradient_batch_into(&bad_label, &[0], &mut pool, &mut out)
+            .is_err());
+        let bad_dim = vec![Example::dense(vec![0.0], 0)];
+        assert!(model
+            .gradient_batch_into(&bad_dim, &[0], &mut pool, &mut out)
+            .is_err());
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use crate::metrics::EvalMetrics;
 use crate::{ModelError, Result};
 use feddata::Example;
+use fedmath::kernel::BufferPool;
 
 /// A trainable model whose parameters are exposed as a flat vector.
 ///
@@ -47,6 +48,59 @@ pub trait Model: Clone + Send + Sync {
     /// Returns [`ModelError::EmptyBatch`] for an empty batch and propagates
     /// input/label mismatches.
     fn gradient(&self, examples: &[Example]) -> Result<Vec<f64>>;
+
+    /// Copies the parameters into `out`, reusing its storage (no allocation
+    /// once `out` has capacity for [`num_params`](Self::num_params) values).
+    ///
+    /// The default delegates to [`params`](Self::params); implementations
+    /// override it to skip the intermediate vector.
+    fn params_into(&self, out: &mut Vec<f64>) {
+        let p = self.params();
+        out.clear();
+        out.extend_from_slice(&p);
+    }
+
+    /// Mean cross-entropy gradient over the minibatch
+    /// `examples[order[0]], examples[order[1]], …`, written into `out`
+    /// (reusing its storage) with scratch buffers drawn from `pool`.
+    ///
+    /// This is the allocation-free hot-path entry point used by
+    /// [`crate::LocalSgd`]: `order` is a chunk of a shuffled index
+    /// permutation, so the minibatch is described without cloning examples.
+    ///
+    /// # Contract
+    ///
+    /// The result must equal [`gradient`](Self::gradient) of the gathered
+    /// minibatch. The built-in models override this with batched GEMM paths
+    /// whose accumulation orders mirror the per-example loops, making the
+    /// equality **bitwise** (asserted in their tests); the default simply
+    /// gathers the minibatch and calls [`gradient`](Self::gradient).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyBatch`] if `order` is empty and propagates
+    /// input/label mismatches.
+    ///
+    /// # Panics
+    ///
+    /// May panic if an index in `order` is out of bounds for `examples`.
+    fn gradient_batch_into(
+        &self,
+        examples: &[Example],
+        order: &[usize],
+        pool: &mut BufferPool,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
+        let _ = pool;
+        if order.is_empty() {
+            return Err(ModelError::EmptyBatch);
+        }
+        let batch: Vec<Example> = order.iter().map(|&i| examples[i].clone()).collect();
+        let grad = self.gradient(&batch)?;
+        out.clear();
+        out.extend_from_slice(&grad);
+        Ok(())
+    }
 
     /// Mean cross-entropy loss over `examples`.
     ///

@@ -7,6 +7,7 @@
 use crate::model::Model;
 use crate::{ModelError, Result};
 use feddata::Example;
+use fedmath::kernel::BufferPool;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -79,6 +80,50 @@ impl LocalSgdConfig {
     }
 }
 
+/// Reusable scratch state for [`LocalSgd::train_into`].
+///
+/// Holds everything a local training run needs between rounds: a cached
+/// clone of the model (reused whenever the parameter count matches), the
+/// [`BufferPool`] feeding the batched gradient kernels, and the parameter /
+/// velocity / gradient / shuffle-order buffers. After the first round warms
+/// these up, subsequent rounds through the same scratch perform zero heap
+/// allocations.
+#[derive(Debug)]
+pub struct SgdScratch<M: Model> {
+    local: Option<M>,
+    pool: BufferPool,
+    params: Vec<f64>,
+    velocity: Vec<f64>,
+    grad: Vec<f64>,
+    order: Vec<usize>,
+}
+
+impl<M: Model> SgdScratch<M> {
+    /// Creates an empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        SgdScratch {
+            local: None,
+            pool: BufferPool::new(),
+            params: Vec::new(),
+            velocity: Vec::new(),
+            grad: Vec::new(),
+            order: Vec::new(),
+        }
+    }
+
+    /// Fresh-allocation count of the underlying [`BufferPool`] — stops
+    /// growing once training reaches steady state.
+    pub fn fresh_allocations(&self) -> usize {
+        self.pool.fresh_allocations()
+    }
+}
+
+impl<M: Model> Default for SgdScratch<M> {
+    fn default() -> Self {
+        SgdScratch::new()
+    }
+}
+
 /// The client-side optimizer: runs local mini-batch SGD with momentum and
 /// weight decay on one client's examples and returns the updated parameters.
 #[derive(Debug, Clone)]
@@ -117,29 +162,71 @@ impl LocalSgd {
         examples: &[Example],
         rng: &mut impl Rng,
     ) -> Result<Vec<f64>> {
+        let mut scratch = SgdScratch::new();
+        let mut out = Vec::new();
+        self.train_into(model, examples, rng, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Allocation-free variant of [`train`](Self::train): runs the same local
+    /// SGD (identical RNG stream, bit-identical result) but draws every
+    /// temporary from `scratch` and writes the updated parameters into `out`.
+    ///
+    /// The simulation layer keeps a pool of scratches and threads one through
+    /// each client's local steps, so steady-state rounds allocate nothing.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::EmptyBatch`] if `examples` is empty and
+    /// propagates gradient errors.
+    pub fn train_into<M: Model>(
+        &self,
+        model: &M,
+        examples: &[Example],
+        rng: &mut impl Rng,
+        scratch: &mut SgdScratch<M>,
+        out: &mut Vec<f64>,
+    ) -> Result<()> {
         if examples.is_empty() {
             return Err(ModelError::EmptyBatch);
         }
-        let mut local = model.clone();
-        let mut params = local.params();
-        let mut velocity = vec![0.0; params.len()];
         let cfg = &self.config;
+        // Reuse the cached model clone when it is shape-compatible; its
+        // parameters are overwritten in place before every gradient call.
+        let mut local = match scratch.local.take() {
+            Some(l) if l.num_params() == model.num_params() => l,
+            _ => model.clone(),
+        };
+        model.params_into(&mut scratch.params);
+        scratch.velocity.clear();
+        scratch.velocity.resize(scratch.params.len(), 0.0);
+        scratch.order.clear();
+        scratch.order.extend(0..examples.len());
 
-        let mut order: Vec<usize> = (0..examples.len()).collect();
         for _ in 0..cfg.epochs {
-            order.shuffle(rng);
-            for chunk in order.chunks(cfg.batch_size) {
-                let batch: Vec<Example> = chunk.iter().map(|&i| examples[i].clone()).collect();
-                local.set_params(&params)?;
-                let grad = local.gradient(&batch)?;
-                for i in 0..params.len() {
-                    let g = grad[i] + cfg.weight_decay * params[i];
-                    velocity[i] = cfg.momentum * velocity[i] + g;
-                    params[i] -= cfg.learning_rate * velocity[i];
+            scratch.order.shuffle(rng);
+            let mut start = 0;
+            while start < scratch.order.len() {
+                let end = (start + cfg.batch_size).min(scratch.order.len());
+                local.set_params(&scratch.params)?;
+                local.gradient_batch_into(
+                    examples,
+                    &scratch.order[start..end],
+                    &mut scratch.pool,
+                    &mut scratch.grad,
+                )?;
+                for i in 0..scratch.params.len() {
+                    let g = scratch.grad[i] + cfg.weight_decay * scratch.params[i];
+                    scratch.velocity[i] = cfg.momentum * scratch.velocity[i] + g;
+                    scratch.params[i] -= cfg.learning_rate * scratch.velocity[i];
                 }
+                start = end;
             }
         }
-        Ok(params)
+        out.clear();
+        out.extend_from_slice(&scratch.params);
+        scratch.local = Some(local);
+        Ok(())
     }
 }
 
@@ -289,6 +376,66 @@ mod tests {
         let norm_before: f64 = model.params().iter().map(|p| p * p).sum();
         let norm_after: f64 = params.iter().map(|p| p * p).sum();
         assert!(norm_after < norm_before);
+    }
+
+    #[test]
+    fn train_into_is_bitwise_identical_to_train() {
+        let mut rng = rng_for(11, 0);
+        let model = SoftmaxRegression::new(2, 2, &mut rng);
+        let examples = separable_examples();
+        let sgd = LocalSgd::new(LocalSgdConfig {
+            learning_rate: 0.2,
+            momentum: 0.5,
+            weight_decay: 5e-5,
+            batch_size: 8,
+            epochs: 3,
+        })
+        .unwrap();
+        let mut train_rng1 = rng_for(12, 0);
+        let mut train_rng2 = rng_for(12, 0);
+        let p1 = sgd.train(&model, &examples, &mut train_rng1).unwrap();
+        let mut scratch = SgdScratch::new();
+        let mut p2 = Vec::new();
+        sgd.train_into(&model, &examples, &mut train_rng2, &mut scratch, &mut p2)
+            .unwrap();
+        assert_eq!(p1.len(), p2.len());
+        for (a, b) in p1.iter().zip(p2.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_changes_nothing_and_stops_allocating() {
+        let mut rng = rng_for(13, 0);
+        let model = SoftmaxRegression::new(2, 2, &mut rng);
+        let examples = separable_examples();
+        let sgd = LocalSgd::new(LocalSgdConfig {
+            batch_size: 8,
+            epochs: 2,
+            ..Default::default()
+        })
+        .unwrap();
+        let mut scratch = SgdScratch::new();
+        let mut warm = Vec::new();
+        let mut seed_rng = rng_for(13, 1);
+        sgd.train_into(&model, &examples, &mut seed_rng, &mut scratch, &mut warm)
+            .unwrap();
+        let allocs_after_warmup = scratch.fresh_allocations();
+
+        // Same seed through the warm scratch: bit-identical result, and the
+        // pool is already warm so no new buffers are allocated.
+        let mut reused = Vec::new();
+        let mut rng2 = rng_for(13, 1);
+        sgd.train_into(&model, &examples, &mut rng2, &mut scratch, &mut reused)
+            .unwrap();
+        for (a, b) in warm.iter().zip(reused.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(
+            scratch.fresh_allocations(),
+            allocs_after_warmup,
+            "steady-state training must not allocate fresh buffers"
+        );
     }
 
     #[test]

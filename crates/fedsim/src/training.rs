@@ -7,11 +7,11 @@ use crate::server::{FedAdam, ServerOptimizer};
 use crate::{Result, SimError};
 use feddata::{ClientData, FederatedDataset, Split};
 use fedmath::{SeedStream, SeedTree};
-use fedmodels::{AnyModel, LocalSgd, Model, ModelSpec};
+use fedmodels::{AnyModel, LocalSgd, Model, ModelSpec, SgdScratch};
 use rand::rngs::StdRng;
 use serde::{Deserialize, Serialize};
 use std::borrow::Borrow;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A source of clients addressed by population id, materialized on demand.
 ///
@@ -169,6 +169,10 @@ impl FederatedTrainer {
             config: self.config,
             round_seeds,
             rounds_completed: 0,
+            scratches: Arc::new(Mutex::new(Vec::new())),
+            deltas: Arc::new(Mutex::new(Vec::new())),
+            base_params: Vec::new(),
+            aggregate: Vec::new(),
         })
     }
 
@@ -207,6 +211,28 @@ pub struct TrainingRun {
     config: TrainerConfig,
     round_seeds: SeedTree,
     rounds_completed: usize,
+    /// Pool of per-client training scratches shared by the round's worker
+    /// chunks. Scratch contents never influence results (every buffer is
+    /// overwritten or zero-filled before use), so the pop order under
+    /// parallel execution does not matter; pooling only removes steady-state
+    /// allocations. A cloned run shares the pool — it is pure scratch.
+    scratches: Arc<Mutex<Vec<ClientScratch>>>,
+    /// Pool of spent chunk-delta buffers, recycled after each round's
+    /// combine step.
+    deltas: Arc<Mutex<Vec<Vec<f64>>>>,
+    /// Reused storage for the round's base parameter snapshot.
+    base_params: Vec<f64>,
+    /// Reused storage for the round's aggregated delta.
+    aggregate: Vec<f64>,
+}
+
+/// Reusable per-worker training scratch: the SGD scratch (cached model
+/// clone, buffer pool, parameter/velocity/gradient buffers) plus the buffer
+/// receiving each client's locally-updated parameters.
+#[derive(Debug, Default)]
+struct ClientScratch {
+    sgd: SgdScratch<AnyModel>,
+    new_params: Vec<f64>,
 }
 
 /// Accumulated weighted contribution of a block of client slots to a round:
@@ -299,7 +325,8 @@ impl TrainingRun {
         let mut sample_rng = round.child(SAMPLE_CHANNEL).rng();
         let indices = sample(&mut sample_rng)?;
 
-        let base_params = self.model.params();
+        let mut base_params = std::mem::take(&mut self.base_params);
+        self.model.params_into(&mut base_params);
         let dim = base_params.len();
         // Fan client training out according to the execution policy, fused
         // with the first stage of the reduce: each fixed REDUCE_CHUNK-sized
@@ -313,14 +340,28 @@ impl TrainingRun {
         let client_opt = &self.client_opt;
         let weighting = self.config.weighting;
         let base = &base_params;
+        let scratches = &self.scratches;
+        let deltas = &self.deltas;
         let chunk_partials: Vec<Result<ClientUpdate>> = exec::map_chunks(
             &self.config.execution,
             indices.len(),
             exec::REDUCE_CHUNK,
             |slots| {
+                let mut scratch = scratches
+                    .lock()
+                    .expect("scratch pool lock poisoned")
+                    .pop()
+                    .unwrap_or_default();
+                let mut weighted_delta = deltas
+                    .lock()
+                    .expect("delta pool lock poisoned")
+                    .pop()
+                    .unwrap_or_default();
+                weighted_delta.clear();
+                weighted_delta.resize(dim, 0.0);
                 let mut partial = ClientUpdate {
                     weight: 0.0,
-                    weighted_delta: vec![0.0; dim],
+                    weighted_delta,
                 };
                 for slot in slots {
                     let client = fetch(indices[slot])?;
@@ -329,31 +370,48 @@ impl TrainingRun {
                         continue;
                     }
                     let mut rng = round.derive(&[CLIENT_CHANNEL, slot as u64]).rng();
-                    let new_params = client_opt.train(model, client.examples(), &mut rng)?;
+                    client_opt.train_into(
+                        model,
+                        client.examples(),
+                        &mut rng,
+                        &mut scratch.sgd,
+                        &mut scratch.new_params,
+                    )?;
                     let weight = weighting.weight(client.num_examples());
                     for ((acc, &new), &old) in partial
                         .weighted_delta
                         .iter_mut()
-                        .zip(new_params.iter())
+                        .zip(scratch.new_params.iter())
                         .zip(base.iter())
                     {
                         *acc += weight * (new - old);
                     }
                     partial.weight += weight;
                 }
+                scratches
+                    .lock()
+                    .expect("scratch pool lock poisoned")
+                    .push(scratch);
                 Ok(partial)
             },
         );
         // Combine chunk partials left-to-right: the same float-op sequence as
         // the sequential policy, so the bits never depend on scheduling.
-        let mut aggregate = vec![0.0; dim];
+        let mut aggregate = std::mem::take(&mut self.aggregate);
+        aggregate.clear();
+        aggregate.resize(dim, 0.0);
         let mut total_weight = 0.0;
         for partial in chunk_partials {
             let partial = partial?;
-            for (acc, v) in aggregate.iter_mut().zip(partial.weighted_delta) {
+            for (acc, &v) in aggregate.iter_mut().zip(partial.weighted_delta.iter()) {
                 *acc += v;
             }
             total_weight += partial.weight;
+            // Recycle the spent chunk buffer for the next round.
+            self.deltas
+                .lock()
+                .expect("delta pool lock poisoned")
+                .push(partial.weighted_delta);
         }
         if total_weight > 0.0 {
             for a in &mut aggregate {
@@ -363,10 +421,11 @@ impl TrainingRun {
                     *a = 0.0;
                 }
             }
-            let mut params = base_params;
-            self.server.apply(&mut params, &aggregate)?;
-            self.model.set_params(&params)?;
+            self.server.apply(&mut base_params, &aggregate)?;
+            self.model.set_params(&base_params)?;
         }
+        self.base_params = base_params;
+        self.aggregate = aggregate;
         self.rounds_completed += 1;
         Ok(())
     }

@@ -69,6 +69,45 @@ fn training_run_is_bit_identical_across_policies() {
 }
 
 #[test]
+fn kernel_sized_training_run_is_bit_identical_across_policies() {
+    // Same contract as above, but at shapes that drive the fedmath kernels
+    // through their full blocking machinery: hidden_dim 64 spans four
+    // 16-column register tiles in `gemm`/`gemm_tn`, and an explicit
+    // batch_size of 32 exercises both full minibatch GEMMs and the smaller
+    // final chunk of each client's shard. Parallelism must stay invisible
+    // even when every hot-path kernel is engaged.
+    let dataset = DatasetSpec::benchmark(Benchmark::Cifar10Like, Scale::Smoke)
+        .generate(4)
+        .unwrap();
+    let mut hyperparams = fedsim::FederatedHyperparams::default();
+    hyperparams.client.batch_size = 32;
+    for &seed in &SEEDS {
+        let sequential_config = TrainerConfig {
+            clients_per_round: 5,
+            hyperparams,
+            ..Default::default()
+        };
+        let sequential = FederatedTrainer::new(sequential_config)
+            .unwrap()
+            .train(&dataset, ModelSpec::Mlp { hidden_dim: 64 }, 4, seed)
+            .unwrap();
+        for &threads in &THREAD_COUNTS {
+            let parallel_config =
+                sequential_config.with_execution(ExecutionPolicy::parallel_with(threads));
+            let parallel = FederatedTrainer::new(parallel_config)
+                .unwrap()
+                .train(&dataset, ModelSpec::Mlp { hidden_dim: 64 }, 4, seed)
+                .unwrap();
+            assert_bits_equal(
+                &format!("kernel-sized run, seed {seed}, {threads} threads"),
+                &sequential.model().params(),
+                &parallel.model().params(),
+            );
+        }
+    }
+}
+
+#[test]
 fn incremental_parallel_training_matches_one_shot_sequential() {
     // Resuming a run under one policy must land on the same model as a fresh
     // run under the other: round seeds are positional, not consumed.
