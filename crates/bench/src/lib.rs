@@ -74,6 +74,15 @@ pub struct BenchSummary {
     /// Headline kernel throughput in GFLOP/s (`0.0` for benches that do not
     /// measure math kernels).
     pub gflops: f64,
+    /// Headline ledger ingest throughput: trials recorded per wall-clock
+    /// second (`0.0` for benches that do not touch the trial ledger).
+    pub trials_ingested_per_sec: f64,
+    /// Headline ledger replay throughput: recorded trials streamed back per
+    /// wall-clock second (`0.0` when no replay was measured).
+    pub replay_trials_per_sec: f64,
+    /// On-disk ledger footprint per recorded trial, in bytes (`0.0` when no
+    /// ledger was written).
+    pub ledger_bytes_per_trial: f64,
     /// The measurements.
     pub entries: Vec<BenchEntry>,
 }
@@ -91,6 +100,9 @@ impl BenchSummary {
             cache_hit_rate: 0.0,
             rounds_per_sec: 0.0,
             gflops: 0.0,
+            trials_ingested_per_sec: 0.0,
+            replay_trials_per_sec: 0.0,
+            ledger_bytes_per_trial: 0.0,
             entries: Vec::new(),
         }
     }
@@ -103,6 +115,20 @@ impl BenchSummary {
     /// Records the headline kernel throughput in GFLOP/s.
     pub fn record_gflops(&mut self, gflops: f64) {
         self.gflops = gflops;
+    }
+
+    /// Records the headline trial-ledger outcome: ingest and replay
+    /// throughput (trials per wall-clock second) and the on-disk bytes the
+    /// ledger spends per trial.
+    pub fn record_ledger(
+        &mut self,
+        trials_ingested_per_sec: f64,
+        replay_trials_per_sec: f64,
+        ledger_bytes_per_trial: f64,
+    ) {
+        self.trials_ingested_per_sec = trials_ingested_per_sec;
+        self.replay_trials_per_sec = replay_trials_per_sec;
+        self.ledger_bytes_per_trial = ledger_bytes_per_trial;
     }
 
     /// Records the memory/cache outcome of a population-backed run: the peak
@@ -169,6 +195,16 @@ impl BenchSummary {
             Err(e) => eprintln!("failed to serialize bench summary {}: {e}", self.name),
         }
     }
+}
+
+/// Peak resident set size of this process so far, in kilobytes, read from
+/// `/proc/self/status` (`VmHWM`). Returns `None` where procfs is
+/// unavailable. Bounded-memory assertions compare this before and after a
+/// large streaming pass: the delta must not scale with the data.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
 }
 
 /// Throughput-regression gating: compares a freshly-measured [`BenchSummary`]
@@ -332,12 +368,27 @@ mod tests {
         assert_eq!(summary.gflops, 0.0);
         summary.record_rounds_per_sec(12.5);
         summary.record_gflops(3.75);
+        assert_eq!(summary.trials_ingested_per_sec, 0.0);
+        summary.record_ledger(1.5e6, 4.0e6, 70.5);
         let json = serde_json::to_string(&summary).unwrap();
         assert!(json.contains("rounds_per_sec"));
         assert!(json.contains("gflops"));
+        assert!(json.contains("trials_ingested_per_sec"));
+        assert!(json.contains("replay_trials_per_sec"));
+        assert!(json.contains("ledger_bytes_per_trial"));
         let back: BenchSummary = serde_json::from_str(&json).unwrap();
         assert_eq!(back.rounds_per_sec, 12.5);
         assert_eq!(back.gflops, 3.75);
+        assert_eq!(back.trials_ingested_per_sec, 1.5e6);
+        assert_eq!(back.replay_trials_per_sec, 4.0e6);
+        assert_eq!(back.ledger_bytes_per_trial, 70.5);
+    }
+
+    #[test]
+    fn peak_rss_is_readable_on_linux() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_kb().unwrap() > 0);
+        }
     }
 
     fn summary_with(name: &str, entries: &[(&str, f64)]) -> BenchSummary {

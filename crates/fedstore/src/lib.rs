@@ -62,17 +62,22 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod compaction;
+pub mod framing;
 pub mod key;
 pub mod record;
 pub mod recorder;
 pub mod replay;
+pub mod segment;
 pub mod store;
 pub mod tabular;
 
+pub use compaction::CompactionReport;
 pub use key::{ConfigKey, TrialKey};
 pub use record::{Provenance, TrialRecord};
 pub use recorder::RecordingObjective;
 pub use replay::{campaign_provenance, record_method_comparison, replay_method_comparison};
+pub use segment::{Durability, ScanReport, SegmentConfig, SegmentWriter};
 pub use store::TrialStore;
 pub use tabular::TabularObjective;
 
@@ -112,6 +117,14 @@ pub enum StoreError {
         /// Description of the violation.
         message: String,
     },
+    /// A binary segment failed verification: CRC mismatch, torn frame, bad
+    /// header, or an unhonourable compaction manifest.
+    Corrupt {
+        /// The damaged file.
+        path: String,
+        /// What failed to verify.
+        message: String,
+    },
     /// An underlying search-space operation failed.
     Hpo(fedhpo::HpoError),
 }
@@ -126,6 +139,9 @@ impl fmt::Display for StoreError {
             StoreError::Conflict { message } => write!(f, "ledger conflict: {message}"),
             StoreError::Miss { message } => write!(f, "table miss: {message}"),
             StoreError::InvalidRecord { message } => write!(f, "invalid record: {message}"),
+            StoreError::Corrupt { path, message } => {
+                write!(f, "ledger corruption ({path}): {message}")
+            }
             StoreError::Hpo(e) => write!(f, "hpo error: {e}"),
         }
     }

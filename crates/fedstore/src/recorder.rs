@@ -129,8 +129,10 @@ impl RecordingObjective<'_, '_> {
                 let noisy_score = miss_results[j].score;
                 let true_error = truths.as_ref().map_or(noisy_score, |t| t[j]);
                 let key = keys[i].clone();
+                // The batch is group-committed below: one sync per miss
+                // sub-batch instead of one per record.
                 self.store
-                    .insert(TrialRecord {
+                    .insert_unsynced(TrialRecord {
                         config: key.config,
                         resource: key.resource,
                         rep: key.rep,
@@ -143,6 +145,9 @@ impl RecordingObjective<'_, '_> {
                 scored[i] = Some((noisy_score, true_error));
                 self.misses += 1;
             }
+            self.store
+                .group_commit()
+                .map_err(fedtune_core::CoreError::from)?;
         }
         // Stitch results back in request order and log every evaluation.
         self.campaign.begin_batch();

@@ -1,27 +1,44 @@
 //! The persistent trial store: an in-memory index over an append-only
-//! JSON-lines ledger.
+//! ledger with two interchangeable file backends.
 //!
 //! The store is **content-addressed**: records are keyed by
 //! `(canonical configuration bits, resource, replicate)` — never by trial id
 //! or arrival order — so any campaign that re-derives the same points (a
 //! resumed run, a replayed method sweep, a differently-ordered parallel
-//! schedule) finds them. The file backend is append-only: every accepted
-//! insert is written and flushed as one JSON line before the insert returns,
-//! so an interrupted process loses at most the evaluation in flight, and
-//! re-opening the ledger re-indexes exactly what was recorded.
+//! schedule) finds them. Both backends are append-only and recover torn
+//! tails on open, and both stream during re-indexing — opening a ledger
+//! never buffers the whole file:
+//!
+//! - **Binary segments** ([`TrialStore::open_segments`]) — the default for
+//!   recording at scale: CRC32C-framed records in fixed-size segment files
+//!   with configurable [`Durability`] and group commit (see
+//!   [`crate::segment`]), plus crash-safe [compaction](TrialStore::compact).
+//! - **JSON lines** ([`TrialStore::open`]) — the human-readable interchange
+//!   format; [`TrialStore::export_jsonl`]/[`TrialStore::import_jsonl`]
+//!   convert losslessly between the two.
 
+use crate::compaction::{self, CompactionReport};
 use crate::key::{ConfigKey, TrialKey};
 use crate::record::TrialRecord;
+use crate::segment::{self, Durability, SegmentConfig, SegmentWriter};
 use crate::{Result, StoreError};
 use std::collections::HashMap;
-use std::io::Write;
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 /// The append handle of a file-backed store.
 #[derive(Debug)]
-struct Backend {
-    path: PathBuf,
-    file: std::fs::File,
+enum Backend {
+    /// One JSON record per line, appended through a reusable encode buffer.
+    Jsonl {
+        path: PathBuf,
+        file: std::fs::File,
+        line_buf: String,
+        durability: Durability,
+        unsynced: u64,
+    },
+    /// CRC-framed binary segments (see [`crate::segment`]).
+    Segments(SegmentWriter),
 }
 
 /// A persistent, content-addressed collection of [`TrialRecord`]s.
@@ -60,33 +77,101 @@ impl TrialStore {
             path: path.display().to_string(),
             message: e.to_string(),
         };
-        let mut store = match std::fs::read_to_string(&path) {
-            Ok(text) => match Self::from_jsonl(&text) {
-                Ok(store) => store,
-                Err(StoreError::Parse { line, .. })
-                    if !text.ends_with('\n') && line == text.lines().count() =>
-                {
-                    let keep = text.rfind('\n').map_or(0, |i| i + 1);
-                    let store = Self::from_jsonl(&text[..keep])?;
-                    let file = std::fs::OpenOptions::new()
-                        .write(true)
-                        .open(&path)
-                        .map_err(io_error)?;
-                    file.set_len(keep as u64).map_err(io_error)?;
-                    file.sync_data().map_err(io_error)?;
-                    store
+        let mut store = TrialStore::in_memory();
+        // Stream the ledger through one reusable line buffer: re-indexing a
+        // multi-gigabyte file allocates nothing per record beyond the index
+        // entries themselves.
+        match std::fs::File::open(&path) {
+            Ok(file) => {
+                let mut reader = BufReader::with_capacity(1 << 20, file);
+                let mut line = String::new();
+                let mut number = 0;
+                let mut valid_end: u64 = 0;
+                loop {
+                    line.clear();
+                    let n = reader.read_line(&mut line).map_err(io_error)?;
+                    if n == 0 {
+                        break;
+                    }
+                    number += 1;
+                    let complete = line.ends_with('\n');
+                    let stripped = line.trim_end_matches(['\n', '\r']);
+                    if stripped.trim().is_empty() {
+                        valid_end += n as u64;
+                        continue;
+                    }
+                    match TrialRecord::from_line(stripped, number) {
+                        Ok(record) => {
+                            store.insert(record)?;
+                            valid_end += n as u64;
+                        }
+                        // A torn final line — the signature of a crash
+                        // mid-append — truncates to the last complete
+                        // record; mid-file corruption still fails loudly.
+                        Err(_) if !complete => {
+                            drop(reader);
+                            let file = std::fs::OpenOptions::new()
+                                .write(true)
+                                .open(&path)
+                                .map_err(io_error)?;
+                            file.set_len(valid_end).map_err(io_error)?;
+                            file.sync_data().map_err(io_error)?;
+                            break;
+                        }
+                        Err(e) => return Err(e),
+                    }
                 }
-                Err(e) => return Err(e),
-            },
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => TrialStore::in_memory(),
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(io_error(e)),
-        };
+        }
         let file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(&path)
             .map_err(io_error)?;
-        store.backend = Some(Backend { path, file });
+        store.backend = Some(Backend::Jsonl {
+            path,
+            file,
+            line_buf: String::new(),
+            durability: Durability::PerInsert,
+            unsynced: 0,
+        });
+        Ok(store)
+    }
+
+    /// Opens (or creates) a binary segment ledger in the directory `dir`
+    /// with the default [`SegmentConfig`] (8 MiB segments, per-insert
+    /// durability).
+    ///
+    /// # Errors
+    ///
+    /// See [`TrialStore::open_segments_with`].
+    pub fn open_segments(dir: impl AsRef<Path>) -> Result<Self> {
+        Self::open_segments_with(dir, SegmentConfig::default())
+    }
+
+    /// Opens (or creates) a binary segment ledger in `dir`: any interrupted
+    /// compaction is finished or rolled back, torn tails and corrupt frames
+    /// are truncated at the last valid frame ([`segment::recover_with`]),
+    /// the surviving records are streamed into the index — never holding
+    /// the ledger in memory — and subsequent inserts append fresh segments
+    /// under `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failures and
+    /// [`StoreError::Conflict`] on a ledger with contradictory records.
+    pub fn open_segments_with(dir: impl AsRef<Path>, config: SegmentConfig) -> Result<Self> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| StoreError::Io {
+            path: dir.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let mut store = TrialStore::in_memory();
+        segment::recover_with(dir, |record| store.insert(record).map(|_| ()))?;
+        let writer = SegmentWriter::open_assume_recovered(dir, config)?;
+        store.backend = Some(Backend::Segments(writer));
         Ok(store)
     }
 
@@ -117,15 +202,19 @@ impl TrialStore {
     pub fn to_jsonl(&self) -> Result<String> {
         let mut out = String::new();
         for record in &self.records {
-            out.push_str(&record.to_line()?);
+            record.to_line_into(&mut out)?;
             out.push('\n');
         }
         Ok(out)
     }
 
-    /// The ledger path, when file-backed.
+    /// The ledger path when file-backed: the file for JSONL, the segment
+    /// directory for the binary backend.
     pub fn path(&self) -> Option<&Path> {
-        self.backend.as_ref().map(|b| b.path.as_path())
+        match self.backend.as_ref()? {
+            Backend::Jsonl { path, .. } => Some(path.as_path()),
+            Backend::Segments(writer) => Some(writer.dir()),
+        }
     }
 
     /// Number of records in the store.
@@ -172,8 +261,10 @@ impl TrialStore {
             .collect()
     }
 
-    /// Inserts a record, appending it to the ledger file when file-backed.
-    /// NaN scores are collapsed to the canonical bit pattern first (see
+    /// Inserts a record, appending it to the ledger when file-backed, and
+    /// marks a batch boundary (under [`Durability::PerInsert`] — the
+    /// default — the record is synced to disk before this returns). NaN
+    /// scores are collapsed to the canonical bit pattern first (see
     /// [`TrialRecord::with_canonical_scores`]), keeping round trips
     /// bit-lossless.
     ///
@@ -187,6 +278,41 @@ impl TrialStore {
     /// different payload, and [`StoreError::Io`] when the ledger append
     /// fails.
     pub fn insert(&mut self, record: TrialRecord) -> Result<bool> {
+        let added = self.insert_unsynced(record)?;
+        self.group_commit()?;
+        Ok(added)
+    }
+
+    /// Inserts every record of a batch, then marks **one** batch boundary:
+    /// whatever the durability mode, the whole batch costs at most one
+    /// `sync_data` — the group-commit fast path for bulk recording.
+    ///
+    /// Returns how many records were new.
+    ///
+    /// # Errors
+    ///
+    /// See [`TrialStore::insert`]; the first failing record aborts the
+    /// batch (records before it are already appended).
+    pub fn insert_many(&mut self, records: impl IntoIterator<Item = TrialRecord>) -> Result<usize> {
+        let mut added = 0;
+        for record in records {
+            if self.insert_unsynced(record)? {
+                added += 1;
+            }
+        }
+        self.group_commit()?;
+        Ok(added)
+    }
+
+    /// Inserts a record **without** marking a batch boundary — the building
+    /// block callers with their own batching (the recorder's miss loop,
+    /// [`TrialStore::insert_many`]) pair with
+    /// [`TrialStore::group_commit`].
+    ///
+    /// # Errors
+    ///
+    /// See [`TrialStore::insert`].
+    pub fn insert_unsynced(&mut self, record: TrialRecord) -> Result<bool> {
         let record = record.with_canonical_scores();
         // Reject timestamps the ledger deserializer would refuse, even for
         // in-memory stores — a record must never be accepted on one side of
@@ -210,21 +336,26 @@ impl TrialStore {
                 })
             };
         }
-        if let Some(backend) = &mut self.backend {
-            let line = record.to_line()?;
-            let path = backend.path.display().to_string();
-            let io_error = |e: std::io::Error| StoreError::Io {
-                path: path.clone(),
-                message: e.to_string(),
-            };
-            backend
-                .file
-                .write_all(format!("{line}\n").as_bytes())
-                .map_err(io_error)?;
-            // `sync_data` (not `flush`, which is a userspace no-op for
-            // `File`) is what makes the durability claim real: once `insert`
-            // returns, the record survives a crash or power loss.
-            backend.file.sync_data().map_err(io_error)?;
+        match &mut self.backend {
+            None => {}
+            Some(Backend::Jsonl {
+                path,
+                file,
+                line_buf,
+                unsynced,
+                ..
+            }) => {
+                let io_error = |e: std::io::Error| StoreError::Io {
+                    path: path.display().to_string(),
+                    message: e.to_string(),
+                };
+                line_buf.clear();
+                record.to_line_into(line_buf)?;
+                line_buf.push('\n');
+                file.write_all(line_buf.as_bytes()).map_err(io_error)?;
+                *unsynced += 1;
+            }
+            Some(Backend::Segments(writer)) => writer.append_unsynced(&record)?,
         }
         let point = (key.config.clone(), key.resource);
         let reps = self.replicates.entry(point).or_default();
@@ -233,6 +364,222 @@ impl TrialStore {
         self.index.insert(key, self.records.len());
         self.records.push(record);
         Ok(true)
+    }
+
+    /// Marks a batch boundary: syncs the backend now if its durability
+    /// policy asks for it, given the records appended since the last sync.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on sync failures.
+    pub fn group_commit(&mut self) -> Result<()> {
+        match &mut self.backend {
+            None => Ok(()),
+            Some(Backend::Jsonl {
+                path,
+                file,
+                durability,
+                unsynced,
+                ..
+            }) => {
+                if durability.wants_sync(*unsynced) {
+                    // `sync_data` (not `flush`, which is a userspace no-op
+                    // for `File`) is what makes the durability claim real.
+                    file.sync_data().map_err(|e| StoreError::Io {
+                        path: path.display().to_string(),
+                        message: e.to_string(),
+                    })?;
+                    *unsynced = 0;
+                }
+                Ok(())
+            }
+            Some(Backend::Segments(writer)) => writer.group_commit(),
+        }
+    }
+
+    /// Syncs every appended record to disk unconditionally, whatever the
+    /// durability mode. Campaigns running group commit call this at their
+    /// own checkpoints (and should call it before a clean shutdown).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on sync failures.
+    pub fn flush(&mut self) -> Result<()> {
+        match &mut self.backend {
+            None => Ok(()),
+            Some(Backend::Jsonl {
+                path,
+                file,
+                unsynced,
+                ..
+            }) => {
+                file.sync_data().map_err(|e| StoreError::Io {
+                    path: path.display().to_string(),
+                    message: e.to_string(),
+                })?;
+                *unsynced = 0;
+                Ok(())
+            }
+            Some(Backend::Segments(writer)) => writer.flush(),
+        }
+    }
+
+    /// Changes the backend's durability policy (no-op for in-memory
+    /// stores). Loosening the policy never un-syncs anything already on
+    /// disk; tightening it takes effect at the next batch boundary.
+    pub fn set_durability(&mut self, durability: Durability) {
+        match &mut self.backend {
+            None => {}
+            Some(Backend::Jsonl {
+                durability: slot, ..
+            }) => *slot = durability,
+            Some(Backend::Segments(writer)) => writer.set_durability(durability),
+        }
+    }
+
+    /// Exports every record as a JSONL interchange file at `path`
+    /// (atomically: written to a temporary sibling, synced, renamed).
+    /// Lossless: `import_jsonl` of the result rebuilds bit-identical
+    /// records, non-finite scores included.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failures.
+    pub fn export_jsonl(&self, path: impl AsRef<Path>) -> Result<()> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("jsonl.tmp");
+        self.export_jsonl_at(&tmp)?;
+        std::fs::rename(&tmp, path).map_err(|e| StoreError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })
+    }
+
+    /// Imports a JSONL interchange file, inserting every record as one
+    /// group-committed batch (idempotent duplicates are skipped). Returns
+    /// how many records were new.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Parse`] on a malformed line (imports fail
+    /// loudly — torn-tail recovery is for a backend's own ledger, not for
+    /// interchange files), [`StoreError::Conflict`] on contradictory
+    /// records, and [`StoreError::Io`] on filesystem failures.
+    pub fn import_jsonl(&mut self, path: impl AsRef<Path>) -> Result<usize> {
+        let path = path.as_ref();
+        let io_error = |e: std::io::Error| StoreError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        };
+        let file = std::fs::File::open(path).map_err(io_error)?;
+        let mut reader = BufReader::with_capacity(1 << 20, file);
+        let mut line = String::new();
+        let mut number = 0;
+        let mut added = 0;
+        loop {
+            line.clear();
+            if reader.read_line(&mut line).map_err(io_error)? == 0 {
+                break;
+            }
+            number += 1;
+            let stripped = line.trim_end_matches(['\n', '\r']);
+            if stripped.trim().is_empty() {
+                continue;
+            }
+            if self.insert_unsynced(TrialRecord::from_line(stripped, number)?)? {
+                added += 1;
+            }
+        }
+        self.group_commit()?;
+        Ok(added)
+    }
+
+    /// Compacts the ledger in place: rewrites it as a snapshot of the
+    /// current index — one record per key, in insertion order, duplicates
+    /// long since dropped by idempotent re-inserts — and swaps it in
+    /// crash-safely. For the segment backend this is the marker-committed
+    /// swap of [`crate::compaction`]; for JSONL it is an atomic
+    /// write-to-temporary-and-rename. In-memory stores report themselves
+    /// unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::Io`] on filesystem failures.
+    pub fn compact(&mut self) -> Result<CompactionReport> {
+        match self.backend.take() {
+            None => Ok(CompactionReport {
+                records: self.records.len() as u64,
+                ..CompactionReport::default()
+            }),
+            Some(Backend::Jsonl {
+                path,
+                file,
+                line_buf,
+                durability,
+                ..
+            }) => {
+                let io_error = |e: std::io::Error| StoreError::Io {
+                    path: path.display().to_string(),
+                    message: e.to_string(),
+                };
+                let bytes_before = file.metadata().map_err(io_error)?.len();
+                drop(file);
+                let tmp = path.with_extension("jsonl.tmp");
+                self.export_jsonl_at(&tmp)?;
+                std::fs::rename(&tmp, &path).map_err(io_error)?;
+                let file = std::fs::OpenOptions::new()
+                    .append(true)
+                    .open(&path)
+                    .map_err(io_error)?;
+                let bytes_after = file.metadata().map_err(io_error)?.len();
+                self.backend = Some(Backend::Jsonl {
+                    path,
+                    file,
+                    line_buf,
+                    durability,
+                    unsynced: 0,
+                });
+                Ok(CompactionReport {
+                    records: self.records.len() as u64,
+                    bytes_before,
+                    bytes_after,
+                    segments_before: 1,
+                    segments_after: 1,
+                })
+            }
+            Some(Backend::Segments(writer)) => {
+                let dir = writer.dir().to_path_buf();
+                let config = *writer.config();
+                // Seal the writer (its Drop flushes) before touching files.
+                drop(writer);
+                let report = compaction::swap_in_snapshot(&dir, config, self.records.iter());
+                // Whatever happened, reattach a writer — the swap protocol
+                // guarantees the directory is the old or the new snapshot.
+                let writer = SegmentWriter::open_assume_recovered(&dir, config)?;
+                self.backend = Some(Backend::Segments(writer));
+                report
+            }
+        }
+    }
+
+    /// `export_jsonl` without the atomic rename — writes directly to
+    /// `path`, synced.
+    fn export_jsonl_at(&self, path: &Path) -> Result<()> {
+        let io_error = |e: std::io::Error| StoreError::Io {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        };
+        let file = std::fs::File::create(path).map_err(io_error)?;
+        let mut out = BufWriter::with_capacity(1 << 20, file);
+        let mut line_buf = String::new();
+        for record in &self.records {
+            line_buf.clear();
+            record.to_line_into(&mut line_buf)?;
+            line_buf.push('\n');
+            out.write_all(line_buf.as_bytes()).map_err(io_error)?;
+        }
+        out.flush().map_err(io_error)?;
+        out.get_ref().sync_data().map_err(io_error)
     }
 }
 
@@ -397,6 +744,143 @@ mod tests {
         std::fs::remove_file(&path).unwrap();
     }
 
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "fedstore_store_{tag}_{}_{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn segment_backend_inserts_reopens_and_compacts() {
+        let dir = temp_dir("segments");
+        {
+            let mut store = TrialStore::open_segments(&dir).unwrap();
+            assert!(store.is_empty());
+            assert_eq!(store.path(), Some(dir.as_path()));
+            assert!(store.insert(record(&[0.5], 3, 0, 0.4)).unwrap());
+            assert!(store.insert(record(&[0.5], 6, 0, f64::NAN)).unwrap());
+            // Idempotent duplicate: indexed once, appended once.
+            assert!(!store.insert(record(&[0.5], 3, 0, 0.4)).unwrap());
+        }
+        {
+            let mut store = TrialStore::open_segments(&dir).unwrap();
+            assert_eq!(store.len(), 2);
+            assert!(store.records()[1].noisy_score.is_nan());
+            assert!(store.contains(&record(&[0.5], 3, 0, 0.0).key()));
+            store.insert(record(&[0.7], 3, 0, 0.8)).unwrap();
+            let report = store.compact().unwrap();
+            assert_eq!(report.records, 3);
+            // Appends keep working after the swap.
+            store.insert(record(&[0.9], 3, 0, 0.2)).unwrap();
+        }
+        let reopened = TrialStore::open_segments(&dir).unwrap();
+        assert_eq!(reopened.len(), 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_backend_group_commit_batches() {
+        let dir = temp_dir("groupcommit");
+        let mut store = TrialStore::open_segments_with(
+            &dir,
+            crate::SegmentConfig {
+                durability: crate::Durability::OnFlush,
+                ..crate::SegmentConfig::default()
+            },
+        )
+        .unwrap();
+        let batch: Vec<TrialRecord> = (0..16)
+            .map(|i| record(&[i as f64], 3, 0, i as f64 * 0.1))
+            .collect();
+        assert_eq!(store.insert_many(batch.clone()).unwrap(), 16);
+        // The whole batch again: all idempotent.
+        assert_eq!(store.insert_many(batch).unwrap(), 0);
+        store.flush().unwrap();
+        store.set_durability(crate::Durability::EveryN(4));
+        drop(store);
+        let reopened = TrialStore::open_segments(&dir).unwrap();
+        assert_eq!(reopened.len(), 16);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn export_import_jsonl_bridges_the_backends_losslessly() {
+        let dir = temp_dir("bridge");
+        let jsonl = dir.join("export.jsonl");
+        std::fs::create_dir_all(&dir).unwrap();
+        let segdir = dir.join("ledger");
+        let mut store = TrialStore::open_segments(&segdir).unwrap();
+        store.insert(record(&[1e-3, 64.0], 6, 0, 0.37)).unwrap();
+        store.insert(record(&[1e-3, 64.0], 6, 1, f64::NAN)).unwrap();
+        store
+            .insert(record(&[-0.0, 32.0], 2, 0, f64::INFINITY))
+            .unwrap();
+        store.export_jsonl(&jsonl).unwrap();
+        drop(store);
+
+        // JSONL → fresh segment ledger → identical bits.
+        let segdir2 = dir.join("ledger2");
+        let mut imported = TrialStore::open_segments(&segdir2).unwrap();
+        assert_eq!(imported.import_jsonl(&jsonl).unwrap(), 3);
+        // Importing again is a no-op.
+        assert_eq!(imported.import_jsonl(&jsonl).unwrap(), 0);
+        drop(imported);
+        let a = TrialStore::open_segments(&segdir).unwrap();
+        let b = TrialStore::open_segments(&segdir2).unwrap();
+        assert_eq!(a.to_jsonl().unwrap(), b.to_jsonl().unwrap());
+        for (x, y) in a.records().iter().zip(b.records()) {
+            assert_eq!(x.noisy_score.to_bits(), y.noisy_score.to_bits());
+            assert_eq!(x.true_error.to_bits(), y.true_error.to_bits());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn jsonl_backend_compacts_atomically() {
+        let dir = temp_dir("jsonlcompact");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ledger.jsonl");
+        let mut store = TrialStore::open(&path).unwrap();
+        store.insert(record(&[0.5], 3, 0, 0.4)).unwrap();
+        store.insert(record(&[0.7], 3, 0, 0.8)).unwrap();
+        let report = store.compact().unwrap();
+        assert_eq!(report.records, 2);
+        assert_eq!(report.bytes_after, report.bytes_before);
+        // The backend still appends after the rename swap.
+        store.insert(record(&[0.9], 3, 0, 0.1)).unwrap();
+        drop(store);
+        assert_eq!(TrialStore::open(&path).unwrap().len(), 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_backend_recovers_torn_tail_on_open() {
+        let dir = temp_dir("segtorn");
+        {
+            let mut store = TrialStore::open_segments(&dir).unwrap();
+            for i in 0..8 {
+                store
+                    .insert(record(&[i as f64], 3, 0, i as f64 * 0.1))
+                    .unwrap();
+            }
+        }
+        // Tear the single segment mid-frame.
+        let seg = crate::segment::segment_path(&dir, 0);
+        let bytes = std::fs::read(&seg).unwrap();
+        std::fs::write(&seg, &bytes[..bytes.len() - 3]).unwrap();
+        let mut store = TrialStore::open_segments(&dir).unwrap();
+        assert_eq!(store.len(), 7);
+        // The lost record can simply be re-recorded.
+        store.insert(record(&[7.0], 3, 0, 0.7)).unwrap();
+        drop(store);
+        assert_eq!(TrialStore::open_segments(&dir).unwrap().len(), 8);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
     #[test]
     fn file_backend_appends_and_reopens() {
         let path = std::env::temp_dir().join(format!(
@@ -505,6 +989,46 @@ mod proptests {
             }
             // A second round trip is a fixed point.
             prop_assert_eq!(reloaded.to_jsonl().expect("serializable"), text);
+        }
+
+        /// JSONL export → import into a segment ledger → reopen: bit-lossless
+        /// end to end, non-finite guard encodings included — the two backends
+        /// are interchangeable representations of the same ledger.
+        #[test]
+        fn prop_jsonl_to_segments_is_bit_lossless(seed in any::<u64>(), n in 1usize..16) {
+            let dir = std::env::temp_dir().join(format!(
+                "fedstore_xbackend_{}_{:?}_{seed}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            let store = arbitrary_store(seed, n);
+            let jsonl = dir.join("interchange.jsonl");
+            store.export_jsonl(&jsonl).expect("exportable");
+
+            let segdir = dir.join("segments");
+            {
+                let mut seg_store = TrialStore::open_segments(&segdir).expect("openable");
+                seg_store.import_jsonl(&jsonl).expect("importable");
+            }
+            let reopened = TrialStore::open_segments(&segdir).expect("reopenable");
+            prop_assert_eq!(reopened.len(), store.len());
+            for (a, b) in store.records().iter().zip(reopened.records()) {
+                prop_assert_eq!(&a.config, &b.config);
+                prop_assert_eq!(a.resource, b.resource);
+                prop_assert_eq!(a.rep, b.rep);
+                prop_assert_eq!(a.noisy_score.to_bits(), b.noisy_score.to_bits());
+                prop_assert_eq!(a.true_error.to_bits(), b.true_error.to_bits());
+                prop_assert_eq!(a.sim_time.to_bits(), b.sim_time.to_bits());
+                prop_assert_eq!(&a.provenance, &b.provenance);
+            }
+            // The segment ledger re-exports the exact same interchange text.
+            prop_assert_eq!(
+                reopened.to_jsonl().expect("serializable"),
+                store.to_jsonl().expect("serializable")
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
         }
     }
 }

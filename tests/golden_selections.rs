@@ -89,6 +89,62 @@ fn scheduled_asha_selections_are_pinned() {
     }
 }
 
+#[test]
+fn segment_backed_record_replay_reproduces_the_pinned_bits() {
+    // The same pinned campaign, but recorded through the binary segment
+    // ledger and replayed from a fresh reopen: the storage engine — framing,
+    // provenance interning, recovery scan, index rebuild — must be invisible
+    // in the selection bits.
+    use fedstore::{record_method_comparison, replay_method_comparison, TrialStore};
+    let scale = ExperimentScale::smoke();
+    let noise_settings = paper_noise_settings();
+    let dir = std::env::temp_dir().join(format!("fedtune_golden_segments_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let recorded = {
+        let mut store = TrialStore::open_segments(&dir).unwrap();
+        record_method_comparison(
+            ExecutionPolicy::Sequential,
+            Benchmark::Cifar10Like,
+            &scale,
+            &[TuningMethod::Asha],
+            &noise_settings,
+            SCHEDULED_SEED,
+            &mut store,
+        )
+        .unwrap()
+    };
+    let store = TrialStore::open_segments(&dir).unwrap();
+    assert!(!store.is_empty());
+    let replayed = replay_method_comparison(
+        &store,
+        Benchmark::Cifar10Like,
+        &scale,
+        &[TuningMethod::Asha],
+        &noise_settings,
+        SCHEDULED_SEED,
+    )
+    .unwrap();
+    assert_eq!(recorded, replayed);
+    let budget = *replayed.budget_grid.last().unwrap();
+    for (run, &(noise_label, trial, log_len, bits)) in
+        replayed.runs.iter().zip(GOLDEN_SCHEDULED_ASHA.iter())
+    {
+        let selected = run
+            .selected_true_error_within(budget)
+            .expect("campaign evaluated at least one configuration");
+        assert_eq!(run.noise_label, noise_label);
+        assert_eq!(run.trial, trial);
+        assert_eq!(run.log.len(), log_len, "evaluation schedule changed");
+        assert_eq!(
+            selected.to_bits(),
+            bits,
+            "segment-backed replay drifted from the pin: got {selected} (0x{:016x})",
+            selected.to_bits(),
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 const EVENT_DRIVEN_SEED: u64 = 5;
 
 /// Async ASHA through the event-driven executor at seed 5: pins the number

@@ -176,6 +176,70 @@ fn interrupted_resume_is_bit_identical_across_seeds_and_thread_counts() {
 }
 
 #[test]
+fn binary_and_jsonl_replays_are_bit_identical_across_seeds_and_threads() {
+    // Record each campaign straight into a binary segment ledger, bridge it
+    // to JSONL with export_jsonl, then replay from fresh reopens of *both*
+    // backends under every thread count: the storage format and the
+    // parallelism must both be invisible in the bits.
+    let scale = ExperimentScale::smoke();
+    let base = std::env::temp_dir().join(format!("fedstore_backend_replay_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).unwrap();
+    for seed in [0u64, 1, 2] {
+        let ctx = BenchmarkContext::new(Benchmark::Cifar10Like, &scale, seed).unwrap();
+        let seg_dir = base.join(format!("segments_{seed}"));
+        let mut seg_store = TrialStore::open_segments(&seg_dir).unwrap();
+        let (reference, finished) = drive_campaign(
+            &ctx,
+            &scale,
+            ExecutionPolicy::Sequential,
+            seed,
+            &mut seg_store,
+            None,
+        );
+        assert!(finished);
+        let jsonl_path = base.join(format!("ledger_{seed}.jsonl"));
+        seg_store.export_jsonl(&jsonl_path).unwrap();
+        drop(seg_store);
+
+        for threads in [1usize, 2, 4] {
+            let policy = ExecutionPolicy::parallel_with(threads);
+            // A fresh reopen streams the ledger back into the index; the
+            // recorded campaign is then served entirely from it.
+            let mut from_segments = TrialStore::open_segments(&seg_dir).unwrap();
+            let (seg_outcome, finished) =
+                drive_campaign(&ctx, &scale, policy, seed, &mut from_segments, None);
+            assert!(finished);
+            let mut from_jsonl = TrialStore::open(&jsonl_path).unwrap();
+            let (jsonl_outcome, finished) =
+                drive_campaign(&ctx, &scale, policy, seed, &mut from_jsonl, None);
+            assert!(finished);
+            assert_eq!(
+                seg_outcome, reference,
+                "seed {seed}, {threads} threads: segment replay diverged"
+            );
+            assert_eq!(
+                jsonl_outcome, reference,
+                "seed {seed}, {threads} threads: JSONL replay diverged"
+            );
+            for (a, b) in seg_outcome.records().iter().zip(jsonl_outcome.records()) {
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+            }
+            // The two ledgers themselves hold bit-identical records.
+            assert_eq!(from_segments.len(), from_jsonl.len());
+            for (a, b) in from_segments.records().iter().zip(from_jsonl.records()) {
+                assert_eq!(a.config, b.config);
+                assert_eq!(a.noisy_score.to_bits(), b.noisy_score.to_bits());
+                assert_eq!(a.true_error.to_bits(), b.true_error.to_bits());
+                assert_eq!(a.sim_time.to_bits(), b.sim_time.to_bits());
+                assert_eq!(a.provenance, b.provenance);
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
 fn file_backed_ledger_resumes_across_processes() {
     // The same interrupt/resume flow, but with the ledger on disk and the
     // store re-opened in between — modelling a crash and restart.

@@ -1,11 +1,18 @@
 //! Offline vendor shim for the `serde_json` API surface used by this
-//! workspace: [`to_string`] / [`to_string_pretty`] over the minimal serde's
-//! [`serde::Value`] tree, and the reverse direction — [`from_str`] parses
-//! JSON text back into a value tree and reconstructs any
+//! workspace: [`to_string`] / [`to_string_pretty`] / [`to_writer`] over the
+//! minimal serde's [`serde::Value`] tree, and the reverse direction —
+//! [`from_str`] parses JSON text back into a value tree and reconstructs any
 //! [`serde::Deserialize`] type from it. Output matches `serde_json`'s
 //! formatting conventions (2-space indent, `"key": value`, externally-tagged
 //! enums), and finite floats round-trip bit-exactly because Rust's shortest
 //! float formatting is re-parsed to the identical `f64`.
+//!
+//! Hot serialization paths can avoid per-call allocations: [`to_string_into`]
+//! appends to a caller-owned (reusable) `String`, [`to_writer`] streams to any
+//! `std::io::Write` without building an intermediate output string, and the
+//! [`write_f64`] / [`write_escaped`] primitives let callers hand-encode a
+//! fixed shape with the exact same number/string formatting the tree writer
+//! uses.
 
 use serde::{Deserialize, Serialize, Value};
 use std::fmt;
@@ -27,103 +34,149 @@ impl std::error::Error for Error {}
 /// Convenience alias matching `serde_json::Result`.
 pub type Result<T> = std::result::Result<T, Error>;
 
-fn escape_into(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
+fn non_finite_error() -> Error {
+    Error {
+        message: "cannot serialize non-finite float".into(),
     }
-    out.push('"');
 }
 
-fn format_f64(value: f64) -> Result<String> {
+fn sink_error() -> Error {
+    Error {
+        message: "failed to write JSON to the underlying sink".into(),
+    }
+}
+
+/// Appends the JSON string literal for `s` (quotes and escapes included) to
+/// any `fmt::Write` sink. All escaped bytes are ASCII, so clean runs between
+/// escapes are copied in bulk.
+fn escape_fmt<W: fmt::Write>(out: &mut W, s: &str) -> fmt::Result {
+    out.write_char('"')?;
+    let mut start = 0;
+    for (i, &b) in s.as_bytes().iter().enumerate() {
+        let escape = match b {
+            b'"' => "\\\"",
+            b'\\' => "\\\\",
+            b'\n' => "\\n",
+            b'\r' => "\\r",
+            b'\t' => "\\t",
+            b if b < 0x20 => "",
+            _ => continue,
+        };
+        out.write_str(&s[start..i])?;
+        if escape.is_empty() {
+            write!(out, "\\u{:04x}", b)?;
+        } else {
+            out.write_str(escape)?;
+        }
+        start = i + 1;
+    }
+    out.write_str(&s[start..])?;
+    out.write_char('"')
+}
+
+/// Writes `value` with the shim's float formatting: integral values render
+/// with a forced `.0` (matching upstream `serde_json`), everything else uses
+/// Rust's shortest round-trippable formatting.
+fn f64_fmt<W: fmt::Write>(out: &mut W, value: f64) -> Result<()> {
     if !value.is_finite() {
-        return Err(Error {
-            message: "cannot serialize non-finite float".into(),
-        });
+        return Err(non_finite_error());
     }
     if value == value.trunc() && value.abs() < 1e15 {
-        Ok(format!("{value:.1}"))
+        write!(out, "{value:.1}").map_err(|_| sink_error())
     } else {
-        Ok(format!("{value}"))
+        write!(out, "{value}").map_err(|_| sink_error())
     }
 }
 
-fn write_value(out: &mut String, value: &Value, indent: Option<usize>) -> Result<()> {
+fn write_value_fmt<W: fmt::Write>(out: &mut W, value: &Value, indent: Option<usize>) -> Result<()> {
+    let sink = |_: fmt::Error| sink_error();
     match value {
-        Value::Null => out.push_str("null"),
-        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-        Value::U64(v) => out.push_str(&v.to_string()),
-        Value::I64(v) => out.push_str(&v.to_string()),
-        Value::F64(v) => out.push_str(&format_f64(*v)?),
-        Value::Str(s) => escape_into(out, s),
+        Value::Null => out.write_str("null").map_err(sink)?,
+        Value::Bool(b) => out
+            .write_str(if *b { "true" } else { "false" })
+            .map_err(sink)?,
+        Value::U64(v) => write!(out, "{v}").map_err(sink)?,
+        Value::I64(v) => write!(out, "{v}").map_err(sink)?,
+        Value::F64(v) => f64_fmt(out, *v)?,
+        Value::Str(s) => escape_fmt(out, s).map_err(sink)?,
         Value::Seq(items) => {
             if items.is_empty() {
-                out.push_str("[]");
+                out.write_str("[]").map_err(sink)?;
                 return Ok(());
             }
-            out.push('[');
+            out.write_char('[').map_err(sink)?;
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_char(',').map_err(sink)?;
                 }
                 match indent {
                     Some(level) => {
-                        out.push('\n');
-                        out.push_str(&"  ".repeat(level + 1));
-                        write_value(out, item, Some(level + 1))?;
+                        indent_line(out, level + 1).map_err(sink)?;
+                        write_value_fmt(out, item, Some(level + 1))?;
                     }
-                    None => write_value(out, item, None)?,
+                    None => write_value_fmt(out, item, None)?,
                 }
             }
             if let Some(level) = indent {
-                out.push('\n');
-                out.push_str(&"  ".repeat(level));
+                indent_line(out, level).map_err(sink)?;
             }
-            out.push(']');
+            out.write_char(']').map_err(sink)?;
         }
         Value::Map(entries) => {
             if entries.is_empty() {
-                out.push_str("{}");
+                out.write_str("{}").map_err(sink)?;
                 return Ok(());
             }
-            out.push('{');
+            out.write_char('{').map_err(sink)?;
             for (i, (key, item)) in entries.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_char(',').map_err(sink)?;
                 }
                 match indent {
                     Some(level) => {
-                        out.push('\n');
-                        out.push_str(&"  ".repeat(level + 1));
-                        escape_into(out, key);
-                        out.push_str(": ");
-                        write_value(out, item, Some(level + 1))?;
+                        indent_line(out, level + 1).map_err(sink)?;
+                        escape_fmt(out, key).map_err(sink)?;
+                        out.write_str(": ").map_err(sink)?;
+                        write_value_fmt(out, item, Some(level + 1))?;
                     }
                     None => {
-                        escape_into(out, key);
-                        out.push(':');
-                        write_value(out, item, None)?;
+                        escape_fmt(out, key).map_err(sink)?;
+                        out.write_char(':').map_err(sink)?;
+                        write_value_fmt(out, item, None)?;
                     }
                 }
             }
             if let Some(level) = indent {
-                out.push('\n');
-                out.push_str(&"  ".repeat(level));
+                indent_line(out, level).map_err(sink)?;
             }
-            out.push('}');
+            out.write_char('}').map_err(sink)?;
         }
     }
     Ok(())
+}
+
+fn indent_line<W: fmt::Write>(out: &mut W, level: usize) -> fmt::Result {
+    out.write_char('\n')?;
+    for _ in 0..level {
+        out.write_str("  ")?;
+    }
+    Ok(())
+}
+
+/// Adapts an `io::Write` into a `fmt::Write`, stashing the first I/O error so
+/// [`to_writer`] can report it instead of the opaque `fmt::Error`.
+struct IoSink<W: std::io::Write> {
+    writer: W,
+    error: Option<std::io::Error>,
+}
+
+impl<W: std::io::Write> fmt::Write for IoSink<W> {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        self.writer.write_all(s.as_bytes()).map_err(|e| {
+            self.error.get_or_insert(e);
+            fmt::Error
+        })
+    }
 }
 
 /// Serializes `value` as compact JSON.
@@ -133,8 +186,39 @@ fn write_value(out: &mut String, value: &Value, indent: Option<usize>) -> Result
 /// Fails on non-finite floats.
 pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
     let mut out = String::new();
-    write_value(&mut out, &value.to_value(), None)?;
+    to_string_into(&mut out, value)?;
     Ok(out)
+}
+
+/// Appends `value` as compact JSON to `out`, allocating nothing beyond what
+/// `out` itself needs to grow — the reusable-buffer twin of [`to_string`].
+/// The buffer is appended to, not cleared; callers reusing it across records
+/// clear it themselves.
+///
+/// # Errors
+///
+/// Fails on non-finite floats.
+pub fn to_string_into<T: Serialize>(out: &mut String, value: &T) -> Result<()> {
+    write_value_fmt(out, &value.to_value(), None)
+}
+
+/// Serializes `value` as compact JSON directly into `writer` without building
+/// an intermediate output string (upstream's `serde_json::to_writer`).
+///
+/// # Errors
+///
+/// Fails on non-finite floats and on I/O errors from `writer`.
+pub fn to_writer<W: std::io::Write, T: Serialize>(writer: W, value: &T) -> Result<()> {
+    let mut sink = IoSink {
+        writer,
+        error: None,
+    };
+    write_value_fmt(&mut sink, &value.to_value(), None).map_err(|e| match sink.error.take() {
+        Some(io) => Error {
+            message: format!("io error: {io}"),
+        },
+        None => e,
+    })
 }
 
 /// Serializes `value` as pretty-printed JSON with a 2-space indent.
@@ -144,8 +228,27 @@ pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
 /// Fails on non-finite floats.
 pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
     let mut out = String::new();
-    write_value(&mut out, &value.to_value(), Some(0))?;
+    write_value_fmt(&mut out, &value.to_value(), Some(0))?;
     Ok(out)
+}
+
+/// Appends the JSON encoding of `value` to `out` using the exact float
+/// formatting [`to_string`] uses, so hand-rolled encoders stay byte-identical
+/// to the tree writer.
+///
+/// # Errors
+///
+/// Fails on non-finite floats.
+pub fn write_f64(out: &mut String, value: f64) -> Result<()> {
+    f64_fmt(out, value)
+}
+
+/// Appends the JSON string literal for `s` (quotes and escapes included) to
+/// `out` — the primitive behind [`to_string`]'s string rendering, exposed for
+/// hand-rolled fixed-shape encoders.
+pub fn write_escaped(out: &mut String, s: &str) {
+    // Writing into a String is infallible.
+    let _ = escape_fmt(out, s);
 }
 
 /// Serializes `value` into a [`Value`] tree (upstream's `serde_json::to_value`
@@ -477,6 +580,60 @@ mod tests {
     #[test]
     fn strings_are_escaped() {
         assert_eq!(to_string(&"a\"b\n".to_string()).unwrap(), "\"a\\\"b\\n\"");
+        assert_eq!(
+            to_string(&"ctrl\u{0001}é".to_string()).unwrap(),
+            "\"ctrl\\u0001é\""
+        );
+    }
+
+    #[test]
+    fn to_writer_and_to_string_into_match_to_string() {
+        let value = Report.to_value();
+        let expected = to_string(&value).unwrap();
+        // Streaming into an io::Write produces the same bytes.
+        let mut bytes = Vec::new();
+        to_writer(&mut bytes, &value).unwrap();
+        assert_eq!(String::from_utf8(bytes).unwrap(), expected);
+        // Appending into a reused String produces the same bytes, twice over.
+        let mut buf = String::from("prefix:");
+        to_string_into(&mut buf, &value).unwrap();
+        assert_eq!(buf, format!("prefix:{expected}"));
+        buf.clear();
+        to_string_into(&mut buf, &value).unwrap();
+        assert_eq!(buf, expected);
+        // Non-finite floats fail every entry point the same way.
+        assert!(to_writer(&mut Vec::new(), &f64::NAN).is_err());
+        assert!(to_string_into(&mut String::new(), &f64::NAN).is_err());
+    }
+
+    #[test]
+    fn to_writer_surfaces_io_errors() {
+        struct Broken;
+        impl std::io::Write for Broken {
+            fn write(&mut self, _: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let err = to_writer(Broken, &Report.to_value()).unwrap_err();
+        assert!(err.to_string().contains("disk full"), "{err}");
+    }
+
+    #[test]
+    fn primitive_writers_match_the_tree_writer() {
+        for v in [1.0, 0.5, -0.0, 1e-300, 5e15, f64::MAX] {
+            let mut buf = String::new();
+            write_f64(&mut buf, v).unwrap();
+            assert_eq!(buf, to_string(&v).unwrap(), "{v}");
+        }
+        assert!(write_f64(&mut String::new(), f64::INFINITY).is_err());
+        for s in ["plain", "a\"b\\c\n\r\t", "ctrl\u{0002}", "uni — é"] {
+            let mut buf = String::new();
+            write_escaped(&mut buf, s);
+            assert_eq!(buf, to_string(&s.to_string()).unwrap(), "{s:?}");
+        }
     }
 
     #[test]
