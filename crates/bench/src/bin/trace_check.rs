@@ -1,0 +1,48 @@
+//! Schema checker for observability exports, used by the CI `trace-smoke`
+//! job: validates Chrome `trace_event` JSON files and `fedtrace` metrics
+//! snapshots emitted by a traced example run.
+//!
+//! Usage: `trace_check <file.json>...`
+//!
+//! Files whose JSON top level carries a `traceEvents` key are validated as
+//! Chrome traces; everything else is validated as a typed
+//! [`fedtrace::MetricsSnapshot`]. Exits non-zero on the first invalid file.
+
+use fedbench::trace;
+
+fn check_file(path: &str) -> Result<String, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("unreadable: {e}"))?;
+    if json.contains("\"traceEvents\"") {
+        let events = trace::validate_chrome_trace(&json)?;
+        Ok(format!("valid Chrome trace ({events} events)"))
+    } else {
+        let snapshot = trace::validate_metrics_snapshot(&json)?;
+        Ok(format!(
+            "valid metrics snapshot ({} counters, {} gauges, {} histograms)",
+            snapshot.counters.len(),
+            snapshot.gauges.len(),
+            snapshot.histograms.len()
+        ))
+    }
+}
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace_check <file.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        match check_file(path) {
+            Ok(summary) => println!("{path}: {summary}"),
+            Err(reason) => {
+                eprintln!("{path}: INVALID — {reason}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

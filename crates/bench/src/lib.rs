@@ -85,6 +85,13 @@ pub struct BenchSummary {
     pub ledger_bytes_per_trial: f64,
     /// The measurements.
     pub entries: Vec<BenchEntry>,
+    /// A full [`fedtrace`] metrics snapshot taken at the end of the run
+    /// (cache hit rates, ledger sync counts, queue-depth histograms, …).
+    /// `None` when the bench did not capture one — including every baseline
+    /// written before this field existed, which still deserializes.
+    /// [`regression::compare`] iterates only `entries`, so the block can
+    /// never cause a false perf regression.
+    pub metrics: Option<fedtrace::MetricsSnapshot>,
 }
 
 impl BenchSummary {
@@ -104,7 +111,14 @@ impl BenchSummary {
             replay_trials_per_sec: 0.0,
             ledger_bytes_per_trial: 0.0,
             entries: Vec::new(),
+            metrics: None,
         }
+    }
+
+    /// Attaches a [`fedtrace`] metrics snapshot to the summary, so every
+    /// `BENCH_<name>.json` carries the run's full registry state.
+    pub fn record_metrics(&mut self, metrics: fedtrace::MetricsSnapshot) {
+        self.metrics = Some(metrics);
     }
 
     /// Records the headline training-round throughput (rounds per second).
@@ -314,6 +328,75 @@ pub mod regression {
     }
 }
 
+/// Schema checks for the observability exports: Chrome `trace_event` JSON
+/// and [`fedtrace::MetricsSnapshot`] files. Used by the CI `trace-smoke` job
+/// through the `trace_check` binary to validate what a traced example run
+/// actually emitted.
+pub mod trace {
+    /// Validates a Chrome `trace_event` export: a JSON object whose
+    /// `traceEvents` is an array of objects, each carrying a string `ph` and
+    /// integer `pid`/`tid`, with every complete (`ph:"X"`) slice also
+    /// carrying a string `name` and numeric `ts`/`dur`. Returns the event
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first schema violation.
+    pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
+        let value = serde_json::parse_str(json).map_err(|e| format!("not valid JSON: {e}"))?;
+        let serde::Value::Map(fields) = &value else {
+            return Err("top level is not an object".into());
+        };
+        let events = fields
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .map(|(_, v)| v)
+            .ok_or("missing \"traceEvents\"")?;
+        let serde::Value::Seq(events) = events else {
+            return Err("\"traceEvents\" is not an array".into());
+        };
+        for (i, event) in events.iter().enumerate() {
+            let serde::Value::Map(event) = event else {
+                return Err(format!("event {i} is not an object"));
+            };
+            let field = |name: &str| event.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+            let Some(serde::Value::Str(ph)) = field("ph") else {
+                return Err(format!("event {i} has no string \"ph\""));
+            };
+            for id in ["pid", "tid"] {
+                match field(id) {
+                    Some(serde::Value::U64(_)) | Some(serde::Value::I64(_)) => {}
+                    _ => return Err(format!("event {i} has no integer \"{id}\"")),
+                }
+            }
+            if ph == "X" {
+                if !matches!(field("name"), Some(serde::Value::Str(_))) {
+                    return Err(format!("slice {i} has no string \"name\""));
+                }
+                for t in ["ts", "dur"] {
+                    match field(t) {
+                        Some(serde::Value::F64(_))
+                        | Some(serde::Value::U64(_))
+                        | Some(serde::Value::I64(_)) => {}
+                        _ => return Err(format!("slice {i} has no numeric \"{t}\"")),
+                    }
+                }
+            }
+        }
+        Ok(events.len())
+    }
+
+    /// Validates a metrics-snapshot export by round-tripping it through the
+    /// typed [`fedtrace::MetricsSnapshot`], returning the parsed snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the parse failure.
+    pub fn validate_metrics_snapshot(json: &str) -> Result<fedtrace::MetricsSnapshot, String> {
+        serde_json::from_str(json).map_err(|e| format!("not a metrics snapshot: {e}"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -428,6 +511,75 @@ mod tests {
         // new measurements, not failures.
         assert_eq!(report.entries.len(), 2);
         assert!(report.missing.is_empty());
+    }
+
+    #[test]
+    fn metrics_block_is_optional_and_ignored_by_compare() {
+        // A candidate measured with tracing on carries the metrics block…
+        let mut candidate = summary_with("k", &[("gemm", 1000.0)]);
+        let trace = fedtrace::Trace::new();
+        trace.registry().counter("kernel.flops").add(123);
+        candidate.record_metrics(trace.snapshot());
+        let json = serde_json::to_string_pretty(&candidate).unwrap();
+        assert!(json.contains("kernel.flops"));
+        let back: BenchSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(
+            back.metrics.as_ref().unwrap().counter("kernel.flops"),
+            Some(123)
+        );
+        // …while a baseline written before the field existed still parses…
+        let legacy = serde_json::to_string(&summary_with("k", &[("gemm", 1000.0)]))
+            .unwrap()
+            .replace(",\"metrics\":null", "");
+        assert!(!legacy.contains("metrics"));
+        let baseline: BenchSummary = serde_json::from_str(&legacy).unwrap();
+        assert!(baseline.metrics.is_none());
+        // …and the comparison gates only on entries, in both directions.
+        assert!(regression::compare(&baseline, &candidate, 0.3).passed());
+        assert!(regression::compare(&candidate, &baseline, 0.3).passed());
+    }
+
+    #[test]
+    fn chrome_trace_schema_check_accepts_real_exports_and_rejects_junk() {
+        let spans = vec![fedtrace::TrialSpan {
+            trial: 0,
+            resource: 1,
+            rep: 0,
+            worker: 0,
+            start: 0.0,
+            end: 1.5,
+        }];
+        let json = fedtrace::virtual_timeline_json(&[fedtrace::TimelineTrack::new("t", spans)]);
+        assert_eq!(trace::validate_chrome_trace(&json).unwrap(), 3);
+        let profile = fedtrace::WallProfile::new();
+        profile.time("phase", || ());
+        assert_eq!(
+            trace::validate_chrome_trace(&profile.to_chrome_json()).unwrap(),
+            2
+        );
+        assert!(trace::validate_chrome_trace("not json").is_err());
+        assert!(trace::validate_chrome_trace("[]").is_err());
+        assert!(trace::validate_chrome_trace("{\"traceEvents\":1}").is_err());
+        assert!(trace::validate_chrome_trace("{\"traceEvents\":[{\"ph\":\"X\"}]}").is_err());
+        assert!(
+            trace::validate_chrome_trace(
+                "{\"traceEvents\":[{\"ph\":\"X\",\"pid\":0,\"tid\":0,\"name\":\"n\",\"ts\":0}]}"
+            )
+            .is_err(),
+            "a slice without dur must fail"
+        );
+    }
+
+    #[test]
+    fn metrics_snapshot_schema_check_round_trips() {
+        let trace = fedtrace::Trace::new();
+        trace.registry().counter("a").add(7);
+        trace.registry().histogram("h").observe(3);
+        let json = serde_json::to_string_pretty(&trace.snapshot()).unwrap();
+        let snap = trace::validate_metrics_snapshot(&json).unwrap();
+        assert_eq!(snap.counter("a"), Some(7));
+        assert_eq!(snap.histogram("h").unwrap().count, 1);
+        assert!(trace::validate_metrics_snapshot("{\"nope\":1}").is_err());
     }
 
     #[test]

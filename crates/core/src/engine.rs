@@ -25,8 +25,7 @@ use crate::Result;
 use fedmath::SeedTree;
 use fedsim::exec::{self, ExecutionPolicy};
 use rand::rngs::StdRng;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// The reproducible identity of one trial inside a fan-out.
 #[derive(Debug, Clone)]
@@ -58,13 +57,37 @@ impl TrialContext {
     }
 }
 
+/// Process-wide totals mirrored by every [`ProgressTracker`], registered on
+/// the global `fedtrace` registry as `engine.trials_planned` /
+/// `engine.trials_completed`.
+struct EngineCounters {
+    planned: fedtrace::Counter,
+    completed: fedtrace::Counter,
+}
+
+fn engine_counters() -> &'static EngineCounters {
+    static COUNTERS: OnceLock<EngineCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let registry = fedtrace::global().registry();
+        EngineCounters {
+            planned: registry.counter("engine.trials_planned"),
+            completed: registry.counter("engine.trials_completed"),
+        }
+    })
+}
+
 /// Cross-experiment progress accounting: how many trials are planned and how
-/// many have completed. Shared between runners via `Arc`; updates are atomic
-/// so parallel fan-outs can report without coordination.
+/// many have completed. Shared between runners via `Arc`; updates are
+/// lock-free so parallel fan-outs can report without coordination.
+///
+/// Since the observability PR this is a thin shim over [`fedtrace::Counter`]
+/// handles: each tracker keeps its own standalone counters (the public API
+/// is unchanged) and mirrors every update into the global registry's
+/// `engine.trials_planned` / `engine.trials_completed` totals.
 #[derive(Debug, Default)]
 pub struct ProgressTracker {
-    planned: AtomicUsize,
-    completed: AtomicUsize,
+    planned: fedtrace::Counter,
+    completed: fedtrace::Counter,
 }
 
 impl ProgressTracker {
@@ -75,22 +98,24 @@ impl ProgressTracker {
 
     /// Registers `count` upcoming trials.
     pub fn add_planned(&self, count: usize) {
-        self.planned.fetch_add(count, Ordering::Relaxed);
+        self.planned.add(count as u64);
+        engine_counters().planned.add(count as u64);
     }
 
     /// Records one completed trial.
     pub fn record_completed(&self) {
-        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.completed.incr();
+        engine_counters().completed.incr();
     }
 
     /// Number of trials registered so far.
     pub fn planned(&self) -> usize {
-        self.planned.load(Ordering::Relaxed)
+        self.planned.value() as usize
     }
 
     /// Number of trials completed so far.
     pub fn completed(&self) -> usize {
-        self.completed.load(Ordering::Relaxed)
+        self.completed.value() as usize
     }
 
     /// Completed fraction in `[0, 1]` (1 when nothing is planned).

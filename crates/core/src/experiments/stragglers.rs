@@ -58,6 +58,10 @@ pub struct StragglerRun {
     pub evaluations: usize,
     /// Whether the schedule ran to completion.
     pub finished: bool,
+    /// The virtual-time execution timeline (one span per dispatched
+    /// evaluation, in dispatch order) — exportable as a Chrome trace via
+    /// [`fedtrace::virtual_timeline_json`].
+    pub timeline: Vec<fedtrace::TrialSpan>,
 }
 
 impl StragglerRun {
@@ -202,6 +206,7 @@ pub fn run_straggler_comparison(
             sim_elapsed: event.sim_elapsed,
             evaluations: event.outcome.num_evaluations(),
             finished: event.finished,
+            timeline: event.timeline,
         })
     })?;
     let horizon = runs.iter().map(|r| r.sim_elapsed).fold(0.0, f64::max);

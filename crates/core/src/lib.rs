@@ -67,8 +67,8 @@ pub use pool::{ConfigPool, PooledConfig};
 pub use report::{ExperimentReport, SeriesGroup, SeriesPoint};
 pub use scale::ExperimentScale;
 pub use scheduler::{
-    run_event_driven, run_scheduled, run_scheduled_for, BatchObjective, EventDrivenOutcome,
-    VirtualExecution,
+    run_event_driven, run_event_driven_traced, run_scheduled, run_scheduled_for, BatchObjective,
+    EventDrivenOutcome, VirtualExecution,
 };
 
 use std::fmt;

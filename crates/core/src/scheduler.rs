@@ -34,6 +34,7 @@ use crate::objective::BatchFederatedObjective;
 use crate::Result;
 use fedhpo::{BudgetLedger, Scheduler, SearchSpace, TrialRequest, TrialResult, TuningOutcome};
 use fedsim::clock::{CostModel, EventKey, EventQueue, VirtualClock, WorkerPool};
+use fedtrace::{ClockDomain, EventKind, TrialSpan};
 use rand::rngs::StdRng;
 use std::collections::{HashMap, VecDeque};
 
@@ -229,6 +230,42 @@ pub struct EventDrivenOutcome {
     /// Whether the schedule ran to completion (`false` when a simulated
     /// wall-clock budget cut it off).
     pub finished: bool,
+    /// The virtual-time execution timeline: one [`TrialSpan`] per dispatched
+    /// evaluation, in dispatch order, carrying its virtual worker and
+    /// simulated start/end. Collected unconditionally — it is part of the
+    /// result, not tracing output, so its bits are covered by the driver's
+    /// determinism contract (and the replay identity asserted in
+    /// `tests/determinism.rs`). Export it with
+    /// [`fedtrace::virtual_timeline_json`].
+    pub timeline: Vec<TrialSpan>,
+}
+
+/// Per-campaign driver metrics on a [`fedtrace::Trace`] registry, all
+/// prefixed with the scheduler's name. Pure accounting: the driver writes
+/// them and never reads them back.
+struct DriverMetrics {
+    suggests: fedtrace::Counter,
+    reports: fedtrace::Counter,
+    dispatched: fedtrace::Counter,
+    promotions: fedtrace::Counter,
+    queue_depth: fedtrace::Histogram,
+    busy_workers: fedtrace::Histogram,
+    rung_resource: fedtrace::Histogram,
+}
+
+impl DriverMetrics {
+    fn register(trace: &fedtrace::Trace, scheduler: &str) -> Self {
+        let registry = trace.registry();
+        DriverMetrics {
+            suggests: registry.counter(&format!("{scheduler}.suggests")),
+            reports: registry.counter(&format!("{scheduler}.reports")),
+            dispatched: registry.counter(&format!("{scheduler}.dispatched")),
+            promotions: registry.counter(&format!("{scheduler}.promotions")),
+            queue_depth: registry.histogram(&format!("{scheduler}.queue_depth")),
+            busy_workers: registry.histogram(&format!("{scheduler}.busy_workers")),
+            rung_resource: registry.histogram(&format!("{scheduler}.rung_resource")),
+        }
+    }
 }
 
 /// Drives `scheduler` through a **deterministic discrete-event simulation**:
@@ -272,6 +309,43 @@ pub fn run_event_driven(
     rng: &mut StdRng,
     sim: &VirtualExecution,
 ) -> Result<EventDrivenOutcome> {
+    // `FEDTUNE_TRACE=1` turns on the process-global trace for every caller
+    // without a signature change; the determinism suite asserts that this
+    // cannot move a result bit.
+    run_event_driven_traced(
+        scheduler,
+        space,
+        objective,
+        rng,
+        sim,
+        fedtrace::global_if_enabled(),
+    )
+}
+
+/// [`run_event_driven`] with an explicit observability scope.
+///
+/// When `trace` is `Some`, the driver registers counters and histograms
+/// under the scheduler's name (`<name>.suggests`, `<name>.reports`,
+/// `<name>.dispatched`, `<name>.promotions`, `<name>.queue_depth`,
+/// `<name>.busy_workers`, `<name>.rung_resource`) and journals campaign
+/// boundaries plus one sim-domain instant per delivered completion.
+///
+/// **Accounting, never semantics**: metrics are write-only from the
+/// driver's point of view, so `None` and `Some` produce bit-identical
+/// [`EventDrivenOutcome`]s — including the [`EventDrivenOutcome::timeline`],
+/// which is collected unconditionally as part of the result.
+///
+/// # Errors
+///
+/// Exactly [`run_event_driven`]'s conditions.
+pub fn run_event_driven_traced(
+    scheduler: &mut dyn Scheduler,
+    space: &SearchSpace,
+    objective: &mut dyn BatchObjective,
+    rng: &mut StdRng,
+    sim: &VirtualExecution,
+    trace: Option<&fedtrace::Trace>,
+) -> Result<EventDrivenOutcome> {
     sim.validate()?;
     let async_mode = scheduler.async_capable();
     let mut clock = VirtualClock::new();
@@ -284,6 +358,12 @@ pub fn run_event_driven(
     let mut outstanding = 0usize;
     let mut ledger = BudgetLedger::new();
     let mut outcome = TuningOutcome::default();
+    let mut timeline: Vec<TrialSpan> = Vec::new();
+    let metrics = trace.map(|t| DriverMetrics::register(t, scheduler.name()));
+    if let Some(t) = trace {
+        t.journal()
+            .record_boundary(ClockDomain::Sim, EventKind::Begin, "campaign", 0.0);
+    }
 
     loop {
         let within_budget = sim.sim_budget.is_none_or(|b| clock.now() < b);
@@ -302,6 +382,10 @@ pub fn run_event_driven(
                         scheduler.name()
                     ),
                 });
+            }
+            if let Some(m) = &metrics {
+                m.suggests.incr();
+                m.queue_depth.observe(batch.len() as u64);
             }
             for request in batch.into_iter().rev() {
                 queue.push_front(request);
@@ -333,7 +417,29 @@ pub fn run_event_driven(
             let seconds = sim.cost.evaluation_seconds(fingerprint, already, reached);
             trained.insert(request.trial_id, reached);
             let completion = pool.assign(worker, start, seconds)?;
+            timeline.push(TrialSpan {
+                trial: request.trial_id as u64,
+                resource: request.resource as u64,
+                rep: request.noise_rep,
+                worker: worker as u64,
+                start,
+                end: completion,
+            });
+            if let Some(m) = &metrics {
+                m.dispatched.incr();
+                m.rung_resource.observe(request.resource as u64);
+                if already > 0 {
+                    // Re-dispatching a trained trial is a promotion (ASHA) or
+                    // a resume/re-evaluation (fresh-noise reps).
+                    m.promotions.incr();
+                }
+            }
             dispatched.push((request, completion));
+        }
+        if let Some(m) = &metrics {
+            if !dispatched.is_empty() {
+                m.busy_workers.observe(pool.busy_at(clock.now()) as u64);
+            }
         }
         if !dispatched.is_empty() {
             let requests: Vec<TrialRequest> = dispatched.iter().map(|(r, _)| r.clone()).collect();
@@ -366,20 +472,37 @@ pub fn run_event_driven(
         // 3. Deliver the earliest completion: advance the virtual clock,
         //    record the result at its completion instant, and report it.
         match events.pop() {
-            Some((time, _key, result)) => {
+            Some((time, key, result)) => {
                 clock.advance_to(time)?;
                 outcome.push(ledger.record_at(&result, time));
                 scheduler.report(&result)?;
                 outstanding -= 1;
+                if let Some(m) = &metrics {
+                    m.reports.incr();
+                }
+                if let Some(t) = trace {
+                    t.journal().record_instant(
+                        ClockDomain::Sim,
+                        "trial.complete",
+                        time,
+                        key.trial,
+                        key.resource,
+                    );
+                }
             }
             None => break,
         }
     }
 
+    if let Some(t) = trace {
+        t.journal()
+            .record_boundary(ClockDomain::Sim, EventKind::End, "campaign", clock.now());
+    }
     Ok(EventDrivenOutcome {
         sim_elapsed: clock.now(),
         finished: scheduler.is_finished(),
         outcome,
+        timeline,
     })
 }
 

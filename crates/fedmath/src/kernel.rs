@@ -53,6 +53,31 @@
 //! round warms the pool, subsequent rounds reuse its buffers. Pooling is
 //! accounting, never semantics — buffers are zeroed on [`BufferPool::take`].
 
+use std::sync::OnceLock;
+
+/// FLOP and pool accounting on the global [`fedtrace`] registry. Counters
+/// are write-only from the kernels' point of view — nothing here ever reads
+/// them back, so instrumentation cannot move a result bit (the
+/// accounting-never-semantics contract). Handles are registered once and
+/// cached for the process; each update is one relaxed atomic add.
+struct KernelMetrics {
+    flops: fedtrace::Counter,
+    pool_reuses: fedtrace::Counter,
+    pool_fresh: fedtrace::Counter,
+}
+
+fn metrics() -> &'static KernelMetrics {
+    static METRICS: OnceLock<KernelMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = fedtrace::global().registry();
+        KernelMetrics {
+            flops: registry.counter("kernel.flops"),
+            pool_reuses: registry.counter("kernel.pool_reuses"),
+            pool_fresh: registry.counter("kernel.pool_fresh_allocations"),
+        }
+    })
+}
+
 /// Columns of `b`/`c` processed per cache tile in [`gemm`] and [`gemm_tn`].
 ///
 /// 128 columns × 8 bytes = 1 KiB per row tile: small enough that a `b` row
@@ -150,6 +175,7 @@ pub fn gemm(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]) {
     assert_eq!(a.len(), m * k, "gemm: A shape mismatch");
     assert_eq!(b.len(), k * n, "gemm: B shape mismatch");
     assert_eq!(c.len(), m * n, "gemm: C shape mismatch");
+    metrics().flops.add(2 * (m * k * n) as u64);
     for jb in (0..n).step_by(BLOCK_J) {
         let je = (jb + BLOCK_J).min(n);
         for i in 0..m {
@@ -202,6 +228,7 @@ pub fn gemm_nt(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]
     assert_eq!(a.len(), m * k, "gemm_nt: A shape mismatch");
     assert_eq!(b.len(), n * k, "gemm_nt: B shape mismatch");
     assert_eq!(c.len(), m * n, "gemm_nt: C shape mismatch");
+    metrics().flops.add(2 * (m * k * n) as u64);
     let split = k - k % 4;
     for i in 0..m {
         let a_row = &a[i * k..(i + 1) * k];
@@ -265,6 +292,7 @@ pub fn gemm_tn(m: usize, k: usize, n: usize, a: &[f64], b: &[f64], c: &mut [f64]
     assert_eq!(a.len(), k * m, "gemm_tn: A shape mismatch");
     assert_eq!(b.len(), k * n, "gemm_tn: B shape mismatch");
     assert_eq!(c.len(), m * n, "gemm_tn: C shape mismatch");
+    metrics().flops.add(2 * (m * k * n) as u64);
     for jb in (0..n).step_by(BLOCK_J) {
         let je = (jb + BLOCK_J).min(n);
         for i in 0..m {
@@ -467,9 +495,13 @@ impl BufferPool {
             }
         }
         let mut buf = match best {
-            Some(i) => self.free.swap_remove(i),
+            Some(i) => {
+                metrics().pool_reuses.incr();
+                self.free.swap_remove(i)
+            }
             None => {
                 self.fresh_allocations += 1;
+                metrics().pool_fresh.incr();
                 Vec::with_capacity(len)
             }
         };

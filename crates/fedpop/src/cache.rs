@@ -43,6 +43,33 @@ impl CacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Publishes this snapshot as gauges on a [`fedtrace`] registry, one per
+    /// field plus the hit rate, named `<prefix>.hits`, `<prefix>.misses`,
+    /// `<prefix>.evictions`, `<prefix>.resident`, `<prefix>.peak_resident`,
+    /// and `<prefix>.hit_rate`. Folding the cache's existing accounting into
+    /// the shared registry this way keeps one export path for every
+    /// subsystem's statistics.
+    pub fn publish(&self, registry: &fedtrace::Registry, prefix: &str) {
+        registry
+            .gauge(&format!("{prefix}.hits"))
+            .set(self.hits as f64);
+        registry
+            .gauge(&format!("{prefix}.misses"))
+            .set(self.misses as f64);
+        registry
+            .gauge(&format!("{prefix}.evictions"))
+            .set(self.evictions as f64);
+        registry
+            .gauge(&format!("{prefix}.resident"))
+            .set(self.resident as f64);
+        registry
+            .gauge(&format!("{prefix}.peak_resident"))
+            .set(self.peak_resident as f64);
+        registry
+            .gauge(&format!("{prefix}.hit_rate"))
+            .set(self.hit_rate());
+    }
 }
 
 struct CacheInner {
@@ -294,6 +321,26 @@ mod tests {
             .get_or_materialize(0, || population.materialize(0))
             .unwrap();
         assert_eq!(cache.stats().misses, 5);
+    }
+
+    #[test]
+    fn stats_publish_as_gauges() {
+        let stats = CacheStats {
+            hits: 3,
+            misses: 1,
+            evictions: 2,
+            resident: 5,
+            peak_resident: 7,
+        };
+        let trace = fedtrace::Trace::new();
+        stats.publish(trace.registry(), "pop.cache");
+        let snap = trace.snapshot();
+        assert_eq!(snap.gauge("pop.cache.hits").unwrap().value, 3.0);
+        assert_eq!(snap.gauge("pop.cache.misses").unwrap().value, 1.0);
+        assert_eq!(snap.gauge("pop.cache.evictions").unwrap().value, 2.0);
+        assert_eq!(snap.gauge("pop.cache.resident").unwrap().value, 5.0);
+        assert_eq!(snap.gauge("pop.cache.peak_resident").unwrap().value, 7.0);
+        assert_eq!(snap.gauge("pop.cache.hit_rate").unwrap().value, 0.75);
     }
 
     #[test]

@@ -229,6 +229,13 @@ impl WorkerPool {
         self.next_free().1 <= now
     }
 
+    /// Number of workers still busy at simulated time `now` (their booked
+    /// completion lies strictly after `now`). Pure accounting for occupancy
+    /// metrics — no driver branches on it.
+    pub fn busy_at(&self, now: f64) -> usize {
+        self.free_at.iter().filter(|&&free| free > now).count()
+    }
+
     /// Books `worker` from `start` for `duration` simulated seconds and
     /// returns the completion time.
     ///
@@ -489,6 +496,9 @@ mod tests {
         assert_eq!(pool.next_free(), (1, 0.0));
         assert_eq!(pool.assign(1, 0.0, 2.0).unwrap(), 2.0);
         assert!(!pool.has_idle(1.0));
+        assert_eq!(pool.busy_at(1.0), 2);
+        assert_eq!(pool.busy_at(2.0), 1);
+        assert_eq!(pool.busy_at(5.0), 0);
         // Worker 1 frees first; ties resolve to the lowest index.
         assert_eq!(pool.next_free(), (1, 2.0));
         assert_eq!(pool.assign(1, 3.0, 2.0).unwrap(), 5.0);

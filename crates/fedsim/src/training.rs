@@ -39,6 +39,25 @@ const SAMPLE_CHANNEL: u64 = 0;
 /// Seed-tree channel under which per-client-slot RNGs are derived.
 const CLIENT_CHANNEL: u64 = 1;
 
+/// Training-loop accounting on the global [`fedtrace`] registry: federated
+/// rounds executed and clients trained. Write-only counters — the loop never
+/// reads them back, so tracing cannot move a model bit.
+struct TrainingMetrics {
+    rounds: fedtrace::Counter,
+    clients: fedtrace::Counter,
+}
+
+fn training_metrics() -> &'static TrainingMetrics {
+    static METRICS: std::sync::OnceLock<TrainingMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = fedtrace::global().registry();
+        TrainingMetrics {
+            rounds: registry.counter("sim.training_rounds"),
+            clients: registry.counter("sim.clients_trained"),
+        }
+    })
+}
+
 /// Configuration of the federated training loop.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct TrainerConfig {
@@ -427,6 +446,9 @@ impl TrainingRun {
         self.base_params = base_params;
         self.aggregate = aggregate;
         self.rounds_completed += 1;
+        let metrics = training_metrics();
+        metrics.rounds.incr();
+        metrics.clients.add(indices.len() as u64);
         Ok(())
     }
 

@@ -119,6 +119,7 @@ pub(crate) fn swap_in_snapshot<'a>(
 
     // Swap — replayable from the marker alone.
     complete_swap(dir, staged)?;
+    crate::metrics::metrics().compaction_swaps.incr();
 
     let (bytes_after, segments_after) = ledger_footprint(dir)?;
     Ok(CompactionReport {

@@ -65,6 +65,7 @@
 pub mod compaction;
 pub mod framing;
 pub mod key;
+mod metrics;
 pub mod record;
 pub mod recorder;
 pub mod replay;

@@ -558,6 +558,7 @@ impl SegmentWriter {
         self.write_frame_buf()?;
         self.records += 1;
         self.unsynced += 1;
+        crate::metrics::metrics().records_appended.incr();
         Ok(())
     }
 
@@ -568,6 +569,7 @@ impl SegmentWriter {
     ///
     /// Returns [`StoreError::Io`] on flush/sync failures.
     pub fn group_commit(&mut self) -> Result<()> {
+        crate::metrics::metrics().group_commits.incr();
         if self.config.durability.wants_sync(self.unsynced) {
             self.flush()?;
         }
@@ -583,9 +585,15 @@ impl SegmentWriter {
     /// Returns [`StoreError::Io`] on flush/sync failures.
     pub fn flush(&mut self) -> Result<()> {
         if let Some(file) = &mut self.file {
+            // Wall-domain latency accounting only — the result of the sync
+            // is never conditioned on the measured time.
+            let started = std::time::Instant::now();
             let io = io_error(&self.dir);
             file.flush().map_err(&io)?;
             file.get_ref().sync_data().map_err(&io)?;
+            let m = crate::metrics::metrics();
+            m.syncs.incr();
+            m.sync_micros.observe(started.elapsed().as_micros() as u64);
         }
         self.unsynced = 0;
         Ok(())
@@ -597,6 +605,9 @@ impl SegmentWriter {
             .map_err(io_error(&self.dir))?;
         self.segment_bytes += self.frame_buf.len() as u64;
         self.bytes_appended += self.frame_buf.len() as u64;
+        crate::metrics::metrics()
+            .bytes_written
+            .add(self.frame_buf.len() as u64);
         Ok(())
     }
 
@@ -805,6 +816,9 @@ pub fn recover_with(
     if corrupted {
         sync_dir(dir)?;
     }
+    let m = crate::metrics::metrics();
+    m.recovery_truncated_bytes.add(report.truncated_bytes);
+    m.recovery_dropped_segments.add(report.dropped_segments);
     Ok(report)
 }
 
@@ -850,6 +864,9 @@ pub fn for_each_record(
             }
         }
     }
+    crate::metrics::metrics()
+        .records_replayed
+        .add(report.records);
     Ok(report)
 }
 

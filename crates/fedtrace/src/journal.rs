@@ -1,0 +1,237 @@
+//! A bounded ring-buffer event journal.
+//!
+//! The journal retains the most recent `capacity` events and counts what it
+//! dropped — memory stays bounded no matter how long a campaign runs. Event
+//! names are `&'static str` so recording never allocates; the only cost on
+//! the hot path is a short mutex-guarded `VecDeque` push.
+
+use crate::span::ClockDomain;
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// What a journal entry marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened.
+    Begin,
+    /// A span closed.
+    End,
+    /// A point event.
+    Instant,
+}
+
+impl EventKind {
+    fn label(self) -> &'static str {
+        match self {
+            EventKind::Begin => "begin",
+            EventKind::End => "end",
+            EventKind::Instant => "instant",
+        }
+    }
+}
+
+/// One journal entry: a named event at `time` in its clock domain, with two
+/// free `u64` arguments (trial id and resource by convention).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanEvent {
+    /// The clock that stamped `time`.
+    pub domain: ClockDomain,
+    /// What the entry marks.
+    pub kind: EventKind,
+    /// Static event name (no allocation on record).
+    pub name: &'static str,
+    /// Timestamp in the domain's seconds.
+    pub time: f64,
+    /// First argument (trial id by convention).
+    pub a: u64,
+    /// Second argument (resource by convention).
+    pub b: u64,
+}
+
+#[derive(Debug, Default)]
+struct JournalState {
+    events: VecDeque<SpanEvent>,
+    dropped: u64,
+}
+
+/// A bounded ring buffer of [`SpanEvent`]s.
+#[derive(Debug)]
+pub struct Journal {
+    capacity: usize,
+    state: Mutex<JournalState>,
+}
+
+impl Journal {
+    /// A journal retaining at most `capacity` events (0 records nothing and
+    /// counts everything as dropped).
+    pub fn new(capacity: usize) -> Self {
+        Journal {
+            capacity,
+            state: Mutex::new(JournalState::default()),
+        }
+    }
+
+    /// The retention bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records one event, evicting the oldest entry when full.
+    pub fn record(&self, event: SpanEvent) {
+        let mut state = self.state.lock().expect("journal lock poisoned");
+        if self.capacity == 0 {
+            state.dropped += 1;
+            return;
+        }
+        if state.events.len() >= self.capacity {
+            state.events.pop_front();
+            state.dropped += 1;
+        }
+        state.events.push_back(event);
+    }
+
+    /// Records an [`EventKind::Instant`] event.
+    pub fn record_instant(
+        &self,
+        domain: ClockDomain,
+        name: &'static str,
+        time: f64,
+        a: u64,
+        b: u64,
+    ) {
+        self.record(SpanEvent {
+            domain,
+            kind: EventKind::Instant,
+            name,
+            time,
+            a,
+            b,
+        });
+    }
+
+    /// Records an [`EventKind::Begin`] / [`EventKind::End`] pair boundary.
+    pub fn record_boundary(
+        &self,
+        domain: ClockDomain,
+        kind: EventKind,
+        name: &'static str,
+        time: f64,
+    ) {
+        self.record(SpanEvent {
+            domain,
+            kind,
+            name,
+            time,
+            a: 0,
+            b: 0,
+        });
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("journal lock poisoned")
+            .events
+            .len()
+    }
+
+    /// Whether the journal holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of events dropped to respect the bound.
+    pub fn dropped(&self) -> u64 {
+        self.state.lock().expect("journal lock poisoned").dropped
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.state
+            .lock()
+            .expect("journal lock poisoned")
+            .events
+            .iter()
+            .copied()
+            .collect()
+    }
+
+    /// Deterministic JSON export:
+    /// `{"capacity":…,"dropped":…,"events":[{…}]}` with events oldest first.
+    pub fn to_json(&self) -> String {
+        let state = self.state.lock().expect("journal lock poisoned");
+        let mut out = String::with_capacity(64 + 96 * state.events.len());
+        out.push_str("{\"capacity\":");
+        out.push_str(&self.capacity.to_string());
+        out.push_str(",\"dropped\":");
+        out.push_str(&state.dropped.to_string());
+        out.push_str(",\"events\":[");
+        for (i, event) in state.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"domain\":\"");
+            out.push_str(event.domain.label());
+            out.push_str("\",\"kind\":\"");
+            out.push_str(event.kind.label());
+            out.push_str("\",\"name\":");
+            serde_json::write_escaped(&mut out, event.name);
+            out.push_str(",\"time\":");
+            serde_json::write_f64(&mut out, event.time).expect("journal times are finite");
+            out.push_str(",\"a\":");
+            out.push_str(&event.a.to_string());
+            out.push_str(",\"b\":");
+            out.push_str(&event.b.to_string());
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_retains_the_newest_events() {
+        let j = Journal::new(3);
+        assert!(j.is_empty());
+        for i in 0..5u64 {
+            j.record_instant(ClockDomain::Sim, "tick", i as f64, i, 0);
+        }
+        assert_eq!(j.capacity(), 3);
+        assert_eq!(j.len(), 3);
+        assert_eq!(j.dropped(), 2);
+        let kept: Vec<u64> = j.events().iter().map(|e| e.a).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_drops_everything() {
+        let j = Journal::new(0);
+        j.record_boundary(ClockDomain::Wall, EventKind::Begin, "x", 0.0);
+        assert!(j.is_empty());
+        assert_eq!(j.dropped(), 1);
+        assert_eq!(j.to_json(), "{\"capacity\":0,\"dropped\":1,\"events\":[]}");
+    }
+
+    #[test]
+    fn json_export_is_deterministic_and_parseable() {
+        let j = Journal::new(8);
+        j.record_boundary(ClockDomain::Sim, EventKind::Begin, "campaign", 0.0);
+        j.record_instant(ClockDomain::Sim, "trial.complete", 1.25, 3, 9);
+        j.record_boundary(ClockDomain::Sim, EventKind::End, "campaign", 1.25);
+        let json = j.to_json();
+        assert_eq!(json, j.to_json(), "export must be deterministic");
+        let value = serde_json::parse_str(&json).unwrap();
+        let serde::Value::Map(fields) = &value else {
+            panic!("journal export is an object");
+        };
+        assert!(fields.iter().any(|(k, _)| k == "events"));
+        assert!(json.contains("\"trial.complete\""));
+        assert!(json.contains("\"kind\":\"instant\""));
+        assert!(json.contains("\"a\":3"));
+    }
+}

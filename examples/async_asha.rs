@@ -14,14 +14,18 @@
 //!
 //! `FEDTUNE_THREADS` overrides the real-compute fan-out (1 = sequential,
 //! N = N threads, 0/unset = all cores). With `FEDTUNE_BENCH_JSON=1` the run
-//! writes `BENCH_async_asha.json` including the simulated throughput.
+//! writes `BENCH_async_asha.json` including the simulated throughput. With
+//! `FEDTUNE_TRACE=1` it also exports `trace-async_asha.json` — the Chrome
+//! `trace_event` timeline of every campaign's virtual workers, loadable in
+//! Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing` — plus
+//! `metrics-async_asha.json`, the full metrics-registry snapshot.
 
 use feddata::Benchmark;
 use fedtune::fedtune_core::experiments::stragglers::{
     run_straggler_comparison, straggler_cost_model,
 };
 use fedtune::fedtune_core::{ExecutionPolicy, ExperimentScale};
-use fedtune::{feddata, fedsim};
+use fedtune::{feddata, fedsim, fedtrace};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = ExperimentScale::smoke();
@@ -66,6 +70,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", comparison.to_report()?.to_table());
     println!("Promote-on-completion keeps every virtual worker busy: async ASHA reaches");
     println!("its selection in less simulated wall-clock than the rung-synchronous ladder.");
+
+    if let Some(trace) = fedtrace::global_if_enabled() {
+        let tracks: Vec<fedtrace::TimelineTrack> = comparison
+            .runs
+            .iter()
+            .map(|run| {
+                fedtrace::TimelineTrack::new(
+                    format!("{} @ {} workers", run.method, run.workers),
+                    run.timeline.clone(),
+                )
+            })
+            .collect();
+        std::fs::write(
+            "trace-async_asha.json",
+            fedtrace::virtual_timeline_json(&tracks),
+        )?;
+        let snapshot = trace.snapshot();
+        std::fs::write(
+            "metrics-async_asha.json",
+            serde_json::to_string_pretty(&snapshot)?,
+        )?;
+        summary.record_metrics(snapshot);
+        println!("\nwrote trace-async_asha.json (open it in Perfetto: https://ui.perfetto.dev)");
+        println!("wrote metrics-async_asha.json");
+    }
     summary.write_if_enabled();
     Ok(())
 }

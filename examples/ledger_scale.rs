@@ -17,6 +17,13 @@
 //! 4. **Compact**: the surviving ledger is rewritten tombstone-free and
 //!    every record is preserved.
 //!
+//! The final accounting — records appended, bytes written, group commits,
+//! syncs, recovery truncations, compaction swaps — is read back from the
+//! global `fedtrace` metrics registry the store reports into, not from
+//! hand-rolled counters. With `FEDTUNE_TRACE=1` the run also exports
+//! `trace-ledger_scale-wall.json`, a Chrome trace of the four acts' real
+//! durations.
+//!
 //! ```text
 //! cargo run --release --example ledger_scale
 //! ```
@@ -27,6 +34,7 @@ use fedtune::fedstore::{
     segment, ConfigKey, Durability, Provenance, SegmentConfig, SegmentWriter, TrialRecord,
     TrialStore,
 };
+use fedtune::fedtrace;
 use std::time::Instant;
 
 /// One `sync_data` per this many appended records.
@@ -61,7 +69,9 @@ fn trial(i: u64, provenance: &Provenance) -> TrialRecord {
     }
 }
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
+type DynResult<T> = Result<T, Box<dyn std::error::Error>>;
+
+fn main() -> DynResult<()> {
     let n = trial_count();
     let dir = std::env::temp_dir().join("fedtune_ledger_scale_example");
     let _ = std::fs::remove_dir_all(&dir);
@@ -77,26 +87,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let started = Instant::now();
     let rss_before = fedbench::peak_rss_kb();
+    let profile = fedtrace::WallProfile::new();
 
     // Act 1: record n trials with group commit, then stream them all back.
     let t = Instant::now();
-    let mut writer = SegmentWriter::open(&dir, config)?;
-    for i in 0..n {
-        writer.append_unsynced(&trial(i, &provenance))?;
-        if writer.unsynced() >= COMMIT_EVERY {
-            writer.group_commit()?;
+    let ledger_bytes = profile.time("act 1: record", || -> DynResult<u64> {
+        let mut writer = SegmentWriter::open(&dir, config)?;
+        for i in 0..n {
+            writer.append_unsynced(&trial(i, &provenance))?;
+            if writer.unsynced() >= COMMIT_EVERY {
+                writer.group_commit()?;
+            }
         }
-    }
-    writer.flush()?;
-    let ledger_bytes = writer.bytes_appended();
-    drop(writer);
+        writer.flush()?;
+        Ok(writer.bytes_appended())
+    })?;
     let ingest_secs = t.elapsed().as_secs_f64();
 
     let t = Instant::now();
     let mut replayed = 0u64;
-    segment::for_each_record(&dir, |_| {
-        replayed += 1;
-        Ok(())
+    profile.time("act 1: replay", || {
+        segment::for_each_record(&dir, |_| {
+            replayed += 1;
+            Ok(())
+        })
     })?;
     let replay_secs = t.elapsed().as_secs_f64();
     assert_eq!(replayed, n, "streaming replay must see every trial");
@@ -118,57 +132,118 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Act 2: flip one byte three quarters of the way into the newest
     // segment. Every byte past the header belongs to some CRC-framed
     // record, so this always lands inside a frame.
-    let (_, newest) = segment::list_segments(&dir)?
-        .into_iter()
-        .next_back()
-        .expect("ledger has segments");
-    let mut bytes = std::fs::read(&newest)?;
-    let target = (bytes.len() * 3 / 4).max(9);
-    bytes[target] ^= 0x40;
-    std::fs::write(&newest, &bytes)?;
-    println!(
-        "flipped one bit at byte {target} of {}",
-        newest.file_name().unwrap().to_string_lossy()
-    );
+    profile.time("act 2: corrupt", || -> DynResult<()> {
+        let (_, newest) = segment::list_segments(&dir)?
+            .into_iter()
+            .next_back()
+            .expect("ledger has segments");
+        let mut bytes = std::fs::read(&newest)?;
+        let target = (bytes.len() * 3 / 4).max(9);
+        bytes[target] ^= 0x40;
+        std::fs::write(&newest, &bytes)?;
+        println!(
+            "flipped one bit at byte {target} of {}",
+            newest.file_name().unwrap().to_string_lossy()
+        );
+        Ok(())
+    })?;
 
     // Act 3: reopen. Recovery truncates at the corrupt frame and the store
     // stays writable; a second reopen sees the exact same ledger.
     let t = Instant::now();
-    let mut store = TrialStore::open_segments(&dir)?;
-    let recovered = store.len() as u64;
+    let recovered = profile.time("act 3: recover", || -> DynResult<u64> {
+        let mut store = TrialStore::open_segments(&dir)?;
+        let recovered = store.len() as u64;
+        assert!(recovered > 0, "recovery must keep the valid prefix");
+        assert!(recovered < n, "corruption must cost at least one record");
+        let extra = trial(n + 1, &provenance);
+        assert!(
+            store.insert(extra.clone())?,
+            "recovered store accepts appends"
+        );
+        store.flush()?;
+        drop(store);
+        let store = TrialStore::open_segments(&dir)?;
+        assert_eq!(
+            store.len() as u64,
+            recovered + 1,
+            "second reopen must converge on the recovered ledger plus the append"
+        );
+        Ok(recovered)
+    })?;
     println!(
         "reopened after corruption in {:.2}s: {recovered} of {n} trials survive",
         t.elapsed().as_secs_f64()
     );
-    assert!(recovered > 0, "recovery must keep the valid prefix");
-    assert!(recovered < n, "corruption must cost at least one record");
-    let extra = trial(n + 1, &provenance);
-    assert!(
-        store.insert(extra.clone())?,
-        "recovered store accepts appends"
-    );
-    store.flush()?;
-    drop(store);
-    let store = TrialStore::open_segments(&dir)?;
-    assert_eq!(
-        store.len() as u64,
-        recovered + 1,
-        "second reopen must converge on the recovered ledger plus the append"
-    );
 
     // Act 4: compact the survivors into a tombstone-free snapshot.
-    let mut store = store;
-    let report = store.compact()?;
-    assert_eq!(report.records as u64, recovered + 1);
-    assert_eq!(store.len() as u64, recovered + 1);
+    profile.time("act 4: compact", || -> DynResult<()> {
+        let mut store = TrialStore::open_segments(&dir)?;
+        let report = store.compact()?;
+        assert_eq!(report.records as u64, recovered + 1);
+        assert_eq!(store.len() as u64, recovered + 1);
+        println!(
+            "compacted {} records: {} -> {} segments, {:.1} -> {:.1} MiB",
+            report.records,
+            report.segments_before,
+            report.segments_after,
+            report.bytes_before as f64 / (1 << 20) as f64,
+            report.bytes_after as f64 / (1 << 20) as f64,
+        );
+        Ok(())
+    })?;
+
+    // The run's ledger accounting, read back from the metrics registry the
+    // store reports into rather than hand-rolled counters.
+    let snapshot = fedtrace::global().snapshot();
+    let counter = |name: &str| snapshot.counter(name).unwrap_or(0);
+    println!("\nledger accounting (global fedtrace registry):");
     println!(
-        "compacted {} records: {} -> {} segments, {:.1} -> {:.1} MiB",
-        report.records,
-        report.segments_before,
-        report.segments_after,
-        report.bytes_before as f64 / (1 << 20) as f64,
-        report.bytes_after as f64 / (1 << 20) as f64,
+        "  records appended        {:>12}",
+        counter("store.records_appended")
     );
+    println!(
+        "  bytes written           {:>12}",
+        counter("store.bytes_written")
+    );
+    println!(
+        "  group commits           {:>12}",
+        counter("store.group_commits")
+    );
+    println!("  syncs                   {:>12}", counter("store.syncs"));
+    println!(
+        "  records replayed        {:>12}",
+        counter("store.records_replayed")
+    );
+    println!(
+        "  recovery truncated      {:>12} B over {} dropped segment(s)",
+        counter("store.recovery_truncated_bytes"),
+        counter("store.recovery_dropped_segments"),
+    );
+    println!(
+        "  compaction swaps        {:>12}",
+        counter("store.compaction_swaps")
+    );
+    if let Some(sync) = snapshot.histogram("store.sync_micros") {
+        println!(
+            "  sync latency            {:>12.0} µs mean ({} syncs, max {} µs)",
+            sync.mean(),
+            sync.count,
+            sync.max,
+        );
+    }
+    assert!(counter("store.records_appended") >= n);
+    assert_eq!(counter("store.records_replayed"), n);
+    assert!(counter("store.recovery_truncated_bytes") > 0);
+    assert_eq!(counter("store.compaction_swaps"), 1);
+
+    if fedtrace::env_enabled() {
+        std::fs::write("trace-ledger_scale-wall.json", profile.to_chrome_json())?;
+        println!(
+            "wrote trace-ledger_scale-wall.json ({} slices)",
+            profile.len()
+        );
+    }
 
     let total = started.elapsed().as_secs_f64();
     assert!(

@@ -26,7 +26,7 @@ use fedtune::fedsim::clock::VirtualClock;
 use fedtune::fedsim::{FederatedTrainer, TrainerConfig, WeightingScheme};
 use fedtune::fedtune_core::experiments::population::{cohort_error, config_grid};
 use fedtune::fedtune_core::TrialRunner;
-use fedtune::{feddata, fedmath, fedmodels};
+use fedtune::{feddata, fedmath, fedmodels, fedtrace};
 
 use feddata::Benchmark;
 use fedmodels::ModelSpec;
@@ -168,12 +168,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.peak_resident,
         100.0 * peak_resident as f64 / n as f64
     );
+    // Publish the cache accounting as `pop.cache.*` gauges and print the
+    // summary line from the registry snapshot, not the raw struct.
+    stats.publish(fedtrace::global().registry(), "pop.cache");
+    let snapshot = fedtrace::global().snapshot();
+    let gauge = |name: &str| snapshot.gauge(name).map(|g| g.value).unwrap_or(0.0);
     println!(
         "cache: {} hits / {} misses (hit rate {:.1}%), {} evictions",
-        stats.hits,
-        stats.misses,
-        stats.hit_rate() * 100.0,
-        stats.evictions
+        gauge("pop.cache.hits"),
+        gauge("pop.cache.misses"),
+        gauge("pop.cache.hit_rate") * 100.0,
+        gauge("pop.cache.evictions")
     );
 
     // Materialization throughput: how fast cold clients synthesize.

@@ -22,6 +22,10 @@
 //! - [`fedstore`] — the persistent trial ledger and tabular surrogate
 //!   objectives: record live campaigns once, then replay method sweeps
 //!   against the table and resume interrupted campaigns bit-identically.
+//! - [`fedtrace`] — deterministic observability: the sharded metrics
+//!   registry, the bounded event journal, and the Chrome `trace_event`
+//!   exporters over the virtual-time executor timeline. Accounting, never
+//!   semantics: tracing on/off cannot move a result bit.
 //!
 //! See `examples/` for runnable entry points and `crates/bench` for the
 //! benchmark harness that regenerates every table and figure of the paper.
@@ -38,6 +42,7 @@ pub use fedpop;
 pub use fedproxy;
 pub use fedsim;
 pub use fedstore;
+pub use fedtrace;
 pub use fedtune_core;
 
 /// Workspace version string (matches every member crate).

@@ -20,8 +20,9 @@ use fedtune_core::experiments::methods::{
 use fedtune_core::experiments::stragglers::straggler_cost_model;
 use fedtune_core::experiments::subsampling::run_subsampling_sweep_with;
 use fedtune_core::{
-    run_event_driven, BatchFederatedObjective, BenchmarkContext, ConfigPool, EventDrivenOutcome,
-    ExperimentScale, NoiseConfig, ObjectiveLogEntry, TrialRunner, VirtualExecution,
+    run_event_driven, run_event_driven_traced, BatchFederatedObjective, BenchmarkContext,
+    ConfigPool, EventDrivenOutcome, ExperimentScale, NoiseConfig, ObjectiveLogEntry, TrialRunner,
+    VirtualExecution,
 };
 
 const SEEDS: [u64; 3] = [0, 7, 42];
@@ -275,13 +276,15 @@ fn scheduled_extended_comparison_is_bit_identical_across_policies() {
 
 /// One async-ASHA campaign through the event-driven executor with
 /// heavy-tailed simulated client runtimes, batches fanned out under
-/// `policy`. Returns the outcome (records in virtual completion order,
-/// stamped with sim times) and the objective log.
+/// `policy` and (optionally) observed by `trace`. Returns the outcome
+/// (records in virtual completion order, stamped with sim times) and the
+/// objective log.
 fn event_driven_campaign(
     ctx: &BenchmarkContext,
     scale: &ExperimentScale,
     policy: ExecutionPolicy,
     seed: u64,
+    trace: Option<&fedtrace::Trace>,
 ) -> (EventDrivenOutcome, Vec<ObjectiveLogEntry>) {
     let method = TuningMethod::AsyncAsha;
     let mut scheduler = method.scheduler(scale).unwrap();
@@ -296,12 +299,13 @@ fn event_driven_campaign(
     .with_batch_runner(TrialRunner::new(policy));
     let mut rng = fedmath::rng::rng_for(seed, 1);
     let sim = VirtualExecution::new(3, straggler_cost_model(scale, seed));
-    let outcome = run_event_driven(
+    let outcome = run_event_driven_traced(
         scheduler.as_mut(),
         ctx.space(),
         &mut objective,
         &mut rng,
         &sim,
+        trace,
     )
     .unwrap();
     (outcome, objective.into_log())
@@ -318,12 +322,17 @@ fn event_driven_campaigns_are_bit_identical_across_policies() {
     for &seed in &SEEDS {
         let ctx = BenchmarkContext::new(Benchmark::Cifar10Like, &scale, seed).unwrap();
         let (sequential, sequential_log) =
-            event_driven_campaign(&ctx, &scale, ExecutionPolicy::Sequential, seed);
+            event_driven_campaign(&ctx, &scale, ExecutionPolicy::Sequential, seed, None);
         assert!(sequential.finished);
         assert!(sequential.sim_elapsed > 0.0);
         for &threads in &THREAD_COUNTS {
-            let (parallel, parallel_log) =
-                event_driven_campaign(&ctx, &scale, ExecutionPolicy::parallel_with(threads), seed);
+            let (parallel, parallel_log) = event_driven_campaign(
+                &ctx,
+                &scale,
+                ExecutionPolicy::parallel_with(threads),
+                seed,
+                None,
+            );
             assert_eq!(
                 sequential, parallel,
                 "seed {seed}, {threads} threads: event-driven outcome diverged"
@@ -345,6 +354,55 @@ fn event_driven_campaigns_are_bit_identical_across_policies() {
                 sequential.sim_elapsed.to_bits(),
                 parallel.sim_elapsed.to_bits()
             );
+        }
+    }
+}
+
+#[test]
+fn tracing_is_accounting_never_semantics() {
+    // The fedtrace contract: attaching a trace — metrics registered,
+    // counters incremented, journal events recorded — must not move a
+    // single bit of the campaign result, across seeds and thread counts.
+    // The traced run's Chrome timeline export must also be byte-identical
+    // to one rendered from the untraced run's spans, because the timeline
+    // is part of the outcome, not a tracing side effect.
+    let scale = ExperimentScale::smoke();
+    for &seed in &SEEDS {
+        let ctx = BenchmarkContext::new(Benchmark::Cifar10Like, &scale, seed).unwrap();
+        let (untraced, untraced_log) =
+            event_driven_campaign(&ctx, &scale, ExecutionPolicy::Sequential, seed, None);
+        for &threads in &THREAD_COUNTS {
+            let trace = fedtrace::Trace::new();
+            let (traced, traced_log) = event_driven_campaign(
+                &ctx,
+                &scale,
+                ExecutionPolicy::parallel_with(threads),
+                seed,
+                Some(&trace),
+            );
+            assert_eq!(
+                untraced, traced,
+                "seed {seed}, {threads} threads: tracing moved the outcome"
+            );
+            assert_eq!(untraced_log, traced_log, "seed {seed}, {threads} threads");
+            let track = |spans: &[fedtrace::TrialSpan]| {
+                fedtrace::virtual_timeline_json(&[fedtrace::TimelineTrack::new(
+                    "async-asha",
+                    spans.to_vec(),
+                )])
+            };
+            assert_eq!(
+                track(&untraced.timeline),
+                track(&traced.timeline),
+                "seed {seed}, {threads} threads: Chrome export diverged"
+            );
+            // The trace really was on: the driver registered and fed its
+            // metrics and journaled the campaign boundaries.
+            let snapshot = trace.snapshot();
+            let dispatched = snapshot.counter("async-asha.dispatched").unwrap_or(0);
+            assert_eq!(dispatched, untraced.outcome.num_evaluations() as u64);
+            assert!(snapshot.counter("async-asha.suggests").unwrap_or(0) > 0);
+            assert!(!trace.journal().is_empty());
         }
     }
 }
@@ -422,6 +480,23 @@ fn recorded_async_campaign_replays_with_identical_virtual_timeline() {
         assert_eq!(a.sim_time.to_bits(), b.sim_time.to_bits());
     }
     assert_eq!(live_log, replay_log);
+
+    // The exported Chrome trace of the virtual timeline is a pure function
+    // of the span bits, so record and replay render byte-identical JSON.
+    let chrome = |spans: &[fedtrace::TrialSpan]| {
+        fedtrace::virtual_timeline_json(&[fedtrace::TimelineTrack::new(
+            "async-asha record/replay",
+            spans.to_vec(),
+        )])
+    };
+    let live_json = chrome(&live.timeline);
+    assert!(!live.timeline.is_empty());
+    assert_eq!(
+        live_json,
+        chrome(&replayed.timeline),
+        "record and replay must export byte-identical Chrome traces"
+    );
+    fedbench::trace::validate_chrome_trace(&live_json).expect("export passes the schema check");
 }
 
 /// One population-backed campaign: train against a lazy 20k-client
