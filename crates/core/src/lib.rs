@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod concurrent;
 pub mod context;
 pub mod engine;
 pub mod experiments;
@@ -54,6 +55,10 @@ pub mod report;
 pub mod scale;
 pub mod scheduler;
 
+pub use concurrent::{
+    run_event_driven_concurrent, run_event_driven_concurrent_traced, ConcurrentEval,
+    ConcurrentObjective, ConcurrentSink, EvalOutput,
+};
 pub use context::BenchmarkContext;
 pub use engine::{ProgressTracker, TrialContext, TrialRunner};
 pub use fedsim::clock::{ClientRuntimeModel, CostModel};
@@ -68,7 +73,7 @@ pub use report::{ExperimentReport, SeriesGroup, SeriesPoint};
 pub use scale::ExperimentScale;
 pub use scheduler::{
     run_event_driven, run_event_driven_traced, run_scheduled, run_scheduled_for, BatchObjective,
-    EventDrivenOutcome, VirtualExecution,
+    DispatchedTrial, EventDrivenOutcome, ExecutorCore, ExecutorStep, VirtualExecution,
 };
 
 use std::fmt;

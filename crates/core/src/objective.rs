@@ -8,6 +8,7 @@
 //! acts on. The true full-validation error of every evaluation is logged so
 //! experiments can report what the tuner's choices actually cost.
 
+use crate::concurrent::{ConcurrentEval, ConcurrentObjective, ConcurrentSink, EvalOutput};
 use crate::context::BenchmarkContext;
 use crate::noise::{noisy_error, NoiseConfig};
 use crate::Result;
@@ -358,13 +359,15 @@ impl Objective for FederatedObjective<'_> {
     }
 }
 
-/// Per-request output of one batched evaluation, before budget accounting.
-#[derive(Debug, Clone)]
-struct BatchEvalOutput {
-    noisy_score: f64,
-    true_error: f64,
-    rounds_delta: usize,
-    resource_completed: usize,
+/// Per-trial mutable state of the batched federated objective: the training
+/// run plus the memoised full-validation evaluation at its current fidelity.
+///
+/// Exactly one evaluation task owns a trial's state at a time; between
+/// dispatches it is parked in the campaign sink. Fresh trials start empty.
+#[derive(Debug, Default)]
+pub struct FederatedTrialState {
+    run: Option<TrainingRun>,
+    eval_cache: Option<(usize, fedsim::evaluation::FederatedEvaluation)>,
 }
 
 /// The batched, order-independent federated objective behind the ask/tell
@@ -386,17 +389,39 @@ struct BatchEvalOutput {
 /// trial ledger keys records by. And it gives the re-evaluation mitigation
 /// its contract: rep `r` of a point yields the same draw no matter when it
 /// is scheduled, and distinct reps yield independent draws.
+/// Internally the objective is split sans-io style into a shared, `Sync`
+/// **evaluation core** ([`FederatedEvalCore`]) holding the immutable
+/// campaign inputs and a mutable **campaign sink**
+/// ([`FederatedCampaignSink`]) parking per-trial state and the log — which
+/// is exactly the [`ConcurrentObjective`]
+/// shape, so the same objective drives the blocking batch API below *and*
+/// [`run_event_driven_concurrent`](crate::concurrent::run_event_driven_concurrent)
+/// with bit-identical results.
 pub struct BatchFederatedObjective<'a> {
+    eval: FederatedEvalCore<'a>,
+    sink: FederatedCampaignSink,
+    batch_runner: crate::engine::TrialRunner,
+}
+
+/// The shared, thread-safe half of [`BatchFederatedObjective`]: immutable
+/// campaign inputs (benchmark context, noise model, seed trees), able to
+/// evaluate any request against a per-trial [`FederatedTrialState`].
+pub struct FederatedEvalCore<'a> {
     ctx: &'a BenchmarkContext,
     noise: NoiseConfig,
     total_evaluations: usize,
-    runs: HashMap<usize, TrainingRun>,
-    log: Vec<ObjectiveLogEntry>,
-    cumulative_rounds: usize,
     trial_seeds: SeedTree,
     noise_seeds: SeedTree,
     execution: ExecutionPolicy,
-    batch_runner: crate::engine::TrialRunner,
+}
+
+/// The single-threaded half of [`BatchFederatedObjective`]: parked training
+/// runs and the campaign log with its cumulative-rounds accounting.
+#[derive(Default)]
+pub struct FederatedCampaignSink {
+    runs: HashMap<usize, TrainingRun>,
+    log: Vec<ObjectiveLogEntry>,
+    cumulative_rounds: usize,
     last_batch_start: usize,
 }
 
@@ -426,31 +451,30 @@ impl<'a> BatchFederatedObjective<'a> {
         let noise_seeds = SeedTree::new(seeds.next_seed());
         let trial_seeds = SeedTree::new(seeds.next_seed());
         Ok(BatchFederatedObjective {
-            ctx,
-            noise,
-            total_evaluations,
-            runs: HashMap::new(),
-            log: Vec::new(),
-            cumulative_rounds: 0,
-            trial_seeds,
-            noise_seeds,
-            execution: ExecutionPolicy::Sequential,
+            eval: FederatedEvalCore {
+                ctx,
+                noise,
+                total_evaluations,
+                trial_seeds,
+                noise_seeds,
+                execution: ExecutionPolicy::Sequential,
+            },
+            sink: FederatedCampaignSink::default(),
             batch_runner: crate::engine::TrialRunner::sequential(),
-            last_batch_start: 0,
         })
     }
 
     /// The search space of the objective's benchmark context — the space a
     /// recording wrapper must canonicalize configurations against.
     pub fn space(&self) -> &fedhpo::SearchSpace {
-        self.ctx.space()
+        self.eval.ctx.space()
     }
 
     /// True full-validation errors of the most recent
     /// [`evaluate_batch`](Self::evaluate_batch) call, aligned with its
     /// returned results. Empty before the first batch.
     pub fn last_batch_true_errors(&self) -> Vec<f64> {
-        self.log[self.last_batch_start..]
+        self.sink.log[self.sink.last_batch_start..]
             .iter()
             .map(|e| e.true_error)
             .collect()
@@ -470,99 +494,29 @@ impl<'a> BatchFederatedObjective<'a> {
     /// right choice when trials already fan out across all cores.
     #[must_use]
     pub fn with_execution(mut self, execution: ExecutionPolicy) -> Self {
-        self.execution = execution;
+        self.eval.execution = execution;
         self
     }
 
     /// The evaluations logged so far, in request order.
     pub fn log(&self) -> &[ObjectiveLogEntry] {
-        &self.log
+        &self.sink.log
     }
 
     /// Total training rounds consumed so far.
     pub fn cumulative_rounds(&self) -> usize {
-        self.cumulative_rounds
+        self.sink.cumulative_rounds
     }
 
     /// Consumes the objective and returns its log.
     pub fn into_log(self) -> Vec<ObjectiveLogEntry> {
-        self.log
+        self.sink.log
     }
 
     /// Noise-aware selection within the budget; see
     /// [`FederatedObjective::selected_true_error_within`].
     pub fn selected_true_error_within(&self, budget: usize) -> Option<f64> {
-        selected_true_error(&self.log, budget)
-    }
-
-    /// Trains (or resumes) and evaluates one request against the slot owning
-    /// its training run. Pure in `(request, run state)`: all randomness is
-    /// derived positionally, so the caller may execute requests for distinct
-    /// trials in any order or in parallel.
-    ///
-    /// `eval_cache` memoises the full validation evaluation at the run's
-    /// current fidelity: fresh-noise replicates (`noise_rep >= 1`) evaluate
-    /// an unchanged model, so only the noise draw differs and the validation
-    /// pass is paid once per `(trial, fidelity)` rather than once per rep.
-    fn evaluate_request(
-        &self,
-        run_slot: &mut Option<TrainingRun>,
-        eval_cache: &mut Option<(usize, fedsim::evaluation::FederatedEvaluation)>,
-        request: &TrialRequest,
-    ) -> Result<BatchEvalOutput> {
-        // The point identity: all randomness of this evaluation is keyed by
-        // the canonical configuration fingerprint, never by trial numbering,
-        // so the score is a pure function of `(config, resource, noise_rep)`
-        // — the same identity the `fedstore` trial ledger addresses records
-        // by.
-        let fingerprint = self.ctx.space().canonical_fingerprint(&request.config)?;
-        if run_slot.is_none() {
-            let hyperparams = hyperparams_from_config(self.ctx.space(), &request.config)?;
-            let trainer_config = TrainerConfig {
-                clients_per_round: self.ctx.scale().clients_per_round,
-                hyperparams,
-                weighting: self.noise.weighting,
-                execution: self.execution,
-            };
-            let trainer = FederatedTrainer::new(trainer_config)?;
-            let run_seed = self.trial_seeds.child(fingerprint).seed();
-            *run_slot = Some(trainer.start(self.ctx.dataset(), self.ctx.model_spec(), run_seed)?);
-        }
-        let run = run_slot.as_mut().expect("run created above");
-        let already = run.rounds_completed();
-        let rounds_delta = request.resource.saturating_sub(already);
-        if rounds_delta > 0 {
-            run.run_rounds(self.ctx.dataset(), rounds_delta)?;
-        }
-        let fidelity = run.rounds_completed();
-        if eval_cache.as_ref().is_none_or(|(at, _)| *at != fidelity) {
-            let evaluation = evaluate_full_with(
-                &self.execution,
-                run.model(),
-                self.ctx.dataset(),
-                Split::Validation,
-                self.noise.weighting,
-            )?;
-            *eval_cache = Some((fidelity, evaluation));
-        }
-        let full_eval = &eval_cache.as_ref().expect("cached above").1;
-        let true_error = full_eval.weighted_error()?;
-        let mut noise_rng = self
-            .noise_seeds
-            .derive(&[fingerprint, request.resource as u64, request.noise_rep])
-            .rng();
-        let noisy_score = noisy_error(
-            full_eval,
-            &self.noise,
-            self.total_evaluations,
-            &mut noise_rng,
-        )?;
-        Ok(BatchEvalOutput {
-            noisy_score,
-            true_error,
-            rounds_delta,
-            resource_completed: run.rounds_completed(),
-        })
+        selected_true_error(&self.sink.log, budget)
     }
 
     /// Evaluates a whole batch of requests: distinct trials fan out under the
@@ -610,8 +564,9 @@ impl<'a> BatchFederatedObjective<'a> {
         // group) and only transfers ownership in and out.
         let slots: Vec<Mutex<Option<TrainingRun>>> = groups
             .iter()
-            .map(|(trial_id, _)| Mutex::new(self.runs.remove(trial_id)))
+            .map(|(trial_id, _)| Mutex::new(self.sink.runs.remove(trial_id)))
             .collect();
+        let eval = &self.eval;
         let outputs = self.batch_runner.run_trials(0, groups.len(), |trial_ctx| {
             let (_, indices) = &groups[trial_ctx.index()];
             let mut slot = slots[trial_ctx.index()]
@@ -620,41 +575,160 @@ impl<'a> BatchFederatedObjective<'a> {
             let mut eval_cache = None;
             let mut outputs = Vec::with_capacity(indices.len());
             for &i in indices {
-                outputs.push(self.evaluate_request(&mut slot, &mut eval_cache, &requests[i])?);
+                outputs.push(eval.evaluate_request(&mut slot, &mut eval_cache, &requests[i])?);
             }
             Ok(outputs)
         });
         // Reinstall the runs before propagating any error.
         for (slot, (trial_id, _)) in slots.into_iter().zip(&groups) {
             if let Some(run) = slot.into_inner().expect("batch slot lock poisoned") {
-                self.runs.insert(*trial_id, run);
+                self.sink.runs.insert(*trial_id, run);
             }
         }
         let outputs = outputs?;
         // Scatter group outputs back to request order, then account and log.
-        let mut by_request: Vec<Option<BatchEvalOutput>> = vec![None; requests.len()];
+        let mut by_request: Vec<Option<EvalOutput>> = vec![None; requests.len()];
         for ((_, indices), group_outputs) in groups.iter().zip(outputs) {
             for (&i, output) in indices.iter().zip(group_outputs) {
                 by_request[i] = Some(output);
             }
         }
-        self.last_batch_start = self.log.len();
+        self.sink.last_batch_start = self.sink.log.len();
         let mut results = Vec::with_capacity(requests.len());
         for (i, (request, output)) in requests.iter().zip(by_request).enumerate() {
             let output = output.expect("every request belongs to one group");
-            self.cumulative_rounds += output.rounds_delta;
-            self.log.push(ObjectiveLogEntry {
-                trial_id: request.trial_id,
-                resource: output.resource_completed,
-                noisy_score: output.noisy_score,
-                true_error: output.true_error,
-                cumulative_rounds: self.cumulative_rounds,
-                noise_rep: request.noise_rep,
-                sim_time: sim_times.map_or(0.0, |t| t[i]),
-            });
+            self.sink
+                .commit(request, &output, sim_times.map_or(0.0, |t| t[i]));
             results.push(TrialResult::of(request, output.noisy_score));
         }
         Ok(results)
+    }
+}
+
+impl<'a> FederatedEvalCore<'a> {
+    /// Trains (or resumes) and evaluates one request against the slot owning
+    /// its training run. Pure in `(request, run state)`: all randomness is
+    /// derived positionally, so the caller may execute requests for distinct
+    /// trials in any order or in parallel.
+    ///
+    /// `eval_cache` memoises the full validation evaluation at the run's
+    /// current fidelity: fresh-noise replicates (`noise_rep >= 1`) evaluate
+    /// an unchanged model, so only the noise draw differs and the validation
+    /// pass is paid once per `(trial, fidelity)` rather than once per rep.
+    fn evaluate_request(
+        &self,
+        run_slot: &mut Option<TrainingRun>,
+        eval_cache: &mut Option<(usize, fedsim::evaluation::FederatedEvaluation)>,
+        request: &TrialRequest,
+    ) -> Result<EvalOutput> {
+        // The point identity: all randomness of this evaluation is keyed by
+        // the canonical configuration fingerprint, never by trial numbering,
+        // so the score is a pure function of `(config, resource, noise_rep)`
+        // — the same identity the `fedstore` trial ledger addresses records
+        // by.
+        let fingerprint = self.ctx.space().canonical_fingerprint(&request.config)?;
+        if run_slot.is_none() {
+            let hyperparams = hyperparams_from_config(self.ctx.space(), &request.config)?;
+            let trainer_config = TrainerConfig {
+                clients_per_round: self.ctx.scale().clients_per_round,
+                hyperparams,
+                weighting: self.noise.weighting,
+                execution: self.execution,
+            };
+            let trainer = FederatedTrainer::new(trainer_config)?;
+            let run_seed = self.trial_seeds.child(fingerprint).seed();
+            *run_slot = Some(trainer.start(self.ctx.dataset(), self.ctx.model_spec(), run_seed)?);
+        }
+        let run = run_slot.as_mut().expect("run created above");
+        let already = run.rounds_completed();
+        let rounds_delta = request.resource.saturating_sub(already);
+        if rounds_delta > 0 {
+            run.run_rounds(self.ctx.dataset(), rounds_delta)?;
+        }
+        let fidelity = run.rounds_completed();
+        if eval_cache.as_ref().is_none_or(|(at, _)| *at != fidelity) {
+            let evaluation = evaluate_full_with(
+                &self.execution,
+                run.model(),
+                self.ctx.dataset(),
+                Split::Validation,
+                self.noise.weighting,
+            )?;
+            *eval_cache = Some((fidelity, evaluation));
+        }
+        let full_eval = &eval_cache.as_ref().expect("cached above").1;
+        let true_error = full_eval.weighted_error()?;
+        let mut noise_rng = self
+            .noise_seeds
+            .derive(&[fingerprint, request.resource as u64, request.noise_rep])
+            .rng();
+        let noisy_score = noisy_error(
+            full_eval,
+            &self.noise,
+            self.total_evaluations,
+            &mut noise_rng,
+        )?;
+        Ok(EvalOutput {
+            noisy_score,
+            true_error,
+            rounds_delta,
+            resource_completed: run.rounds_completed(),
+        })
+    }
+}
+
+impl ConcurrentEval for FederatedEvalCore<'_> {
+    type State = FederatedTrialState;
+
+    fn evaluate(
+        &self,
+        state: &mut FederatedTrialState,
+        request: &TrialRequest,
+    ) -> Result<EvalOutput> {
+        self.evaluate_request(&mut state.run, &mut state.eval_cache, request)
+    }
+}
+
+impl ConcurrentSink for FederatedCampaignSink {
+    type State = FederatedTrialState;
+
+    fn take_state(&mut self, trial_id: usize) -> FederatedTrialState {
+        FederatedTrialState {
+            run: self.runs.remove(&trial_id),
+            eval_cache: None,
+        }
+    }
+
+    fn put_state(&mut self, trial_id: usize, state: FederatedTrialState) {
+        // The eval cache is a pure memo of the run at its fidelity: dropping
+        // it here cannot move a bit, it only means the next dispatch re-runs
+        // the (deterministic) validation pass.
+        if let Some(run) = state.run {
+            self.runs.insert(trial_id, run);
+        }
+    }
+
+    fn commit(&mut self, request: &TrialRequest, output: &EvalOutput, sim_time: f64) {
+        self.cumulative_rounds += output.rounds_delta;
+        self.log.push(ObjectiveLogEntry {
+            trial_id: request.trial_id,
+            resource: output.resource_completed,
+            noisy_score: output.noisy_score,
+            true_error: output.true_error,
+            cumulative_rounds: self.cumulative_rounds,
+            noise_rep: request.noise_rep,
+            sim_time,
+        });
+    }
+}
+
+impl<'a> ConcurrentObjective for BatchFederatedObjective<'a> {
+    type State = FederatedTrialState;
+    type Eval = FederatedEvalCore<'a>;
+    type Sink = FederatedCampaignSink;
+
+    fn split(&mut self) -> (&FederatedEvalCore<'a>, &mut FederatedCampaignSink) {
+        (&self.eval, &mut self.sink)
     }
 }
 

@@ -268,6 +268,457 @@ impl DriverMetrics {
     }
 }
 
+/// One externally visible action of the sans-io [`ExecutorCore`].
+#[derive(Debug)]
+pub enum ExecutorStep {
+    /// Trials were just committed to virtual workers. Evaluate them — in any
+    /// real order, on any thread — and feed each result back through
+    /// [`ExecutorCore::complete`]. The core never blocks on them itself.
+    Dispatch(Vec<DispatchedTrial>),
+    /// The earliest virtual event is this key and its completion has not
+    /// been fed yet; the core cannot advance virtual time until
+    /// [`ExecutorCore::complete`] is called for it. (A blocking driver that
+    /// completes every dispatch before stepping again never sees this.)
+    Deliver(EventKey),
+    /// The campaign is over: every dispatched trial has been delivered and
+    /// the scheduler has no further work (or the simulated budget cut the
+    /// schedule off). Call [`ExecutorCore::finish`].
+    Finished,
+}
+
+/// One trial committed to a virtual worker by [`ExecutorCore::step`].
+#[derive(Debug, Clone)]
+pub struct DispatchedTrial {
+    /// The suggested request to evaluate.
+    pub request: TrialRequest,
+    /// The virtual event-queue key identifying this evaluation; pass it to
+    /// [`ExecutorCore::complete`] together with the result.
+    pub key: EventKey,
+    /// Index of the virtual worker executing the trial.
+    pub worker: usize,
+    /// Simulated start time of the evaluation.
+    pub sim_start: f64,
+    /// Simulated completion time — the instant the result will be delivered
+    /// at, and the timestamp an objective log should stamp it with.
+    pub sim_completion: f64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Poll,
+    Deliver,
+    Finished,
+}
+
+/// The sans-io heart of the event-driven virtual-time executor.
+///
+/// `ExecutorCore` owns the poll/dispatch/deliver state machine of
+/// [`run_event_driven`] — virtual clock, virtual [`WorkerPool`], event queue,
+/// dispatch queue, trained high-water marks, metrics — but performs **no
+/// evaluation and no waiting**. It communicates with its driver through
+/// explicit actions: [`step`](Self::step) returns what the world should do
+/// next ([`ExecutorStep`]), and the world feeds evaluation results back with
+/// [`complete`](Self::complete), in any order and from any thread's output.
+/// Virtual events are still *delivered* in strict `(sim_time, EventKey)`
+/// order, so the outcome is a pure function of the schedule and cost model —
+/// never of how, where, or in what real order evaluations ran.
+///
+/// The blocking drivers ([`run_event_driven`], [`run_event_driven_traced`])
+/// and the concurrent one ([`run_event_driven_concurrent`](crate::concurrent::run_event_driven_concurrent)) are thin wrappers
+/// over this core; a future campaign daemon can drive the same machine from
+/// an RPC frontend.
+///
+/// Two invariants the core maintains for its callers:
+///
+/// - **Validated-only training accounting.** A trial's trained-rounds
+///   high-water mark ([`trained_rounds`](Self::trained_rounds)) is committed
+///   only when its evaluation result is fed back via `complete`; a dispatch
+///   whose evaluation errors out never claims rounds it did not train. Cost
+///   accounting for overlapping in-flight dispatches of the same trial uses
+///   a staged overlay so incremental costs match the sequential driver
+///   exactly.
+/// - **Order-independent completion.** `complete` may be called in any
+///   order; results wait in a completion buffer until their event is the
+///   earliest, and committing the high-water mark is a max-merge, so the
+///   observable state never depends on completion order.
+pub struct ExecutorCore<'a> {
+    scheduler: &'a mut dyn Scheduler,
+    space: &'a SearchSpace,
+    rng: &'a mut StdRng,
+    sim: VirtualExecution,
+    async_mode: bool,
+    clock: VirtualClock,
+    pool: WorkerPool,
+    /// Virtual completion events, payload-free: results arrive via
+    /// [`complete`](Self::complete) and wait in `fed` until delivered.
+    events: EventQueue<()>,
+    queue: VecDeque<TrialRequest>,
+    /// Validated trained-rounds high-water per trial: committed only by
+    /// [`complete`](Self::complete).
+    trained: HashMap<usize, usize>,
+    /// Rounds each trial has been *dispatched* to (including unvalidated
+    /// in-flight work), so costs charge only incremental rounds even when
+    /// several reps of one trial are in flight.
+    staged: HashMap<usize, usize>,
+    /// Reached-rounds values of in-flight dispatches, FIFO per key (a key
+    /// can be in flight more than once only at distinct completion times).
+    pending: HashMap<EventKey, Vec<usize>>,
+    /// Completions fed in but not yet delivered.
+    fed: HashMap<EventKey, Vec<TrialResult>>,
+    outstanding: usize,
+    ledger: BudgetLedger,
+    outcome: TuningOutcome,
+    timeline: Vec<TrialSpan>,
+    metrics: Option<DriverMetrics>,
+    trace: Option<&'a fedtrace::Trace>,
+    phase: Phase,
+}
+
+impl<'a> ExecutorCore<'a> {
+    /// Builds an executor core over `scheduler`, tracing to the process
+    /// global scope when `FEDTUNE_TRACE=1`.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `sim` is invalid (zero workers, non-finite or non-positive
+    /// budget).
+    pub fn new(
+        scheduler: &'a mut dyn Scheduler,
+        space: &'a SearchSpace,
+        rng: &'a mut StdRng,
+        sim: &VirtualExecution,
+    ) -> Result<Self> {
+        Self::new_traced(scheduler, space, rng, sim, fedtrace::global_if_enabled())
+    }
+
+    /// [`new`](Self::new) with an explicit observability scope.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`new`](Self::new)'s conditions.
+    pub fn new_traced(
+        scheduler: &'a mut dyn Scheduler,
+        space: &'a SearchSpace,
+        rng: &'a mut StdRng,
+        sim: &VirtualExecution,
+        trace: Option<&'a fedtrace::Trace>,
+    ) -> Result<Self> {
+        sim.validate()?;
+        let async_mode = scheduler.async_capable();
+        let pool = WorkerPool::new(sim.workers)?;
+        let metrics = trace.map(|t| DriverMetrics::register(t, scheduler.name()));
+        if let Some(t) = trace {
+            t.journal()
+                .record_boundary(ClockDomain::Sim, EventKind::Begin, "campaign", 0.0);
+        }
+        Ok(ExecutorCore {
+            scheduler,
+            space,
+            rng,
+            sim: *sim,
+            async_mode,
+            clock: VirtualClock::new(),
+            pool,
+            events: EventQueue::new(),
+            queue: VecDeque::new(),
+            trained: HashMap::new(),
+            staged: HashMap::new(),
+            pending: HashMap::new(),
+            fed: HashMap::new(),
+            outstanding: 0,
+            ledger: BudgetLedger::new(),
+            outcome: TuningOutcome::default(),
+            timeline: Vec::new(),
+            metrics,
+            trace,
+            phase: Phase::Poll,
+        })
+    }
+
+    /// Current simulated time.
+    pub fn sim_now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Number of dispatched evaluations whose completions have not been
+    /// delivered yet.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// The **validated** trained-rounds high-water mark of a trial: rounds
+    /// are committed only when an evaluation result covering them is fed
+    /// back through [`complete`](Self::complete), never at dispatch — so an
+    /// objective error mid-campaign cannot leave the core claiming rounds
+    /// that were never trained.
+    pub fn trained_rounds(&self, trial_id: usize) -> usize {
+        self.trained.get(&trial_id).copied().unwrap_or(0)
+    }
+
+    /// Advances the state machine until it has something to say.
+    ///
+    /// Internally the core delivers every already-fed completion and
+    /// re-polls the scheduler as its contract allows; it returns as soon as
+    /// new work was dispatched ([`ExecutorStep::Dispatch`]), a completion is
+    /// missing ([`ExecutorStep::Deliver`]), or the campaign is over
+    /// ([`ExecutorStep::Finished`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates scheduler and cost-model errors, and fails if the
+    /// scheduler stalls (no outstanding work, no queued work, and an empty
+    /// suggestion while unfinished).
+    pub fn step(&mut self) -> Result<ExecutorStep> {
+        loop {
+            match self.phase {
+                Phase::Poll => {
+                    let started = self.trace.map(|t| t.wall_profile().now_seconds());
+                    let poll = self.poll();
+                    let batch = match poll {
+                        Ok(()) => self.dispatch(),
+                        Err(e) => Err(e),
+                    };
+                    if let (Some(t), Some(started)) = (self.trace, started) {
+                        t.wall_profile().record_since("suggest", started);
+                    }
+                    let batch = batch?;
+                    self.phase = Phase::Deliver;
+                    if !batch.is_empty() {
+                        return Ok(ExecutorStep::Dispatch(batch));
+                    }
+                }
+                Phase::Deliver => {
+                    let Some((time, key)) = self.events.peek() else {
+                        self.phase = Phase::Finished;
+                        if let Some(t) = self.trace {
+                            t.journal().record_boundary(
+                                ClockDomain::Sim,
+                                EventKind::End,
+                                "campaign",
+                                self.clock.now(),
+                            );
+                        }
+                        return Ok(ExecutorStep::Finished);
+                    };
+                    let has_result = self.fed.get(&key).is_some_and(|stack| !stack.is_empty());
+                    if !has_result {
+                        return Ok(ExecutorStep::Deliver(key));
+                    }
+                    let started = self.trace.map(|t| t.wall_profile().now_seconds());
+                    let delivered = self.deliver(time, key);
+                    if let (Some(t), Some(started)) = (self.trace, started) {
+                        t.wall_profile().record_since("deliver", started);
+                    }
+                    delivered?;
+                    self.phase = Phase::Poll;
+                }
+                Phase::Finished => return Ok(ExecutorStep::Finished),
+            }
+        }
+    }
+
+    /// Feeds the evaluation result of a dispatched trial back into the core.
+    ///
+    /// May be called in any order relative to other in-flight dispatches;
+    /// delivery to the scheduler still happens in `(sim_time, EventKey)`
+    /// order inside [`step`](Self::step). Commits the trial's validated
+    /// trained-rounds high-water mark (a max-merge, so completion order
+    /// cannot change it).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `key` has no in-flight dispatch or `result` does not carry
+    /// the key's coordinates.
+    pub fn complete(&mut self, key: EventKey, result: TrialResult) -> Result<()> {
+        let Some(stack) = self.pending.get_mut(&key) else {
+            return Err(crate::CoreError::InvalidConfig {
+                message: format!("completion for unknown or already-completed key {key:?}"),
+            });
+        };
+        if result.trial_id as u64 != key.trial
+            || result.resource as u64 != key.resource
+            || result.noise_rep != key.rep
+        {
+            return Err(crate::CoreError::InvalidConfig {
+                message: format!(
+                    "completion result (trial {}, resource {}, rep {}) does not match key {key:?}",
+                    result.trial_id, result.resource, result.noise_rep
+                ),
+            });
+        }
+        let reached = stack.remove(0);
+        if stack.is_empty() {
+            self.pending.remove(&key);
+        }
+        // Satellite of the sans-io refactor: the high-water mark is committed
+        // only here, against a validated result — never at dispatch.
+        let committed = self.trained.entry(key.trial as usize).or_insert(0);
+        *committed = (*committed).max(reached);
+        self.fed.entry(key).or_default().push(result);
+        Ok(())
+    }
+
+    /// Consumes the core into its campaign outcome. Typically called after
+    /// [`step`](Self::step) returned [`ExecutorStep::Finished`]; calling it
+    /// earlier yields the (consistent) partial outcome, as a budget cutoff
+    /// does.
+    pub fn finish(self) -> EventDrivenOutcome {
+        EventDrivenOutcome {
+            sim_elapsed: self.clock.now(),
+            finished: self.scheduler.is_finished(),
+            outcome: self.outcome,
+            timeline: self.timeline,
+        }
+    }
+
+    /// Polls the scheduler whenever its contract allows: between batches for
+    /// barrier schedulers, at any time for async ones. Fresh suggestions go
+    /// to the *front* of the dispatch queue so async promotions overtake
+    /// queued fresh configurations.
+    fn poll(&mut self) -> Result<()> {
+        let within_budget = self.sim.sim_budget.is_none_or(|b| self.clock.now() < b);
+        if within_budget
+            && !self.scheduler.is_finished()
+            && (self.outstanding == 0 || self.async_mode)
+        {
+            let batch = self.scheduler.suggest(self.space, self.rng)?;
+            if batch.is_empty()
+                && self.outstanding == 0
+                && self.queue.is_empty()
+                && !self.scheduler.is_finished()
+            {
+                return Err(crate::CoreError::InvalidConfig {
+                    message: format!(
+                        "scheduler {} stalled: empty batch while unfinished",
+                        self.scheduler.name()
+                    ),
+                });
+            }
+            if let Some(m) = &self.metrics {
+                m.suggests.incr();
+            }
+            for request in batch.into_iter().rev() {
+                self.queue.push_front(request);
+            }
+            if let Some(m) = &self.metrics {
+                // The *dispatch queue* depth after enqueue — not the size of
+                // the suggested batch, which undercounted whenever requests
+                // were still queued from an earlier poll.
+                m.queue_depth.observe(self.queue.len() as u64);
+            }
+        }
+        Ok(())
+    }
+
+    /// Dispatches queued requests to virtual workers. Barrier schedulers
+    /// commit the whole batch (workers serialize it); async schedulers only
+    /// fill workers that are idle *now*, so the next completion can re-poll
+    /// before the remaining queue is committed.
+    fn dispatch(&mut self) -> Result<Vec<DispatchedTrial>> {
+        let mut batch: Vec<DispatchedTrial> = Vec::new();
+        while !self.queue.is_empty() {
+            let (worker, free_at) = self.pool.next_free();
+            if self.async_mode && free_at > self.clock.now() {
+                break;
+            }
+            // The service stops handing out work at the deadline: a request
+            // whose start would land on or past the budget is never
+            // dispatched (and since `next_free` is the earliest worker, no
+            // later request could start sooner — stop here).
+            let start = free_at.max(self.clock.now());
+            if self.sim.sim_budget.is_some_and(|b| start >= b) {
+                break;
+            }
+            let request = self.queue.pop_front().expect("queue checked non-empty");
+            let fingerprint = self.space.canonical_fingerprint(&request.config)?;
+            // Incremental cost baseline: validated rounds plus rounds already
+            // dispatched (staged) — the same `already` the sequential driver
+            // saw when it updated its map eagerly, without claiming
+            // unvalidated rounds as trained.
+            let committed = self.trained.get(&request.trial_id).copied().unwrap_or(0);
+            let already = committed.max(self.staged.get(&request.trial_id).copied().unwrap_or(0));
+            let reached = already.max(request.resource);
+            let seconds = self
+                .sim
+                .cost
+                .evaluation_seconds(fingerprint, already, reached);
+            self.staged.insert(request.trial_id, reached);
+            let completion = self.pool.assign(worker, start, seconds)?;
+            let key = EventKey::new(
+                request.trial_id as u64,
+                request.resource as u64,
+                request.noise_rep,
+            );
+            self.events
+                .push(completion, key, ())
+                .map_err(|e| crate::CoreError::InvalidConfig {
+                    message: format!("virtual event queue rejected a completion: {e}"),
+                })?;
+            self.pending.entry(key).or_default().push(reached);
+            self.timeline.push(TrialSpan {
+                trial: request.trial_id as u64,
+                resource: request.resource as u64,
+                rep: request.noise_rep,
+                worker: worker as u64,
+                start,
+                end: completion,
+            });
+            if let Some(m) = &self.metrics {
+                m.dispatched.incr();
+                m.rung_resource.observe(request.resource as u64);
+                if already > 0 {
+                    // Re-dispatching a trained trial is a promotion (ASHA) or
+                    // a resume/re-evaluation (fresh-noise reps).
+                    m.promotions.incr();
+                }
+            }
+            self.outstanding += 1;
+            batch.push(DispatchedTrial {
+                request,
+                key,
+                worker,
+                sim_start: start,
+                sim_completion: completion,
+            });
+        }
+        if let Some(m) = &self.metrics {
+            if !batch.is_empty() {
+                m.busy_workers
+                    .observe(self.pool.busy_at(self.clock.now()) as u64);
+            }
+        }
+        Ok(batch)
+    }
+
+    /// Delivers the earliest completion: advances the virtual clock, records
+    /// the result at its completion instant, and reports it.
+    fn deliver(&mut self, time: f64, key: EventKey) -> Result<()> {
+        self.events.pop();
+        let stack = self.fed.get_mut(&key).expect("checked fed before deliver");
+        let result = stack.remove(0);
+        if stack.is_empty() {
+            self.fed.remove(&key);
+        }
+        self.clock.advance_to(time)?;
+        self.outcome.push(self.ledger.record_at(&result, time));
+        self.scheduler.report(&result)?;
+        self.outstanding -= 1;
+        if let Some(m) = &self.metrics {
+            m.reports.incr();
+        }
+        if let Some(t) = self.trace {
+            t.journal().record_instant(
+                ClockDomain::Sim,
+                "trial.complete",
+                time,
+                key.trial,
+                key.resource,
+            );
+        }
+        Ok(())
+    }
+}
+
 /// Drives `scheduler` through a **deterministic discrete-event simulation**:
 /// a virtual [`WorkerPool`] of `sim.workers` workers executes suggested
 /// requests, each costing [`CostModel::evaluation_seconds`] simulated
@@ -346,164 +797,44 @@ pub fn run_event_driven_traced(
     sim: &VirtualExecution,
     trace: Option<&fedtrace::Trace>,
 ) -> Result<EventDrivenOutcome> {
-    sim.validate()?;
-    let async_mode = scheduler.async_capable();
-    let mut clock = VirtualClock::new();
-    let mut pool = WorkerPool::new(sim.workers)?;
-    let mut events: EventQueue<TrialResult> = EventQueue::new();
-    let mut queue: VecDeque<TrialRequest> = VecDeque::new();
-    // Rounds each trial's training run has been simulated to, mirroring the
-    // objective's resume logic so costs charge only incremental rounds.
-    let mut trained: HashMap<usize, usize> = HashMap::new();
-    let mut outstanding = 0usize;
-    let mut ledger = BudgetLedger::new();
-    let mut outcome = TuningOutcome::default();
-    let mut timeline: Vec<TrialSpan> = Vec::new();
-    let metrics = trace.map(|t| DriverMetrics::register(t, scheduler.name()));
-    if let Some(t) = trace {
-        t.journal()
-            .record_boundary(ClockDomain::Sim, EventKind::Begin, "campaign", 0.0);
-    }
-
+    let mut core = ExecutorCore::new_traced(scheduler, space, rng, sim, trace)?;
     loop {
-        let within_budget = sim.sim_budget.is_none_or(|b| clock.now() < b);
-
-        // 1. Poll the scheduler whenever its contract allows: between batches
-        //    for barrier schedulers, at any time for async ones. Fresh
-        //    suggestions go to the *front* of the dispatch queue so async
-        //    promotions overtake queued fresh configurations.
-        if within_budget && !scheduler.is_finished() && (outstanding == 0 || async_mode) {
-            let batch = scheduler.suggest(space, rng)?;
-            if batch.is_empty() && outstanding == 0 && queue.is_empty() && !scheduler.is_finished()
-            {
+        match core.step()? {
+            ExecutorStep::Dispatch(batch) => {
+                let requests: Vec<TrialRequest> = batch.iter().map(|d| d.request.clone()).collect();
+                let times: Vec<f64> = batch.iter().map(|d| d.sim_completion).collect();
+                let started = trace.map(|t| t.wall_profile().now_seconds());
+                let results = objective.evaluate_batch_at(&requests, &times);
+                if let (Some(t), Some(started)) = (trace, started) {
+                    t.wall_profile().record_since("evaluate", started);
+                }
+                let results = results?;
+                if results.len() != requests.len() {
+                    return Err(crate::CoreError::InvalidConfig {
+                        message: format!(
+                            "objective returned {} results for {} requests",
+                            results.len(),
+                            requests.len()
+                        ),
+                    });
+                }
+                for (dispatched, result) in batch.iter().zip(results) {
+                    core.complete(dispatched.key, result)?;
+                }
+            }
+            // This driver completes every dispatch before stepping again, so
+            // the core can never be waiting on a missing completion.
+            ExecutorStep::Deliver(key) => {
                 return Err(crate::CoreError::InvalidConfig {
                     message: format!(
-                        "scheduler {} stalled: empty batch while unfinished",
-                        scheduler.name()
+                        "executor waited on a completion that was never produced: {key:?}"
                     ),
                 });
             }
-            if let Some(m) = &metrics {
-                m.suggests.incr();
-                m.queue_depth.observe(batch.len() as u64);
-            }
-            for request in batch.into_iter().rev() {
-                queue.push_front(request);
-            }
-        }
-
-        // 2. Dispatch queued requests to virtual workers. Barrier schedulers
-        //    commit the whole batch (workers serialize it); async schedulers
-        //    only fill workers that are idle *now*, so the next completion
-        //    can re-poll before the remaining queue is committed.
-        let mut dispatched: Vec<(TrialRequest, f64)> = Vec::new();
-        while !queue.is_empty() {
-            let (worker, free_at) = pool.next_free();
-            if async_mode && free_at > clock.now() {
-                break;
-            }
-            // The service stops handing out work at the deadline: a request
-            // whose start would land on or past the budget is never
-            // dispatched (and since `next_free` is the earliest worker, no
-            // later request could start sooner — stop here).
-            let start = free_at.max(clock.now());
-            if sim.sim_budget.is_some_and(|b| start >= b) {
-                break;
-            }
-            let request = queue.pop_front().expect("queue checked non-empty");
-            let fingerprint = space.canonical_fingerprint(&request.config)?;
-            let already = trained.get(&request.trial_id).copied().unwrap_or(0);
-            let reached = already.max(request.resource);
-            let seconds = sim.cost.evaluation_seconds(fingerprint, already, reached);
-            trained.insert(request.trial_id, reached);
-            let completion = pool.assign(worker, start, seconds)?;
-            timeline.push(TrialSpan {
-                trial: request.trial_id as u64,
-                resource: request.resource as u64,
-                rep: request.noise_rep,
-                worker: worker as u64,
-                start,
-                end: completion,
-            });
-            if let Some(m) = &metrics {
-                m.dispatched.incr();
-                m.rung_resource.observe(request.resource as u64);
-                if already > 0 {
-                    // Re-dispatching a trained trial is a promotion (ASHA) or
-                    // a resume/re-evaluation (fresh-noise reps).
-                    m.promotions.incr();
-                }
-            }
-            dispatched.push((request, completion));
-        }
-        if let Some(m) = &metrics {
-            if !dispatched.is_empty() {
-                m.busy_workers.observe(pool.busy_at(clock.now()) as u64);
-            }
-        }
-        if !dispatched.is_empty() {
-            let requests: Vec<TrialRequest> = dispatched.iter().map(|(r, _)| r.clone()).collect();
-            let times: Vec<f64> = dispatched.iter().map(|(_, t)| *t).collect();
-            let results = objective.evaluate_batch_at(&requests, &times)?;
-            if results.len() != requests.len() {
-                return Err(crate::CoreError::InvalidConfig {
-                    message: format!(
-                        "objective returned {} results for {} requests",
-                        results.len(),
-                        requests.len()
-                    ),
-                });
-            }
-            for ((request, completion), result) in dispatched.iter().zip(results) {
-                let key = EventKey::new(
-                    request.trial_id as u64,
-                    request.resource as u64,
-                    request.noise_rep,
-                );
-                events.push(*completion, key, result).map_err(|e| {
-                    crate::CoreError::InvalidConfig {
-                        message: format!("virtual event queue rejected a completion: {e}"),
-                    }
-                })?;
-            }
-            outstanding += dispatched.len();
-        }
-
-        // 3. Deliver the earliest completion: advance the virtual clock,
-        //    record the result at its completion instant, and report it.
-        match events.pop() {
-            Some((time, key, result)) => {
-                clock.advance_to(time)?;
-                outcome.push(ledger.record_at(&result, time));
-                scheduler.report(&result)?;
-                outstanding -= 1;
-                if let Some(m) = &metrics {
-                    m.reports.incr();
-                }
-                if let Some(t) = trace {
-                    t.journal().record_instant(
-                        ClockDomain::Sim,
-                        "trial.complete",
-                        time,
-                        key.trial,
-                        key.resource,
-                    );
-                }
-            }
-            None => break,
+            ExecutorStep::Finished => break,
         }
     }
-
-    if let Some(t) = trace {
-        t.journal()
-            .record_boundary(ClockDomain::Sim, EventKind::End, "campaign", clock.now());
-    }
-    Ok(EventDrivenOutcome {
-        sim_elapsed: clock.now(),
-        finished: scheduler.is_finished(),
-        outcome,
-        timeline,
-    })
+    Ok(core.finish())
 }
 
 #[cfg(test)]
@@ -878,6 +1209,132 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("stalled"), "{err}");
+    }
+
+    #[test]
+    fn executor_core_enforces_budget_boundaries_sans_io() {
+        // A zero budget is rejected up front by construction.
+        let space = space_1d();
+        let mut scheduler = RandomSearch::new(8, 2).scheduler().unwrap();
+        let mut rng = rng_for(0, 0);
+        let zero = VirtualExecution::new(1, CostModel::Unit).with_sim_budget(0.0);
+        assert!(ExecutorCore::new(&mut scheduler, &space, &mut rng, &zero).is_err());
+
+        // A dispatch whose start lands exactly on the deadline is never
+        // issued: unit costs on one worker under a 2.0-second budget admit
+        // the starts at 0 and 1, and reject the start at exactly 2.0.
+        let mut scheduler = RandomSearch::new(8, 2).scheduler().unwrap();
+        let mut rng = rng_for(0, 0);
+        let sim = VirtualExecution::new(1, CostModel::Unit).with_sim_budget(2.0);
+        let mut core = ExecutorCore::new(&mut scheduler, &space, &mut rng, &sim).unwrap();
+        let ExecutorStep::Dispatch(batch) = core.step().unwrap() else {
+            panic!("expected an initial dispatch");
+        };
+        assert_eq!(batch.len(), 2);
+        assert!(batch.iter().all(|d| d.sim_start < 2.0));
+        assert_eq!(core.outstanding(), 2);
+        // Without the completions fed, the core asks for the earliest one.
+        let ExecutorStep::Deliver(waiting) = core.step().unwrap() else {
+            panic!("expected the core to wait on a completion");
+        };
+        assert_eq!(waiting, batch[0].key);
+        // Feed the completions out of dispatch order; delivery order is the
+        // event queue's business, not the caller's.
+        for d in batch.iter().rev() {
+            let x = d.request.config.values()[0];
+            core.complete(d.key, TrialResult::of(&d.request, (x - 0.3).abs()))
+                .unwrap();
+        }
+        // Budget hit with a non-empty dispatch queue (6 of the 8 suggested
+        // requests still queued): the core drains its deliveries and finishes
+        // with `finished == false`, never dispatching the rest.
+        assert!(matches!(core.step().unwrap(), ExecutorStep::Finished));
+        assert_eq!(core.outstanding(), 0);
+        let outcome = core.finish();
+        assert!(!outcome.finished);
+        assert_eq!(outcome.outcome.num_evaluations(), 2);
+        assert_eq!(outcome.sim_elapsed, 2.0);
+        assert_eq!(outcome.timeline.len(), 2);
+    }
+
+    #[test]
+    fn executor_core_reports_stall_through_the_sans_io_api() {
+        struct Staller;
+        impl Scheduler for Staller {
+            fn name(&self) -> &'static str {
+                "staller"
+            }
+            fn suggest(
+                &mut self,
+                _space: &SearchSpace,
+                _rng: &mut StdRng,
+            ) -> fedhpo::Result<Vec<TrialRequest>> {
+                Ok(Vec::new())
+            }
+            fn report(&mut self, _result: &TrialResult) -> fedhpo::Result<()> {
+                Ok(())
+            }
+            fn is_finished(&self) -> bool {
+                false
+            }
+        }
+        let space = space_1d();
+        let mut staller = Staller;
+        let mut rng = rng_for(0, 2);
+        let sim = VirtualExecution::new(2, CostModel::Unit);
+        let mut core = ExecutorCore::new(&mut staller, &space, &mut rng, &sim).unwrap();
+        let err = core.step().unwrap_err();
+        assert!(err.to_string().contains("stalled"), "{err}");
+    }
+
+    #[test]
+    fn trained_rounds_commit_only_on_validated_results() {
+        // ASHA promotions resume from the trained high-water mark; the core
+        // must not claim rounds at dispatch time, only once a result has
+        // validated them — an objective failure mid-flight leaves no phantom
+        // training behind.
+        let space = space_1d();
+        let mut scheduler = Asha::new(9, 3, 1, 9).scheduler().unwrap();
+        let mut rng = rng_for(1, 0);
+        let sim = VirtualExecution::new(9, CostModel::Unit);
+        let mut core = ExecutorCore::new(&mut scheduler, &space, &mut rng, &sim).unwrap();
+        let ExecutorStep::Dispatch(rung) = core.step().unwrap() else {
+            panic!("expected the first rung");
+        };
+        assert_eq!(rung.len(), 9);
+        // In flight, nothing is validated yet.
+        for d in &rung {
+            assert_eq!(core.trained_rounds(d.request.trial_id), 0);
+        }
+        let (last, rest) = rung.split_last().unwrap();
+        for d in rest {
+            let x = d.request.config.values()[0];
+            core.complete(d.key, TrialResult::of(&d.request, (x - 0.3).abs()))
+                .unwrap();
+            assert_eq!(core.trained_rounds(d.request.trial_id), d.request.resource);
+        }
+        assert_eq!(core.trained_rounds(last.request.trial_id), 0);
+        // A result that does not carry the key's coordinates is refused and
+        // commits nothing.
+        let mut wrong = TrialResult::of(&last.request, 0.0);
+        wrong.resource += 1;
+        assert!(core.complete(last.key, wrong).is_err());
+        assert_eq!(core.trained_rounds(last.request.trial_id), 0);
+        // So is a completion for a key that was never dispatched.
+        let mut bogus = last.request.clone();
+        bogus.trial_id = 99;
+        let bogus_key = EventKey::new(99, bogus.resource as u64, bogus.noise_rep);
+        assert!(core
+            .complete(bogus_key, TrialResult::of(&bogus, 0.0))
+            .is_err());
+        // The genuine result commits the mark.
+        let x = last.request.config.values()[0];
+        core.complete(last.key, TrialResult::of(&last.request, (x - 0.3).abs()))
+            .unwrap();
+        assert_eq!(
+            core.trained_rounds(last.request.trial_id),
+            last.request.resource
+        );
     }
 
     #[test]

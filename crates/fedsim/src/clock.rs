@@ -149,6 +149,18 @@ impl<T> EventQueue<T> {
             .map(|slot| f64::from_bits(slot.time_bits))
     }
 
+    /// The earliest queued event as `(time, key)`, without removing it.
+    ///
+    /// The executor core uses this to decide whether the next virtual event
+    /// can be delivered (its completion has been fed in) or must be waited
+    /// for, without committing to a pop.
+    pub fn peek(&self) -> Option<(f64, EventKey)> {
+        self.events
+            .keys()
+            .next()
+            .map(|slot| (f64::from_bits(slot.time_bits), slot.key))
+    }
+
     /// Queues `payload` to complete at `time` under `key`.
     ///
     /// # Errors
@@ -465,6 +477,7 @@ mod tests {
             .unwrap();
         assert_eq!(queue.len(), 3);
         assert_eq!(queue.peek_time(), Some(1.0));
+        assert_eq!(queue.peek(), Some((1.0, EventKey::new(9, 1, 0))));
         let order: Vec<&str> = std::iter::from_fn(|| queue.pop().map(|(_, _, p)| p)).collect();
         assert_eq!(order, vec!["early", "tie-low-key", "late"]);
         assert!(queue.pop().is_none());

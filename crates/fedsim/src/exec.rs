@@ -18,8 +18,23 @@
 //! the build environment vendors all dependencies offline, and scoped threads
 //! with contiguous chunking are sufficient for the simulator's uniform
 //! workloads while keeping the reduction shape trivially deterministic.
+//!
+//! For long-lived fan-out — the event-driven executor submitting one task per
+//! dispatched trial, hundreds of times per campaign — per-call spawning pays
+//! thread-creation cost on every round trip. [`with_thread_pool`] amortizes
+//! it: a campaign-scoped pool of persistent workers drains a FIFO injector
+//! queue, so task *start* order always equals submission order, and the
+//! caller decides (deterministically) how results are committed. Because the
+//! crates in this workspace forbid `unsafe`, the pool is scoped rather than
+//! global: jobs may borrow anything that outlives the [`with_thread_pool`]
+//! call, which is exactly the shape of the concurrent trial executor (shared
+//! evaluation core by reference, per-trial state by value) but *not* of
+//! [`map_range`]'s arbitrary call-site borrows — the per-call scoped spawns
+//! remain there, where fan-outs are wide and infrequent.
 
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Default chunk width for deterministic [`map_chunks`] reductions.
 ///
@@ -84,6 +99,13 @@ impl ExecutionPolicy {
     /// Returns `true` if this policy fans out over threads.
     pub fn is_parallel(&self) -> bool {
         matches!(self, ExecutionPolicy::Parallel { .. })
+    }
+
+    /// The real worker-thread count this policy implies for a long-lived
+    /// pool with no per-call item bound: `Sequential` → 1, `Parallel { 0 }`
+    /// → all available cores, `Parallel { n }` → `n`.
+    pub fn pool_threads(&self) -> usize {
+        self.effective_threads(usize::MAX)
     }
 
     /// The number of worker threads this policy would use for `items` work
@@ -167,6 +189,222 @@ where
         let start = c * chunk_size;
         f(start..(start + chunk_size).min(len))
     })
+}
+
+/// A unit of work queued on a [`ThreadPool`].
+type PoolJob<'env> = Box<dyn FnOnce() + Send + 'env>;
+
+struct PoolState<'env> {
+    jobs: VecDeque<PoolJob<'env>>,
+    shutdown: bool,
+}
+
+struct PoolShared<'env> {
+    state: Mutex<PoolState<'env>>,
+    work_ready: Condvar,
+}
+
+/// Pool accounting on the global [`fedtrace`] registry. Write-only — the
+/// pool never reads these back, so tracing cannot change scheduling.
+struct PoolMetrics {
+    tasks: fedtrace::Counter,
+    steals_avoided: fedtrace::Counter,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: std::sync::OnceLock<PoolMetrics> = std::sync::OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = fedtrace::global().registry();
+        PoolMetrics {
+            tasks: registry.counter("exec.pool.tasks"),
+            steals_avoided: registry.counter("exec.pool.steals_avoided"),
+        }
+    })
+}
+
+/// Handle to a persistent, order-preserving worker pool created by
+/// [`with_thread_pool`].
+///
+/// Workers are long-lived threads draining one shared FIFO queue: tasks
+/// *start* in exactly the order they were submitted (there is no per-worker
+/// deque and hence no stealing), which keeps pool scheduling out of any
+/// determinism argument — a caller that commits results in submission order
+/// gets bit-identical output at every worker count.
+///
+/// The counter `exec.pool.tasks` records every submission and
+/// `exec.pool.steals_avoided` every task the submitting thread ran inline
+/// (see [`help_run_one`](Self::help_run_one)) instead of handing it to a
+/// worker. Accounting, never semantics.
+pub struct ThreadPool<'env> {
+    shared: Arc<PoolShared<'env>>,
+    workers: usize,
+}
+
+impl<'env> ThreadPool<'env> {
+    /// Number of persistent worker threads serving this pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Queues `job` for execution on the next idle worker. Jobs start in
+    /// submission order; all submitted jobs complete before
+    /// [`with_thread_pool`] returns.
+    pub fn submit<F: FnOnce() + Send + 'env>(&self, job: F) {
+        pool_metrics().tasks.incr();
+        let mut state = self.shared.state.lock().expect("pool queue poisoned");
+        state.jobs.push_back(Box::new(job));
+        drop(state);
+        self.shared.work_ready.notify_one();
+    }
+
+    /// [`submit`](Self::submit) for a task that inherits its predecessor's
+    /// warm per-task state (the concurrent executor chaining a trial's next
+    /// dispatch onto the state its completed dispatch just freed). Counted
+    /// as `exec.pool.steals_avoided`: the state handoff bypasses the shared
+    /// parked-state round trip a work-stealing pool would pay.
+    pub fn submit_chained<F: FnOnce() + Send + 'env>(&self, job: F) {
+        pool_metrics().steals_avoided.incr();
+        self.submit(job);
+    }
+
+    /// Pops one queued job (if any) and runs it on the *calling* thread.
+    ///
+    /// Lets a thread that is waiting for pool results make progress instead
+    /// of handing every task across a thread boundary; each inline run is
+    /// counted as `exec.pool.steals_avoided`. Returns `false` when the queue
+    /// was empty.
+    pub fn help_run_one(&self) -> bool {
+        let job = {
+            let mut state = self.shared.state.lock().expect("pool queue poisoned");
+            state.jobs.pop_front()
+        };
+        match job {
+            Some(job) => {
+                pool_metrics().steals_avoided.incr();
+                job();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Order-preserving fan-out on the pool: applies `f` to `0..len` in the
+    /// same fixed contiguous chunks as the free function [`map_range`] and
+    /// stitches results back in index order, so the output is bit-identical
+    /// to the sequential path for any pure-per-index `f`.
+    ///
+    /// Unlike the free function, `f` must own its captures (or borrow data
+    /// that outlives the pool), because chunks outlive this call's frame on
+    /// worker threads. The calling thread helps drain the queue while it
+    /// waits, so the fan-out completes even on a single-worker pool.
+    pub fn map_range<O, F>(&self, len: usize, f: F) -> Vec<O>
+    where
+        O: Send + 'env,
+        F: Fn(usize) -> O + Send + Sync + 'env,
+    {
+        if len == 0 {
+            return Vec::new();
+        }
+        let threads = self.workers.min(len);
+        let chunk = len.div_ceil(threads);
+        let starts: Vec<usize> = (0..len).step_by(chunk).collect();
+        let (tx, rx) = std::sync::mpsc::channel::<(usize, Vec<O>)>();
+        let f = Arc::new(f);
+        for (slot, &start) in starts.iter().enumerate() {
+            let end = (start + chunk).min(len);
+            let f = Arc::clone(&f);
+            let tx = tx.clone();
+            self.submit(move || {
+                let part: Vec<O> = (start..end).map(|i| f(i)).collect();
+                let _ = tx.send((slot, part));
+            });
+        }
+        drop(tx);
+        let mut parts: Vec<Option<Vec<O>>> = (0..starts.len()).map(|_| None).collect();
+        let mut received = 0;
+        while received < starts.len() {
+            match rx.try_recv() {
+                Ok((slot, part)) => {
+                    parts[slot] = Some(part);
+                    received += 1;
+                }
+                Err(std::sync::mpsc::TryRecvError::Empty) => {
+                    if !self.help_run_one() {
+                        let (slot, part) = rx.recv().expect("pool worker panicked");
+                        parts[slot] = Some(part);
+                        received += 1;
+                    }
+                }
+                Err(std::sync::mpsc::TryRecvError::Disconnected) => {
+                    panic!("pool worker panicked")
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(len);
+        for part in parts {
+            out.extend(part.expect("every chunk reported"));
+        }
+        out
+    }
+}
+
+/// Runs `f` with a persistent pool of `threads.max(1)` workers, shutting the
+/// pool down (after draining every submitted job) when `f` returns.
+///
+/// The `'env` lifetime is the borrow horizon for jobs: anything a job borrows
+/// must outlive the `with_thread_pool` call itself. Built on
+/// `std::thread::scope`, so a panicking job propagates to the caller once the
+/// scope joins.
+pub fn with_thread_pool<'env, R, F>(threads: usize, f: F) -> R
+where
+    F: FnOnce(&ThreadPool<'env>) -> R,
+{
+    let workers = threads.max(1);
+    let shared: Arc<PoolShared<'env>> = Arc::new(PoolShared {
+        state: Mutex::new(PoolState {
+            jobs: VecDeque::new(),
+            shutdown: false,
+        }),
+        work_ready: Condvar::new(),
+    });
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let shared = Arc::clone(&shared);
+            scope.spawn(move || worker_loop(&shared));
+        }
+        let pool = ThreadPool {
+            shared: Arc::clone(&shared),
+            workers,
+        };
+        let out = f(&pool);
+        let mut state = shared.state.lock().expect("pool queue poisoned");
+        state.shutdown = true;
+        drop(state);
+        shared.work_ready.notify_all();
+        out
+    })
+}
+
+fn worker_loop(shared: &PoolShared<'_>) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break Some(job);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = shared.work_ready.wait(state).expect("pool queue poisoned");
+            }
+        };
+        match job {
+            // Run outside the lock so a panicking job cannot poison the queue.
+            Some(job) => job(),
+            None => return,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -258,6 +496,65 @@ mod tests {
                 "threads = {threads}"
             );
         }
+    }
+
+    #[test]
+    fn thread_pool_runs_every_submitted_job_before_returning() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let ran = AtomicUsize::new(0);
+        with_thread_pool(4, |pool| {
+            assert_eq!(pool.workers(), 4);
+            for _ in 0..100 {
+                pool.submit(|| {
+                    ran.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        // with_thread_pool only returns once the scope has joined, i.e. after
+        // the workers drained the queue.
+        assert_eq!(ran.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn thread_pool_map_range_matches_sequential_at_every_worker_count() {
+        let sequential: Vec<usize> = (0..57).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 3, 8] {
+            let pooled = with_thread_pool(threads, |pool| pool.map_range(57, |i| i * 3 + 1));
+            assert_eq!(sequential, pooled, "threads = {threads}");
+        }
+        let empty: Vec<usize> = with_thread_pool(2, |pool| pool.map_range(0, |i| i));
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn thread_pool_jobs_may_borrow_pre_pool_data() {
+        let data: Vec<u64> = (0..64).collect();
+        let total: u64 = data.iter().sum();
+        let summed = with_thread_pool(3, |pool| {
+            let parts = pool.map_range(data.len(), |i| data[i]);
+            parts.into_iter().sum::<u64>()
+        });
+        assert_eq!(summed, total);
+    }
+
+    #[test]
+    fn thread_pool_counts_tasks_on_the_global_registry() {
+        let start = pool_metrics().tasks.value();
+        with_thread_pool(2, |pool| {
+            for _ in 0..5 {
+                pool.submit(|| {});
+            }
+        });
+        assert!(pool_metrics().tasks.value() >= start + 5);
+    }
+
+    #[test]
+    fn thread_pool_clamps_zero_workers_to_one() {
+        let out = with_thread_pool(0, |pool| {
+            assert_eq!(pool.workers(), 1);
+            pool.map_range(5, |i| i + 1)
+        });
+        assert_eq!(out, vec![1, 2, 3, 4, 5]);
     }
 
     #[test]

@@ -152,18 +152,32 @@ impl WallProfile {
 
     /// Runs `work`, recording its wall-clock extent as a named slice.
     pub fn time<T>(&self, name: &str, work: impl FnOnce() -> T) -> T {
-        let start = self.origin.elapsed().as_secs_f64();
+        let start = self.now_seconds();
         let out = work();
-        let end = self.origin.elapsed().as_secs_f64();
+        self.record_since(name, start);
+        out
+    }
+
+    /// Seconds elapsed since the profile's origin — the timestamp domain of
+    /// every slice. Pair with [`record_since`](Self::record_since) to time a
+    /// region that cannot be expressed as a closure (for example a phase
+    /// spanning several `&mut self` calls on another object).
+    pub fn now_seconds(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+
+    /// Records a named slice from `start_seconds` (a value previously read
+    /// from [`now_seconds`](Self::now_seconds)) to now.
+    pub fn record_since(&self, name: &str, start_seconds: f64) {
+        let end = self.now_seconds();
         self.slices
             .lock()
             .expect("profile lock poisoned")
             .push(WallSlice {
                 name: name.to_string(),
-                start_seconds: start,
-                duration_seconds: end - start,
+                start_seconds,
+                duration_seconds: end - start_seconds,
             });
-        out
     }
 
     /// Number of recorded slices.

@@ -65,6 +65,7 @@ pub const DEFAULT_JOURNAL_CAPACITY: usize = 1 << 16;
 pub struct Trace {
     registry: Registry,
     journal: Journal,
+    wall: WallProfile,
 }
 
 impl Trace {
@@ -78,6 +79,7 @@ impl Trace {
         Trace {
             registry: Registry::new(),
             journal: Journal::new(capacity),
+            wall: WallProfile::new(),
         }
     }
 
@@ -89,6 +91,14 @@ impl Trace {
     /// The event journal of this scope.
     pub fn journal(&self) -> &Journal {
         &self.journal
+    }
+
+    /// The wall-clock phase profile of this scope: real-time slices (driver
+    /// time in suggest vs evaluate vs deliver, and similar) recorded by
+    /// instrumented code. Wall-domain accounting only — nothing semantic may
+    /// ever read it back.
+    pub fn wall_profile(&self) -> &WallProfile {
+        &self.wall
     }
 
     /// Snapshot of every registered metric, sorted by name.

@@ -21,11 +21,15 @@
 //! `metrics-async_asha.json`, the full metrics-registry snapshot.
 
 use feddata::Benchmark;
+use fedtune::fedtune_core::experiments::methods::TuningMethod;
 use fedtune::fedtune_core::experiments::stragglers::{
     run_straggler_comparison, straggler_cost_model,
 };
-use fedtune::fedtune_core::{ExecutionPolicy, ExperimentScale};
-use fedtune::{feddata, fedsim, fedtrace};
+use fedtune::fedtune_core::{
+    run_event_driven_concurrent_traced, run_event_driven_traced, BatchFederatedObjective,
+    BenchmarkContext, ExecutionPolicy, ExperimentScale, NoiseConfig, VirtualExecution,
+};
+use fedtune::{feddata, fedmath, fedsim, fedtrace};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scale = ExperimentScale::smoke();
@@ -71,6 +75,72 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Promote-on-completion keeps every virtual worker busy: async ASHA reaches");
     println!("its selection in less simulated wall-clock than the rung-synchronous ladder.");
 
+    // Cross-trial concurrent evaluation: the same async campaign once more,
+    // first through the blocking driver, then with every in-flight virtual
+    // trial training concurrently on `FEDTUNE_THREADS` real threads. The
+    // outcomes must match bit for bit — real parallelism buys wall clock,
+    // never a different result.
+    let threads = policy.pool_threads();
+    let seed = 0u64;
+    let ctx = BenchmarkContext::new(Benchmark::Cifar10Like, &scale, seed)?;
+    let method = TuningMethod::AsyncAsha;
+    let sim = VirtualExecution::new(3, straggler_cost_model(&scale, seed));
+    let trace = fedtrace::global_if_enabled();
+    let fresh_objective = || {
+        BatchFederatedObjective::new(
+            &ctx,
+            NoiseConfig::paper_noisy(),
+            method.planned_evaluations(&scale),
+            fedmath::rng::derive_seed(seed, 0),
+        )
+    };
+
+    let start = std::time::Instant::now();
+    let mut scheduler = method.scheduler(&scale)?;
+    let mut objective = fresh_objective()?;
+    let mut rng = fedmath::rng::rng_for(seed, 1);
+    let blocking = run_event_driven_traced(
+        scheduler.as_mut(),
+        ctx.space(),
+        &mut objective,
+        &mut rng,
+        &sim,
+        trace,
+    )?;
+    let blocking_wall = start.elapsed().as_secs_f64();
+
+    let start = std::time::Instant::now();
+    let mut scheduler = method.scheduler(&scale)?;
+    let mut objective = fresh_objective()?;
+    let mut rng = fedmath::rng::rng_for(seed, 1);
+    let concurrent = run_event_driven_concurrent_traced(
+        scheduler.as_mut(),
+        ctx.space(),
+        &mut objective,
+        &mut rng,
+        &sim,
+        threads,
+        trace,
+    )?;
+    let concurrent_wall = start.elapsed().as_secs_f64();
+    assert_eq!(
+        blocking, concurrent,
+        "the concurrent executor moved a bit of the campaign outcome"
+    );
+    summary.push(
+        "concurrent_executor_campaign",
+        concurrent_wall,
+        concurrent.outcome.num_evaluations() as u64,
+    );
+    println!(
+        "\nConcurrent executor @ {threads} real thread(s): {} evaluations in {:.2}s wall",
+        concurrent.outcome.num_evaluations(),
+        concurrent_wall
+    );
+    println!(
+        "blocking driver for reference: {blocking_wall:.2}s wall — outcomes are bit-identical"
+    );
+
     if let Some(trace) = fedtrace::global_if_enabled() {
         let tracks: Vec<fedtrace::TimelineTrack> = comparison
             .runs
@@ -86,13 +156,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "trace-async_asha.json",
             fedtrace::virtual_timeline_json(&tracks),
         )?;
+        // Wall-domain phase profile of the drivers above: how real time
+        // split between suggesting (scheduler polls + dispatch), evaluating
+        // (training on worker threads), and delivering results.
+        let wall = trace.wall_profile();
+        if !wall.is_empty() {
+            std::fs::write("trace-async_asha-phases.json", wall.to_chrome_json())?;
+            println!("wrote trace-async_asha-phases.json (wall-domain suggest/evaluate/deliver)");
+        }
         let snapshot = trace.snapshot();
         std::fs::write(
             "metrics-async_asha.json",
             serde_json::to_string_pretty(&snapshot)?,
         )?;
+        println!(
+            "thread pool: {} tasks, {} queue round-trips avoided",
+            snapshot.counter("exec.pool.tasks").unwrap_or(0),
+            snapshot.counter("exec.pool.steals_avoided").unwrap_or(0)
+        );
         summary.record_metrics(snapshot);
-        println!("\nwrote trace-async_asha.json (open it in Perfetto: https://ui.perfetto.dev)");
+        println!("wrote trace-async_asha.json (open it in Perfetto: https://ui.perfetto.dev)");
         println!("wrote metrics-async_asha.json");
     }
     summary.write_if_enabled();

@@ -20,9 +20,9 @@ use fedtune_core::experiments::methods::{
 use fedtune_core::experiments::stragglers::straggler_cost_model;
 use fedtune_core::experiments::subsampling::run_subsampling_sweep_with;
 use fedtune_core::{
-    run_event_driven, run_event_driven_traced, BatchFederatedObjective, BenchmarkContext,
-    ConfigPool, EventDrivenOutcome, ExperimentScale, NoiseConfig, ObjectiveLogEntry, TrialRunner,
-    VirtualExecution,
+    run_event_driven, run_event_driven_concurrent, run_event_driven_traced,
+    BatchFederatedObjective, BenchmarkContext, ConfigPool, EventDrivenOutcome, ExperimentScale,
+    NoiseConfig, ObjectiveLogEntry, TrialRunner, VirtualExecution,
 };
 
 const SEEDS: [u64; 3] = [0, 7, 42];
@@ -353,6 +353,66 @@ fn event_driven_campaigns_are_bit_identical_across_policies() {
             assert_eq!(
                 sequential.sim_elapsed.to_bits(),
                 parallel.sim_elapsed.to_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn concurrent_executor_matches_blocking_driver_bit_for_bit() {
+    // The real-parallelism contract: evaluating every in-flight virtual
+    // trial concurrently on real threads may change wall-clock time only.
+    // Outcome, virtual timeline, and campaign log are bit-identical to the
+    // blocking sequential driver at 1, 4, and 8 real threads, across seeds.
+    let scale = ExperimentScale::smoke();
+    for &seed in &SEEDS {
+        let ctx = BenchmarkContext::new(Benchmark::Cifar10Like, &scale, seed).unwrap();
+        let (blocking, blocking_log) =
+            event_driven_campaign(&ctx, &scale, ExecutionPolicy::Sequential, seed, None);
+        assert!(blocking.finished);
+        for threads in [1usize, 4, 8] {
+            let method = TuningMethod::AsyncAsha;
+            let mut scheduler = method.scheduler(&scale).unwrap();
+            let mut objective = BatchFederatedObjective::new(
+                &ctx,
+                NoiseConfig::paper_noisy(),
+                method.planned_evaluations(&scale),
+                fedmath::rng::derive_seed(seed, 0),
+            )
+            .unwrap();
+            let mut rng = fedmath::rng::rng_for(seed, 1);
+            let sim = VirtualExecution::new(3, straggler_cost_model(&scale, seed));
+            let concurrent = run_event_driven_concurrent(
+                scheduler.as_mut(),
+                ctx.space(),
+                &mut objective,
+                &mut rng,
+                &sim,
+                threads,
+            )
+            .unwrap();
+            assert_eq!(
+                blocking, concurrent,
+                "seed {seed}, {threads} threads: concurrent outcome diverged"
+            );
+            for (a, b) in blocking
+                .outcome
+                .records()
+                .iter()
+                .zip(concurrent.outcome.records())
+            {
+                assert_eq!(a.score.to_bits(), b.score.to_bits());
+                assert_eq!(a.sim_time.to_bits(), b.sim_time.to_bits());
+            }
+            assert_eq!(
+                blocking.sim_elapsed.to_bits(),
+                concurrent.sim_elapsed.to_bits()
+            );
+            // The campaign log commits in dispatch order on both drivers.
+            assert_eq!(
+                blocking_log,
+                objective.into_log(),
+                "seed {seed}, {threads} threads"
             );
         }
     }

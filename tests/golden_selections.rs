@@ -20,8 +20,8 @@ use fedtune_core::experiments::methods::{
 };
 use fedtune_core::experiments::stragglers::straggler_cost_model;
 use fedtune_core::{
-    run_event_driven, BatchFederatedObjective, BenchmarkContext, ExperimentScale, NoiseConfig,
-    VirtualExecution,
+    run_event_driven, run_event_driven_concurrent, BatchFederatedObjective, BenchmarkContext,
+    ExperimentScale, NoiseConfig, VirtualExecution,
 };
 
 /// One pinned scheduled run: `(noise_label, trial, log_len, selected-true-error bits)`.
@@ -210,4 +210,61 @@ fn event_driven_async_asha_selection_is_pinned() {
         result.sim_elapsed,
         result.sim_elapsed.to_bits(),
     );
+}
+
+#[test]
+fn concurrent_executor_reproduces_the_event_driven_pins() {
+    // The same pinned campaign through the cross-trial concurrent driver:
+    // real threads must be invisible in the golden bits. Runs at one thread,
+    // eight threads, and whatever FEDTUNE_THREADS asks for (the CI
+    // executor-smoke job sets 8), so an env override can never move a pin.
+    let scale = ExperimentScale::smoke();
+    let seed = EVENT_DRIVEN_SEED;
+    let ctx = BenchmarkContext::new(Benchmark::Cifar10Like, &scale, seed).unwrap();
+    let method = TuningMethod::AsyncAsha;
+    let env_threads = ExecutionPolicy::from_env().pool_threads();
+    for threads in [1usize, 8, env_threads] {
+        let mut scheduler = method.scheduler(&scale).unwrap();
+        let mut objective = BatchFederatedObjective::new(
+            &ctx,
+            NoiseConfig::paper_noisy(),
+            method.planned_evaluations(&scale),
+            fedmath::rng::derive_seed(seed, 0),
+        )
+        .unwrap();
+        let mut rng = fedmath::rng::rng_for(seed, 1);
+        let sim = VirtualExecution::new(3, straggler_cost_model(&scale, seed));
+        let result = run_event_driven_concurrent(
+            scheduler.as_mut(),
+            ctx.space(),
+            &mut objective,
+            &mut rng,
+            &sim,
+            threads,
+        )
+        .unwrap();
+        assert!(result.finished, "{threads} threads");
+        let records = result.outcome.records();
+        let best = records
+            .iter()
+            .min_by(|a, b| a.score.total_cmp(&b.score))
+            .expect("at least one completed evaluation");
+        let (num_records, best_trial, score_bits, elapsed_bits) = GOLDEN_EVENT_DRIVEN;
+        assert_eq!(records.len(), num_records, "{threads} threads");
+        assert_eq!(best.trial_id, best_trial, "{threads} threads");
+        assert_eq!(
+            best.score.to_bits(),
+            score_bits,
+            "{threads} threads: winning score drifted: got {} (0x{:016x})",
+            best.score,
+            best.score.to_bits(),
+        );
+        assert_eq!(
+            result.sim_elapsed.to_bits(),
+            elapsed_bits,
+            "{threads} threads: virtual timeline drifted: got {} (0x{:016x})",
+            result.sim_elapsed,
+            result.sim_elapsed.to_bits(),
+        );
+    }
 }
