@@ -372,6 +372,7 @@ pub struct ExecutorCore<'a> {
     metrics: Option<DriverMetrics>,
     trace: Option<&'a fedtrace::Trace>,
     phase: Phase,
+    halted: bool,
 }
 
 impl<'a> ExecutorCore<'a> {
@@ -432,6 +433,7 @@ impl<'a> ExecutorCore<'a> {
             metrics,
             trace,
             phase: Phase::Poll,
+            halted: false,
         })
     }
 
@@ -444,6 +446,23 @@ impl<'a> ExecutorCore<'a> {
     /// delivered yet.
     pub fn outstanding(&self) -> usize {
         self.outstanding
+    }
+
+    /// Halts the campaign early: the scheduler is never polled again and
+    /// queued (undispatched) requests are discarded, while evaluations
+    /// already dispatched still complete and deliver — so the partial
+    /// outcome remains internally consistent, exactly like a simulated
+    /// wall-clock budget cutoff. The multiplexing service daemon uses this
+    /// for per-campaign trial/resource budget enforcement and operator
+    /// stops. Idempotent.
+    pub fn halt(&mut self) {
+        self.halted = true;
+        self.queue.clear();
+    }
+
+    /// Whether [`halt`](Self::halt) has been called.
+    pub fn is_halted(&self) -> bool {
+        self.halted
     }
 
     /// The **validated** trained-rounds high-water mark of a trial: rounds
@@ -577,7 +596,8 @@ impl<'a> ExecutorCore<'a> {
     /// queued fresh configurations.
     fn poll(&mut self) -> Result<()> {
         let within_budget = self.sim.sim_budget.is_none_or(|b| self.clock.now() < b);
-        if within_budget
+        if !self.halted
+            && within_budget
             && !self.scheduler.is_finished()
             && (self.outstanding == 0 || self.async_mode)
         {
@@ -909,6 +929,44 @@ mod tests {
             .tune(&space_1d(), &mut sequential_objective, &mut rng)
             .unwrap();
         assert_eq!(batched, sequential);
+    }
+
+    #[test]
+    fn halt_stops_suggesting_but_drains_outstanding_dispatches() {
+        // Halt right after the first dispatch batch: the already-dispatched
+        // evaluations still complete and deliver, nothing new is suggested,
+        // and the partial outcome reports `finished == false`.
+        let mut scheduler = Asha::new(9, 3, 1, 9).scheduler().unwrap();
+        let mut rng = rng_for(5, 0);
+        let space = space_1d();
+        let sim = VirtualExecution::new(2, fedsim::clock::CostModel::Unit);
+        let mut core = ExecutorCore::new(&mut scheduler, &space, &mut rng, &sim).unwrap();
+        let mut first_batch = 0usize;
+        loop {
+            match core.step().unwrap() {
+                ExecutorStep::Dispatch(batch) => {
+                    assert!(!core.is_halted(), "no dispatches after halt");
+                    first_batch = batch.len();
+                    for d in batch {
+                        let x = d.request.config.values()[0];
+                        core.complete(d.key, TrialResult::of(&d.request, x))
+                            .unwrap();
+                    }
+                    core.halt();
+                    assert!(core.is_halted());
+                    core.halt(); // idempotent
+                }
+                ExecutorStep::Deliver(_) => {
+                    panic!("all dispatched work was completed inline");
+                }
+                ExecutorStep::Finished => break,
+            }
+        }
+        assert_eq!(core.outstanding(), 0, "outstanding work drained");
+        let outcome = core.finish();
+        assert!(!outcome.finished, "halt cut the ASHA ladder off mid-rung");
+        assert_eq!(outcome.outcome.num_evaluations(), first_batch);
+        assert_eq!(first_batch, 9, "only the first rung was dispatched");
     }
 
     #[test]

@@ -1,0 +1,211 @@
+//! Command-line frontend for the tuning service daemon.
+//!
+//! ```text
+//! fedserve serve  --root DIR (--unix PATH | --tcp ADDR) [--threads N] [--in-flight N]
+//! fedserve submit (--unix PATH | --tcp ADDR) SPEC.json [...]
+//! fedserve status (--unix PATH | --tcp ADDR) [NAME]
+//! fedserve watch  (--unix PATH | --tcp ADDR) NAME [--timeout-ms MS]
+//! fedserve stop   (--unix PATH | --tcp ADDR) NAME
+//! fedserve shutdown (--unix PATH | --tcp ADDR)
+//! ```
+//!
+//! `serve` runs the daemon in the foreground; everything else speaks the
+//! framed protocol to a running daemon and prints JSON to stdout.
+
+use fedserve::{CampaignSpec, Client, Service, ServiceConfig, TcpServeListener, UnixServeListener};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "serve" => cmd_serve(rest),
+        "submit" => cmd_submit(rest),
+        "status" => cmd_status(rest),
+        "watch" => cmd_watch(rest),
+        "stop" => cmd_stop(rest),
+        "shutdown" => cmd_shutdown(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("fedserve: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  fedserve serve  --root DIR (--unix PATH | --tcp ADDR) [--threads N] [--in-flight N]
+  fedserve submit (--unix PATH | --tcp ADDR) SPEC.json [SPEC.json ...]
+  fedserve status (--unix PATH | --tcp ADDR) [NAME]
+  fedserve watch  (--unix PATH | --tcp ADDR) NAME [--timeout-ms MS]
+  fedserve stop   (--unix PATH | --tcp ADDR) NAME
+  fedserve shutdown (--unix PATH | --tcp ADDR)";
+
+/// Parsed `--unix PATH` / `--tcp ADDR` endpoint plus leftover positionals.
+struct Endpoint {
+    unix: Option<String>,
+    tcp: Option<String>,
+    positional: Vec<String>,
+    options: Vec<(String, String)>,
+}
+
+fn parse_endpoint(args: &[String]) -> Result<Endpoint, String> {
+    let mut endpoint = Endpoint {
+        unix: None,
+        tcp: None,
+        positional: Vec::new(),
+        options: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--unix" => {
+                let value = iter.next().ok_or("--unix needs a socket path")?;
+                endpoint.unix = Some(value.clone());
+            }
+            "--tcp" => {
+                let value = iter.next().ok_or("--tcp needs host:port")?;
+                endpoint.tcp = Some(value.clone());
+            }
+            flag if flag.starts_with("--") => {
+                let value = iter.next().ok_or_else(|| format!("{flag} needs a value"))?;
+                endpoint
+                    .options
+                    .push((flag.trim_start_matches("--").to_string(), value.clone()));
+            }
+            positional => endpoint.positional.push(positional.to_string()),
+        }
+    }
+    Ok(endpoint)
+}
+
+impl Endpoint {
+    fn option(&self, name: &str) -> Option<&str> {
+        self.options
+            .iter()
+            .find(|(key, _)| key == name)
+            .map(|(_, value)| value.as_str())
+    }
+
+    fn connect(&self) -> Result<Client, String> {
+        match (&self.unix, &self.tcp) {
+            (Some(path), None) => Client::connect_unix(path).map_err(|e| e.to_string()),
+            (None, Some(addr)) => Client::connect_tcp(addr).map_err(|e| e.to_string()),
+            _ => Err("pick exactly one of --unix PATH or --tcp ADDR".to_string()),
+        }
+    }
+}
+
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let endpoint = parse_endpoint(args)?;
+    let root = endpoint
+        .option("root")
+        .ok_or("serve needs --root DIR")?
+        .to_string();
+    let threads = parse_num(endpoint.option("threads"), 0)?;
+    let in_flight = parse_num(endpoint.option("in-flight"), 0)?;
+    let service = Service::open(
+        &root,
+        ServiceConfig {
+            threads,
+            global_in_flight: in_flight,
+        },
+    )
+    .map_err(|e| e.to_string())?;
+    let mut listener: Box<dyn fedserve::ServeListener> = match (&endpoint.unix, &endpoint.tcp) {
+        (Some(path), None) => Box::new(UnixServeListener::bind(path).map_err(|e| e.to_string())?),
+        (None, Some(addr)) => Box::new(TcpServeListener::bind(addr).map_err(|e| e.to_string())?),
+        _ => return Err("pick exactly one of --unix PATH or --tcp ADDR".to_string()),
+    };
+    eprintln!(
+        "fedserve: serving {} on {}",
+        service.root().display(),
+        listener.describe()
+    );
+    service
+        .serve(listener.as_mut())
+        .map_err(|e| e.to_string())?;
+    eprintln!("fedserve: shut down");
+    Ok(())
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let endpoint = parse_endpoint(args)?;
+    if endpoint.positional.is_empty() {
+        return Err("submit needs at least one SPEC.json".to_string());
+    }
+    let mut client = endpoint.connect()?;
+    for path in &endpoint.positional {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let spec: CampaignSpec =
+            serde_json::from_str(&text).map_err(|e| format!("decoding {path}: {e}"))?;
+        let name = client.submit(spec).map_err(|e| e.to_string())?;
+        println!("submitted {name}");
+    }
+    Ok(())
+}
+
+fn cmd_status(args: &[String]) -> Result<(), String> {
+    let endpoint = parse_endpoint(args)?;
+    let mut client = endpoint.connect()?;
+    let name = endpoint.positional.first().map(String::as_str);
+    let campaigns = client.status(name).map_err(|e| e.to_string())?;
+    print_json(&campaigns)
+}
+
+fn cmd_watch(args: &[String]) -> Result<(), String> {
+    let endpoint = parse_endpoint(args)?;
+    let name = endpoint
+        .positional
+        .first()
+        .ok_or("watch needs a campaign NAME")?;
+    let timeout_ms = parse_num(endpoint.option("timeout-ms"), 300_000)? as u64;
+    let mut client = endpoint.connect()?;
+    let status = client.wait(name, timeout_ms).map_err(|e| e.to_string())?;
+    print_json(&status)
+}
+
+fn cmd_stop(args: &[String]) -> Result<(), String> {
+    let endpoint = parse_endpoint(args)?;
+    let name = endpoint
+        .positional
+        .first()
+        .ok_or("stop needs a campaign NAME")?;
+    let mut client = endpoint.connect()?;
+    client.stop(name).map_err(|e| e.to_string())?;
+    println!("stopping {name}");
+    Ok(())
+}
+
+fn cmd_shutdown(args: &[String]) -> Result<(), String> {
+    let endpoint = parse_endpoint(args)?;
+    let mut client = endpoint.connect()?;
+    client.shutdown().map_err(|e| e.to_string())?;
+    println!("shutting down");
+    Ok(())
+}
+
+fn parse_num(value: Option<&str>, default: usize) -> Result<usize, String> {
+    match value {
+        None => Ok(default),
+        Some(text) => text
+            .parse()
+            .map_err(|_| format!("expected a number, got {text:?}")),
+    }
+}
+
+fn print_json<T: serde::Serialize>(value: &T) -> Result<(), String> {
+    let json = serde_json::to_string_pretty(value).map_err(|e| e.to_string())?;
+    println!("{json}");
+    Ok(())
+}

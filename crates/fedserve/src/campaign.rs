@@ -1,0 +1,689 @@
+//! One campaign driver: an `ExecutorCore` pumped through the fair gate.
+//!
+//! [`run_campaign`] is the service-side sibling of
+//! [`run_event_driven_concurrent`](fedtune_core::run_event_driven_concurrent):
+//! the same sans-io core, the same dispatch-order commit discipline, the
+//! same per-trial state chaining — with two insertions that make it
+//! multi-tenant:
+//!
+//! - every ready dispatch passes through the [`FairGate`] before touching a
+//!   real worker (admission may lag dispatch; grants arrive on the driver's
+//!   own channel, in dispatch order, so the reorder logic is unchanged), and
+//! - evaluation jobs go to a process-wide [`SharedPool`] instead of a
+//!   campaign-private scoped pool, so co-tenants share threads.
+//!
+//! Neither insertion touches the virtual-time state machine: admission
+//! delays and co-tenant scheduling shift only *wall* time, so a campaign's
+//! outcome — selections, scores, `sim_elapsed`, timeline — is bit-identical
+//! to the same campaign run standalone. The unit tests at the bottom assert
+//! exactly that.
+//!
+//! # Control and isolation
+//!
+//! Three cooperative flags steer a driver mid-flight: `stop` (operator
+//! request → terminal), `suspend` (service shutdown → resumable), and
+//! `kill` (simulated crash → abort *now*, no terminal marker, restart
+//! resumes from the ledger). Stop and suspend use
+//! [`ExecutorCore::halt`]: the scheduler is never polled again but already
+//! dispatched evaluations drain, leaving a consistent partial outcome.
+//! A panicking or failing evaluation aborts only its own campaign — the
+//! shared pool isolates the panic, the driver maps it to
+//! [`ServeError::EvalPanicked`], and the gate guard releases the
+//! campaign's admitted capacity on the way out.
+
+use crate::dispatch::{DrrConfig, FairGate, GateError};
+use crate::objective::{build_objective, sink_failure, ServeEval, ServeSink};
+use crate::spec::CampaignSpec;
+use crate::{Result, ServeError};
+use fedhpo::{TrialRequest, TrialResult};
+use fedsim::clock::EventKey;
+use fedsim::SharedPool;
+use fedstore::TrialStore;
+use fedtune_core::{
+    ConcurrentEval, ConcurrentSink, DispatchedTrial, EvalOutput, EventDrivenOutcome, ExecutorCore,
+    ExecutorStep, VirtualExecution,
+};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// Why a campaign halted before its schedule finished.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HaltReason {
+    /// An operator stop request (terminal).
+    Stopped,
+    /// A graceful service shutdown (resumable: no terminal marker is
+    /// written, the next service start resumes from the ledger).
+    Suspended,
+    /// The campaign's `max_evaluations` budget was reached (terminal).
+    BudgetEvaluations,
+    /// The campaign's `max_resource` budget was reached (terminal).
+    BudgetResource,
+}
+
+/// Cooperative control flags shared between the service frontend and one
+/// campaign driver. All flags are one-way: once raised they stay raised.
+#[derive(Debug, Default)]
+pub struct CampaignFlags {
+    /// Operator stop: halt polling, drain in-flight work, settle terminal.
+    pub stop: AtomicBool,
+    /// Service shutdown: like stop, but the campaign is left resumable.
+    pub suspend: AtomicBool,
+    /// Simulated crash: abort immediately, mid-everything.
+    pub kill: AtomicBool,
+}
+
+/// Live progress counters a driver reports after every commit.
+#[derive(Debug, Clone, Copy)]
+pub struct Progress {
+    /// Committed evaluations so far.
+    pub evaluations: u64,
+    /// Committed training rounds so far.
+    pub resource_spent: u64,
+    /// Virtual completion time of the latest commit.
+    pub sim_time: f64,
+    /// Evaluations served from the recovered ledger so far.
+    pub ledger_hits: u64,
+    /// Evaluations computed live so far.
+    pub ledger_misses: u64,
+}
+
+/// Everything a settled campaign driver hands back to the registry.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// The tuning outcome (selections, log, timeline, `sim_elapsed`).
+    pub outcome: EventDrivenOutcome,
+    /// Why the driver halted early, if it did. `None` with
+    /// `outcome.finished == false` means the *simulated* budget cut the
+    /// schedule off.
+    pub halt: Option<HaltReason>,
+    /// Committed evaluations.
+    pub evaluations: u64,
+    /// Committed training rounds.
+    pub resource_spent: u64,
+    /// Evaluations served from the recovered ledger.
+    pub ledger_hits: u64,
+    /// Evaluations computed live.
+    pub ledger_misses: u64,
+    /// The campaign's ledger, every commit durably appended.
+    pub store: TrialStore,
+}
+
+/// A message into the driver's single inbox: gate grants and evaluation
+/// completions share one channel so the driver has exactly one blocking
+/// point.
+enum CampaignMsg {
+    /// The gate admitted the ticket at the front of the pending queue.
+    Grant(u64),
+    /// An evaluation task finished on the shared pool.
+    Done {
+        seq: usize,
+        key: EventKey,
+        request: TrialRequest,
+        sim_completion: f64,
+        state: usize,
+        output: fedtune_core::Result<EvalOutput>,
+    },
+    /// An evaluation task unwound before reporting.
+    Panicked,
+}
+
+/// Sends [`CampaignMsg::Panicked`] if the task unwinds before defusing,
+/// so the driver never blocks forever on a dead task.
+struct PanicGuard {
+    tx: Option<mpsc::Sender<CampaignMsg>>,
+}
+
+impl Drop for PanicGuard {
+    fn drop(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send(CampaignMsg::Panicked);
+        }
+    }
+}
+
+/// Deregisters the campaign from the gate on every exit path, releasing
+/// its admitted capacity to the co-tenants.
+struct GateGuard<'g> {
+    gate: &'g FairGate,
+    member: u64,
+}
+
+impl Drop for GateGuard<'_> {
+    fn drop(&mut self) {
+        self.gate.deregister(self.member);
+    }
+}
+
+/// Immutable driver context shared by submit sites.
+struct Shared<'s> {
+    pool: &'s SharedPool,
+    gate: &'s FairGate,
+    member: u64,
+    eval: Arc<ServeEval>,
+    tx: mpsc::Sender<CampaignMsg>,
+    trace: Option<Arc<fedtrace::Trace>>,
+}
+
+impl Shared<'_> {
+    /// Ships one granted dispatch to the shared pool.
+    fn submit(&self, seq: usize, dispatched: DispatchedTrial, mut state: usize, chained: bool) {
+        let eval = Arc::clone(&self.eval);
+        let tx = self.tx.clone();
+        let trace = self.trace.clone();
+        let job = move || {
+            let mut guard = PanicGuard { tx: Some(tx) };
+            let started = trace.as_ref().map(|t| t.wall_profile().now_seconds());
+            let output = eval.evaluate(&mut state, &dispatched.request);
+            if let (Some(t), Some(started)) = (trace.as_ref(), started) {
+                t.wall_profile().record_since("evaluate", started);
+            }
+            let tx = guard.tx.take().expect("guard still armed");
+            let _ = tx.send(CampaignMsg::Done {
+                seq,
+                key: dispatched.key,
+                request: dispatched.request,
+                sim_completion: dispatched.sim_completion,
+                state,
+                output,
+            });
+        };
+        if chained {
+            self.pool.submit_chained(job);
+        } else {
+            self.pool.submit(job);
+        }
+    }
+}
+
+/// Mutable reorder state of one driver (everything that is not the core or
+/// the sink).
+struct Flow {
+    next_seq: usize,
+    next_commit: usize,
+    /// Out-of-order completions parked until their dispatch-order turn.
+    commit_buf: BTreeMap<usize, (TrialRequest, EvalOutput, f64)>,
+    /// Dispatches enqueued at the gate, awaiting admission (FIFO — the
+    /// gate grants a member's tickets in enqueue order).
+    pending_grant: VecDeque<(u64, usize, DispatchedTrial)>,
+    /// Trials with a task in flight; queued later dispatches chain onto
+    /// the freed state in order.
+    busy: HashMap<usize, VecDeque<(usize, DispatchedTrial)>>,
+}
+
+impl Flow {
+    /// Handles one inbox message; returns the delivered key for `Done`.
+    fn handle(
+        &mut self,
+        msg: CampaignMsg,
+        shared: &Shared<'_>,
+        core: &mut ExecutorCore<'_>,
+        sink: &mut ServeSink,
+        on_progress: &mut dyn FnMut(Progress),
+    ) -> Result<Option<EventKey>> {
+        match msg {
+            CampaignMsg::Grant(ticket) => {
+                let (expected, seq, dispatched) = self
+                    .pending_grant
+                    .pop_front()
+                    .expect("grant with empty pending queue");
+                debug_assert_eq!(expected, ticket, "gate granted out of enqueue order");
+                let trial = dispatched.request.trial_id;
+                match self.busy.get_mut(&trial) {
+                    // The trial's state is on a worker right now: queue
+                    // behind it, preserving per-trial dispatch order.
+                    Some(queue) => queue.push_back((seq, dispatched)),
+                    None => {
+                        self.busy.insert(trial, VecDeque::new());
+                        let state = sink.take_state(trial);
+                        shared.submit(seq, dispatched, state, false);
+                    }
+                }
+                Ok(None)
+            }
+            CampaignMsg::Done {
+                seq,
+                key,
+                request,
+                sim_completion,
+                state,
+                output,
+            } => {
+                shared.gate.release(shared.member);
+                let output = output?;
+                core.complete(key, TrialResult::of(&request, output.noisy_score))?;
+                self.commit_buf
+                    .insert(seq, (request, output, sim_completion));
+                let mut last_commit = None;
+                while let Some((request, output, time)) = self.commit_buf.remove(&self.next_commit)
+                {
+                    sink.commit(&request, &output, time);
+                    self.next_commit += 1;
+                    last_commit = Some(time);
+                }
+                if let Some(e) = sink_failure(sink) {
+                    return Err(e);
+                }
+                if let Some(sim_time) = last_commit {
+                    on_progress(Progress {
+                        evaluations: sink.evaluations,
+                        resource_spent: sink.resource_spent,
+                        sim_time,
+                        ledger_hits: shared.eval.ledger_hits(),
+                        ledger_misses: shared.eval.ledger_misses(),
+                    });
+                }
+                let trial = key.trial as usize;
+                let queue = self.busy.get_mut(&trial).expect("in-flight trial tracked");
+                if let Some((next, dispatched)) = queue.pop_front() {
+                    // Hand the warm state straight to the trial's next task.
+                    shared.submit(next, dispatched, state, true);
+                } else {
+                    self.busy.remove(&trial);
+                    sink.put_state(trial, state);
+                }
+                Ok(Some(key))
+            }
+            CampaignMsg::Panicked => Err(ServeError::EvalPanicked),
+        }
+    }
+}
+
+/// Runs one campaign to a settled outcome over the shared pool and gate.
+///
+/// `store` is the campaign's (possibly recovered) ledger; every record in
+/// it replays bit-exactly instead of re-evaluating, which is the whole
+/// crash-restart story. See the module docs for the control flags.
+///
+/// # Errors
+///
+/// - [`ServeError::Killed`] when the kill flag fires (nothing terminal is
+///   recorded; the ledger already holds every commit).
+/// - [`ServeError::EvalPanicked`] / core / store errors when this
+///   campaign's own machinery fails.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    store: TrialStore,
+    pool: &SharedPool,
+    gate: &FairGate,
+    flags: &CampaignFlags,
+    trace: Option<Arc<fedtrace::Trace>>,
+    on_progress: &mut dyn FnMut(Progress),
+) -> Result<CampaignOutcome> {
+    spec.validate()?;
+    let space = spec.build_space()?;
+    let mut scheduler = spec.build_scheduler()?;
+    let mut rng = fedmath::rng::rng_for(spec.seed, 0);
+    let mut sim = VirtualExecution::new(spec.workers, spec.cost.build());
+    if let Some(budget) = spec.sim_budget {
+        sim = sim.with_sim_budget(budget);
+    }
+    let mut objective = build_objective(spec, store)?;
+    let eval = Arc::clone(&objective.eval);
+    let sink = &mut objective.sink;
+
+    let (tx, rx) = mpsc::channel::<CampaignMsg>();
+    let grant_tx = tx.clone();
+    let member = gate.register(
+        DrrConfig {
+            quantum: spec.limits.quantum,
+            max_in_flight: spec.limits.max_in_flight,
+            max_queued: spec.limits.max_queued,
+        },
+        move |ticket| {
+            let _ = grant_tx.send(CampaignMsg::Grant(ticket));
+        },
+    );
+    let _gate_guard = GateGuard { gate, member };
+
+    let shared = Shared {
+        pool,
+        gate,
+        member,
+        eval: Arc::clone(&eval),
+        tx,
+        trace: trace.clone(),
+    };
+    let mut core =
+        ExecutorCore::new_traced(scheduler.as_mut(), &space, &mut rng, &sim, trace.as_deref())?;
+    let mut flow = Flow {
+        next_seq: 0,
+        next_commit: 0,
+        commit_buf: BTreeMap::new(),
+        pending_grant: VecDeque::new(),
+        busy: HashMap::new(),
+    };
+    let mut halt_reason: Option<HaltReason> = None;
+    // Budget enforcement is *dispatch-side*: the dispatch sequence is a pure
+    // function of the virtual state machine (never of real thread timing),
+    // so the halt lands on the same evaluation in every execution and a
+    // budget-capped campaign stays bit-reproducible. `planned` mirrors each
+    // trial's dispatched (not yet necessarily committed) training rounds.
+    let mut planned: HashMap<usize, usize> = HashMap::new();
+    let mut planned_rounds: u64 = 0;
+
+    let recv = |rx: &mpsc::Receiver<CampaignMsg>| -> Result<CampaignMsg> {
+        rx.recv().map_err(|_| ServeError::Core {
+            message: "evaluation workers disconnected before completing dispatched work"
+                .to_string(),
+        })
+    };
+
+    loop {
+        if flags.kill.load(Ordering::Relaxed) {
+            return Err(ServeError::Killed);
+        }
+        if halt_reason.is_none() {
+            if flags.stop.load(Ordering::Relaxed) {
+                core.halt();
+                halt_reason = Some(HaltReason::Stopped);
+            } else if flags.suspend.load(Ordering::Relaxed) {
+                core.halt();
+                halt_reason = Some(HaltReason::Suspended);
+            }
+        }
+        match core.step()? {
+            ExecutorStep::Dispatch(batch) => {
+                for dispatched in batch {
+                    let seq = flow.next_seq;
+                    flow.next_seq += 1;
+                    // Admission cost = incremental rounds this evaluation
+                    // will train (affects only fairness, never bits).
+                    let trial = dispatched.request.trial_id;
+                    let trained = planned.entry(trial).or_insert(0);
+                    let delta = dispatched.request.resource.saturating_sub(*trained);
+                    *trained = (*trained).max(dispatched.request.resource);
+                    planned_rounds += delta as u64;
+                    let cost = (delta as u64).max(1);
+                    let ticket = loop {
+                        if flags.kill.load(Ordering::Relaxed) {
+                            return Err(ServeError::Killed);
+                        }
+                        match gate.enqueue(member, cost) {
+                            Ok(ticket) => break ticket,
+                            Err(GateError::QueueFull { .. }) => {
+                                // Back-pressure: drain one completion or
+                                // grant before queueing more.
+                                let msg = recv(&rx)?;
+                                flow.handle(msg, &shared, &mut core, sink, on_progress)?;
+                            }
+                            Err(e @ GateError::UnknownMember { .. }) => {
+                                return Err(ServeError::Core {
+                                    message: e.to_string(),
+                                });
+                            }
+                        }
+                    };
+                    flow.pending_grant.push_back((ticket, seq, dispatched));
+                }
+                // Trial/resource budgets cut the schedule off at dispatch
+                // granularity: everything already dispatched still drains
+                // (exactly like a simulated wall-clock cutoff).
+                if halt_reason.is_none() {
+                    let limits = &spec.limits;
+                    if limits
+                        .max_evaluations
+                        .is_some_and(|cap| flow.next_seq as u64 >= cap)
+                    {
+                        core.halt();
+                        halt_reason = Some(HaltReason::BudgetEvaluations);
+                    } else if limits.max_resource.is_some_and(|cap| planned_rounds >= cap) {
+                        core.halt();
+                        halt_reason = Some(HaltReason::BudgetResource);
+                    }
+                }
+            }
+            ExecutorStep::Deliver(awaited) => loop {
+                if flags.kill.load(Ordering::Relaxed) {
+                    return Err(ServeError::Killed);
+                }
+                let msg = recv(&rx)?;
+                let delivered = flow.handle(msg, &shared, &mut core, sink, on_progress)?;
+                if delivered == Some(awaited) {
+                    break;
+                }
+            },
+            ExecutorStep::Finished => break,
+        }
+    }
+
+    let outcome = core.finish();
+    Ok(CampaignOutcome {
+        outcome,
+        halt: halt_reason,
+        evaluations: sink.evaluations,
+        resource_spent: sink.resource_spent,
+        ledger_hits: eval.ledger_hits(),
+        ledger_misses: eval.ledger_misses(),
+        store: objective.sink.into_store(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CampaignLimits, CostSpec, DimSpec, ObjectiveSpec, SchedulerSpec};
+    use fedtune_core::run_event_driven_concurrent;
+
+    fn spec(name: &str, seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            name: name.to_string(),
+            seed,
+            space: vec![DimSpec::Uniform {
+                name: "x".to_string(),
+                low: 0.0,
+                high: 1.0,
+            }],
+            scheduler: SchedulerSpec::AsyncAsha {
+                trials: 12,
+                eta: 3,
+                min_resource: 1,
+                max_resource: 9,
+            },
+            objective: ObjectiveSpec::Analytic {
+                target: 0.3,
+                noise_sd: 0.15,
+                latency_scale: 0.0,
+                fail_trial: None,
+                panic_trial: None,
+            },
+            cost: CostSpec::HeavyTailedClients {
+                clients: 40,
+                per_round: 4,
+                seed: 5,
+            },
+            workers: 4,
+            sim_budget: None,
+            limits: CampaignLimits::default(),
+        }
+    }
+
+    fn standalone(spec: &CampaignSpec, threads: usize) -> EventDrivenOutcome {
+        let space = spec.build_space().unwrap();
+        let mut scheduler = spec.build_scheduler().unwrap();
+        let mut rng = fedmath::rng::rng_for(spec.seed, 0);
+        let mut sim = VirtualExecution::new(spec.workers, spec.cost.build());
+        if let Some(budget) = spec.sim_budget {
+            sim = sim.with_sim_budget(budget);
+        }
+        let mut objective = build_objective(spec, TrialStore::in_memory()).unwrap();
+        run_event_driven_concurrent(
+            scheduler.as_mut(),
+            &space,
+            &mut objective,
+            &mut rng,
+            &sim,
+            threads,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn served_campaign_is_bit_identical_to_standalone() {
+        let spec = spec("bit-identity", 41);
+        let reference = standalone(&spec, 4);
+        assert!(reference.finished);
+
+        let pool = SharedPool::new(4);
+        let gate = FairGate::new(4);
+        let flags = CampaignFlags::default();
+        let mut progress = Vec::new();
+        let served = run_campaign(
+            &spec,
+            TrialStore::in_memory(),
+            &pool,
+            &gate,
+            &flags,
+            None,
+            &mut |p| progress.push(p.evaluations),
+        )
+        .unwrap();
+        assert_eq!(served.outcome, reference, "service changed campaign bits");
+        assert_eq!(
+            served.outcome.sim_elapsed.to_bits(),
+            reference.sim_elapsed.to_bits()
+        );
+        assert!(served.halt.is_none());
+        assert_eq!(
+            served.evaluations,
+            reference.outcome.num_evaluations() as u64
+        );
+        assert_eq!(served.ledger_misses, served.evaluations);
+        assert_eq!(served.ledger_hits, 0);
+        assert_eq!(
+            progress.last().copied(),
+            Some(served.evaluations),
+            "progress callback tracked every commit"
+        );
+        // Every commit landed in the ledger.
+        assert_eq!(served.store.len() as u64, served.evaluations);
+        assert_eq!(gate.global_in_flight(), 0, "gate capacity fully released");
+    }
+
+    #[test]
+    fn evaluation_budget_halts_deterministically() {
+        let mut capped = spec("budget", 17);
+        capped.limits.max_evaluations = Some(7);
+        let pool = SharedPool::new(2);
+        let gate = FairGate::new(4);
+        let flags = CampaignFlags::default();
+        let outcome = run_campaign(
+            &capped,
+            TrialStore::in_memory(),
+            &pool,
+            &gate,
+            &flags,
+            None,
+            &mut |_| {},
+        )
+        .unwrap();
+        assert_eq!(outcome.halt, Some(HaltReason::BudgetEvaluations));
+        assert!(!outcome.outcome.finished);
+        // The halt lands after the budget-crossing commit plus whatever was
+        // already dispatched — never more than the in-flight cap beyond it.
+        assert!(outcome.evaluations >= 7);
+        assert!(
+            outcome.evaluations <= 7 + capped.limits.max_in_flight as u64 + capped.workers as u64
+        );
+        // Run it again: the cutoff is bit-stable.
+        let again = run_campaign(
+            &capped,
+            TrialStore::in_memory(),
+            &pool,
+            &gate,
+            &flags,
+            None,
+            &mut |_| {},
+        )
+        .unwrap();
+        assert_eq!(again.outcome, outcome.outcome);
+        assert_eq!(again.evaluations, outcome.evaluations);
+    }
+
+    #[test]
+    fn stop_flag_settles_with_partial_outcome() {
+        let spec = spec("stopped", 3);
+        let pool = SharedPool::new(2);
+        let gate = FairGate::new(4);
+        let flags = CampaignFlags::default();
+        // Raised before the first step: the halt drains the first dispatch
+        // wave and settles.
+        flags.stop.store(true, Ordering::Relaxed);
+        let outcome = run_campaign(
+            &spec,
+            TrialStore::in_memory(),
+            &pool,
+            &gate,
+            &flags,
+            None,
+            &mut |_| {},
+        )
+        .unwrap();
+        assert_eq!(outcome.halt, Some(HaltReason::Stopped));
+        assert!(!outcome.outcome.finished);
+        assert!(outcome.evaluations < 30, "halt cut the schedule short");
+    }
+
+    #[test]
+    fn kill_flag_aborts_without_terminal_outcome() {
+        let spec = spec("killed", 29);
+        let pool = SharedPool::new(2);
+        let gate = FairGate::new(4);
+        let flags = CampaignFlags::default();
+        flags.kill.store(true, Ordering::Relaxed);
+        let err = run_campaign(
+            &spec,
+            TrialStore::in_memory(),
+            &pool,
+            &gate,
+            &flags,
+            None,
+            &mut |_| {},
+        )
+        .unwrap_err();
+        assert_eq!(err, ServeError::Killed);
+        assert_eq!(gate.global_in_flight(), 0, "guard released gate capacity");
+    }
+
+    #[test]
+    fn a_panicking_campaign_fails_alone() {
+        let mut rigged = spec("panics", 7);
+        rigged.objective = ObjectiveSpec::Analytic {
+            target: 0.3,
+            noise_sd: 0.0,
+            latency_scale: 0.0,
+            fail_trial: None,
+            panic_trial: Some(2),
+        };
+        let pool = SharedPool::new(2);
+        let gate = FairGate::new(4);
+        let flags = CampaignFlags::default();
+        let err = run_campaign(
+            &rigged,
+            TrialStore::in_memory(),
+            &pool,
+            &gate,
+            &flags,
+            None,
+            &mut |_| {},
+        )
+        .unwrap_err();
+        assert_eq!(err, ServeError::EvalPanicked);
+        // The pool survived the panic: a healthy campaign runs fine on the
+        // same pool and gate afterwards.
+        let healthy = spec("after-panic", 7);
+        let outcome = run_campaign(
+            &healthy,
+            TrialStore::in_memory(),
+            &pool,
+            &gate,
+            &flags,
+            None,
+            &mut |_| {},
+        )
+        .unwrap();
+        assert!(outcome.outcome.finished);
+        assert_eq!(outcome.outcome, standalone(&healthy, 2));
+    }
+}

@@ -1,0 +1,95 @@
+//! Property tests for the service wire protocol.
+//!
+//! The decoder is the service's only untrusted-input surface, so its
+//! contract is absolute: for *any* byte string, `decode_frame` returns a
+//! classified error or a frame — it never panics — and every truncation of
+//! a valid frame is reported as `Truncated`, never misparsed as a shorter
+//! valid frame.
+
+use fedserve::{decode_frame, encode_frame, FrameError, MAGIC};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any payload survives an encode→decode round trip bit-exactly, and
+    /// the decoder consumes exactly the encoded length.
+    #[test]
+    fn prop_codec_round_trips(payload in collection::vec(any::<u8>(), 0..2048)) {
+        let frame = encode_frame(&payload);
+        let (decoded, used) = decode_frame(&frame).expect("valid frame must decode");
+        prop_assert_eq!(&decoded, &payload);
+        prop_assert_eq!(used, frame.len());
+
+        // Two frames back-to-back decode independently.
+        let mut double = frame.clone();
+        double.extend_from_slice(&frame);
+        let (first, used) = decode_frame(&double).expect("first frame");
+        prop_assert_eq!(&first, &payload);
+        let (second, _) = decode_frame(&double[used..]).expect("second frame");
+        prop_assert_eq!(&second, &payload);
+    }
+
+    /// EVERY single-byte truncation of a valid frame decodes to
+    /// `Truncated` — no prefix of a frame is ever a valid shorter frame,
+    /// and none of them panics.
+    #[test]
+    fn prop_every_truncation_is_classified(payload in collection::vec(any::<u8>(), 0..512)) {
+        let frame = encode_frame(&payload);
+        for cut in 0..frame.len() {
+            match decode_frame(&frame[..cut]) {
+                Err(FrameError::Truncated { needed, have }) => {
+                    prop_assert!(have < needed, "cut {}: have {} needed {}", cut, have, needed);
+                }
+                other => {
+                    return Err(TestCaseError::Fail(format!(
+                        "truncation at {cut} of {} decoded as {other:?}",
+                        frame.len()
+                    )));
+                }
+            }
+        }
+    }
+
+    /// The decoder never panics on arbitrary garbage.
+    #[test]
+    fn prop_garbage_never_panics(bytes in collection::vec(any::<u8>(), 0..4096)) {
+        let _ = decode_frame(&bytes);
+    }
+
+    /// Flipping any single byte of a valid frame never panics the decoder,
+    /// and corrupting the magic is always classified as `BadMagic`.
+    #[test]
+    fn prop_single_byte_corruption_is_safe(
+        payload in collection::vec(any::<u8>(), 1..256),
+        position in 0usize..1024,
+        flip in 1u8..=255,
+    ) {
+        let mut frame = encode_frame(&payload);
+        let position = position % frame.len();
+        frame[position] ^= flip;
+        match decode_frame(&frame) {
+            Ok(_) => {
+                // Corruption inside the payload still frames correctly —
+                // but magic corruption may never decode.
+                prop_assert!(position >= MAGIC.len());
+            }
+            Err(FrameError::BadMagic { .. }) => {
+                prop_assert!(position < MAGIC.len());
+            }
+            // A corrupted length field may claim more bytes than present
+            // (Truncated) or exceed the frame cap (Oversized).
+            Err(FrameError::Truncated { .. } | FrameError::Oversized { .. }) => {
+                prop_assert!(
+                    (MAGIC.len()..MAGIC.len() + 4).contains(&position),
+                    "unexpected framing error from corruption at {}", position
+                );
+            }
+            Err(FrameError::BadPayload { .. }) => {
+                return Err(TestCaseError::Fail(
+                    "decode_frame must not inspect payload bytes".to_string(),
+                ));
+            }
+        }
+    }
+}

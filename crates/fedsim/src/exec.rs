@@ -80,16 +80,27 @@ impl ExecutionPolicy {
     /// `1` means sequential, any other number is a parallel worker count
     /// (`0` = all cores). Unset, empty, or unparsable values fall back to
     /// [`parallel`](Self::parallel) — the default every example and bench
-    /// used before the override existed.
+    /// used before the override existed. A malformed value warns on stderr
+    /// once per process (see [`threads_env_override`]).
     pub fn from_env() -> Self {
-        Self::from_threads_override(std::env::var("FEDTUNE_THREADS").ok().as_deref())
+        Self::from_threads(threads_env_override())
     }
 
     /// [`from_env`](Self::from_env) with the raw variable value injected
     /// (separated out so the parsing is testable without mutating the
-    /// process environment).
+    /// process environment). Unlike [`from_env`](Self::from_env) this
+    /// never warns: callers inject the value deliberately.
     pub fn from_threads_override(value: Option<&str>) -> Self {
-        match value.map(str::trim).and_then(|v| v.parse::<usize>().ok()) {
+        Self::from_threads(parse_threads_override(value).unwrap_or(None))
+    }
+
+    /// The policy implied by an explicit thread count: `Some(1)` →
+    /// sequential, `Some(n)` → parallel with `n` workers (`0` = all cores),
+    /// `None` → the parallel default. The single interpretation shared by
+    /// [`from_env`](Self::from_env), [`from_threads_override`](Self::from_threads_override),
+    /// and pool constructors.
+    pub fn from_threads(threads: Option<usize>) -> Self {
+        match threads {
             Some(1) => ExecutionPolicy::Sequential,
             Some(threads) => ExecutionPolicy::Parallel { threads },
             None => ExecutionPolicy::parallel(),
@@ -123,6 +134,53 @@ impl ExecutionPolicy {
             }
         }
     }
+}
+
+/// Parses a raw `FEDTUNE_THREADS` value into a thread count.
+///
+/// `Ok(None)` means unset or empty (use the default), `Ok(Some(n))` is an
+/// explicit count, and `Err(raw)` reports a malformed value so the caller
+/// decides how loudly to complain. This is the **single** parse of the
+/// variable: [`ExecutionPolicy::from_env`], [`ExecutionPolicy::from_threads_override`],
+/// and [`threads_env_override`] all go through it, so a malformed value can
+/// never be silently ignored by one path while another honors it.
+///
+/// # Errors
+///
+/// Returns the trimmed raw value when it is non-empty but not a `usize`.
+pub fn parse_threads_override(value: Option<&str>) -> std::result::Result<Option<usize>, String> {
+    let Some(raw) = value.map(str::trim) else {
+        return Ok(None);
+    };
+    if raw.is_empty() {
+        return Ok(None);
+    }
+    match raw.parse::<usize>() {
+        Ok(threads) => Ok(Some(threads)),
+        Err(_) => Err(raw.to_string()),
+    }
+}
+
+/// The process-wide `FEDTUNE_THREADS` override, parsed once and cached.
+///
+/// A malformed value (e.g. `FEDTUNE_THREADS=lots`) warns on stderr exactly
+/// once per process and then behaves as unset. The cache also pins the
+/// interpretation for the process lifetime, so every pool and policy in a
+/// run agrees on the same thread count.
+pub fn threads_env_override() -> Option<usize> {
+    static PARSED: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+    *PARSED.get_or_init(|| {
+        match parse_threads_override(std::env::var("FEDTUNE_THREADS").ok().as_deref()) {
+            Ok(threads) => threads,
+            Err(raw) => {
+                eprintln!(
+                    "warning: FEDTUNE_THREADS={raw:?} is not a thread count; \
+                     falling back to the parallel default (all cores)"
+                );
+                None
+            }
+        }
+    })
 }
 
 /// Applies `f` to every index in `0..len`, returning results in index order.
@@ -209,6 +267,7 @@ struct PoolShared<'env> {
 struct PoolMetrics {
     tasks: fedtrace::Counter,
     steals_avoided: fedtrace::Counter,
+    task_panics: fedtrace::Counter,
 }
 
 fn pool_metrics() -> &'static PoolMetrics {
@@ -218,6 +277,7 @@ fn pool_metrics() -> &'static PoolMetrics {
         PoolMetrics {
             tasks: registry.counter("exec.pool.tasks"),
             steals_avoided: registry.counter("exec.pool.steals_avoided"),
+            task_panics: registry.counter("exec.pool.task_panics"),
         }
     })
 }
@@ -407,6 +467,121 @@ fn worker_loop(shared: &PoolShared<'_>) {
     }
 }
 
+/// A process-lifetime worker pool shared by many independent drivers — the
+/// multiplexing substrate of the tuning service daemon.
+///
+/// Differences from the scoped [`ThreadPool`]:
+///
+/// - **Owned, `'static` jobs.** Campaign drivers come and go while the pool
+///   persists, so jobs must own their captures (typically `Arc` clones of a
+///   shared evaluation core plus per-trial state by value).
+/// - **Panic isolation.** Each job runs under `catch_unwind`: one tenant's
+///   panicking evaluation is swallowed at the job boundary (counted as
+///   `exec.pool.task_panics`) and the worker thread survives to serve other
+///   tenants. The panicking tenant learns of the death through its own
+///   channel-guard protocol — the pool stays policy-free.
+/// - **Explicit shutdown.** Dropping the pool sets the shutdown flag and
+///   joins every worker after the queue drains.
+///
+/// The queue is the same single FIFO as the scoped pool: tasks *start* in
+/// submission order, so fair-share admission decisions made upstream are not
+/// reordered by the pool itself.
+pub struct SharedPool {
+    shared: Arc<PoolShared<'static>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl SharedPool {
+    /// Starts a pool of `threads.max(1)` persistent workers.
+    pub fn new(threads: usize) -> Self {
+        let workers = threads.max(1);
+        let shared: Arc<PoolShared<'static>> = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop_isolating(&shared))
+            })
+            .collect();
+        SharedPool {
+            shared,
+            handles,
+            workers,
+        }
+    }
+
+    /// Number of persistent worker threads serving this pool.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Queues `job` for execution on the next idle worker. Jobs start in
+    /// submission order.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
+        pool_metrics().tasks.incr();
+        let mut state = self.shared.state.lock().expect("pool queue poisoned");
+        state.jobs.push_back(Box::new(job));
+        drop(state);
+        self.shared.work_ready.notify_one();
+    }
+
+    /// [`submit`](Self::submit) for a task chained onto its predecessor's
+    /// warm per-trial state; counted as `exec.pool.steals_avoided` exactly
+    /// like the scoped pool's chained submissions.
+    pub fn submit_chained<F: FnOnce() + Send + 'static>(&self, job: F) {
+        pool_metrics().steals_avoided.incr();
+        self.submit(job);
+    }
+}
+
+impl Drop for SharedPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool queue poisoned");
+            state.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// [`worker_loop`] with per-job panic isolation for the shared pool: a
+/// panicking job is contained at the job boundary and the worker keeps
+/// serving the queue.
+fn worker_loop_isolating(shared: &PoolShared<'static>) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(job) = state.jobs.pop_front() {
+                    break Some(job);
+                }
+                if state.shutdown {
+                    break None;
+                }
+                state = shared.work_ready.wait(state).expect("pool queue poisoned");
+            }
+        };
+        match job {
+            Some(job) => {
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+                if outcome.is_err() {
+                    pool_metrics().task_panics.incr();
+                }
+            }
+            None => return,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -446,6 +621,70 @@ mod tests {
         assert_eq!(ExecutionPolicy::parallel_with(4).effective_threads(2), 2);
         assert_eq!(ExecutionPolicy::parallel_with(4).effective_threads(0), 1);
         assert!(ExecutionPolicy::parallel().effective_threads(64) >= 1);
+    }
+
+    #[test]
+    fn parse_threads_override_distinguishes_unset_from_malformed() {
+        assert_eq!(parse_threads_override(None), Ok(None));
+        assert_eq!(parse_threads_override(Some("")), Ok(None));
+        assert_eq!(parse_threads_override(Some("  ")), Ok(None));
+        assert_eq!(parse_threads_override(Some("4")), Ok(Some(4)));
+        assert_eq!(parse_threads_override(Some(" 8 ")), Ok(Some(8)));
+        assert_eq!(parse_threads_override(Some("0")), Ok(Some(0)));
+        assert_eq!(parse_threads_override(Some("lots")), Err("lots".into()));
+        assert_eq!(parse_threads_override(Some("-3")), Err("-3".into()));
+        // from_threads is the shared interpretation of the parsed count.
+        assert_eq!(
+            ExecutionPolicy::from_threads(Some(1)),
+            ExecutionPolicy::Sequential
+        );
+        assert_eq!(
+            ExecutionPolicy::from_threads(Some(6)),
+            ExecutionPolicy::Parallel { threads: 6 }
+        );
+        assert_eq!(
+            ExecutionPolicy::from_threads(None),
+            ExecutionPolicy::parallel()
+        );
+    }
+
+    #[test]
+    fn shared_pool_runs_static_jobs_in_submission_order() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::mpsc;
+        let pool = SharedPool::new(1);
+        assert_eq!(pool.workers(), 1);
+        let (tx, rx) = mpsc::channel::<usize>();
+        let ran = Arc::new(AtomicUsize::new(0));
+        for i in 0..50 {
+            let tx = tx.clone();
+            let ran = Arc::clone(&ran);
+            pool.submit(move || {
+                ran.fetch_add(1, Ordering::SeqCst);
+                let _ = tx.send(i);
+            });
+        }
+        // One worker + FIFO queue: completion order equals submission order.
+        let order: Vec<usize> = (0..50).map(|_| rx.recv().unwrap()).collect();
+        assert_eq!(order, (0..50).collect::<Vec<_>>());
+        assert_eq!(ran.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn shared_pool_survives_a_panicking_job() {
+        use std::sync::mpsc;
+        let pool = SharedPool::new(2);
+        let panics_before = pool_metrics().task_panics.value();
+        pool.submit(|| panic!("tenant bug"));
+        let (tx, rx) = mpsc::channel::<u32>();
+        pool.submit(move || {
+            let _ = tx.send(7);
+        });
+        // The worker that ran the panicking job is still alive to run this.
+        assert_eq!(rx.recv().unwrap(), 7);
+        // Drop joins the workers; none of them died to the panic.
+        drop(pool);
+        assert!(pool_metrics().task_panics.value() > panics_before);
     }
 
     #[test]

@@ -54,7 +54,10 @@ pub mod training;
 
 pub use clock::{ClientRuntimeModel, CostModel, EventKey, EventQueue, VirtualClock, WorkerPool};
 pub use evaluation::{ClientEvaluation, FederatedEvaluation, WeightingScheme};
-pub use exec::{with_thread_pool, ExecutionPolicy, ThreadPool};
+pub use exec::{
+    parse_threads_override, threads_env_override, with_thread_pool, ExecutionPolicy, SharedPool,
+    ThreadPool,
+};
 pub use hyperparams::{FedAdamConfig, FederatedHyperparams};
 pub use sampling::{BiasedSampler, ClientSampler, UniformSampler};
 pub use server::{FedAdam, FedAvg, FedSgd, ServerOptimizer};

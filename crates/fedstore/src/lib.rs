@@ -65,6 +65,7 @@
 pub mod compaction;
 pub mod framing;
 pub mod key;
+pub mod lock;
 mod metrics;
 pub mod record;
 pub mod recorder;
@@ -75,6 +76,7 @@ pub mod tabular;
 
 pub use compaction::CompactionReport;
 pub use key::{ConfigKey, TrialKey};
+pub use lock::LedgerLock;
 pub use record::{Provenance, TrialRecord};
 pub use recorder::RecordingObjective;
 pub use replay::{campaign_provenance, record_method_comparison, replay_method_comparison};

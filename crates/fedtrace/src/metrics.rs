@@ -359,6 +359,60 @@ impl MetricsSnapshot {
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.iter().find(|h| h.name == name)
     }
+
+    /// Merges `other` into this snapshot, metric by metric, keeping every
+    /// section sorted by name: counter values add, gauges join as
+    /// last-write-wins on `value` with a max-merged `peak`, and histograms
+    /// merge per bucket with lattice-joined `min`/`max`. The service daemon
+    /// uses this to aggregate per-campaign registries into one service-level
+    /// view; like every fedtrace read, it is accounting, never semantics.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for counter in &other.counters {
+            match self.counters.iter_mut().find(|c| c.name == counter.name) {
+                Some(mine) => mine.value = mine.value.wrapping_add(counter.value),
+                None => self.counters.push(counter.clone()),
+            }
+        }
+        self.counters.sort_by(|a, b| a.name.cmp(&b.name));
+        for gauge in &other.gauges {
+            match self.gauges.iter_mut().find(|g| g.name == gauge.name) {
+                Some(mine) => {
+                    mine.value = gauge.value;
+                    mine.peak = mine.peak.max(gauge.peak);
+                }
+                None => self.gauges.push(gauge.clone()),
+            }
+        }
+        self.gauges.sort_by(|a, b| a.name.cmp(&b.name));
+        for histogram in &other.histograms {
+            match self
+                .histograms
+                .iter_mut()
+                .find(|h| h.name == histogram.name)
+            {
+                Some(mine) => {
+                    let both_nonempty = mine.count > 0 && histogram.count > 0;
+                    mine.min = if both_nonempty {
+                        mine.min.min(histogram.min)
+                    } else {
+                        mine.min.max(histogram.min)
+                    };
+                    mine.max = mine.max.max(histogram.max);
+                    mine.count = mine.count.wrapping_add(histogram.count);
+                    mine.sum = mine.sum.wrapping_add(histogram.sum);
+                    for bucket in &histogram.buckets {
+                        match mine.buckets.iter_mut().find(|b| b.le == bucket.le) {
+                            Some(b) => b.count = b.count.wrapping_add(bucket.count),
+                            None => mine.buckets.push(bucket.clone()),
+                        }
+                    }
+                    mine.buckets.sort_by_key(|b| b.le);
+                }
+                None => self.histograms.push(histogram.clone()),
+            }
+        }
+        self.histograms.sort_by(|a, b| a.name.cmp(&b.name));
+    }
 }
 
 #[derive(Debug, Default)]
@@ -437,6 +491,42 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn snapshot_merge_aggregates_registries() {
+        let a = Registry::new();
+        a.counter("serve.commits").add(5);
+        a.gauge("depth").set(2.0);
+        a.gauge("depth").set(1.0); // peak 2.0, value 1.0
+        a.histogram("latency").observe(3);
+        let b = Registry::new();
+        b.counter("serve.commits").add(7);
+        b.counter("serve.only_b").add(1);
+        b.gauge("depth").set(1.5);
+        b.histogram("latency").observe(300);
+        b.histogram("only_b").observe(1);
+
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.counter("serve.commits"), Some(12));
+        assert_eq!(merged.counter("serve.only_b"), Some(1));
+        let depth = merged.gauge("depth").unwrap();
+        assert_eq!(depth.value, 1.5);
+        assert_eq!(depth.peak, 2.0);
+        let latency = merged.histogram("latency").unwrap();
+        assert_eq!(latency.count, 2);
+        assert_eq!(latency.sum, 303);
+        assert_eq!(latency.min, 3);
+        assert_eq!(latency.max, 300);
+        assert!(latency.buckets.windows(2).all(|w| w[0].le < w[1].le));
+        assert_eq!(merged.histogram("only_b").unwrap().count, 1);
+        // Sections stay name-sorted so merged exports remain deterministic.
+        assert!(merged.counters.windows(2).all(|w| w[0].name <= w[1].name));
+        // Merging an empty snapshot is the identity.
+        let before = merged.clone();
+        merged.merge(&MetricsSnapshot::empty());
+        assert_eq!(before, merged);
+    }
 
     #[test]
     fn counter_merges_shards_in_slot_order() {

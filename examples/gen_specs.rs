@@ -1,0 +1,73 @@
+fn main() {
+    let asha = fedserve::CampaignSpec {
+        name: "quick-asha".to_string(),
+        seed: 11,
+        space: vec![
+            fedserve::DimSpec::Uniform {
+                name: "x".to_string(),
+                low: 0.0,
+                high: 1.0,
+            },
+            fedserve::DimSpec::LogUniform {
+                name: "lr".to_string(),
+                low: 1e-3,
+                high: 1.0,
+            },
+        ],
+        scheduler: fedserve::SchedulerSpec::AsyncAsha {
+            trials: 12,
+            eta: 3,
+            min_resource: 1,
+            max_resource: 9,
+        },
+        objective: fedserve::ObjectiveSpec::Analytic {
+            target: 0.3,
+            noise_sd: 0.15,
+            latency_scale: 0.0,
+            fail_trial: None,
+            panic_trial: None,
+        },
+        cost: fedserve::CostSpec::HeavyTailedClients {
+            clients: 40,
+            per_round: 4,
+            seed: 5,
+        },
+        workers: 4,
+        sim_budget: None,
+        limits: fedserve::CampaignLimits::default(),
+    };
+    let mut random = asha.clone();
+    random.name = "quick-random".to_string();
+    random.seed = 23;
+    random.scheduler = fedserve::SchedulerSpec::RandomSearch {
+        trials: 10,
+        resource: 6,
+    };
+    random.cost = fedserve::CostSpec::PerRound {
+        round_seconds: 12.0,
+        eval_seconds: 2.0,
+    };
+    random.workers = 3;
+    let mut slow = asha.clone();
+    slow.name = "quick-slow".to_string();
+    slow.seed = 31;
+    slow.objective = fedserve::ObjectiveSpec::Analytic {
+        target: 0.3,
+        noise_sd: 0.15,
+        latency_scale: 0.01,
+        fail_trial: None,
+        panic_trial: None,
+    };
+    for (file, spec) in [
+        ("quick-asha", &asha),
+        ("quick-random", &random),
+        ("quick-slow", &slow),
+    ] {
+        std::fs::write(
+            format!("examples/specs/{file}.json"),
+            serde_json::to_string_pretty(spec).unwrap() + "\n",
+        )
+        .unwrap();
+    }
+    println!("wrote examples/specs/{{quick-asha,quick-random,quick-slow}}.json");
+}
